@@ -1,0 +1,42 @@
+//! Criterion end-to-end training-step benchmark (the Fig. 7 shape at
+//! micro-benchmark rigor): one LoRA fine-tuning step, dense vs Long
+//! Exposure, on the small sim model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use long_exposure::engine::StepMode;
+use lx_bench::{calibrated_engine, default_opt};
+use lx_model::{prompt_aware_targets, ModelConfig};
+use lx_peft::PeftMethod;
+use std::hint::black_box;
+
+fn bench_e2e(c: &mut Criterion) {
+    let (batch, seq) = (1, 128);
+    let (mut engine, mut batcher) =
+        calibrated_engine(ModelConfig::opt_sim_small(), PeftMethod::lora_default(), batch, seq, 42);
+    let mut opt = default_opt();
+    let mut group = c.benchmark_group("e2e_train_step");
+    for (name, mode) in [("dense", StepMode::Dense), ("long_exposure", StepMode::Sparse)] {
+        group.bench_function(name, |bch| {
+            bch.iter(|| {
+                let ids = batcher.next_batch(batch, seq);
+                let targets = prompt_aware_targets(&ids, batch, seq, 0);
+                black_box(engine.train_step_mode(&ids, &targets, batch, seq, &mut opt, mode))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn criterion_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench_e2e
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Run every experiment binary in sequence, mirroring the paper's full
+//! evaluation section. Equivalent to invoking each `--bin` by hand; results
+//! stream to stdout (tee to a file to archive them).
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "table1_breakdown",
+    "table4_accuracy",
+    "fig7_speedup",
+    "fig8_memory",
+    "fig9_sparsity",
+    "fig10_breakdown",
+    "fig11_predictor",
+    "fig12_operators",
+    "fig13_gpt2",
+    "fig14_scaling",
+    "ablation_predictor",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for bin in BINS {
+        println!("\n######################################################");
+        println!("### {bin}");
+        println!("######################################################\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failed.push(*bin);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} experiments completed", BINS.len());
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,111 @@
+//! **Figure 11**: (a) fine-tuning loss curves — Long Exposure's predicted
+//! patterns vs random attention patterns vs random MLP patterns; (b)
+//! predictor quality: per-layer recall/precision and an ASCII rendering of
+//! predicted vs ground-truth masks.
+//!
+//! Paper: random patterns visibly hurt convergence; predicted patterns track
+//! the dense loss; MLP predictor recall averages 96.35%.
+
+use long_exposure::engine::StepMode;
+use long_exposure::exposer::Exposer;
+use lx_bench::{calibrated_engine, header, row, SIM_BLOCK};
+use lx_model::{prompt_aware_targets, CaptureConfig, ModelConfig};
+use lx_peft::PeftMethod;
+
+fn main() {
+    let (batch, seq, steps) = (2, 128, 80);
+    let cfg = ModelConfig::opt_sim_small();
+    println!("== Fig. 11a: loss curves ({}, batch {batch}, seq {seq}, {steps} steps) ==\n", cfg.name);
+
+    let arms = [
+        ("dense", StepMode::Dense),
+        ("long-exposure", StepMode::Sparse),
+        ("random-attn", StepMode::RandomAttn),
+        ("random-mlp", StepMode::RandomMlp),
+    ];
+    let mut curves: Vec<(String, Vec<f32>)> = Vec::new();
+    for (name, mode) in arms {
+        let (mut engine, mut batcher) =
+            calibrated_engine(cfg.clone(), PeftMethod::lora_default(), batch, seq, 42);
+        // Train embeddings too so the loss can actually move on this scale,
+        // and cycle a fixed 4-batch set so convergence differences show.
+        engine.model.embedding.tokens.trainable = true;
+        let fixed: Vec<Vec<u32>> = (0..4).map(|_| batcher.next_batch(batch, seq)).collect();
+        let mut opt = lx_model::AdamW::new(3e-3, 0.0);
+        let mut losses = Vec::with_capacity(steps);
+        for i in 0..steps {
+            let ids = &fixed[i % fixed.len()];
+            let targets = prompt_aware_targets(ids, batch, seq, 0);
+            let s = engine.train_step_mode(ids, &targets, batch, seq, &mut opt, mode);
+            losses.push(s.loss);
+        }
+        curves.push((name.to_string(), losses));
+    }
+    header(&["step", "dense", "long-exposure", "random-attn", "random-mlp"]);
+    for i in (0..steps).step_by(10).chain([steps - 1]) {
+        let mut cells = vec![i.to_string()];
+        for (_, c) in &curves {
+            cells.push(format!("{:.3}", c[i]));
+        }
+        row(&cells);
+    }
+    let final_of = |name: &str| {
+        curves
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c.last().unwrap())
+            .unwrap()
+    };
+    println!(
+        "\nfinal losses: dense {:.3} | long-exposure {:.3} | random-attn {:.3} | random-mlp {:.3}",
+        final_of("dense"),
+        final_of("long-exposure"),
+        final_of("random-attn"),
+        final_of("random-mlp"),
+    );
+    println!("shape to check: long-exposure tracks dense; random arms converge worse.\n");
+
+    // ---- (b): predictor quality + visualisation ----
+    println!("== Fig. 11b: predictor quality ==\n");
+    let (mut engine, mut batcher) =
+        calibrated_engine(cfg.clone(), PeftMethod::lora_default(), batch, seq, 42);
+    let report = {
+        // Recalibrate to fetch the report (calibrated_engine discards it).
+        let batches: Vec<(Vec<u32>, usize, usize)> = (0..2)
+            .map(|_| (batcher.next_batch(batch, seq), batch, seq))
+            .collect();
+        engine.calibrate(&batches)
+    };
+    header(&["layer", "attn recall", "attn precision", "mlp recall", "mlp precision"]);
+    for l in 0..report.attn_recall.len() {
+        row(&[
+            l.to_string(),
+            format!("{:.1}%", 100.0 * report.attn_recall[l]),
+            format!("{:.1}%", 100.0 * report.attn_precision[l]),
+            format!("{:.1}%", 100.0 * report.mlp_recall[l]),
+            format!("{:.1}%", 100.0 * report.mlp_precision[l]),
+        ]);
+    }
+    println!(
+        "\nmean MLP recall: {:.2}% (paper reports 96.35%)\n",
+        100.0 * report.mean_mlp_recall()
+    );
+
+    // Visualise ground-truth vs predicted mask for layer 0, head 0.
+    let ids = batcher.next_batch(batch, seq);
+    let (_, caps) = engine
+        .model
+        .forward_with_captures(&ids, batch, seq, CaptureConfig { attn: true, mlp: false });
+    let exposer = Exposer::new(SIM_BLOCK, 8.0 / seq as f32, 0.3);
+    let probs = caps[0].attn_probs.as_ref().unwrap();
+    let target = &exposer.attention_head_masks(probs, batch, cfg.n_heads, seq)[0];
+    println!("layer 0 head 0 — target (left) vs prediction (right):");
+    let x = caps[0].block_input.as_ref().unwrap();
+    let predicted = &engine
+        .predict_attention_masks(0, x, batch, seq)[0];
+    let ta = target.to_ascii();
+    let pa = predicted.to_ascii();
+    for (lt, lp) in ta.lines().zip(pa.lines()) {
+        println!("{lt}    {lp}");
+    }
+}

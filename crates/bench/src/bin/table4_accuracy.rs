@@ -1,0 +1,80 @@
+//! **Table IV** (+ Table III task inventory): downstream accuracy with vs
+//! without Long Exposure after instruction fine-tuning.
+//!
+//! Paper: across PIQA / Winogrande / RTE / COPA / HellaSwag and three OPT
+//! sizes, Long Exposure costs at most a fraction of a point of accuracy.
+//! Here: two sim model sizes fine-tuned on Alpaca-like synthetic
+//! instructions, evaluated by candidate log-likelihood (lm-eval protocol),
+//! with binomial standard errors.
+
+use long_exposure::engine::StepMode;
+use lx_bench::{calibrated_engine, default_opt, header, row};
+use lx_data::tasks::{accuracy_stderr, evaluate_accuracy, Task, TaskKind};
+use lx_data::{instruct::InstructGenerator, Batcher, SyntheticWorld};
+use lx_model::{prompt_aware_targets, ModelConfig};
+use lx_peft::{LoraTargets, PeftMethod};
+
+fn finetuned(cfg: &ModelConfig, mode: StepMode, steps: usize, seed: u64) -> long_exposure::FinetuneEngine {
+    let (batch, seq) = (2, 128);
+    let method = PeftMethod::Lora {
+        rank: 8,
+        alpha: 16.0,
+        targets: LoraTargets::all(),
+    };
+    let (mut engine, _) = calibrated_engine(cfg.clone(), method, batch, seq, seed);
+    // The sim backbone is not actually pre-trained on language, so let the
+    // embedding learn alongside LoRA — both arms get the same treatment.
+    engine.model.embedding.tokens.trainable = true;
+    let world = SyntheticWorld::new(cfg.vocab_size as u32, 5);
+    let mut batcher = Batcher::new(InstructGenerator::new(world).stream(200_000, 1));
+    let mut opt = default_opt();
+    for _ in 0..steps {
+        let ids = batcher.next_batch(batch, seq);
+        let targets = prompt_aware_targets(&ids, batch, seq, 0);
+        engine.train_step_mode(&ids, &targets, batch, seq, &mut opt, mode);
+    }
+    engine
+}
+
+fn main() {
+    let steps = 60;
+    let n_examples = 50;
+    println!("== Table III: downstream task inventory ==\n");
+    header(&["task", "description"]);
+    for kind in TaskKind::all() {
+        let desc = match kind {
+            TaskKind::Piqa => "physical-commonsense-style pairing completion (2-way)",
+            TaskKind::Winogrande => "entity disambiguation via pairing (2-way)",
+            TaskKind::Rte => "pairing entailment, YES/NO",
+            TaskKind::Copa => "cause→effect pairing with long context (2-way)",
+            TaskKind::HellaSwag => "two-token ending completion (4-way)",
+        };
+        row(&[kind.name().to_string(), desc.to_string()]);
+    }
+
+    println!("\n== Table IV: accuracy after instruction fine-tuning, w/o vs w/ Long Exposure ==\n");
+    for cfg in [ModelConfig::opt_sim_small(), ModelConfig::opt_sim_base()] {
+        println!("model {} ({} steps of LoRA instruction tuning):", cfg.name, steps);
+        header(&["task", "w/o acc", "stderr", "w/ acc", "stderr", "delta"]);
+        let mut dense = finetuned(&cfg, StepMode::Dense, steps, 42);
+        let mut sparse = finetuned(&cfg, StepMode::Sparse, steps, 42);
+        let world = SyntheticWorld::new(cfg.vocab_size as u32, 5);
+        for kind in TaskKind::all() {
+            let task = Task::new(kind, world.clone());
+            let examples = task.examples(n_examples);
+            let acc_d = evaluate_accuracy(&examples, |p, c| dense.model.score_continuation(p, c));
+            let acc_s = evaluate_accuracy(&examples, |p, c| sparse.model.score_continuation(p, c));
+            row(&[
+                kind.name().to_string(),
+                format!("{:.1}%", 100.0 * acc_d),
+                format!("{:.1}%", 100.0 * accuracy_stderr(acc_d, n_examples)),
+                format!("{:.1}%", 100.0 * acc_s),
+                format!("{:.1}%", 100.0 * accuracy_stderr(acc_s, n_examples)),
+                format!("{:+.1}pp", 100.0 * (acc_s - acc_d)),
+            ]);
+        }
+        println!();
+    }
+    println!("paper reference (OPT-1.3B): PIQA 72.25→72.09, Winogrande 58.88→58.80, RTE 54.15→54.51, COPA 81→81, HellaSwag 42.08→42.11.");
+    println!("shape to check: per-task deltas within ~±1 stderr — sparsity does not change what is learned.");
+}

@@ -1,0 +1,221 @@
+//! Predictor checkpointing.
+//!
+//! Predictors are trained offline (§V-B) and reused across fine-tuning runs
+//! of the same backbone, so they need a durable format. The format is a
+//! small header + raw little-endian f32 payloads via `bytes`, with a JSON
+//! metadata block (serde) describing shapes — readable by external tooling.
+
+use crate::predictor::{AttnPredictor, MlpPredictor};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lx_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+const MAGIC: &[u8; 8] = b"LXPRED01";
+
+/// Shape metadata stored alongside the raw weights.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CheckpointMeta {
+    pub d_model: usize,
+    pub n_heads: usize,
+    pub rank: usize,
+    pub n_layers: usize,
+    pub mlp_blocks: usize,
+    pub block_size: usize,
+}
+
+/// Serialise all layers' predictors into one buffer.
+pub fn save_predictors(
+    meta: &CheckpointMeta,
+    attn: &[AttnPredictor],
+    mlp: &[MlpPredictor],
+) -> Bytes {
+    assert_eq!(attn.len(), meta.n_layers);
+    assert_eq!(mlp.len(), meta.n_layers);
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    let meta_json = serde_json::to_vec(meta).expect("meta serialises");
+    buf.put_u32_le(meta_json.len() as u32);
+    buf.put_slice(&meta_json);
+    for layer in attn {
+        for (wq, wk) in &layer.heads {
+            put_tensor(&mut buf, wq);
+            put_tensor(&mut buf, wk);
+        }
+        for &s in &layer.distance_slopes {
+            buf.put_f32_le(s);
+        }
+        for &b in &layer.bias {
+            buf.put_f32_le(b);
+        }
+    }
+    for layer in mlp {
+        put_tensor(&mut buf, &layer.wa);
+    }
+    buf.freeze()
+}
+
+/// Reconstruct predictors from a buffer produced by [`save_predictors`].
+pub fn load_predictors(
+    mut data: Bytes,
+) -> Result<(CheckpointMeta, Vec<AttnPredictor>, Vec<MlpPredictor>), String> {
+    if data.remaining() < 12 {
+        return Err("truncated checkpoint".into());
+    }
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(format!("bad magic {magic:?}"));
+    }
+    let meta_len = data.get_u32_le() as usize;
+    if data.remaining() < meta_len {
+        return Err("truncated metadata".into());
+    }
+    let meta_bytes = data.copy_to_bytes(meta_len);
+    let meta: CheckpointMeta =
+        serde_json::from_slice(&meta_bytes).map_err(|e| format!("bad metadata: {e}"))?;
+    let mut attn = Vec::with_capacity(meta.n_layers);
+    for l in 0..meta.n_layers {
+        let mut p = AttnPredictor::new(meta.d_model, meta.n_heads, meta.rank, 0);
+        for h in 0..meta.n_heads {
+            p.heads[h].0 = get_tensor(&mut data, &[meta.d_model, meta.rank])
+                .ok_or_else(|| format!("truncated wq layer {l} head {h}"))?;
+            p.heads[h].1 = get_tensor(&mut data, &[meta.d_model, meta.rank])
+                .ok_or_else(|| format!("truncated wk layer {l} head {h}"))?;
+        }
+        let mut slopes = Vec::with_capacity(meta.n_heads);
+        for _ in 0..meta.n_heads {
+            if data.remaining() < 4 {
+                return Err("truncated slopes".into());
+            }
+            slopes.push(data.get_f32_le());
+        }
+        p.set_distance_slopes(slopes, meta.block_size);
+        for h in 0..meta.n_heads {
+            if data.remaining() < 4 {
+                return Err("truncated head bias".into());
+            }
+            p.bias[h] = data.get_f32_le();
+        }
+        attn.push(p);
+    }
+    let mut mlp = Vec::with_capacity(meta.n_layers);
+    for l in 0..meta.n_layers {
+        let mut p = MlpPredictor::new(
+            meta.d_model,
+            meta.mlp_blocks * meta.block_size,
+            meta.block_size,
+            0,
+        );
+        p.wa = get_tensor(&mut data, &[meta.d_model, meta.mlp_blocks])
+            .ok_or_else(|| format!("truncated wa layer {l}"))?;
+        mlp.push(p);
+    }
+    if data.has_remaining() {
+        return Err(format!("{} trailing bytes", data.remaining()));
+    }
+    Ok((meta, attn, mlp))
+}
+
+fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+    buf.put_u32_le(t.len() as u32);
+    for &v in t.as_slice() {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_tensor(data: &mut Bytes, shape: &[usize]) -> Option<Tensor> {
+    if data.remaining() < 4 {
+        return None;
+    }
+    let len = data.get_u32_le() as usize;
+    if len != shape.iter().product::<usize>() || data.remaining() < len * 4 {
+        return None;
+    }
+    let mut vals = Vec::with_capacity(len);
+    for _ in 0..len {
+        vals.push(data.get_f32_le());
+    }
+    Some(Tensor::from_vec(vals, shape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (CheckpointMeta, Vec<AttnPredictor>, Vec<MlpPredictor>) {
+        let meta = CheckpointMeta {
+            d_model: 8,
+            n_heads: 2,
+            rank: 3,
+            n_layers: 2,
+            mlp_blocks: 4,
+            block_size: 4,
+        };
+        let attn: Vec<AttnPredictor> = (0..2)
+            .map(|l| {
+                let mut p = AttnPredictor::new(8, 2, 3, 100 + l);
+                p.set_distance_slopes(vec![0.25, 0.5], 4);
+                p.bias = vec![0.1, -0.2];
+                p
+            })
+            .collect();
+        let mlp: Vec<MlpPredictor> = (0..2).map(|l| MlpPredictor::new(8, 16, 4, 200 + l)).collect();
+        (meta, attn, mlp)
+    }
+
+    #[test]
+    fn roundtrip_preserves_weights() {
+        let (meta, attn, mlp) = sample();
+        let bytes = save_predictors(&meta, &attn, &mlp);
+        let (meta2, attn2, mlp2) = load_predictors(bytes).expect("load");
+        assert_eq!(meta, meta2);
+        for (a, b) in attn.iter().zip(&attn2) {
+            for ((wq, wk), (wq2, wk2)) in a.heads.iter().zip(&b.heads) {
+                assert_eq!(wq.as_slice(), wq2.as_slice());
+                assert_eq!(wk.as_slice(), wk2.as_slice());
+            }
+            assert_eq!(a.distance_slopes, b.distance_slopes);
+            assert_eq!(a.bias, b.bias);
+            assert_eq!(a.block_size, b.block_size);
+        }
+        for (a, b) in mlp.iter().zip(&mlp2) {
+            assert_eq!(a.wa.as_slice(), b.wa.as_slice());
+        }
+    }
+
+    #[test]
+    fn loaded_predictors_predict_identically() {
+        let (meta, attn, mlp) = sample();
+        let bytes = save_predictors(&meta, &attn, &mlp);
+        let (_, attn2, mlp2) = load_predictors(bytes).unwrap();
+        let x = Tensor::randn(&[16, 8], 1.0, 5);
+        let m1 = attn[0].predict_masks(&x, 1, 16, 4);
+        let m2 = attn2[0].predict_masks(&x, 1, 16, 4);
+        assert_eq!(m1, m2);
+        assert_eq!(mlp[0].predict(&x), mlp2[0].predict(&x));
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let (meta, attn, mlp) = sample();
+        let mut raw = save_predictors(&meta, &attn, &mlp).to_vec();
+        raw[0] = b'X';
+        assert!(load_predictors(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let (meta, attn, mlp) = sample();
+        let raw = save_predictors(&meta, &attn, &mlp).to_vec();
+        let cut = Bytes::from(raw[..raw.len() - 5].to_vec());
+        assert!(load_predictors(cut).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let (meta, attn, mlp) = sample();
+        let mut raw = save_predictors(&meta, &attn, &mlp).to_vec();
+        raw.extend_from_slice(&[0, 1, 2]);
+        assert!(load_predictors(Bytes::from(raw)).is_err());
+    }
+}

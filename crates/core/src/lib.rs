@@ -1,0 +1,46 @@
+//! **Long Exposure**: accelerating parameter-efficient fine-tuning for LLMs
+//! under shadowy sparsity (SC'24) — reference Rust implementation.
+//!
+//! During fine-tuning, per-token sparsity patterns overlap across the
+//! sequence and their logical-AND leaves little *directly usable* sparsity —
+//! the paper calls this **shadowy sparsity**. Long Exposure recovers it with
+//! three cooperating components:
+//!
+//! * [`exposer`] — *Shadowy-sparsity Exposer* (§IV): head-specific block
+//!   attention masks instead of one uniform mask, and an importance filter
+//!   that turns scattered MLP activations into structured neuron-block
+//!   sparsity.
+//! * [`predictor`] — *Sequence-oriented Predictor* (§V): tiny low-rank
+//!   networks that predict each layer's sparse patterns from the block input
+//!   *before* the block computes, trained offline on calibration captures
+//!   with noise augmentation and a recall-weighted loss.
+//! * [`engine`] — the fine-tuning engine that wires predictors and the
+//!   dynamic-aware operators (in `lx-sparse`, §VI) into every PEFT method,
+//!   with per-phase timing for the paper's breakdown experiments.
+//!
+//! ```no_run
+//! use long_exposure::engine::{EngineConfig, FinetuneEngine};
+//! use lx_model::{ModelConfig, TransformerModel, AdamW, prompt_aware_targets};
+//! use lx_peft::PeftMethod;
+//!
+//! let mut model = TransformerModel::new(ModelConfig::opt_sim_small(), 42);
+//! PeftMethod::lora_default().apply(&mut model, 1);
+//! let mut engine = FinetuneEngine::new(model, EngineConfig::default());
+//! // Calibrate predictors on a few batches, then fine-tune sparse.
+//! let ids: Vec<u32> = (0..128).map(|i| i % 1000).collect();
+//! engine.calibrate(&[(ids.clone(), 2, 64)]);
+//! let targets = prompt_aware_targets(&ids, 2, 64, 0);
+//! let mut opt = AdamW::new(1e-3, 0.01);
+//! let stats = engine.train_step(&ids, &targets, 2, 64, &mut opt);
+//! println!("loss {:.3} predict {:?}", stats.loss, stats.predict);
+//! ```
+
+pub mod checkpoint;
+pub mod engine;
+pub mod exposer;
+pub mod predictor;
+
+pub use checkpoint::{load_predictors, save_predictors, CheckpointMeta};
+pub use engine::{CalibrationReport, EngineConfig, FinetuneEngine, StepStats};
+pub use exposer::Exposer;
+pub use predictor::{AttnPredictor, MlpPredictor};

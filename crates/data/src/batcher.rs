@@ -1,0 +1,58 @@
+//! Fixed-shape batch assembly from token streams.
+
+/// Packs a token stream into `(batch × seq)` id buffers, advancing a cursor
+/// so successive calls yield fresh data (wrapping at the end).
+pub struct Batcher {
+    stream: Vec<u32>,
+    cursor: usize,
+}
+
+impl Batcher {
+    pub fn new(stream: Vec<u32>) -> Self {
+        assert!(!stream.is_empty(), "empty stream");
+        Batcher { stream, cursor: 0 }
+    }
+
+    /// Next `batch × seq` ids (row-major), wrapping around the stream.
+    pub fn next_batch(&mut self, batch: usize, seq: usize) -> Vec<u32> {
+        let need = batch * seq;
+        let mut out = Vec::with_capacity(need);
+        while out.len() < need {
+            let take = (need - out.len()).min(self.stream.len() - self.cursor);
+            out.extend_from_slice(&self.stream[self.cursor..self.cursor + take]);
+            self.cursor = (self.cursor + take) % self.stream.len();
+        }
+        out
+    }
+
+    pub fn stream_len(&self) -> usize {
+        self.stream.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_advance_and_wrap() {
+        let mut b = Batcher::new((0..10u32).collect());
+        assert_eq!(b.next_batch(1, 4), vec![0, 1, 2, 3]);
+        assert_eq!(b.next_batch(1, 4), vec![4, 5, 6, 7]);
+        // Wraps.
+        assert_eq!(b.next_batch(1, 4), vec![8, 9, 0, 1]);
+    }
+
+    #[test]
+    fn batch_larger_than_stream() {
+        let mut b = Batcher::new(vec![1, 2, 3]);
+        let out = b.next_batch(2, 4);
+        assert_eq!(out, vec![1, 2, 3, 1, 2, 3, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stream")]
+    fn empty_stream_rejected() {
+        Batcher::new(vec![]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Synthetic data substrate.
+//!
+//! The paper fine-tunes on E2E (NLG) and Alpaca (instructions) and evaluates
+//! on PIQA / Winogrande / RTE / COPA / HellaSwag. Those corpora and
+//! checkpoints are not reproducible at CPU scale, so this crate builds
+//! *planted-signal* equivalents over a shared [`world::SyntheticWorld`]: a
+//! deterministic token-pairing structure that (a) gives fine-tuning a real
+//! learnable signal, (b) yields realistic token locality so predicted sparse
+//! patterns are non-trivial, and (c) lets the downstream tasks measure
+//! whether sparsity-accelerated fine-tuning learned the same thing the dense
+//! run did (Table IV's question).
+
+pub mod batcher;
+pub mod e2e;
+pub mod instruct;
+pub mod tasks;
+pub mod world;
+
+pub use batcher::Batcher;
+pub use tasks::{Task, TaskExample, TaskKind};
+pub use world::SyntheticWorld;

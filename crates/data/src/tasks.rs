@@ -1,0 +1,311 @@
+//! Five downstream evaluation tasks (Table III stand-ins), each a
+//! candidate-scoring problem over the world's partner structure with a
+//! distinct surface form — different candidate counts, prompt lengths, and
+//! query depths, mirroring how the real benchmarks differ while staying
+//! solvable by a model that learned the planted signal.
+
+use crate::world::{SyntheticWorld, TOK_BOS, TOK_NO, TOK_SEP, TOK_YES};
+use rand::Rng;
+
+/// Which benchmark a generator mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// 2 candidates, short physical-commonsense-style prompt.
+    Piqa,
+    /// 2 candidates, pronoun-disambiguation-style (two entities, pick one).
+    Winogrande,
+    /// Entailment: score YES/NO after a premise/hypothesis pair.
+    Rte,
+    /// 2 candidates, cause/effect with a longer context.
+    Copa,
+    /// 4 candidates, ending completion.
+    HellaSwag,
+}
+
+impl TaskKind {
+    pub fn all() -> [TaskKind; 5] {
+        [
+            TaskKind::Piqa,
+            TaskKind::Winogrande,
+            TaskKind::Rte,
+            TaskKind::Copa,
+            TaskKind::HellaSwag,
+        ]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskKind::Piqa => "PIQA-like",
+            TaskKind::Winogrande => "Winogrande-like",
+            TaskKind::Rte => "RTE-like",
+            TaskKind::Copa => "COPA-like",
+            TaskKind::HellaSwag => "HellaSwag-like",
+        }
+    }
+}
+
+/// One scoring example: pick the candidate continuation with the highest
+/// model log-likelihood (the lm-eval protocol).
+#[derive(Debug, Clone)]
+pub struct TaskExample {
+    pub prompt: Vec<u32>,
+    pub candidates: Vec<Vec<u32>>,
+    pub label: usize,
+}
+
+pub struct Task {
+    pub kind: TaskKind,
+    world: SyntheticWorld,
+}
+
+impl Task {
+    pub fn new(kind: TaskKind, world: SyntheticWorld) -> Self {
+        Task { kind, world }
+    }
+
+    /// Generate `n` examples, deterministic in (world seed, kind, index).
+    pub fn examples(&self, n: usize) -> Vec<TaskExample> {
+        (0..n).map(|i| self.example(i as u64)).collect()
+    }
+
+    pub fn example(&self, salt: u64) -> TaskExample {
+        let kind_salt = match self.kind {
+            TaskKind::Piqa => 0x1000,
+            TaskKind::Winogrande => 0x2000,
+            TaskKind::Rte => 0x3000,
+            TaskKind::Copa => 0x4000,
+            TaskKind::HellaSwag => 0x5000,
+        };
+        let mut rng = self.world.rng(salt.wrapping_add(kind_salt));
+        let w = &self.world;
+        match self.kind {
+            TaskKind::Piqa => {
+                // Prompt: goal bigram context + query token.
+                let mut prompt = vec![TOK_BOS];
+                prompt.extend(w.sentence(2, &mut rng));
+                let q = w.sample_content(&mut rng);
+                prompt.push(q);
+                let correct = vec![w.partner(q)];
+                let wrong = vec![w.sample_distractor(q, &mut rng)];
+                shuffle_two(prompt, correct, wrong, &mut rng)
+            }
+            TaskKind::Winogrande => {
+                // Two entities; the query refers to the second one.
+                let mut prompt = vec![TOK_BOS];
+                let e1 = w.sample_content(&mut rng);
+                let e2 = w.sample_content(&mut rng);
+                prompt.extend([e1, w.partner(e1), e2, TOK_SEP, e2]);
+                let correct = vec![w.partner(e2)];
+                let wrong = vec![w.partner(e1)];
+                shuffle_two(prompt, correct, wrong, &mut rng)
+            }
+            TaskKind::Rte => {
+                // Premise: t and partner; hypothesis repeats (entailed) or
+                // breaks (not entailed) the pairing; answer YES/NO.
+                let t = w.sample_content(&mut rng);
+                let entailed = rng.gen_bool(0.5);
+                let hyp = if entailed {
+                    w.partner(t)
+                } else {
+                    w.sample_distractor(t, &mut rng)
+                };
+                let prompt = vec![TOK_BOS, t, w.partner(t), TOK_SEP, t, hyp, TOK_SEP];
+                TaskExample {
+                    prompt,
+                    candidates: vec![vec![TOK_YES], vec![TOK_NO]],
+                    label: if entailed { 0 } else { 1 },
+                }
+            }
+            TaskKind::Copa => {
+                // Longer causal context, then cause→effect query.
+                let mut prompt = vec![TOK_BOS];
+                prompt.extend(w.sentence(3, &mut rng));
+                prompt.push(TOK_SEP);
+                let cause = w.sample_content(&mut rng);
+                prompt.push(cause);
+                let correct = vec![w.partner(cause)];
+                let wrong = vec![w.sample_distractor(cause, &mut rng)];
+                shuffle_two(prompt, correct, wrong, &mut rng)
+            }
+            TaskKind::HellaSwag => {
+                // 4-way ending completion: two-token endings, only one
+                // respecting the pairing for both positions.
+                let mut prompt = vec![TOK_BOS];
+                prompt.extend(w.sentence(2, &mut rng));
+                let q1 = w.sample_content(&mut rng);
+                let q2 = w.sample_content(&mut rng);
+                prompt.push(q1);
+                prompt.push(w.partner(q1));
+                prompt.push(q2);
+                let correct = vec![w.partner(q2), TOK_SEP];
+                let mut candidates = vec![correct];
+                for _ in 0..3 {
+                    candidates.push(vec![w.sample_distractor(q2, &mut rng), TOK_SEP]);
+                }
+                // Rotate the correct answer to a pseudo-random position.
+                let label = rng.gen_range(0..4);
+                candidates.swap(0, label);
+                TaskExample {
+                    prompt,
+                    candidates,
+                    label,
+                }
+            }
+        }
+    }
+}
+
+fn shuffle_two(
+    prompt: Vec<u32>,
+    correct: Vec<u32>,
+    wrong: Vec<u32>,
+    rng: &mut rand::rngs::StdRng,
+) -> TaskExample {
+    if rng.gen_bool(0.5) {
+        TaskExample {
+            prompt,
+            candidates: vec![correct, wrong],
+            label: 0,
+        }
+    } else {
+        TaskExample {
+            prompt,
+            candidates: vec![wrong, correct],
+            label: 1,
+        }
+    }
+}
+
+/// Accuracy of a scorer (`f(prompt, candidate) -> loglik`) over examples.
+pub fn evaluate_accuracy<F>(examples: &[TaskExample], mut score: F) -> f32
+where
+    F: FnMut(&[u32], &[u32]) -> f32,
+{
+    if examples.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for ex in examples {
+        let best = ex
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, score(&ex.prompt, c)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        if best == ex.label {
+            correct += 1;
+        }
+    }
+    correct as f32 / examples.len() as f32
+}
+
+/// Standard error of a binomial accuracy estimate (the paper reports both).
+pub fn accuracy_stderr(acc: f32, n: usize) -> f32 {
+    if n == 0 {
+        return 0.0;
+    }
+    ((acc * (1.0 - acc)) / n as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> SyntheticWorld {
+        SyntheticWorld::new(256, 42)
+    }
+
+    #[test]
+    fn all_tasks_generate_valid_examples() {
+        for kind in TaskKind::all() {
+            let task = Task::new(kind, world());
+            let exs = task.examples(20);
+            assert_eq!(exs.len(), 20);
+            for ex in &exs {
+                assert!(!ex.prompt.is_empty());
+                assert!(ex.label < ex.candidates.len());
+                assert!(ex.candidates.iter().all(|c| !c.is_empty()));
+                let n_cands = match kind {
+                    TaskKind::HellaSwag => 4,
+                    _ => 2,
+                };
+                assert_eq!(ex.candidates.len(), n_cands, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn examples_are_deterministic() {
+        let t1 = Task::new(TaskKind::Piqa, world());
+        let t2 = Task::new(TaskKind::Piqa, world());
+        let a = t1.example(3);
+        let b = t2.example(3);
+        assert_eq!(a.prompt, b.prompt);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.label, b.label);
+    }
+
+    #[test]
+    fn oracle_scorer_achieves_perfect_accuracy() {
+        // A scorer that knows the partner map should ace every task.
+        let w = world();
+        for kind in TaskKind::all() {
+            let task = Task::new(kind, w.clone());
+            let exs = task.examples(40);
+            let acc = evaluate_accuracy(&exs, |prompt, cand| {
+                // Oracle: +1 if the first candidate token is the partner of
+                // the last content token in the prompt; for RTE, YES iff the
+                // hypothesis respects the pairing.
+                match kind {
+                    TaskKind::Rte => {
+                        let hyp_pair = (prompt[prompt.len() - 3], prompt[prompt.len() - 2]);
+                        let entailed = w.partner(hyp_pair.0) == hyp_pair.1;
+                        let says_yes = cand[0] == TOK_YES;
+                        if entailed == says_yes {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    _ => {
+                        let q = *prompt.last().unwrap();
+                        if w.partner(q) == cand[0] {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                }
+            });
+            assert!(acc > 0.99, "{kind:?} oracle accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn random_scorer_is_at_chance() {
+        let task = Task::new(TaskKind::HellaSwag, world());
+        let exs = task.examples(200);
+        let mut i = 0u64;
+        let acc = evaluate_accuracy(&exs, |_, _| {
+            i += 1;
+            ((i * 2654435761) % 1000) as f32
+        });
+        assert!((0.1..0.45).contains(&acc), "4-way chance ≈ 0.25, got {acc}");
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let task = Task::new(TaskKind::Piqa, world());
+        let exs = task.examples(200);
+        let zeros = exs.iter().filter(|e| e.label == 0).count();
+        assert!((60..140).contains(&zeros), "label balance: {zeros}/200");
+    }
+
+    #[test]
+    fn stderr_formula() {
+        assert!((accuracy_stderr(0.5, 100) - 0.05).abs() < 1e-6);
+        assert_eq!(accuracy_stderr(0.5, 0), 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Model configurations: paper-dimension presets (Table II) and scaled-down
+//! "sim" presets that run in seconds on CPU while preserving the
+//! architecture (ReLU vs GeLU MLP, head counts, depth ratios).
+
+/// MLP activation. OPT uses ReLU (the sparsity source for the MLP path);
+/// GPT-2 uses GeLU, so only the attention optimisation applies (paper §VII-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    Gelu,
+}
+
+/// Architecture hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    pub name: String,
+    pub n_layers: usize,
+    pub d_model: usize,
+    pub n_heads: usize,
+    pub d_ff: usize,
+    pub vocab_size: usize,
+    pub max_seq: usize,
+    pub activation: Activation,
+    pub ln_eps: f32,
+    /// Per-head ALiBi locality slopes. Real OPT/GPT-2 use learned positions
+    /// whose *trained* attention is local + sink-focused; random-init learned
+    /// positions have no such structure, so the sim models emulate it with
+    /// ALiBi (a mechanism production LLMs also use). See DESIGN.md.
+    pub alibi: bool,
+}
+
+impl ModelConfig {
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// Total parameter count (embeddings + blocks + final LN), tied LM head.
+    pub fn param_count(&self) -> usize {
+        let d = self.d_model;
+        let per_block = 4 * d * d + 4 * d // attention QKVO + biases
+            + 2 * d * self.d_ff + self.d_ff + d // MLP weights + biases
+            + 4 * d; // two LayerNorms
+        self.vocab_size * d + self.max_seq * d + self.n_layers * per_block + 2 * d
+    }
+
+    fn validate(self) -> Self {
+        assert!(self.d_model % self.n_heads == 0, "d_model must divide by heads");
+        self
+    }
+
+    // ---- Paper-dimension presets (Table II models + scaling set) ----
+
+    pub fn opt_125m() -> Self {
+        Self::opt("opt-125m", 12, 768, 12)
+    }
+
+    pub fn opt_350m() -> Self {
+        Self::opt("opt-350m", 24, 1024, 16)
+    }
+
+    pub fn opt_1_3b() -> Self {
+        Self::opt("opt-1.3b", 24, 2048, 32)
+    }
+
+    pub fn opt_2_7b() -> Self {
+        Self::opt("opt-2.7b", 32, 2560, 32)
+    }
+
+    fn opt(name: &str, layers: usize, d: usize, heads: usize) -> Self {
+        ModelConfig {
+            name: name.into(),
+            n_layers: layers,
+            d_model: d,
+            n_heads: heads,
+            d_ff: 4 * d,
+            vocab_size: 50_272,
+            max_seq: 2048,
+            activation: Activation::Relu,
+            ln_eps: 1e-5,
+            alibi: true,
+        }
+        .validate()
+    }
+
+    pub fn gpt2_large() -> Self {
+        ModelConfig {
+            name: "gpt2-large".into(),
+            n_layers: 36,
+            d_model: 1280,
+            n_heads: 20,
+            d_ff: 5120,
+            vocab_size: 50_257,
+            max_seq: 1024,
+            activation: Activation::Gelu,
+            ln_eps: 1e-5,
+            alibi: true,
+        }
+        .validate()
+    }
+
+    pub fn gpt2_xl() -> Self {
+        ModelConfig {
+            name: "gpt2-xl".into(),
+            n_layers: 48,
+            d_model: 1600,
+            n_heads: 25,
+            d_ff: 6400,
+            vocab_size: 50_257,
+            max_seq: 1024,
+            activation: Activation::Gelu,
+            ln_eps: 1e-5,
+            alibi: true,
+        }
+        .validate()
+    }
+
+    // ---- Sim presets: same architecture family, CPU-tractable sizes ----
+
+    /// Tiny model for unit tests and gradient checks.
+    pub fn test_tiny() -> Self {
+        ModelConfig {
+            name: "test-tiny".into(),
+            n_layers: 2,
+            d_model: 16,
+            n_heads: 2,
+            d_ff: 32,
+            vocab_size: 64,
+            max_seq: 64,
+            activation: Activation::Relu,
+            ln_eps: 1e-5,
+            alibi: true,
+        }
+        .validate()
+    }
+
+    /// Small OPT-style sim model for fast experiments.
+    pub fn opt_sim_small() -> Self {
+        ModelConfig {
+            name: "opt-sim-small".into(),
+            n_layers: 2,
+            d_model: 128,
+            n_heads: 4,
+            d_ff: 512,
+            vocab_size: 1024,
+            max_seq: 1024,
+            activation: Activation::Relu,
+            ln_eps: 1e-5,
+            alibi: true,
+        }
+        .validate()
+    }
+
+    /// Medium OPT-style sim model (the default measured-experiment model).
+    pub fn opt_sim_base() -> Self {
+        ModelConfig {
+            name: "opt-sim-base".into(),
+            n_layers: 4,
+            d_model: 256,
+            n_heads: 8,
+            d_ff: 1024,
+            vocab_size: 1024,
+            max_seq: 1024,
+            activation: Activation::Relu,
+            ln_eps: 1e-5,
+            alibi: true,
+        }
+        .validate()
+    }
+
+    /// GPT-2-style sim model (GeLU: only attention sparsity applies).
+    pub fn gpt2_sim() -> Self {
+        ModelConfig {
+            name: "gpt2-sim".into(),
+            n_layers: 4,
+            d_model: 256,
+            n_heads: 8,
+            d_ff: 1024,
+            vocab_size: 1024,
+            max_seq: 1024,
+            activation: Activation::Gelu,
+            ln_eps: 1e-5,
+            alibi: true,
+        }
+        .validate()
+    }
+
+    /// Depth/width-scaled sim variant of a paper preset, preserving the
+    /// layer-count ratio between model sizes so scaling trends survive.
+    pub fn scaled_sim(name: &str, n_layers: usize, d_model: usize, n_heads: usize, act: Activation) -> Self {
+        ModelConfig {
+            name: name.into(),
+            n_layers,
+            d_model,
+            n_heads,
+            d_ff: 4 * d_model,
+            vocab_size: 1024,
+            max_seq: 2048,
+            activation: act,
+            ln_eps: 1e-5,
+            alibi: true,
+        }
+        .validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_have_expected_param_counts() {
+        // Within 15% of the nominal size (embeddings and heads differ a bit
+        // between published variants).
+        let cases = [
+            (ModelConfig::opt_125m(), 125e6),
+            (ModelConfig::opt_350m(), 350e6),
+            (ModelConfig::opt_1_3b(), 1.3e9),
+            (ModelConfig::opt_2_7b(), 2.7e9),
+            (ModelConfig::gpt2_large(), 774e6),
+            (ModelConfig::gpt2_xl(), 1.5e9),
+        ];
+        for (cfg, nominal) in cases {
+            let count = cfg.param_count() as f64;
+            let ratio = count / nominal;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "{}: {count:.2e} vs nominal {nominal:.2e} (ratio {ratio:.2})",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn head_dim_divides() {
+        let cfg = ModelConfig::opt_1_3b();
+        assert_eq!(cfg.head_dim() * cfg.n_heads, cfg.d_model);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn invalid_heads_panic() {
+        ModelConfig::scaled_sim("bad", 1, 100, 3, Activation::Relu);
+    }
+
+    #[test]
+    fn opt_uses_relu_gpt2_uses_gelu() {
+        assert_eq!(ModelConfig::opt_sim_base().activation, Activation::Relu);
+        assert_eq!(ModelConfig::gpt2_sim().activation, Activation::Gelu);
+    }
+}

@@ -1,0 +1,151 @@
+//! LayerNorm module with cached per-row statistics for the backward pass.
+
+use crate::param::Param;
+use lx_tensor::ops::{layernorm_backward_row, layernorm_row};
+use lx_tensor::Tensor;
+
+#[derive(Debug)]
+pub struct LayerNorm {
+    pub gamma: Param,
+    pub beta: Param,
+    pub eps: f32,
+    cache: Option<LnCache>,
+}
+
+#[derive(Debug)]
+struct LnCache {
+    x: Tensor,
+    means: Vec<f32>,
+    rstds: Vec<f32>,
+}
+
+impl LayerNorm {
+    pub fn new(name: &str, dim: usize, eps: f32) -> Self {
+        LayerNorm {
+            gamma: Param::frozen(format!("{name}.gamma"), Tensor::full(&[dim], 1.0)),
+            beta: Param::frozen(format!("{name}.beta"), Tensor::zeros(&[dim])),
+            eps,
+            cache: None,
+        }
+    }
+
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let rows = x.rows();
+        let mut y = Tensor::zeros(x.shape());
+        let mut means = vec![0.0; rows];
+        let mut rstds = vec![0.0; rows];
+        for r in 0..rows {
+            let (m, s) = layernorm_row(
+                x.row(r),
+                self.gamma.value.as_slice(),
+                self.beta.value.as_slice(),
+                self.eps,
+                y.row_mut(r),
+            );
+            means[r] = m;
+            rstds[r] = s;
+        }
+        self.cache = Some(LnCache {
+            x: x.clone(),
+            means,
+            rstds,
+        });
+        y
+    }
+
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("LayerNorm::backward without forward");
+        let rows = dy.rows();
+        let dim = dy.cols();
+        let mut dx = Tensor::zeros(dy.shape());
+        let mut dgamma = vec![0.0f32; dim];
+        let mut dbeta = vec![0.0f32; dim];
+        for r in 0..rows {
+            layernorm_backward_row(
+                cache.x.row(r),
+                dy.row(r),
+                self.gamma.value.as_slice(),
+                cache.means[r],
+                cache.rstds[r],
+                dx.row_mut(r),
+                &mut dgamma,
+                &mut dbeta,
+            );
+        }
+        if self.gamma.trainable {
+            self.gamma.accumulate_grad(&Tensor::from_vec(dgamma, &[dim]));
+        }
+        if self.beta.trainable {
+            self.beta.accumulate_grad(&Tensor::from_vec(dbeta, &[dim]));
+        }
+        dx
+    }
+
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_normalises_each_row() {
+        let mut ln = LayerNorm::new("ln", 8, 1e-5);
+        let x = Tensor::randn(&[4, 8], 2.0, 1);
+        let y = ln.forward(&x);
+        for r in 0..4 {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn backward_dx_matches_finite_difference() {
+        let mut ln = LayerNorm::new("ln", 6, 1e-6);
+        // Non-trivial gamma/beta.
+        ln.gamma.value = Tensor::rand_uniform(&[6], 0.5, 1.5, 2);
+        ln.beta.value = Tensor::randn(&[6], 0.3, 3);
+        let x = Tensor::randn(&[2, 6], 1.0, 4);
+        let dy = Tensor::randn(&[2, 6], 1.0, 5);
+        let _ = ln.forward(&x);
+        let dx = ln.backward(&dy);
+        let loss = |ln: &mut LayerNorm, x: &Tensor| -> f32 {
+            let y = ln.forward(x);
+            y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+        };
+        let h = 1e-3;
+        for idx in [0usize, 4, 9] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += h;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= h;
+            let fd = (loss(&mut ln, &xp) - loss(&mut ln, &xm)) / (2.0 * h);
+            assert!((dx.as_slice()[idx] - fd).abs() < 2e-3, "dx[{idx}]");
+        }
+    }
+
+    #[test]
+    fn bitfit_style_beta_grad_only_when_trainable() {
+        let mut ln = LayerNorm::new("ln", 4, 1e-5);
+        let x = Tensor::randn(&[3, 4], 1.0, 6);
+        let dy = Tensor::randn(&[3, 4], 1.0, 7);
+        let _ = ln.forward(&x);
+        let _ = ln.backward(&dy);
+        assert!(ln.beta.grad.is_none());
+        ln.beta.trainable = true;
+        let _ = ln.forward(&x);
+        let _ = ln.backward(&dy);
+        let dbeta = ln.beta.grad.as_ref().unwrap();
+        // dbeta = column sums of dy.
+        for c in 0..4 {
+            let expect: f32 = (0..3).map(|r| dy.row(r)[c]).sum();
+            assert!((dbeta.as_slice()[c] - expect).abs() < 1e-5);
+        }
+    }
+}

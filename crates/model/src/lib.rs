@@ -1,0 +1,34 @@
+//! Transformer substrate with explicit, hand-written forward/backward passes.
+//!
+//! The paper's analysis (§II-C, §II-D) reasons about exactly where sparsity
+//! enters the backward pass; a tape autograd would hide that. Every module
+//! here caches its forward intermediates and implements `backward` by hand,
+//! so the sparse execution paths (block-sparse attention, neuron-sparse MLP)
+//! can skip precisely the computations the paper proves skippable.
+//!
+//! Execution modes: each forward takes an optional [`SparsePlan`]. `None`
+//! runs the dense baseline (the HuggingFace-PEFT stand-in); `Some(plan)` runs
+//! the Long Exposure path using the per-layer attention layouts and MLP
+//! neuron-block sets the predictors produced for this batch. Modules cache
+//! the layout they ran with, so `backward` needs no plan.
+
+pub mod block;
+pub mod config;
+pub mod embedding;
+pub mod layernorm;
+pub mod linear;
+pub mod loss;
+pub mod mha;
+pub mod mlp;
+pub mod model;
+pub mod optim;
+pub mod param;
+pub mod plan;
+
+pub use config::{Activation, ModelConfig};
+pub use model::{
+    prompt_aware_targets, CaptureConfig, Captures, LayerCapture, LayerPlanner, TransformerModel,
+};
+pub use optim::{clip_grad_norm, Adam, AdamW, LrSchedule, Optimizer, Scheduled, Sgd};
+pub use param::Param;
+pub use plan::{LayerPlan, SparsePlan};

@@ -1,0 +1,280 @@
+//! Dense linear layer with optional LoRA adapter.
+//!
+//! The backbone weight is typically frozen under PEFT; gradients then flow
+//! only into the low-rank pair `(A, B)` exactly as derived in the paper's
+//! §II-C: `dW` is skipped, `dA`/`dB` are computed from the same upstream
+//! gradient that the frozen path propagates to earlier layers.
+
+use crate::param::Param;
+use lx_tensor::gemm::{matmul, matmul_nt, matmul_tn};
+use lx_tensor::ops::{add_bias_rows, bias_grad_rows};
+use lx_tensor::Tensor;
+
+/// LoRA low-rank pair: `ΔW = (α/r)·BᵀA` with `A ∈ r×d_in`, `B ∈ d_out×r`.
+/// `B` starts at zero so fine-tuning begins from the pre-trained function.
+#[derive(Debug)]
+pub struct Lora {
+    pub a: Param,
+    pub b: Param,
+    pub scale: f32,
+    cache_ax: Option<Tensor>,
+}
+
+impl Lora {
+    pub fn new(name_prefix: &str, d_in: usize, d_out: usize, rank: usize, alpha: f32, seed: u64) -> Self {
+        Lora {
+            a: Param::new(
+                format!("{name_prefix}.lora_a"),
+                Tensor::randn(&[rank, d_in], 1.0 / rank as f32, seed),
+                true,
+            ),
+            b: Param::new(format!("{name_prefix}.lora_b"), Tensor::zeros(&[d_out, rank]), true),
+            scale: alpha / rank as f32,
+            cache_ax: None,
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.a.value.shape()[0]
+    }
+}
+
+/// `y = x·W (+ bias) (+ (α/r)·(x·Aᵀ)·Bᵀ)` with weight stored `d_in × d_out`.
+#[derive(Debug)]
+pub struct Linear {
+    pub weight: Param,
+    pub bias: Option<Param>,
+    pub lora: Option<Lora>,
+    cache_x: Option<Tensor>,
+}
+
+impl Linear {
+    /// Xavier-ish init, bias zero, no LoRA.
+    pub fn new(name: &str, d_in: usize, d_out: usize, with_bias: bool, seed: u64) -> Self {
+        let std = (2.0 / (d_in + d_out) as f32).sqrt();
+        Linear {
+            weight: Param::frozen(format!("{name}.weight"), Tensor::randn(&[d_in, d_out], std, seed)),
+            bias: with_bias.then(|| Param::frozen(format!("{name}.bias"), Tensor::zeros(&[d_out]))),
+            lora: None,
+            cache_x: None,
+        }
+    }
+
+    pub fn d_in(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+
+    pub fn d_out(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+
+    /// Attach a LoRA adapter (marks it trainable; backbone stays as-is).
+    pub fn attach_lora(&mut self, rank: usize, alpha: f32, seed: u64) {
+        let name = self.weight.name.trim_end_matches(".weight").to_string();
+        self.lora = Some(Lora::new(&name, self.d_in(), self.d_out(), rank, alpha, seed));
+    }
+
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut y = matmul(x, &self.weight.value);
+        if let Some(bias) = &self.bias {
+            add_bias_rows(&mut y, bias.value.as_slice());
+        }
+        if let Some(lora) = &mut self.lora {
+            let ax = matmul_nt(x, &lora.a.value); // [rows, r]
+            let delta = matmul_nt(&ax, &lora.b.value); // [rows, d_out]
+            y.axpy(lora.scale, &delta);
+            lora.cache_ax = Some(ax);
+        }
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    /// Backward: returns `dx`; accumulates grads into trainable params.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("Linear::backward without forward");
+        let mut dx = matmul_nt(dy, &self.weight.value); // dy · Wᵀ
+        if self.weight.trainable {
+            let dw = matmul_tn(&x, dy); // xᵀ · dy
+            self.weight.accumulate_grad(&dw);
+        }
+        if let Some(bias) = &mut self.bias {
+            if bias.trainable {
+                bias_grad_rows(dy, bias.grad_mut().as_mut_slice());
+            }
+        }
+        if let Some(lora) = &mut self.lora {
+            let ax = lora.cache_ax.take().expect("LoRA cache missing");
+            // d(ax) = (α/r) · dy · B
+            let mut dax = matmul(dy, &lora.b.value);
+            dax.scale(lora.scale);
+            if lora.b.trainable {
+                // dB = (α/r) · dyᵀ · ax
+                let mut db = matmul_tn(dy, &ax);
+                db.scale(lora.scale);
+                lora.b.accumulate_grad(&db);
+            }
+            if lora.a.trainable {
+                // dA = d(ax)ᵀ · x
+                let da = matmul_tn(&dax, &x);
+                lora.a.accumulate_grad(&da);
+            }
+            // dx += d(ax) · A
+            let dx_lora = matmul(&dax, &lora.a.value);
+            dx.add_assign(&dx_lora);
+        }
+        dx
+    }
+
+    /// Visit every parameter (weight, bias, LoRA pair).
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+        if let Some(l) = &mut self.lora {
+            f(&mut l.a);
+            f(&mut l.b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_loss(lin: &mut Linear, x: &Tensor, dy: &Tensor) -> f32 {
+        let y = lin.forward(x);
+        y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn forward_shapes_and_bias() {
+        let mut lin = Linear::new("l", 4, 3, true, 1);
+        lin.bias.as_mut().unwrap().value.as_mut_slice()[2] = 7.0;
+        let x = Tensor::zeros(&[2, 4]);
+        let y = lin.forward(&x);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.as_slice()[2], 7.0);
+    }
+
+    #[test]
+    fn frozen_weight_gets_no_grad() {
+        let mut lin = Linear::new("l", 4, 3, true, 2);
+        let x = Tensor::randn(&[5, 4], 1.0, 3);
+        let y = lin.forward(&x);
+        let dy = Tensor::randn(y.shape(), 1.0, 4);
+        let _ = lin.backward(&dy);
+        assert!(lin.weight.grad.is_none(), "frozen weight must not allocate grads");
+    }
+
+    #[test]
+    fn trainable_weight_grad_matches_finite_difference() {
+        let mut lin = Linear::new("l", 3, 2, false, 5);
+        lin.weight.trainable = true;
+        let x = Tensor::randn(&[4, 3], 1.0, 6);
+        let dy = Tensor::randn(&[4, 2], 1.0, 7);
+        let _ = lin.forward(&x);
+        let _ = lin.backward(&dy);
+        let analytic = lin.weight.grad.as_ref().unwrap().clone();
+        let h = 1e-3;
+        for idx in [0usize, 3, 5] {
+            let orig = lin.weight.value.as_slice()[idx];
+            lin.weight.value.as_mut_slice()[idx] = orig + h;
+            let lp = finite_diff_loss(&mut lin, &x, &dy);
+            lin.weight.value.as_mut_slice()[idx] = orig - h;
+            let lm = finite_diff_loss(&mut lin, &x, &dy);
+            lin.weight.value.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (analytic.as_slice()[idx] - fd).abs() < 1e-2,
+                "idx {idx}: {} vs {fd}",
+                analytic.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn lora_starts_as_identity_delta() {
+        let mut plain = Linear::new("l", 6, 6, true, 8);
+        let x = Tensor::randn(&[3, 6], 1.0, 9);
+        let y0 = plain.forward(&x);
+        plain.attach_lora(2, 4.0, 10);
+        let y1 = plain.forward(&x);
+        assert_eq!(y0, y1, "B=0 means LoRA is a no-op at init");
+    }
+
+    #[test]
+    fn lora_grads_match_finite_difference() {
+        let mut lin = Linear::new("l", 4, 4, false, 11);
+        lin.attach_lora(2, 2.0, 12);
+        // Give B nonzero values so dA is informative.
+        {
+            let lora = lin.lora.as_mut().unwrap();
+            let vals = lx_tensor::rng::randn_vec(lora.b.value.len(), 0.3, 13);
+            lora.b.value.as_mut_slice().copy_from_slice(&vals);
+        }
+        let x = Tensor::randn(&[5, 4], 1.0, 14);
+        let dy = Tensor::randn(&[5, 4], 1.0, 15);
+        let _ = lin.forward(&x);
+        let _ = lin.backward(&dy);
+        let da = lin.lora.as_ref().unwrap().a.grad.as_ref().unwrap().clone();
+        let db = lin.lora.as_ref().unwrap().b.grad.as_ref().unwrap().clone();
+        let h = 1e-3;
+        for idx in [0usize, 3, 7] {
+            let orig = lin.lora.as_ref().unwrap().a.value.as_slice()[idx];
+            lin.lora.as_mut().unwrap().a.value.as_mut_slice()[idx] = orig + h;
+            let lp = finite_diff_loss(&mut lin, &x, &dy);
+            lin.lora.as_mut().unwrap().a.value.as_mut_slice()[idx] = orig - h;
+            let lm = finite_diff_loss(&mut lin, &x, &dy);
+            lin.lora.as_mut().unwrap().a.value.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((da.as_slice()[idx] - fd).abs() < 1e-2, "dA[{idx}]");
+        }
+        for idx in [0usize, 2, 5] {
+            let orig = lin.lora.as_ref().unwrap().b.value.as_slice()[idx];
+            lin.lora.as_mut().unwrap().b.value.as_mut_slice()[idx] = orig + h;
+            let lp = finite_diff_loss(&mut lin, &x, &dy);
+            lin.lora.as_mut().unwrap().b.value.as_mut_slice()[idx] = orig - h;
+            let lm = finite_diff_loss(&mut lin, &x, &dy);
+            lin.lora.as_mut().unwrap().b.value.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((db.as_slice()[idx] - fd).abs() < 1e-2, "dB[{idx}]");
+        }
+    }
+
+    #[test]
+    fn dx_includes_lora_path() {
+        let mut lin = Linear::new("l", 4, 4, false, 16);
+        lin.attach_lora(2, 2.0, 17);
+        {
+            let lora = lin.lora.as_mut().unwrap();
+            let vals = lx_tensor::rng::randn_vec(lora.b.value.len(), 0.5, 18);
+            lora.b.value.as_mut_slice().copy_from_slice(&vals);
+        }
+        let x = Tensor::randn(&[2, 4], 1.0, 19);
+        let dy = Tensor::randn(&[2, 4], 1.0, 20);
+        let _ = lin.forward(&x);
+        let dx = lin.backward(&dy);
+        // Finite difference on x itself.
+        let h = 1e-3;
+        for idx in [0usize, 5] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += h;
+            let lp = finite_diff_loss(&mut lin, &xp, &dy);
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= h;
+            let lm = finite_diff_loss(&mut lin, &xm, &dy);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((dx.as_slice()[idx] - fd).abs() < 1e-2, "dx[{idx}]");
+        }
+    }
+
+    #[test]
+    fn param_visitor_sees_all() {
+        let mut lin = Linear::new("l", 4, 4, true, 21);
+        lin.attach_lora(2, 2.0, 22);
+        let mut names = Vec::new();
+        lin.for_each_param(&mut |p| names.push(p.name.clone()));
+        assert_eq!(names, vec!["l.weight", "l.bias", "l.lora_a", "l.lora_b"]);
+    }
+}

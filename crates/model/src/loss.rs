@@ -1,0 +1,142 @@
+//! Causal-LM cross-entropy with ignore-index support (prompt positions and
+//! padding are excluded from the loss).
+
+use lx_tensor::ops::softmax_row;
+use lx_tensor::Tensor;
+
+/// Target id meaning "do not score this position".
+pub const IGNORE_INDEX: i32 = -1;
+
+/// Mean cross-entropy over non-ignored positions.
+///
+/// Returns `(loss, dlogits)` where `dlogits = (softmax − onehot) / n_counted`
+/// — ready to feed straight into the model's backward pass.
+pub fn cross_entropy(logits: &Tensor, targets: &[i32]) -> (f32, Tensor) {
+    let rows = logits.rows();
+    let vocab = logits.cols();
+    assert_eq!(targets.len(), rows, "one target per logit row");
+    let counted = targets.iter().filter(|&&t| t != IGNORE_INDEX).count();
+    let mut dlogits = Tensor::zeros(logits.shape());
+    if counted == 0 {
+        return (0.0, dlogits);
+    }
+    let inv = 1.0 / counted as f32;
+    let mut loss = 0.0f64;
+    for r in 0..rows {
+        let t = targets[r];
+        if t == IGNORE_INDEX {
+            continue; // dlogits row stays zero
+        }
+        assert!((t as usize) < vocab, "target {t} out of vocab {vocab}");
+        let mut probs = logits.row(r).to_vec();
+        softmax_row(&mut probs);
+        loss -= (probs[t as usize].max(1e-12) as f64).ln();
+        let drow = dlogits.row_mut(r);
+        for (o, &p) in drow.iter_mut().zip(&probs) {
+            *o = p * inv;
+        }
+        drow[t as usize] -= inv;
+    }
+    ((loss / counted as f64) as f32, dlogits)
+}
+
+/// Sum of log-probabilities of `targets` under `logits` at non-ignored rows
+/// (the lm-eval-style candidate-scoring primitive used by Table IV).
+pub fn sequence_logprob(logits: &Tensor, targets: &[i32]) -> f32 {
+    let rows = logits.rows();
+    assert_eq!(targets.len(), rows);
+    let mut total = 0.0f64;
+    for r in 0..rows {
+        let t = targets[r];
+        if t == IGNORE_INDEX {
+            continue;
+        }
+        let mut probs = logits.row(r).to_vec();
+        softmax_row(&mut probs);
+        total += (probs[t as usize].max(1e-12) as f64).ln();
+    }
+    total as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_vocab() {
+        let logits = Tensor::zeros(&[3, 8]);
+        let targets = vec![0, 3, 7];
+        let (loss, _) = cross_entropy(&logits, &targets);
+        assert!((loss - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_gives_near_zero_loss() {
+        let mut logits = Tensor::zeros(&[2, 4]);
+        logits.row_mut(0)[1] = 50.0;
+        logits.row_mut(1)[2] = 50.0;
+        let (loss, _) = cross_entropy(&logits, &[1, 2]);
+        assert!(loss < 1e-4, "loss {loss}");
+    }
+
+    #[test]
+    fn ignored_rows_contribute_nothing() {
+        let mut logits = Tensor::zeros(&[3, 4]);
+        logits.row_mut(2)[0] = 100.0; // would be terrible for target 3
+        let (loss_a, grad) = cross_entropy(&logits, &[0, 1, IGNORE_INDEX]);
+        let logits2 = Tensor::from_vec(logits.as_slice()[..8].to_vec(), &[2, 4]);
+        let (loss_b, _) = cross_entropy(&logits2, &[0, 1]);
+        assert!((loss_a - loss_b).abs() < 1e-6);
+        assert!(grad.row(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::randn(&[2, 5], 1.0, 1);
+        let targets = vec![3, 0];
+        let (_, grad) = cross_entropy(&logits, &targets);
+        let h = 1e-3;
+        for idx in [0usize, 4, 8] {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += h;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= h;
+            let (fp, _) = cross_entropy(&lp, &targets);
+            let (fm, _) = cross_entropy(&lm, &targets);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (grad.as_slice()[idx] - fd).abs() < 1e-3,
+                "idx {idx}: {} vs {fd}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let logits = Tensor::randn(&[4, 6], 1.0, 2);
+        let (_, grad) = cross_entropy(&logits, &[0, 5, 2, 1]);
+        for r in 0..4 {
+            let sum: f32 = grad.row(r).iter().sum();
+            assert!(sum.abs() < 1e-5, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn sequence_logprob_prefers_correct_tokens() {
+        let mut logits = Tensor::zeros(&[2, 4]);
+        logits.row_mut(0)[1] = 5.0;
+        logits.row_mut(1)[2] = 5.0;
+        let good = sequence_logprob(&logits, &[1, 2]);
+        let bad = sequence_logprob(&logits, &[0, 3]);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn all_ignored_is_zero_loss() {
+        let logits = Tensor::randn(&[2, 4], 1.0, 3);
+        let (loss, grad) = cross_entropy(&logits, &[IGNORE_INDEX, IGNORE_INDEX]);
+        assert_eq!(loss, 0.0);
+        assert!(grad.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,703 @@
+//! MLP block with dense and neuron-block-sparse paths.
+//!
+//! Weight storage follows the paper's memory-coalescing layout (§VI-B):
+//! FC1 is kept *neuron-major* (`w1[d_ff, d]`, i.e. column-major relative to
+//! the conventional `d × d_ff` matrix) and FC2 row-major (`w2[d_ff, d]`), so
+//! an active neuron block is a contiguous slab in **both** matrices and no
+//! format conversion ever happens at runtime.
+//!
+//! LoRA can attach to both linears. In the sparse path, only the active-block
+//! rows of the LoRA `B` matrices participate — demonstrating the paper's
+//! §II-D result that forward-inactive parameters receive no gradient.
+
+use crate::config::Activation;
+use crate::param::Param;
+use lx_sparse::neuron::{
+    fc1_backward_input, fc1_forward, fc1_grad_weights, fc2_backward_input, fc2_forward,
+    fc2_grad_weights,
+};
+use lx_sparse::NeuronBlockSet;
+use lx_tensor::gemm::{matmul, matmul_nt, matmul_tn};
+use lx_tensor::ops::{
+    add_bias_rows, bias_grad_rows, gelu_backward, gelu_inplace, relu_backward, relu_inplace,
+};
+use lx_tensor::Tensor;
+use std::sync::Arc;
+
+/// LoRA pair for an MLP linear. Shape semantics depend on the attach site —
+/// see [`MlpBlock::attach_lora_fc1`] / [`MlpBlock::attach_lora_fc2`].
+#[derive(Debug)]
+pub struct MlpLora {
+    pub a: Param,
+    pub b: Param,
+    pub scale: f32,
+    cache_ax: Option<Tensor>,
+}
+
+#[derive(Debug)]
+pub struct MlpBlock {
+    /// FC1, neuron-major `[d_ff, d]`: row `n` = input weights of neuron `n`.
+    pub w1: Param,
+    pub b1: Param,
+    /// FC2, row-major `[d_ff, d]`: row `n` = output weights of neuron `n`.
+    pub w2: Param,
+    pub b2: Param,
+    /// LoRA on FC1: `a ∈ [r, d]`, `b ∈ [d_ff, r]` (row per neuron).
+    pub lora1: Option<MlpLora>,
+    /// LoRA on FC2: `a ∈ [d_ff, r]` (row per neuron, pre-transposed), `b ∈ [d, r]`.
+    pub lora2: Option<MlpLora>,
+    pub activation: Activation,
+    d_model: usize,
+    d_ff: usize,
+    cache: Option<MlpCache>,
+}
+
+#[derive(Debug)]
+struct MlpCache {
+    x: Tensor,
+    /// Pre-activation; compact `rows × active_neurons` in sparse mode.
+    z: Tensor,
+    /// Post-activation, same width as `z`.
+    a: Tensor,
+    set: Option<Arc<NeuronBlockSet>>,
+    ax1: Option<Tensor>,
+    ax2: Option<Tensor>,
+}
+
+impl MlpBlock {
+    pub fn new(name: &str, d_model: usize, d_ff: usize, activation: Activation, seed: u64) -> Self {
+        let std1 = (2.0 / (d_model + d_ff) as f32).sqrt();
+        MlpBlock {
+            w1: Param::frozen(format!("{name}.w1"), Tensor::randn(&[d_ff, d_model], std1, seed)),
+            b1: Param::frozen(format!("{name}.b1"), Tensor::zeros(&[d_ff])),
+            w2: Param::frozen(
+                format!("{name}.w2"),
+                Tensor::randn(&[d_ff, d_model], std1, seed + 1),
+            ),
+            b2: Param::frozen(format!("{name}.b2"), Tensor::zeros(&[d_model])),
+            lora1: None,
+            lora2: None,
+            activation,
+            d_model,
+            d_ff,
+            cache: None,
+        }
+    }
+
+    pub fn d_ff(&self) -> usize {
+        self.d_ff
+    }
+
+    pub fn attach_lora_fc1(&mut self, rank: usize, alpha: f32, seed: u64) {
+        self.lora1 = Some(MlpLora {
+            a: Param::new(
+                format!("{}.lora_a", self.w1.name),
+                Tensor::randn(&[rank, self.d_model], 1.0 / rank as f32, seed),
+                true,
+            ),
+            b: Param::new(
+                format!("{}.lora_b", self.w1.name),
+                Tensor::zeros(&[self.d_ff, rank]),
+                true,
+            ),
+            scale: alpha / rank as f32,
+            cache_ax: None,
+        });
+    }
+
+    pub fn attach_lora_fc2(&mut self, rank: usize, alpha: f32, seed: u64) {
+        self.lora2 = Some(MlpLora {
+            a: Param::new(
+                format!("{}.lora_a", self.w2.name),
+                Tensor::randn(&[self.d_ff, rank], 1.0 / rank as f32, seed),
+                true,
+            ),
+            b: Param::new(
+                format!("{}.lora_b", self.w2.name),
+                Tensor::zeros(&[self.d_model, rank]),
+                true,
+            ),
+            scale: alpha / rank as f32,
+            cache_ax: None,
+        });
+    }
+
+    fn activate(&self, z: &Tensor) -> Tensor {
+        let mut a = z.clone();
+        match self.activation {
+            Activation::Relu => relu_inplace(a.as_mut_slice()),
+            Activation::Gelu => gelu_inplace(a.as_mut_slice()),
+        }
+        a
+    }
+
+    fn activate_backward(&self, da: &Tensor, z: &Tensor) -> Tensor {
+        let mut dz = Tensor::zeros(z.shape());
+        match self.activation {
+            Activation::Relu => relu_backward(da.as_slice(), z.as_slice(), dz.as_mut_slice()),
+            Activation::Gelu => gelu_backward(da.as_slice(), z.as_slice(), dz.as_mut_slice()),
+        }
+        dz
+    }
+
+    pub fn forward(&mut self, x: &Tensor, set: Option<&Arc<NeuronBlockSet>>) -> Tensor {
+        match set {
+            None => self.forward_dense(x),
+            Some(set) => self.forward_sparse(x, set.clone()),
+        }
+    }
+
+    fn forward_dense(&mut self, x: &Tensor) -> Tensor {
+        let rows = x.rows();
+        // z = x·W1ᵀ(stored) + b1  (+ LoRA1)
+        let mut z = matmul_nt(x, &self.w1.value);
+        add_bias_rows(&mut z, self.b1.value.as_slice());
+        let mut ax1 = None;
+        if let Some(l) = &mut self.lora1 {
+            let ax = matmul_nt(x, &l.a.value); // [rows, r]
+            let delta = matmul_nt(&ax, &l.b.value); // [rows, d_ff]
+            z.axpy(l.scale, &delta);
+            ax1 = Some(ax.clone());
+            l.cache_ax = Some(ax);
+        }
+        let a = self.activate(&z);
+        // y = a·W2 + b2  (+ LoRA2)
+        let mut y = matmul(&a, &self.w2.value);
+        add_bias_rows(&mut y, self.b2.value.as_slice());
+        let mut ax2 = None;
+        if let Some(l) = &mut self.lora2 {
+            let ax = matmul(&a, &l.a.value); // [rows, r]
+            let delta = matmul_nt(&ax, &l.b.value); // [rows, d]
+            y.axpy(l.scale, &delta);
+            ax2 = Some(ax.clone());
+            l.cache_ax = Some(ax);
+        }
+        debug_assert_eq!(y.rows(), rows);
+        self.cache = Some(MlpCache {
+            x: x.clone(),
+            z,
+            a,
+            set: None,
+            ax1,
+            ax2,
+        });
+        y
+    }
+
+    fn forward_sparse(&mut self, x: &Tensor, set: Arc<NeuronBlockSet>) -> Tensor {
+        assert_eq!(
+            set.total_neurons(),
+            self.d_ff,
+            "neuron block grid must cover d_ff"
+        );
+        assert_eq!(
+            self.activation,
+            Activation::Relu,
+            "neuron sparsity requires ReLU (paper §II-B)"
+        );
+        let rows = x.rows();
+        let width = set.active_neurons();
+        let mut z = Tensor::zeros(&[rows, width]);
+        fc1_forward(
+            x.as_slice(),
+            rows,
+            self.w1.value.as_slice(),
+            self.d_model,
+            Some(self.b1.value.as_slice()),
+            &set,
+            z.as_mut_slice(),
+        );
+        let mut ax1 = None;
+        if let Some(l) = &mut self.lora1 {
+            let ax = matmul_nt(x, &l.a.value); // [rows, r]
+            let r = ax.cols();
+            // z[row, compact(n)] += scale · ⟨ax_row, B1_row(n)⟩, active only.
+            for row in 0..rows {
+                let ax_row = ax.row(row);
+                let z_row = z.row_mut(row);
+                for (ci, &blk) in set.active.iter().enumerate() {
+                    for t in 0..set.block_size {
+                        let n = blk as usize * set.block_size + t;
+                        let b_row = &l.b.value.as_slice()[n * r..(n + 1) * r];
+                        let dot: f32 = ax_row.iter().zip(b_row).map(|(u, v)| u * v).sum();
+                        z_row[ci * set.block_size + t] += l.scale * dot;
+                    }
+                }
+            }
+            ax1 = Some(ax.clone());
+            l.cache_ax = Some(ax);
+        }
+        let a = self.activate(&z);
+        let mut y = Tensor::zeros(&[rows, self.d_model]);
+        fc2_forward(
+            a.as_slice(),
+            rows,
+            self.w2.value.as_slice(),
+            self.d_model,
+            Some(self.b2.value.as_slice()),
+            &set,
+            y.as_mut_slice(),
+        );
+        let mut ax2 = None;
+        if let Some(l) = &mut self.lora2 {
+            let r = l.b.value.shape()[1];
+            // ax2[row,:] = Σ_active a[row, compact(n)] · A2ᵀ_row(n)
+            let mut ax = Tensor::zeros(&[rows, r]);
+            for row in 0..rows {
+                let a_row = a.row(row);
+                let ax_row = ax.row_mut(row);
+                for (ci, &blk) in set.active.iter().enumerate() {
+                    for t in 0..set.block_size {
+                        let n = blk as usize * set.block_size + t;
+                        let av = a_row[ci * set.block_size + t];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let a2_row = &l.a.value.as_slice()[n * r..(n + 1) * r];
+                        for (o, &v) in ax_row.iter_mut().zip(a2_row) {
+                            *o += av * v;
+                        }
+                    }
+                }
+            }
+            let delta = matmul_nt(&ax, &l.b.value); // [rows, d]
+            y.axpy(l.scale, &delta);
+            ax2 = Some(ax.clone());
+            l.cache_ax = Some(ax);
+        }
+        self.cache = Some(MlpCache {
+            x: x.clone(),
+            z,
+            a,
+            set: Some(set),
+            ax1,
+            ax2,
+        });
+        y
+    }
+
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("MLP backward without forward");
+        match &cache.set {
+            None => self.backward_dense(dy, &cache),
+            Some(set) => self.backward_sparse(dy, &cache, set.clone()),
+        }
+    }
+
+    fn backward_dense(&mut self, dy: &Tensor, cache: &MlpCache) -> Tensor {
+        // FC2 (+ LoRA2).
+        let mut da = matmul(dy, &self.w2.value.transposed_2d());
+        if let Some(l) = &mut self.lora2 {
+            let ax = cache.ax2.as_ref().expect("lora2 cache");
+            let mut dax = matmul(dy, &l.b.value); // [rows, r]
+            dax.scale(l.scale);
+            if l.b.trainable {
+                let mut db = matmul_tn(dy, ax);
+                db.scale(l.scale);
+                l.b.accumulate_grad(&db);
+            }
+            if l.a.trainable {
+                let dat = matmul_tn(&cache.a, &dax); // [d_ff, r]
+                l.a.accumulate_grad(&dat);
+            }
+            da.add_assign(&matmul_nt(&dax, &l.a.value));
+        }
+        if self.b2.trainable {
+            bias_grad_rows(dy, self.b2.grad_mut().as_mut_slice());
+        }
+        if self.w2.trainable {
+            let dw2 = matmul_tn(&cache.a, dy); // [d_ff, d]
+            self.w2.accumulate_grad(&dw2);
+        }
+        // Activation.
+        let dz = self.activate_backward(&da, &cache.z);
+        // FC1 (+ LoRA1).
+        if self.b1.trainable {
+            bias_grad_rows(&dz, self.b1.grad_mut().as_mut_slice());
+        }
+        if self.w1.trainable {
+            let dw1 = matmul_tn(&dz, &cache.x); // [d_ff, d]
+            self.w1.accumulate_grad(&dw1);
+        }
+        let mut dx = matmul(&dz, &self.w1.value); // dz · W1(stored [d_ff,d])
+        if let Some(l) = &mut self.lora1 {
+            let ax = cache.ax1.as_ref().expect("lora1 cache");
+            let mut dax = matmul(&dz, &l.b.value); // [rows, r]
+            dax.scale(l.scale);
+            if l.b.trainable {
+                let mut db = matmul_tn(&dz, ax); // [d_ff, r]
+                db.scale(l.scale);
+                l.b.accumulate_grad(&db);
+            }
+            if l.a.trainable {
+                let da1 = matmul_tn(&dax, &cache.x); // [r, d]
+                l.a.accumulate_grad(&da1);
+            }
+            dx.add_assign(&matmul(&dax, &l.a.value));
+        }
+        dx
+    }
+
+    fn backward_sparse(&mut self, dy: &Tensor, cache: &MlpCache, set: Arc<NeuronBlockSet>) -> Tensor {
+        let rows = dy.rows();
+        let width = set.active_neurons();
+        let bsz = set.block_size;
+        // FC2 backward to compact dA.
+        let mut da = Tensor::zeros(&[rows, width]);
+        fc2_backward_input(
+            dy.as_slice(),
+            rows,
+            self.w2.value.as_slice(),
+            self.d_model,
+            &set,
+            da.as_mut_slice(),
+        );
+        if let Some(l) = &mut self.lora2 {
+            let ax = cache.ax2.as_ref().expect("lora2 cache");
+            let r = l.b.value.shape()[1];
+            let mut dax = matmul(dy, &l.b.value);
+            dax.scale(l.scale);
+            if l.b.trainable {
+                let mut db = matmul_tn(dy, ax);
+                db.scale(l.scale);
+                l.b.accumulate_grad(&db);
+            }
+            if l.a.trainable {
+                // dA2ᵀ_row(n) += Σ_rows a[row, compact(n)] · dax[row,:] — active rows only.
+                let g = l.a.grad_mut();
+                for row in 0..rows {
+                    let a_row = cache.a.row(row);
+                    let dax_row = dax.row(row);
+                    for (ci, &blk) in set.active.iter().enumerate() {
+                        for t in 0..bsz {
+                            let n = blk as usize * bsz + t;
+                            let av = a_row[ci * bsz + t];
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let dst = &mut g.as_mut_slice()[n * r..(n + 1) * r];
+                            for (o, &v) in dst.iter_mut().zip(dax_row) {
+                                *o += av * v;
+                            }
+                        }
+                    }
+                }
+            }
+            // da[row, compact(n)] += ⟨dax_row, A2ᵀ_row(n)⟩
+            for row in 0..rows {
+                let dax_row = dax.row(row);
+                let da_row = da.row_mut(row);
+                for (ci, &blk) in set.active.iter().enumerate() {
+                    for t in 0..bsz {
+                        let n = blk as usize * bsz + t;
+                        let a2_row = &l.a.value.as_slice()[n * r..(n + 1) * r];
+                        let dot: f32 = dax_row.iter().zip(a2_row).map(|(u, v)| u * v).sum();
+                        da_row[ci * bsz + t] += dot;
+                    }
+                }
+            }
+        }
+        if self.b2.trainable {
+            bias_grad_rows(dy, self.b2.grad_mut().as_mut_slice());
+        }
+        if self.w2.trainable {
+            fc2_grad_weights(
+                cache.a.as_slice(),
+                dy.as_slice(),
+                rows,
+                self.d_model,
+                &set,
+                self.w2.grad_mut().as_mut_slice(),
+            );
+        }
+        // Activation backward on the compact buffers.
+        let dz = self.activate_backward(&da, &cache.z);
+        // FC1 grads — active blocks only (§II-D).
+        if self.b1.trainable {
+            let g = self.b1.grad_mut();
+            for row in 0..rows {
+                let dz_row = dz.row(row);
+                for (ci, &blk) in set.active.iter().enumerate() {
+                    for t in 0..bsz {
+                        g.as_mut_slice()[blk as usize * bsz + t] += dz_row[ci * bsz + t];
+                    }
+                }
+            }
+        }
+        if self.w1.trainable {
+            fc1_grad_weights(
+                cache.x.as_slice(),
+                dz.as_slice(),
+                rows,
+                self.d_model,
+                &set,
+                self.w1.grad_mut().as_mut_slice(),
+                None,
+            );
+        }
+        let mut dx = Tensor::zeros(&[rows, self.d_model]);
+        fc1_backward_input(
+            dz.as_slice(),
+            rows,
+            self.w1.value.as_slice(),
+            self.d_model,
+            &set,
+            dx.as_mut_slice(),
+        );
+        if let Some(l) = &mut self.lora1 {
+            let ax = cache.ax1.as_ref().expect("lora1 cache");
+            let r = l.b.value.shape()[1];
+            // dax[row,:] = scale · Σ_active dz[row, compact(n)] · B1_row(n)
+            let mut dax = Tensor::zeros(&[rows, r]);
+            for row in 0..rows {
+                let dz_row = dz.row(row);
+                let dax_row = dax.row_mut(row);
+                for (ci, &blk) in set.active.iter().enumerate() {
+                    for t in 0..bsz {
+                        let g = dz_row[ci * bsz + t];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        let n = blk as usize * bsz + t;
+                        let b_row = &l.b.value.as_slice()[n * r..(n + 1) * r];
+                        for (o, &v) in dax_row.iter_mut().zip(b_row) {
+                            *o += l.scale * g * v;
+                        }
+                    }
+                }
+            }
+            if l.b.trainable {
+                // dB1_row(n) += scale · Σ_rows dz[row, compact(n)] · ax[row,:]
+                // — inactive neuron rows receive nothing (§II-D).
+                let g = l.b.grad_mut();
+                for row in 0..rows {
+                    let dz_row = dz.row(row);
+                    let ax_row = ax.row(row);
+                    for (ci, &blk) in set.active.iter().enumerate() {
+                        for t in 0..bsz {
+                            let gv = dz_row[ci * bsz + t];
+                            if gv == 0.0 {
+                                continue;
+                            }
+                            let n = blk as usize * bsz + t;
+                            let dst = &mut g.as_mut_slice()[n * r..(n + 1) * r];
+                            for (o, &v) in dst.iter_mut().zip(ax_row) {
+                                *o += l.scale * gv * v;
+                            }
+                        }
+                    }
+                }
+            }
+            if l.a.trainable {
+                let da1 = matmul_tn(&dax, &cache.x);
+                l.a.accumulate_grad(&da1);
+            }
+            dx.add_assign(&matmul(&dax, &l.a.value));
+        }
+        dx
+    }
+
+    /// Post-activation values of the last dense forward (calibration capture).
+    pub fn cached_activations(&self) -> Option<&Tensor> {
+        self.cache.as_ref().map(|c| &c.a)
+    }
+
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w1);
+        f(&mut self.b1);
+        f(&mut self.w2);
+        f(&mut self.b2);
+        if let Some(l) = &mut self.lora1 {
+            f(&mut l.a);
+            f(&mut l.b);
+        }
+        if let Some(l) = &mut self.lora2 {
+            f(&mut l.a);
+            f(&mut l.b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: usize = 8;
+    const FF: usize = 16;
+    const ROWS: usize = 6;
+    const BLK: usize = 4;
+
+    fn mlp() -> MlpBlock {
+        MlpBlock::new("mlp", D, FF, Activation::Relu, 7)
+    }
+
+    fn all_set() -> Arc<NeuronBlockSet> {
+        Arc::new(NeuronBlockSet::all(FF / BLK, BLK))
+    }
+
+    #[test]
+    fn sparse_all_blocks_matches_dense() {
+        let x = Tensor::randn(&[ROWS, D], 1.0, 1);
+        let mut dense = mlp();
+        let mut sparse = mlp();
+        let yd = dense.forward(&x, None);
+        let ys = sparse.forward(&x, Some(&all_set()));
+        for (a, b) in yd.as_slice().iter().zip(ys.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        // Backward too, with trainable biases (BitFit-style).
+        dense.b1.trainable = true;
+        dense.b2.trainable = true;
+        sparse.b1.trainable = true;
+        sparse.b2.trainable = true;
+        let dy = Tensor::randn(&[ROWS, D], 1.0, 2);
+        let _ = dense.forward(&x, None);
+        let dxd = dense.backward(&dy);
+        let _ = sparse.forward(&x, Some(&all_set()));
+        let dxs = sparse.backward(&dy);
+        for (a, b) in dxd.as_slice().iter().zip(dxs.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "dx {a} vs {b}");
+        }
+        let g1 = dense.b1.grad.as_ref().unwrap();
+        let g2 = sparse.b1.grad.as_ref().unwrap();
+        for (a, b) in g1.as_slice().iter().zip(g2.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "db1 {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn partial_set_equals_dense_with_masked_neurons() {
+        let x = Tensor::randn(&[ROWS, D], 1.0, 3);
+        let set = Arc::new(NeuronBlockSet::from_indices(vec![0, 2], FF / BLK, BLK));
+        let mut sparse = mlp();
+        let ys = sparse.forward(&x, Some(&set));
+        // Dense reference: zero the inactive neurons' FC2 rows.
+        let mut dense = mlp();
+        for n in 0..FF {
+            let blk = n / BLK;
+            if !set.active.contains(&(blk as u32)) {
+                dense.w2.value.as_mut_slice()[n * D..(n + 1) * D].fill(0.0);
+            }
+        }
+        let yd = dense.forward(&x, None);
+        for (a, b) in ys.as_slice().iter().zip(yd.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn inactive_lora_b_rows_get_no_gradient() {
+        // The §II-D property: neurons outside the active set contribute no
+        // gradient to their LoRA-B rows.
+        let x = Tensor::randn(&[ROWS, D], 1.0, 4);
+        let dy = Tensor::randn(&[ROWS, D], 1.0, 5);
+        let set = Arc::new(NeuronBlockSet::from_indices(vec![1], FF / BLK, BLK));
+        let mut m = mlp();
+        m.attach_lora_fc1(2, 4.0, 6);
+        let _ = m.forward(&x, Some(&set));
+        let _ = m.backward(&dy);
+        let db = m.lora1.as_ref().unwrap().b.grad.as_ref().unwrap();
+        let r = 2;
+        for n in 0..FF {
+            let active = (4..8).contains(&n);
+            let row_nonzero = db.as_slice()[n * r..(n + 1) * r].iter().any(|&v| v != 0.0);
+            if !active {
+                assert!(!row_nonzero, "inactive neuron {n} must have zero dB row");
+            }
+        }
+        // At least one active row must have gradient (ReLU keeps some on).
+        let any_active_grad = (4..8).any(|n| {
+            db.as_slice()[n * r..(n + 1) * r].iter().any(|&v| v != 0.0)
+        });
+        assert!(any_active_grad);
+    }
+
+    #[test]
+    fn dense_lora_grads_match_finite_difference() {
+        let mut m = mlp();
+        m.attach_lora_fc1(2, 2.0, 8);
+        m.attach_lora_fc2(2, 2.0, 9);
+        // Non-zero B so the A-grads are informative.
+        for l in [m.lora1.as_mut().unwrap(), m.lora2.as_mut().unwrap()] {
+            let vals = lx_tensor::rng::randn_vec(l.b.value.len(), 0.2, 10);
+            l.b.value.as_mut_slice().copy_from_slice(&vals);
+        }
+        let x = Tensor::randn(&[4, D], 0.8, 11);
+        let dy = Tensor::randn(&[4, D], 1.0, 12);
+        let _ = m.forward(&x, None);
+        let _ = m.backward(&dy);
+        let loss = |m: &mut MlpBlock, x: &Tensor| -> f32 {
+            let y = m.forward(x, None);
+            m.cache = None;
+            y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+        };
+        let h = 1e-3;
+        // Check a few entries of each LoRA param.
+        for which in 0..4 {
+            let grad = match which {
+                0 => m.lora1.as_ref().unwrap().a.grad.as_ref().unwrap().clone(),
+                1 => m.lora1.as_ref().unwrap().b.grad.as_ref().unwrap().clone(),
+                2 => m.lora2.as_ref().unwrap().a.grad.as_ref().unwrap().clone(),
+                _ => m.lora2.as_ref().unwrap().b.grad.as_ref().unwrap().clone(),
+            };
+            for idx in [0usize, 3] {
+                let read = |m: &MlpBlock| match which {
+                    0 => m.lora1.as_ref().unwrap().a.value.as_slice()[idx],
+                    1 => m.lora1.as_ref().unwrap().b.value.as_slice()[idx],
+                    2 => m.lora2.as_ref().unwrap().a.value.as_slice()[idx],
+                    _ => m.lora2.as_ref().unwrap().b.value.as_slice()[idx],
+                };
+                let write = |m: &mut MlpBlock, v: f32| match which {
+                    0 => m.lora1.as_mut().unwrap().a.value.as_mut_slice()[idx] = v,
+                    1 => m.lora1.as_mut().unwrap().b.value.as_mut_slice()[idx] = v,
+                    2 => m.lora2.as_mut().unwrap().a.value.as_mut_slice()[idx] = v,
+                    _ => m.lora2.as_mut().unwrap().b.value.as_mut_slice()[idx] = v,
+                };
+                let orig = read(&m);
+                write(&mut m, orig + h);
+                let lp = loss(&mut m, &x);
+                write(&mut m, orig - h);
+                let lm = loss(&mut m, &x);
+                write(&mut m, orig);
+                let fd = (lp - lm) / (2.0 * h);
+                assert!(
+                    (grad.as_slice()[idx] - fd).abs() < 2e-2,
+                    "param {which} idx {idx}: {} vs {fd}",
+                    grad.as_slice()[idx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gelu_model_rejects_sparse_set() {
+        let mut m = MlpBlock::new("mlp", D, FF, Activation::Gelu, 13);
+        let x = Tensor::randn(&[2, D], 1.0, 14);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.forward(&x, Some(&all_set()))
+        }));
+        assert!(result.is_err(), "GeLU + neuron sparsity must be rejected");
+    }
+
+    #[test]
+    fn full_ft_weight_grads_sparse_touch_only_active() {
+        let x = Tensor::randn(&[ROWS, D], 1.0, 15);
+        let dy = Tensor::randn(&[ROWS, D], 1.0, 16);
+        let set = Arc::new(NeuronBlockSet::from_indices(vec![3], FF / BLK, BLK));
+        let mut m = mlp();
+        m.w1.trainable = true;
+        m.w2.trainable = true;
+        let _ = m.forward(&x, Some(&set));
+        let _ = m.backward(&dy);
+        let dw1 = m.w1.grad.as_ref().unwrap();
+        let dw2 = m.w2.grad.as_ref().unwrap();
+        for n in 0..FF {
+            let active = (12..16).contains(&n);
+            let w1_nz = dw1.as_slice()[n * D..(n + 1) * D].iter().any(|&v| v != 0.0);
+            let w2_nz = dw2.as_slice()[n * D..(n + 1) * D].iter().any(|&v| v != 0.0);
+            if !active {
+                assert!(!w1_nz && !w2_nz, "inactive neuron {n} has weight grad");
+            }
+        }
+    }
+}

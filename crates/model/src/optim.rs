@@ -1,0 +1,435 @@
+//! Optimizers over the trainable-parameter set.
+//!
+//! State is keyed by parameter name and allocated lazily, so PEFT methods
+//! with tiny trainable sets keep tiny optimizer states — the effect the
+//! paper's Table I measures in the "Optim. Step" column.
+
+use crate::param::Param;
+use lx_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Per-parameter update protocol: call [`Optimizer::begin_step`] once per
+/// batch, then [`Optimizer::update`] for every parameter.
+pub trait Optimizer {
+    fn begin_step(&mut self);
+    fn update(&mut self, param: &mut Param);
+    /// Bytes of optimizer state currently held (for memory experiments).
+    fn state_bytes(&self) -> usize;
+    fn name(&self) -> &'static str;
+}
+
+/// Plain SGD with optional momentum.
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    velocity: HashMap<String, Tensor>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: HashMap::new(),
+        }
+    }
+
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn begin_step(&mut self) {}
+
+    fn update(&mut self, param: &mut Param) {
+        if !param.trainable {
+            return;
+        }
+        let Some(grad) = &param.grad else { return };
+        if self.momentum == 0.0 {
+            param.value.axpy(-self.lr, grad);
+            return;
+        }
+        let v = self
+            .velocity
+            .entry(param.name.clone())
+            .or_insert_with(|| Tensor::zeros(grad.shape()));
+        v.scale(self.momentum);
+        v.add_assign(grad);
+        param.value.axpy(-self.lr, v);
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.velocity.values().map(|t| t.len() * 4).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// Decoupled weight decay; 0 for plain Adam.
+    pub weight_decay: f32,
+    t: u64,
+    state: HashMap<String, (Tensor, Tensor)>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            state: HashMap::new(),
+        }
+    }
+}
+
+/// AdamW = Adam with decoupled weight decay (the fine-tuning default).
+pub struct AdamW(Adam);
+
+impl AdamW {
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        let mut adam = Adam::new(lr);
+        adam.weight_decay = weight_decay;
+        AdamW(adam)
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn update(&mut self, param: &mut Param) {
+        if !param.trainable {
+            return;
+        }
+        let Some(grad) = &param.grad else { return };
+        let (m, v) = self
+            .state
+            .entry(param.name.clone())
+            .or_insert_with(|| (Tensor::zeros(grad.shape()), Tensor::zeros(grad.shape())));
+        let b1 = self.beta1;
+        let b2 = self.beta2;
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.lr;
+        let eps = self.eps;
+        let wd = self.weight_decay;
+        let pv = param.value.as_mut_slice();
+        let gs = grad.as_slice();
+        let ms = m.as_mut_slice();
+        let vs = v.as_mut_slice();
+        for i in 0..gs.len() {
+            ms[i] = b1 * ms[i] + (1.0 - b1) * gs[i];
+            vs[i] = b2 * vs[i] + (1.0 - b2) * gs[i] * gs[i];
+            let mhat = ms[i] / bc1;
+            let vhat = vs[i] / bc2;
+            if wd != 0.0 {
+                pv[i] -= lr * wd * pv[i];
+            }
+            pv[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.state.values().map(|(m, v)| (m.len() + v.len()) * 4).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+impl Optimizer for AdamW {
+    fn begin_step(&mut self) {
+        self.0.begin_step();
+    }
+
+    fn update(&mut self, param: &mut Param) {
+        self.0.update(param);
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.0.state_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "adamw"
+    }
+}
+
+/// Learning-rate schedules used by fine-tuning recipes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    Constant,
+    /// Linear warm-up over `warmup` steps, then linear decay to zero at
+    /// `total` steps.
+    LinearWarmupDecay { warmup: u64, total: u64 },
+    /// Linear warm-up then cosine decay to `min_frac · base` at `total`.
+    Cosine { warmup: u64, total: u64, min_frac: f32 },
+}
+
+impl LrSchedule {
+    /// Multiplier applied to the base learning rate at `step` (1-based).
+    pub fn factor(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::LinearWarmupDecay { warmup, total } => {
+                if warmup > 0 && step <= warmup {
+                    step as f32 / warmup as f32
+                } else {
+                    let total = total.max(warmup + 1);
+                    let remaining = total.saturating_sub(step) as f32;
+                    (remaining / (total - warmup) as f32).max(0.0)
+                }
+            }
+            LrSchedule::Cosine { warmup, total, min_frac } => {
+                if warmup > 0 && step <= warmup {
+                    step as f32 / warmup as f32
+                } else {
+                    let total = total.max(warmup + 1);
+                    let progress =
+                        ((step - warmup) as f32 / (total - warmup) as f32).clamp(0.0, 1.0);
+                    let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                    min_frac + (1.0 - min_frac) * cos
+                }
+            }
+        }
+    }
+}
+
+/// Wrap any optimizer with an LR schedule (scales the inner LR per step).
+pub struct Scheduled<O> {
+    inner: O,
+    schedule: LrSchedule,
+    base_lr: f32,
+    step: u64,
+    set_lr: fn(&mut O, f32),
+}
+
+impl Scheduled<Adam> {
+    pub fn adam(inner: Adam, schedule: LrSchedule) -> Self {
+        let base_lr = inner.lr;
+        Scheduled {
+            inner,
+            schedule,
+            base_lr,
+            step: 0,
+            set_lr: |o, lr| o.lr = lr,
+        }
+    }
+}
+
+impl Scheduled<Sgd> {
+    pub fn sgd(inner: Sgd, schedule: LrSchedule) -> Self {
+        let base_lr = inner.lr;
+        Scheduled {
+            inner,
+            schedule,
+            base_lr,
+            step: 0,
+            set_lr: |o, lr| o.lr = lr,
+        }
+    }
+}
+
+impl<O: Optimizer> Optimizer for Scheduled<O> {
+    fn begin_step(&mut self) {
+        self.step += 1;
+        (self.set_lr)(&mut self.inner, self.base_lr * self.schedule.factor(self.step));
+        self.inner.begin_step();
+    }
+
+    fn update(&mut self, param: &mut Param) {
+        self.inner.update(param);
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.inner.state_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Global-norm gradient clipping over the trainable parameters.
+/// Returns the pre-clip norm. Call between `backward` and the optimizer.
+pub fn clip_grad_norm(params: &mut dyn FnMut(&mut dyn FnMut(&mut Param)), max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    params(&mut |p: &mut Param| {
+        if p.trainable {
+            if let Some(g) = &p.grad {
+                sq += g.as_slice().iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>();
+            }
+        }
+    });
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        params(&mut |p: &mut Param| {
+            if p.trainable {
+                if let Some(g) = &mut p.grad {
+                    g.scale(scale);
+                }
+            }
+        });
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param() -> Param {
+        // Minimise f(w) = 0.5·w², grad = w.
+        Param::new("w", Tensor::full(&[1], 4.0), true)
+    }
+
+    fn set_grad_to_value(p: &mut Param) {
+        let w = p.value.as_slice()[0];
+        p.zero_grad();
+        p.grad_mut().as_mut_slice()[0] = w;
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = quadratic_param();
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            set_grad_to_value(&mut p);
+            opt.begin_step();
+            opt.update(&mut p);
+        }
+        assert!(p.value.as_slice()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = quadratic_param();
+        let mut opt = Adam::new(0.2);
+        for _ in 0..200 {
+            set_grad_to_value(&mut p);
+            opt.begin_step();
+            opt.update(&mut p);
+        }
+        assert!(p.value.as_slice()[0].abs() < 1e-2, "{}", p.value.as_slice()[0]);
+    }
+
+    #[test]
+    fn momentum_accelerates_sgd() {
+        let run = |momentum: f32| {
+            let mut p = quadratic_param();
+            let mut opt = Sgd::with_momentum(0.02, momentum);
+            for _ in 0..30 {
+                set_grad_to_value(&mut p);
+                opt.begin_step();
+                opt.update(&mut p);
+            }
+            p.value.as_slice()[0].abs()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should converge faster here");
+    }
+
+    #[test]
+    fn frozen_params_are_untouched() {
+        let mut p = Param::frozen("w", Tensor::full(&[1], 2.0));
+        p.grad = Some(Tensor::full(&[1], 1.0));
+        let mut opt = Adam::new(0.1);
+        opt.begin_step();
+        opt.update(&mut p);
+        assert_eq!(p.value.as_slice()[0], 2.0);
+        assert_eq!(opt.state_bytes(), 0, "no state for frozen params");
+    }
+
+    #[test]
+    fn adamw_decays_weights() {
+        let mut p = Param::new("w", Tensor::full(&[1], 1.0), true);
+        p.grad = Some(Tensor::zeros(&[1]));
+        let mut opt = AdamW::new(0.1, 0.5);
+        opt.begin_step();
+        opt.update(&mut p);
+        assert!(p.value.as_slice()[0] < 1.0, "decay must shrink the weight");
+    }
+
+    #[test]
+    fn state_bytes_track_trainable_size() {
+        let mut big = Param::new("big", Tensor::zeros(&[100]), true);
+        big.grad = Some(Tensor::zeros(&[100]));
+        let mut opt = Adam::new(0.1);
+        opt.begin_step();
+        opt.update(&mut big);
+        assert_eq!(opt.state_bytes(), 2 * 100 * 4);
+    }
+
+    #[test]
+    fn linear_schedule_warms_up_and_decays() {
+        let s = LrSchedule::LinearWarmupDecay { warmup: 10, total: 110 };
+        assert!((s.factor(1) - 0.1).abs() < 1e-6);
+        assert!((s.factor(10) - 1.0).abs() < 1e-6);
+        assert!(s.factor(60) < 1.0 && s.factor(60) > 0.0);
+        assert!(s.factor(110) <= 1e-6);
+    }
+
+    #[test]
+    fn cosine_schedule_bottoms_at_min_frac() {
+        let s = LrSchedule::Cosine { warmup: 5, total: 105, min_frac: 0.1 };
+        assert!((s.factor(5) - 1.0).abs() < 1e-6);
+        assert!((s.factor(105) - 0.1).abs() < 1e-3);
+        // Monotone decreasing after warmup.
+        assert!(s.factor(30) > s.factor(60));
+        assert!(s.factor(60) > s.factor(100));
+    }
+
+    #[test]
+    fn scheduled_optimizer_scales_updates() {
+        // Step 1 of a 10-step warmup uses 10% of the base LR.
+        let mut p = Param::new("w", Tensor::full(&[1], 1.0), true);
+        p.grad = Some(Tensor::full(&[1], 1.0));
+        let mut opt = Scheduled::sgd(Sgd::new(1.0), LrSchedule::LinearWarmupDecay {
+            warmup: 10,
+            total: 100,
+        });
+        opt.begin_step();
+        opt.update(&mut p);
+        assert!((p.value.as_slice()[0] - 0.9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_when_needed() {
+        let mut a = Param::new("a", Tensor::zeros(&[1]), true);
+        a.grad = Some(Tensor::full(&[1], 3.0));
+        let mut b = Param::new("b", Tensor::zeros(&[1]), true);
+        b.grad = Some(Tensor::full(&[1], 4.0));
+        let mut visit = |f: &mut dyn FnMut(&mut Param)| {
+            f(&mut a);
+            f(&mut b);
+        };
+        let norm = clip_grad_norm(&mut visit, 1.0);
+        assert!((norm - 5.0).abs() < 1e-5, "pre-clip norm {norm}");
+        let ga = a.grad.as_ref().unwrap().as_slice()[0];
+        let gb = b.grad.as_ref().unwrap().as_slice()[0];
+        assert!((ga - 0.6).abs() < 1e-5 && (gb - 0.8).abs() < 1e-5);
+        // Below the limit: untouched.
+        let norm2 = clip_grad_norm(&mut |f| f(&mut a), 10.0);
+        assert!((norm2 - 0.6).abs() < 1e-5);
+        assert!((a.grad.as_ref().unwrap().as_slice()[0] - 0.6).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,96 @@
+//! Trainable parameter: a tensor, its (lazily allocated) gradient, and a
+//! trainability flag. PEFT methods work by flipping these flags and adding
+//! small extra parameters — exactly the paper's Table I setting.
+
+use lx_tensor::Tensor;
+
+/// A named model parameter.
+#[derive(Debug)]
+pub struct Param {
+    pub name: String,
+    pub value: Tensor,
+    /// Allocated on first accumulation; `None` for frozen params that never
+    /// received a gradient (saving the optimizer-state memory PEFT avoids).
+    pub grad: Option<Tensor>,
+    pub trainable: bool,
+}
+
+impl Param {
+    pub fn new(name: impl Into<String>, value: Tensor, trainable: bool) -> Self {
+        Param {
+            name: name.into(),
+            value,
+            grad: None,
+            trainable,
+        }
+    }
+
+    /// Frozen parameter (the pre-trained backbone default under PEFT).
+    pub fn frozen(name: impl Into<String>, value: Tensor) -> Self {
+        Self::new(name, value, false)
+    }
+
+    pub fn numel(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Accumulate a gradient tensor (allocates on first use).
+    pub fn accumulate_grad(&mut self, grad: &Tensor) {
+        match &mut self.grad {
+            Some(g) => g.add_assign(grad),
+            None => self.grad = Some(grad.clone()),
+        }
+    }
+
+    /// Mutable access to the gradient buffer, allocating zeros if absent.
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        if self.grad.is_none() {
+            self.grad = Some(Tensor::zeros(self.value.shape()));
+        }
+        self.grad.as_mut().unwrap()
+    }
+
+    /// Zero the gradient in place (keeps the allocation).
+    pub fn zero_grad(&mut self) {
+        if let Some(g) = &mut self.grad {
+            g.zero_();
+        }
+    }
+
+    /// Drop the gradient allocation entirely.
+    pub fn clear_grad(&mut self) {
+        self.grad = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_allocates_then_adds() {
+        let mut p = Param::new("w", Tensor::zeros(&[2, 2]), true);
+        assert!(p.grad.is_none());
+        let g = Tensor::full(&[2, 2], 1.0);
+        p.accumulate_grad(&g);
+        p.accumulate_grad(&g);
+        assert_eq!(p.grad.as_ref().unwrap().as_slice(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn zero_keeps_allocation_clear_drops_it() {
+        let mut p = Param::new("w", Tensor::zeros(&[3]), true);
+        p.grad_mut().as_mut_slice()[0] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad.as_ref().unwrap().as_slice(), &[0.0; 3]);
+        p.clear_grad();
+        assert!(p.grad.is_none());
+    }
+
+    #[test]
+    fn frozen_constructor() {
+        let p = Param::frozen("emb", Tensor::zeros(&[4]));
+        assert!(!p.trainable);
+        assert_eq!(p.numel(), 4);
+    }
+}

@@ -1,0 +1,96 @@
+//! Counting latch used to wait for a scoped task group.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A count-down latch: starts at `n`, `count_down` decrements, `wait` blocks
+/// until zero. Waiters in this crate prefer [`Latch::is_done`] polling plus
+/// queue-helping; `wait` is the fallback when the queue is empty.
+pub struct Latch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Latch {
+    pub fn new(count: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(count),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Decrement the counter, waking waiters when it reaches zero.
+    pub fn count_down(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.lock.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Block until the counter reaches zero.
+    pub fn wait(&self) {
+        if self.is_done() {
+            return;
+        }
+        let mut guard = self.lock.lock();
+        while !self.is_done() {
+            self.cond.wait(&mut guard);
+        }
+    }
+
+    /// Block until the counter reaches zero or `timeout` elapses; returns
+    /// whether the latch completed.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> bool {
+        if self.is_done() {
+            return true;
+        }
+        let mut guard = self.lock.lock();
+        if self.is_done() {
+            return true;
+        }
+        self.cond.wait_for(&mut guard, timeout);
+        self.is_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn latch_releases_after_counts() {
+        let latch = Arc::new(Latch::new(4));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = latch.clone();
+            handles.push(std::thread::spawn(move || l.count_down()));
+        }
+        latch.wait();
+        assert!(latch.is_done());
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_count_is_immediately_done() {
+        let latch = Latch::new(0);
+        assert!(latch.is_done());
+        latch.wait();
+    }
+
+    #[test]
+    fn wait_timeout_reports_incomplete() {
+        let latch = Latch::new(1);
+        assert!(!latch.wait_timeout(std::time::Duration::from_millis(5)));
+        latch.count_down();
+        assert!(latch.wait_timeout(std::time::Duration::from_millis(5)));
+    }
+}

@@ -1,0 +1,159 @@
+//! Persistent thread-pool substrate used by every Long Exposure CPU kernel.
+//!
+//! The paper's dynamic-aware operators run on GPUs; this reproduction executes
+//! them on a pool of CPU workers. The pool is deliberately simple and
+//! predictable rather than work-stealing-clever:
+//!
+//! * one global pool sized to the machine (`pool()`),
+//! * scoped task groups whose borrowed environment is guaranteed to outlive
+//!   every task because the submitting thread blocks (and *helps* execute
+//!   queued tasks) until its group completes,
+//! * deterministic chunked `parallel_for` / `parallel_map` primitives so that
+//!   reductions combine partial results in index order and experiments are
+//!   reproducible run-to-run.
+//!
+//! Helping while waiting makes nested parallel sections safe: a worker that
+//! submits a group and waits keeps draining the shared queue, so the pool can
+//! never deadlock on its own tasks.
+
+mod latch;
+mod pool;
+
+pub use latch::Latch;
+pub use pool::{pool, set_global_threads, ThreadPool};
+
+use std::ops::Range;
+
+/// Default minimum number of items a task should own before it is worth
+/// paying queueing overhead. Callers can override per call site.
+pub const DEFAULT_GRAIN: usize = 1024;
+
+/// Run `body` over `range` in parallel chunks on the global pool.
+///
+/// `grain` is the smallest chunk size worth dispatching; ranges smaller than
+/// `grain` run inline on the calling thread. `body` receives disjoint
+/// sub-ranges that exactly cover `range`.
+pub fn parallel_for<F>(range: Range<usize>, grain: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    pool().parallel_for(range, grain, body);
+}
+
+/// Chunked map returning one `R` per chunk, **in chunk order**, so that a
+/// subsequent sequential fold is deterministic regardless of which worker ran
+/// which chunk.
+pub fn parallel_map<R, F>(range: Range<usize>, grain: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    pool().parallel_map(range, grain, body)
+}
+
+/// Deterministic parallel sum-style reduction over index chunks.
+pub fn parallel_reduce<R, F, G>(range: Range<usize>, grain: usize, identity: R, body: F, fold: G) -> R
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+    G: Fn(R, R) -> R,
+{
+    pool()
+        .parallel_map(range, grain, body)
+        .into_iter()
+        .fold(identity, fold)
+}
+
+/// Run two closures potentially in parallel and return both results.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    pool().join(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let n = 10_001;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(0..n, 64, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_small_range_runs_inline() {
+        let hits = AtomicUsize::new(0);
+        parallel_for(0..10, 1024, |r| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn parallel_map_is_in_chunk_order() {
+        let out = parallel_map(0..1000, 10, |r| r.start);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(out, sorted, "chunk results must be returned in index order");
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential() {
+        let seq: u64 = (0..100_000u64).map(|i| i * i).sum();
+        let par = parallel_reduce(
+            0..100_000,
+            128,
+            0u64,
+            |r| r.map(|i| (i as u64) * (i as u64)).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 21 * 2, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let total = AtomicUsize::new(0);
+        parallel_for(0..8, 1, |outer| {
+            for _ in outer {
+                parallel_for(0..100, 10, |inner| {
+                    total.fetch_add(inner.len(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "task in Long Exposure thread pool panicked")]
+    fn panics_propagate_to_submitter() {
+        parallel_for(0..4, 1, |r| {
+            if r.start == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        parallel_for(10..10, 1, |_| panic!("must not be called"));
+        let v: Vec<usize> = parallel_map(0..0, 1, |r| r.start);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! The worker pool itself.
+
+use crate::latch::Latch;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Task>>,
+    work_available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn try_pop(&self) -> Option<Task> {
+        self.queue.lock().pop_front()
+    }
+}
+
+/// Fixed-size pool of worker threads executing boxed tasks from a shared
+/// queue. Submitting threads that wait on a task group *help* drain the queue,
+/// which makes nested parallel sections deadlock-free.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    n_threads: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `n_threads` workers (at least 1).
+    pub fn new(n_threads: usize) -> Self {
+        let n_threads = n_threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..n_threads)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("lx-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn lx worker thread")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            n_threads,
+        }
+    }
+
+    /// Number of worker threads (excluding helping submitters).
+    pub fn threads(&self) -> usize {
+        self.n_threads
+    }
+
+    fn push_task(&self, task: Task) {
+        self.shared.queue.lock().push_back(task);
+        self.shared.work_available.notify_one();
+    }
+
+    /// Execute a group of borrowed tasks, blocking (and helping) until all of
+    /// them finish. Panics in any task are re-raised here after the whole
+    /// group has completed, so the borrowed environment is never observed by
+    /// a still-running task.
+    pub fn run_scoped<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let latch = Arc::new(Latch::new(tasks.len()));
+        let panicked = Arc::new(AtomicBool::new(false));
+        for task in tasks {
+            // SAFETY: `run_scoped` does not return until `latch` reports every
+            // task finished, so the `'env` borrows inside `task` strictly
+            // outlive its execution. The transmute only erases the lifetime;
+            // layout of the fat pointer is unchanged.
+            let task: Task = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task)
+            };
+            let latch = latch.clone();
+            let panicked = panicked.clone();
+            self.push_task(Box::new(move || {
+                if std::panic::catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    panicked.store(true, Ordering::SeqCst);
+                }
+                latch.count_down();
+            }));
+        }
+        // Help execute queued tasks while waiting: required for nested scopes.
+        while !latch.is_done() {
+            if let Some(task) = self.shared.try_pop() {
+                task();
+            } else {
+                latch.wait_timeout(Duration::from_micros(200));
+            }
+        }
+        if panicked.load(Ordering::SeqCst) {
+            panic!("task in Long Exposure thread pool panicked");
+        }
+    }
+
+    /// Parallel loop over `range` in chunks of at least `grain` items.
+    pub fn parallel_for<F>(&self, range: Range<usize>, grain: usize, body: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let n = range.len();
+        if n == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        if n <= grain || self.n_threads == 1 {
+            body(range);
+            return;
+        }
+        let chunks = split_range(range, grain, self.n_threads);
+        let body_ref = &body;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+            .into_iter()
+            .map(|chunk| Box::new(move || body_ref(chunk)) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        self.run_scoped(tasks);
+    }
+
+    /// Chunked parallel map preserving chunk order in the output.
+    pub fn parallel_map<R, F>(&self, range: Range<usize>, grain: usize, body: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let n = range.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let grain = grain.max(1);
+        if n <= grain || self.n_threads == 1 {
+            return vec![body(range)];
+        }
+        let chunks = split_range(range, grain, self.n_threads);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(chunks.len());
+        slots.resize_with(chunks.len(), || None);
+        {
+            let body_ref = &body;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .into_iter()
+                .zip(slots.iter_mut())
+                .map(|(chunk, slot)| {
+                    Box::new(move || *slot = Some(body_ref(chunk))) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.run_scoped(tasks);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("scoped task did not fill its slot"))
+            .collect()
+    }
+
+    /// Run two closures, the second potentially on another worker.
+    pub fn join<RA, RB>(&self, a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let mut ra: Option<RA> = None;
+        let mut rb: Option<RB> = None;
+        {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+                Box::new(|| ra = Some(a())),
+                Box::new(|| rb = Some(b())),
+            ];
+            self.run_scoped(tasks);
+        }
+        (ra.expect("join arm a missing"), rb.expect("join arm b missing"))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock();
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break Some(task);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                shared.work_available.wait(&mut queue);
+            }
+        };
+        match task {
+            Some(task) => task(),
+            None => return,
+        }
+    }
+}
+
+/// Split `range` into at most `max_parts_per_thread * threads` chunks of at
+/// least `grain` items, preserving order.
+fn split_range(range: Range<usize>, grain: usize, threads: usize) -> Vec<Range<usize>> {
+    let n = range.len();
+    // Oversubscribe 2x for load balance between uneven chunks.
+    let target_chunks = (threads * 2).max(1);
+    let chunk = (n.div_ceil(target_chunks)).max(grain);
+    let mut out = Vec::with_capacity(n.div_ceil(chunk));
+    let mut start = range.start;
+    while start < range.end {
+        let end = (start + chunk).min(range.end);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+static GLOBAL_POOL: OnceLock<ThreadPool> = OnceLock::new();
+static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Request a specific global pool size. Must be called before the first use
+/// of [`pool`]; afterwards it has no effect (returns `false`).
+pub fn set_global_threads(n: usize) -> bool {
+    if GLOBAL_POOL.get().is_some() {
+        return false;
+    }
+    REQUESTED_THREADS.store(n, Ordering::SeqCst);
+    true
+}
+
+/// The process-wide pool. Size: `LX_THREADS` env var, else
+/// [`set_global_threads`], else `available_parallelism`.
+pub fn pool() -> &'static ThreadPool {
+    GLOBAL_POOL.get_or_init(|| {
+        let n = std::env::var("LX_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .or_else(|| {
+                let req = REQUESTED_THREADS.load(Ordering::SeqCst);
+                (req > 0).then_some(req)
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ThreadPool::new(n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_range_covers_exactly() {
+        let chunks = split_range(3..1003, 10, 4);
+        assert_eq!(chunks.first().unwrap().start, 3);
+        assert_eq!(chunks.last().unwrap().end, 1003);
+        for pair in chunks.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert!(chunks.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn split_range_respects_grain() {
+        let chunks = split_range(0..100, 40, 8);
+        // grain 40 forces at most ceil(100/40)=3 chunks even with 8 threads.
+        assert!(chunks.len() <= 3);
+        assert!(chunks[..chunks.len() - 1].iter().all(|c| c.len() >= 40));
+    }
+
+    #[test]
+    fn private_pool_executes_and_shuts_down() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let sum: usize = pool
+            .parallel_map(0..100, 5, |r| r.sum::<usize>())
+            .into_iter()
+            .sum();
+        assert_eq!(sum, (0..100).sum::<usize>());
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let out = pool.parallel_map(0..10, 1, |r| r.len());
+        assert_eq!(out.iter().sum::<usize>(), 10);
+    }
+}

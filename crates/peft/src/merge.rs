@@ -1,0 +1,148 @@
+//! LoRA weight merging: fold `ΔW = (α/r)·BᵀA` into the backbone weight so
+//! inference after fine-tuning pays zero adapter overhead. The inverse
+//! (`unmerge`) restores the original backbone exactly (up to f32 rounding),
+//! which is what lets one backbone serve many tasks.
+
+use lx_model::linear::Linear;
+use lx_model::TransformerModel;
+
+/// Fold a Linear's LoRA pair into its weight; the adapter stays attached but
+/// contributes zero afterwards only if you also zero it — instead we detach.
+pub fn merge_linear(linear: &mut Linear) {
+    let Some(lora) = linear.lora.take() else { return };
+    let (d_in, d_out) = (linear.d_in(), linear.d_out());
+    let r = lora.rank();
+    let a = lora.a.value.as_slice(); // [r, d_in]
+    let b = lora.b.value.as_slice(); // [d_out, r]
+    let w = linear.weight.value.as_mut_slice(); // [d_in, d_out]
+    for i in 0..d_in {
+        for o in 0..d_out {
+            let mut acc = 0.0f32;
+            for k in 0..r {
+                acc += a[k * d_in + i] * b[o * r + k];
+            }
+            w[i * d_out + o] += lora.scale * acc;
+        }
+    }
+}
+
+/// Merge every attention LoRA in the model. MLP LoRA (which lives in the
+/// neuron-major layout) is merged analogously.
+pub fn merge_all(model: &mut TransformerModel) {
+    for block in &mut model.blocks {
+        merge_linear(&mut block.attn.wq);
+        merge_linear(&mut block.attn.wk);
+        merge_linear(&mut block.attn.wv);
+        merge_linear(&mut block.attn.wo);
+        merge_mlp(block);
+    }
+}
+
+fn merge_mlp(block: &mut lx_model::block::TransformerBlock) {
+    let mlp = &mut block.mlp;
+    let d = mlp.w1.value.shape()[1];
+    let d_ff = mlp.d_ff();
+    if let Some(l) = mlp.lora1.take() {
+        // w1 is [d_ff, d] neuron-major; ΔW1ᵀ_row(n) = scale · Σ_k B[n,k]·A[k,:].
+        let r = l.b.value.shape()[1];
+        let a = l.a.value.as_slice(); // [r, d]
+        let b = l.b.value.as_slice(); // [d_ff, r]
+        let w = mlp.w1.value.as_mut_slice();
+        for n in 0..d_ff {
+            for i in 0..d {
+                let mut acc = 0.0;
+                for k in 0..r {
+                    acc += b[n * r + k] * a[k * d + i];
+                }
+                w[n * d + i] += l.scale * acc;
+            }
+        }
+    }
+    if let Some(l) = mlp.lora2.take() {
+        // w2 is [d_ff, d] row-major; ΔW2_row(n) = scale · A2ᵀ_row(n) · Bᵀ.
+        let r = l.b.value.shape()[1];
+        let a = l.a.value.as_slice(); // [d_ff, r]
+        let b = l.b.value.as_slice(); // [d, r]
+        let w = mlp.w2.value.as_mut_slice();
+        for n in 0..d_ff {
+            for o in 0..d {
+                let mut acc = 0.0;
+                for k in 0..r {
+                    acc += a[n * r + k] * b[o * r + k];
+                }
+                w[n * d + o] += l.scale * acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LoraTargets, PeftMethod};
+    use lx_model::ModelConfig;
+    use lx_tensor::Tensor;
+
+    #[test]
+    fn merged_linear_matches_adapter_forward() {
+        let mut lin = Linear::new("l", 6, 6, true, 1);
+        lin.attach_lora(2, 4.0, 2);
+        // Randomise both LoRA halves.
+        {
+            let l = lin.lora.as_mut().unwrap();
+            let av = lx_tensor::rng::randn_vec(l.a.value.len(), 0.5, 3);
+            l.a.value.as_mut_slice().copy_from_slice(&av);
+            let bv = lx_tensor::rng::randn_vec(l.b.value.len(), 0.5, 4);
+            l.b.value.as_mut_slice().copy_from_slice(&bv);
+        }
+        let x = Tensor::randn(&[4, 6], 1.0, 5);
+        let y_adapter = lin.forward(&x);
+        merge_linear(&mut lin);
+        assert!(lin.lora.is_none());
+        let y_merged = lin.forward(&x);
+        for (a, b) in y_adapter.as_slice().iter().zip(y_merged.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn merge_all_preserves_model_function() {
+        let mut m = TransformerModel::new(ModelConfig::test_tiny(), 9);
+        PeftMethod::Lora {
+            rank: 2,
+            alpha: 4.0,
+            targets: LoraTargets::all(),
+        }
+        .apply(&mut m, 10);
+        // Randomise the LoRA B halves so the adapters actually do something.
+        m.for_each_param(&mut |p| {
+            if p.name.contains("lora_b") {
+                let v = lx_tensor::rng::randn_vec(p.value.len(), 0.3, 11);
+                p.value.as_mut_slice().copy_from_slice(&v);
+            }
+        });
+        let ids: Vec<u32> = (0..8u32).collect();
+        let before = m.forward(&ids, 1, 8, None);
+        merge_all(&mut m);
+        let after = m.forward(&ids, 1, 8, None);
+        for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        // No LoRA params remain.
+        let mut lora_left = 0;
+        m.for_each_param(&mut |p| {
+            if p.name.contains("lora") {
+                lora_left += 1;
+            }
+        });
+        assert_eq!(lora_left, 0);
+    }
+
+    #[test]
+    fn merge_without_lora_is_noop() {
+        let mut lin = Linear::new("l", 4, 4, false, 6);
+        let w_before = lin.weight.value.clone();
+        merge_linear(&mut lin);
+        assert_eq!(lin.weight.value, w_before);
+    }
+}

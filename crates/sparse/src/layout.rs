@@ -1,0 +1,250 @@
+//! Block-CSR layout lookup tables (the paper's Fig. 6 "lookup tables").
+//!
+//! A [`BlockCsr`] is the precomputed indexing structure for one sparse
+//! pattern: row pointers + block-column indices (CSR order, which is also the
+//! storage order of score-block data), plus a CSC view for the transposed
+//! kernels in the backward pass. Building one costs a scan of the mask; the
+//! whole point of the pattern pool is to do that *offline* and reuse it.
+
+use crate::mask::BlockMask;
+use std::sync::Arc;
+
+/// Layout lookup table for a block-sparse matrix over an
+/// `n_brows × n_bcols` grid of `block_size × block_size` tiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCsr {
+    pub block_size: usize,
+    pub n_brows: usize,
+    pub n_bcols: usize,
+    /// CSR row pointers, length `n_brows + 1`.
+    pub row_ptr: Vec<u32>,
+    /// Block-column index per entry, sorted within each row.
+    pub col_idx: Vec<u32>,
+    /// CSC column pointers, length `n_bcols + 1`.
+    pub col_ptr: Vec<u32>,
+    /// Block-row index per CSC entry.
+    pub row_idx: Vec<u32>,
+    /// For each CSC entry, the CSR entry index owning the block data.
+    pub csc_to_csr: Vec<u32>,
+}
+
+impl BlockCsr {
+    /// Build the lookup table from a mask.
+    pub fn from_mask(mask: &BlockMask, block_size: usize) -> Self {
+        let n_brows = mask.rows();
+        let n_bcols = mask.cols();
+        let mut row_ptr = Vec::with_capacity(n_brows + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0u32);
+        for r in 0..n_brows {
+            for c in 0..n_bcols {
+                if mask.get(r, c) {
+                    col_idx.push(c as u32);
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        // CSC view with back-pointers into CSR entry order.
+        let nnzb = col_idx.len();
+        let mut col_counts = vec![0u32; n_bcols + 1];
+        for &c in &col_idx {
+            col_counts[c as usize + 1] += 1;
+        }
+        for c in 0..n_bcols {
+            col_counts[c + 1] += col_counts[c];
+        }
+        let col_ptr = col_counts.clone();
+        let mut cursor = col_counts;
+        let mut row_idx = vec![0u32; nnzb];
+        let mut csc_to_csr = vec![0u32; nnzb];
+        for r in 0..n_brows {
+            for e in row_ptr[r]..row_ptr[r + 1] {
+                let c = col_idx[e as usize] as usize;
+                let pos = cursor[c] as usize;
+                row_idx[pos] = r as u32;
+                csc_to_csr[pos] = e;
+                cursor[c] += 1;
+            }
+        }
+        BlockCsr {
+            block_size,
+            n_brows,
+            n_bcols,
+            row_ptr,
+            col_idx,
+            col_ptr,
+            row_idx,
+            csc_to_csr,
+        }
+    }
+
+    /// Number of active blocks.
+    pub fn nnz_blocks(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Length of the block-data buffer this layout addresses.
+    pub fn data_len(&self) -> usize {
+        self.nnz_blocks() * self.block_size * self.block_size
+    }
+
+    /// Active blocks / total grid blocks.
+    pub fn density(&self) -> f32 {
+        if self.n_brows * self.n_bcols == 0 {
+            return 0.0;
+        }
+        self.nnz_blocks() as f32 / (self.n_brows * self.n_bcols) as f32
+    }
+
+    /// Entries (CSR order) of one block-row.
+    pub fn row_entries(&self, br: usize) -> std::ops::Range<usize> {
+        self.row_ptr[br] as usize..self.row_ptr[br + 1] as usize
+    }
+
+    /// Entries (CSC order) of one block-column.
+    pub fn col_entries(&self, bc: usize) -> std::ops::Range<usize> {
+        self.col_ptr[bc] as usize..self.col_ptr[bc + 1] as usize
+    }
+
+    /// Reconstruct the mask (for tests / visualisation).
+    pub fn to_mask(&self) -> BlockMask {
+        let mut m = BlockMask::new(self.n_brows, self.n_bcols);
+        for r in 0..self.n_brows {
+            for e in self.row_entries(r) {
+                m.set(r, self.col_idx[e] as usize, true);
+            }
+        }
+        m
+    }
+}
+
+/// The online-combined multi-head layout (paper Fig. 6, right).
+///
+/// Each head references a pooled (shared) `BlockCsr`; `data_offsets` place
+/// every head's block data in one contiguous buffer. Combination is pure
+/// offset arithmetic — the per-head lookup tables are reused as-is.
+#[derive(Debug, Clone)]
+pub struct MultiHeadLayout {
+    pub heads: Vec<Arc<BlockCsr>>,
+    /// Element offset of each head's block data in the shared buffer.
+    pub data_offsets: Vec<usize>,
+    /// Total elements across heads (`data_offsets.last() + last head len`).
+    pub total_data_len: usize,
+}
+
+impl MultiHeadLayout {
+    /// Combine per-head layouts by computing data offsets (prefix sum).
+    pub fn combine(heads: Vec<Arc<BlockCsr>>) -> Self {
+        let mut data_offsets = Vec::with_capacity(heads.len());
+        let mut acc = 0usize;
+        for h in &heads {
+            data_offsets.push(acc);
+            acc += h.data_len();
+        }
+        MultiHeadLayout {
+            heads,
+            data_offsets,
+            total_data_len: acc,
+        }
+    }
+
+    pub fn n_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Total active blocks across heads.
+    pub fn total_blocks(&self) -> usize {
+        self.heads.iter().map(|h| h.nnz_blocks()).sum()
+    }
+
+    /// Mean density across heads.
+    pub fn mean_density(&self) -> f32 {
+        if self.heads.is_empty() {
+            return 0.0;
+        }
+        self.heads.iter().map(|h| h.density()).sum::<f32>() / self.heads.len() as f32
+    }
+
+    /// The slice bounds of head `h` inside the shared block-data buffer.
+    pub fn head_data_range(&self, h: usize) -> std::ops::Range<usize> {
+        let start = self.data_offsets[h];
+        start..start + self.heads[h].data_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_mask(n: usize) -> BlockMask {
+        let mut m = BlockMask::square(n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    #[test]
+    fn csr_roundtrips_mask() {
+        let mut m = BlockMask::square(5);
+        m.set(0, 0, true);
+        m.set(2, 1, true);
+        m.set(2, 2, true);
+        m.set(4, 0, true);
+        let csr = BlockCsr::from_mask(&m, 16);
+        assert_eq!(csr.nnz_blocks(), 4);
+        assert_eq!(csr.to_mask(), m);
+    }
+
+    #[test]
+    fn csc_view_is_consistent() {
+        let mut m = BlockMask::square(4);
+        m.set(0, 0, true);
+        m.set(1, 0, true);
+        m.set(2, 1, true);
+        m.set(3, 0, true);
+        m.set(3, 3, true);
+        let csr = BlockCsr::from_mask(&m, 8);
+        // Every CSC entry must point back at a CSR entry with matching coords.
+        for bc in 0..4 {
+            for e in csr.col_entries(bc) {
+                let br = csr.row_idx[e] as usize;
+                let csr_e = csr.csc_to_csr[e] as usize;
+                assert_eq!(csr.col_idx[csr_e] as usize, bc);
+                assert!(csr.row_entries(br).contains(&csr_e));
+            }
+        }
+        // Counts agree.
+        let by_cols: usize = (0..4).map(|c| csr.col_entries(c).len()).sum();
+        assert_eq!(by_cols, csr.nnz_blocks());
+    }
+
+    #[test]
+    fn data_len_scales_with_block_size() {
+        let csr = BlockCsr::from_mask(&diag_mask(3), 4);
+        assert_eq!(csr.data_len(), 3 * 16);
+        assert!((csr.density() - 3.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn combine_offsets_are_prefix_sums() {
+        let a = Arc::new(BlockCsr::from_mask(&diag_mask(2), 4)); // 2 blocks * 16
+        let b = Arc::new(BlockCsr::from_mask(&diag_mask(3), 4)); // 3 blocks * 16
+        let ml = MultiHeadLayout::combine(vec![a.clone(), b, a]);
+        assert_eq!(ml.data_offsets, vec![0, 32, 80]);
+        assert_eq!(ml.total_data_len, 112);
+        assert_eq!(ml.total_blocks(), 7);
+        assert_eq!(ml.head_data_range(1), 32..80);
+    }
+
+    #[test]
+    fn empty_mask_layout() {
+        let m = BlockMask::square(4);
+        let csr = BlockCsr::from_mask(&m, 8);
+        assert_eq!(csr.nnz_blocks(), 0);
+        assert_eq!(csr.data_len(), 0);
+        for r in 0..4 {
+            assert!(csr.row_entries(r).is_empty());
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! Neuron-centric block-sparse MLP kernels (paper §VI-B).
+//!
+//! When a ReLU MLP neuron is inactive for a whole batch, the corresponding
+//! *column* of FC1 and *row* of FC2 drop out of both the forward and the
+//! backward pass. Long Exposure filters neurons at block granularity, so the
+//! kernels here operate on a sorted list of active neuron *blocks*:
+//!
+//! * FC1 weights are stored **column-major** ([`ColMajorWeights`]) so an
+//!   active output-neuron block is a contiguous `block·d_in` slab;
+//! * FC2 weights stay **row-major** so an active input-neuron block is a
+//!   contiguous `block·d_out` slab.
+//!
+//! This mirrors the paper's memory-coalescing layout choice and means the
+//! kernels never convert data formats at runtime — the property that makes
+//! them "dynamic-aware".
+
+use lx_parallel::parallel_for;
+
+/// Sorted set of active neuron blocks out of `n_blocks_total`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeuronBlockSet {
+    pub block_size: usize,
+    pub n_blocks_total: usize,
+    /// Sorted, deduplicated active block indices.
+    pub active: Vec<u32>,
+}
+
+impl NeuronBlockSet {
+    /// All blocks active (the dense case).
+    pub fn all(n_blocks_total: usize, block_size: usize) -> Self {
+        NeuronBlockSet {
+            block_size,
+            n_blocks_total,
+            active: (0..n_blocks_total as u32).collect(),
+        }
+    }
+
+    /// From a boolean per-block mask.
+    pub fn from_mask(mask: &[bool], block_size: usize) -> Self {
+        NeuronBlockSet {
+            block_size,
+            n_blocks_total: mask.len(),
+            active: mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &a)| a.then_some(i as u32))
+                .collect(),
+        }
+    }
+
+    /// From an arbitrary (possibly unsorted) index list.
+    pub fn from_indices(mut indices: Vec<u32>, n_blocks_total: usize, block_size: usize) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        assert!(
+            indices.last().map_or(true, |&l| (l as usize) < n_blocks_total),
+            "active block out of range"
+        );
+        NeuronBlockSet {
+            block_size,
+            n_blocks_total,
+            active: indices,
+        }
+    }
+
+    pub fn n_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Active neurons (blocks × block size).
+    pub fn active_neurons(&self) -> usize {
+        self.active.len() * self.block_size
+    }
+
+    /// Total neurons covered by the grid.
+    pub fn total_neurons(&self) -> usize {
+        self.n_blocks_total * self.block_size
+    }
+
+    pub fn density(&self) -> f32 {
+        if self.n_blocks_total == 0 {
+            return 0.0;
+        }
+        self.active.len() as f32 / self.n_blocks_total as f32
+    }
+
+    pub fn sparsity(&self) -> f32 {
+        1.0 - self.density()
+    }
+
+    pub fn is_dense(&self) -> bool {
+        self.active.len() == self.n_blocks_total
+    }
+}
+
+/// FC1 weights stored column-major: `data[col · d_in + row]`, i.e. each
+/// output-neuron column is contiguous.
+#[derive(Debug, Clone)]
+pub struct ColMajorWeights {
+    pub d_in: usize,
+    pub d_out: usize,
+    data: Vec<f32>,
+}
+
+impl ColMajorWeights {
+    /// Convert from a row-major `d_in × d_out` weight matrix.
+    pub fn from_row_major(w: &[f32], d_in: usize, d_out: usize) -> Self {
+        assert_eq!(w.len(), d_in * d_out);
+        let mut data = vec![0.0; d_in * d_out];
+        for r in 0..d_in {
+            for c in 0..d_out {
+                data[c * d_in + r] = w[r * d_out + c];
+            }
+        }
+        ColMajorWeights { d_in, d_out, data }
+    }
+
+    pub fn zeros(d_in: usize, d_out: usize) -> Self {
+        ColMajorWeights {
+            d_in,
+            d_out,
+            data: vec![0.0; d_in * d_out],
+        }
+    }
+
+    /// Contiguous column `c` (one output neuron's weights).
+    #[inline]
+    pub fn col(&self, c: usize) -> &[f32] {
+        &self.data[c * self.d_in..(c + 1) * self.d_in]
+    }
+
+    #[inline]
+    pub fn col_mut(&mut self, c: usize) -> &mut [f32] {
+        &mut self.data[c * self.d_in..(c + 1) * self.d_in]
+    }
+
+    /// Back to row-major (tests, checkpointing).
+    pub fn to_row_major(&self) -> Vec<f32> {
+        let mut w = vec![0.0; self.d_in * self.d_out];
+        for c in 0..self.d_out {
+            for r in 0..self.d_in {
+                w[r * self.d_out + c] = self.data[c * self.d_in + r];
+            }
+        }
+        w
+    }
+
+    pub fn raw(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn raw_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+/// FC1 forward: `z[r, a·b+t] = ⟨x_r, w1.col(active[a]·b+t)⟩ (+ bias)`.
+///
+/// `z` is *compact*: `rows × active_neurons`, holding only active columns.
+pub fn fc1_forward(
+    x: &[f32],
+    rows: usize,
+    w1t: &[f32],
+    d_in: usize,
+    bias: Option<&[f32]>,
+    set: &NeuronBlockSet,
+    z: &mut [f32],
+) {
+    debug_assert_eq!(w1t.len(), set.total_neurons() * d_in, "fc1: w1t is d_out×d_in");
+    let b = set.block_size;
+    let width = set.active_neurons();
+    assert_eq!(x.len(), rows * d_in, "fc1: x is rows×d_in");
+    assert_eq!(z.len(), rows * width, "fc1: z is rows×active");
+    let z_ptr = SendPtr(z.as_mut_ptr());
+    let grain = (1 << 15) / (width * d_in).max(1);
+    parallel_for(0..rows, grain.max(1), |rr| {
+        let z_ptr = &z_ptr;
+        for r in rr {
+            let x_row = &x[r * d_in..(r + 1) * d_in];
+            // SAFETY: disjoint rows of z per task.
+            let z_row = unsafe { std::slice::from_raw_parts_mut(z_ptr.0.add(r * width), width) };
+            for (a, &blk) in set.active.iter().enumerate() {
+                for t in 0..b {
+                    let neuron = blk as usize * b + t;
+                    let mut acc = dot(x_row, &w1t[neuron * d_in..(neuron + 1) * d_in]);
+                    if let Some(bias) = bias {
+                        acc += bias[neuron];
+                    }
+                    z_row[a * b + t] = acc;
+                }
+            }
+        }
+    });
+}
+
+/// FC2 forward: `y[r,:] = Σ_active a[r, blk]·w2_row(neuron) (+ bias)`.
+///
+/// `w2` is row-major `h × d_out`; `a` is compact `rows × active_neurons`.
+pub fn fc2_forward(
+    a: &[f32],
+    rows: usize,
+    w2: &[f32],
+    d_out: usize,
+    bias: Option<&[f32]>,
+    set: &NeuronBlockSet,
+    y: &mut [f32],
+) {
+    let b = set.block_size;
+    let width = set.active_neurons();
+    assert_eq!(a.len(), rows * width, "fc2: a is rows×active");
+    assert_eq!(w2.len(), set.total_neurons() * d_out, "fc2: w2 is h×d_out");
+    assert_eq!(y.len(), rows * d_out, "fc2: y is rows×d_out");
+    let y_ptr = SendPtr(y.as_mut_ptr());
+    let grain = (1 << 15) / (width * d_out).max(1);
+    parallel_for(0..rows, grain.max(1), |rr| {
+        let y_ptr = &y_ptr;
+        for r in rr {
+            // SAFETY: disjoint rows of y per task.
+            let y_row = unsafe { std::slice::from_raw_parts_mut(y_ptr.0.add(r * d_out), d_out) };
+            match bias {
+                Some(bias) => y_row.copy_from_slice(bias),
+                None => y_row.fill(0.0),
+            }
+            let a_row = &a[r * width..(r + 1) * width];
+            for (ai, &blk) in set.active.iter().enumerate() {
+                for t in 0..b {
+                    let av = a_row[ai * b + t];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let neuron = blk as usize * b + t;
+                    let w_row = &w2[neuron * d_out..(neuron + 1) * d_out];
+                    axpy(y_row, av, w_row);
+                }
+            }
+        }
+    });
+}
+
+/// FC2 backward w.r.t. its input: `da[r, blk] = ⟨dy_r, w2_row(neuron)⟩`.
+pub fn fc2_backward_input(
+    dy: &[f32],
+    rows: usize,
+    w2: &[f32],
+    d_out: usize,
+    set: &NeuronBlockSet,
+    da: &mut [f32],
+) {
+    let b = set.block_size;
+    let width = set.active_neurons();
+    assert_eq!(dy.len(), rows * d_out);
+    assert_eq!(da.len(), rows * width);
+    let da_ptr = SendPtr(da.as_mut_ptr());
+    let grain = (1 << 15) / (width * d_out).max(1);
+    parallel_for(0..rows, grain.max(1), |rr| {
+        let da_ptr = &da_ptr;
+        for r in rr {
+            let dy_row = &dy[r * d_out..(r + 1) * d_out];
+            // SAFETY: disjoint rows per task.
+            let da_row = unsafe { std::slice::from_raw_parts_mut(da_ptr.0.add(r * width), width) };
+            for (ai, &blk) in set.active.iter().enumerate() {
+                for t in 0..b {
+                    let neuron = blk as usize * b + t;
+                    da_row[ai * b + t] = dot(dy_row, &w2[neuron * d_out..(neuron + 1) * d_out]);
+                }
+            }
+        }
+    });
+}
+
+/// FC1 backward w.r.t. its input: `dx[r,:] = Σ_active dz[r, blk]·w1.col(neuron)`.
+pub fn fc1_backward_input(
+    dz: &[f32],
+    rows: usize,
+    w1t: &[f32],
+    d_in: usize,
+    set: &NeuronBlockSet,
+    dx: &mut [f32],
+) {
+    debug_assert_eq!(w1t.len(), set.total_neurons() * d_in);
+    let b = set.block_size;
+    let width = set.active_neurons();
+    assert_eq!(dz.len(), rows * width);
+    assert_eq!(dx.len(), rows * d_in);
+    let dx_ptr = SendPtr(dx.as_mut_ptr());
+    let grain = (1 << 15) / (width * d_in).max(1);
+    parallel_for(0..rows, grain.max(1), |rr| {
+        let dx_ptr = &dx_ptr;
+        for r in rr {
+            // SAFETY: disjoint rows per task.
+            let dx_row = unsafe { std::slice::from_raw_parts_mut(dx_ptr.0.add(r * d_in), d_in) };
+            dx_row.fill(0.0);
+            let dz_row = &dz[r * width..(r + 1) * width];
+            for (ai, &blk) in set.active.iter().enumerate() {
+                for t in 0..b {
+                    let g = dz_row[ai * b + t];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let neuron = blk as usize * b + t;
+                    axpy(dx_row, g, &w1t[neuron * d_in..(neuron + 1) * d_in]);
+                }
+            }
+        }
+    });
+}
+
+/// Accumulate FC1 weight gradients for *active columns only*:
+/// `dw1.col(neuron) += Σ_r x_r · dz[r, compact(neuron)]`.
+pub fn fc1_grad_weights(
+    x: &[f32],
+    dz: &[f32],
+    rows: usize,
+    d_in: usize,
+    set: &NeuronBlockSet,
+    dw1t: &mut [f32],
+    dbias: Option<&mut [f32]>,
+) {
+    debug_assert_eq!(dw1t.len(), set.total_neurons() * d_in);
+    let b = set.block_size;
+    let width = set.active_neurons();
+    assert_eq!(x.len(), rows * d_in);
+    assert_eq!(dz.len(), rows * width);
+    let dw_ptr = SendPtr(dw1t.as_mut_ptr());
+    // Parallel over active blocks: each task owns disjoint weight columns.
+    parallel_for(0..set.active.len(), 1, |blocks| {
+        let dw_ptr = &dw_ptr;
+        for ai in blocks {
+            let blk = set.active[ai] as usize;
+            for t in 0..b {
+                let neuron = blk * b + t;
+                // SAFETY: column `neuron` is owned by exactly one task.
+                let col =
+                    unsafe { std::slice::from_raw_parts_mut(dw_ptr.0.add(neuron * d_in), d_in) };
+                for r in 0..rows {
+                    let g = dz[r * width + ai * b + t];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    axpy(col, g, &x[r * d_in..(r + 1) * d_in]);
+                }
+            }
+        }
+    });
+    if let Some(dbias) = dbias {
+        for (ai, &blk) in set.active.iter().enumerate() {
+            for t in 0..b {
+                let neuron = blk as usize * b + t;
+                let mut acc = 0.0;
+                for r in 0..rows {
+                    acc += dz[r * width + ai * b + t];
+                }
+                dbias[neuron] += acc;
+            }
+        }
+    }
+}
+
+/// Accumulate FC2 weight gradients for *active rows only*:
+/// `dw2_row(neuron) += Σ_r a[r, compact(neuron)] · dy_r`.
+pub fn fc2_grad_weights(
+    a: &[f32],
+    dy: &[f32],
+    rows: usize,
+    d_out: usize,
+    set: &NeuronBlockSet,
+    dw2: &mut [f32],
+) {
+    let b = set.block_size;
+    let width = set.active_neurons();
+    assert_eq!(a.len(), rows * width);
+    assert_eq!(dy.len(), rows * d_out);
+    assert_eq!(dw2.len(), set.total_neurons() * d_out);
+    let dw_ptr = SendPtr(dw2.as_mut_ptr());
+    parallel_for(0..set.active.len(), 1, |blocks| {
+        let dw_ptr = &dw_ptr;
+        for ai in blocks {
+            let blk = set.active[ai] as usize;
+            for t in 0..b {
+                let neuron = blk * b + t;
+                // SAFETY: weight row `neuron` is owned by exactly one task.
+                let w_row =
+                    unsafe { std::slice::from_raw_parts_mut(dw_ptr.0.add(neuron * d_out), d_out) };
+                for r in 0..rows {
+                    let av = a[r * width + ai * b + t];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    axpy(w_row, av, &dy[r * d_out..(r + 1) * d_out]);
+                }
+            }
+        }
+    });
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[inline]
+fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += a * v;
+    }
+}
+
+struct SendPtr(*mut f32);
+// SAFETY: disjoint-region writes per task throughout this module.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lx_tensor::gemm::gemm;
+    use lx_tensor::rng::randn_vec;
+
+    const ROWS: usize = 6;
+    const D_IN: usize = 10;
+    const H: usize = 16; // 4 blocks of 4
+    const D_OUT: usize = 12;
+    const B: usize = 4;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol * (1.0 + y.abs()), "idx {i}: {x} vs {y}");
+        }
+    }
+
+    fn dense_fc1(x: &[f32], w1: &[f32], bias: &[f32]) -> Vec<f32> {
+        let mut z = vec![0.0; ROWS * H];
+        gemm(ROWS, D_IN, H, x, w1, &mut z, 0.0);
+        for r in 0..ROWS {
+            for c in 0..H {
+                z[r * H + c] += bias[c];
+            }
+        }
+        z
+    }
+
+    #[test]
+    fn block_set_constructors() {
+        let all = NeuronBlockSet::all(4, 8);
+        assert!(all.is_dense());
+        assert_eq!(all.active_neurons(), 32);
+        let m = NeuronBlockSet::from_mask(&[true, false, true, false], 8);
+        assert_eq!(m.active, vec![0, 2]);
+        assert!((m.sparsity() - 0.5).abs() < 1e-6);
+        let i = NeuronBlockSet::from_indices(vec![3, 1, 1], 4, 8);
+        assert_eq!(i.active, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_set_range_check() {
+        NeuronBlockSet::from_indices(vec![4], 4, 8);
+    }
+
+    #[test]
+    fn col_major_roundtrip() {
+        let w = randn_vec(D_IN * H, 1.0, 1);
+        let cm = ColMajorWeights::from_row_major(&w, D_IN, H);
+        assert_eq!(cm.to_row_major(), w);
+        // col(c)[r] == w[r*H + c]
+        for c in [0, 5, 15] {
+            for r in 0..D_IN {
+                assert_eq!(cm.col(c)[r], w[r * H + c]);
+            }
+        }
+    }
+
+    #[test]
+    fn fc1_dense_set_matches_gemm() {
+        let x = randn_vec(ROWS * D_IN, 1.0, 2);
+        let w1 = randn_vec(D_IN * H, 1.0, 3);
+        let bias = randn_vec(H, 0.5, 4);
+        let cm = ColMajorWeights::from_row_major(&w1, D_IN, H);
+        let set = NeuronBlockSet::all(H / B, B);
+        let mut z = vec![0.0; ROWS * H];
+        fc1_forward(&x, ROWS, cm.raw(), D_IN, Some(&bias), &set, &mut z);
+        assert_close(&z, &dense_fc1(&x, &w1, &bias), 1e-4);
+    }
+
+    #[test]
+    fn fc1_sparse_set_selects_columns() {
+        let x = randn_vec(ROWS * D_IN, 1.0, 5);
+        let w1 = randn_vec(D_IN * H, 1.0, 6);
+        let bias = vec![0.0; H];
+        let cm = ColMajorWeights::from_row_major(&w1, D_IN, H);
+        let set = NeuronBlockSet::from_indices(vec![0, 2], H / B, B);
+        let mut z = vec![0.0; ROWS * set.active_neurons()];
+        fc1_forward(&x, ROWS, cm.raw(), D_IN, Some(&bias), &set, &mut z);
+        let dense = dense_fc1(&x, &w1, &bias);
+        for r in 0..ROWS {
+            for (ai, &blk) in set.active.iter().enumerate() {
+                for t in 0..B {
+                    let neuron = blk as usize * B + t;
+                    assert!(
+                        (z[r * 8 + ai * B + t] - dense[r * H + neuron]).abs() < 1e-4,
+                        "row {r} neuron {neuron}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fc2_dense_set_matches_gemm() {
+        let a = randn_vec(ROWS * H, 1.0, 7);
+        let w2 = randn_vec(H * D_OUT, 1.0, 8);
+        let bias = randn_vec(D_OUT, 0.5, 9);
+        let set = NeuronBlockSet::all(H / B, B);
+        let mut y = vec![0.0; ROWS * D_OUT];
+        fc2_forward(&a, ROWS, &w2, D_OUT, Some(&bias), &set, &mut y);
+        let mut expect = vec![0.0; ROWS * D_OUT];
+        gemm(ROWS, H, D_OUT, &a, &w2, &mut expect, 0.0);
+        for r in 0..ROWS {
+            for c in 0..D_OUT {
+                expect[r * D_OUT + c] += bias[c];
+            }
+        }
+        assert_close(&y, &expect, 1e-4);
+    }
+
+    #[test]
+    fn fc2_sparse_equals_dense_with_zeroed_inactive() {
+        let set = NeuronBlockSet::from_indices(vec![1, 3], H / B, B);
+        let a_compact = randn_vec(ROWS * set.active_neurons(), 1.0, 10);
+        let w2 = randn_vec(H * D_OUT, 1.0, 11);
+        let mut y = vec![0.0; ROWS * D_OUT];
+        fc2_forward(&a_compact, ROWS, &w2, D_OUT, None, &set, &mut y);
+        // Expand compact A to full H with zeros in inactive blocks.
+        let mut a_full = vec![0.0; ROWS * H];
+        for r in 0..ROWS {
+            for (ai, &blk) in set.active.iter().enumerate() {
+                for t in 0..B {
+                    a_full[r * H + blk as usize * B + t] = a_compact[r * 8 + ai * B + t];
+                }
+            }
+        }
+        let mut expect = vec![0.0; ROWS * D_OUT];
+        gemm(ROWS, H, D_OUT, &a_full, &w2, &mut expect, 0.0);
+        assert_close(&y, &expect, 1e-4);
+    }
+
+    #[test]
+    fn backward_input_paths_match_dense() {
+        let set = NeuronBlockSet::from_indices(vec![0, 3], H / B, B);
+        let width = set.active_neurons();
+        let w1 = randn_vec(D_IN * H, 1.0, 12);
+        let w2 = randn_vec(H * D_OUT, 1.0, 13);
+        let cm = ColMajorWeights::from_row_major(&w1, D_IN, H);
+        let dy = randn_vec(ROWS * D_OUT, 1.0, 14);
+        let dz = randn_vec(ROWS * width, 1.0, 15);
+
+        let mut da = vec![0.0; ROWS * width];
+        fc2_backward_input(&dy, ROWS, &w2, D_OUT, &set, &mut da);
+        // Reference: dY · W2ᵀ then gather active columns.
+        let mut da_full = vec![0.0; ROWS * H];
+        for r in 0..ROWS {
+            for n in 0..H {
+                let mut acc = 0.0;
+                for c in 0..D_OUT {
+                    acc += dy[r * D_OUT + c] * w2[n * D_OUT + c];
+                }
+                da_full[r * H + n] = acc;
+            }
+        }
+        for r in 0..ROWS {
+            for (ai, &blk) in set.active.iter().enumerate() {
+                for t in 0..B {
+                    assert!(
+                        (da[r * width + ai * B + t] - da_full[r * H + blk as usize * B + t]).abs()
+                            < 1e-4
+                    );
+                }
+            }
+        }
+
+        let mut dx = vec![0.0; ROWS * D_IN];
+        fc1_backward_input(&dz, ROWS, cm.raw(), D_IN, &set, &mut dx);
+        // Reference: scatter dz to full width then dZ · W1ᵀ.
+        let mut dz_full = vec![0.0; ROWS * H];
+        for r in 0..ROWS {
+            for (ai, &blk) in set.active.iter().enumerate() {
+                for t in 0..B {
+                    dz_full[r * H + blk as usize * B + t] = dz[r * width + ai * B + t];
+                }
+            }
+        }
+        let mut expect = vec![0.0; ROWS * D_IN];
+        for r in 0..ROWS {
+            for n in 0..H {
+                let g = dz_full[r * H + n];
+                for i in 0..D_IN {
+                    expect[r * D_IN + i] += g * w1[i * H + n];
+                }
+            }
+        }
+        assert_close(&dx, &expect, 1e-4);
+    }
+
+    #[test]
+    fn weight_gradients_touch_only_active_blocks() {
+        let set = NeuronBlockSet::from_indices(vec![2], H / B, B);
+        let width = set.active_neurons();
+        let x = randn_vec(ROWS * D_IN, 1.0, 16);
+        let dz = randn_vec(ROWS * width, 1.0, 17);
+        let mut dw1 = ColMajorWeights::zeros(D_IN, H);
+        let mut dbias = vec![0.0f32; H];
+        fc1_grad_weights(&x, &dz, ROWS, D_IN, &set, dw1.raw_mut(), Some(&mut dbias));
+        for n in 0..H {
+            let in_active = (8..12).contains(&n);
+            let col_nonzero = dw1.col(n).iter().any(|&v| v != 0.0);
+            assert_eq!(col_nonzero, in_active, "neuron {n}");
+            assert_eq!(dbias[n] != 0.0, in_active, "bias {n}");
+        }
+        // Check one value against the naive sum.
+        let n = 9;
+        let t = n - 8;
+        let mut expect = vec![0.0; D_IN];
+        for r in 0..ROWS {
+            let g = dz[r * width + t];
+            for i in 0..D_IN {
+                expect[i] += g * x[r * D_IN + i];
+            }
+        }
+        assert_close(dw1.col(n), &expect, 1e-4);
+
+        let dy = randn_vec(ROWS * D_OUT, 1.0, 18);
+        let a = randn_vec(ROWS * width, 1.0, 19);
+        let mut dw2 = vec![0.0; H * D_OUT];
+        fc2_grad_weights(&a, &dy, ROWS, D_OUT, &set, &mut dw2);
+        for n in 0..H {
+            let in_active = (8..12).contains(&n);
+            let row_nonzero = dw2[n * D_OUT..(n + 1) * D_OUT].iter().any(|&v| v != 0.0);
+            assert_eq!(row_nonzero, in_active, "w2 row {n}");
+        }
+    }
+}

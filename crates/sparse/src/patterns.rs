@@ -1,0 +1,384 @@
+//! The atomic-pattern pool: offline layout construction + online combination
+//! (paper §VI-A, Fig. 6).
+//!
+//! Existing sparse-attention masks (Longformer, BigBird, strided, …) are
+//! combinations of a few *atomic* ingredients: a local sliding window, global
+//! stripes, strided columns, random blocks. The pool precomputes the
+//! [`BlockCsr`] lookup table of every (pattern, grid-size) pair it expects to
+//! see; at runtime each attention head picks one pooled pattern and the heads
+//! are combined into a [`MultiHeadLayout`] by offset arithmetic only.
+
+use crate::layout::{BlockCsr, MultiHeadLayout};
+use crate::mask::BlockMask;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A typical sparse-attention pattern over the block grid.
+///
+/// All patterns are restricted to the causal lower triangle because
+/// fine-tuning decoder-only LMs always applies the causal mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternSpec {
+    /// Full causal lower triangle (the "dense" fallback).
+    Causal,
+    /// Sliding window of `w` block-diagonals.
+    LocalWindow { w: u32 },
+    /// First `g` block-columns (sink/global tokens) plus the block diagonal.
+    GlobalStripe { g: u32 },
+    /// Longformer-style: sliding window ∪ global stripe.
+    LocalGlobal { w: u32, g: u32 },
+    /// BigBird-style: window ∪ global ∪ `r` random blocks per block-row.
+    BigBird { w: u32, g: u32, r: u32, seed: u64 },
+    /// Dilated: sliding window ∪ every `stride`-th block-column.
+    Strided { w: u32, stride: u32 },
+}
+
+impl PatternSpec {
+    /// Materialise the block mask for an `n × n` grid.
+    pub fn mask(&self, n: usize) -> BlockMask {
+        let mut m = BlockMask::square(n);
+        match *self {
+            PatternSpec::Causal => {
+                for r in 0..n {
+                    for c in 0..=r {
+                        m.set(r, c, true);
+                    }
+                }
+            }
+            PatternSpec::LocalWindow { w } => {
+                set_window(&mut m, n, w as usize);
+            }
+            PatternSpec::GlobalStripe { g } => {
+                set_window(&mut m, n, 1);
+                set_global(&mut m, n, g as usize);
+            }
+            PatternSpec::LocalGlobal { w, g } => {
+                set_window(&mut m, n, w as usize);
+                set_global(&mut m, n, g as usize);
+            }
+            PatternSpec::BigBird { w, g, r, seed } => {
+                set_window(&mut m, n, w as usize);
+                set_global(&mut m, n, g as usize);
+                let mut rng = StdRng::seed_from_u64(seed ^ n as u64);
+                for row in 0..n {
+                    for _ in 0..r {
+                        let c = rng.gen_range(0..=row);
+                        m.set(row, c, true);
+                    }
+                }
+            }
+            PatternSpec::Strided { w, stride } => {
+                set_window(&mut m, n, w as usize);
+                let stride = (stride as usize).max(1);
+                for row in 0..n {
+                    let mut c = 0;
+                    while c <= row {
+                        m.set(row, c, true);
+                        c += stride;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Active blocks on an `n × n` grid (the pattern's cost).
+    pub fn cost(&self, n: usize) -> usize {
+        self.mask(n).count()
+    }
+
+    /// Short display name for experiment tables.
+    pub fn name(&self) -> String {
+        match *self {
+            PatternSpec::Causal => "causal".into(),
+            PatternSpec::LocalWindow { w } => format!("local{w}"),
+            PatternSpec::GlobalStripe { g } => format!("global{g}"),
+            PatternSpec::LocalGlobal { w, g } => format!("local{w}+global{g}"),
+            PatternSpec::BigBird { w, g, r, .. } => format!("bigbird({w},{g},{r})"),
+            PatternSpec::Strided { w, stride } => format!("strided({w},{stride})"),
+        }
+    }
+}
+
+fn set_window(m: &mut BlockMask, n: usize, w: usize) {
+    let w = w.max(1);
+    for r in 0..n {
+        for c in r.saturating_sub(w - 1)..=r {
+            m.set(r, c, true);
+        }
+    }
+}
+
+fn set_global(m: &mut BlockMask, n: usize, g: usize) {
+    for r in 0..n {
+        for c in 0..g.min(r + 1) {
+            m.set(r, c, true);
+        }
+    }
+    // Global tokens also attend broadly within the causal constraint.
+    for r in 0..g.min(n) {
+        for c in 0..=r {
+            m.set(r, c, true);
+        }
+    }
+}
+
+/// The offline-constructed pool of pattern layouts.
+pub struct PatternPool {
+    block_size: usize,
+    specs: Vec<PatternSpec>,
+    layouts: HashMap<(PatternSpec, usize), Arc<BlockCsr>>,
+}
+
+impl PatternPool {
+    /// Precompute lookup tables for every `spec × grid` combination.
+    ///
+    /// This is the paper's *offline pool construction*: it runs once before
+    /// fine-tuning starts, so its cost is off the training path.
+    pub fn build(block_size: usize, specs: &[PatternSpec], grids: &[usize]) -> Self {
+        let mut layouts = HashMap::new();
+        for &spec in specs {
+            for &n in grids {
+                let mask = spec.mask(n);
+                layouts.insert((spec, n), Arc::new(BlockCsr::from_mask(&mask, block_size)));
+            }
+        }
+        PatternPool {
+            block_size,
+            specs: specs.to_vec(),
+            layouts,
+        }
+    }
+
+    /// A reasonable default pool covering the paper's expert-mask families.
+    pub fn default_pool(block_size: usize, grids: &[usize]) -> Self {
+        let specs = vec![
+            PatternSpec::LocalWindow { w: 1 },
+            PatternSpec::LocalWindow { w: 2 },
+            PatternSpec::LocalWindow { w: 4 },
+            PatternSpec::GlobalStripe { g: 1 },
+            PatternSpec::LocalGlobal { w: 2, g: 1 },
+            PatternSpec::LocalGlobal { w: 4, g: 2 },
+            PatternSpec::Strided { w: 1, stride: 4 },
+            PatternSpec::BigBird { w: 2, g: 1, r: 1, seed: 7 },
+            PatternSpec::Causal,
+        ];
+        Self::build(block_size, &specs, grids)
+    }
+
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    pub fn specs(&self) -> &[PatternSpec] {
+        &self.specs
+    }
+
+    /// Fetch a pooled layout. Panics if the (spec, grid) pair was not built —
+    /// grids are known ahead of fine-tuning, so a miss is a programming error.
+    pub fn layout(&self, spec: PatternSpec, n_brows: usize) -> Arc<BlockCsr> {
+        self.layouts
+            .get(&(spec, n_brows))
+            .unwrap_or_else(|| panic!("pattern {spec:?} for grid {n_brows} not in pool"))
+            .clone()
+    }
+
+    /// Extend the pool with another grid size (still an offline operation).
+    pub fn add_grid(&mut self, n: usize) {
+        for &spec in self.specs.clone().iter() {
+            self.layouts
+                .entry((spec, n))
+                .or_insert_with(|| Arc::new(BlockCsr::from_mask(&spec.mask(n), self.block_size)));
+        }
+    }
+
+    /// **Online combination**: assemble the multi-head layout for one
+    /// attention operation from per-head pooled patterns. Costs O(heads)
+    /// pointer copies + a prefix sum; no mask scan, no LUT rebuild.
+    pub fn combine(&self, n_brows: usize, per_head: &[PatternSpec]) -> MultiHeadLayout {
+        let heads = per_head.iter().map(|&s| self.layout(s, n_brows)).collect();
+        MultiHeadLayout::combine(heads)
+    }
+
+    /// Categorise a predicted mask into the cheapest pooled pattern that
+    /// covers at least `min_recall` of its active blocks (paper §V-A: the
+    /// predictor's binarised mask "is then categorized into one of several
+    /// pre-defined typical masks"). Returns the chosen spec and its recall.
+    pub fn best_match(&self, predicted: &BlockMask, min_recall: f32) -> (PatternSpec, f32) {
+        let n = predicted.rows();
+        let wanted = predicted.count();
+        if wanted == 0 {
+            // Nothing predicted active: cheapest pattern wins outright.
+            let spec = *self
+                .specs
+                .iter()
+                .min_by_key(|s| self.layout(**s, n).nnz_blocks())
+                .expect("pool has at least one spec");
+            return (spec, 1.0);
+        }
+        let mut best: Option<(PatternSpec, f32, usize)> = None;
+        let mut fallback: Option<(PatternSpec, f32, usize)> = None;
+        for &spec in &self.specs {
+            let layout = self.layout(spec, n);
+            let mask = layout.to_mask();
+            let covered = predicted.covered_by(&mask);
+            let recall = covered as f32 / wanted as f32;
+            let cost = layout.nnz_blocks();
+            if recall >= min_recall {
+                match best {
+                    Some((_, _, c)) if c <= cost => {}
+                    _ => best = Some((spec, recall, cost)),
+                }
+            }
+            // Track the highest-recall (then cheapest) spec as a fallback.
+            match fallback {
+                Some((_, r, c)) if r > recall || (r == recall && c <= cost) => {}
+                _ => fallback = Some((spec, recall, cost)),
+            }
+        }
+        let (spec, recall, _) = best.or(fallback).expect("pool has at least one spec");
+        (spec, recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causal_pattern_is_lower_triangle() {
+        let m = PatternSpec::Causal.mask(4);
+        assert_eq!(m.count(), 10);
+        assert!(!m.get(0, 1));
+        assert!(m.get(3, 0));
+    }
+
+    #[test]
+    fn window_width_counts() {
+        let m = PatternSpec::LocalWindow { w: 2 }.mask(5);
+        // Row 0: 1 block; rows 1..5: 2 blocks each.
+        assert_eq!(m.count(), 1 + 2 * 4);
+        assert!(m.get(4, 3) && m.get(4, 4) && !m.get(4, 2));
+    }
+
+    #[test]
+    fn global_stripe_covers_first_columns_and_diag() {
+        let m = PatternSpec::GlobalStripe { g: 1 }.mask(4);
+        for r in 0..4 {
+            assert!(m.get(r, 0), "global col missing at row {r}");
+            assert!(m.get(r, r), "diagonal missing at row {r}");
+        }
+    }
+
+    #[test]
+    fn all_patterns_are_causal() {
+        let specs = [
+            PatternSpec::Causal,
+            PatternSpec::LocalWindow { w: 3 },
+            PatternSpec::GlobalStripe { g: 2 },
+            PatternSpec::LocalGlobal { w: 2, g: 1 },
+            PatternSpec::BigBird { w: 2, g: 1, r: 3, seed: 1 },
+            PatternSpec::Strided { w: 1, stride: 3 },
+        ];
+        for spec in specs {
+            let m = spec.mask(6);
+            for r in 0..6 {
+                for c in (r + 1)..6 {
+                    assert!(!m.get(r, c), "{spec:?} violates causality at ({r},{c})");
+                }
+            }
+            // Diagonal always present (a token attends to itself).
+            for r in 0..6 {
+                assert!(m.get(r, r), "{spec:?} missing diagonal at {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn bigbird_is_deterministic_in_seed() {
+        let a = PatternSpec::BigBird { w: 1, g: 1, r: 2, seed: 5 }.mask(8);
+        let b = PatternSpec::BigBird { w: 1, g: 1, r: 2, seed: 5 }.mask(8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_lookup_and_combine() {
+        let pool = PatternPool::default_pool(16, &[4, 8]);
+        let l = pool.layout(PatternSpec::LocalWindow { w: 1 }, 4);
+        assert_eq!(l.nnz_blocks(), 4);
+        let ml = pool.combine(
+            4,
+            &[
+                PatternSpec::LocalWindow { w: 1 },
+                PatternSpec::Causal,
+                PatternSpec::LocalWindow { w: 2 },
+            ],
+        );
+        assert_eq!(ml.n_heads(), 3);
+        assert_eq!(ml.total_blocks(), 4 + 10 + 7);
+        // Data offsets are contiguous prefix sums of block areas.
+        assert_eq!(ml.data_offsets[1] - ml.data_offsets[0], 4 * 16 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in pool")]
+    fn pool_miss_panics() {
+        let pool = PatternPool::default_pool(16, &[4]);
+        pool.layout(PatternSpec::Causal, 32);
+    }
+
+    #[test]
+    fn add_grid_extends_pool() {
+        let mut pool = PatternPool::default_pool(16, &[4]);
+        pool.add_grid(32);
+        assert_eq!(pool.layout(PatternSpec::Causal, 32).n_brows, 32);
+    }
+
+    #[test]
+    fn best_match_prefers_cheapest_covering() {
+        let pool = PatternPool::default_pool(8, &[8]);
+        // A pure diagonal prediction is fully covered by LocalWindow{1}.
+        let pred = PatternSpec::LocalWindow { w: 1 }.mask(8);
+        let (spec, recall) = pool.best_match(&pred, 0.95);
+        assert_eq!(spec, PatternSpec::LocalWindow { w: 1 });
+        assert!((recall - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn best_match_falls_back_to_highest_recall() {
+        // Build a pool with only narrow windows, then predict a full causal
+        // mask: nothing reaches the recall bar, so the highest-recall spec
+        // (the widest window) must win.
+        let pool = PatternPool::build(
+            8,
+            &[PatternSpec::LocalWindow { w: 1 }, PatternSpec::LocalWindow { w: 4 }],
+            &[8],
+        );
+        let pred = PatternSpec::Causal.mask(8);
+        let (spec, recall) = pool.best_match(&pred, 0.99);
+        assert_eq!(spec, PatternSpec::LocalWindow { w: 4 });
+        assert!(recall < 0.99);
+    }
+
+    #[test]
+    fn best_match_respects_global_stripe_predictions() {
+        let pool = PatternPool::default_pool(8, &[8]);
+        let pred = PatternSpec::GlobalStripe { g: 1 }.mask(8);
+        let (spec, recall) = pool.best_match(&pred, 0.99);
+        assert!(recall >= 0.99);
+        // The chosen pattern must cover the stripe; cost must not exceed
+        // the full causal cost.
+        assert!(spec.cost(8) <= PatternSpec::Causal.cost(8));
+        let cover = pred.covered_by(&spec.mask(8));
+        assert_eq!(cover, pred.count());
+    }
+
+    #[test]
+    fn strided_hits_every_stride_column() {
+        let m = PatternSpec::Strided { w: 1, stride: 2 }.mask(6);
+        assert!(m.get(5, 0) && m.get(5, 2) && m.get(5, 4) && m.get(5, 5));
+        assert!(!m.get(5, 1) && !m.get(5, 3));
+    }
+}

@@ -1,0 +1,172 @@
+//! Unstructured element-granular sparse baseline — the "Shadowy" arm.
+//!
+//! Paper Fig. 9 observes that exploiting the *raw* union sparsity left over
+//! after token overlap ("shadowy sparsity") directly — i.e. element-wise,
+//! unstructured — performs **worse than dense** because of scattered memory
+//! access and reduced arithmetic intensity. This module implements that
+//! baseline honestly so the comparison is reproducible: an element-level CSR
+//! built at runtime from the activation matrix (paying the runtime conversion
+//! cost the dynamic-aware operators avoid), and a row-gather SpMM for FC2.
+
+use lx_parallel::parallel_for;
+
+/// Element-level CSR over a `rows × cols` matrix.
+#[derive(Debug, Clone)]
+pub struct ElemCsr {
+    pub rows: usize,
+    pub cols: usize,
+    pub row_ptr: Vec<u32>,
+    pub col_idx: Vec<u32>,
+    pub values: Vec<f32>,
+}
+
+impl ElemCsr {
+    /// Build from a dense matrix, keeping entries with `|v| > threshold`.
+    /// This conversion happens *inside* the measured region for the shadowy
+    /// baseline — exactly the overhead the paper's operators shift offline.
+    pub fn from_dense(dense: &[f32], rows: usize, cols: usize, threshold: f32) -> Self {
+        assert_eq!(dense.len(), rows * cols);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0u32);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense[r * cols + c];
+                if v.abs() > threshold {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        ElemCsr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn density(&self) -> f32 {
+        if self.rows * self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f32 / (self.rows * self.cols) as f32
+    }
+}
+
+/// SpMM: `y[rows × d_out] = csr · w` with `w` row-major `cols × d_out`.
+///
+/// Each nonzero triggers one scattered `axpy` over a `w` row — low
+/// arithmetic intensity by construction.
+pub fn spmm(csr: &ElemCsr, w: &[f32], d_out: usize, bias: Option<&[f32]>, y: &mut [f32]) {
+    assert_eq!(w.len(), csr.cols * d_out, "spmm: w is cols×d_out");
+    assert_eq!(y.len(), csr.rows * d_out, "spmm: y is rows×d_out");
+    let y_ptr = SendPtr(y.as_mut_ptr());
+    parallel_for(0..csr.rows, 8, |rr| {
+        let y_ptr = &y_ptr;
+        for r in rr {
+            // SAFETY: disjoint rows of y per task.
+            let y_row = unsafe { std::slice::from_raw_parts_mut(y_ptr.0.add(r * d_out), d_out) };
+            match bias {
+                Some(bias) => y_row.copy_from_slice(bias),
+                None => y_row.fill(0.0),
+            }
+            for e in csr.row_ptr[r] as usize..csr.row_ptr[r + 1] as usize {
+                let c = csr.col_idx[e] as usize;
+                let v = csr.values[e];
+                let w_row = &w[c * d_out..(c + 1) * d_out];
+                for (o, &wv) in y_row.iter_mut().zip(w_row) {
+                    *o += v * wv;
+                }
+            }
+        }
+    });
+}
+
+/// Dense×dense reference with the same signature shape, for the baseline's
+/// "dense" arm in operator sweeps.
+pub fn dense_mm(a: &[f32], rows: usize, cols: usize, w: &[f32], d_out: usize, y: &mut [f32]) {
+    lx_tensor::gemm::gemm(rows, cols, d_out, a, w, y, 0.0);
+}
+
+struct SendPtr(*mut f32);
+// SAFETY: disjoint-row writes.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lx_tensor::rng::randn_vec;
+
+    #[test]
+    fn csr_from_dense_thresholds() {
+        let dense = vec![0.0, 1.0, -0.5, 0.0, 0.0, 2.0];
+        let csr = ElemCsr::from_dense(&dense, 2, 3, 0.6);
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.col_idx, vec![1, 2]);
+        assert_eq!(csr.values, vec![1.0, 2.0]);
+        assert!((csr.density() - 2.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spmm_matches_dense_when_nothing_filtered() {
+        let (rows, cols, d_out) = (5, 7, 4);
+        let a = randn_vec(rows * cols, 1.0, 1);
+        let w = randn_vec(cols * d_out, 1.0, 2);
+        let csr = ElemCsr::from_dense(&a, rows, cols, 0.0);
+        let mut y = vec![0.0; rows * d_out];
+        spmm(&csr, &w, d_out, None, &mut y);
+        let mut expect = vec![0.0; rows * d_out];
+        dense_mm(&a, rows, cols, &w, d_out, &mut expect);
+        for (x, e) in y.iter().zip(&expect) {
+            assert!((x - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn spmm_with_sparse_relu_activations() {
+        let (rows, cols, d_out) = (4, 8, 3);
+        let mut a = randn_vec(rows * cols, 1.0, 3);
+        // ReLU: about half the entries become exact zeros.
+        for v in a.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let csr = ElemCsr::from_dense(&a, rows, cols, 0.0);
+        assert!(csr.density() < 1.0);
+        let w = randn_vec(cols * d_out, 1.0, 4);
+        let bias = randn_vec(d_out, 0.5, 5);
+        let mut y = vec![0.0; rows * d_out];
+        spmm(&csr, &w, d_out, Some(&bias), &mut y);
+        let mut expect = vec![0.0; rows * d_out];
+        dense_mm(&a, rows, cols, &w, d_out, &mut expect);
+        for r in 0..rows {
+            for c in 0..d_out {
+                expect[r * d_out + c] += bias[c];
+            }
+        }
+        for (x, e) in y.iter().zip(&expect) {
+            assert!((x - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_gives_bias_rows() {
+        let csr = ElemCsr::from_dense(&[0.0; 6], 2, 3, 0.0);
+        assert_eq!(csr.nnz(), 0);
+        let w = randn_vec(3 * 2, 1.0, 6);
+        let bias = vec![1.5, -2.0];
+        let mut y = vec![0.0; 4];
+        spmm(&csr, &w, 2, Some(&bias), &mut y);
+        assert_eq!(y, vec![1.5, -2.0, 1.5, -2.0]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Software IEEE binary16 ("half") support.
+//!
+//! The paper fine-tunes with mixed precision: FP16 parameters, FP32
+//! activations (§VII-A). This reproduction keeps all *compute* in f32 (CPU
+//! half arithmetic would distort timings) but stores frozen parameters as f16
+//! where the memory experiments need faithful footprints, and rounds through
+//! f16 to emulate the precision loss of mixed-precision storage.
+
+/// Convert an `f32` to IEEE binary16 bits (round-to-nearest-even).
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN. Preserve a NaN payload bit so NaN stays NaN.
+        let nan_bit = if frac != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan_bit | ((frac >> 13) as u16 & 0x03ff);
+    }
+
+    // Re-bias exponent from 127 to 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // Normal half. Round-to-nearest-even on the 13 truncated bits.
+        let mut mant = frac >> 13;
+        let rem = frac & 0x1fff;
+        if rem > 0x1000 || (rem == 0x1000 && (mant & 1) == 1) {
+            mant += 1;
+        }
+        let mut e = (unbiased + 15) as u32;
+        if mant == 0x400 {
+            // Mantissa rounded up past 10 bits: bump exponent.
+            mant = 0;
+            e += 1;
+            if e >= 31 {
+                return sign | 0x7c00;
+            }
+        }
+        return sign | ((e as u16) << 10) | (mant as u16);
+    }
+    if unbiased >= -24 {
+        // Subnormal half.
+        let full = frac | 0x0080_0000; // implicit leading 1
+        let shift = (-14 - unbiased) as u32 + 13;
+        let mut mant = full >> shift;
+        let rem_mask = (1u32 << shift) - 1;
+        let rem = full & rem_mask;
+        let half = 1u32 << (shift - 1);
+        if rem > half || (rem == half && (mant & 1) == 1) {
+            mant += 1;
+        }
+        return sign | (mant as u16);
+    }
+    sign // underflow -> signed zero
+}
+
+/// Convert IEEE binary16 bits back to `f32`.
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    let frac = (bits & 0x03ff) as u32;
+    let out = if exp == 0 {
+        if frac == 0 {
+            sign
+        } else {
+            // Subnormal: normalise.
+            let mut e = 127 - 15 + 1;
+            let mut f = frac;
+            while f & 0x0400 == 0 {
+                f <<= 1;
+                e -= 1;
+            }
+            sign | ((e as u32) << 23) | ((f & 0x03ff) << 13)
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (frac << 13)
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Round an `f32` through f16 precision (the storage round-trip).
+pub fn round_f16(value: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(value))
+}
+
+/// A parameter buffer stored at half precision.
+///
+/// Reads decompress to f32; the buffer reports its true (2-byte) footprint to
+/// the memory simulator.
+#[derive(Debug, Clone)]
+pub struct HalfBuffer {
+    bits: Vec<u16>,
+}
+
+impl HalfBuffer {
+    pub fn from_f32(values: &[f32]) -> Self {
+        HalfBuffer {
+            bits: values.iter().map(|&v| f32_to_f16_bits(v)).collect(),
+        }
+    }
+
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.bits.iter().map(|&b| f16_bits_to_f32(b)).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Bytes occupied by the half-precision storage.
+    pub fn bytes(&self) -> usize {
+        self.bits.len() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values_roundtrip() {
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, 2.0, -0.25, 65504.0] {
+            assert_eq!(round_f16(v), v, "{v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn signed_zero_preserved() {
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+    }
+
+    #[test]
+    fn overflow_saturates_to_inf() {
+        assert!(round_f16(1e6).is_infinite());
+        assert!(round_f16(-1e6).is_infinite() && round_f16(-1e6) < 0.0);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(round_f16(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn subnormals_roundtrip_with_tolerance() {
+        let v = 3.0e-6f32; // subnormal range of f16 (min normal ≈ 6.1e-5)
+        let r = round_f16(v);
+        assert!(r > 0.0 && (r - v).abs() / v < 0.05, "{v} -> {r}");
+    }
+
+    #[test]
+    fn tiny_underflows_to_zero() {
+        assert_eq!(round_f16(1e-9), 0.0);
+    }
+
+    #[test]
+    fn roundtrip_error_is_bounded() {
+        let vals = crate::rng::randn_vec(10_000, 1.0, 99);
+        for v in vals {
+            let r = round_f16(v);
+            // Half has ~3.3 decimal digits: relative error < 2^-10.
+            assert!((r - v).abs() <= v.abs() * 1e-3 + 1e-7, "{v} -> {r}");
+        }
+    }
+
+    #[test]
+    fn half_buffer_accounting() {
+        let vals = vec![1.0f32, 2.5, -3.25, 0.0];
+        let buf = HalfBuffer::from_f32(&vals);
+        assert_eq!(buf.bytes(), 8);
+        assert_eq!(buf.to_f32(), vals);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between two f16 values; ties-to-even
+        // keeps the even mantissa (1.0).
+        let v = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(round_f16(v), 1.0);
+        // 1 + 3*2^-11 is halfway between mantissas 1 and 2; even mantissa (2)
+        // wins, giving 1 + 2^-9.
+        let v2 = 1.0 + 3.0 * 2.0_f32.powi(-11);
+        assert_eq!(round_f16(v2), 1.0 + 2.0_f32.powi(-9));
+    }
+}

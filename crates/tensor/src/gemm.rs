@@ -1,0 +1,291 @@
+//! Blocked, multi-threaded dense GEMM kernels.
+//!
+//! These are the "dense counterparts" the paper's dynamic-aware operators are
+//! benchmarked against (Fig. 12). Layout conventions match the sparse kernels
+//! in `lx-sparse`: row-major everywhere, with `_nt`/`_tn` variants so callers
+//! never materialise transposes in the hot path.
+//!
+//! The inner kernels use the classic `i-k-j` order (A-element broadcast
+//! against a contiguous B row) which LLVM vectorises well; parallelism splits
+//! rows of C across the global pool with a FLOP-based grain so small matrices
+//! stay on the calling thread.
+
+use crate::Tensor;
+use lx_parallel::parallel_for;
+
+/// Don't fan out unless a task has at least this many fused mul-adds.
+const GRAIN_FLOPS: usize = 1 << 16;
+
+fn row_grain(k: usize, n: usize) -> usize {
+    (GRAIN_FLOPS / (k * n).max(1)).max(1)
+}
+
+/// `C[m,n] = A[m,k] · B[k,n] + beta·C`.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
+    assert_eq!(a.len(), m * k, "gemm: A size");
+    assert_eq!(b.len(), k * n, "gemm: B size");
+    assert_eq!(c.len(), m * n, "gemm: C size");
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    parallel_for(0..m, row_grain(k, n), |rows| {
+        let c_ptr = &c_ptr;
+        for i in rows {
+            // SAFETY: each row `i` of C is written by exactly one task.
+            let c_row = unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(i * n), n) };
+            scale_row(c_row, beta);
+            let a_row = &a[i * k..(i + 1) * k];
+            for (l, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[l * n..(l + 1) * n];
+                axpy_row(c_row, av, b_row);
+            }
+        }
+    });
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ + beta·C` — B stored row-major as `n×k`.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
+    assert_eq!(a.len(), m * k, "gemm_nt: A size");
+    assert_eq!(b.len(), n * k, "gemm_nt: B size");
+    assert_eq!(c.len(), m * n, "gemm_nt: C size");
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    parallel_for(0..m, row_grain(k, n), |rows| {
+        let c_ptr = &c_ptr;
+        for i in rows {
+            // SAFETY: row-disjoint writes as in `gemm`.
+            let c_row = unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(i * n), n) };
+            let a_row = &a[i * k..(i + 1) * k];
+            for (j, cv) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let dot = dot_unrolled(a_row, b_row);
+                *cv = beta * *cv + dot;
+            }
+        }
+    });
+}
+
+/// `C[m,n] = A[k,m]ᵀ · B[k,n] + beta·C` — A stored row-major as `k×m`.
+///
+/// This is the gradient-of-weights shape (`dW = Xᵀ · dY`), the dominant
+/// backward-pass GEMM in §II-C of the paper.
+pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
+    assert_eq!(a.len(), k * m, "gemm_tn: A size");
+    assert_eq!(b.len(), k * n, "gemm_tn: B size");
+    assert_eq!(c.len(), m * n, "gemm_tn: C size");
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    parallel_for(0..m, row_grain(k, n), |rows| {
+        let c_ptr = &c_ptr;
+        for i in rows.clone() {
+            // SAFETY: row-disjoint writes as in `gemm`.
+            let c_row = unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(i * n), n) };
+            scale_row(c_row, beta);
+        }
+        for l in 0..k {
+            let b_row = &b[l * n..(l + 1) * n];
+            for i in rows.clone() {
+                let av = a[l * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                // SAFETY: row-disjoint writes as in `gemm`.
+                let c_row = unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(i * n), n) };
+                axpy_row(c_row, av, b_row);
+            }
+        }
+    });
+}
+
+/// Tensor-level wrapper: `A[m,k] · B[k,n]` on the trailing-2-D views.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let mut c = Tensor::zeros(&[m, n]);
+    gemm(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice(), 0.0);
+    c
+}
+
+/// Tensor-level wrapper: `A[m,k] · B[n,k]ᵀ`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul_nt inner dims: {:?} x {:?}ᵀ", a.shape(), b.shape());
+    let mut c = Tensor::zeros(&[m, n]);
+    gemm_nt(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice(), 0.0);
+    c
+}
+
+/// Tensor-level wrapper: `A[k,m]ᵀ · B[k,n]`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul_tn inner dims: {:?}ᵀ x {:?}", a.shape(), b.shape());
+    let mut c = Tensor::zeros(&[m, n]);
+    gemm_tn(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice(), 0.0);
+    c
+}
+
+#[inline]
+fn scale_row(row: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        row.fill(0.0);
+    } else if beta != 1.0 {
+        for v in row {
+            *v *= beta;
+        }
+    }
+}
+
+#[inline]
+fn axpy_row(c: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(c.len(), b.len());
+    for (cv, bv) in c.iter_mut().zip(b.iter()) {
+        *cv += a * bv;
+    }
+}
+
+#[inline]
+fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Raw pointer wrapper so disjoint-row writes can cross the task boundary.
+struct SendPtr(*mut f32);
+// SAFETY: tasks write disjoint rows; the pointer itself is just an address.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for l in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + l] * b[l * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() <= tol * (1.0 + y.abs()), "idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let (m, k, n) = (33, 17, 29);
+        let a = crate::rng::randn_vec(m * k, 1.0, 1);
+        let b = crate::rng::randn_vec(k * n, 1.0, 2);
+        let mut c = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c, 0.0);
+        assert_close(&c, &naive(m, k, n, &a, &b), 1e-4);
+    }
+
+    #[test]
+    fn gemm_beta_accumulates() {
+        let (m, k, n) = (4, 3, 5);
+        let a = crate::rng::randn_vec(m * k, 1.0, 3);
+        let b = crate::rng::randn_vec(k * n, 1.0, 4);
+        let mut c = vec![1.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c, 2.0);
+        let mut expect = naive(m, k, n, &a, &b);
+        for v in expect.iter_mut() {
+            *v += 2.0;
+        }
+        assert_close(&c, &expect, 1e-4);
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive() {
+        let (m, k, n) = (19, 23, 11);
+        let a = crate::rng::randn_vec(m * k, 1.0, 5);
+        let bt = crate::rng::randn_vec(n * k, 1.0, 6); // n×k
+        // Build row-major k×n B for the naive reference.
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for l in 0..k {
+                b[l * n + j] = bt[j * k + l];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_nt(m, k, n, &a, &bt, &mut c, 0.0);
+        assert_close(&c, &naive(m, k, n, &a, &b), 1e-4);
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive() {
+        let (m, k, n) = (13, 21, 9);
+        let at = crate::rng::randn_vec(k * m, 1.0, 7); // k×m
+        let b = crate::rng::randn_vec(k * n, 1.0, 8);
+        let mut a = vec![0.0; m * k];
+        for l in 0..k {
+            for i in 0..m {
+                a[i * k + l] = at[l * m + i];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_tn(m, k, n, &at, &b, &mut c, 0.0);
+        assert_close(&c, &naive(m, k, n, &a, &b), 1e-4);
+    }
+
+    #[test]
+    fn large_parallel_gemm_matches_naive() {
+        let (m, k, n) = (128, 96, 64);
+        let a = crate::rng::randn_vec(m * k, 1.0, 9);
+        let b = crate::rng::randn_vec(k * n, 1.0, 10);
+        let mut c = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c, 0.0);
+        assert_close(&c, &naive(m, k, n, &a, &b), 1e-3);
+    }
+
+    #[test]
+    fn tensor_wrappers_shapes() {
+        let a = Tensor::randn(&[6, 4], 1.0, 11);
+        let b = Tensor::randn(&[4, 5], 1.0, 12);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[6, 5]);
+        let bt = b.transposed_2d();
+        let c2 = matmul_nt(&a, &bt);
+        assert_close(c.as_slice(), c2.as_slice(), 1e-4);
+        let at = a.transposed_2d();
+        let c3 = matmul_tn(&at, &b);
+        assert_close(c.as_slice(), c3.as_slice(), 1e-4);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        let a = Tensor::randn(&[1, 8], 1.0, 13);
+        let b = Tensor::randn(&[8, 1], 1.0, 14);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[1, 1]);
+        let expect: f32 = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x * y)
+            .sum();
+        assert!((c.as_slice()[0] - expect).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Global allocation tracker for tensor buffers.
+//!
+//! Paper Fig. 8 reports fine-tuning memory footprints; we reproduce it by
+//! accounting every tensor buffer the engine allocates. Tracking is
+//! cooperative (tensors register/unregister themselves) rather than a global
+//! allocator hook, which keeps it cheap and lets experiments scope peaks to a
+//! region of interest.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+pub(crate) fn register(bytes: usize) {
+    let now = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+pub(crate) fn unregister(bytes: usize) {
+    CURRENT.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// Bytes currently held by live tensors.
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// High-water mark since process start or the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Reset the peak to the current level; returns the old peak.
+pub fn reset_peak() -> usize {
+    let old = PEAK.swap(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+    old
+}
+
+/// Measure the peak tensor memory while `f` runs, in bytes above zero.
+/// The global peak is reset on entry, so concurrent measurement regions
+/// interfere; experiments run them sequentially.
+pub fn measure_peak<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    reset_peak();
+    let r = f();
+    (r, peak_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn tensor_lifecycle_tracks_bytes() {
+        let before = current_bytes();
+        let t = Tensor::zeros(&[128, 64]);
+        assert_eq!(current_bytes() - before, 128 * 64 * 4);
+        drop(t);
+        assert_eq!(current_bytes(), before);
+    }
+
+    #[test]
+    fn clone_registers_its_own_buffer() {
+        let before = current_bytes();
+        let t = Tensor::zeros(&[10, 10]);
+        let u = t.clone();
+        assert_eq!(current_bytes() - before, 2 * 10 * 10 * 4);
+        drop(t);
+        drop(u);
+        assert_eq!(current_bytes(), before);
+    }
+
+    #[test]
+    fn measure_peak_sees_transient_allocation() {
+        let (_, peak) = measure_peak(|| {
+            let base = current_bytes();
+            let t = Tensor::zeros(&[256, 256]);
+            drop(t);
+            base
+        });
+        assert!(peak >= 256 * 256 * 4);
+    }
+}

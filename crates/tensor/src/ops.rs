@@ -1,0 +1,351 @@
+//! Elementwise and row-wise numeric kernels shared by the model and the
+//! Long Exposure components: activations (ReLU for OPT-style models, GeLU for
+//! GPT-2-style), numerically-stable softmax and its backward, layer
+//! normalisation, and bias helpers.
+
+use crate::Tensor;
+use lx_parallel::parallel_for;
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+/// In-place ReLU.
+pub fn relu_inplace(x: &mut [f32]) {
+    for v in x {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// ReLU backward: `dz = da ⊙ [z > 0]`, reading the *pre-activation* `z`.
+pub fn relu_backward(da: &[f32], z: &[f32], dz: &mut [f32]) {
+    for ((g, &zv), out) in da.iter().zip(z).zip(dz.iter_mut()) {
+        *out = if zv > 0.0 { *g } else { 0.0 };
+    }
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+
+/// Tanh-approximation GeLU (as used by GPT-2).
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximation GeLU.
+#[inline]
+pub fn gelu_grad(x: f32) -> f32 {
+    let x3 = x * x * x;
+    let inner = GELU_C * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * GELU_C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+/// In-place GeLU.
+pub fn gelu_inplace(x: &mut [f32]) {
+    for v in x {
+        *v = gelu(*v);
+    }
+}
+
+/// GeLU backward from pre-activations.
+pub fn gelu_backward(da: &[f32], z: &[f32], dz: &mut [f32]) {
+    for ((g, &zv), out) in da.iter().zip(z).zip(dz.iter_mut()) {
+        *out = *g * gelu_grad(zv);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Softmax
+// ---------------------------------------------------------------------------
+
+/// Numerically-stable softmax over each `width`-sized row of `x`.
+pub fn softmax_rows(x: &mut [f32], width: usize) {
+    assert_eq!(x.len() % width.max(1), 0, "softmax_rows: ragged input");
+    if width == 0 {
+        return;
+    }
+    let rows = x.len() / width;
+    let ptr = SendPtr(x.as_mut_ptr());
+    parallel_for(0..rows, (4096 / width).max(1), |rr| {
+        let ptr = &ptr;
+        for r in rr {
+            // SAFETY: rows are disjoint across tasks.
+            let row = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(r * width), width) };
+            softmax_row(row);
+        }
+    });
+}
+
+/// Softmax of one row in place.
+pub fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        // Fully-masked row: define softmax as all zeros (no probability mass).
+        row.fill(0.0);
+        return;
+    }
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Softmax backward for one row: `dx = y ⊙ (dy − ⟨y, dy⟩)`.
+pub fn softmax_backward_row(y: &[f32], dy: &[f32], dx: &mut [f32]) {
+    let dot: f32 = y.iter().zip(dy).map(|(a, b)| a * b).sum();
+    for ((&yv, &dyv), out) in y.iter().zip(dy).zip(dx.iter_mut()) {
+        *out = yv * (dyv - dot);
+    }
+}
+
+/// Apply a causal mask to an `s×s` score matrix: positions `j > i` get −∞.
+pub fn apply_causal_mask(scores: &mut [f32], s: usize) {
+    assert_eq!(scores.len(), s * s);
+    for i in 0..s {
+        for v in scores[i * s + i + 1..(i + 1) * s].iter_mut() {
+            *v = f32::NEG_INFINITY;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+// ---------------------------------------------------------------------------
+
+/// LayerNorm forward over one row. Returns `(mean, rstd)` for the backward.
+pub fn layernorm_row(x: &[f32], gamma: &[f32], beta: &[f32], eps: f32, y: &mut [f32]) -> (f32, f32) {
+    let n = x.len() as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let rstd = 1.0 / (var + eps).sqrt();
+    for i in 0..x.len() {
+        y[i] = (x[i] - mean) * rstd * gamma[i] + beta[i];
+    }
+    (mean, rstd)
+}
+
+/// LayerNorm backward over one row.
+///
+/// Accumulates `dgamma`/`dbeta` (+=) and writes `dx`.
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_backward_row(
+    x: &[f32],
+    dy: &[f32],
+    gamma: &[f32],
+    mean: f32,
+    rstd: f32,
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    let n = x.len();
+    let nf = n as f32;
+    let mut sum_dyg = 0.0f32;
+    let mut sum_dyg_xhat = 0.0f32;
+    for i in 0..n {
+        let xhat = (x[i] - mean) * rstd;
+        let dyg = dy[i] * gamma[i];
+        sum_dyg += dyg;
+        sum_dyg_xhat += dyg * xhat;
+        dgamma[i] += dy[i] * xhat;
+        dbeta[i] += dy[i];
+    }
+    for i in 0..n {
+        let xhat = (x[i] - mean) * rstd;
+        let dyg = dy[i] * gamma[i];
+        dx[i] = rstd * (dyg - sum_dyg / nf - xhat * sum_dyg_xhat / nf);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bias helpers
+// ---------------------------------------------------------------------------
+
+/// `x[r, :] += bias` for every row.
+pub fn add_bias_rows(x: &mut Tensor, bias: &[f32]) {
+    let c = x.cols();
+    assert_eq!(c, bias.len(), "bias width");
+    for r in 0..x.rows() {
+        for (v, b) in x.row_mut(r).iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Column-sum of `dy` accumulated into `dbias` (+=).
+pub fn bias_grad_rows(dy: &Tensor, dbias: &mut [f32]) {
+    let c = dy.cols();
+    assert_eq!(c, dbias.len(), "bias grad width");
+    for r in 0..dy.rows() {
+        for (g, d) in dy.row(r).iter().zip(dbias.iter_mut()) {
+            *d += g;
+        }
+    }
+}
+
+struct SendPtr(*mut f32);
+// SAFETY: used only for disjoint-row writes.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_roundtrip() {
+        let mut x = vec![-1.0, 0.0, 2.0];
+        relu_inplace(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.0]);
+        let z = vec![-1.0, 0.5, 2.0];
+        let da = vec![1.0, 1.0, 1.0];
+        let mut dz = vec![0.0; 3];
+        relu_backward(&da, &z, &mut dz);
+        assert_eq!(dz, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh approximation itself evaluated in f64.
+        assert!((gelu(0.0)).abs() < 1e-7);
+        assert!((gelu(1.0) - 0.841_192).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.158_808).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let h = 1e-3;
+            let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!((gelu_grad(x) - fd).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn softmax_row_sums_to_one_and_is_stable() {
+        let mut row = vec![1000.0, 1001.0, 999.0];
+        softmax_row(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(row.iter().all(|v| v.is_finite()));
+        assert!(row[1] > row[0] && row[0] > row[2]);
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_zero() {
+        let mut row = vec![f32::NEG_INFINITY; 4];
+        softmax_row(&mut row);
+        assert!(row.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let x = vec![0.3f32, -0.7, 1.1, 0.2];
+        let dy = vec![0.5f32, -0.2, 0.1, 0.9];
+        let mut y = x.clone();
+        softmax_row(&mut y);
+        let mut dx = vec![0.0; 4];
+        softmax_backward_row(&y, &dy, &mut dx);
+        for i in 0..4 {
+            let h = 1e-3;
+            let mut xp = x.clone();
+            xp[i] += h;
+            softmax_row(&mut xp);
+            let mut xm = x.clone();
+            xm[i] -= h;
+            softmax_row(&mut xm);
+            let fd: f32 = xp
+                .iter()
+                .zip(&xm)
+                .zip(&dy)
+                .map(|((p, m), g)| (p - m) / (2.0 * h) * g)
+                .sum();
+            assert!((dx[i] - fd).abs() < 1e-3, "i={i}: {} vs {fd}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn causal_mask_zeroes_upper_triangle_after_softmax() {
+        let s = 4;
+        let mut scores = vec![0.5f32; s * s];
+        apply_causal_mask(&mut scores, s);
+        softmax_rows(&mut scores, s);
+        for i in 0..s {
+            for j in 0..s {
+                let v = scores[i * s + j];
+                if j > i {
+                    assert_eq!(v, 0.0);
+                } else {
+                    assert!((v - 1.0 / (i + 1) as f32).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layernorm_normalises() {
+        let x = vec![1.0f32, 2.0, 3.0, 4.0];
+        let gamma = vec![1.0; 4];
+        let beta = vec![0.0; 4];
+        let mut y = vec![0.0; 4];
+        layernorm_row(&x, &gamma, &beta, 1e-5, &mut y);
+        let mean: f32 = y.iter().sum::<f32>() / 4.0;
+        let var: f32 = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_backward_matches_finite_difference() {
+        let n = 6;
+        let x: Vec<f32> = crate::rng::randn_vec(n, 1.0, 20);
+        let gamma: Vec<f32> = crate::rng::uniform_vec(n, 0.5, 1.5, 21);
+        let beta: Vec<f32> = crate::rng::randn_vec(n, 0.1, 22);
+        let dy: Vec<f32> = crate::rng::randn_vec(n, 1.0, 23);
+        let mut y = vec![0.0; n];
+        let (mean, rstd) = layernorm_row(&x, &gamma, &beta, 1e-6, &mut y);
+        let mut dx = vec![0.0; n];
+        let mut dgamma = vec![0.0; n];
+        let mut dbeta = vec![0.0; n];
+        layernorm_backward_row(&x, &dy, &gamma, mean, rstd, &mut dx, &mut dgamma, &mut dbeta);
+        let loss = |xv: &[f32]| -> f32 {
+            let mut yy = vec![0.0; n];
+            layernorm_row(xv, &gamma, &beta, 1e-6, &mut yy);
+            yy.iter().zip(&dy).map(|(a, b)| a * b).sum()
+        };
+        for i in 0..n {
+            let h = 1e-3;
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * h);
+            assert!((dx[i] - fd).abs() < 2e-3, "i={i}: {} vs {fd}", dx[i]);
+        }
+        // dbeta is just dy; dgamma is dy * xhat.
+        for i in 0..n {
+            assert!((dbeta[i] - dy[i]).abs() < 1e-6);
+            let xhat = (x[i] - mean) * rstd;
+            assert!((dgamma[i] - dy[i] * xhat).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bias_add_and_grad() {
+        let mut x = Tensor::zeros(&[3, 2]);
+        add_bias_rows(&mut x, &[1.0, 2.0]);
+        assert_eq!(x.row(2), &[1.0, 2.0]);
+        let mut db = vec![0.0; 2];
+        bias_grad_rows(&x, &mut db);
+        assert_eq!(db, vec![3.0, 6.0]);
+    }
+}

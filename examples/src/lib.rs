@@ -1,0 +1,4 @@
+//! Example binaries for the Long Exposure workspace live at the package
+//! root (`quickstart.rs`, `instruction_tuning.rs`, `sparsity_explorer.rs`,
+//! `operator_playground.rs`); run them with
+//! `cargo run --release -p lx-examples --example <name>`.

@@ -1,0 +1,191 @@
+//! Property-based tests on the core data structures and kernel invariants.
+
+use lx_sparse::attention::{
+    block_data_to_dense, block_row_softmax, dense_to_block_data, dsd, dsd_tn, sdd_nt, CausalFill,
+};
+use lx_sparse::neuron::{fc1_forward, fc2_forward};
+use lx_sparse::{BlockCsr, BlockMask, NeuronBlockSet, PatternSpec};
+use lx_tensor::f16::round_f16;
+use lx_tensor::rng::randn_vec;
+use proptest::prelude::*;
+
+fn arb_mask(max_n: usize) -> impl Strategy<Value = BlockMask> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::bool::ANY, n * n).prop_map(move |bits| {
+            let mut m = BlockMask::square(n);
+            for i in 0..n {
+                m.set(i, i, true); // keep rows alive for softmax invariants
+                for j in 0..i {
+                    if bits[i * n + j] {
+                        m.set(i, j, true);
+                    }
+                }
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn block_csr_roundtrips_any_mask(mask in arb_mask(8)) {
+        let csr = BlockCsr::from_mask(&mask, 4);
+        prop_assert_eq!(csr.to_mask(), mask.clone());
+        prop_assert_eq!(csr.nnz_blocks(), mask.count());
+        // CSC view is a permutation of the CSR entries.
+        let mut seen: Vec<bool> = vec![false; csr.nnz_blocks()];
+        for bc in 0..csr.n_bcols {
+            for e in csr.col_entries(bc) {
+                let csr_e = csr.csc_to_csr[e] as usize;
+                prop_assert!(!seen[csr_e]);
+                seen[csr_e] = true;
+                prop_assert_eq!(csr.col_idx[csr_e] as usize, bc);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn block_data_dense_roundtrip(mask in arb_mask(6), seed in 0u64..1000) {
+        let csr = BlockCsr::from_mask(&mask, 4);
+        let data = randn_vec(csr.data_len(), 1.0, seed);
+        let dense = block_data_to_dense(&data, &csr);
+        let back = dense_to_block_data(&dense, &csr);
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn sparse_softmax_rows_are_distributions(mask in arb_mask(6), seed in 0u64..1000) {
+        let block = 4;
+        let csr = BlockCsr::from_mask(&mask, block);
+        let s = csr.n_brows * block;
+        let q = randn_vec(s * 8, 1.0, seed);
+        let k = randn_vec(s * 8, 1.0, seed + 1);
+        let mut p = vec![0.0f32; csr.data_len()];
+        sdd_nt(&q, &k, s, 8, 0.35, &csr, CausalFill::NegInf, &mut p);
+        block_row_softmax(&mut p, &csr);
+        let dense = block_data_to_dense(&p, &csr);
+        for i in 0..s {
+            let row_sum: f32 = dense[i * s..(i + 1) * s].iter().sum();
+            // Every row has its diagonal block, so sums to 1.
+            prop_assert!((row_sum - 1.0).abs() < 1e-4, "row {} sums {}", i, row_sum);
+            // Causality.
+            for j in (i + 1)..s {
+                prop_assert_eq!(dense[i * s + j], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dsd_and_dsd_tn_are_adjoint(mask in arb_mask(5), seed in 0u64..1000) {
+        // ⟨P·V, W⟩ == ⟨V, Pᵀ·W⟩ for any block data P and dense V, W.
+        let block = 4;
+        let dh = 6;
+        let csr = BlockCsr::from_mask(&mask, block);
+        let s = csr.n_brows * block;
+        let p = randn_vec(csr.data_len(), 1.0, seed);
+        let v = randn_vec(s * dh, 1.0, seed + 1);
+        let w = randn_vec(s * dh, 1.0, seed + 2);
+        let mut pv = vec![0.0f32; s * dh];
+        dsd(&p, &v, s, dh, &csr, &mut pv);
+        let mut ptw = vec![0.0f32; s * dh];
+        dsd_tn(&p, &w, s, dh, &csr, &mut ptw);
+        let lhs: f32 = pv.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let rhs: f32 = v.iter().zip(&ptw).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-3 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn pattern_specs_always_causal_with_diagonal(
+        w in 1u32..5, g in 1u32..4, r in 0u32..3, stride in 1u32..6, n in 2usize..10, seed in 0u64..100
+    ) {
+        for spec in [
+            PatternSpec::LocalWindow { w },
+            PatternSpec::GlobalStripe { g },
+            PatternSpec::LocalGlobal { w, g },
+            PatternSpec::BigBird { w, g, r, seed },
+            PatternSpec::Strided { w, stride },
+            PatternSpec::Causal,
+        ] {
+            let m = spec.mask(n);
+            for i in 0..n {
+                prop_assert!(m.get(i, i), "{:?} missing diag {}", spec, i);
+                for j in (i + 1)..n {
+                    prop_assert!(!m.get(i, j), "{:?} acausal at ({},{})", spec, i, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_error_bounded(bits in proptest::num::u32::ANY) {
+        let v = f32::from_bits(bits);
+        if v.is_finite() && v.abs() < 60000.0 {
+            let r = round_f16(v);
+            if v.abs() >= 6.2e-5 {
+                // Normal range: relative error < 2^-10.
+                prop_assert!((r - v).abs() <= v.abs() * 1.0e-3, "{} -> {}", v, r);
+            } else {
+                // Subnormal range: absolute error < smallest subnormal step.
+                prop_assert!((r - v).abs() <= 6.0e-8, "{} -> {}", v, r);
+            }
+        }
+    }
+
+    #[test]
+    fn neuron_kernels_match_masked_dense(
+        active_bits in proptest::collection::vec(proptest::bool::ANY, 4),
+        seed in 0u64..1000
+    ) {
+        let block = 4;
+        let n_blk = 4;
+        let (rows, d) = (5usize, 6usize);
+        let d_ff = n_blk * block;
+        let mut mask = active_bits.clone();
+        if !mask.iter().any(|&b| b) {
+            mask[0] = true;
+        }
+        let set = NeuronBlockSet::from_mask(&mask, block);
+        let x = randn_vec(rows * d, 1.0, seed);
+        let w1t = randn_vec(d_ff * d, 0.5, seed + 1);
+        let w2 = randn_vec(d_ff * d, 0.5, seed + 2);
+        // Sparse path.
+        let width = set.active_neurons();
+        let mut z = vec![0.0f32; rows * width];
+        fc1_forward(&x, rows, &w1t, d, None, &set, &mut z);
+        for v in z.iter_mut() { if *v < 0.0 { *v = 0.0; } }
+        let mut y = vec![0.0f32; rows * d];
+        fc2_forward(&z, rows, &w2, d, None, &set, &mut y);
+        // Dense reference with inactive neurons zeroed.
+        let all = NeuronBlockSet::all(n_blk, block);
+        let mut zf = vec![0.0f32; rows * d_ff];
+        fc1_forward(&x, rows, &w1t, d, None, &all, &mut zf);
+        for r in 0..rows {
+            for nrn in 0..d_ff {
+                let blk = nrn / block;
+                if !mask[blk] || zf[r * d_ff + nrn] < 0.0 {
+                    zf[r * d_ff + nrn] = 0.0;
+                }
+            }
+        }
+        let mut yf = vec![0.0f32; rows * d];
+        fc2_forward(&zf, rows, &w2, d, None, &all, &mut yf);
+        for (a, b) in y.iter().zip(&yf) {
+            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()), "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn mask_union_is_monotone(m1 in arb_mask(6)) {
+        let n = m1.rows();
+        let m2 = PatternSpec::LocalWindow { w: 2 }.mask(n);
+        let mut u = m1.clone();
+        u.union_with(&m2);
+        prop_assert!(u.count() >= m1.count());
+        prop_assert!(u.count() >= m2.count());
+        prop_assert_eq!(m1.covered_by(&u), m1.count());
+        prop_assert_eq!(m2.covered_by(&u), m2.count());
+    }
+}
