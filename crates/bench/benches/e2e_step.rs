@@ -11,11 +11,19 @@ use std::hint::black_box;
 
 fn bench_e2e(c: &mut Criterion) {
     let (batch, seq) = (1, 128);
-    let (mut engine, mut batcher) =
-        calibrated_engine(ModelConfig::opt_sim_small(), PeftMethod::lora_default(), batch, seq, 42);
+    let (mut engine, mut batcher) = calibrated_engine(
+        ModelConfig::opt_sim_small(),
+        PeftMethod::lora_default(),
+        batch,
+        seq,
+        42,
+    );
     let mut opt = default_opt();
     let mut group = c.benchmark_group("e2e_train_step");
-    for (name, mode) in [("dense", StepMode::Dense), ("long_exposure", StepMode::Sparse)] {
+    for (name, mode) in [
+        ("dense", StepMode::Dense),
+        ("long_exposure", StepMode::Sparse),
+    ] {
         group.bench_function(name, |bch| {
             bch.iter(|| {
                 let ids = batcher.next_batch(batch, seq);

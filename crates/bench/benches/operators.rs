@@ -130,7 +130,10 @@ fn bench_pattern_pool(c: &mut Criterion) {
     });
     group.bench_function("rebuild_layouts_from_masks", |bch| {
         bch.iter(|| {
-            let layouts: Vec<BlockCsr> = masks.iter().map(|m| BlockCsr::from_mask(m, BLOCK)).collect();
+            let layouts: Vec<BlockCsr> = masks
+                .iter()
+                .map(|m| BlockCsr::from_mask(m, BLOCK))
+                .collect();
             black_box(layouts)
         })
     });

@@ -5,8 +5,8 @@
 //! These back the paper's two predictor "criteria": efficiency (§V-A) and
 //! accuracy under drifting inputs (§V-B).
 
-use long_exposure::predictor::{pool_blocks, AttnPredictor, AttnSample};
 use long_exposure::exposer::Exposer;
+use long_exposure::predictor::{pool_blocks, AttnPredictor, AttnSample};
 use lx_bench::{header, row, sim_model, SIM_BLOCK};
 use lx_data::e2e::E2eGenerator;
 use lx_data::{Batcher, SyntheticWorld};
@@ -55,7 +55,11 @@ fn main() {
         }
     });
     header(&["variant", "time ms", "relative"]);
-    row(&["downsampled (block-pooled)".into(), format!("{:.3}", t_pooled * 1e3), "1.0x".into()]);
+    row(&[
+        "downsampled (block-pooled)".into(),
+        format!("{:.3}", t_pooled * 1e3),
+        "1.0x".into(),
+    ]);
     row(&[
         "full resolution".into(),
         format!("{:.3}", t_full * 1e3),
@@ -66,7 +70,15 @@ fn main() {
     // ---- (b) training options quality ----
     println!("== Ablation (b): recall weighting + noise augmentation (§V-B) ==\n");
     let ids = batcher.next_batch(batch, seq);
-    let (_, caps) = model.forward_with_captures(&ids, batch, seq, CaptureConfig { attn: true, mlp: false });
+    let (_, caps) = model.forward_with_captures(
+        &ids,
+        batch,
+        seq,
+        CaptureConfig {
+            attn: true,
+            mlp: false,
+        },
+    );
     let exposer = Exposer::new(SIM_BLOCK, 8.0 / seq as f32, 0.3);
     // Build per-sample attention training sets from layer 0.
     let cap = &caps[0];

@@ -12,8 +12,19 @@ use lx_peft::PeftMethod;
 fn main() {
     let (batch, seq, steps) = (2, 256, 3);
     let cfg = ModelConfig::opt_sim_small();
-    println!("== Fig. 10: per-phase breakdown ({}, batch {batch}, seq {seq}) ==\n", cfg.name);
-    header(&["method", "predict", "forward", "backward", "optim", "total (ms)", "speedup"]);
+    println!(
+        "== Fig. 10: per-phase breakdown ({}, batch {batch}, seq {seq}) ==\n",
+        cfg.name
+    );
+    header(&[
+        "method",
+        "predict",
+        "forward",
+        "backward",
+        "optim",
+        "total (ms)",
+        "speedup",
+    ]);
     let methods = [
         ("Full", PeftMethod::Full),
         ("LoRA", PeftMethod::lora_default()),
@@ -23,7 +34,15 @@ fn main() {
     for (name, method) in methods {
         let (mut engine, mut batcher) = calibrated_engine(cfg.clone(), method, batch, seq, 42);
         let mut opt = default_opt();
-        let dense = mean_step(&mut engine, &mut batcher, batch, seq, StepMode::Dense, steps, &mut opt);
+        let dense = mean_step(
+            &mut engine,
+            &mut batcher,
+            batch,
+            seq,
+            StepMode::Dense,
+            steps,
+            &mut opt,
+        );
         row(&[
             format!("{name} (dense)"),
             "-".into(),
@@ -33,7 +52,15 @@ fn main() {
             fmt_ms(dense.total()),
             "1.00x".into(),
         ]);
-        let lx = mean_step(&mut engine, &mut batcher, batch, seq, StepMode::Sparse, steps, &mut opt);
+        let lx = mean_step(
+            &mut engine,
+            &mut batcher,
+            batch,
+            seq,
+            StepMode::Sparse,
+            steps,
+            &mut opt,
+        );
         row(&[
             format!("{name} (+LongExposure)"),
             fmt_ms(lx.predict),
@@ -41,7 +68,10 @@ fn main() {
             fmt_ms(lx.backward),
             fmt_ms(lx.optim),
             fmt_ms(lx.total()),
-            format!("{:.2}x", dense.total().as_secs_f64() / lx.total().as_secs_f64()),
+            format!(
+                "{:.2}x",
+                dense.total().as_secs_f64() / lx.total().as_secs_f64()
+            ),
         ]);
     }
     println!("\nshape to check: +LongExposure cuts forward & backward; predict column stays ~1-3% of total.");

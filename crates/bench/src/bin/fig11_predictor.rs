@@ -15,7 +15,10 @@ use lx_peft::PeftMethod;
 fn main() {
     let (batch, seq, steps) = (2, 128, 80);
     let cfg = ModelConfig::opt_sim_small();
-    println!("== Fig. 11a: loss curves ({}, batch {batch}, seq {seq}, {steps} steps) ==\n", cfg.name);
+    println!(
+        "== Fig. 11a: loss curves ({}, batch {batch}, seq {seq}, {steps} steps) ==\n",
+        cfg.name
+    );
 
     let arms = [
         ("dense", StepMode::Dense),
@@ -41,7 +44,13 @@ fn main() {
         }
         curves.push((name.to_string(), losses));
     }
-    header(&["step", "dense", "long-exposure", "random-attn", "random-mlp"]);
+    header(&[
+        "step",
+        "dense",
+        "long-exposure",
+        "random-attn",
+        "random-mlp",
+    ]);
     for i in (0..steps).step_by(10).chain([steps - 1]) {
         let mut cells = vec![i.to_string()];
         for (_, c) in &curves {
@@ -76,7 +85,13 @@ fn main() {
             .collect();
         engine.calibrate(&batches)
     };
-    header(&["layer", "attn recall", "attn precision", "mlp recall", "mlp precision"]);
+    header(&[
+        "layer",
+        "attn recall",
+        "attn precision",
+        "mlp recall",
+        "mlp precision",
+    ]);
     for l in 0..report.attn_recall.len() {
         row(&[
             l.to_string(),
@@ -93,16 +108,21 @@ fn main() {
 
     // Visualise ground-truth vs predicted mask for layer 0, head 0.
     let ids = batcher.next_batch(batch, seq);
-    let (_, caps) = engine
-        .model
-        .forward_with_captures(&ids, batch, seq, CaptureConfig { attn: true, mlp: false });
+    let (_, caps) = engine.model.forward_with_captures(
+        &ids,
+        batch,
+        seq,
+        CaptureConfig {
+            attn: true,
+            mlp: false,
+        },
+    );
     let exposer = Exposer::new(SIM_BLOCK, 8.0 / seq as f32, 0.3);
     let probs = caps[0].attn_probs.as_ref().unwrap();
     let target = &exposer.attention_head_masks(probs, batch, cfg.n_heads, seq)[0];
     println!("layer 0 head 0 — target (left) vs prediction (right):");
     let x = caps[0].block_input.as_ref().unwrap();
-    let predicted = &engine
-        .predict_attention_masks(0, x, batch, seq)[0];
+    let predicted = &engine.predict_attention_masks(0, x, batch, seq)[0];
     let ta = target.to_ascii();
     let pa = predicted.to_ascii();
     for (lt, lp) in ta.lines().zip(pa.lines()) {

@@ -43,7 +43,9 @@ fn mask_with_density(n: usize, density: f64, seed: u64) -> BlockMask {
 fn main() {
     let (s, dh, block) = (512, 64, 32);
     let n = s / block;
-    println!("== Fig. 12a: block-sparse attention vs dense (seq {s}, head dim {dh}, block {block}) ==\n");
+    println!(
+        "== Fig. 12a: block-sparse attention vs dense (seq {s}, head dim {dh}, block {block}) ==\n"
+    );
     let q = randn_vec(s * dh, 1.0, 1);
     let k = randn_vec(s * dh, 1.0, 2);
     let v = randn_vec(s * dh, 1.0, 3);
@@ -95,11 +97,19 @@ fn main() {
     };
     let dense_set = NeuronBlockSet::all(n_blk, block);
     let mlp_dense_t = time_it(|| run(&dense_set));
-    header(&["sparsity", "active blocks", "time ms", "dense ms", "speedup"]);
+    header(&[
+        "sparsity",
+        "active blocks",
+        "time ms",
+        "dense ms",
+        "speedup",
+    ]);
     for sparsity in [0.0f64, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95] {
         let keep = (((1.0 - sparsity) * n_blk as f64).round() as usize).max(1);
         let set = NeuronBlockSet::from_indices(
-            (0..keep as u32).map(|i| i * (n_blk as u32 / keep.max(1) as u32).max(1) % n_blk as u32).collect(),
+            (0..keep as u32)
+                .map(|i| i * (n_blk as u32 / keep.max(1) as u32).max(1) % n_blk as u32)
+                .collect(),
             n_blk,
             block,
         );

@@ -13,7 +13,16 @@ use lx_runtime::cost::{step_cost, DeviceSpec, WorkloadParams};
 fn main() {
     let steps = 3;
     println!("== Fig. 13 (measured): GPT-2-style sim model (GeLU: attention-only sparsity) ==\n");
-    header(&["model", "seq", "method", "dense ms", "long-exp ms", "speedup", "attn dens", "mlp dens"]);
+    header(&[
+        "model",
+        "seq",
+        "method",
+        "dense ms",
+        "long-exp ms",
+        "speedup",
+        "attn dens",
+        "mlp dens",
+    ]);
     let cfg = ModelConfig::gpt2_sim();
     let mut attn_density = 1.0f64;
     for seq in [256usize, 512] {
@@ -25,8 +34,24 @@ fn main() {
         ] {
             let (mut engine, mut batcher) = calibrated_engine(cfg.clone(), method, batch, seq, 42);
             let mut opt = default_opt();
-            let dense = mean_step(&mut engine, &mut batcher, batch, seq, StepMode::Dense, steps, &mut opt);
-            let lx = mean_step(&mut engine, &mut batcher, batch, seq, StepMode::Sparse, steps, &mut opt);
+            let dense = mean_step(
+                &mut engine,
+                &mut batcher,
+                batch,
+                seq,
+                StepMode::Dense,
+                steps,
+                &mut opt,
+            );
+            let lx = mean_step(
+                &mut engine,
+                &mut batcher,
+                batch,
+                seq,
+                StepMode::Sparse,
+                steps,
+                &mut opt,
+            );
             if let Some(d) = lx.attn_density {
                 attn_density = d as f64;
             }
@@ -37,7 +62,10 @@ fn main() {
                 mname.to_string(),
                 fmt_ms(dense.total()),
                 fmt_ms(lx.total()),
-                format!("{:.2}x", dense.total().as_secs_f64() / lx.total().as_secs_f64()),
+                format!(
+                    "{:.2}x",
+                    dense.total().as_secs_f64() / lx.total().as_secs_f64()
+                ),
                 format!("{:.2}", lx.attn_density.unwrap_or(1.0)),
                 "dense (GeLU)".into(),
             ]);
@@ -45,7 +73,14 @@ fn main() {
     }
 
     println!("\n== Fig. 13 (modelled): paper dims on A100 (attention-only savings) ==\n");
-    header(&["model", "seq", "dense ms", "long-exp ms", "speedup", "paper avg"]);
+    header(&[
+        "model",
+        "seq",
+        "dense ms",
+        "long-exp ms",
+        "speedup",
+        "paper avg",
+    ]);
     let dev = DeviceSpec::a100();
     for (name, cfg, paper) in [
         ("gpt2-large", ModelConfig::gpt2_large(), "1.63x"),
@@ -70,5 +105,7 @@ fn main() {
             ]);
         }
     }
-    println!("\nshape to check: smaller-than-OPT but consistent speedups; MLP stays dense for GeLU.");
+    println!(
+        "\nshape to check: smaller-than-OPT but consistent speedups; MLP stays dense for GeLU."
+    );
 }

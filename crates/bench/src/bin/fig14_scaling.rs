@@ -53,7 +53,13 @@ fn main() {
     println!("\n(2 physical cores: ideal measured scaling tops out near the core count)\n");
 
     println!("== Fig. 14 (modelled): paper dims, A100s, LoRA + Long Exposure ==\n");
-    header(&["model", "1 GPU ms", "2 GPUs ms", "4 GPUs ms", "4-GPU efficiency"]);
+    header(&[
+        "model",
+        "1 GPU ms",
+        "2 GPUs ms",
+        "4 GPUs ms",
+        "4-GPU efficiency",
+    ]);
     let dev = DeviceSpec::a100();
     for (name, cfg) in [
         ("opt-125m", ModelConfig::opt_125m()),

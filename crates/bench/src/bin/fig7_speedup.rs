@@ -19,7 +19,16 @@ use lx_runtime::cost::{scaled_step_cost, step_cost, DeviceSpec, WorkloadParams};
 fn main() {
     let steps = 3;
     println!("== Fig. 7 (measured): sim models, dense vs Long Exposure ==\n");
-    header(&["model", "seq", "method", "dense ms", "long-exp ms", "speedup", "attn dens", "mlp dens"]);
+    header(&[
+        "model",
+        "seq",
+        "method",
+        "dense ms",
+        "long-exp ms",
+        "speedup",
+        "attn dens",
+        "mlp dens",
+    ]);
     let mut densities = Vec::new();
     for cfg in [ModelConfig::opt_sim_small(), ModelConfig::opt_sim_base()] {
         for seq in [256usize, 512] {
@@ -29,12 +38,27 @@ fn main() {
                 ("adapter", PeftMethod::adapter_default()),
                 ("bitfit", PeftMethod::BitFit),
             ] {
-                let (mut engine, mut batcher) = calibrated_engine(cfg.clone(), method, batch, seq, 42);
+                let (mut engine, mut batcher) =
+                    calibrated_engine(cfg.clone(), method, batch, seq, 42);
                 let mut opt = default_opt();
-                let dense =
-                    mean_step(&mut engine, &mut batcher, batch, seq, StepMode::Dense, steps, &mut opt);
-                let lx =
-                    mean_step(&mut engine, &mut batcher, batch, seq, StepMode::Sparse, steps, &mut opt);
+                let dense = mean_step(
+                    &mut engine,
+                    &mut batcher,
+                    batch,
+                    seq,
+                    StepMode::Dense,
+                    steps,
+                    &mut opt,
+                );
+                let lx = mean_step(
+                    &mut engine,
+                    &mut batcher,
+                    batch,
+                    seq,
+                    StepMode::Sparse,
+                    steps,
+                    &mut opt,
+                );
                 let speedup = dense.total().as_secs_f64() / lx.total().as_secs_f64();
                 row(&[
                     cfg.name.clone(),
@@ -46,7 +70,10 @@ fn main() {
                     format!("{:.2}", lx.attn_density.unwrap_or(1.0)),
                     format!("{:.2}", lx.mlp_density.unwrap_or(1.0)),
                 ]);
-                densities.push((lx.attn_density.unwrap_or(1.0) as f64, lx.mlp_density.unwrap_or(1.0) as f64));
+                densities.push((
+                    lx.attn_density.unwrap_or(1.0) as f64,
+                    lx.mlp_density.unwrap_or(1.0) as f64,
+                ));
             }
         }
     }
@@ -54,8 +81,18 @@ fn main() {
     let mlp_d = densities.iter().map(|d| d.1).sum::<f64>() / densities.len() as f64;
     println!("\nmean measured densities: attention {attn_d:.2}, MLP {mlp_d:.2}\n");
 
-    println!("== Fig. 7 (modelled): paper dims on A100 / A6000, LoRA fraction, measured densities ==\n");
-    header(&["platform", "model", "seq", "dense ms", "long-exp ms", "speedup", "paper speedup"]);
+    println!(
+        "== Fig. 7 (modelled): paper dims on A100 / A6000, LoRA fraction, measured densities ==\n"
+    );
+    header(&[
+        "platform",
+        "model",
+        "seq",
+        "dense ms",
+        "long-exp ms",
+        "speedup",
+        "paper speedup",
+    ]);
     let refs = [
         // (model, seq, paper avg speedup on A100)
         ("opt-1.3b", 512, "1.25x"),

@@ -18,18 +18,41 @@ use lx_tensor::memtrack;
 
 fn main() {
     println!("== Fig. 8 (modelled): paper dims, A100-80GB, batch 4, LoRA ==\n");
-    header(&["model", "seq", "dense GB", "long-exp GB", "optimal GB", "reduction (opt)", "dense OOM?"]);
+    header(&[
+        "model",
+        "seq",
+        "dense GB",
+        "long-exp GB",
+        "optimal GB",
+        "reduction (opt)",
+        "dense OOM?",
+    ]);
     let dev = DeviceSpec::a100();
     let (attn_d, mlp_d, lf) = (0.25, 0.45, 0.003);
-    for (name, cfg) in [("opt-350m", ModelConfig::opt_350m()), ("opt-1.3b", ModelConfig::opt_1_3b())] {
+    for (name, cfg) in [
+        ("opt-350m", ModelConfig::opt_350m()),
+        ("opt-1.3b", ModelConfig::opt_1_3b()),
+    ] {
         for seq in [512usize, 1024, 2048, 4096] {
             let dense = step_memory(&cfg, 4, seq, MemoryMode::Dense, 1.0, 1.0, lf);
             let lx = step_memory(&cfg, 4, seq, MemoryMode::LongExposure, attn_d, mlp_d, lf);
-            let opt = step_memory(&cfg, 4, seq, MemoryMode::LongExposureOptimal, attn_d, mlp_d, lf);
+            let opt = step_memory(
+                &cfg,
+                4,
+                seq,
+                MemoryMode::LongExposureOptimal,
+                attn_d,
+                mlp_d,
+                lf,
+            );
             row(&[
                 name.to_string(),
                 seq.to_string(),
-                format!("{:.1}{}", dense.total_gb(), if dense.oom_on(&dev) { " (OOM)" } else { "" }),
+                format!(
+                    "{:.1}{}",
+                    dense.total_gb(),
+                    if dense.oom_on(&dev) { " (OOM)" } else { "" }
+                ),
                 format!("{:.1}", lx.total_gb()),
                 format!("{:.1}", opt.total_gb()),
                 format!("{:.2}x", dense.total() / opt.total()),
@@ -48,10 +71,26 @@ fn main() {
             calibrated_engine(cfg.clone(), PeftMethod::lora_default(), batch, seq, 42);
         let mut opt = default_opt();
         let ((), dense_peak) = memtrack::measure_peak(|| {
-            mean_step(&mut engine, &mut batcher, batch, seq, StepMode::Dense, 2, &mut opt);
+            mean_step(
+                &mut engine,
+                &mut batcher,
+                batch,
+                seq,
+                StepMode::Dense,
+                2,
+                &mut opt,
+            );
         });
         let ((), lx_peak) = memtrack::measure_peak(|| {
-            mean_step(&mut engine, &mut batcher, batch, seq, StepMode::Sparse, 2, &mut opt);
+            mean_step(
+                &mut engine,
+                &mut batcher,
+                batch,
+                seq,
+                StepMode::Sparse,
+                2,
+                &mut opt,
+            );
         });
         row(&[
             cfg.name.clone(),
@@ -61,5 +100,7 @@ fn main() {
             format!("{:.2}x", dense_peak as f64 / lx_peak as f64),
         ]);
     }
-    println!("\nshape to check: attention-buffer term grows 4x per seq doubling when dense, ~2x sparse.");
+    println!(
+        "\nshape to check: attention-buffer term grows 4x per seq doubling when dense, ~2x sparse."
+    );
 }

@@ -45,7 +45,10 @@ fn main() {
     let ids = batcher.next_batch(batch, seq);
 
     // ---- Left: sparsity ratios per layer ----
-    println!("== Fig. 9 (left): per-layer sparsity ratios ({}, seq {seq}) ==\n", cfg.name);
+    println!(
+        "== Fig. 9 (left): per-layer sparsity ratios ({}, seq {seq}) ==\n",
+        cfg.name
+    );
     // The paper sweeps 1-5% of peak on OPT checkpoints; the sim models'
     // compressed dynamic range maps that sweep to ~0.2-0.5 (EXPERIMENTS.md).
     let thresholds = [0.2f32, 0.3, 0.4, 0.5];
@@ -58,7 +61,13 @@ fn main() {
         },
     );
     let reports = engine.sparsity_report(&ids, batch, seq, &thresholds);
-    header(&["layer", "shadowy", "longformer", "bigbird", "long-exposure (attn)"]);
+    header(&[
+        "layer",
+        "shadowy",
+        "longformer",
+        "bigbird",
+        "long-exposure (attn)",
+    ]);
     for r in &reports {
         row(&[
             r.layer.to_string(),
@@ -81,13 +90,31 @@ fn main() {
 
     // ---- Right: per-layer kernel performance ----
     println!("\n== Fig. 9 (right): per-layer kernel time, dense vs shadowy vs Long Exposure ==\n");
-    let (_, caps) = model.forward_with_captures(&ids, batch, seq, CaptureConfig { attn: true, mlp: true });
+    let (_, caps) = model.forward_with_captures(
+        &ids,
+        batch,
+        seq,
+        CaptureConfig {
+            attn: true,
+            mlp: true,
+        },
+    );
     let exposer = Exposer::new(block, 8.0 / seq as f32, 0.3);
     let pool = PatternPool::default_pool(block, &[seq / block]);
     let dh = cfg.head_dim();
     let rows_n = batch * seq;
 
-    header(&["layer", "attn dense ms", "attn shadowy ms", "attn LX ms", "LX speedup", "mlp dense ms", "mlp shadowy ms", "mlp LX ms", "LX speedup"]);
+    header(&[
+        "layer",
+        "attn dense ms",
+        "attn shadowy ms",
+        "attn LX ms",
+        "LX speedup",
+        "mlp dense ms",
+        "mlp shadowy ms",
+        "mlp LX ms",
+        "LX speedup",
+    ]);
     for (l, cap) in caps.iter().enumerate() {
         // Attention arms (single representative head workload × n_heads).
         let q = randn_vec(seq * dh, 1.0, l as u64);

@@ -13,8 +13,20 @@ use lx_peft::PeftMethod;
 fn main() {
     let (batch, seq, steps) = (2, 256, 3);
     let cfg = ModelConfig::opt_sim_small();
-    println!("== Table I: fine-tuning time breakdown ({}, batch {batch}, seq {seq}) ==\n", cfg.name);
-    header(&["method", "forward", "backward", "optim", "total (ms/batch)", "fwd%", "bwd%", "opt%"]);
+    println!(
+        "== Table I: fine-tuning time breakdown ({}, batch {batch}, seq {seq}) ==\n",
+        cfg.name
+    );
+    header(&[
+        "method",
+        "forward",
+        "backward",
+        "optim",
+        "total (ms/batch)",
+        "fwd%",
+        "bwd%",
+        "opt%",
+    ]);
     let methods = [
         ("Full Param.", PeftMethod::Full),
         ("LoRA", PeftMethod::lora_default()),
@@ -25,7 +37,15 @@ fn main() {
     for (name, method) in methods {
         let (mut engine, mut batcher) = calibrated_engine(cfg.clone(), method, batch, seq, 42);
         let mut opt = default_opt();
-        let s = mean_step(&mut engine, &mut batcher, batch, seq, StepMode::Dense, steps, &mut opt);
+        let s = mean_step(
+            &mut engine,
+            &mut batcher,
+            batch,
+            seq,
+            StepMode::Dense,
+            steps,
+            &mut opt,
+        );
         let total = s.total().as_secs_f64();
         row(&[
             name.to_string(),

@@ -14,7 +14,12 @@ use lx_data::{instruct::InstructGenerator, Batcher, SyntheticWorld};
 use lx_model::{prompt_aware_targets, ModelConfig};
 use lx_peft::{LoraTargets, PeftMethod};
 
-fn finetuned(cfg: &ModelConfig, mode: StepMode, steps: usize, seed: u64) -> long_exposure::FinetuneEngine {
+fn finetuned(
+    cfg: &ModelConfig,
+    mode: StepMode,
+    steps: usize,
+    seed: u64,
+) -> long_exposure::FinetuneEngine {
     let (batch, seq) = (2, 128);
     let method = PeftMethod::Lora {
         rank: 8,
@@ -54,7 +59,10 @@ fn main() {
 
     println!("\n== Table IV: accuracy after instruction fine-tuning, w/o vs w/ Long Exposure ==\n");
     for cfg in [ModelConfig::opt_sim_small(), ModelConfig::opt_sim_base()] {
-        println!("model {} ({} steps of LoRA instruction tuning):", cfg.name, steps);
+        println!(
+            "model {} ({} steps of LoRA instruction tuning):",
+            cfg.name, steps
+        );
         header(&["task", "w/o acc", "stderr", "w/ acc", "stderr", "delta"]);
         let mut dense = finetuned(&cfg, StepMode::Dense, steps, 42);
         let mut sparse = finetuned(&cfg, StepMode::Sparse, steps, 42);

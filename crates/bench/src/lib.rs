@@ -118,7 +118,10 @@ pub fn row(cells: &[String]) {
 /// Convenience: header + separator.
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]
@@ -127,11 +130,27 @@ mod tests {
 
     #[test]
     fn calibrated_engine_builds_and_steps() {
-        let (mut engine, mut batcher) =
-            calibrated_engine(ModelConfig::opt_sim_small(), PeftMethod::lora_default(), 1, 64, 5);
+        let (mut engine, mut batcher) = calibrated_engine(
+            ModelConfig::opt_sim_small(),
+            PeftMethod::lora_default(),
+            1,
+            64,
+            5,
+        );
         let mut opt = default_opt();
-        let stats = mean_step(&mut engine, &mut batcher, 1, 64, StepMode::Sparse, 1, &mut opt);
+        let stats = mean_step(
+            &mut engine,
+            &mut batcher,
+            1,
+            64,
+            StepMode::Sparse,
+            1,
+            &mut opt,
+        );
         assert!(stats.loss.is_finite());
-        assert!(stats.mlp_density.unwrap() < 1.0, "MLP sparsity should engage");
+        assert!(
+            stats.mlp_density.unwrap() < 1.0,
+            "MLP sparsity should engage"
+        );
     }
 }

@@ -3,17 +3,16 @@
 //! Predictors are trained offline (§V-B) and reused across fine-tuning runs
 //! of the same backbone, so they need a durable format. The format is a
 //! small header + raw little-endian f32 payloads via `bytes`, with a JSON
-//! metadata block (serde) describing shapes — readable by external tooling.
+//! metadata block describing shapes — readable by external tooling.
 
 use crate::predictor::{AttnPredictor, MlpPredictor};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use lx_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 const MAGIC: &[u8; 8] = b"LXPRED01";
 
 /// Shape metadata stored alongside the raw weights.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointMeta {
     pub d_model: usize,
     pub n_heads: usize,
@@ -21,6 +20,119 @@ pub struct CheckpointMeta {
     pub n_layers: usize,
     pub mlp_blocks: usize,
     pub block_size: usize,
+}
+
+impl CheckpointMeta {
+    const FIELDS: [&'static str; 6] = [
+        "d_model",
+        "n_heads",
+        "rank",
+        "n_layers",
+        "mlp_blocks",
+        "block_size",
+    ];
+
+    fn field(&self, name: &str) -> usize {
+        match name {
+            "d_model" => self.d_model,
+            "n_heads" => self.n_heads,
+            "rank" => self.rank,
+            "n_layers" => self.n_layers,
+            "mlp_blocks" => self.mlp_blocks,
+            "block_size" => self.block_size,
+            _ => unreachable!("unknown meta field {name}"),
+        }
+    }
+
+    fn field_mut(&mut self, name: &str) -> &mut usize {
+        match name {
+            "d_model" => &mut self.d_model,
+            "n_heads" => &mut self.n_heads,
+            "rank" => &mut self.rank,
+            "n_layers" => &mut self.n_layers,
+            "mlp_blocks" => &mut self.mlp_blocks,
+            "block_size" => &mut self.block_size,
+            _ => unreachable!("unknown meta field {name}"),
+        }
+    }
+
+    /// Serialise as a flat JSON object (readable by external tooling).
+    pub fn to_json(&self) -> Vec<u8> {
+        let body: Vec<String> = Self::FIELDS
+            .iter()
+            .map(|f| format!("\"{f}\":{}", self.field(f)))
+            .collect();
+        format!("{{{}}}", body.join(",")).into_bytes()
+    }
+
+    /// Parse the flat JSON object written by [`CheckpointMeta::to_json`].
+    pub fn from_json(data: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(data).map_err(|e| format!("meta not UTF-8: {e}"))?;
+        let inner = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or_else(|| format!("meta not a JSON object: {text}"))?;
+        let mut meta = CheckpointMeta {
+            d_model: 0,
+            n_heads: 0,
+            rank: 0,
+            n_layers: 0,
+            mlp_blocks: 0,
+            block_size: 0,
+        };
+        let mut seen = [false; Self::FIELDS.len()];
+        for pair in inner.split(',') {
+            let (key, value) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("bad meta entry: {pair}"))?;
+            let key = key.trim().trim_matches('"');
+            let value: usize = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad meta value for {key}: {e}"))?;
+            let idx = Self::FIELDS
+                .iter()
+                .position(|f| *f == key)
+                .ok_or_else(|| format!("unknown meta field {key}"))?;
+            if seen[idx] {
+                return Err(format!("duplicate meta field {key}"));
+            }
+            seen[idx] = true;
+            *meta.field_mut(key) = value;
+        }
+        if let Some(idx) = seen.iter().position(|s| !s) {
+            return Err(format!("meta is missing field {}", Self::FIELDS[idx]));
+        }
+        // Plausibility bounds: these drive allocations in `load_predictors`
+        // *before* any payload check, so a corrupt header must fail here
+        // rather than abort on a multi-gigabyte Vec. Individual fields are
+        // not enough — the allocations are *products* of fields
+        // (`AttnPredictor::new` builds n_heads pairs of [d_model, rank]
+        // tensors per layer, `MlpPredictor::new` a [d_model, mlp_blocks]
+        // tensor), so bound the total element count a load would allocate.
+        const MAX_DIM: usize = 1 << 20;
+        for f in Self::FIELDS {
+            let v = meta.field(f);
+            if v == 0 || v > MAX_DIM {
+                return Err(format!("meta field {f} = {v} out of range 1..={MAX_DIM}"));
+            }
+        }
+        const MAX_TOTAL_ELEMS: usize = 1 << 28; // ~1 GiB of f32
+        let per_layer = meta
+            .d_model
+            .checked_mul(meta.rank)
+            .and_then(|v| v.checked_mul(meta.n_heads))
+            .and_then(|v| v.checked_mul(2))
+            .and_then(|v| v.checked_add(meta.d_model * meta.mlp_blocks));
+        let total = per_layer.and_then(|v| v.checked_mul(meta.n_layers));
+        match total {
+            Some(t) if t <= MAX_TOTAL_ELEMS => Ok(meta),
+            _ => Err(format!(
+                "meta implies an implausibly large predictor set ({total:?} elements, cap {MAX_TOTAL_ELEMS})"
+            )),
+        }
+    }
 }
 
 /// Serialise all layers' predictors into one buffer.
@@ -33,7 +145,7 @@ pub fn save_predictors(
     assert_eq!(mlp.len(), meta.n_layers);
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
-    let meta_json = serde_json::to_vec(meta).expect("meta serialises");
+    let meta_json = meta.to_json();
     buf.put_u32_le(meta_json.len() as u32);
     buf.put_slice(&meta_json);
     for layer in attn {
@@ -71,8 +183,7 @@ pub fn load_predictors(
         return Err("truncated metadata".into());
     }
     let meta_bytes = data.copy_to_bytes(meta_len);
-    let meta: CheckpointMeta =
-        serde_json::from_slice(&meta_bytes).map_err(|e| format!("bad metadata: {e}"))?;
+    let meta = CheckpointMeta::from_json(&meta_bytes).map_err(|e| format!("bad metadata: {e}"))?;
     let mut attn = Vec::with_capacity(meta.n_layers);
     for l in 0..meta.n_layers {
         let mut p = AttnPredictor::new(meta.d_model, meta.n_heads, meta.rank, 0);
@@ -159,7 +270,9 @@ mod tests {
                 p
             })
             .collect();
-        let mlp: Vec<MlpPredictor> = (0..2).map(|l| MlpPredictor::new(8, 16, 4, 200 + l)).collect();
+        let mlp: Vec<MlpPredictor> = (0..2)
+            .map(|l| MlpPredictor::new(8, 16, 4, 200 + l))
+            .collect();
         (meta, attn, mlp)
     }
 
@@ -217,5 +330,23 @@ mod tests {
         let mut raw = save_predictors(&meta, &attn, &mlp).to_vec();
         raw.extend_from_slice(&[0, 1, 2]);
         assert!(load_predictors(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn hostile_meta_rejected_before_allocation() {
+        // Duplicate key masking a missing one.
+        let dup = br#"{"d_model":8,"d_model":8,"n_heads":2,"rank":3,"n_layers":2,"mlp_blocks":4}"#;
+        assert!(CheckpointMeta::from_json(dup).is_err());
+        // Zero field.
+        let zero =
+            br#"{"d_model":8,"n_heads":2,"rank":0,"n_layers":2,"mlp_blocks":4,"block_size":4}"#;
+        assert!(CheckpointMeta::from_json(zero).is_err());
+        // Fields individually within bounds but whose product would allocate
+        // petabytes in load_predictors.
+        let huge = format!(
+            "{{\"d_model\":{0},\"n_heads\":{0},\"rank\":{0},\"n_layers\":2,\"mlp_blocks\":4,\"block_size\":4}}",
+            1usize << 20
+        );
+        assert!(CheckpointMeta::from_json(huge.as_bytes()).is_err());
     }
 }

@@ -426,7 +426,10 @@ impl FinetuneEngine {
                                     }
                                 }
                             }
-                            Arc::new(lx_sparse::BlockCsr::from_mask(&mask, self.config.block_size))
+                            Arc::new(lx_sparse::BlockCsr::from_mask(
+                                &mask,
+                                self.config.block_size,
+                            ))
                         })
                         .collect();
                     layer.attn = Some(Arc::new(lx_sparse::MultiHeadLayout::combine(layouts)));
@@ -523,11 +526,22 @@ impl FinetuneEngine {
                 mlp: mlp_on,
             },
         );
-        let exposer = Exposer::new(blk, self.config.attn_prob_threshold, self.config.mlp_threshold);
+        let exposer = Exposer::new(
+            blk,
+            self.config.attn_prob_threshold,
+            self.config.mlp_threshold,
+        );
         let causal_cost = PatternSpec::Causal.cost(n) as f32;
         let longformer = 1.0 - PatternSpec::LocalGlobal { w: 4, g: 2 }.cost(n) as f32 / causal_cost;
-        let bigbird =
-            1.0 - PatternSpec::BigBird { w: 2, g: 1, r: 2, seed: 7 }.cost(n) as f32 / causal_cost;
+        let bigbird = 1.0
+            - PatternSpec::BigBird {
+                w: 2,
+                g: 1,
+                r: 2,
+                seed: 7,
+            }
+            .cost(n) as f32
+                / causal_cost;
         caps.iter()
             .enumerate()
             .map(|(l, cap)| {
@@ -669,7 +683,11 @@ mod tests {
         for _ in 0..8 {
             last = e.train_step(&ids, &targets, b, s, &mut opt).loss;
         }
-        assert!(last < first.loss, "sparse training must reduce loss: {} -> {last}", first.loss);
+        assert!(
+            last < first.loss,
+            "sparse training must reduce loss: {} -> {last}",
+            first.loss
+        );
     }
 
     #[test]

@@ -58,6 +58,7 @@ impl Exposer {
         let n = seq / self.block_size;
         let mut masks = vec![BlockMask::square(n); heads];
         for b in 0..batch {
+            #[allow(clippy::needless_range_loop)]
             for h in 0..heads {
                 let mask = &mut masks[h];
                 for s in 0..seq {
@@ -221,8 +222,7 @@ mod tests {
         }
         let masks = exposer().attention_head_masks(&probs, batch, heads, seq);
         let union = Exposer::attention_union_mask(&masks);
-        let mean_head: f32 =
-            masks.iter().map(|m| m.count() as f32).sum::<f32>() / heads as f32;
+        let mean_head: f32 = masks.iter().map(|m| m.count() as f32).sum::<f32>() / heads as f32;
         assert!(
             (union.count() as f32) > mean_head,
             "union {} vs mean head {mean_head}",

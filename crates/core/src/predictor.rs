@@ -126,7 +126,13 @@ impl AttnPredictor {
     /// Predict per-head block masks for a (possibly multi-sample) batch.
     /// Stage two: per-sample predictions are consolidated by union, which
     /// preserves recall across the batch.
-    pub fn predict_masks(&self, x: &Tensor, batch: usize, seq: usize, block: usize) -> Vec<BlockMask> {
+    pub fn predict_masks(
+        &self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+        block: usize,
+    ) -> Vec<BlockMask> {
         let pooled = pool_blocks(x, batch, seq, block);
         let n = seq / block;
         let mut masks = vec![BlockMask::square(n); self.heads.len()];
@@ -195,20 +201,27 @@ impl AttnPredictor {
                 let mut weight_sum = 0.0f32;
                 for i in 0..n {
                     for j in 0..=i {
-                        let t = if sample.targets[h].get(i, j) { 1.0 } else { 0.0 };
+                        let t = if sample.targets[h].get(i, j) {
+                            1.0
+                        } else {
+                            0.0
+                        };
                         weight_sum += if t > 0.5 { pos_weight } else { 1.0 };
                     }
                 }
                 let mean_w = (weight_sum / m).max(1e-6);
                 for i in 0..n {
                     for j in 0..=i {
-                        let t = if sample.targets[h].get(i, j) { 1.0 } else { 0.0 };
+                        let t = if sample.targets[h].get(i, j) {
+                            1.0
+                        } else {
+                            0.0
+                        };
                         let p = sigmoid(logits.row(i)[j]);
                         let w = (if t > 0.5 { pos_weight } else { 1.0 }) / mean_w;
                         let eps = 1e-7f32;
-                        total_loss -= (w
-                            * (t * (p + eps).ln() + (1.0 - t) * (1.0 - p + eps).ln()))
-                            as f64;
+                        total_loss -=
+                            (w * (t * (p + eps).ln() + (1.0 - t) * (1.0 - p + eps).ln())) as f64;
                         count += 1;
                         dlogits.row_mut(i)[j] = w * (p - t) / m;
                     }
@@ -254,8 +267,16 @@ impl AttnPredictor {
                 }
             }
         }
-        let recall = if tp + r#fn == 0 { 1.0 } else { tp as f32 / (tp + r#fn) as f32 };
-        let precision = if tp + fp == 0 { 1.0 } else { tp as f32 / (tp + fp) as f32 };
+        let recall = if tp + r#fn == 0 {
+            1.0
+        } else {
+            tp as f32 / (tp + r#fn) as f32
+        };
+        let precision = if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f32 / (tp + fp) as f32
+        };
         (recall, precision)
     }
 }
@@ -356,8 +377,8 @@ impl MlpPredictor {
             }
             let rows = noisy.rows();
             let logits = matmul(&noisy, &self.wa); // [rows, n_blk]
-            // Stage-two reduction first: the trained statistic is the
-            // soft-max-reduced logit per block, matching `predict`.
+                                                   // Stage-two reduction first: the trained statistic is the
+                                                   // soft-max-reduced logit per block, matching `predict`.
             let reduced = self.reduce_logits(&logits);
             let target: Vec<bool> = {
                 let mut t = vec![false; self.n_blocks];
@@ -376,8 +397,7 @@ impl MlpPredictor {
                 let p = sigmoid(reduced[blk]);
                 let w = (if t > 0.5 { pos_weight } else { 1.0 }) / mean_w;
                 let eps = 1e-7f32;
-                total_loss -=
-                    (w * (t * (p + eps).ln() + (1.0 - t) * (1.0 - p + eps).ln())) as f64;
+                total_loss -= (w * (t * (p + eps).ln() + (1.0 - t) * (1.0 - p + eps).ln())) as f64;
                 count += 1;
                 dreduced[blk] = w * (p - t) / m;
             }
@@ -417,8 +437,16 @@ impl MlpPredictor {
                 }
             }
         }
-        let recall = if tp + r#fn == 0 { 1.0 } else { tp as f32 / (tp + r#fn) as f32 };
-        let precision = if tp + fp == 0 { 1.0 } else { tp as f32 / (tp + fp) as f32 };
+        let recall = if tp + r#fn == 0 {
+            1.0
+        } else {
+            tp as f32 / (tp + r#fn) as f32
+        };
+        let precision = if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f32 / (tp + fp) as f32
+        };
         (recall, precision)
     }
 }
@@ -525,6 +553,7 @@ mod tests {
                 // feature b clears a margin (a rank-1-detectable rule that
                 // does not fire on every sample).
                 let mut reduced = vec![false; n_blk];
+                #[allow(clippy::needless_range_loop)]
                 for r in 0..rows {
                     for b in 0..n_blk {
                         reduced[b] |= x.row(r)[b] > 0.8;

@@ -52,7 +52,10 @@ impl SyntheticWorld {
 
     /// The partner of content token `t` (panics on special tokens).
     pub fn partner(&self, t: u32) -> u32 {
-        assert!(t >= N_SPECIAL && t < self.vocab_size, "not a content token: {t}");
+        assert!(
+            t >= N_SPECIAL && t < self.vocab_size,
+            "not a content token: {t}"
+        );
         self.partner[(t - N_SPECIAL) as usize] + N_SPECIAL
     }
 

@@ -46,7 +46,10 @@ impl Adapter {
     }
 
     pub fn backward(&mut self, dout: &Tensor) -> Tensor {
-        let h = self.cache_h.take().expect("Adapter backward without forward");
+        let h = self
+            .cache_h
+            .take()
+            .expect("Adapter backward without forward");
         let dhr = self.up.backward(dout);
         let mut dh = Tensor::zeros(h.shape());
         relu_backward(dhr.as_slice(), h.as_slice(), dh.as_mut_slice());
@@ -131,7 +134,13 @@ impl TransformerBlock {
         ));
     }
 
-    pub fn forward(&mut self, x: &Tensor, batch: usize, seq: usize, plan: Option<&LayerPlan>) -> Tensor {
+    pub fn forward(
+        &mut self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+        plan: Option<&LayerPlan>,
+    ) -> Tensor {
         let attn_layout = plan.and_then(|p| p.attn.as_ref());
         let mlp_set = plan.and_then(|p| p.mlp.as_ref());
         let capture = self.capture_cfg.take();
@@ -247,7 +256,11 @@ mod tests {
         let loss = |a: &mut Adapter, y: &Tensor| -> f32 {
             let out = a.forward(y);
             a.cache_h = None;
-            out.as_slice().iter().zip(dout.as_slice()).map(|(u, v)| u * v).sum()
+            out.as_slice()
+                .iter()
+                .zip(dout.as_slice())
+                .map(|(u, v)| u * v)
+                .sum()
         };
         let h = 1e-3;
         for idx in [0usize, 7] {
@@ -285,7 +298,11 @@ mod tests {
         let dx = blk.backward(&dy);
         let loss = |blk: &mut TransformerBlock, x: &Tensor| -> f32 {
             let y = blk.forward(x, b, s, None);
-            y.as_slice().iter().zip(dy.as_slice()).map(|(u, v)| u * v).sum()
+            y.as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(u, v)| u * v)
+                .sum()
         };
         let h = 1e-2;
         for idx in [0usize, 17, 40] {

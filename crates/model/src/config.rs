@@ -44,7 +44,10 @@ impl ModelConfig {
     }
 
     fn validate(self) -> Self {
-        assert!(self.d_model % self.n_heads == 0, "d_model must divide by heads");
+        assert!(
+            self.d_model.is_multiple_of(self.n_heads),
+            "d_model must divide by heads"
+        );
         self
     }
 
@@ -186,7 +189,13 @@ impl ModelConfig {
 
     /// Depth/width-scaled sim variant of a paper preset, preserving the
     /// layer-count ratio between model sizes so scaling trends survive.
-    pub fn scaled_sim(name: &str, n_layers: usize, d_model: usize, n_heads: usize, act: Activation) -> Self {
+    pub fn scaled_sim(
+        name: &str,
+        n_layers: usize,
+        d_model: usize,
+        n_heads: usize,
+        act: Activation,
+    ) -> Self {
         ModelConfig {
             name: name.into(),
             n_layers,

@@ -98,7 +98,10 @@ impl Embedding {
     /// Accumulate grads into whatever is trainable (prompt, token table,
     /// position table).
     pub fn backward(&mut self, dout: &Tensor) {
-        let cache = self.cache.take().expect("Embedding::backward without forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("Embedding::backward without forward");
         let p = self.prompt_len();
         let eff = cache.seq + p;
         let d = self.d_model;

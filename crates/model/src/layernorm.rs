@@ -54,7 +54,10 @@ impl LayerNorm {
     }
 
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("LayerNorm::backward without forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("LayerNorm::backward without forward");
         let rows = dy.rows();
         let dim = dy.cols();
         let mut dx = Tensor::zeros(dy.shape());
@@ -73,7 +76,8 @@ impl LayerNorm {
             );
         }
         if self.gamma.trainable {
-            self.gamma.accumulate_grad(&Tensor::from_vec(dgamma, &[dim]));
+            self.gamma
+                .accumulate_grad(&Tensor::from_vec(dgamma, &[dim]));
         }
         if self.beta.trainable {
             self.beta.accumulate_grad(&Tensor::from_vec(dbeta, &[dim]));
@@ -117,7 +121,11 @@ mod tests {
         let dx = ln.backward(&dy);
         let loss = |ln: &mut LayerNorm, x: &Tensor| -> f32 {
             let y = ln.forward(x);
-            y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let h = 1e-3;
         for idx in [0usize, 4, 9] {

@@ -21,14 +21,25 @@ pub struct Lora {
 }
 
 impl Lora {
-    pub fn new(name_prefix: &str, d_in: usize, d_out: usize, rank: usize, alpha: f32, seed: u64) -> Self {
+    pub fn new(
+        name_prefix: &str,
+        d_in: usize,
+        d_out: usize,
+        rank: usize,
+        alpha: f32,
+        seed: u64,
+    ) -> Self {
         Lora {
             a: Param::new(
                 format!("{name_prefix}.lora_a"),
                 Tensor::randn(&[rank, d_in], 1.0 / rank as f32, seed),
                 true,
             ),
-            b: Param::new(format!("{name_prefix}.lora_b"), Tensor::zeros(&[d_out, rank]), true),
+            b: Param::new(
+                format!("{name_prefix}.lora_b"),
+                Tensor::zeros(&[d_out, rank]),
+                true,
+            ),
             scale: alpha / rank as f32,
             cache_ax: None,
         }
@@ -53,7 +64,10 @@ impl Linear {
     pub fn new(name: &str, d_in: usize, d_out: usize, with_bias: bool, seed: u64) -> Self {
         let std = (2.0 / (d_in + d_out) as f32).sqrt();
         Linear {
-            weight: Param::frozen(format!("{name}.weight"), Tensor::randn(&[d_in, d_out], std, seed)),
+            weight: Param::frozen(
+                format!("{name}.weight"),
+                Tensor::randn(&[d_in, d_out], std, seed),
+            ),
             bias: with_bias.then(|| Param::frozen(format!("{name}.bias"), Tensor::zeros(&[d_out]))),
             lora: None,
             cache_x: None,
@@ -71,7 +85,14 @@ impl Linear {
     /// Attach a LoRA adapter (marks it trainable; backbone stays as-is).
     pub fn attach_lora(&mut self, rank: usize, alpha: f32, seed: u64) {
         let name = self.weight.name.trim_end_matches(".weight").to_string();
-        self.lora = Some(Lora::new(&name, self.d_in(), self.d_out(), rank, alpha, seed));
+        self.lora = Some(Lora::new(
+            &name,
+            self.d_in(),
+            self.d_out(),
+            rank,
+            alpha,
+            seed,
+        ));
     }
 
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
@@ -91,7 +112,10 @@ impl Linear {
 
     /// Backward: returns `dx`; accumulates grads into trainable params.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let x = self.cache_x.take().expect("Linear::backward without forward");
+        let x = self
+            .cache_x
+            .take()
+            .expect("Linear::backward without forward");
         let mut dx = matmul_nt(dy, &self.weight.value); // dy · Wᵀ
         if self.weight.trainable {
             let dw = matmul_tn(&x, dy); // xᵀ · dy
@@ -144,7 +168,11 @@ mod tests {
 
     fn finite_diff_loss(lin: &mut Linear, x: &Tensor, dy: &Tensor) -> f32 {
         let y = lin.forward(x);
-        y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+        y.as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(a, b)| a * b)
+            .sum()
     }
 
     #[test]
@@ -164,7 +192,10 @@ mod tests {
         let y = lin.forward(&x);
         let dy = Tensor::randn(y.shape(), 1.0, 4);
         let _ = lin.backward(&dy);
-        assert!(lin.weight.grad.is_none(), "frozen weight must not allocate grads");
+        assert!(
+            lin.weight.grad.is_none(),
+            "frozen weight must not allocate grads"
+        );
     }
 
     #[test]

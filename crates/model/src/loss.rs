@@ -22,6 +22,7 @@ pub fn cross_entropy(logits: &Tensor, targets: &[i32]) -> (f32, Tensor) {
     }
     let inv = 1.0 / counted as f32;
     let mut loss = 0.0f64;
+    #[allow(clippy::needless_range_loop)]
     for r in 0..rows {
         let t = targets[r];
         if t == IGNORE_INDEX {
@@ -46,6 +47,7 @@ pub fn sequence_logprob(logits: &Tensor, targets: &[i32]) -> f32 {
     let rows = logits.rows();
     assert_eq!(targets.len(), rows);
     let mut total = 0.0f64;
+    #[allow(clippy::needless_range_loop)]
     for r in 0..rows {
         let t = targets[r];
         if t == IGNORE_INDEX {

@@ -13,7 +13,7 @@ use lx_sparse::attention::{
 };
 use lx_sparse::MultiHeadLayout;
 use lx_tensor::gemm::{gemm, gemm_nt, gemm_tn};
-use lx_tensor::ops::{apply_causal_mask, softmax_rows, softmax_backward_row};
+use lx_tensor::ops::{apply_causal_mask, softmax_backward_row, softmax_rows};
 use lx_tensor::Tensor;
 use std::sync::Arc;
 
@@ -147,7 +147,16 @@ impl MultiHeadAttention {
                         let vs = rows(&v, off, seq, self.head_dim);
                         let dr = layout.head_data_range(h);
                         let p = &mut probs.as_mut_slice()[b * total..(b + 1) * total][dr];
-                        sdd_nt(qs, ks, seq, self.head_dim, scale, head_layout, CausalFill::NegInf, p);
+                        sdd_nt(
+                            qs,
+                            ks,
+                            seq,
+                            self.head_dim,
+                            scale,
+                            head_layout,
+                            CausalFill::NegInf,
+                            p,
+                        );
                         if let Some(slopes) = &self.alibi_slopes {
                             apply_alibi_blocks(p, head_layout, slopes[h]);
                         }
@@ -181,7 +190,10 @@ impl MultiHeadAttention {
 
     /// Backward; returns `dx`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("attention backward without forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("attention backward without forward");
         let (batch, seq, dh, heads) = (cache.batch, cache.seq, self.head_dim, self.n_heads);
         let scale = 1.0 / (dh as f32).sqrt();
         let dmerged = self.wo.backward(dy);
@@ -244,8 +256,22 @@ impl MultiHeadAttention {
                         for v in ds.iter_mut() {
                             *v *= scale;
                         }
-                        dsd(&ds, ks, seq, dh, head_layout, rows_mut(&mut dq, off, seq, dh));
-                        dsd_tn(&ds, qs, seq, dh, head_layout, rows_mut(&mut dk, off, seq, dh));
+                        dsd(
+                            &ds,
+                            ks,
+                            seq,
+                            dh,
+                            head_layout,
+                            rows_mut(&mut dq, off, seq, dh),
+                        );
+                        dsd_tn(
+                            &ds,
+                            qs,
+                            seq,
+                            dh,
+                            head_layout,
+                            rows_mut(&mut dk, off, seq, dh),
+                        );
                         dsd_tn(p, dc, seq, dh, head_layout, rows_mut(&mut dv, off, seq, dh));
                     }
                 }
@@ -457,7 +483,11 @@ mod tests {
         let loss = |attn: &mut MultiHeadAttention, x: &Tensor| -> f32 {
             let y = attn.forward(x, b, s, None);
             attn.cache = None;
-            y.as_slice().iter().zip(dy.as_slice()).map(|(u, v)| u * v).sum()
+            y.as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(u, v)| u * v)
+                .sum()
         };
         let h = 1e-3;
         for idx in [0usize, 7, 13] {

@@ -68,7 +68,10 @@ impl MlpBlock {
     pub fn new(name: &str, d_model: usize, d_ff: usize, activation: Activation, seed: u64) -> Self {
         let std1 = (2.0 / (d_model + d_ff) as f32).sqrt();
         MlpBlock {
-            w1: Param::frozen(format!("{name}.w1"), Tensor::randn(&[d_ff, d_model], std1, seed)),
+            w1: Param::frozen(
+                format!("{name}.w1"),
+                Tensor::randn(&[d_ff, d_model], std1, seed),
+            ),
             b1: Param::frozen(format!("{name}.b1"), Tensor::zeros(&[d_ff])),
             w2: Param::frozen(
                 format!("{name}.w2"),
@@ -338,7 +341,12 @@ impl MlpBlock {
         dx
     }
 
-    fn backward_sparse(&mut self, dy: &Tensor, cache: &MlpCache, set: Arc<NeuronBlockSet>) -> Tensor {
+    fn backward_sparse(
+        &mut self,
+        dy: &Tensor,
+        cache: &MlpCache,
+        set: Arc<NeuronBlockSet>,
+    ) -> Tensor {
         let rows = dy.rows();
         let width = set.active_neurons();
         let bsz = set.block_size;
@@ -606,9 +614,8 @@ mod tests {
             }
         }
         // At least one active row must have gradient (ReLU keeps some on).
-        let any_active_grad = (4..8).any(|n| {
-            db.as_slice()[n * r..(n + 1) * r].iter().any(|&v| v != 0.0)
-        });
+        let any_active_grad =
+            (4..8).any(|n| db.as_slice()[n * r..(n + 1) * r].iter().any(|&v| v != 0.0));
         assert!(any_active_grad);
     }
 
@@ -629,7 +636,11 @@ mod tests {
         let loss = |m: &mut MlpBlock, x: &Tensor| -> f32 {
             let y = m.forward(x, None);
             m.cache = None;
-            y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let h = 1e-3;
         // Check a few entries of each LoRA param.

@@ -39,7 +39,13 @@ pub type Captures = Vec<LayerCapture>;
 /// Runtime per-layer plan provider: called with each block's input right
 /// before the block executes (the paper's online prediction point).
 pub trait LayerPlanner {
-    fn plan_layer(&mut self, layer: usize, x: &Tensor, batch: usize, seq: usize) -> crate::plan::LayerPlan;
+    fn plan_layer(
+        &mut self,
+        layer: usize,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+    ) -> crate::plan::LayerPlan;
 }
 
 #[derive(Debug)]
@@ -313,7 +319,7 @@ pub fn probit(p: f32) -> f32 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -436,7 +442,15 @@ mod tests {
         let mut m = tiny();
         let (b, s) = (2, 8);
         let ids = sample_batch(&m, b, s, 4);
-        let (_, caps) = m.forward_with_captures(&ids, b, s, CaptureConfig { attn: true, mlp: true });
+        let (_, caps) = m.forward_with_captures(
+            &ids,
+            b,
+            s,
+            CaptureConfig {
+                attn: true,
+                mlp: true,
+            },
+        );
         assert_eq!(caps.len(), m.config.n_layers);
         let d = m.config.d_model;
         let h = m.config.n_heads;
@@ -454,10 +468,21 @@ mod tests {
     fn relu_activations_are_sparse_in_captures() {
         let mut m = tiny();
         let ids = sample_batch(&m, 2, 8, 5);
-        let (_, caps) = m.forward_with_captures(&ids, 2, 8, CaptureConfig { attn: false, mlp: true });
+        let (_, caps) = m.forward_with_captures(
+            &ids,
+            2,
+            8,
+            CaptureConfig {
+                attn: false,
+                mlp: true,
+            },
+        );
         let acts = caps[0].mlp_activations.as_ref().unwrap();
         let zero_frac = acts.zero_fraction();
-        assert!(zero_frac > 0.2, "ReLU should zero a chunk of activations: {zero_frac}");
+        assert!(
+            zero_frac > 0.2,
+            "ReLU should zero a chunk of activations: {zero_frac}"
+        );
     }
 
     #[test]
@@ -483,7 +508,10 @@ mod tests {
         }
         let good = m.score_continuation(&[1, 2, 3, 4], &[5, 6]);
         let bad = m.score_continuation(&[1, 2, 3, 4], &[9, 10]);
-        assert!(good > bad, "trained continuation should score higher: {good} vs {bad}");
+        assert!(
+            good > bad,
+            "trained continuation should score higher: {good} vs {bad}"
+        );
     }
 
     #[test]
@@ -509,13 +537,35 @@ mod tests {
         cfg.n_layers = 1;
         let mut m = TransformerModel::new(cfg, 3);
         let ids = sample_batch(&m, 2, 64, 9);
-        let (_, caps_before) =
-            m.forward_with_captures(&ids, 2, 64, CaptureConfig { attn: false, mlp: true });
-        let before = caps_before[0].mlp_activations.as_ref().unwrap().zero_fraction();
+        let (_, caps_before) = m.forward_with_captures(
+            &ids,
+            2,
+            64,
+            CaptureConfig {
+                attn: false,
+                mlp: true,
+            },
+        );
+        let before = caps_before[0]
+            .mlp_activations
+            .as_ref()
+            .unwrap()
+            .zero_fraction();
         m.induce_activation_sparsity(0.92, 0.25, 16, 11);
-        let (_, caps_after) =
-            m.forward_with_captures(&ids, 2, 64, CaptureConfig { attn: false, mlp: true });
-        let after = caps_after[0].mlp_activations.as_ref().unwrap().zero_fraction();
+        let (_, caps_after) = m.forward_with_captures(
+            &ids,
+            2,
+            64,
+            CaptureConfig {
+                attn: false,
+                mlp: true,
+            },
+        );
+        let after = caps_after[0]
+            .mlp_activations
+            .as_ref()
+            .unwrap()
+            .zero_fraction();
         assert!(before < 0.7, "random init is not very sparse: {before}");
         assert!(
             (0.75..0.99).contains(&after),

@@ -148,7 +148,10 @@ impl Optimizer for Adam {
     }
 
     fn state_bytes(&self) -> usize {
-        self.state.values().map(|(m, v)| (m.len() + v.len()) * 4).sum()
+        self.state
+            .values()
+            .map(|(m, v)| (m.len() + v.len()) * 4)
+            .sum()
     }
 
     fn name(&self) -> &'static str {
@@ -180,9 +183,16 @@ pub enum LrSchedule {
     Constant,
     /// Linear warm-up over `warmup` steps, then linear decay to zero at
     /// `total` steps.
-    LinearWarmupDecay { warmup: u64, total: u64 },
+    LinearWarmupDecay {
+        warmup: u64,
+        total: u64,
+    },
     /// Linear warm-up then cosine decay to `min_frac · base` at `total`.
-    Cosine { warmup: u64, total: u64, min_frac: f32 },
+    Cosine {
+        warmup: u64,
+        total: u64,
+        min_frac: f32,
+    },
 }
 
 impl LrSchedule {
@@ -199,7 +209,11 @@ impl LrSchedule {
                     (remaining / (total - warmup) as f32).max(0.0)
                 }
             }
-            LrSchedule::Cosine { warmup, total, min_frac } => {
+            LrSchedule::Cosine {
+                warmup,
+                total,
+                min_frac,
+            } => {
                 if warmup > 0 && step <= warmup {
                     step as f32 / warmup as f32
                 } else {
@@ -252,7 +266,10 @@ impl Scheduled<Sgd> {
 impl<O: Optimizer> Optimizer for Scheduled<O> {
     fn begin_step(&mut self) {
         self.step += 1;
-        (self.set_lr)(&mut self.inner, self.base_lr * self.schedule.factor(self.step));
+        (self.set_lr)(
+            &mut self.inner,
+            self.base_lr * self.schedule.factor(self.step),
+        );
         self.inner.begin_step();
     }
 
@@ -271,12 +288,17 @@ impl<O: Optimizer> Optimizer for Scheduled<O> {
 
 /// Global-norm gradient clipping over the trainable parameters.
 /// Returns the pre-clip norm. Call between `backward` and the optimizer.
+#[allow(clippy::type_complexity)]
 pub fn clip_grad_norm(params: &mut dyn FnMut(&mut dyn FnMut(&mut Param)), max_norm: f32) -> f32 {
     let mut sq = 0.0f64;
     params(&mut |p: &mut Param| {
         if p.trainable {
             if let Some(g) = &p.grad {
-                sq += g.as_slice().iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>();
+                sq += g
+                    .as_slice()
+                    .iter()
+                    .map(|v| (*v as f64) * (*v as f64))
+                    .sum::<f64>();
             }
         }
     });
@@ -330,7 +352,11 @@ mod tests {
             opt.begin_step();
             opt.update(&mut p);
         }
-        assert!(p.value.as_slice()[0].abs() < 1e-2, "{}", p.value.as_slice()[0]);
+        assert!(
+            p.value.as_slice()[0].abs() < 1e-2,
+            "{}",
+            p.value.as_slice()[0]
+        );
     }
 
     #[test]
@@ -381,7 +407,10 @@ mod tests {
 
     #[test]
     fn linear_schedule_warms_up_and_decays() {
-        let s = LrSchedule::LinearWarmupDecay { warmup: 10, total: 110 };
+        let s = LrSchedule::LinearWarmupDecay {
+            warmup: 10,
+            total: 110,
+        };
         assert!((s.factor(1) - 0.1).abs() < 1e-6);
         assert!((s.factor(10) - 1.0).abs() < 1e-6);
         assert!(s.factor(60) < 1.0 && s.factor(60) > 0.0);
@@ -390,7 +419,11 @@ mod tests {
 
     #[test]
     fn cosine_schedule_bottoms_at_min_frac() {
-        let s = LrSchedule::Cosine { warmup: 5, total: 105, min_frac: 0.1 };
+        let s = LrSchedule::Cosine {
+            warmup: 5,
+            total: 105,
+            min_frac: 0.1,
+        };
         assert!((s.factor(5) - 1.0).abs() < 1e-6);
         assert!((s.factor(105) - 0.1).abs() < 1e-3);
         // Monotone decreasing after warmup.
@@ -403,10 +436,13 @@ mod tests {
         // Step 1 of a 10-step warmup uses 10% of the base LR.
         let mut p = Param::new("w", Tensor::full(&[1], 1.0), true);
         p.grad = Some(Tensor::full(&[1], 1.0));
-        let mut opt = Scheduled::sgd(Sgd::new(1.0), LrSchedule::LinearWarmupDecay {
-            warmup: 10,
-            total: 100,
-        });
+        let mut opt = Scheduled::sgd(
+            Sgd::new(1.0),
+            LrSchedule::LinearWarmupDecay {
+                warmup: 10,
+                total: 100,
+            },
+        );
         opt.begin_step();
         opt.update(&mut p);
         assert!((p.value.as_slice()[0] - 0.9).abs() < 1e-5);

@@ -52,7 +52,13 @@ where
 }
 
 /// Deterministic parallel sum-style reduction over index chunks.
-pub fn parallel_reduce<R, F, G>(range: Range<usize>, grain: usize, identity: R, body: F, fold: G) -> R
+pub fn parallel_reduce<R, F, G>(
+    range: Range<usize>,
+    grain: usize,
+    identity: R,
+    body: F,
+    fold: G,
+) -> R
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,

@@ -82,9 +82,8 @@ impl ThreadPool {
             // task finished, so the `'env` borrows inside `task` strictly
             // outlive its execution. The transmute only erases the lifetime;
             // layout of the fat pointer is unchanged.
-            let task: Task = unsafe {
-                std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task)
-            };
+            let task: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task) };
             let latch = latch.clone();
             let panicked = panicked.clone();
             self.push_task(Box::new(move || {
@@ -117,7 +116,7 @@ impl ThreadPool {
             return;
         }
         let grain = grain.max(1);
-        if n <= grain || self.n_threads == 1 {
+        if n <= grain {
             body(range);
             return;
         }
@@ -141,7 +140,7 @@ impl ThreadPool {
             return Vec::new();
         }
         let grain = grain.max(1);
-        if n <= grain || self.n_threads == 1 {
+        if n <= grain {
             return vec![body(range)];
         }
         let chunks = split_range(range, grain, self.n_threads);
@@ -165,7 +164,11 @@ impl ThreadPool {
     }
 
     /// Run two closures, the second potentially on another worker.
-    pub fn join<RA, RB>(&self, a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
     where
         RA: Send,
         RB: Send,
@@ -173,13 +176,14 @@ impl ThreadPool {
         let mut ra: Option<RA> = None;
         let mut rb: Option<RB> = None;
         {
-            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
-                Box::new(|| ra = Some(a())),
-                Box::new(|| rb = Some(b())),
-            ];
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                vec![Box::new(|| ra = Some(a())), Box::new(|| rb = Some(b()))];
             self.run_scoped(tasks);
         }
-        (ra.expect("join arm a missing"), rb.expect("join arm b missing"))
+        (
+            ra.expect("join arm a missing"),
+            rb.expect("join arm b missing"),
+        )
     }
 }
 

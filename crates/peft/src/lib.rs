@@ -7,7 +7,10 @@
 //! sparse execution paths, because trainability is a property of parameters
 //! while sparsity is a property of the execution plan.
 
+pub mod adapter;
 pub mod merge;
+
+pub use adapter::{detach, NamedTensor, TenantAdapter};
 
 use lx_model::TransformerModel;
 
@@ -150,7 +153,10 @@ impl PeftMethod {
 
 /// BitFit's definition of "bias": additive per-channel parameters.
 fn is_bias_like(name: &str) -> bool {
-    name.ends_with(".bias") || name.ends_with(".b1") || name.ends_with(".b2") || name.ends_with(".beta")
+    name.ends_with(".bias")
+        || name.ends_with(".b1")
+        || name.ends_with(".b2")
+        || name.ends_with(".beta")
 }
 
 /// Per-parameter-group trainability report (for experiment logs).
@@ -200,11 +206,17 @@ mod tests {
         let mut m = model();
         PeftMethod::lora_default().apply(&mut m, 1);
         let frac = trainable_fraction(&mut m);
-        assert!(frac < 0.30, "LoRA should train a small fraction, got {frac}");
+        assert!(
+            frac < 0.30,
+            "LoRA should train a small fraction, got {frac}"
+        );
         assert!(m.num_trainable() > 0);
         // Only LoRA params are trainable.
         let summary = trainable_summary(&mut m);
-        assert!(summary.iter().all(|(n, _)| n.contains("lora")), "{summary:?}");
+        assert!(
+            summary.iter().all(|(n, _)| n.contains("lora")),
+            "{summary:?}"
+        );
     }
 
     #[test]
@@ -292,6 +304,9 @@ mod tests {
         assert_eq!(PeftMethod::lora_default().name(), "lora");
         assert_eq!(PeftMethod::adapter_default().name(), "adapter");
         assert_eq!(PeftMethod::BitFit.name(), "bitfit");
-        assert_eq!(PeftMethod::PromptTuning { prompt_len: 1 }.name(), "prompt-tuning");
+        assert_eq!(
+            PeftMethod::PromptTuning { prompt_len: 1 }.name(),
+            "prompt-tuning"
+        );
     }
 }

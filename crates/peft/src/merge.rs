@@ -9,7 +9,9 @@ use lx_model::TransformerModel;
 /// Fold a Linear's LoRA pair into its weight; the adapter stays attached but
 /// contributes zero afterwards only if you also zero it — instead we detach.
 pub fn merge_linear(linear: &mut Linear) {
-    let Some(lora) = linear.lora.take() else { return };
+    let Some(lora) = linear.lora.take() else {
+        return;
+    };
     let (d_in, d_out) = (linear.d_in(), linear.d_out());
     let r = lora.rank();
     let a = lora.a.value.as_slice(); // [r, d_in]

@@ -219,7 +219,8 @@ mod tests {
         let dev = DeviceSpec::a100();
         let cfg = ModelConfig::opt_1_3b();
         let speedup = |seq: usize| {
-            let dense = step_cost(&dev, &cfg, &WorkloadParams::dense(4, seq, lora_frac())).total_s();
+            let dense =
+                step_cost(&dev, &cfg, &WorkloadParams::dense(4, seq, lora_frac())).total_s();
             let lx = step_cost(
                 &dev,
                 &cfg,
@@ -230,7 +231,10 @@ mod tests {
         };
         let s512 = speedup(512);
         let s1024 = speedup(1024);
-        assert!(s1024 > s512, "speedup must grow with seq: {s512} -> {s1024}");
+        assert!(
+            s1024 > s512,
+            "speedup must grow with seq: {s512} -> {s1024}"
+        );
         assert!(s512 > 1.0);
         // Paper's headline band: ~1.2–1.5× at 512, ~2–3× at 1024.
         assert!((1.05..2.2).contains(&s512), "s512 = {s512}");
@@ -276,7 +280,8 @@ mod tests {
         // because Long Exposure removes computation, not device time.
         let cfg = ModelConfig::opt_1_3b();
         let speedup = |dev: &DeviceSpec| {
-            let dense = step_cost(dev, &cfg, &WorkloadParams::dense(4, 1024, lora_frac())).total_s();
+            let dense =
+                step_cost(dev, &cfg, &WorkloadParams::dense(4, 1024, lora_frac())).total_s();
             let lx = step_cost(
                 dev,
                 &cfg,
@@ -289,8 +294,18 @@ mod tests {
         let s6000 = speedup(&DeviceSpec::a6000());
         assert!((s100 / s6000 - 1.0).abs() < 0.25, "{s100} vs {s6000}");
         // A100 is absolutely faster (more FP16 flops and bandwidth).
-        let t100 = step_cost(&DeviceSpec::a100(), &cfg, &WorkloadParams::dense(4, 512, lora_frac())).total_s();
-        let t6000 = step_cost(&DeviceSpec::a6000(), &cfg, &WorkloadParams::dense(4, 512, lora_frac())).total_s();
+        let t100 = step_cost(
+            &DeviceSpec::a100(),
+            &cfg,
+            &WorkloadParams::dense(4, 512, lora_frac()),
+        )
+        .total_s();
+        let t6000 = step_cost(
+            &DeviceSpec::a6000(),
+            &cfg,
+            &WorkloadParams::dense(4, 512, lora_frac()),
+        )
+        .total_s();
         assert!(t100 < t6000, "{t100} vs {t6000}");
     }
 

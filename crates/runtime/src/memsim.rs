@@ -120,7 +120,15 @@ mod tests {
     fn long_exposure_reduces_memory() {
         let cfg = ModelConfig::opt_1_3b();
         let dense = step_memory(&cfg, 4, 1024, MemoryMode::Dense, 1.0, 1.0, LORA_FRAC);
-        let lx = step_memory(&cfg, 4, 1024, MemoryMode::LongExposure, 0.12, 0.45, LORA_FRAC);
+        let lx = step_memory(
+            &cfg,
+            4,
+            1024,
+            MemoryMode::LongExposure,
+            0.12,
+            0.45,
+            LORA_FRAC,
+        );
         let opt = step_memory(
             &cfg,
             4,
@@ -145,7 +153,15 @@ mod tests {
         let cfg = ModelConfig::opt_1_3b();
         let dev = DeviceSpec::a100();
         let dense_long = step_memory(&cfg, 4, 4096, MemoryMode::Dense, 1.0, 1.0, LORA_FRAC);
-        let lx_long = step_memory(&cfg, 4, 4096, MemoryMode::LongExposure, 0.08, 0.45, LORA_FRAC);
+        let lx_long = step_memory(
+            &cfg,
+            4,
+            4096,
+            MemoryMode::LongExposure,
+            0.08,
+            0.45,
+            LORA_FRAC,
+        );
         assert!(dense_long.oom_on(&dev), "dense at 4k seq should OOM");
         assert!(!lx_long.oom_on(&dev), "Long Exposure at 4k seq should fit");
     }
@@ -154,7 +170,15 @@ mod tests {
     fn offload_reduces_params_only() {
         let cfg = ModelConfig::opt_350m();
         let lx = step_memory(&cfg, 2, 512, MemoryMode::LongExposure, 0.2, 0.5, LORA_FRAC);
-        let opt = step_memory(&cfg, 2, 512, MemoryMode::LongExposureOptimal, 0.2, 0.5, LORA_FRAC);
+        let opt = step_memory(
+            &cfg,
+            2,
+            512,
+            MemoryMode::LongExposureOptimal,
+            0.2,
+            0.5,
+            LORA_FRAC,
+        );
         assert!(opt.params < lx.params);
         assert_eq!(opt.activations, lx.activations);
         assert_eq!(opt.attention_buffers, lx.attention_buffers);

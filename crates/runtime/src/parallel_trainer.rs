@@ -66,7 +66,10 @@ impl DataParallelTrainer {
                     loss
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         // All-reduce: sum gradients into replica 0 (averaged by worker count
         // so the effective batch matches a single-device run).

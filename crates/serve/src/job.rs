@@ -1,0 +1,195 @@
+//! Job descriptions and completion reports.
+
+use lx_data::e2e::E2eGenerator;
+use lx_data::instruct::InstructGenerator;
+use lx_data::{Batcher, SyntheticWorld};
+use lx_peft::PeftMethod;
+use std::time::Duration;
+
+/// Which synthetic corpus a tenant fine-tunes on. Streams are fully
+/// determined by `(vocab, world_seed, salt)`, so a job resubmitted after a
+/// restart sees identical data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetSpec {
+    /// E2E-style table-to-text records.
+    E2e { world_seed: u64, salt: u64 },
+    /// Alpaca-style instruction/response pairs.
+    Instruct { world_seed: u64, salt: u64 },
+}
+
+impl DatasetSpec {
+    /// Materialise the token stream for this dataset at the given vocab.
+    pub fn build_batcher(&self, vocab: u32, stream_len: usize) -> Batcher {
+        match *self {
+            DatasetSpec::E2e { world_seed, salt } => {
+                let world = SyntheticWorld::new(vocab, world_seed);
+                Batcher::new(E2eGenerator::new(world).stream(stream_len, salt))
+            }
+            DatasetSpec::Instruct { world_seed, salt } => {
+                let world = SyntheticWorld::new(vocab, world_seed);
+                Batcher::new(InstructGenerator::new(world).stream(stream_len, salt))
+            }
+        }
+    }
+}
+
+/// A tenant's fine-tuning request: dataset + PEFT method + step budget.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Unique tenant identifier (also the registry key). Restricted to
+    /// `[A-Za-z0-9_-]` so it can double as a file stem.
+    pub tenant: String,
+    pub method: PeftMethod,
+    pub dataset: DatasetSpec,
+    /// Total training steps this job is entitled to.
+    pub steps: u64,
+    pub batch: usize,
+    pub seq: usize,
+    /// Learning rate for the tenant's AdamW optimizer.
+    pub lr: f32,
+    /// Seed for adapter initialisation (module injection).
+    pub adapter_seed: u64,
+    /// Token stream length to materialise for the dataset.
+    pub stream_len: usize,
+}
+
+impl JobSpec {
+    /// A reasonable default job: LoRA over E2E-style data.
+    pub fn lora(tenant: impl Into<String>, steps: u64, batch: usize, seq: usize) -> Self {
+        let tenant = tenant.into();
+        let salt = tenant.bytes().fold(0u64, |h, b| {
+            h.wrapping_mul(0x100000001b3).wrapping_add(b as u64)
+        });
+        JobSpec {
+            tenant,
+            method: PeftMethod::lora_default(),
+            dataset: DatasetSpec::E2e {
+                world_seed: 0x5eed,
+                salt,
+            },
+            steps,
+            batch,
+            seq,
+            lr: 1e-3,
+            adapter_seed: salt ^ 0xada9,
+            stream_len: 50_000,
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenant.is_empty() {
+            return Err("tenant id must not be empty".into());
+        }
+        if !self
+            .tenant
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            return Err(format!(
+                "tenant id {:?} must be [A-Za-z0-9_-] only",
+                self.tenant
+            ));
+        }
+        if !self.method.is_detachable() {
+            return Err(format!(
+                "method {} trains backbone weights in place; multi-tenant serving requires a detachable method (LoRA, adapters, prompt tuning)",
+                self.method.name()
+            ));
+        }
+        if self.steps == 0 || self.batch == 0 || self.seq == 0 {
+            return Err("steps, batch and seq must all be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Completed(JobReport),
+    Rejected(String),
+}
+
+/// Final accounting for one finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    pub tenant: String,
+    pub steps: u64,
+    /// Per-step training losses, in execution order.
+    pub losses: Vec<f32>,
+    /// Time spent inside this tenant's train steps (excludes queueing).
+    pub busy: Duration,
+    /// Adapter parameter count (the tenant's marginal state).
+    pub adapter_params: usize,
+}
+
+impl JobReport {
+    pub fn final_loss(&self) -> f32 {
+        self.losses.last().copied().unwrap_or(f32::NAN)
+    }
+
+    pub fn steps_per_sec(&self) -> f64 {
+        let s = self.busy.as_secs_f64();
+        if s > 0.0 {
+            self.steps as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_validates() {
+        assert!(JobSpec::lora("tenant-a", 10, 1, 16).validate().is_ok());
+    }
+
+    #[test]
+    fn bad_tenant_ids_rejected() {
+        assert!(JobSpec::lora("", 1, 1, 8).validate().is_err());
+        assert!(JobSpec::lora("a/b", 1, 1, 8).validate().is_err());
+        assert!(JobSpec::lora("..", 1, 1, 8).validate().is_err());
+    }
+
+    #[test]
+    fn non_detachable_method_rejected() {
+        let mut spec = JobSpec::lora("t", 1, 1, 8);
+        spec.method = PeftMethod::BitFit;
+        assert!(spec.validate().is_err());
+        spec.method = PeftMethod::Full;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let spec = DatasetSpec::E2e {
+            world_seed: 1,
+            salt: 2,
+        };
+        let mut a = spec.build_batcher(1024, 1000);
+        let mut b = spec.build_batcher(1024, 1000);
+        assert_eq!(a.next_batch(2, 16), b.next_batch(2, 16));
+    }
+
+    #[test]
+    fn distinct_salts_give_distinct_streams() {
+        let a = DatasetSpec::Instruct {
+            world_seed: 1,
+            salt: 2,
+        }
+        .build_batcher(1024, 1000)
+        .next_batch(2, 32);
+        let b = DatasetSpec::Instruct {
+            world_seed: 1,
+            salt: 3,
+        }
+        .build_batcher(1024, 1000)
+        .next_batch(2, 32);
+        assert_ne!(a, b);
+    }
+}

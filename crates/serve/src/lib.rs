@@ -1,0 +1,58 @@
+//! `lx-serve` — multi-tenant PEFT fine-tuning over one shared backbone.
+//!
+//! The ROADMAP's north star is a production system serving heavy traffic
+//! from many users. For fine-tuning, that means many *concurrent* jobs over
+//! the same frozen base model — the regime where Long Exposure's economics
+//! shine: the expensive state (backbone weights, calibrated sparsity
+//! predictors) is shared across every tenant, while the per-tenant marginal
+//! state is a LoRA/adapter delta a few thousand parameters large.
+//!
+//! The subsystem has four layers:
+//!
+//! * [`job`] — tenant job descriptions ([`JobSpec`]: dataset + `PeftMethod`
+//!   + step budget) and completion reports;
+//! * [`registry`] — the durable [`AdapterRegistry`]: per-tenant
+//!   [`lx_peft::TenantAdapter`] blobs plus the *shared* calibrated
+//!   predictor checkpoint (`long_exposure::checkpoint` format), so both
+//!   adapters and the one-time calibration survive restarts;
+//! * [`scheduler`] — the deterministic core: round-robin / fair-share
+//!   time-slices that attach a tenant's adapter to the shared frozen
+//!   backbone, train with the tenant's own optimizer, and detach. Because
+//!   all mutable per-tenant state swaps with the tenant, interleaved
+//!   execution is **bit-identical** to sequential per-tenant training (the
+//!   integration suite proves it);
+//! * [`service`] — the asynchronous shell: submissions from any thread,
+//!   training on a dedicated scheduler thread, [`JobTicket`]s to wait on.
+//!
+//! ```no_run
+//! use lx_model::{ModelConfig, TransformerModel};
+//! use lx_serve::{AdapterRegistry, FinetuneService, JobSpec, Scheduler, ServeConfig};
+//! use long_exposure::engine::EngineConfig;
+//! use std::sync::Arc;
+//!
+//! let mut backbone = TransformerModel::new(ModelConfig::opt_sim_small(), 42);
+//! backbone.freeze_all();
+//! let registry = Arc::new(AdapterRegistry::open("adapters.d").unwrap());
+//! let scheduler = Scheduler::new(
+//!     backbone,
+//!     EngineConfig::default(),
+//!     ServeConfig::default(),
+//!     registry,
+//! );
+//! let service = FinetuneService::spawn(scheduler);
+//! let ticket = service.submit(JobSpec::lora("tenant-a", 100, 2, 64));
+//! let report = ticket.wait().unwrap();
+//! println!("tenant-a: {} steps, final loss {:.3}", report.steps, report.final_loss());
+//! ```
+
+pub mod job;
+pub mod metrics;
+pub mod registry;
+pub mod scheduler;
+pub mod service;
+
+pub use job::{DatasetSpec, JobReport, JobSpec, JobState};
+pub use metrics::{MetricsSnapshot, ServeMetrics, TenantMetrics};
+pub use registry::AdapterRegistry;
+pub use scheduler::{SchedPolicy, Scheduler, ServeConfig};
+pub use service::{FinetuneService, JobTicket};

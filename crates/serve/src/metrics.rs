@@ -1,0 +1,188 @@
+//! Service observability: queue depth, per-tenant rates, aggregate throughput.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Per-tenant accounting.
+#[derive(Debug, Clone, Default)]
+pub struct TenantMetrics {
+    pub steps: u64,
+    pub tokens: u64,
+    /// Wall time spent inside this tenant's train steps.
+    pub busy: Duration,
+    /// Time spent attaching/detaching the tenant's adapter (the multi-tenant
+    /// overhead the shared-backbone design must keep small).
+    pub swap: Duration,
+    pub slices: u64,
+    pub last_loss: f32,
+}
+
+impl TenantMetrics {
+    pub fn steps_per_sec(&self) -> f64 {
+        rate(self.steps, self.busy)
+    }
+
+    pub fn tokens_per_sec(&self) -> f64 {
+        rate(self.tokens, self.busy)
+    }
+}
+
+fn rate(count: u64, d: Duration) -> f64 {
+    let s = d.as_secs_f64();
+    if s > 0.0 {
+        count as f64 / s
+    } else {
+        0.0
+    }
+}
+
+/// Live metrics owned by the scheduler; snapshot with [`ServeMetrics::snapshot`].
+#[derive(Debug)]
+pub struct ServeMetrics {
+    started: Instant,
+    pub queue_depth: usize,
+    pub completed_jobs: u64,
+    pub total_steps: u64,
+    pub total_tokens: u64,
+    pub total_busy: Duration,
+    pub per_tenant: BTreeMap<String, TenantMetrics>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics {
+            started: Instant::now(),
+            queue_depth: 0,
+            completed_jobs: 0,
+            total_steps: 0,
+            total_tokens: 0,
+            total_busy: Duration::ZERO,
+            per_tenant: BTreeMap::new(),
+        }
+    }
+}
+
+impl ServeMetrics {
+    pub fn record_slice(
+        &mut self,
+        tenant: &str,
+        steps: u64,
+        tokens: u64,
+        busy: Duration,
+        swap: Duration,
+        last_loss: f32,
+    ) {
+        self.total_steps += steps;
+        self.total_tokens += tokens;
+        self.total_busy += busy;
+        let t = self.per_tenant.entry(tenant.to_string()).or_default();
+        t.steps += steps;
+        t.tokens += tokens;
+        t.busy += busy;
+        t.swap += swap;
+        t.slices += 1;
+        t.last_loss = last_loss;
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime: self.started.elapsed(),
+            queue_depth: self.queue_depth,
+            completed_jobs: self.completed_jobs,
+            total_steps: self.total_steps,
+            total_tokens: self.total_tokens,
+            total_busy: self.total_busy,
+            per_tenant: self.per_tenant.clone(),
+        }
+    }
+}
+
+/// Immutable view of the service's counters at one instant.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    pub uptime: Duration,
+    pub queue_depth: usize,
+    pub completed_jobs: u64,
+    pub total_steps: u64,
+    pub total_tokens: u64,
+    pub total_busy: Duration,
+    pub per_tenant: BTreeMap<String, TenantMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Aggregate steps/sec over service wall time (includes scheduling gaps).
+    pub fn aggregate_steps_per_sec(&self) -> f64 {
+        rate(self.total_steps, self.uptime)
+    }
+
+    /// Aggregate tokens/sec over service wall time.
+    pub fn aggregate_tokens_per_sec(&self) -> f64 {
+        rate(self.total_tokens, self.uptime)
+    }
+
+    /// Fraction of wall time the backbone was doing tenant work.
+    pub fn utilisation(&self) -> f64 {
+        let up = self.uptime.as_secs_f64();
+        if up > 0.0 {
+            (self.total_busy.as_secs_f64() / up).min(1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serve: {} tenants | queue {} | {} steps | {:.1} steps/s | {:.0} tok/s | util {:.0}%",
+            self.per_tenant.len(),
+            self.queue_depth,
+            self.total_steps,
+            self.aggregate_steps_per_sec(),
+            self.aggregate_tokens_per_sec(),
+            100.0 * self.utilisation(),
+        )?;
+        for (tenant, m) in &self.per_tenant {
+            writeln!(
+                f,
+                "  {tenant:<16} {:>6} steps  {:>8.1} steps/s  {:>10.0} tok/s  loss {:.4}  swap {:.1}ms",
+                m.steps,
+                m.steps_per_sec(),
+                m.tokens_per_sec(),
+                m.last_loss,
+                m.swap.as_secs_f64() * 1e3 / m.slices.max(1) as f64,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_accumulate() {
+        let mut m = ServeMetrics::default();
+        m.record_slice("a", 4, 64, Duration::from_millis(100), Duration::ZERO, 2.0);
+        m.record_slice("a", 4, 64, Duration::from_millis(100), Duration::ZERO, 1.5);
+        m.record_slice("b", 2, 32, Duration::from_millis(50), Duration::ZERO, 3.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.total_steps, 10);
+        assert_eq!(snap.total_tokens, 160);
+        let a = &snap.per_tenant["a"];
+        assert_eq!(a.steps, 8);
+        assert_eq!(a.slices, 2);
+        assert!((a.last_loss - 1.5).abs() < 1e-6);
+        assert!((a.steps_per_sec() - 40.0).abs() < 1.0);
+        assert!(!format!("{snap}").is_empty());
+    }
+
+    #[test]
+    fn zero_time_rates_are_zero() {
+        let t = TenantMetrics::default();
+        assert_eq!(t.steps_per_sec(), 0.0);
+        assert_eq!(t.tokens_per_sec(), 0.0);
+    }
+}

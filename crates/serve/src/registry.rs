@@ -1,0 +1,242 @@
+//! Durable adapter + shared-predictor store.
+//!
+//! Two kinds of state outlive a service process:
+//!
+//! * **per-tenant adapters** — tiny [`TenantAdapter`] blobs, one per tenant,
+//!   written back after every completed job (and readable mid-flight for
+//!   warm resume);
+//! * **shared predictors** — the calibrated Long Exposure predictor
+//!   checkpoint (`long_exposure::checkpoint` format). Calibration is paid
+//!   once per backbone and every tenant's sparse training reuses it, which
+//!   is the economic core of the shared-backbone design.
+//!
+//! The registry is `Sync`: the scheduler thread writes while submission
+//! threads read. Persistence is optional — `in_memory()` for tests,
+//! `open(dir)` for a directory of `<tenant>.lxadpt` files plus
+//! `predictors.lxpred`.
+
+use bytes::Bytes;
+use lx_peft::TenantAdapter;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const ADAPTER_EXT: &str = "lxadpt";
+const PREDICTOR_FILE: &str = "predictors.lxpred";
+
+pub struct AdapterRegistry {
+    dir: Option<PathBuf>,
+    adapters: Mutex<BTreeMap<String, Bytes>>,
+    predictors: Mutex<Option<Bytes>>,
+}
+
+impl AdapterRegistry {
+    /// Volatile registry (tests, exploratory runs).
+    pub fn in_memory() -> Self {
+        AdapterRegistry {
+            dir: None,
+            adapters: Mutex::new(BTreeMap::new()),
+            predictors: Mutex::new(None),
+        }
+    }
+
+    /// Durable registry rooted at `dir` (created if absent). Existing
+    /// adapter and predictor files are loaded eagerly.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut adapters = BTreeMap::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(ADAPTER_EXT) {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    adapters.insert(stem.to_string(), Bytes::from(std::fs::read(&path)?));
+                }
+            }
+        }
+        let pred_path = dir.join(PREDICTOR_FILE);
+        let predictors = if pred_path.exists() {
+            Some(Bytes::from(std::fs::read(&pred_path)?))
+        } else {
+            None
+        };
+        Ok(AdapterRegistry {
+            dir: Some(dir),
+            adapters: Mutex::new(adapters),
+            predictors: Mutex::new(predictors),
+        })
+    }
+
+    fn adapter_path(&self, tenant: &str) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{tenant}.{ADAPTER_EXT}")))
+    }
+
+    fn check_tenant_id(tenant: &str) -> io::Result<()> {
+        let ok = !tenant.is_empty()
+            && tenant
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_');
+        if ok {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("invalid tenant id {tenant:?}"),
+            ))
+        }
+    }
+
+    /// Crash-safe persistence: write to a temp file in the same directory,
+    /// then rename over the target. A kill mid-write leaves only a stale
+    /// `.tmp`, never a torn blob that would block the tenant after restart.
+    fn write_atomic(path: &std::path::Path, data: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, data)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Store (and persist, if durable) a tenant's adapter.
+    pub fn put(&self, tenant: &str, adapter: &TenantAdapter) -> io::Result<()> {
+        Self::check_tenant_id(tenant)?;
+        let blob = adapter.to_bytes();
+        if let Some(path) = self.adapter_path(tenant) {
+            Self::write_atomic(&path, &blob)?;
+        }
+        self.adapters
+            .lock()
+            .expect("registry lock")
+            .insert(tenant.to_string(), blob);
+        Ok(())
+    }
+
+    /// Fetch and decode a tenant's adapter, if present.
+    pub fn get(&self, tenant: &str) -> Result<Option<TenantAdapter>, String> {
+        let blob = self
+            .adapters
+            .lock()
+            .expect("registry lock")
+            .get(tenant)
+            .cloned();
+        match blob {
+            Some(b) => TenantAdapter::from_bytes(b).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Drop a tenant's adapter from memory and disk.
+    pub fn remove(&self, tenant: &str) -> io::Result<bool> {
+        let existed = self
+            .adapters
+            .lock()
+            .expect("registry lock")
+            .remove(tenant)
+            .is_some();
+        if existed {
+            if let Some(path) = self.adapter_path(tenant) {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+            }
+        }
+        Ok(existed)
+    }
+
+    pub fn tenants(&self) -> Vec<String> {
+        self.adapters
+            .lock()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.adapters.lock().expect("registry lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Store the shared calibrated-predictor checkpoint.
+    pub fn set_predictors(&self, blob: Bytes) -> io::Result<()> {
+        if let Some(dir) = &self.dir {
+            Self::write_atomic(&dir.join(PREDICTOR_FILE), &blob)?;
+        }
+        *self.predictors.lock().expect("registry lock") = Some(blob);
+        Ok(())
+    }
+
+    /// The shared calibrated-predictor checkpoint, if one has been stored.
+    pub fn predictors(&self) -> Option<Bytes> {
+        self.predictors.lock().expect("registry lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lx_model::{ModelConfig, TransformerModel};
+    use lx_peft::PeftMethod;
+
+    fn sample_adapter(seed: u64) -> TenantAdapter {
+        let mut m = TransformerModel::new(ModelConfig::test_tiny(), 3);
+        m.freeze_all();
+        TenantAdapter::initialise(&mut m, PeftMethod::lora_default(), seed)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lx-registry-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn in_memory_put_get_remove() {
+        let reg = AdapterRegistry::in_memory();
+        assert!(reg.is_empty());
+        let a = sample_adapter(1);
+        reg.put("alice", &a).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("alice").unwrap().unwrap(), a);
+        assert!(reg.get("bob").unwrap().is_none());
+        assert!(reg.remove("alice").unwrap());
+        assert!(!reg.remove("alice").unwrap());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn durable_registry_survives_reopen() {
+        let dir = temp_dir("reopen");
+        let a = sample_adapter(2);
+        let b = sample_adapter(9);
+        {
+            let reg = AdapterRegistry::open(&dir).unwrap();
+            reg.put("alice", &a).unwrap();
+            reg.put("bob", &b).unwrap();
+            reg.set_predictors(Bytes::from(vec![1u8, 2, 3])).unwrap();
+        }
+        let reg2 = AdapterRegistry::open(&dir).unwrap();
+        assert_eq!(reg2.tenants(), vec!["alice".to_string(), "bob".to_string()]);
+        assert_eq!(reg2.get("alice").unwrap().unwrap(), a);
+        assert_eq!(reg2.get("bob").unwrap().unwrap(), b);
+        assert_eq!(reg2.predictors().unwrap().to_vec(), vec![1u8, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn path_traversal_tenant_ids_rejected() {
+        let reg = AdapterRegistry::in_memory();
+        let a = sample_adapter(3);
+        assert!(reg.put("../evil", &a).is_err());
+        assert!(reg.put("", &a).is_err());
+        assert!(reg.put("a/b", &a).is_err());
+    }
+}

@@ -1,0 +1,565 @@
+//! The deterministic scheduling core: many tenant jobs, one shared backbone.
+//!
+//! Every slice, the scheduler picks a job (round-robin or fair-share),
+//! attaches that tenant's adapter onto the shared frozen backbone, runs up to
+//! `slice_steps` training steps with the tenant's own optimizer, then
+//! extracts the adapter and detaches — returning the backbone to its
+//! pristine state. Because the backbone is frozen and *all* mutable per-
+//! tenant state (adapter values + optimizer moments + data cursor) swaps in
+//! and out with the tenant, an interleaved schedule produces bit-identical
+//! per-tenant losses to running each job back-to-back. The integration suite
+//! proves this.
+//!
+//! While the backbone trains one tenant, the other tenants' next batches are
+//! prefetched concurrently on the `lx-parallel` worker pool, so data
+//! generation never sits on the critical path.
+
+use crate::job::{JobReport, JobSpec};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::registry::AdapterRegistry;
+use long_exposure::engine::{EngineConfig, FinetuneEngine, StepMode};
+use lx_data::Batcher;
+use lx_model::{prompt_aware_targets, AdamW, TransformerModel};
+use lx_peft::TenantAdapter;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the next tenant is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Cycle through active jobs in submission order.
+    RoundRobin,
+    /// Always pick the job with the fewest completed steps (ties broken by
+    /// submission order) — keeps tenants with different budgets in lockstep.
+    FairShare,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Steps per time-slice before the backbone switches tenants.
+    pub slice_steps: u64,
+    pub policy: SchedPolicy,
+    /// Execution mode for tenant steps. `Sparse` requires shared predictors
+    /// (calibrated once, reused by every tenant).
+    pub mode: StepMode,
+    /// Prefetch other tenants' batches on the worker pool during a slice.
+    pub prefetch: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            slice_steps: 4,
+            policy: SchedPolicy::RoundRobin,
+            mode: StepMode::Dense,
+            prefetch: true,
+        }
+    }
+}
+
+struct ActiveJob {
+    spec: JobSpec,
+    adapter: TenantAdapter,
+    opt: AdamW,
+    batcher: Batcher,
+    pending: VecDeque<Vec<u32>>,
+    steps_done: u64,
+    losses: Vec<f32>,
+    busy: Duration,
+}
+
+impl ActiveJob {
+    fn remaining(&self) -> u64 {
+        self.spec.steps - self.steps_done
+    }
+
+    /// Fill the pending-batch queue up to `depth` batches.
+    fn prefetch(&mut self, depth: usize) {
+        let want = depth.min(self.remaining() as usize);
+        while self.pending.len() < want {
+            let ids = self.batcher.next_batch(self.spec.batch, self.spec.seq);
+            self.pending.push_back(ids);
+        }
+    }
+
+    fn next_ids(&mut self) -> Vec<u32> {
+        self.pending
+            .pop_front()
+            .unwrap_or_else(|| self.batcher.next_batch(self.spec.batch, self.spec.seq))
+    }
+}
+
+/// Multi-tenant fine-tuning scheduler over one shared backbone.
+pub struct Scheduler {
+    engine: FinetuneEngine,
+    registry: Arc<AdapterRegistry>,
+    config: ServeConfig,
+    active: Vec<ActiveJob>,
+    rr_cursor: usize,
+    metrics: ServeMetrics,
+}
+
+impl Scheduler {
+    /// Wrap a pristine (fully frozen, nothing attached) backbone. Panics if
+    /// the model still has trainable parameters — detach tenants first.
+    pub fn new(
+        mut model: TransformerModel,
+        engine_config: EngineConfig,
+        config: ServeConfig,
+        registry: Arc<AdapterRegistry>,
+    ) -> Self {
+        assert_eq!(
+            model.num_trainable(),
+            0,
+            "backbone must be pristine: freeze/detach before constructing a Scheduler"
+        );
+        let mut engine = FinetuneEngine::new(model, engine_config);
+        // Reuse predictors calibrated by a previous process, if available.
+        if let Some(blob) = registry.predictors() {
+            engine
+                .import_predictors(blob)
+                .expect("registry predictors incompatible with this backbone");
+        }
+        Scheduler {
+            engine,
+            registry,
+            config,
+            active: Vec::new(),
+            rr_cursor: 0,
+            metrics: ServeMetrics::default(),
+        }
+    }
+
+    /// Calibrate the shared predictors once and publish them to the registry
+    /// so later processes (and all tenants) reuse them.
+    pub fn calibrate_shared(
+        &mut self,
+        batches: &[(Vec<u32>, usize, usize)],
+    ) -> long_exposure::CalibrationReport {
+        let report = self.engine.calibrate(batches);
+        self.registry
+            .set_predictors(self.engine.export_predictors())
+            .expect("failed to persist shared predictors");
+        report
+    }
+
+    /// Whether sparse-mode steps are possible (predictors present).
+    pub fn calibrated(&self) -> bool {
+        self.engine.calibrated
+    }
+
+    pub fn registry(&self) -> &Arc<AdapterRegistry> {
+        &self.registry
+    }
+
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    pub fn active_jobs(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Admit a job. If the registry already holds an adapter for this tenant
+    /// (same method), the job resumes from it — warm restarts across process
+    /// boundaries; otherwise a fresh adapter is initialised on the backbone.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<(), String> {
+        spec.validate()?;
+        if self.active.iter().any(|j| j.spec.tenant == spec.tenant) {
+            return Err(format!("tenant {} already has an active job", spec.tenant));
+        }
+        if self.config.mode == StepMode::Sparse {
+            if !self.engine.calibrated {
+                return Err(
+                    "sparse serving requires shared predictors: call calibrate_shared() first"
+                        .into(),
+                );
+            }
+            // Reject misaligned jobs here rather than panicking mid-slice:
+            // the effective sequence (seq + any prompt prefix) must tile
+            // into score blocks.
+            let prompt_len = match spec.method {
+                lx_peft::PeftMethod::PromptTuning { prompt_len } => prompt_len,
+                _ => 0,
+            };
+            let eff = spec.seq + prompt_len;
+            let block = self.engine.config.block_size;
+            if !eff.is_multiple_of(block) {
+                return Err(format!(
+                    "sparse serving needs block-aligned sequences: seq {} + prompt {} = {} is not a multiple of block size {}",
+                    spec.seq, prompt_len, eff, block
+                ));
+            }
+        }
+        let adapter = match self.registry.get(&spec.tenant)? {
+            Some(existing) => {
+                if existing.method != spec.method {
+                    return Err(format!(
+                        "tenant {} has a stored {} adapter but the job requests {}",
+                        spec.tenant,
+                        existing.method.name(),
+                        spec.method.name()
+                    ));
+                }
+                existing
+            }
+            None => {
+                TenantAdapter::initialise(&mut self.engine.model, spec.method, spec.adapter_seed)
+            }
+        };
+        let vocab = self.engine.model.config.vocab_size as u32;
+        let batcher = spec.dataset.build_batcher(vocab, spec.stream_len);
+        let opt = AdamW::new(spec.lr, 0.01);
+        self.active.push(ActiveJob {
+            spec,
+            adapter,
+            opt,
+            batcher,
+            pending: VecDeque::new(),
+            steps_done: 0,
+            losses: Vec::new(),
+            busy: Duration::ZERO,
+        });
+        self.metrics.queue_depth = self.active.len();
+        Ok(())
+    }
+
+    fn pick_job(&mut self) -> Option<usize> {
+        if self.active.is_empty() {
+            return None;
+        }
+        match self.config.policy {
+            SchedPolicy::RoundRobin => {
+                let idx = self.rr_cursor % self.active.len();
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                Some(idx)
+            }
+            SchedPolicy::FairShare => self
+                .active
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, j)| (j.steps_done, *i))
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// Prefetch upcoming batches for every active job on the worker pool.
+    fn prefetch_all(&mut self) {
+        let depth = self.config.slice_steps as usize;
+        let pool = lx_parallel::pool();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+            .active
+            .iter_mut()
+            .filter(|j| j.pending.len() < depth.min(j.remaining() as usize))
+            .map(|job| Box::new(move || job.prefetch(depth)) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        pool.run_scoped(tasks);
+    }
+
+    /// Run one time-slice: pick a tenant, attach, train, detach. Returns the
+    /// completion report if the picked job exhausted its budget, `None`
+    /// otherwise (including when there is nothing to run).
+    pub fn run_slice(&mut self) -> Option<JobReport> {
+        if self.config.prefetch {
+            self.prefetch_all();
+        }
+        let idx = self.pick_job()?;
+        let job = &mut self.active[idx];
+        let t_attach = Instant::now();
+        job.adapter.attach_to(&mut self.engine.model);
+        let mut swap = t_attach.elapsed();
+        let prompt_len = self.engine.model.embedding.prompt_len();
+        let n_steps = self.config.slice_steps.min(job.remaining());
+        let mut slice_busy = Duration::ZERO;
+        let mut last_loss = f32::NAN;
+        for _ in 0..n_steps {
+            let ids = job.next_ids();
+            let targets = prompt_aware_targets(&ids, job.spec.batch, job.spec.seq, prompt_len);
+            let t0 = Instant::now();
+            let stats = self.engine.train_step_mode(
+                &ids,
+                &targets,
+                job.spec.batch,
+                job.spec.seq,
+                &mut job.opt,
+                self.config.mode,
+            );
+            slice_busy += t0.elapsed();
+            last_loss = stats.loss;
+            job.losses.push(stats.loss);
+            job.steps_done += 1;
+        }
+        let t_detach = Instant::now();
+        job.adapter = TenantAdapter::extract_from(
+            &mut self.engine.model,
+            job.spec.method,
+            job.spec.adapter_seed,
+        );
+        lx_peft::detach(&mut self.engine.model);
+        swap += t_detach.elapsed();
+        job.busy += slice_busy;
+        let tokens = n_steps * (job.spec.batch * job.spec.seq) as u64;
+        self.metrics.record_slice(
+            &job.spec.tenant,
+            n_steps,
+            tokens,
+            slice_busy,
+            swap,
+            last_loss,
+        );
+        if job.remaining() == 0 {
+            let job = self.active.remove(idx);
+            // Removal shifts the completed job's successor into `idx`; point
+            // the round-robin cursor there so the successor goes next. (The
+            // cursor is an unbounded counter — decrementing it would skip a
+            // tenant once it has wrapped past the list length.)
+            self.rr_cursor = idx;
+            self.registry
+                .put(&job.spec.tenant, &job.adapter)
+                .expect("failed to persist finished adapter");
+            self.metrics.completed_jobs += 1;
+            self.metrics.queue_depth = self.active.len();
+            return Some(JobReport {
+                tenant: job.spec.tenant,
+                steps: job.steps_done,
+                losses: job.losses,
+                busy: job.busy,
+                adapter_params: job.adapter.num_params(),
+            });
+        }
+        None
+    }
+
+    /// Drive all active jobs to completion; reports in completion order.
+    pub fn run_to_completion(&mut self) -> Vec<JobReport> {
+        let mut reports = Vec::new();
+        while !self.active.is_empty() {
+            if let Some(report) = self.run_slice() {
+                reports.push(report);
+            }
+        }
+        reports
+    }
+
+    /// Tear down, returning the pristine backbone for reuse.
+    pub fn into_model(self) -> TransformerModel {
+        assert!(
+            self.active.is_empty(),
+            "cannot dismantle a scheduler with active jobs"
+        );
+        self.engine.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::DatasetSpec;
+    use lx_model::ModelConfig;
+    use lx_peft::PeftMethod;
+
+    fn backbone() -> TransformerModel {
+        let mut m = TransformerModel::new(ModelConfig::test_tiny(), 11);
+        m.freeze_all();
+        m
+    }
+
+    fn sched(config: ServeConfig) -> Scheduler {
+        Scheduler::new(
+            backbone(),
+            EngineConfig {
+                block_size: 4,
+                ..EngineConfig::default()
+            },
+            config,
+            Arc::new(AdapterRegistry::in_memory()),
+        )
+    }
+
+    fn spec(tenant: &str, steps: u64) -> JobSpec {
+        JobSpec {
+            stream_len: 2_000,
+            ..JobSpec::lora(tenant, steps, 1, 16)
+        }
+    }
+
+    #[test]
+    fn single_job_trains_to_completion() {
+        let mut s = sched(ServeConfig::default());
+        s.submit(spec("solo", 10)).unwrap();
+        let reports = s.run_to_completion();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.steps, 10);
+        assert_eq!(r.losses.len(), 10);
+        assert!(r.losses.iter().all(|l| l.is_finite()));
+        assert!(
+            r.losses.last().unwrap() < r.losses.first().unwrap(),
+            "training must reduce loss: {:?}",
+            r.losses
+        );
+        // Finished adapter landed in the registry.
+        assert_eq!(s.registry().tenants(), vec!["solo".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_tenant_rejected_while_active() {
+        let mut s = sched(ServeConfig::default());
+        s.submit(spec("dup", 4)).unwrap();
+        assert!(s.submit(spec("dup", 4)).is_err());
+    }
+
+    #[test]
+    fn sparse_mode_requires_calibration() {
+        let mut s = sched(ServeConfig {
+            mode: StepMode::Sparse,
+            ..ServeConfig::default()
+        });
+        assert!(s.submit(spec("t", 2)).is_err());
+    }
+
+    #[test]
+    fn round_robin_stays_fair_after_a_completion() {
+        // Equal budgets, submission order a, b, c: completions must come
+        // back in that order. A cursor bug that skips the successor after a
+        // removal would complete c before b.
+        let mut s = sched(ServeConfig {
+            slice_steps: 4,
+            policy: SchedPolicy::RoundRobin,
+            ..ServeConfig::default()
+        });
+        s.submit(spec("a", 8)).unwrap();
+        s.submit(spec("b", 8)).unwrap();
+        s.submit(spec("c", 8)).unwrap();
+        let order: Vec<String> = s
+            .run_to_completion()
+            .into_iter()
+            .map(|r| r.tenant)
+            .collect();
+        assert_eq!(order, vec!["a", "b", "c"], "round-robin completion order");
+    }
+
+    #[test]
+    fn sparse_mode_rejects_misaligned_sequences_at_admission() {
+        let mut s = sched(ServeConfig {
+            mode: StepMode::Sparse,
+            ..ServeConfig::default()
+        });
+        let calib = vec![(
+            spec("c", 1)
+                .dataset
+                .build_batcher(64, 1_000)
+                .next_batch(1, 16),
+            1,
+            16,
+        )];
+        s.calibrate_shared(&calib);
+        // seq 16 aligns with block 4; a 3-token prompt prefix breaks it.
+        let mut misaligned = spec("t", 2);
+        misaligned.method = PeftMethod::PromptTuning { prompt_len: 3 };
+        let err = s.submit(misaligned).unwrap_err();
+        assert!(err.contains("block-aligned"), "{err}");
+        // Aligned prompt is fine.
+        let mut aligned = spec("t", 2);
+        aligned.method = PeftMethod::PromptTuning { prompt_len: 4 };
+        s.submit(aligned).unwrap();
+    }
+
+    #[test]
+    fn fair_share_keeps_tenants_in_lockstep() {
+        let mut s = sched(ServeConfig {
+            slice_steps: 2,
+            policy: SchedPolicy::FairShare,
+            ..ServeConfig::default()
+        });
+        s.submit(spec("a", 6)).unwrap();
+        s.submit(spec("b", 6)).unwrap();
+        // After three slices, no tenant should be more than one slice ahead.
+        for _ in 0..3 {
+            s.run_slice();
+            let snap = s.metrics();
+            let sa = snap.per_tenant.get("a").map_or(0, |t| t.steps);
+            let sb = snap.per_tenant.get("b").map_or(0, |t| t.steps);
+            assert!(sa.abs_diff(sb) <= 2, "fair share drifted: a={sa} b={sb}");
+        }
+    }
+
+    #[test]
+    fn completed_tenant_resumes_from_registry() {
+        let registry = Arc::new(AdapterRegistry::in_memory());
+        let mut s = Scheduler::new(
+            backbone(),
+            EngineConfig {
+                block_size: 4,
+                ..EngineConfig::default()
+            },
+            ServeConfig::default(),
+            registry.clone(),
+        );
+        s.submit(spec("warm", 6)).unwrap();
+        let first = s.run_to_completion().remove(0);
+        // Resubmit: must warm-start from the stored adapter, so the first
+        // loss of the second run continues the trend rather than restarting
+        // from the fresh-adapter loss.
+        s.submit(spec("warm", 6)).unwrap();
+        let second = s.run_to_completion().remove(0);
+        assert!(
+            second.losses[0] < first.losses[0],
+            "warm resume should start below the cold first step: {} vs {}",
+            second.losses[0],
+            first.losses[0]
+        );
+    }
+
+    #[test]
+    fn resume_with_different_method_rejected() {
+        let registry = Arc::new(AdapterRegistry::in_memory());
+        let mut s = Scheduler::new(
+            backbone(),
+            EngineConfig {
+                block_size: 4,
+                ..EngineConfig::default()
+            },
+            ServeConfig::default(),
+            registry,
+        );
+        s.submit(spec("t", 2)).unwrap();
+        s.run_to_completion();
+        let mut other = spec("t", 2);
+        other.method = PeftMethod::adapter_default();
+        assert!(s.submit(other).is_err());
+    }
+
+    #[test]
+    fn mixed_methods_coexist() {
+        let mut s = sched(ServeConfig {
+            slice_steps: 3,
+            ..ServeConfig::default()
+        });
+        let mut a = spec("lora-t", 6);
+        a.method = PeftMethod::lora_default();
+        let mut b = spec("adpt-t", 6);
+        b.method = PeftMethod::adapter_default();
+        b.dataset = DatasetSpec::Instruct {
+            world_seed: 9,
+            salt: 4,
+        };
+        let mut c = spec("prompt-t", 6);
+        c.method = PeftMethod::PromptTuning { prompt_len: 4 };
+        s.submit(a).unwrap();
+        s.submit(b).unwrap();
+        s.submit(c).unwrap();
+        let reports = s.run_to_completion();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert_eq!(r.steps, 6);
+            assert!(r.final_loss().is_finite());
+        }
+        let snap = s.metrics();
+        assert_eq!(snap.completed_jobs, 3);
+        assert_eq!(snap.total_steps, 18);
+        assert_eq!(snap.queue_depth, 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Asynchronous front door: submissions from any thread, training on a
+//! dedicated scheduler thread.
+//!
+//! [`FinetuneService::spawn`] moves a [`Scheduler`] onto its own thread.
+//! Clients call [`FinetuneService::submit`] to enqueue a [`JobSpec`] and get
+//! back a [`JobTicket`] they can block on ([`JobTicket::wait`]) or poll
+//! ([`JobTicket::state`]). The scheduler thread interleaves slices across
+//! all admitted jobs; between slices it drains the submission queue, so new
+//! tenants join a busy service without stopping it.
+
+use crate::job::{JobReport, JobSpec, JobState};
+use crate::metrics::MetricsSnapshot;
+use crate::scheduler::Scheduler;
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct TicketInner {
+    state: Mutex<JobState>,
+    cv: Condvar,
+}
+
+impl TicketInner {
+    fn set(&self, state: JobState) {
+        *self.state.lock().expect("ticket lock") = state;
+        self.cv.notify_all();
+    }
+}
+
+/// Client-side handle to one submitted job.
+#[derive(Clone)]
+pub struct JobTicket {
+    inner: Arc<TicketInner>,
+}
+
+impl JobTicket {
+    /// Current lifecycle state (non-blocking).
+    pub fn state(&self) -> JobState {
+        self.inner.state.lock().expect("ticket lock").clone()
+    }
+
+    /// Block until the job completes or is rejected.
+    pub fn wait(&self) -> Result<JobReport, String> {
+        let mut guard = self.inner.state.lock().expect("ticket lock");
+        loop {
+            match &*guard {
+                JobState::Completed(report) => return Ok(report.clone()),
+                JobState::Rejected(reason) => return Err(reason.clone()),
+                _ => guard = self.inner.cv.wait(guard).expect("ticket lock"),
+            }
+        }
+    }
+}
+
+enum Command {
+    Submit(JobSpec, Arc<TicketInner>),
+    Metrics(Sender<MetricsSnapshot>),
+}
+
+/// Handle to a running multi-tenant fine-tuning service.
+pub struct FinetuneService {
+    tx: Option<Sender<Command>>,
+    thread: Option<std::thread::JoinHandle<Scheduler>>,
+}
+
+impl FinetuneService {
+    /// Start the service on its own thread.
+    pub fn spawn(scheduler: Scheduler) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let thread = std::thread::Builder::new()
+            .name("lx-serve-scheduler".into())
+            .spawn(move || serve_loop(scheduler, rx))
+            .expect("failed to spawn scheduler thread");
+        FinetuneService {
+            tx: Some(tx),
+            thread: Some(thread),
+        }
+    }
+
+    /// Enqueue a job; returns immediately with a ticket.
+    pub fn submit(&self, spec: JobSpec) -> JobTicket {
+        let inner = Arc::new(TicketInner {
+            state: Mutex::new(JobState::Queued),
+            cv: Condvar::new(),
+        });
+        let ticket = JobTicket {
+            inner: inner.clone(),
+        };
+        let tx = self.tx.as_ref().expect("service already shut down");
+        if tx.send(Command::Submit(spec, inner.clone())).is_err() {
+            inner.set(JobState::Rejected("service stopped".into()));
+        }
+        ticket
+    }
+
+    /// Snapshot of the live metrics (queue depth, throughput, per tenant).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let (tx, rx) = mpsc::channel();
+        self.tx
+            .as_ref()
+            .expect("service already shut down")
+            .send(Command::Metrics(tx))
+            .expect("scheduler thread gone");
+        rx.recv().expect("scheduler thread gone")
+    }
+
+    /// Finish all admitted jobs, stop the thread, and hand back the
+    /// scheduler (registry, metrics, backbone).
+    pub fn shutdown(mut self) -> Scheduler {
+        drop(self.tx.take());
+        self.thread
+            .take()
+            .expect("double shutdown")
+            .join()
+            .expect("scheduler thread panicked")
+    }
+}
+
+impl Drop for FinetuneService {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn serve_loop(mut scheduler: Scheduler, rx: Receiver<Command>) -> Scheduler {
+    let mut tickets: HashMap<String, Arc<TicketInner>> = HashMap::new();
+    let mut disconnected = false;
+    loop {
+        // Admit everything already queued without blocking.
+        loop {
+            match rx.try_recv() {
+                Ok(cmd) => handle(&mut scheduler, cmd, &mut tickets),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        if scheduler.active_jobs() == 0 {
+            if disconnected {
+                return scheduler;
+            }
+            // Idle: block until a submission (or shutdown) arrives.
+            match rx.recv() {
+                Ok(cmd) => handle(&mut scheduler, cmd, &mut tickets),
+                Err(_) => return scheduler,
+            }
+            continue;
+        }
+        // Contain slice panics (bad adapter shapes, alignment asserts): one
+        // faulty tenant must not hang every other client's ticket forever.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scheduler.run_slice())) {
+            Ok(Some(report)) => {
+                if let Some(ticket) = tickets.remove(&report.tenant) {
+                    ticket.set(JobState::Completed(report));
+                }
+            }
+            Ok(None) => {}
+            Err(payload) => {
+                let msg = panic_message(&payload);
+                return failed_loop(scheduler, rx, tickets, msg);
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// Terminal state after a slice panic: unblock every waiter, then keep
+/// answering metrics queries and rejecting submissions until shutdown. The
+/// scheduler may hold a half-trained slice, so no further training runs.
+fn failed_loop(
+    scheduler: Scheduler,
+    rx: Receiver<Command>,
+    tickets: HashMap<String, Arc<TicketInner>>,
+    msg: String,
+) -> Scheduler {
+    let reason = format!("scheduler failed: {msg}");
+    for (_, ticket) in tickets {
+        ticket.set(JobState::Rejected(reason.clone()));
+    }
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Submit(_, ticket) => ticket.set(JobState::Rejected(reason.clone())),
+            Command::Metrics(reply) => {
+                let _ = reply.send(scheduler.metrics());
+            }
+        }
+    }
+    scheduler
+}
+
+fn handle(
+    scheduler: &mut Scheduler,
+    cmd: Command,
+    tickets: &mut HashMap<String, Arc<TicketInner>>,
+) {
+    match cmd {
+        Command::Submit(spec, ticket) => {
+            let tenant = spec.tenant.clone();
+            match scheduler.submit(spec) {
+                Ok(()) => {
+                    ticket.set(JobState::Running);
+                    tickets.insert(tenant, ticket);
+                }
+                Err(reason) => ticket.set(JobState::Rejected(reason)),
+            }
+        }
+        Command::Metrics(reply) => {
+            let _ = reply.send(scheduler.metrics());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::AdapterRegistry;
+    use crate::scheduler::ServeConfig;
+    use long_exposure::engine::EngineConfig;
+    use lx_model::{ModelConfig, TransformerModel};
+    use lx_peft::PeftMethod;
+
+    fn service() -> FinetuneService {
+        let mut model = TransformerModel::new(ModelConfig::test_tiny(), 21);
+        model.freeze_all();
+        let scheduler = Scheduler::new(
+            model,
+            EngineConfig {
+                block_size: 4,
+                ..EngineConfig::default()
+            },
+            ServeConfig {
+                slice_steps: 2,
+                ..ServeConfig::default()
+            },
+            Arc::new(AdapterRegistry::in_memory()),
+        );
+        FinetuneService::spawn(scheduler)
+    }
+
+    fn spec(tenant: &str, steps: u64) -> JobSpec {
+        JobSpec {
+            stream_len: 2_000,
+            ..JobSpec::lora(tenant, steps, 1, 16)
+        }
+    }
+
+    #[test]
+    fn concurrent_submissions_all_complete() {
+        let svc = service();
+        let t1 = svc.submit(spec("alpha", 6));
+        let t2 = svc.submit(spec("beta", 6));
+        let r1 = t1.wait().expect("alpha");
+        let r2 = t2.wait().expect("beta");
+        assert_eq!(r1.steps, 6);
+        assert_eq!(r2.steps, 6);
+        let snapshot = svc.metrics();
+        assert_eq!(snapshot.completed_jobs, 2);
+        let scheduler = svc.shutdown();
+        let mut tenants = scheduler.registry().tenants();
+        tenants.sort();
+        assert_eq!(tenants, vec!["alpha".to_string(), "beta".to_string()]);
+    }
+
+    #[test]
+    fn rejection_reports_reason() {
+        let svc = service();
+        let mut bad = spec("bad", 2);
+        bad.method = PeftMethod::BitFit;
+        let ticket = svc.submit(bad);
+        let err = ticket.wait().unwrap_err();
+        assert!(err.contains("detachable"), "{err}");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submissions_while_busy_are_admitted() {
+        let svc = service();
+        let t1 = svc.submit(spec("first", 8));
+        // Submitted later, while the first job is (very likely) running.
+        let t2 = svc.submit(spec("second", 4));
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn slice_panic_rejects_tickets_instead_of_hanging() {
+        // Poison the registry with an adapter extracted from a *larger*
+        // backbone: admission succeeds (method matches), but attaching it
+        // mid-slice hits a shape-mismatch assert. The ticket must resolve
+        // to Rejected — not hang — and metrics must stay answerable.
+        let registry = Arc::new(AdapterRegistry::in_memory());
+        {
+            let mut big_cfg = ModelConfig::test_tiny();
+            big_cfg.d_model = 32;
+            let mut big = TransformerModel::new(big_cfg, 1);
+            big.freeze_all();
+            let adapter =
+                lx_peft::TenantAdapter::initialise(&mut big, PeftMethod::lora_default(), 1);
+            registry.put("poisoned", &adapter).unwrap();
+        }
+        let mut model = TransformerModel::new(ModelConfig::test_tiny(), 21);
+        model.freeze_all();
+        let scheduler = Scheduler::new(
+            model,
+            EngineConfig {
+                block_size: 4,
+                ..EngineConfig::default()
+            },
+            ServeConfig::default(),
+            registry,
+        );
+        let svc = FinetuneService::spawn(scheduler);
+        let mut bad = spec("poisoned", 2);
+        bad.adapter_seed = 1;
+        let ticket = svc.submit(bad);
+        let err = ticket.wait().unwrap_err();
+        assert!(err.contains("scheduler failed"), "{err}");
+        // Service is degraded but responsive: metrics answer, new jobs are
+        // rejected with the failure reason.
+        let _ = svc.metrics();
+        let after = svc.submit(spec("late", 2));
+        assert!(after.wait().unwrap_err().contains("scheduler failed"));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_waits_for_active_jobs() {
+        let svc = service();
+        let ticket = svc.submit(spec("draining", 4));
+        let scheduler = svc.shutdown();
+        assert!(matches!(ticket.state(), JobState::Completed(_)));
+        assert_eq!(scheduler.active_jobs(), 0);
+    }
+}

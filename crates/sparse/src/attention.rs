@@ -35,8 +35,16 @@ fn fill_value(fill: CausalFill) -> Option<f32> {
 
 fn check_dims(layout: &BlockCsr, s: usize) {
     let b = layout.block_size;
-    assert_eq!(s, layout.n_brows * b, "sequence length {s} != {} blocks × {b}", layout.n_brows);
-    assert_eq!(layout.n_brows, layout.n_bcols, "attention layouts are square");
+    assert_eq!(
+        s,
+        layout.n_brows * b,
+        "sequence length {s} != {} blocks × {b}",
+        layout.n_brows
+    );
+    assert_eq!(
+        layout.n_brows, layout.n_bcols,
+        "attention layouts are square"
+    );
 }
 
 /// SDD: `out_blocks = scale · A·Bᵀ` on active blocks only.
@@ -44,6 +52,7 @@ fn check_dims(layout: &BlockCsr, s: usize) {
 /// `a` and `b_mat` are `s×dh` row-major (Q and K for the forward scores;
 /// dO and V for the `dP` backward). `out` must have `layout.data_len()`
 /// elements. Masked positions of diagonal blocks get `fill`.
+#[allow(clippy::too_many_arguments)]
 pub fn sdd_nt(
     a: &[f32],
     b_mat: &[f32],
@@ -69,7 +78,8 @@ pub fn sdd_nt(
             for e in layout.row_entries(br) {
                 let bc = layout.col_idx[e] as usize;
                 // SAFETY: entry `e` spans are disjoint across tasks.
-                let blk = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(e * b * b), b * b) };
+                let blk =
+                    unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(e * b * b), b * b) };
                 for i in 0..b {
                     let a_row = &a[(br * b + i) * dh..(br * b + i + 1) * dh];
                     for j in 0..b {
@@ -104,7 +114,8 @@ pub fn dsd(p: &[f32], v: &[f32], s: usize, dh: usize, layout: &BlockCsr, out: &m
             for i in 0..b {
                 let row = br * b + i;
                 // SAFETY: each global row is written by exactly one task.
-                let out_row = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(row * dh), dh) };
+                let out_row =
+                    unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(row * dh), dh) };
                 out_row.fill(0.0);
                 for e in layout.row_entries(br) {
                     let bc = layout.col_idx[e] as usize;
@@ -138,7 +149,8 @@ pub fn dsd_tn(p: &[f32], x: &[f32], s: usize, dh: usize, layout: &BlockCsr, out:
             for t in 0..b {
                 let row = bc * b + t;
                 // SAFETY: each output row belongs to exactly one block-col task.
-                let out_row = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(row * dh), dh) };
+                let out_row =
+                    unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(row * dh), dh) };
                 out_row.fill(0.0);
                 for e2 in layout.col_entries(bc) {
                     let br = layout.row_idx[e2] as usize;
@@ -309,7 +321,12 @@ mod tests {
         BlockCsr::from_mask(&spec.mask(S / B), B)
     }
 
-    fn dense_reference(q: &[f32], k: &[f32], v: &[f32], mask: &crate::BlockMask) -> (Vec<f32>, Vec<f32>) {
+    fn dense_reference(
+        q: &[f32],
+        k: &[f32],
+        v: &[f32],
+        mask: &crate::BlockMask,
+    ) -> (Vec<f32>, Vec<f32>) {
         // Dense path with block-mask + causal applied as -inf.
         let scale = 1.0 / (DH as f32).sqrt();
         let mut scores = vec![0.0f32; S * S];
@@ -338,7 +355,10 @@ mod tests {
     fn assert_close(a: &[f32], b: &[f32], tol: f32) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() <= tol * (1.0 + y.abs()), "idx {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "idx {i}: {x} vs {y}"
+            );
         }
     }
 

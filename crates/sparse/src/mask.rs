@@ -36,7 +36,10 @@ impl BlockMask {
 
     #[inline]
     fn index(&self, r: usize, c: usize) -> (usize, u64) {
-        debug_assert!(r < self.rows && c < self.cols, "block ({r},{c}) out of grid");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "block ({r},{c}) out of grid"
+        );
         let bit = r * self.cols + c;
         (bit / 64, 1u64 << (bit % 64))
     }
@@ -77,7 +80,11 @@ impl BlockMask {
 
     /// In-place union.
     pub fn union_with(&mut self, other: &BlockMask) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "mask grids differ");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "mask grids differ"
+        );
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;
         }
@@ -85,7 +92,11 @@ impl BlockMask {
 
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &BlockMask) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "mask grids differ");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "mask grids differ"
+        );
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a &= b;
         }
@@ -93,7 +104,11 @@ impl BlockMask {
 
     /// Number of blocks active in `self` that are also active in `other`.
     pub fn covered_by(&self, other: &BlockMask) -> usize {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "mask grids differ");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "mask grids differ"
+        );
         self.bits
             .iter()
             .zip(&other.bits)
@@ -103,7 +118,8 @@ impl BlockMask {
 
     /// Iterate active `(row, col)` block coordinates in row-major order.
     pub fn iter_active(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.rows).flat_map(move |r| (0..self.cols).filter_map(move |c| self.get(r, c).then_some((r, c))))
+        (0..self.rows)
+            .flat_map(move |r| (0..self.cols).filter_map(move |c| self.get(r, c).then_some((r, c))))
     }
 
     /// Restrict to the causal lower triangle (block granularity): keep

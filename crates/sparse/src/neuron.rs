@@ -53,7 +53,9 @@ impl NeuronBlockSet {
         indices.sort_unstable();
         indices.dedup();
         assert!(
-            indices.last().map_or(true, |&l| (l as usize) < n_blocks_total),
+            indices
+                .last()
+                .is_none_or(|&l| (l as usize) < n_blocks_total),
             "active block out of range"
         );
         NeuronBlockSet {
@@ -166,7 +168,11 @@ pub fn fc1_forward(
     set: &NeuronBlockSet,
     z: &mut [f32],
 ) {
-    debug_assert_eq!(w1t.len(), set.total_neurons() * d_in, "fc1: w1t is d_out×d_in");
+    debug_assert_eq!(
+        w1t.len(),
+        set.total_neurons() * d_in,
+        "fc1: w1t is d_out×d_in"
+    );
     let b = set.block_size;
     let width = set.active_neurons();
     assert_eq!(x.len(), rows * d_in, "fc1: x is rows×d_in");
@@ -425,7 +431,10 @@ mod tests {
     fn assert_close(a: &[f32], b: &[f32], tol: f32) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() <= tol * (1.0 + y.abs()), "idx {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "idx {i}: {x} vs {y}"
+            );
         }
     }
 
@@ -611,6 +620,7 @@ mod tests {
         let mut dw1 = ColMajorWeights::zeros(D_IN, H);
         let mut dbias = vec![0.0f32; H];
         fc1_grad_weights(&x, &dz, ROWS, D_IN, &set, dw1.raw_mut(), Some(&mut dbias));
+        #[allow(clippy::needless_range_loop)]
         for n in 0..H {
             let in_active = (8..12).contains(&n);
             let col_nonzero = dw1.col(n).iter().any(|&v| v != 0.0);

@@ -162,7 +162,12 @@ impl PatternPool {
             PatternSpec::LocalGlobal { w: 2, g: 1 },
             PatternSpec::LocalGlobal { w: 4, g: 2 },
             PatternSpec::Strided { w: 1, stride: 4 },
-            PatternSpec::BigBird { w: 2, g: 1, r: 1, seed: 7 },
+            PatternSpec::BigBird {
+                w: 2,
+                g: 1,
+                r: 1,
+                seed: 7,
+            },
             PatternSpec::Causal,
         ];
         Self::build(block_size, &specs, grids)
@@ -279,7 +284,12 @@ mod tests {
             PatternSpec::LocalWindow { w: 3 },
             PatternSpec::GlobalStripe { g: 2 },
             PatternSpec::LocalGlobal { w: 2, g: 1 },
-            PatternSpec::BigBird { w: 2, g: 1, r: 3, seed: 1 },
+            PatternSpec::BigBird {
+                w: 2,
+                g: 1,
+                r: 3,
+                seed: 1,
+            },
             PatternSpec::Strided { w: 1, stride: 3 },
         ];
         for spec in specs {
@@ -298,8 +308,20 @@ mod tests {
 
     #[test]
     fn bigbird_is_deterministic_in_seed() {
-        let a = PatternSpec::BigBird { w: 1, g: 1, r: 2, seed: 5 }.mask(8);
-        let b = PatternSpec::BigBird { w: 1, g: 1, r: 2, seed: 5 }.mask(8);
+        let a = PatternSpec::BigBird {
+            w: 1,
+            g: 1,
+            r: 2,
+            seed: 5,
+        }
+        .mask(8);
+        let b = PatternSpec::BigBird {
+            w: 1,
+            g: 1,
+            r: 2,
+            seed: 5,
+        }
+        .mask(8);
         assert_eq!(a, b);
     }
 
@@ -353,7 +375,10 @@ mod tests {
         // (the widest window) must win.
         let pool = PatternPool::build(
             8,
-            &[PatternSpec::LocalWindow { w: 1 }, PatternSpec::LocalWindow { w: 4 }],
+            &[
+                PatternSpec::LocalWindow { w: 1 },
+                PatternSpec::LocalWindow { w: 4 },
+            ],
             &[8],
         );
         let pred = PatternSpec::Causal.mask(8);

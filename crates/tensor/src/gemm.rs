@@ -100,7 +100,13 @@ pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
-    assert_eq!(k, kb, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        kb,
+        "matmul inner dims: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
     let mut c = Tensor::zeros(&[m, n]);
     gemm(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice(), 0.0);
     c
@@ -110,7 +116,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (n, kb) = (b.rows(), b.cols());
-    assert_eq!(k, kb, "matmul_nt inner dims: {:?} x {:?}ᵀ", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_nt inner dims: {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
     let mut c = Tensor::zeros(&[m, n]);
     gemm_nt(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice(), 0.0);
     c
@@ -120,7 +132,13 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
-    assert_eq!(k, kb, "matmul_tn inner dims: {:?}ᵀ x {:?}", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_tn inner dims: {:?}ᵀ x {:?}",
+        a.shape(),
+        b.shape()
+    );
     let mut c = Tensor::zeros(&[m, n]);
     gemm_tn(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice(), 0.0);
     c
@@ -189,7 +207,10 @@ mod tests {
     fn assert_close(a: &[f32], b: &[f32], tol: f32) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
-            assert!((x - y).abs() <= tol * (1.0 + y.abs()), "idx {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "idx {i}: {x} vs {y}"
+            );
         }
     }
 
@@ -222,7 +243,7 @@ mod tests {
         let (m, k, n) = (19, 23, 11);
         let a = crate::rng::randn_vec(m * k, 1.0, 5);
         let bt = crate::rng::randn_vec(n * k, 1.0, 6); // n×k
-        // Build row-major k×n B for the naive reference.
+                                                       // Build row-major k×n B for the naive reference.
         let mut b = vec![0.0; k * n];
         for j in 0..n {
             for l in 0..k {

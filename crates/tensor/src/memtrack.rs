@@ -32,8 +32,7 @@ pub fn peak_bytes() -> usize {
 
 /// Reset the peak to the current level; returns the old peak.
 pub fn reset_peak() -> usize {
-    let old = PEAK.swap(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
-    old
+    PEAK.swap(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed)
 }
 
 /// Measure the peak tensor memory while `f` runs, in bytes above zero.

@@ -122,7 +122,13 @@ pub fn apply_causal_mask(scores: &mut [f32], s: usize) {
 // ---------------------------------------------------------------------------
 
 /// LayerNorm forward over one row. Returns `(mean, rstd)` for the backward.
-pub fn layernorm_row(x: &[f32], gamma: &[f32], beta: &[f32], eps: f32, y: &mut [f32]) -> (f32, f32) {
+pub fn layernorm_row(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    y: &mut [f32],
+) -> (f32, f32) {
     let n = x.len() as f32;
     let mean = x.iter().sum::<f32>() / n;
     let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
@@ -316,7 +322,16 @@ mod tests {
         let mut dx = vec![0.0; n];
         let mut dgamma = vec![0.0; n];
         let mut dbeta = vec![0.0; n];
-        layernorm_backward_row(&x, &dy, &gamma, mean, rstd, &mut dx, &mut dgamma, &mut dbeta);
+        layernorm_backward_row(
+            &x,
+            &dy,
+            &gamma,
+            mean,
+            rstd,
+            &mut dx,
+            &mut dgamma,
+            &mut dbeta,
+        );
         let loss = |xv: &[f32]| -> f32 {
             let mut yy = vec![0.0; n];
             layernorm_row(xv, &gamma, &beta, 1e-6, &mut yy);

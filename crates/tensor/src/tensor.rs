@@ -109,7 +109,13 @@ impl Tensor {
     /// Reinterpret the shape without moving data.
     pub fn reshape(&mut self, shape: &[usize]) {
         let len: usize = shape.iter().product();
-        assert_eq!(len, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        assert_eq!(
+            len,
+            self.data.len(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
     }
 

@@ -1,0 +1,279 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Keeps the macro/builder surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups, `BenchmarkId`) so the bench
+//! sources compile unchanged, but implements a simple harness: warm up for
+//! `warm_up_time`, then time `sample_size` samples and report min / median /
+//! mean to stdout. No plots, no statistics beyond that.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(self.criterion, &label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(self.criterion, &label, &mut |b: &mut Bencher| {
+            b_input(&mut f, b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn b_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(f: &mut F, b: &mut Bencher, input: &I) {
+    f(b, input)
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    mode: Mode,
+    deadline: Instant,
+    target_samples: usize,
+}
+
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::WarmUp => {
+                while Instant::now() < self.deadline {
+                    std::hint::black_box(f());
+                }
+            }
+            Mode::Measure => {
+                for _ in 0..self.target_samples {
+                    let t = Instant::now();
+                    std::hint::black_box(f());
+                    self.samples.push(t.elapsed());
+                    if Instant::now() > self.deadline && self.samples.len() >= 2 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, f: &mut F) {
+    let mut warm = Bencher {
+        samples: Vec::new(),
+        mode: Mode::WarmUp,
+        deadline: Instant::now() + config.warm_up_time,
+        target_samples: 0,
+    };
+    f(&mut warm);
+    let mut bench = Bencher {
+        samples: Vec::with_capacity(config.sample_size),
+        mode: Mode::Measure,
+        deadline: Instant::now() + config.measurement_time,
+        target_samples: config.sample_size,
+    };
+    f(&mut bench);
+    let mut samples = bench.samples;
+    if samples.is_empty() {
+        println!("{label:<48} no samples collected");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{label:<48} min {:>10} median {:>10} mean {:>10} ({} samples)",
+        fmt(min),
+        fmt(median),
+        fmt(mean),
+        samples.len()
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = quick();
+        let mut calls = 0u64;
+        c.bench_function("t", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_input_runs() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &x| {
+            b.iter(|| total += x)
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Tenant-adapter round trip: extract → serialize → registry persist →
+//! restore on a fresh identical backbone → **bit-identical** forward pass.
+
+use lx_integration::{batch_ids, tiny_cfg, tiny_model};
+use lx_model::{prompt_aware_targets, Sgd, TransformerModel};
+use lx_peft::{detach, PeftMethod, TenantAdapter};
+use lx_serve::AdapterRegistry;
+use std::path::PathBuf;
+
+fn train(model: &mut TransformerModel, steps: usize, seed: u64) {
+    let (batch, seq) = (2, 8);
+    let ids = batch_ids(batch, seq, tiny_cfg().vocab_size, seed);
+    let prompt = model.embedding.prompt_len();
+    let targets = prompt_aware_targets(&ids, batch, seq, prompt);
+    let mut opt = Sgd::new(0.05);
+    for _ in 0..steps {
+        model.train_step(&ids, &targets, batch, seq, None, &mut opt);
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "lx-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn adapter_roundtrip_through_registry_is_bit_identical() {
+    for method in [
+        PeftMethod::lora_default(),
+        PeftMethod::adapter_default(),
+        PeftMethod::PromptTuning { prompt_len: 4 },
+    ] {
+        // Train a tenant on backbone A.
+        let mut donor = tiny_model(5);
+        donor.freeze_all();
+        method.apply(&mut donor, 17);
+        train(&mut donor, 6, 23);
+        let ids = batch_ids(1, 8, tiny_cfg().vocab_size, 31);
+        let reference = donor.forward(&ids, 1, 8, None);
+        let adapter = TenantAdapter::extract_from(&mut donor, method, 17);
+
+        // Persist through a durable registry, then reload from disk.
+        let dir = temp_dir(method.name());
+        {
+            let registry = AdapterRegistry::open(&dir).expect("open registry");
+            registry.put("tenant", &adapter).expect("persist adapter");
+        }
+        let registry = AdapterRegistry::open(&dir).expect("reopen registry");
+        let restored = registry
+            .get("tenant")
+            .expect("decode adapter")
+            .expect("adapter present");
+        assert_eq!(adapter, restored, "{}: blob round trip", method.name());
+
+        // Attach onto a *fresh* identical backbone: same constructor seeds
+        // rebuild the same frozen weights, so the restored tenant's function
+        // must match the donor's bit for bit.
+        let mut fresh = tiny_model(5);
+        fresh.freeze_all();
+        restored.attach_to(&mut fresh);
+        let replayed = fresh.forward(&ids, 1, 8, None);
+        assert_eq!(
+            reference.as_slice(),
+            replayed.as_slice(),
+            "{}: restored forward pass must be bit-identical",
+            method.name()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn detach_restores_the_pristine_backbone_function() {
+    let mut model = tiny_model(8);
+    model.freeze_all();
+    let ids = batch_ids(1, 8, tiny_cfg().vocab_size, 3);
+    let pristine = model.forward(&ids, 1, 8, None);
+    // Attach, train (which changes the function), then detach.
+    PeftMethod::lora_default().apply(&mut model, 2);
+    train(&mut model, 5, 4);
+    let tuned = model.forward(&ids, 1, 8, None);
+    assert_ne!(
+        pristine.as_slice(),
+        tuned.as_slice(),
+        "training must change the function while attached"
+    );
+    detach(&mut model);
+    let back = model.forward(&ids, 1, 8, None);
+    assert_eq!(
+        pristine.as_slice(),
+        back.as_slice(),
+        "detach must restore the pristine backbone exactly"
+    );
+}
+
+#[test]
+fn adapters_from_two_tenants_are_independent() {
+    // Two tenants trained on the same backbone at different times must not
+    // bleed into each other: attaching tenant A after tenant B trained must
+    // reproduce A's function exactly.
+    let mut model = tiny_model(9);
+    model.freeze_all();
+    let method = PeftMethod::lora_default();
+    let ids = batch_ids(1, 8, tiny_cfg().vocab_size, 7);
+
+    method.apply(&mut model, 100);
+    train(&mut model, 5, 41);
+    let a_logits = model.forward(&ids, 1, 8, None);
+    let a = TenantAdapter::extract_from(&mut model, method, 100);
+    detach(&mut model);
+
+    method.apply(&mut model, 200);
+    train(&mut model, 9, 43);
+    let b_logits = model.forward(&ids, 1, 8, None);
+    let b = TenantAdapter::extract_from(&mut model, method, 200);
+    detach(&mut model);
+
+    assert_ne!(a_logits.as_slice(), b_logits.as_slice());
+
+    a.attach_to(&mut model);
+    assert_eq!(
+        model.forward(&ids, 1, 8, None).as_slice(),
+        a_logits.as_slice()
+    );
+    detach(&mut model);
+    b.attach_to(&mut model);
+    assert_eq!(
+        model.forward(&ids, 1, 8, None).as_slice(),
+        b_logits.as_slice()
+    );
+}

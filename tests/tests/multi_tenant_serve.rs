@@ -1,0 +1,201 @@
+//! Scheduler equivalence: tenants trained concurrently (interleaved
+//! time-slices on the shared backbone) must produce **exactly** the same
+//! per-step losses as tenants trained sequentially, because the backbone is
+//! frozen and all mutable per-tenant state swaps with the tenant.
+
+use long_exposure::engine::{EngineConfig, StepMode};
+use lx_integration::tiny_model;
+use lx_model::TransformerModel;
+use lx_peft::PeftMethod;
+use lx_serve::{
+    AdapterRegistry, DatasetSpec, JobReport, JobSpec, SchedPolicy, Scheduler, ServeConfig,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn backbone() -> TransformerModel {
+    let mut m = tiny_model(77);
+    m.freeze_all();
+    m
+}
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig {
+        block_size: 4,
+        calib_epochs: 40,
+        ..EngineConfig::default()
+    }
+}
+
+fn specs() -> Vec<JobSpec> {
+    let mut a = JobSpec::lora("tenant-a", 9, 1, 16);
+    a.stream_len = 3_000;
+    let mut b = JobSpec::lora("tenant-b", 12, 1, 16);
+    b.stream_len = 3_000;
+    b.dataset = DatasetSpec::Instruct {
+        world_seed: 3,
+        salt: 9,
+    };
+    b.method = PeftMethod::Lora {
+        rank: 4,
+        alpha: 8.0,
+        targets: lx_peft::LoraTargets::all(),
+    };
+    vec![a, b]
+}
+
+fn by_tenant(reports: Vec<JobReport>) -> BTreeMap<String, JobReport> {
+    reports.into_iter().map(|r| (r.tenant.clone(), r)).collect()
+}
+
+fn run_concurrent(config: ServeConfig) -> BTreeMap<String, JobReport> {
+    let mut s = Scheduler::new(
+        backbone(),
+        engine_cfg(),
+        config,
+        Arc::new(AdapterRegistry::in_memory()),
+    );
+    for spec in specs() {
+        s.submit(spec).unwrap();
+    }
+    by_tenant(s.run_to_completion())
+}
+
+fn run_sequential(config: ServeConfig) -> BTreeMap<String, JobReport> {
+    let mut s = Scheduler::new(
+        backbone(),
+        engine_cfg(),
+        config,
+        Arc::new(AdapterRegistry::in_memory()),
+    );
+    let mut reports = Vec::new();
+    for spec in specs() {
+        s.submit(spec).unwrap();
+        reports.extend(s.run_to_completion());
+    }
+    by_tenant(reports)
+}
+
+#[test]
+fn concurrent_and_sequential_losses_match_exactly() {
+    for policy in [SchedPolicy::RoundRobin, SchedPolicy::FairShare] {
+        let interleaved = run_concurrent(ServeConfig {
+            slice_steps: 2,
+            policy,
+            ..ServeConfig::default()
+        });
+        let sequential = run_sequential(ServeConfig {
+            slice_steps: 64, // big slices: effectively one tenant at a time
+            policy,
+            ..ServeConfig::default()
+        });
+        assert_eq!(interleaved.len(), 2);
+        for (tenant, seq_report) in &sequential {
+            let con_report = &interleaved[tenant];
+            assert_eq!(con_report.steps, seq_report.steps, "{policy:?}/{tenant}");
+            assert_eq!(
+                con_report.losses, seq_report.losses,
+                "{policy:?}/{tenant}: interleaved training must be bit-identical to sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_mode_shares_one_predictor_set_across_tenants() {
+    let registry = Arc::new(AdapterRegistry::in_memory());
+    let calib: Vec<(Vec<u32>, usize, usize)> = {
+        let spec = DatasetSpec::E2e {
+            world_seed: 5,
+            salt: 1,
+        };
+        let mut batcher = spec.build_batcher(64, 3_000);
+        (0..2).map(|_| (batcher.next_batch(1, 16), 1, 16)).collect()
+    };
+    // Calibrate once; the blob lands in the registry.
+    let mut first = Scheduler::new(
+        backbone(),
+        engine_cfg(),
+        ServeConfig {
+            slice_steps: 3,
+            mode: StepMode::Sparse,
+            ..ServeConfig::default()
+        },
+        registry.clone(),
+    );
+    first.calibrate_shared(&calib);
+    assert!(registry.predictors().is_some());
+    for spec in specs() {
+        first.submit(spec).unwrap();
+    }
+    let from_calibrated = by_tenant(first.run_to_completion());
+
+    // A second scheduler (a "restarted process") imports the shared
+    // predictors from the registry at construction instead of recalibrating,
+    // and reproduces the same training losses exactly. A fresh registry is
+    // used for its adapters so the first run's tenants don't warm-start it —
+    // only the predictor blob is carried over.
+    let fresh_registry = Arc::new(AdapterRegistry::in_memory());
+    fresh_registry
+        .set_predictors(registry.predictors().unwrap())
+        .unwrap();
+    let mut second = Scheduler::new(
+        backbone(),
+        engine_cfg(),
+        ServeConfig {
+            slice_steps: 3,
+            mode: StepMode::Sparse,
+            ..ServeConfig::default()
+        },
+        fresh_registry,
+    );
+    assert!(second.calibrated(), "predictors imported from registry");
+    for spec in specs() {
+        second.submit(spec).unwrap();
+    }
+    let from_imported = by_tenant(second.run_to_completion());
+    for (tenant, a) in &from_calibrated {
+        assert_eq!(
+            a.losses, from_imported[tenant].losses,
+            "{tenant}: imported predictors must reproduce calibrated-run losses"
+        );
+    }
+}
+
+#[test]
+fn four_tenants_share_backbone_and_all_converge() {
+    let mut s = Scheduler::new(
+        backbone(),
+        engine_cfg(),
+        ServeConfig {
+            slice_steps: 3,
+            policy: SchedPolicy::FairShare,
+            ..ServeConfig::default()
+        },
+        Arc::new(AdapterRegistry::in_memory()),
+    );
+    for i in 0..4 {
+        let mut spec = JobSpec::lora(format!("tenant-{i}"), 12, 1, 16);
+        // Stream exactly one batch long: every step replays the same batch,
+        // so each tenant overfits and the loss trend is unambiguous.
+        spec.stream_len = 16;
+        spec.lr = 1e-2;
+        s.submit(spec).unwrap();
+    }
+    let reports = s.run_to_completion();
+    assert_eq!(reports.len(), 4);
+    for r in &reports {
+        assert_eq!(r.steps, 12);
+        let first = r.losses.first().unwrap();
+        let last = r.losses.last().unwrap();
+        assert!(
+            last < first,
+            "{}: loss should drop when overfitting one batch ({first} -> {last})",
+            r.tenant
+        );
+    }
+    let snap = s.metrics();
+    assert_eq!(snap.total_steps, 48);
+    assert_eq!(snap.per_tenant.len(), 4);
+    assert_eq!(s.registry().len(), 4);
+}

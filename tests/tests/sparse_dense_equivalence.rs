@@ -17,11 +17,17 @@ const SEQ: usize = 16;
 const BATCH: usize = 2;
 
 fn full_plan(n_layers: usize, n_heads: usize, d_ff: usize) -> SparsePlan {
-    let csr = Arc::new(BlockCsr::from_mask(&PatternSpec::Causal.mask(SEQ / BLOCK), BLOCK));
+    let csr = Arc::new(BlockCsr::from_mask(
+        &PatternSpec::Causal.mask(SEQ / BLOCK),
+        BLOCK,
+    ));
     let mut plan = SparsePlan::default();
     for _ in 0..n_layers {
         plan.layers.push(LayerPlan {
-            attn: Some(Arc::new(MultiHeadLayout::combine(vec![csr.clone(); n_heads]))),
+            attn: Some(Arc::new(MultiHeadLayout::combine(vec![
+                csr.clone();
+                n_heads
+            ]))),
             mlp: Some(Arc::new(NeuronBlockSet::all(d_ff / BLOCK, BLOCK))),
         });
     }
@@ -49,7 +55,7 @@ fn check_method(method: PeftMethod) {
     let prompt = dense.embedding.prompt_len();
     // Prompt tuning changes the effective sequence; skip the sparse plan in
     // that case unless it stays block-aligned.
-    if (SEQ + prompt) % BLOCK != 0 {
+    if !(SEQ + prompt).is_multiple_of(BLOCK) {
         return;
     }
     let targets = prompt_aware_targets(&ids, BATCH, SEQ, prompt);
@@ -70,7 +76,10 @@ fn check_method(method: PeftMethod) {
         if p.trainable {
             grads_d.push((
                 p.name.clone(),
-                p.grad.as_ref().map(|g| g.as_slice().to_vec()).unwrap_or_default(),
+                p.grad
+                    .as_ref()
+                    .map(|g| g.as_slice().to_vec())
+                    .unwrap_or_default(),
             ));
         }
     });
@@ -79,7 +88,11 @@ fn check_method(method: PeftMethod) {
         if p.trainable {
             let (name, gd) = &grads_d[i];
             assert_eq!(&p.name, name, "param order");
-            let gs = p.grad.as_ref().map(|g| g.as_slice().to_vec()).unwrap_or_default();
+            let gs = p
+                .grad
+                .as_ref()
+                .map(|g| g.as_slice().to_vec())
+                .unwrap_or_default();
             assert_close(&gs, gd, 5e-2, name);
             i += 1;
         }
