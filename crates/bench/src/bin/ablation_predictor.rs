@@ -117,4 +117,5 @@ fn main() {
         ]);
     }
     println!("\nshape to check: recall weighting buys recall (the metric that protects accuracy) at some precision cost.");
+    lx_bench::maybe_emit_json("ablation_predictor");
 }

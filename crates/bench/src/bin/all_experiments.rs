@@ -1,6 +1,8 @@
 //! Run every experiment binary in sequence, mirroring the paper's full
 //! evaluation section. Equivalent to invoking each `--bin` by hand; results
-//! stream to stdout (tee to a file to archive them).
+//! stream to stdout (tee to a file to archive them). All flags are forwarded
+//! to every bin (`--json` refreshes the whole `BENCH_*.json` perf
+//! trajectory; bins ignore flags they don't know).
 
 use std::process::Command;
 
@@ -16,17 +18,20 @@ const BINS: &[&str] = &[
     "fig13_gpt2",
     "fig14_scaling",
     "ablation_predictor",
+    "kernel_bench",
 ];
 
 fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
+    let forward: Vec<String> = std::env::args().skip(1).collect();
     let mut failed = Vec::new();
     for bin in BINS {
         println!("\n######################################################");
         println!("### {bin}");
         println!("######################################################\n");
         let status = Command::new(dir.join(bin))
+            .args(&forward)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         if !status.success() {

@@ -75,4 +75,5 @@ fn main() {
         ]);
     }
     println!("\nshape to check: +LongExposure cuts forward & backward; predict column stays ~1-3% of total.");
+    lx_bench::maybe_emit_json("fig10_breakdown");
 }

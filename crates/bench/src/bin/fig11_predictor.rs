@@ -128,4 +128,5 @@ fn main() {
     for (lt, lp) in ta.lines().zip(pa.lines()) {
         println!("{lt}    {lp}");
     }
+    lx_bench::maybe_emit_json("fig11_predictor");
 }

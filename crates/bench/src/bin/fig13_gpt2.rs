@@ -108,4 +108,5 @@ fn main() {
     println!(
         "\nshape to check: smaller-than-OPT but consistent speedups; MLP stays dense for GeLU."
     );
+    lx_bench::maybe_emit_json("fig13_gpt2");
 }

@@ -79,4 +79,5 @@ fn main() {
         ]);
     }
     println!("\nshape to check: near-linear scaling (paper: \"performance scales linearly\" — no extra communication).");
+    lx_bench::maybe_emit_json("fig14_scaling");
 }

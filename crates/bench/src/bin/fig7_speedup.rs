@@ -141,4 +141,5 @@ fn main() {
         1,
     );
     println!("\nshape to check: speedup grows with seq (O(s²)→O(s) attention) and is platform-consistent.");
+    lx_bench::maybe_emit_json("fig7_speedup");
 }

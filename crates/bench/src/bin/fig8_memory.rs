@@ -103,4 +103,5 @@ fn main() {
     println!(
         "\nshape to check: attention-buffer term grows 4x per seq doubling when dense, ~2x sparse."
     );
+    lx_bench::maybe_emit_json("fig8_memory");
 }

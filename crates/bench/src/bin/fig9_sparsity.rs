@@ -37,6 +37,7 @@ fn time_it(f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    lx_runtime::kernel_policy::install_tuned();
     let (batch, seq, block) = (2, 256, SIM_BLOCK);
     let cfg = ModelConfig::opt_sim_base();
     let mut model = sim_model(cfg.clone(), 42);
@@ -213,4 +214,5 @@ fn main() {
         ]);
     }
     println!("\npaper reference: attention LX 1.78x vs dense, 1.33x vs shadowy; MLP LX 4.22x vs dense, shadowy slower than dense.");
+    lx_bench::maybe_emit_json("fig9_sparsity");
 }

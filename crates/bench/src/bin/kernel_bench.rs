@@ -1,0 +1,185 @@
+//! Kernel backend comparison: `Reference` loops vs the `Packed` tiled
+//! microkernels across Fig. 12-style operator shapes.
+//!
+//! Shapes cover the hot paths the backends serve: square training GEMMs, the
+//! attention score/context products (`s×dh×s` / `s×s×dh`), the MLP FC1/FC2
+//! shapes, and the `dW = Xᵀ·dY` gradient (`tn`) shape. Each shape is timed on
+//! both backends, cross-checked numerically (≤1e-4 relative), and reported
+//! with the dispatcher's per-shape choice.
+//!
+//! Flags:
+//! * `--smoke` — small shapes, few reps; asserts numerical equivalence and a
+//!   sane dispatcher, exits non-zero on mismatch (the CI regression gate).
+//! * `--json`  — also write `BENCH_kernel_bench.json` (the perf trajectory).
+
+use lx_bench::{header, maybe_emit_json, row};
+use lx_kernels::{KernelBackend, AUTO, PACKED, REFERENCE};
+use lx_tensor::rng::randn_vec;
+use std::time::Instant;
+
+#[derive(Clone, Copy)]
+enum Variant {
+    Nn,
+    Nt,
+    Tn,
+}
+
+struct Shape {
+    label: &'static str,
+    variant: Variant,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+const fn shape(label: &'static str, variant: Variant, m: usize, k: usize, n: usize) -> Shape {
+    Shape {
+        label,
+        variant,
+        m,
+        k,
+        n,
+    }
+}
+
+fn shapes(smoke: bool) -> Vec<Shape> {
+    if smoke {
+        vec![
+            shape("square", Variant::Nn, 192, 192, 192),
+            shape("attn scores", Variant::Nt, 128, 64, 128),
+            shape("mlp fc1", Variant::Nn, 128, 128, 256),
+            shape("grad dW", Variant::Tn, 128, 128, 128),
+        ]
+    } else {
+        vec![
+            shape("square 256", Variant::Nn, 256, 256, 256),
+            shape("square 512", Variant::Nn, 512, 512, 512),
+            shape("square 1024", Variant::Nn, 1024, 1024, 1024),
+            shape("attn scores s=512", Variant::Nt, 512, 64, 512),
+            shape("attn context s=512", Variant::Nn, 512, 512, 64),
+            shape("mlp fc1 512x256x1024", Variant::Nn, 512, 256, 1024),
+            shape("mlp fc2 512x1024x256", Variant::Nn, 512, 1024, 256),
+            shape("grad dW 256x512x1024", Variant::Tn, 256, 512, 1024),
+        ]
+    }
+}
+
+fn run(be: &dyn KernelBackend, s: &Shape, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let (m, k, n) = (s.m, s.k, s.n);
+    match s.variant {
+        Variant::Nn => be.gemm(m, k, n, a, k, b, n, c, n, 0.0),
+        Variant::Nt => be.gemm_nt(m, k, n, a, k, b, k, c, n, 0.0),
+        Variant::Tn => be.gemm_tn(m, k, n, a, m, b, n, c, n, 0.0),
+    }
+}
+
+fn time(
+    be: &dyn KernelBackend,
+    s: &Shape,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    reps: usize,
+) -> f64 {
+    run(be, s, a, b, c); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        run(be, s, a, b, c);
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn max_rel_diff(x: &[f32], y: &[f32]) -> f32 {
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| {
+            let d = (a - b).abs() / (1.0 + b.abs());
+            // NaN must fail the gate, not vanish in fold(max).
+            if d.is_finite() {
+                d
+            } else {
+                f32::INFINITY
+            }
+        })
+        .fold(0.0, f32::max)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let policy = lx_runtime::kernel_policy::install_tuned();
+    println!(
+        "== kernel_bench: Reference vs Packed (policy: MC={} KC={} NC={}, packed ≥ {} flops{}) ==\n",
+        policy.tiles.mc,
+        policy.tiles.kc,
+        policy.tiles.nc,
+        policy.min_flops_packed,
+        if smoke { ", smoke" } else { "" }
+    );
+    header(&[
+        "shape",
+        "m×k×n",
+        "ref ms",
+        "packed ms",
+        "speedup",
+        "auto picks",
+        "max rel diff",
+    ]);
+    let mut failures = 0usize;
+    let mut best_speedup = 0.0f64;
+    for s in shapes(smoke) {
+        let (asz, bsz) = match s.variant {
+            Variant::Nn => (s.m * s.k, s.k * s.n),
+            Variant::Nt => (s.m * s.k, s.n * s.k),
+            Variant::Tn => (s.k * s.m, s.k * s.n),
+        };
+        let a = randn_vec(asz, 1.0, 1);
+        let b = randn_vec(bsz, 1.0, 2);
+        let mut c_ref = vec![0.0f32; s.m * s.n];
+        let mut c_packed = vec![0.0f32; s.m * s.n];
+        let flops = 2.0 * (s.m * s.k * s.n) as f64;
+        let reps = if smoke {
+            2
+        } else {
+            ((2e9 / flops) as usize).clamp(2, 20)
+        };
+        let t_ref = time(&REFERENCE, &s, &a, &b, &mut c_ref, reps);
+        let t_packed = time(&PACKED, &s, &a, &b, &mut c_packed, reps);
+        let diff = max_rel_diff(&c_packed, &c_ref);
+        if diff > 1e-4 {
+            failures += 1;
+        }
+        let speedup = t_ref / t_packed;
+        best_speedup = best_speedup.max(speedup);
+        // What the dispatcher actually does for this shape.
+        let auto_picks = lx_kernels::auto_choice(s.m, s.k, s.n);
+        let mut c_auto = vec![0.0f32; s.m * s.n];
+        run(&AUTO, &s, &a, &b, &mut c_auto);
+        if max_rel_diff(&c_auto, &c_ref) > 1e-4 {
+            failures += 1;
+        }
+        row(&[
+            s.label.to_string(),
+            format!("{}x{}x{}", s.m, s.k, s.n),
+            format!("{:.2}", t_ref * 1e3),
+            format!("{:.2}", t_packed * 1e3),
+            format!("{speedup:.2}x"),
+            auto_picks.to_string(),
+            format!("{diff:.2e}"),
+        ]);
+    }
+    println!(
+        "\nbest packed speedup: {best_speedup:.2}x (acceptance bar: ≥2x on at least one shape)"
+    );
+    maybe_emit_json("kernel_bench");
+    if failures > 0 {
+        eprintln!("kernel_bench: {failures} backend mismatches above 1e-4");
+        std::process::exit(1);
+    }
+    if smoke && best_speedup < 1.0 {
+        // The smoke gate is deliberately lenient on shared CI boxes: packed
+        // must at least not *lose* end-to-end on the probe shapes.
+        eprintln!("kernel_bench: packed slower than reference on every smoke shape");
+        std::process::exit(1);
+    }
+}

@@ -144,4 +144,5 @@ fn main() {
         registry.len(),
         registry.predictors().is_some(),
     );
+    lx_bench::maybe_emit_json("serve_throughput");
 }

@@ -85,4 +85,5 @@ fn main() {
     }
     println!("paper reference (OPT-1.3B): PIQA 72.25→72.09, Winogrande 58.88→58.80, RTE 54.15→54.51, COPA 81→81, HellaSwag 42.08→42.11.");
     println!("shape to check: per-task deltas within ~±1 stderr — sparsity does not change what is learned.");
+    lx_bench::maybe_emit_json("table4_accuracy");
 }

@@ -2,6 +2,10 @@
 //! and the Criterion benches. See DESIGN.md §3 for the experiment index and
 //! EXPERIMENTS.md for paper-vs-measured results.
 
+pub mod report;
+
+pub use report::{emit_json, header, maybe_emit_json, row};
+
 use long_exposure::engine::{EngineConfig, FinetuneEngine, StepMode, StepStats};
 use lx_data::e2e::E2eGenerator;
 use lx_data::{Batcher, SyntheticWorld};
@@ -108,20 +112,6 @@ pub fn default_opt() -> AdamW {
 
 pub fn fmt_ms(d: Duration) -> String {
     format!("{:.1}", d.as_secs_f64() * 1e3)
-}
-
-/// Print a Markdown-ish table row.
-pub fn row(cells: &[String]) {
-    println!("| {} |", cells.join(" | "));
-}
-
-/// Convenience: header + separator.
-pub fn header(cells: &[&str]) {
-    println!("| {} |", cells.join(" | "));
-    println!(
-        "|{}|",
-        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
-    );
 }
 
 #[cfg(test)]

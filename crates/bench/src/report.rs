@@ -1,0 +1,155 @@
+//! Machine-readable results for the experiment binaries.
+//!
+//! Every bin prints Markdown-ish tables through [`header`]/[`row`]; this
+//! module transparently collects what was printed and, when the bin was
+//! invoked with `--json`, serialises it to `BENCH_<name>.json` in the current
+//! directory via [`maybe_emit_json`]. That file is the unit of the perf
+//! trajectory: CI and developers commit/compare them across PRs instead of
+//! scraping stdout.
+//!
+//! The JSON is written by hand (the workspace is offline — no serde):
+//!
+//! ```json
+//! {
+//!   "bench": "fig12_operators",
+//!   "tables": [
+//!     {"header": ["sparsity", "time ms"], "rows": [["0.00", "1.23"], ...]}
+//!   ]
+//! }
+//! ```
+//!
+//! Collection is thread-local: bins print their tables from `main`, so the
+//! main thread's log is the report.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::path::PathBuf;
+
+#[derive(Default)]
+struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+thread_local! {
+    static TABLES: RefCell<Vec<Table>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Print a table header + separator and start a new collected table.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    TABLES.with(|t| {
+        t.borrow_mut().push(Table {
+            header: cells.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        })
+    });
+}
+
+/// Print a Markdown-ish table row and append it to the current table.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+    TABLES.with(|t| {
+        let mut tables = t.borrow_mut();
+        if tables.is_empty() {
+            tables.push(Table::default());
+        }
+        tables
+            .last_mut()
+            .expect("just ensured")
+            .rows
+            .push(cells.to_vec());
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Serialise everything collected so far to `BENCH_<name>.json`.
+pub fn emit_json(name: &str) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    let body = TABLES.with(|t| {
+        let tables = t.borrow();
+        let rendered: Vec<String> = tables
+            .iter()
+            .map(|tab| {
+                let rows: Vec<String> = tab.rows.iter().map(|r| json_array(r)).collect();
+                format!(
+                    "{{\"header\":{},\"rows\":[{}]}}",
+                    json_array(&tab.header),
+                    rows.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\":\"{}\",\"tables\":[{}]}}\n",
+            json_escape(name),
+            rendered.join(",")
+        )
+    });
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(body.as_bytes())?;
+    Ok(path)
+}
+
+/// `--json` flag handling for the experiment bins: call once at the end of
+/// `main`. Writes `BENCH_<name>.json` when the flag is present.
+pub fn maybe_emit_json(name: &str) {
+    if std::env::args().any(|a| a == "--json") {
+        match emit_json(name) {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("failed to write BENCH_{name}.json: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_and_serialises_tables() {
+        // Thread-local state: run in an isolated thread so parallel tests
+        // (and earlier prints) can't interleave.
+        std::thread::spawn(|| {
+            header(&["a", "b"]);
+            row(&["1".into(), "x \"quoted\"".into()]);
+            header(&["c"]);
+            row(&["2".into()]);
+            let body = TABLES.with(|t| {
+                let tables = t.borrow();
+                assert_eq!(tables.len(), 2);
+                assert_eq!(tables[0].rows.len(), 1);
+                tables[0].rows[0][1].clone()
+            });
+            assert_eq!(body, "x \"quoted\"");
+            assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        })
+        .join()
+        .unwrap();
+    }
+}

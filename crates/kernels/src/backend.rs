@@ -1,0 +1,271 @@
+//! The [`KernelBackend`] trait and the [`Reference`] scalar backend.
+//!
+//! All three GEMM variants take *leading dimensions* (`lda`/`ldb`/`ldc`, in
+//! elements), so a caller can point a kernel at a strided window of a larger
+//! buffer — a block column of a compact activation matrix, a neuron slab of a
+//! weight matrix — without copying. A leading dimension equal to the logical
+//! width is the contiguous case.
+//!
+//! Slice length contract (checked): a matrix view of `r` rows × `c` cols with
+//! leading dimension `ld ≥ c` needs at least `(r−1)·ld + c` elements and at
+//! most `r·ld` (so views carved out of a larger buffer, whose final row stops
+//! at the logical width, are accepted).
+
+use lx_parallel::par_rows;
+
+/// Don't fan a GEMM out across the pool unless a task has at least this many
+/// fused mul-adds (same constant the original loop kernels used).
+pub(crate) const GRAIN_FLOPS: usize = 1 << 16;
+
+pub(crate) fn row_grain(k: usize, n: usize) -> usize {
+    (GRAIN_FLOPS / (k * n).max(1)).max(1)
+}
+
+/// Check a `rows × cols` view with leading dimension `ld`.
+#[track_caller]
+pub(crate) fn check_view(len: usize, rows: usize, cols: usize, ld: usize, what: &str) {
+    assert!(ld >= cols, "{what}: leading dim {ld} < width {cols}");
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let need = (rows - 1) * ld + cols;
+    assert!(
+        len >= need,
+        "{what}: {len} elements < {need} needed for {rows}x{cols} (ld {ld})"
+    );
+}
+
+/// A family of GEMM kernels sharing one storage convention (row-major with
+/// leading dimensions). Implementations must tolerate degenerate shapes
+/// (`m`, `k` or `n` of 0) and must scale `C` by `beta` exactly once.
+/// `beta == 0.0` means *overwrite*: prior contents of `C` — including NaN —
+/// must not leak into the result.
+#[allow(clippy::too_many_arguments)]
+pub trait KernelBackend: Sync {
+    /// Short name for dispatch logs and benches.
+    fn name(&self) -> &'static str;
+
+    /// `C[m,n] = A[m,k] · B[k,n] + beta·C`.
+    fn gemm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    );
+
+    /// `C[m,n] = A[m,k] · B[n,k]ᵀ + beta·C` — B stored row-major as `n×k`.
+    fn gemm_nt(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    );
+
+    /// `C[m,n] = A[k,m]ᵀ · B[k,n] + beta·C` — A stored row-major as `k×m`.
+    /// This is the gradient-of-weights shape (`dW = Xᵀ·dY`).
+    fn gemm_tn(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    );
+}
+
+/// Parallel `C *= beta` sweep (the whole op when `k == 0`; the up-front beta
+/// pass of the packed driver otherwise).
+pub(crate) fn scale_only(c: &mut [f32], m: usize, n: usize, ldc: usize, beta: f32) {
+    par_rows(c, m, ldc, (1 << 14) / n.max(1), |rows, chunk| {
+        for i in rows.clone() {
+            let local = (i - rows.start) * ldc;
+            scale_row(&mut chunk[local..local + n], beta);
+        }
+    });
+}
+
+#[inline]
+pub(crate) fn scale_row(row: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        row.fill(0.0);
+    } else if beta != 1.0 {
+        for v in row {
+            *v *= beta;
+        }
+    }
+}
+
+#[inline]
+fn axpy_row(c: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(c.len(), b.len());
+    for (cv, bv) in c.iter_mut().zip(b.iter()) {
+        *cv += a * bv;
+    }
+}
+
+#[inline]
+fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// The scalar loop kernels that used to live in `lx-tensor::gemm`, kept
+/// verbatim (modulo leading dims) as the correctness oracle and as the
+/// small-shape arm of the dispatcher. `i-k-j` order with an A-element
+/// broadcast against a contiguous B row, which LLVM auto-vectorises well;
+/// rows of C split across the pool with a FLOP-based grain.
+pub struct Reference;
+
+impl KernelBackend for Reference {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn gemm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm: A");
+        check_view(b.len(), k, n, ldb, "gemm: B");
+        check_view(c.len(), m, n, ldc, "gemm: C");
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            return scale_only(c, m, n, ldc, beta);
+        }
+        par_rows(c, m, ldc, row_grain(k, n), |rows, chunk| {
+            for i in rows.clone() {
+                let local = (i - rows.start) * ldc;
+                let c_row = &mut chunk[local..local + n];
+                scale_row(c_row, beta);
+                let a_row = &a[i * lda..i * lda + k];
+                for (l, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[l * ldb..l * ldb + n];
+                    axpy_row(c_row, av, b_row);
+                }
+            }
+        });
+    }
+
+    fn gemm_nt(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nt: A");
+        check_view(b.len(), n, k, ldb, "gemm_nt: B");
+        check_view(c.len(), m, n, ldc, "gemm_nt: C");
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            return scale_only(c, m, n, ldc, beta);
+        }
+        par_rows(c, m, ldc, row_grain(k, n), |rows, chunk| {
+            for i in rows.clone() {
+                let local = (i - rows.start) * ldc;
+                let c_row = &mut chunk[local..local + n];
+                let a_row = &a[i * lda..i * lda + k];
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    let b_row = &b[j * ldb..j * ldb + k];
+                    let dot = dot_unrolled(a_row, b_row);
+                    *cv = if beta == 0.0 { dot } else { beta * *cv + dot };
+                }
+            }
+        });
+    }
+
+    fn gemm_tn(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), k, m, lda, "gemm_tn: A");
+        check_view(b.len(), k, n, ldb, "gemm_tn: B");
+        check_view(c.len(), m, n, ldc, "gemm_tn: C");
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            return scale_only(c, m, n, ldc, beta);
+        }
+        par_rows(c, m, ldc, row_grain(k, n), |rows, chunk| {
+            for i in rows.clone() {
+                let local = (i - rows.start) * ldc;
+                scale_row(&mut chunk[local..local + n], beta);
+            }
+            for l in 0..k {
+                let b_row = &b[l * ldb..l * ldb + n];
+                for i in rows.clone() {
+                    let av = a[l * lda + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let local = (i - rows.start) * ldc;
+                    axpy_row(&mut chunk[local..local + n], av, b_row);
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,285 @@
+//! Size-aware backend dispatch and the tile/threshold policy.
+//!
+//! ## Dispatch policy
+//!
+//! The packed backend pays for its speed up front: packing traffic of
+//! `O(m·k + k·n)` writes per k-block plus the beta pass over C. For the
+//! Fig. 12 operator shapes (hundreds × hundreds and up) that cost is noise;
+//! for the many small per-block GEMMs the sparse operators issue (e.g.
+//! `32×64×32` score blocks) it is not. The [`Auto`] dispatcher therefore
+//! routes a call to [`Packed`] only when its FLOP count clears
+//! [`KernelPolicy::min_flops_packed`] *and* the inner/output dimensions are
+//! wide enough (`k ≥ 8`, `n ≥ NR/2`) for panels to amortise; everything else
+//! takes the [`Reference`] loops, which have zero setup cost.
+//!
+//! The policy lives in process-wide atomics so `lx-runtime` can install a
+//! cache-model-derived [`TileConfig`] (see `lx_runtime::kernel_policy`) and
+//! [`autotune`] can refine the crossover threshold from a one-time measured
+//! probe — both without synchronisation on the hot path.
+
+use crate::backend::{KernelBackend, Reference};
+use crate::packed::{Packed, NR};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Cache-blocking tile shape for the packed backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Rows of A packed per block (Ã sized `mc × kc`, targeting L2).
+    pub mc: usize,
+    /// K-depth per block (B̃ panel of `kc × NR` targeting L1).
+    pub kc: usize,
+    /// Columns of B packed per block (B̃ sized `kc × nc`).
+    pub nc: usize,
+}
+
+impl Default for TileConfig {
+    /// Conservative defaults for a ~32 KiB L1d / ≥256 KiB L2 core:
+    /// `kc·NR·4B = 16 KiB` (half of L1d for B̃), `mc·kc·4B = 96 KiB` of Ã.
+    fn default() -> Self {
+        TileConfig {
+            mc: 96,
+            kc: 256,
+            nc: 2048,
+        }
+    }
+}
+
+/// Dispatch policy: tile shape plus the packed-vs-reference crossover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelPolicy {
+    pub tiles: TileConfig,
+    /// Minimum `2·m·k·n` FLOPs for a call to take the packed path.
+    pub min_flops_packed: u64,
+}
+
+impl Default for KernelPolicy {
+    fn default() -> Self {
+        KernelPolicy {
+            tiles: TileConfig::default(),
+            // ~2·64³: below this the packing passes rival the math itself.
+            min_flops_packed: 1 << 19,
+        }
+    }
+}
+
+static MC: AtomicUsize = AtomicUsize::new(96);
+static KC: AtomicUsize = AtomicUsize::new(256);
+static NC: AtomicUsize = AtomicUsize::new(2048);
+static MIN_FLOPS: AtomicU64 = AtomicU64::new(1 << 19);
+
+/// Install a dispatch policy process-wide. Takes effect on the next kernel
+/// call; safe to call at any time (benches install a tuned policy up front,
+/// tests leave the defaults).
+pub fn install_policy(p: KernelPolicy) {
+    MC.store(p.tiles.mc.max(1), Ordering::Relaxed);
+    KC.store(p.tiles.kc.max(1), Ordering::Relaxed);
+    NC.store(p.tiles.nc.max(NR), Ordering::Relaxed);
+    MIN_FLOPS.store(p.min_flops_packed, Ordering::Relaxed);
+}
+
+/// The currently installed policy.
+pub fn current_policy() -> KernelPolicy {
+    KernelPolicy {
+        tiles: tiles(),
+        min_flops_packed: MIN_FLOPS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn tiles() -> TileConfig {
+    TileConfig {
+        mc: MC.load(Ordering::Relaxed),
+        kc: KC.load(Ordering::Relaxed),
+        nc: NC.load(Ordering::Relaxed),
+    }
+}
+
+/// The three backend singletons.
+pub static REFERENCE: Reference = Reference;
+pub static PACKED: Packed = Packed;
+pub static AUTO: Auto = Auto;
+
+/// Size-aware dispatcher: picks [`Packed`] or [`Reference`] per call.
+pub struct Auto;
+
+#[inline]
+fn pick(m: usize, k: usize, n: usize) -> &'static dyn KernelBackend {
+    let flops = 2 * (m as u64) * (k as u64) * (n as u64);
+    if flops >= MIN_FLOPS.load(Ordering::Relaxed) && k >= 8 && n >= NR / 2 {
+        &PACKED
+    } else {
+        &REFERENCE
+    }
+}
+
+impl KernelBackend for Auto {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn gemm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        pick(m, k, n).gemm(m, k, n, a, lda, b, ldb, c, ldc, beta)
+    }
+
+    fn gemm_nt(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        pick(m, k, n).gemm_nt(m, k, n, a, lda, b, ldb, c, ldc, beta)
+    }
+
+    fn gemm_tn(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        pick(m, k, n).gemm_tn(m, k, n, a, lda, b, ldb, c, ldc, beta)
+    }
+}
+
+/// Resolve the process-wide backend once: `LX_KERNEL_BACKEND` ∈
+/// `reference | packed | auto` (default `auto`; anything else warns loudly
+/// and falls back to `auto` so a typo can't silently un-pin a benchmark).
+/// `LX_KERNEL_AUTOTUNE=1` additionally runs the one-time [`autotune`] probe
+/// before the first dispatch.
+pub fn backend() -> &'static dyn KernelBackend {
+    static CHOICE: OnceLock<&'static dyn KernelBackend> = OnceLock::new();
+    *CHOICE.get_or_init(|| {
+        if std::env::var("LX_KERNEL_AUTOTUNE").as_deref() == Ok("1") {
+            autotune();
+        }
+        match std::env::var("LX_KERNEL_BACKEND") {
+            Ok(name) => backend_by_name(&name).unwrap_or_else(|| {
+                eprintln!(
+                    "lx-kernels: unknown LX_KERNEL_BACKEND '{name}' \
+                     (expected reference|packed|auto); using auto"
+                );
+                &AUTO
+            }),
+            Err(_) => &AUTO,
+        }
+    })
+}
+
+/// Name of the backend [`Auto`] would route an `m×k×n` call to right now
+/// (benches report this next to their measurements).
+pub fn auto_choice(m: usize, k: usize, n: usize) -> &'static str {
+    pick(m, k, n).name()
+}
+
+/// Look a backend up by name (benches and differential tests).
+pub fn backend_by_name(name: &str) -> Option<&'static dyn KernelBackend> {
+    match name {
+        "reference" => Some(&REFERENCE),
+        "packed" => Some(&PACKED),
+        "auto" => Some(&AUTO),
+        _ => None,
+    }
+}
+
+/// One-time measured probe: find the square-GEMM size where the packed
+/// backend overtakes the reference loops and install that crossover as
+/// [`KernelPolicy::min_flops_packed`]. Costs a few milliseconds; benches call
+/// it explicitly, library users opt in by setting `LX_KERNEL_AUTOTUNE=1`
+/// (checked in [`backend`]). Returns the installed policy.
+pub fn autotune() -> KernelPolicy {
+    static RESULT: OnceLock<KernelPolicy> = OnceLock::new();
+    *RESULT.get_or_init(|| {
+        let mut policy = current_policy();
+        let mut crossover: Option<usize> = None;
+        for s in [32usize, 48, 64, 96, 128, 192] {
+            // No exact zeros: Reference skips `av == 0.0` in its inner loop,
+            // which would bias the measured crossover against Packed.
+            let a: Vec<f32> = (0..s * s).map(|i| (i % 7) as f32 * 0.25 - 0.875).collect();
+            let b = a.clone();
+            let mut c = vec![0.0f32; s * s];
+            let time = |backend: &dyn KernelBackend, c: &mut [f32]| {
+                backend.gemm(s, s, s, &a, s, &b, s, c, s, 0.0); // warm
+                let t0 = std::time::Instant::now();
+                for _ in 0..3 {
+                    backend.gemm(s, s, s, &a, s, &b, s, c, s, 0.0);
+                }
+                t0.elapsed()
+            };
+            let t_ref = time(&REFERENCE, &mut c);
+            let t_packed = time(&PACKED, &mut c);
+            if t_packed <= t_ref {
+                crossover = Some(s);
+                break;
+            }
+        }
+        if let Some(s) = crossover {
+            policy.min_flops_packed = 2 * (s as u64).pow(3);
+        }
+        install_policy(policy);
+        policy
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_routes_small_to_reference() {
+        assert_eq!(pick(4, 4, 4).name(), "reference");
+        assert_eq!(pick(512, 512, 512).name(), "packed");
+        // Narrow K or N never packs, whatever the FLOP count.
+        assert_eq!(pick(100_000, 4, 100).name(), "reference");
+        assert_eq!(pick(100_000, 100, 4).name(), "reference");
+    }
+
+    #[test]
+    fn policy_roundtrip() {
+        // Run the (memoized) autotune first so no other mutator can race the
+        // install/read pair below.
+        let _ = autotune();
+        let before = current_policy();
+        let p = KernelPolicy {
+            tiles: TileConfig {
+                mc: 48,
+                kc: 128,
+                nc: 512,
+            },
+            min_flops_packed: 1234,
+        };
+        install_policy(p);
+        assert_eq!(current_policy(), p);
+        install_policy(before);
+    }
+
+    #[test]
+    fn backend_lookup() {
+        assert_eq!(backend_by_name("packed").unwrap().name(), "packed");
+        assert!(backend_by_name("tpu").is_none());
+    }
+}

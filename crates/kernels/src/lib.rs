@@ -1,0 +1,244 @@
+//! # lx-kernels — runtime-dispatched GEMM microkernel backends
+//!
+//! Every dense and block-sparse hot path in this workspace bottoms out in one
+//! of three GEMM variants (`C = A·B`, `C = A·Bᵀ`, `C = Aᵀ·B`, all row-major,
+//! all with leading dimensions). This crate owns those kernels behind the
+//! [`KernelBackend`] trait:
+//!
+//! * [`Reference`] — the original scalar `i-k-j` loops, kept as the
+//!   correctness oracle and the zero-setup-cost arm for small shapes;
+//! * [`Packed`] — cache-blocked, panel-packed microkernels (`MR×NR` register
+//!   tiles, B-panel reuse across A row blocks, AVX2+FMA `std::arch` inner
+//!   loops behind runtime feature detection with a scalar fallback);
+//! * [`Auto`] — the size-aware dispatcher that picks between them per call
+//!   using the installed [`KernelPolicy`] (see [`dispatch`] for the policy
+//!   rationale, `lx_runtime::kernel_policy` for the cache-model-derived tile
+//!   shapes, and [`autotune`] for the one-time measured probe).
+//!
+//! Callers outside benchmarks should use the free functions below, which
+//! route through the process-wide backend (`LX_KERNEL_BACKEND` ∈
+//! `reference | packed | auto`, default `auto`). `lx-tensor::gemm` re-exports
+//! the contiguous forms; the sparse operators in `lx-sparse` call the strided
+//! forms directly so block and neuron-slab GEMMs hit the same microkernels.
+
+mod backend;
+mod dispatch;
+mod packed;
+
+pub use backend::{KernelBackend, Reference};
+pub use dispatch::{
+    auto_choice, autotune, backend, backend_by_name, current_policy, install_policy, Auto,
+    KernelPolicy, TileConfig, AUTO, PACKED, REFERENCE,
+};
+pub use packed::{Packed, MR, NR};
+
+/// `C[m,n] = A[m,k]·B[k,n] + beta·C`, contiguous rows.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
+    backend().gemm(m, k, n, a, k.max(1), b, n.max(1), c, n.max(1), beta)
+}
+
+/// `C[m,n] = A[m,k]·B[n,k]ᵀ + beta·C`, contiguous rows.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
+    backend().gemm_nt(m, k, n, a, k.max(1), b, k.max(1), c, n.max(1), beta)
+}
+
+/// `C[m,n] = A[k,m]ᵀ·B[k,n] + beta·C`, contiguous rows.
+pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
+    backend().gemm_tn(m, k, n, a, m.max(1), b, n.max(1), c, n.max(1), beta)
+}
+
+/// Strided [`gemm`] on the process-wide backend.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_strided(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    beta: f32,
+) {
+    backend().gemm(m, k, n, a, lda, b, ldb, c, ldc, beta)
+}
+
+/// Strided [`gemm_nt`] on the process-wide backend.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_strided(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    beta: f32,
+) {
+    backend().gemm_nt(m, k, n, a, lda, b, ldb, c, ldc, beta)
+}
+
+/// Strided [`gemm_tn`] on the process-wide backend.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn_strided(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    beta: f32,
+) {
+    backend().gemm_tn(m, k, n, a, lda, b, ldb, c, ldc, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for l in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + l] * b[l * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn pseudo(n: usize, seed: u32) -> Vec<f32> {
+        // Small deterministic pseudo-random values without the rand shim.
+        let mut state = seed.wrapping_mul(2654435761).max(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                (state as f32 / u32::MAX as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "idx {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_matches_naive_across_edge_shapes() {
+        // Shapes straddling the MR/NR register tiles and the KC block.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 7, 15),
+            (6, 8, 16),
+            (7, 9, 17),
+            (13, 300, 33),
+            (97, 64, 130),
+        ] {
+            let a = pseudo(m * k, 1 + m as u32);
+            let b = pseudo(k * n, 2 + n as u32);
+            let expect = naive(m, k, n, &a, &b);
+            let mut c = vec![0.0; m * n];
+            PACKED.gemm(m, k, n, &a, k, &b, n, &mut c, n, 0.0);
+            assert_close(&c, &expect, 1e-4);
+        }
+    }
+
+    #[test]
+    fn packed_beta_accumulates() {
+        let (m, k, n) = (11, 23, 19);
+        let a = pseudo(m * k, 3);
+        let b = pseudo(k * n, 4);
+        let mut c = vec![1.0; m * n];
+        PACKED.gemm(m, k, n, &a, k, &b, n, &mut c, n, 2.0);
+        let mut expect = naive(m, k, n, &a, &b);
+        for v in expect.iter_mut() {
+            *v += 2.0;
+        }
+        assert_close(&c, &expect, 1e-4);
+    }
+
+    #[test]
+    fn packed_nt_tn_match_reference() {
+        let (m, k, n) = (19, 31, 22);
+        let a = pseudo(m * k, 5);
+        let bt = pseudo(n * k, 6);
+        let at = pseudo(k * m, 7);
+        let bn = pseudo(k * n, 8);
+        let (mut c1, mut c2) = (vec![0.0; m * n], vec![0.0; m * n]);
+        PACKED.gemm_nt(m, k, n, &a, k, &bt, k, &mut c1, n, 0.0);
+        REFERENCE.gemm_nt(m, k, n, &a, k, &bt, k, &mut c2, n, 0.0);
+        assert_close(&c1, &c2, 1e-4);
+        c1.fill(0.0);
+        c2.fill(0.0);
+        PACKED.gemm_tn(m, k, n, &at, m, &bn, n, &mut c1, n, 0.0);
+        REFERENCE.gemm_tn(m, k, n, &at, m, &bn, n, &mut c2, n, 0.0);
+        assert_close(&c1, &c2, 1e-4);
+    }
+
+    #[test]
+    fn strided_views_match_contiguous() {
+        // C is a window inside a wider buffer; A and B have padded rows.
+        let (m, k, n) = (9, 14, 10);
+        let (lda, ldb, ldc) = (k + 3, n + 5, n + 7);
+        let a = pseudo(m * lda, 9);
+        let b = pseudo(k * ldb, 10);
+        let mut a_tight = vec![0.0; m * k];
+        let mut b_tight = vec![0.0; k * n];
+        for i in 0..m {
+            a_tight[i * k..(i + 1) * k].copy_from_slice(&a[i * lda..i * lda + k]);
+        }
+        for l in 0..k {
+            b_tight[l * n..(l + 1) * n].copy_from_slice(&b[l * ldb..l * ldb + n]);
+        }
+        let expect = naive(m, k, n, &a_tight, &b_tight);
+        for be in [&PACKED as &dyn KernelBackend, &REFERENCE] {
+            let mut c = vec![0.0; (m - 1) * ldc + n];
+            be.gemm(m, k, n, &a, lda, &b, ldb, &mut c, ldc, 0.0);
+            for i in 0..m {
+                assert_close(&c[i * ldc..i * ldc + n], &expect[i * n..(i + 1) * n], 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops_or_scales() {
+        let mut c = vec![3.0; 4];
+        // k == 0: C just gets scaled by beta.
+        for be in [&PACKED as &dyn KernelBackend, &REFERENCE, &AUTO] {
+            c.fill(3.0);
+            be.gemm(2, 0, 2, &[], 1, &[], 2, &mut c, 2, 0.5);
+            assert_eq!(c, vec![1.5; 4], "{}", be.name());
+            be.gemm(0, 3, 0, &[], 3, &[], 1, &mut [], 1, 0.0);
+        }
+    }
+
+    #[test]
+    fn free_functions_dispatch() {
+        let (m, k, n) = (64, 64, 64);
+        let a = pseudo(m * k, 11);
+        let b = pseudo(k * n, 12);
+        let mut c = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c, 0.0);
+        assert_close(&c, &naive(m, k, n, &a, &b), 1e-4);
+    }
+
+    #[test]
+    fn autotune_installs_policy() {
+        let p = autotune();
+        assert!(p.min_flops_packed > 0);
+    }
+}

@@ -1,0 +1,434 @@
+//! The [`Packed`] backend: cache-blocked, panel-packed GEMM microkernels.
+//!
+//! Classic three-level blocking (BLIS/GotoBLAS structure, adapted from the
+//! shared-memory-tile + register-tile pattern GPU kernels use):
+//!
+//! ```text
+//!   for jc in steps of NC over n:            // C column block   (≈ L3)
+//!     for pc in steps of KC over k:          // K block
+//!       pack B[pc.., jc..] → B̃  (KC×NC, NR-wide column panels)   (≈ L2→L1)
+//!       parallel over row chunks of C:
+//!         for ic in steps of MC over rows:   // A row block      (≈ L2)
+//!           pack A[ic.., pc..] → Ã (MC×KC, MR-tall row panels)
+//!           for jr, ir over NR/MR panels:
+//!             microkernel: C[MR×NR] += Ã-panel · B̃-panel
+//! ```
+//!
+//! * The microkernel keeps an `MR×NR` register tile of C accumulators and
+//!   streams one `MR` column of Ã against one `NR` row of B̃ per k-step —
+//!   explicit FMA-friendly inner loops.
+//! * Packing absorbs the `_nt`/`_tn` transposes: all three variants feed the
+//!   *same* microkernel, only the pack routines index differently. Edge tiles
+//!   are zero-padded in the packed buffers, so the microkernel never branches
+//!   on shape; write-back clamps to the valid region.
+//! * B̃ is packed once per `(jc, pc)` block on the submitting thread and
+//!   shared read-only across all row tasks — the "B-panel reuse across A
+//!   rows" that makes the kernel bandwidth-friendly.
+//! * On x86-64 with AVX2+FMA (checked once at runtime) the microkernel uses
+//!   `std::arch` intrinsics; everywhere else a fixed-shape scalar kernel that
+//!   LLVM auto-vectorises. Both produce identical results up to f32
+//!   summation order, which differs from [`Reference`](crate::Reference) only
+//!   within the usual 1e-4 relative tolerance.
+//!
+//! Pack buffers are thread-local and reused across calls, so steady-state
+//! GEMMs allocate nothing.
+
+use crate::backend::{check_view, row_grain, scale_only, KernelBackend};
+use crate::dispatch::tiles;
+use lx_parallel::par_rows;
+use std::cell::RefCell;
+
+/// Register tile height (rows of C per microkernel call).
+pub const MR: usize = 6;
+/// Register tile width (cols of C per microkernel call).
+pub const NR: usize = 16;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// Operand stored as it is multiplied (`rows × cols` row-major).
+    Normal,
+    /// Operand stored transposed (`cols × rows` row-major).
+    Transposed,
+}
+
+thread_local! {
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pack `kc` k-steps × `nc` columns of B into NR-wide column panels:
+/// `out[panel][p·NR + j]` = B(pc+p, jc + panel·NR + j), zero-padded past `nc`.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    out: &mut Vec<f32>,
+    b: &[f32],
+    ldb: usize,
+    layout: Layout,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+) {
+    let panels = nc.div_ceil(NR);
+    out.clear();
+    out.resize(panels * kc * NR, 0.0);
+    for panel in 0..panels {
+        let j0 = panel * NR;
+        let width = NR.min(nc - j0);
+        let dst = &mut out[panel * kc * NR..(panel + 1) * kc * NR];
+        match layout {
+            Layout::Normal => {
+                for p in 0..kc {
+                    let src = &b[(pc + p) * ldb + jc + j0..];
+                    for j in 0..width {
+                        dst[p * NR + j] = src[j];
+                    }
+                }
+            }
+            Layout::Transposed => {
+                for j in 0..width {
+                    let src = &b[(jc + j0 + j) * ldb + pc..];
+                    for p in 0..kc {
+                        dst[p * NR + j] = src[p];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack `mc` rows × `kc` k-steps of A into MR-tall row panels:
+/// `out[panel][p·MR + i]` = A(ic + panel·MR + i, pc+p), zero-padded past `mc`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    out: &mut Vec<f32>,
+    a: &[f32],
+    lda: usize,
+    layout: Layout,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+) {
+    let panels = mc.div_ceil(MR);
+    out.clear();
+    out.resize(panels * kc * MR, 0.0);
+    for panel in 0..panels {
+        let i0 = panel * MR;
+        let height = MR.min(mc - i0);
+        let dst = &mut out[panel * kc * MR..(panel + 1) * kc * MR];
+        match layout {
+            Layout::Normal => {
+                for i in 0..height {
+                    let src = &a[(ic + i0 + i) * lda + pc..];
+                    for p in 0..kc {
+                        dst[p * MR + i] = src[p];
+                    }
+                }
+            }
+            Layout::Transposed => {
+                for p in 0..kc {
+                    let src = &a[(pc + p) * lda + ic + i0..];
+                    for i in 0..height {
+                        dst[p * MR + i] = src[i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scalar microkernel: `C[mr×nr] += Ã-panel · B̃-panel` over `kc` k-steps.
+/// Fixed-shape accumulator array so LLVM unrolls and vectorises the j loop.
+fn microkernel_scalar(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let b_row = &bp[p * NR..(p + 1) * NR];
+        let a_col = &ap[p * MR..(p + 1) * MR];
+        for (accs, &av) in acc.iter_mut().zip(a_col) {
+            for (s, &bv) in accs.iter_mut().zip(b_row) {
+                *s += av * bv;
+            }
+        }
+    }
+    for (i, accs) in acc.iter().enumerate().take(mr) {
+        let c_row = &mut c[i * ldc..i * ldc + nr];
+        for (cv, &s) in c_row.iter_mut().zip(accs.iter()) {
+            *cv += s;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    //! AVX2+FMA microkernel. `unsafe` here is confined to intrinsics plus
+    //! the raw C-tile pointer arithmetic the caller has already
+    //! bounds-checked; it is only reachable after a runtime
+    //! `is_x86_feature_detected!` probe.
+    use super::{MR, NR};
+
+    pub fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE
+            .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA (call [`available`] first). `c` must be valid for
+    /// reads/writes of `mr` rows × `nr` cols at stride `ldc`; `ap`/`bp` must
+    /// hold `kc` packed MR/NR panels.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn microkernel(
+        kc: usize,
+        ap: *const f32,
+        bp: *const f32,
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        use std::arch::x86_64::*;
+        // MR×NR accumulators: 6 rows × two 8-lane halves = 12 ymm registers,
+        // leaving room for the two B loads and the A broadcast.
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        for p in 0..kc {
+            let b0 = _mm256_loadu_ps(bp.add(p * NR));
+            let b1 = _mm256_loadu_ps(bp.add(p * NR + 8));
+            for (i, lanes) in acc.iter_mut().enumerate() {
+                let av = _mm256_broadcast_ss(&*ap.add(p * MR + i));
+                lanes[0] = _mm256_fmadd_ps(av, b0, lanes[0]);
+                lanes[1] = _mm256_fmadd_ps(av, b1, lanes[1]);
+            }
+        }
+        if mr == MR && nr == NR {
+            for (i, lanes) in acc.iter().enumerate() {
+                let cp = c.add(i * ldc);
+                _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), lanes[0]));
+                let cp8 = cp.add(8);
+                _mm256_storeu_ps(cp8, _mm256_add_ps(_mm256_loadu_ps(cp8), lanes[1]));
+            }
+        } else {
+            // Edge tile: spill the register tile and clamp the write-back.
+            let mut tmp = [0.0f32; MR * NR];
+            for (i, lanes) in acc.iter().enumerate() {
+                _mm256_storeu_ps(tmp.as_mut_ptr().add(i * NR), lanes[0]);
+                _mm256_storeu_ps(tmp.as_mut_ptr().add(i * NR + 8), lanes[1]);
+            }
+            for i in 0..mr {
+                for j in 0..nr {
+                    *c.add(i * ldc + j) += tmp[i * NR + j];
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn microkernel(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, mr: usize, nr: usize) {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    debug_assert!(mr <= MR && nr <= NR && mr > 0 && nr > 0);
+    debug_assert!(c.len() >= (mr - 1) * ldc + nr);
+    #[cfg(target_arch = "x86_64")]
+    if simd::available() {
+        // SAFETY: feature presence checked above; the debug asserts document
+        // the bounds the (checked) slice arguments guarantee.
+        unsafe {
+            simd::microkernel(kc, ap.as_ptr(), bp.as_ptr(), c.as_mut_ptr(), ldc, mr, nr);
+        }
+        return;
+    }
+    microkernel_scalar(kc, ap, bp, c, ldc, mr, nr);
+}
+
+/// The packed/tiled backend. Tile sizes (MC/KC/NC) are read from the global
+/// [`KernelPolicy`](crate::KernelPolicy) at call time, so an installed policy
+/// or autotune result takes effect immediately.
+pub struct Packed;
+
+impl Packed {
+    #[allow(clippy::too_many_arguments)]
+    fn driver(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        a_layout: Layout,
+        b: &[f32],
+        ldb: usize,
+        b_layout: Layout,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        if m == 0 || n == 0 {
+            return;
+        }
+        // One beta pass up front; every k-block then accumulates. The extra
+        // sweep over C costs O(m·n) against the O(m·n·k) product and only
+        // runs for shapes the dispatcher already deemed compute-bound —
+        // accepted in exchange for a branch-free microkernel write-back.
+        if beta != 1.0 {
+            scale_only(c, m, n, ldc, beta);
+        }
+        if k == 0 {
+            return;
+        }
+        let t = tiles();
+        let (mc, kc_max, nc_max) = (t.mc.max(MR), t.kc.max(1), t.nc.max(NR));
+        // Reuse this thread's B̃ buffer across calls. Taken out of the
+        // thread-local (not borrowed across the parallel section): the
+        // submitting thread helps drain the pool queue while waiting, and a
+        // stolen task may re-enter `driver` on this very thread — a held
+        // `RefCell` borrow would panic, whereas a nested call here simply
+        // finds an empty cell and allocates its own buffer.
+        let mut bpack = PACK_B.with(|b| std::mem::take(&mut *b.borrow_mut()));
+        let mut jc = 0;
+        while jc < n {
+            let nc = nc_max.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kc = kc_max.min(k - pc);
+                pack_b(&mut bpack, b, ldb, b_layout, pc, kc, jc, nc);
+                let bpack_ref = &bpack;
+                let grain = row_grain(kc, nc).max(MR);
+                par_rows(c, m, ldc, grain, |rows, chunk| {
+                    PACK_A.with(|apack| {
+                        let apack = &mut *apack.borrow_mut();
+                        let mut ic = rows.start;
+                        while ic < rows.end {
+                            let mcb = mc.min(rows.end - ic);
+                            pack_a(apack, a, lda, a_layout, ic, mcb, pc, kc);
+                            for jr in (0..nc).step_by(NR) {
+                                let nr = NR.min(nc - jr);
+                                let bp = &bpack_ref[(jr / NR) * kc * NR..];
+                                for ir in (0..mcb).step_by(MR) {
+                                    let mr = MR.min(mcb - ir);
+                                    let ap = &apack[(ir / MR) * kc * MR..];
+                                    let coff = (ic - rows.start + ir) * ldc + jc + jr;
+                                    microkernel(kc, ap, bp, &mut chunk[coff..], ldc, mr, nr);
+                                }
+                            }
+                            ic += mcb;
+                        }
+                    });
+                });
+                pc += kc;
+            }
+            jc += nc;
+        }
+        PACK_B.with(|b| *b.borrow_mut() = bpack);
+    }
+}
+
+impl KernelBackend for Packed {
+    fn name(&self) -> &'static str {
+        "packed"
+    }
+
+    fn gemm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm: A");
+        check_view(b.len(), k, n, ldb, "gemm: B");
+        check_view(c.len(), m, n, ldc, "gemm: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            b,
+            ldb,
+            Layout::Normal,
+            c,
+            ldc,
+            beta,
+        );
+    }
+
+    fn gemm_nt(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nt: A");
+        check_view(b.len(), n, k, ldb, "gemm_nt: B");
+        check_view(c.len(), m, n, ldc, "gemm_nt: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            b,
+            ldb,
+            Layout::Transposed,
+            c,
+            ldc,
+            beta,
+        );
+    }
+
+    fn gemm_tn(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), k, m, lda, "gemm_tn: A");
+        check_view(b.len(), k, n, ldb, "gemm_tn: B");
+        check_view(c.len(), m, n, ldc, "gemm_tn: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Transposed,
+            b,
+            ldb,
+            Layout::Normal,
+            c,
+            ldc,
+            beta,
+        );
+    }
+}

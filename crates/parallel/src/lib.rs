@@ -18,9 +18,11 @@
 
 mod latch;
 mod pool;
+mod rows;
 
 pub use latch::Latch;
 pub use pool::{pool, set_global_threads, ThreadPool};
+pub use rows::{par_disjoint, par_rows};
 
 use std::ops::Range;
 

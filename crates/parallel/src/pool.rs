@@ -220,7 +220,7 @@ fn worker_loop(shared: &Shared) {
 
 /// Split `range` into at most `max_parts_per_thread * threads` chunks of at
 /// least `grain` items, preserving order.
-fn split_range(range: Range<usize>, grain: usize, threads: usize) -> Vec<Range<usize>> {
+pub(crate) fn split_range(range: Range<usize>, grain: usize, threads: usize) -> Vec<Range<usize>> {
     let n = range.len();
     // Oversubscribe 2x for load balance between uneven chunks.
     let target_chunks = (threads * 2).max(1);

@@ -1,0 +1,121 @@
+//! Derive a [`lx_kernels::KernelPolicy`] from a cache model.
+//!
+//! The roofline model in [`cost`](crate::cost) reasons about *device* peak
+//! flops vs bandwidth; this module applies the same compute-vs-traffic logic
+//! one level down, to the CPU cache hierarchy the packed GEMM backend blocks
+//! for:
+//!
+//! * `KC` — the B̃ panel (`kc × NR` f32) must sit in L1d next to the A
+//!   stream: budget half of L1d for it.
+//! * `MC` — the Ã block (`mc × kc` f32) must survive in L2 across all NR
+//!   panels of B̃: budget half of L2.
+//! * `NC` — the B̃ block (`kc × nc` f32) should stay resident in the
+//!   last-level budget while every row panel of A streams against it.
+//! * `min_flops_packed` — packing writes `m·k + k·n` elements and the beta
+//!   pass touches `m·n`; with pack traffic costing roughly one element write
+//!   per element per pass and the microkernel retiring ~`R` MACs per cycle,
+//!   packing pays off once `2·m·k·n` FLOPs exceed `overhead_factor ×` the
+//!   packed traffic. Rather than model constants we can't measure from
+//!   here, we fold this into a single conservative crossover (~64³ MACs) and
+//!   let `lx_kernels::autotune()` refine it empirically.
+//!
+//! Nothing here inspects CPUID; [`CpuSpec::generic`] encodes the smallest
+//! cache sizes common across the CI fleet, which only costs performance —
+//! never correctness — when the real machine is bigger.
+
+use lx_kernels::{KernelPolicy, TileConfig, MR, NR};
+
+/// Cache shape the tile derivation runs against.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuSpec {
+    pub l1d_bytes: usize,
+    pub l2_bytes: usize,
+    /// Per-core share of the last-level cache.
+    pub llc_bytes: usize,
+}
+
+impl CpuSpec {
+    /// Conservative baseline: 32 KiB L1d, 512 KiB L2, 1 MiB LLC share.
+    pub fn generic() -> Self {
+        CpuSpec {
+            l1d_bytes: 32 * 1024,
+            l2_bytes: 512 * 1024,
+            llc_bytes: 1024 * 1024,
+        }
+    }
+}
+
+const F32: usize = 4;
+
+/// Tile shapes for `spec`, rounded to the register-tile grain.
+pub fn tiles_for(spec: &CpuSpec) -> TileConfig {
+    // Half of L1d for the kc×NR B panel.
+    let kc = ((spec.l1d_bytes / 2) / (NR * F32)).clamp(64, 512);
+    // Half of L2 for the mc×kc A block, rounded down to a multiple of MR.
+    let mc_raw = ((spec.l2_bytes / 2) / (kc * F32)).max(MR);
+    let mc = (mc_raw / MR * MR).clamp(MR, 1024);
+    // LLC share for the kc×nc B block, rounded to the NR grain.
+    let nc_raw = (spec.llc_bytes / (kc * F32)).max(NR);
+    let nc = (nc_raw / NR * NR).clamp(NR, 8192);
+    TileConfig { mc, kc, nc }
+}
+
+/// Full policy for `spec` (tiles + the conservative packed crossover).
+pub fn policy_for(spec: &CpuSpec) -> KernelPolicy {
+    KernelPolicy {
+        tiles: tiles_for(spec),
+        min_flops_packed: 2 * 64u64.pow(3),
+    }
+}
+
+/// Derive a policy from [`CpuSpec::generic`], refine the crossover with the
+/// one-time `lx_kernels` autotune probe, and install it process-wide.
+/// Benches call this once before measuring; returns the installed policy.
+pub fn install_tuned() -> KernelPolicy {
+    lx_kernels::install_policy(policy_for(&CpuSpec::generic()));
+    // `autotune` is memoized and may have run earlier in the process with
+    // whatever tiles were current then — adopt only its measured crossover,
+    // keeping the cache-model tiles installed above.
+    let tuned = lx_kernels::autotune();
+    let policy = KernelPolicy {
+        tiles: tiles_for(&CpuSpec::generic()),
+        min_flops_packed: tuned.min_flops_packed,
+    };
+    lx_kernels::install_policy(policy);
+    policy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_tiles_fit_their_cache_budgets() {
+        let spec = CpuSpec::generic();
+        let t = tiles_for(&spec);
+        assert!(t.kc * NR * F32 <= spec.l1d_bytes / 2 + NR * F32);
+        assert!(t.mc * t.kc * F32 <= spec.l2_bytes / 2 + t.kc * F32 * MR);
+        assert_eq!(t.mc % MR, 0, "MC must be a register-tile multiple");
+        assert_eq!(t.nc % NR, 0, "NC must be a register-tile multiple");
+    }
+
+    #[test]
+    fn bigger_caches_give_no_smaller_tiles() {
+        let small = tiles_for(&CpuSpec::generic());
+        let big = tiles_for(&CpuSpec {
+            l1d_bytes: 64 * 1024,
+            l2_bytes: 2 * 1024 * 1024,
+            llc_bytes: 8 * 1024 * 1024,
+        });
+        assert!(big.kc >= small.kc);
+        assert!(big.mc >= small.mc);
+        assert!(big.nc >= small.nc);
+    }
+
+    #[test]
+    fn install_tuned_reports_a_live_policy() {
+        let p = install_tuned();
+        assert_eq!(p.tiles, lx_kernels::current_policy().tiles);
+        assert!(p.min_flops_packed > 0);
+    }
+}

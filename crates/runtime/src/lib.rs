@@ -7,6 +7,9 @@
 //!   published device specs, driven by exact FLOP/byte counts of our layer
 //!   implementations, for the platform-specific tables (Fig. 7/13/14 at
 //!   paper dimensions);
+//! * [`kernel_policy`] — the same compute-vs-traffic reasoning applied to
+//!   the CPU cache hierarchy: derives the packed-GEMM tile shapes and the
+//!   packed-vs-reference crossover installed into `lx-kernels`;
 //! * [`memsim`] — an accounting model of fine-tuning memory (parameters,
 //!   optimizer state, activations, sparse vs dense attention buffers,
 //!   CPU-offloaded weights) for Fig. 8 including OOM detection;
@@ -18,9 +21,11 @@
 //! compared side by side (see EXPERIMENTS.md).
 
 pub mod cost;
+pub mod kernel_policy;
 pub mod memsim;
 pub mod parallel_trainer;
 
 pub use cost::{DeviceSpec, StepCost, WorkloadParams};
+pub use kernel_policy::CpuSpec;
 pub use memsim::{MemoryBreakdown, MemoryMode};
 pub use parallel_trainer::DataParallelTrainer;

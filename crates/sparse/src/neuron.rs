@@ -12,9 +12,14 @@
 //!
 //! This mirrors the paper's memory-coalescing layout choice and means the
 //! kernels never convert data formats at runtime — the property that makes
-//! them "dynamic-aware".
+//! them "dynamic-aware". Because each active slab is contiguous, every
+//! per-block product below is one strided GEMM on the `lx-kernels`
+//! [`KernelBackend`]: the compact activation matrix is addressed with
+//! `lda = active_width` and the slab with its natural leading dimension, so
+//! sparse MLP work runs on the same packed microkernels as the dense path.
 
-use lx_parallel::parallel_for;
+use lx_parallel::{par_disjoint, par_rows};
+use std::ops::Range;
 
 /// Sorted set of active neuron blocks out of `n_blocks_total`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +98,13 @@ impl NeuronBlockSet {
     pub fn is_dense(&self) -> bool {
         self.active.len() == self.n_blocks_total
     }
+
+    /// Weight-buffer span of active block `ai` when each neuron owns `per`
+    /// contiguous elements (an FC1 column slab or FC2 row slab).
+    fn slab(&self, ai: usize, per: usize) -> Range<usize> {
+        let blk = self.active[ai] as usize * self.block_size;
+        blk * per..(blk + self.block_size) * per
+    }
 }
 
 /// FC1 weights stored column-major: `data[col · d_in + row]`, i.e. each
@@ -156,9 +168,16 @@ impl ColMajorWeights {
     }
 }
 
+/// Rows-per-task grain targeting ~32K MACs, as the original loops used.
+fn rows_grain(width: usize, d: usize) -> usize {
+    ((1 << 15) / (width * d).max(1)).max(1)
+}
+
 /// FC1 forward: `z[r, a·b+t] = ⟨x_r, w1.col(active[a]·b+t)⟩ (+ bias)`.
 ///
 /// `z` is *compact*: `rows × active_neurons`, holding only active columns.
+/// Each active block is `Z_a = X · W_aᵀ`, a strided `nt`-GEMM against the
+/// contiguous column slab `W_a`.
 pub fn fc1_forward(
     x: &[f32],
     rows: usize,
@@ -177,22 +196,36 @@ pub fn fc1_forward(
     let width = set.active_neurons();
     assert_eq!(x.len(), rows * d_in, "fc1: x is rows×d_in");
     assert_eq!(z.len(), rows * width, "fc1: z is rows×active");
-    let z_ptr = SendPtr(z.as_mut_ptr());
-    let grain = (1 << 15) / (width * d_in).max(1);
-    parallel_for(0..rows, grain.max(1), |rr| {
-        let z_ptr = &z_ptr;
-        for r in rr {
-            let x_row = &x[r * d_in..(r + 1) * d_in];
-            // SAFETY: disjoint rows of z per task.
-            let z_row = unsafe { std::slice::from_raw_parts_mut(z_ptr.0.add(r * width), width) };
-            for (a, &blk) in set.active.iter().enumerate() {
-                for t in 0..b {
-                    let neuron = blk as usize * b + t;
-                    let mut acc = dot(x_row, &w1t[neuron * d_in..(neuron + 1) * d_in]);
-                    if let Some(bias) = bias {
-                        acc += bias[neuron];
+    if width == 0 {
+        return;
+    }
+    let be = lx_kernels::backend();
+    par_rows(z, rows, width, rows_grain(width, d_in), |rr, chunk| {
+        let m = rr.len();
+        let x_win = &x[rr.start * d_in..rr.end * d_in];
+        for (a, &blk) in set.active.iter().enumerate() {
+            let w_blk = &w1t[blk as usize * b * d_in..(blk as usize + 1) * b * d_in];
+            be.gemm_nt(
+                m,
+                d_in,
+                b,
+                x_win,
+                d_in,
+                w_blk,
+                d_in,
+                &mut chunk[a * b..],
+                width,
+                0.0,
+            );
+        }
+        if let Some(bias) = bias {
+            for local in 0..m {
+                let z_row = &mut chunk[local * width..local * width + width];
+                for (a, &blk) in set.active.iter().enumerate() {
+                    let neuron0 = blk as usize * b;
+                    for t in 0..b {
+                        z_row[a * b + t] += bias[neuron0 + t];
                     }
-                    z_row[a * b + t] = acc;
                 }
             }
         }
@@ -202,6 +235,9 @@ pub fn fc1_forward(
 /// FC2 forward: `y[r,:] = Σ_active a[r, blk]·w2_row(neuron) (+ bias)`.
 ///
 /// `w2` is row-major `h × d_out`; `a` is compact `rows × active_neurons`.
+/// Each active block accumulates `Y += A_blk · W2_blk` (strided GEMM,
+/// `beta = 1`); the reference arm of the dispatcher still skips exact-zero
+/// activations (post-ReLU) inside its inner loop.
 pub fn fc2_forward(
     a: &[f32],
     rows: usize,
@@ -216,34 +252,32 @@ pub fn fc2_forward(
     assert_eq!(a.len(), rows * width, "fc2: a is rows×active");
     assert_eq!(w2.len(), set.total_neurons() * d_out, "fc2: w2 is h×d_out");
     assert_eq!(y.len(), rows * d_out, "fc2: y is rows×d_out");
-    let y_ptr = SendPtr(y.as_mut_ptr());
-    let grain = (1 << 15) / (width * d_out).max(1);
-    parallel_for(0..rows, grain.max(1), |rr| {
-        let y_ptr = &y_ptr;
-        for r in rr {
-            // SAFETY: disjoint rows of y per task.
-            let y_row = unsafe { std::slice::from_raw_parts_mut(y_ptr.0.add(r * d_out), d_out) };
-            match bias {
-                Some(bias) => y_row.copy_from_slice(bias),
-                None => y_row.fill(0.0),
-            }
-            let a_row = &a[r * width..(r + 1) * width];
-            for (ai, &blk) in set.active.iter().enumerate() {
-                for t in 0..b {
-                    let av = a_row[ai * b + t];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let neuron = blk as usize * b + t;
-                    let w_row = &w2[neuron * d_out..(neuron + 1) * d_out];
-                    axpy(y_row, av, w_row);
+    let be = lx_kernels::backend();
+    par_rows(
+        y,
+        rows,
+        d_out,
+        rows_grain(width.max(1), d_out),
+        |rr, chunk| {
+            let m = rr.len();
+            for local in 0..m {
+                let y_row = &mut chunk[local * d_out..local * d_out + d_out];
+                match bias {
+                    Some(bias) => y_row.copy_from_slice(bias),
+                    None => y_row.fill(0.0),
                 }
             }
-        }
-    });
+            for (ai, &blk) in set.active.iter().enumerate() {
+                let w_blk = &w2[blk as usize * b * d_out..(blk as usize + 1) * b * d_out];
+                let a_win = &a[rr.start * width + ai * b..];
+                be.gemm(m, b, d_out, a_win, width, w_blk, d_out, chunk, d_out, 1.0);
+            }
+        },
+    );
 }
 
 /// FC2 backward w.r.t. its input: `da[r, blk] = ⟨dy_r, w2_row(neuron)⟩`.
+/// Per block: `dA_blk = dY · W2_blkᵀ`, a strided `nt`-GEMM.
 pub fn fc2_backward_input(
     dy: &[f32],
     rows: usize,
@@ -256,25 +290,33 @@ pub fn fc2_backward_input(
     let width = set.active_neurons();
     assert_eq!(dy.len(), rows * d_out);
     assert_eq!(da.len(), rows * width);
-    let da_ptr = SendPtr(da.as_mut_ptr());
-    let grain = (1 << 15) / (width * d_out).max(1);
-    parallel_for(0..rows, grain.max(1), |rr| {
-        let da_ptr = &da_ptr;
-        for r in rr {
-            let dy_row = &dy[r * d_out..(r + 1) * d_out];
-            // SAFETY: disjoint rows per task.
-            let da_row = unsafe { std::slice::from_raw_parts_mut(da_ptr.0.add(r * width), width) };
-            for (ai, &blk) in set.active.iter().enumerate() {
-                for t in 0..b {
-                    let neuron = blk as usize * b + t;
-                    da_row[ai * b + t] = dot(dy_row, &w2[neuron * d_out..(neuron + 1) * d_out]);
-                }
-            }
+    if width == 0 {
+        return;
+    }
+    let be = lx_kernels::backend();
+    par_rows(da, rows, width, rows_grain(width, d_out), |rr, chunk| {
+        let m = rr.len();
+        let dy_win = &dy[rr.start * d_out..rr.end * d_out];
+        for (ai, &blk) in set.active.iter().enumerate() {
+            let w_blk = &w2[blk as usize * b * d_out..(blk as usize + 1) * b * d_out];
+            be.gemm_nt(
+                m,
+                d_out,
+                b,
+                dy_win,
+                d_out,
+                w_blk,
+                d_out,
+                &mut chunk[ai * b..],
+                width,
+                0.0,
+            );
         }
     });
 }
 
 /// FC1 backward w.r.t. its input: `dx[r,:] = Σ_active dz[r, blk]·w1.col(neuron)`.
+/// Per block: `dX += dZ_blk · W_blk` (strided GEMM, `beta = 1`).
 pub fn fc1_backward_input(
     dz: &[f32],
     rows: usize,
@@ -288,31 +330,28 @@ pub fn fc1_backward_input(
     let width = set.active_neurons();
     assert_eq!(dz.len(), rows * width);
     assert_eq!(dx.len(), rows * d_in);
-    let dx_ptr = SendPtr(dx.as_mut_ptr());
-    let grain = (1 << 15) / (width * d_in).max(1);
-    parallel_for(0..rows, grain.max(1), |rr| {
-        let dx_ptr = &dx_ptr;
-        for r in rr {
-            // SAFETY: disjoint rows per task.
-            let dx_row = unsafe { std::slice::from_raw_parts_mut(dx_ptr.0.add(r * d_in), d_in) };
-            dx_row.fill(0.0);
-            let dz_row = &dz[r * width..(r + 1) * width];
+    let be = lx_kernels::backend();
+    par_rows(
+        dx,
+        rows,
+        d_in,
+        rows_grain(width.max(1), d_in),
+        |rr, chunk| {
+            let m = rr.len();
+            chunk.fill(0.0);
             for (ai, &blk) in set.active.iter().enumerate() {
-                for t in 0..b {
-                    let g = dz_row[ai * b + t];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    let neuron = blk as usize * b + t;
-                    axpy(dx_row, g, &w1t[neuron * d_in..(neuron + 1) * d_in]);
-                }
+                let w_blk = &w1t[blk as usize * b * d_in..(blk as usize + 1) * b * d_in];
+                let dz_win = &dz[rr.start * width + ai * b..];
+                be.gemm(m, b, d_in, dz_win, width, w_blk, d_in, chunk, d_in, 1.0);
             }
-        }
-    });
+        },
+    );
 }
 
 /// Accumulate FC1 weight gradients for *active columns only*:
 /// `dw1.col(neuron) += Σ_r x_r · dz[r, compact(neuron)]`.
+/// Per block: `dW_blk += dZ_blkᵀ · X`, a strided `tn`-GEMM into the block's
+/// contiguous column slab; active slabs are disjoint, so blocks parallelise.
 pub fn fc1_grad_weights(
     x: &[f32],
     dz: &[f32],
@@ -327,25 +366,14 @@ pub fn fc1_grad_weights(
     let width = set.active_neurons();
     assert_eq!(x.len(), rows * d_in);
     assert_eq!(dz.len(), rows * width);
-    let dw_ptr = SendPtr(dw1t.as_mut_ptr());
-    // Parallel over active blocks: each task owns disjoint weight columns.
-    parallel_for(0..set.active.len(), 1, |blocks| {
-        let dw_ptr = &dw_ptr;
-        for ai in blocks {
-            let blk = set.active[ai] as usize;
-            for t in 0..b {
-                let neuron = blk * b + t;
-                // SAFETY: column `neuron` is owned by exactly one task.
-                let col =
-                    unsafe { std::slice::from_raw_parts_mut(dw_ptr.0.add(neuron * d_in), d_in) };
-                for r in 0..rows {
-                    let g = dz[r * width + ai * b + t];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    axpy(col, g, &x[r * d_in..(r + 1) * d_in]);
-                }
-            }
+    let be = lx_kernels::backend();
+    let spans: Vec<Range<usize>> = (0..set.n_active()).map(|ai| set.slab(ai, d_in)).collect();
+    par_disjoint(dw1t, &spans, 1, |ais, chunk| {
+        let base = spans[ais.start].start;
+        for ai in ais {
+            let dst = &mut chunk[spans[ai].start - base..spans[ai].end - base];
+            let dz_win = &dz[ai * b..];
+            be.gemm_tn(b, rows, d_in, dz_win, width, x, d_in, dst, d_in, 1.0);
         }
     });
     if let Some(dbias) = dbias {
@@ -364,6 +392,7 @@ pub fn fc1_grad_weights(
 
 /// Accumulate FC2 weight gradients for *active rows only*:
 /// `dw2_row(neuron) += Σ_r a[r, compact(neuron)] · dy_r`.
+/// Per block: `dW2_blk += A_blkᵀ · dY` into the block's contiguous row slab.
 pub fn fc2_grad_weights(
     a: &[f32],
     dy: &[f32],
@@ -377,44 +406,17 @@ pub fn fc2_grad_weights(
     assert_eq!(a.len(), rows * width);
     assert_eq!(dy.len(), rows * d_out);
     assert_eq!(dw2.len(), set.total_neurons() * d_out);
-    let dw_ptr = SendPtr(dw2.as_mut_ptr());
-    parallel_for(0..set.active.len(), 1, |blocks| {
-        let dw_ptr = &dw_ptr;
-        for ai in blocks {
-            let blk = set.active[ai] as usize;
-            for t in 0..b {
-                let neuron = blk * b + t;
-                // SAFETY: weight row `neuron` is owned by exactly one task.
-                let w_row =
-                    unsafe { std::slice::from_raw_parts_mut(dw_ptr.0.add(neuron * d_out), d_out) };
-                for r in 0..rows {
-                    let av = a[r * width + ai * b + t];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    axpy(w_row, av, &dy[r * d_out..(r + 1) * d_out]);
-                }
-            }
+    let be = lx_kernels::backend();
+    let spans: Vec<Range<usize>> = (0..set.n_active()).map(|ai| set.slab(ai, d_out)).collect();
+    par_disjoint(dw2, &spans, 1, |ais, chunk| {
+        let base = spans[ais.start].start;
+        for ai in ais {
+            let dst = &mut chunk[spans[ai].start - base..spans[ai].end - base];
+            let a_win = &a[ai * b..];
+            be.gemm_tn(b, rows, d_out, a_win, width, dy, d_out, dst, d_out, 1.0);
         }
     });
 }
-
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
-#[inline]
-fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
-    for (o, &v) in out.iter_mut().zip(x) {
-        *o += a * v;
-    }
-}
-
-struct SendPtr(*mut f32);
-// SAFETY: disjoint-region writes per task throughout this module.
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
 
 #[cfg(test)]
 mod tests {
@@ -648,5 +650,30 @@ mod tests {
             let row_nonzero = dw2[n * D_OUT..(n + 1) * D_OUT].iter().any(|&v| v != 0.0);
             assert_eq!(row_nonzero, in_active, "w2 row {n}");
         }
+    }
+
+    #[test]
+    fn empty_active_set_is_harmless() {
+        let set = NeuronBlockSet::from_indices(vec![], H / B, B);
+        let x = randn_vec(ROWS * D_IN, 1.0, 22);
+        let mut z: Vec<f32> = vec![];
+        fc1_forward(&x, ROWS, &vec![0.0; H * D_IN], D_IN, None, &set, &mut z);
+        let bias = randn_vec(D_OUT, 1.0, 23);
+        let mut y = vec![0.0; ROWS * D_OUT];
+        fc2_forward(
+            &[],
+            ROWS,
+            &vec![0.0; H * D_OUT],
+            D_OUT,
+            Some(&bias),
+            &set,
+            &mut y,
+        );
+        for r in 0..ROWS {
+            assert_close(&y[r * D_OUT..(r + 1) * D_OUT], &bias, 1e-6);
+        }
+        let mut dw1 = vec![0.0; H * D_IN];
+        fc1_grad_weights(&x, &[], ROWS, D_IN, &set, &mut dw1, None);
+        assert!(dw1.iter().all(|&v| v == 0.0));
     }
 }

@@ -8,7 +8,7 @@
 //! built at runtime from the activation matrix (paying the runtime conversion
 //! cost the dynamic-aware operators avoid), and a row-gather SpMM for FC2.
 
-use lx_parallel::parallel_for;
+use lx_parallel::par_rows;
 
 /// Element-level CSR over a `rows × cols` matrix.
 #[derive(Debug, Clone)]
@@ -68,12 +68,10 @@ impl ElemCsr {
 pub fn spmm(csr: &ElemCsr, w: &[f32], d_out: usize, bias: Option<&[f32]>, y: &mut [f32]) {
     assert_eq!(w.len(), csr.cols * d_out, "spmm: w is cols×d_out");
     assert_eq!(y.len(), csr.rows * d_out, "spmm: y is rows×d_out");
-    let y_ptr = SendPtr(y.as_mut_ptr());
-    parallel_for(0..csr.rows, 8, |rr| {
-        let y_ptr = &y_ptr;
-        for r in rr {
-            // SAFETY: disjoint rows of y per task.
-            let y_row = unsafe { std::slice::from_raw_parts_mut(y_ptr.0.add(r * d_out), d_out) };
+    par_rows(y, csr.rows, d_out, 8, |rr, chunk| {
+        for r in rr.clone() {
+            let local = (r - rr.start) * d_out;
+            let y_row = &mut chunk[local..local + d_out];
             match bias {
                 Some(bias) => y_row.copy_from_slice(bias),
                 None => y_row.fill(0.0),
@@ -95,11 +93,6 @@ pub fn spmm(csr: &ElemCsr, w: &[f32], d_out: usize, bias: Option<&[f32]>, y: &mu
 pub fn dense_mm(a: &[f32], rows: usize, cols: usize, w: &[f32], d_out: usize, y: &mut [f32]) {
     lx_tensor::gemm::gemm(rows, cols, d_out, a, w, y, 0.0);
 }
-
-struct SendPtr(*mut f32);
-// SAFETY: disjoint-row writes.
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
 
 #[cfg(test)]
 mod tests {

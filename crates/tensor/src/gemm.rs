@@ -1,47 +1,22 @@
-//! Blocked, multi-threaded dense GEMM kernels.
+//! Dense GEMM entry points, routed through the `lx-kernels` backend.
 //!
-//! These are the "dense counterparts" the paper's dynamic-aware operators are
-//! benchmarked against (Fig. 12). Layout conventions match the sparse kernels
-//! in `lx-sparse`: row-major everywhere, with `_nt`/`_tn` variants so callers
-//! never materialise transposes in the hot path.
-//!
-//! The inner kernels use the classic `i-k-j` order (A-element broadcast
-//! against a contiguous B row) which LLVM vectorises well; parallelism splits
-//! rows of C across the global pool with a FLOP-based grain so small matrices
-//! stay on the calling thread.
+//! These used to be hand-written `i-k-j` loop kernels; they now live in
+//! `lx-kernels` as the [`Reference`](lx_kernels::Reference) backend, and the
+//! functions here are thin dispatching wrappers (plus the `Tensor`-level
+//! `matmul*` convenience forms). Layout conventions are unchanged: row-major
+//! everywhere, with `_nt`/`_tn` variants so callers never materialise
+//! transposes in the hot path. Which kernel actually runs — the reference
+//! loops or the packed/tiled microkernels — is decided per call by the
+//! dispatcher (see `lx_kernels::dispatch`).
 
 use crate::Tensor;
-use lx_parallel::parallel_for;
-
-/// Don't fan out unless a task has at least this many fused mul-adds.
-const GRAIN_FLOPS: usize = 1 << 16;
-
-fn row_grain(k: usize, n: usize) -> usize {
-    (GRAIN_FLOPS / (k * n).max(1)).max(1)
-}
 
 /// `C[m,n] = A[m,k] · B[k,n] + beta·C`.
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
     assert_eq!(a.len(), m * k, "gemm: A size");
     assert_eq!(b.len(), k * n, "gemm: B size");
     assert_eq!(c.len(), m * n, "gemm: C size");
-    let c_ptr = SendPtr(c.as_mut_ptr());
-    parallel_for(0..m, row_grain(k, n), |rows| {
-        let c_ptr = &c_ptr;
-        for i in rows {
-            // SAFETY: each row `i` of C is written by exactly one task.
-            let c_row = unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(i * n), n) };
-            scale_row(c_row, beta);
-            let a_row = &a[i * k..(i + 1) * k];
-            for (l, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b[l * n..(l + 1) * n];
-                axpy_row(c_row, av, b_row);
-            }
-        }
-    });
+    lx_kernels::gemm(m, k, n, a, b, c, beta);
 }
 
 /// `C[m,n] = A[m,k] · B[n,k]ᵀ + beta·C` — B stored row-major as `n×k`.
@@ -49,20 +24,7 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert_eq!(a.len(), m * k, "gemm_nt: A size");
     assert_eq!(b.len(), n * k, "gemm_nt: B size");
     assert_eq!(c.len(), m * n, "gemm_nt: C size");
-    let c_ptr = SendPtr(c.as_mut_ptr());
-    parallel_for(0..m, row_grain(k, n), |rows| {
-        let c_ptr = &c_ptr;
-        for i in rows {
-            // SAFETY: row-disjoint writes as in `gemm`.
-            let c_row = unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(i * n), n) };
-            let a_row = &a[i * k..(i + 1) * k];
-            for (j, cv) in c_row.iter_mut().enumerate() {
-                let b_row = &b[j * k..(j + 1) * k];
-                let dot = dot_unrolled(a_row, b_row);
-                *cv = beta * *cv + dot;
-            }
-        }
-    });
+    lx_kernels::gemm_nt(m, k, n, a, b, c, beta);
 }
 
 /// `C[m,n] = A[k,m]ᵀ · B[k,n] + beta·C` — A stored row-major as `k×m`.
@@ -73,27 +35,7 @@ pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert_eq!(a.len(), k * m, "gemm_tn: A size");
     assert_eq!(b.len(), k * n, "gemm_tn: B size");
     assert_eq!(c.len(), m * n, "gemm_tn: C size");
-    let c_ptr = SendPtr(c.as_mut_ptr());
-    parallel_for(0..m, row_grain(k, n), |rows| {
-        let c_ptr = &c_ptr;
-        for i in rows.clone() {
-            // SAFETY: row-disjoint writes as in `gemm`.
-            let c_row = unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(i * n), n) };
-            scale_row(c_row, beta);
-        }
-        for l in 0..k {
-            let b_row = &b[l * n..(l + 1) * n];
-            for i in rows.clone() {
-                let av = a[l * m + i];
-                if av == 0.0 {
-                    continue;
-                }
-                // SAFETY: row-disjoint writes as in `gemm`.
-                let c_row = unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(i * n), n) };
-                axpy_row(c_row, av, b_row);
-            }
-        }
-    });
+    lx_kernels::gemm_tn(m, k, n, a, b, c, beta);
 }
 
 /// Tensor-level wrapper: `A[m,k] · B[k,n]` on the trailing-2-D views.
@@ -143,50 +85,6 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     gemm_tn(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice(), 0.0);
     c
 }
-
-#[inline]
-fn scale_row(row: &mut [f32], beta: f32) {
-    if beta == 0.0 {
-        row.fill(0.0);
-    } else if beta != 1.0 {
-        for v in row {
-            *v *= beta;
-        }
-    }
-}
-
-#[inline]
-fn axpy_row(c: &mut [f32], a: f32, b: &[f32]) {
-    debug_assert_eq!(c.len(), b.len());
-    for (cv, bv) in c.iter_mut().zip(b.iter()) {
-        *cv += a * bv;
-    }
-}
-
-#[inline]
-fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for c in 0..chunks {
-        let i = c * 4;
-        acc[0] += a[i] * b[i];
-        acc[1] += a[i + 1] * b[i + 1];
-        acc[2] += a[i + 2] * b[i + 2];
-        acc[3] += a[i + 3] * b[i + 3];
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        sum += a[i] * b[i];
-    }
-    sum
-}
-
-/// Raw pointer wrapper so disjoint-row writes can cross the task boundary.
-struct SendPtr(*mut f32);
-// SAFETY: tasks write disjoint rows; the pointer itself is just an address.
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
 
 #[cfg(test)]
 mod tests {
@@ -273,6 +171,7 @@ mod tests {
 
     #[test]
     fn large_parallel_gemm_matches_naive() {
+        // Large enough that the dispatcher takes the packed path.
         let (m, k, n) = (128, 96, 64);
         let a = crate::rng::randn_vec(m * k, 1.0, 9);
         let b = crate::rng::randn_vec(k * n, 1.0, 10);

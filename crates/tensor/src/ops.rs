@@ -4,7 +4,6 @@
 //! normalisation, and bias helpers.
 
 use crate::Tensor;
-use lx_parallel::parallel_for;
 
 // ---------------------------------------------------------------------------
 // Activations
@@ -69,13 +68,10 @@ pub fn softmax_rows(x: &mut [f32], width: usize) {
         return;
     }
     let rows = x.len() / width;
-    let ptr = SendPtr(x.as_mut_ptr());
-    parallel_for(0..rows, (4096 / width).max(1), |rr| {
-        let ptr = &ptr;
-        for r in rr {
-            // SAFETY: rows are disjoint across tasks.
-            let row = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(r * width), width) };
-            softmax_row(row);
+    lx_parallel::par_rows(x, rows, width, (4096 / width).max(1), |rr, chunk| {
+        for r in rr.clone() {
+            let local = (r - rr.start) * width;
+            softmax_row(&mut chunk[local..local + width]);
         }
     });
 }
@@ -197,11 +193,6 @@ pub fn bias_grad_rows(dy: &Tensor, dbias: &mut [f32]) {
         }
     }
 }
-
-struct SendPtr(*mut f32);
-// SAFETY: used only for disjoint-row writes.
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
 
 #[cfg(test)]
 mod tests {

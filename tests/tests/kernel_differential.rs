@@ -1,0 +1,344 @@
+//! Differential property tests: the `Packed` backend (including its
+//! runtime-detected SIMD microkernel, when the host has one) must match the
+//! `Reference` scalar oracle bit-tolerantly (≤1e-4 relative) on every GEMM
+//! variant, across odd and degenerate shapes, strided views, and the
+//! block-sparse / neuron-sparse operator shapes the sparse crate issues.
+//!
+//! Shape axes are seeded sweeps, not proptest: the workspace is offline, and
+//! deterministic sweeps reproduce exactly in CI.
+
+use lx_kernels::{KernelBackend, MR, NR, PACKED, REFERENCE};
+use lx_sparse::attention::{block_data_to_dense, dsd, dsd_tn, sdd_nt, CausalFill};
+use lx_sparse::neuron::{fc1_forward, fc2_forward, ColMajorWeights, NeuronBlockSet};
+use lx_sparse::patterns::PatternSpec;
+use lx_sparse::BlockCsr;
+use lx_tensor::rng::randn_vec;
+
+const TOL: f32 = 1e-4;
+
+fn assert_close(what: &str, got: &[f32], want: &[f32]) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (x, y)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (x - y).abs() <= TOL * (1.0 + y.abs()),
+            "{what}: idx {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// The sweep axis: degenerate, around both register tiles, around the KC
+/// cache block, and a larger-than-one-block size.
+fn interesting_sizes() -> Vec<usize> {
+    let mut v = vec![0, 1, 3, MR - 1, MR, MR + 1, NR - 1, NR, NR + 1, 40];
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[test]
+fn packed_matches_reference_on_gemm_shape_sweep() {
+    let sizes = interesting_sizes();
+    let mut seed = 0u64;
+    for &m in &sizes {
+        for &k in &sizes {
+            for &n in &sizes {
+                seed += 1;
+                let a = randn_vec(m * k, 1.0, seed);
+                let b = randn_vec(k * n, 1.0, seed + 1000);
+                let mut c_ref = randn_vec(m * n, 1.0, seed + 2000);
+                let mut c_packed = c_ref.clone();
+                // beta = 0.5 checks both the product and the C pre-scaling.
+                REFERENCE.gemm(
+                    m,
+                    k,
+                    n,
+                    &a,
+                    k.max(1),
+                    &b,
+                    n.max(1),
+                    &mut c_ref,
+                    n.max(1),
+                    0.5,
+                );
+                PACKED.gemm(
+                    m,
+                    k,
+                    n,
+                    &a,
+                    k.max(1),
+                    &b,
+                    n.max(1),
+                    &mut c_packed,
+                    n.max(1),
+                    0.5,
+                );
+                assert_close(&format!("gemm {m}x{k}x{n}"), &c_packed, &c_ref);
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_matches_reference_on_nt_tn_sweep() {
+    let sizes = interesting_sizes();
+    let mut seed = 50_000u64;
+    for &m in &sizes {
+        for &k in &sizes {
+            for &n in &sizes {
+                seed += 1;
+                let a_nt = randn_vec(m * k, 1.0, seed);
+                let b_nt = randn_vec(n * k, 1.0, seed + 1000);
+                let mut c_ref = vec![0.0; m * n];
+                let mut c_packed = vec![0.0; m * n];
+                REFERENCE.gemm_nt(
+                    m,
+                    k,
+                    n,
+                    &a_nt,
+                    k.max(1),
+                    &b_nt,
+                    k.max(1),
+                    &mut c_ref,
+                    n.max(1),
+                    0.0,
+                );
+                PACKED.gemm_nt(
+                    m,
+                    k,
+                    n,
+                    &a_nt,
+                    k.max(1),
+                    &b_nt,
+                    k.max(1),
+                    &mut c_packed,
+                    n.max(1),
+                    0.0,
+                );
+                assert_close(&format!("gemm_nt {m}x{k}x{n}"), &c_packed, &c_ref);
+
+                let a_tn = randn_vec(k * m, 1.0, seed + 2000);
+                let b_tn = randn_vec(k * n, 1.0, seed + 3000);
+                let mut c_ref = randn_vec(m * n, 1.0, seed + 4000);
+                let mut c_packed = c_ref.clone();
+                REFERENCE.gemm_tn(
+                    m,
+                    k,
+                    n,
+                    &a_tn,
+                    m.max(1),
+                    &b_tn,
+                    n.max(1),
+                    &mut c_ref,
+                    n.max(1),
+                    1.0,
+                );
+                PACKED.gemm_tn(
+                    m,
+                    k,
+                    n,
+                    &a_tn,
+                    m.max(1),
+                    &b_tn,
+                    n.max(1),
+                    &mut c_packed,
+                    n.max(1),
+                    1.0,
+                );
+                assert_close(&format!("gemm_tn {m}x{k}x{n}"), &c_packed, &c_ref);
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_matches_reference_on_strided_views() {
+    // The exact window shapes the sparse operators issue: compact activation
+    // matrices addressed with lda = width, C written into a strided slab.
+    let (rows, width, b, d) = (23, 3 * NR, NR, 37);
+    let act = randn_vec(rows * width, 1.0, 7);
+    let w = randn_vec(b * d, 1.0, 8);
+    for block in 0..width / b {
+        let a_win = &act[block * b..];
+        let mut c_ref = vec![0.0; rows * d];
+        let mut c_packed = vec![0.0; rows * d];
+        REFERENCE.gemm(rows, b, d, a_win, width, &w, d, &mut c_ref, d, 0.0);
+        PACKED.gemm(rows, b, d, a_win, width, &w, d, &mut c_packed, d, 0.0);
+        assert_close(&format!("strided block {block}"), &c_packed, &c_ref);
+
+        // Strided C: write one block column of a wide output.
+        let mut y_ref = vec![0.0; rows * width];
+        let mut y_packed = vec![0.0; rows * width];
+        let wt = randn_vec(b * d, 1.0, 9);
+        REFERENCE.gemm_nt(
+            rows,
+            d,
+            b,
+            &c_ref,
+            d,
+            &wt,
+            d,
+            &mut y_ref[block * b..],
+            width,
+            0.0,
+        );
+        PACKED.gemm_nt(
+            rows,
+            d,
+            b,
+            &c_packed,
+            d,
+            &wt,
+            d,
+            &mut y_packed[block * b..],
+            width,
+            0.0,
+        );
+        assert_close(&format!("strided C block {block}"), &y_packed, &y_ref);
+    }
+}
+
+#[test]
+fn large_shape_stays_within_tolerance() {
+    // One shape big enough to traverse several KC blocks and NC panels, where
+    // f32 summation-order differences accumulate the most.
+    let (m, k, n) = (70, 600, 70);
+    let a = randn_vec(m * k, 1.0, 11);
+    let b = randn_vec(k * n, 1.0, 12);
+    let mut c_ref = vec![0.0; m * n];
+    let mut c_packed = vec![0.0; m * n];
+    REFERENCE.gemm(m, k, n, &a, k, &b, n, &mut c_ref, n, 0.0);
+    PACKED.gemm(m, k, n, &a, k, &b, n, &mut c_packed, n, 0.0);
+    assert_close("large gemm", &c_packed, &c_ref);
+}
+
+/// Force the packed backend under the block-sparse attention ops by running
+/// the per-block shapes they issue through both backends directly.
+#[test]
+fn attention_block_shapes_match() {
+    for (b, dh) in [(4usize, 8usize), (16, 32), (32, 64), (32, 80)] {
+        let q = randn_vec(b * dh, 1.0, 21);
+        let k = randn_vec(b * dh, 1.0, 22);
+        let mut s_ref = vec![0.0; b * b];
+        let mut s_packed = vec![0.0; b * b];
+        REFERENCE.gemm_nt(b, dh, b, &q, dh, &k, dh, &mut s_ref, b, 0.0);
+        PACKED.gemm_nt(b, dh, b, &q, dh, &k, dh, &mut s_packed, b, 0.0);
+        assert_close(&format!("scores block b={b} dh={dh}"), &s_packed, &s_ref);
+
+        let p = randn_vec(b * b, 1.0, 23);
+        let v = randn_vec(b * dh, 1.0, 24);
+        let mut o_ref = vec![0.0; b * dh];
+        let mut o_packed = vec![0.0; b * dh];
+        REFERENCE.gemm(b, b, dh, &p, b, &v, dh, &mut o_ref, dh, 1.0);
+        PACKED.gemm(b, b, dh, &p, b, &v, dh, &mut o_packed, dh, 1.0);
+        assert_close(&format!("context block b={b}"), &o_packed, &o_ref);
+
+        let mut t_ref = vec![0.0; b * dh];
+        let mut t_packed = vec![0.0; b * dh];
+        REFERENCE.gemm_tn(b, b, dh, &p, b, &v, dh, &mut t_ref, dh, 1.0);
+        PACKED.gemm_tn(b, b, dh, &p, b, &v, dh, &mut t_packed, dh, 1.0);
+        assert_close(&format!("transposed block b={b}"), &t_packed, &t_ref);
+    }
+}
+
+/// End-to-end sparse attention against a dense matmul oracle, whatever
+/// backend the dispatcher picks — the routed pipeline must stay exact.
+#[test]
+fn sparse_attention_pipeline_matches_dense_oracle() {
+    let (b, s, dh) = (8usize, 64usize, 16usize);
+    let lay = BlockCsr::from_mask(&PatternSpec::LocalGlobal { w: 2, g: 1 }.mask(s / b), b);
+    let q = randn_vec(s * dh, 1.0, 31);
+    let k = randn_vec(s * dh, 1.0, 32);
+    let mut blocks = vec![0.0; lay.data_len()];
+    sdd_nt(&q, &k, s, dh, 0.25, &lay, CausalFill::None, &mut blocks);
+    let dense_scores = block_data_to_dense(&blocks, &lay);
+    for i in 0..s {
+        for j in 0..s {
+            if !lay.to_mask().get(i / b, j / b) {
+                continue;
+            }
+            let expect: f32 = 0.25
+                * q[i * dh..(i + 1) * dh]
+                    .iter()
+                    .zip(&k[j * dh..(j + 1) * dh])
+                    .map(|(x, y)| x * y)
+                    .sum::<f32>();
+            let got = dense_scores[i * s + j];
+            assert!(
+                (got - expect).abs() <= TOL * (1.0 + expect.abs()),
+                "scores ({i},{j}): {got} vs {expect}"
+            );
+        }
+    }
+    // DSD and its transpose agree with the dense expansion.
+    let x = randn_vec(s * dh, 1.0, 33);
+    let mut out = vec![0.0; s * dh];
+    dsd(&blocks, &x, s, dh, &lay, &mut out);
+    let mut expect = vec![0.0; s * dh];
+    for i in 0..s {
+        for j in 0..s {
+            let pv = dense_scores[i * s + j];
+            for t in 0..dh {
+                expect[i * dh + t] += pv * x[j * dh + t];
+            }
+        }
+    }
+    assert_close("dsd", &out, &expect);
+    let mut out_t = vec![0.0; s * dh];
+    dsd_tn(&blocks, &x, s, dh, &lay, &mut out_t);
+    let mut expect_t = vec![0.0; s * dh];
+    for i in 0..s {
+        for j in 0..s {
+            let pv = dense_scores[i * s + j];
+            for t in 0..dh {
+                expect_t[j * dh + t] += pv * x[i * dh + t];
+            }
+        }
+    }
+    assert_close("dsd_tn", &out_t, &expect_t);
+}
+
+/// The neuron-sparse MLP forward path against an explicit gather/scatter
+/// oracle at a width that exercises multi-panel packing.
+#[test]
+fn neuron_mlp_matches_oracle_at_packing_widths() {
+    let (rows, d_in, h, block) = (33, 48, 8 * NR, NR);
+    let set = NeuronBlockSet::from_indices(vec![0, 2, 3, 7], h / block, block);
+    let width = set.active_neurons();
+    let x = randn_vec(rows * d_in, 1.0, 41);
+    let w1 = randn_vec(d_in * h, 0.2, 42);
+    let cm = ColMajorWeights::from_row_major(&w1, d_in, h);
+    let mut z = vec![0.0; rows * width];
+    fc1_forward(&x, rows, cm.raw(), d_in, None, &set, &mut z);
+    for r in 0..rows {
+        for (ai, &blk) in set.active.iter().enumerate() {
+            for t in 0..block {
+                let neuron = blk as usize * block + t;
+                let expect: f32 = (0..d_in)
+                    .map(|i| x[r * d_in + i] * w1[i * h + neuron])
+                    .sum();
+                let got = z[r * width + ai * block + t];
+                assert!(
+                    (got - expect).abs() <= TOL * (1.0 + expect.abs()),
+                    "fc1 r={r} neuron={neuron}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+    let d_out = 29;
+    let w2 = randn_vec(h * d_out, 0.2, 43);
+    let mut y = vec![0.0; rows * d_out];
+    fc2_forward(&z, rows, &w2, d_out, None, &set, &mut y);
+    let mut expect = vec![0.0; rows * d_out];
+    for r in 0..rows {
+        for (ai, &blk) in set.active.iter().enumerate() {
+            for t in 0..block {
+                let neuron = blk as usize * block + t;
+                let av = z[r * width + ai * block + t];
+                for c in 0..d_out {
+                    expect[r * d_out + c] += av * w2[neuron * d_out + c];
+                }
+            }
+        }
+    }
+    assert_close("fc2", &y, &expect);
+}
