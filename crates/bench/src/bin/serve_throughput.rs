@@ -6,18 +6,43 @@
 //! ```sh
 //! cargo run --release -p lx-bench --bin serve_throughput
 //! ```
+//!
+//! `--smoke` shrinks the workload (2 tenants × 4 steps, seq 32) and turns
+//! the run into a CI gate: every tenant must complete with finite losses on
+//! both arms and non-zero utilisation, else the exit code is non-zero.
+//!
+//! `--precision f32|f16` picks the shared-backbone storage plan for both
+//! arms (default f16, the production configuration). Pass `f32` to keep the
+//! JSON trajectory comparable with pre-precision-plan runs or to measure
+//! the storage plan's own serving cost.
 
 use long_exposure::engine::{EngineConfig, StepMode};
 use lx_bench::{fmt_ms, header, row, sim_model, SIM_BLOCK};
-use lx_model::ModelConfig;
+use lx_model::{ModelConfig, Precision};
 use lx_serve::{AdapterRegistry, DatasetSpec, JobSpec, SchedPolicy, Scheduler, ServeConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
-const N_TENANTS: usize = 4;
-const STEPS_PER_TENANT: u64 = 8;
-const BATCH: usize = 1;
-const SEQ: usize = 64;
+struct Workload {
+    n_tenants: usize,
+    steps_per_tenant: u64,
+    batch: usize,
+    seq: usize,
+}
+
+const FULL: Workload = Workload {
+    n_tenants: 4,
+    steps_per_tenant: 8,
+    batch: 1,
+    seq: 64,
+};
+
+const SMOKE: Workload = Workload {
+    n_tenants: 2,
+    steps_per_tenant: 4,
+    batch: 1,
+    seq: 32, // still a multiple of SIM_BLOCK
+};
 
 fn backbone(seed: u64) -> lx_model::TransformerModel {
     let mut model = sim_model(ModelConfig::opt_sim_small(), seed);
@@ -25,19 +50,19 @@ fn backbone(seed: u64) -> lx_model::TransformerModel {
     model
 }
 
-fn engine_cfg() -> EngineConfig {
+fn engine_cfg(w: &Workload) -> EngineConfig {
     EngineConfig {
         block_size: SIM_BLOCK,
-        attn_prob_threshold: 8.0 / SEQ as f32,
+        attn_prob_threshold: 8.0 / w.seq as f32,
         calib_epochs: 80,
         ..EngineConfig::default()
     }
 }
 
-fn tenant_specs() -> Vec<JobSpec> {
-    (0..N_TENANTS)
+fn tenant_specs(w: &Workload) -> Vec<JobSpec> {
+    (0..w.n_tenants)
         .map(|i| {
-            let mut spec = JobSpec::lora(format!("tenant-{i}"), STEPS_PER_TENANT, BATCH, SEQ);
+            let mut spec = JobSpec::lora(format!("tenant-{i}"), w.steps_per_tenant, w.batch, w.seq);
             spec.dataset = DatasetSpec::E2e {
                 world_seed: 0x5eed,
                 salt: 1000 + i as u64,
@@ -48,15 +73,23 @@ fn tenant_specs() -> Vec<JobSpec> {
         .collect()
 }
 
-fn run(mode: StepMode, registry: Arc<AdapterRegistry>, label: &str) {
+/// Run one arm; returns gate violations (empty = healthy).
+fn run(
+    w: &Workload,
+    mode: StepMode,
+    precision: Precision,
+    registry: Arc<AdapterRegistry>,
+    label: &str,
+) -> Vec<String> {
     let mut scheduler = Scheduler::new(
         backbone(42),
-        engine_cfg(),
+        engine_cfg(w),
         ServeConfig {
             slice_steps: 2,
             policy: SchedPolicy::FairShare,
             mode,
             prefetch: true,
+            precision,
         },
         registry.clone(),
     );
@@ -69,22 +102,24 @@ fn run(mode: StepMode, registry: Arc<AdapterRegistry>, label: &str) {
         };
         let mut batcher = spec.build_batcher(1024, 50_000);
         let calib: Vec<(Vec<u32>, usize, usize)> = (0..3)
-            .map(|_| (batcher.next_batch(BATCH, SEQ), BATCH, SEQ))
+            .map(|_| (batcher.next_batch(w.batch, w.seq), w.batch, w.seq))
             .collect();
         let t0 = Instant::now();
         let report = scheduler.calibrate_shared(&calib);
         println!(
-            "calibrated shared predictors once in {} ms (attn recall {:.1}%, mlp recall {:.1}%) — amortised over {N_TENANTS} tenants",
+            "calibrated shared predictors once in {} ms (attn recall {:.1}%, mlp recall {:.1}%) — amortised over {} tenants",
             fmt_ms(t0.elapsed()),
             100.0 * report.mean_attn_recall(),
             100.0 * report.mean_mlp_recall(),
+            w.n_tenants,
         );
     }
-    for spec in tenant_specs() {
+    for spec in tenant_specs(w) {
         scheduler.submit(spec).expect("submit");
     }
     println!(
-        "\n== {label}: {N_TENANTS} tenants × {STEPS_PER_TENANT} steps (batch {BATCH}, seq {SEQ}) on one shared backbone =="
+        "\n== {label}: {} tenants × {} steps (batch {}, seq {}) on one shared {precision} backbone ==",
+        w.n_tenants, w.steps_per_tenant, w.batch, w.seq
     );
     let t0 = Instant::now();
     let reports = scheduler.run_to_completion();
@@ -123,26 +158,85 @@ fn run(mode: StepMode, registry: Arc<AdapterRegistry>, label: &str) {
         100.0 * snap.utilisation(),
     );
     println!(
-        "marginal per-tenant state: {} params total across {N_TENANTS} adapters ({:.2}% of one backbone)",
+        "marginal per-tenant state: {} params total across {} adapters ({:.2}% of one backbone)",
         adapter_params,
+        w.n_tenants,
         100.0 * adapter_params as f64 / ModelConfig::opt_sim_small().param_count() as f64,
     );
+
+    // Smoke-gate checks: completion, finite losses, the scheduler actually
+    // did work. Collected regardless; main() only enforces them on --smoke.
+    let mut violations = Vec::new();
+    if reports.len() != w.n_tenants {
+        violations.push(format!(
+            "{label}: {} of {} tenants completed",
+            reports.len(),
+            w.n_tenants
+        ));
+    }
+    for r in &reports {
+        if r.steps != w.steps_per_tenant {
+            violations.push(format!(
+                "{label}/{}: {} of {} steps",
+                r.tenant, r.steps, w.steps_per_tenant
+            ));
+        }
+        if !r.losses.iter().all(|l| l.is_finite()) {
+            violations.push(format!("{label}/{}: non-finite loss", r.tenant));
+        }
+    }
+    if snap.utilisation() <= 0.0 {
+        violations.push(format!("{label}: zero utilisation"));
+    }
+    violations
 }
 
 fn main() {
-    println!("== serve_throughput: multi-tenant PEFT serving benchmark ==");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let w = if smoke { &SMOKE } else { &FULL };
+    // Default to the production storage plan (half-stored shared backbone);
+    // `--precision f32` keeps the trajectory comparable with older runs.
+    let precision = match args
+        .iter()
+        .position(|a| a == "--precision")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("f16") => Precision::F16Frozen,
+        Some("f32") => Precision::F32,
+        Some(other) => {
+            eprintln!("serve_throughput: unknown --precision '{other}' (expected f32|f16)");
+            std::process::exit(2);
+        }
+    };
+    println!("== serve_throughput: multi-tenant PEFT serving benchmark ({precision} backbone) ==");
     let registry = Arc::new(AdapterRegistry::in_memory());
-    run(StepMode::Sparse, registry.clone(), "long-exposure (sparse)");
+    let mut violations = run(
+        w,
+        StepMode::Sparse,
+        precision,
+        registry.clone(),
+        "long-exposure (sparse)",
+    );
     // Fresh registry for the dense arm so tenants cold-start identically.
-    run(
+    violations.extend(run(
+        w,
         StepMode::Dense,
+        precision,
         Arc::new(AdapterRegistry::in_memory()),
         "dense baseline",
-    );
+    ));
     println!(
         "\nregistry now holds {} adapters; predictors shared: {}",
         registry.len(),
         registry.predictors().is_some(),
     );
     lx_bench::maybe_emit_json("serve_throughput");
+    if smoke && !violations.is_empty() {
+        for v in &violations {
+            eprintln!("serve_throughput smoke gate: {v}");
+        }
+        std::process::exit(1);
+    }
 }

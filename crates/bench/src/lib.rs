@@ -4,7 +4,9 @@
 
 pub mod report;
 
-pub use report::{emit_json, header, maybe_emit_json, row};
+pub use report::{
+    compare_to_baseline, emit_json, header, load_bench_json, maybe_emit_json, row, BenchReport,
+};
 
 use long_exposure::engine::{EngineConfig, FinetuneEngine, StepMode, StepStats};
 use lx_data::e2e::E2eGenerator;

@@ -127,9 +127,339 @@ pub fn maybe_emit_json(name: &str) {
     }
 }
 
+/// A parsed `BENCH_<name>.json` report (see the module docs for the format).
+#[derive(Debug)]
+pub struct BenchReport {
+    pub bench: String,
+    /// `(header, rows)` per collected table.
+    pub tables: Vec<(Vec<String>, Vec<Vec<String>>)>,
+}
+
+/// Load a report previously written by [`emit_json`]. The parser accepts
+/// general JSON syntax for the subset the format uses (objects, arrays,
+/// strings), so hand-edited baselines with whitespace also load.
+pub fn load_bench_json(path: &std::path::Path) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let value = json::parse(&text)?;
+    let obj = value.as_object().ok_or("top level must be an object")?;
+    let bench = obj
+        .get("bench")
+        .and_then(|v| v.as_str())
+        .ok_or("missing \"bench\"")?
+        .to_string();
+    let mut tables = Vec::new();
+    for table in obj
+        .get("tables")
+        .and_then(|v| v.as_array())
+        .ok_or("missing \"tables\"")?
+    {
+        let t = table.as_object().ok_or("table must be an object")?;
+        let header = json::string_array(t.get("header").ok_or("missing header")?)?;
+        let rows = t
+            .get("rows")
+            .and_then(|v| v.as_array())
+            .ok_or("missing rows")?
+            .iter()
+            .map(json::string_array)
+            .collect::<Result<Vec<_>, _>>()?;
+        tables.push((header, rows));
+    }
+    Ok(BenchReport { bench, tables })
+}
+
+/// Compare the tables collected *so far in this process* against a baseline
+/// report: every row (matched by table index + first cell) whose header cell
+/// contains `column` is parsed as a ratio (a trailing `x` is tolerated) and
+/// must not fall below `baseline · (1 − tolerance)`. Improvements never
+/// fail. Returns `(checked, regressions)`: one message per comparison that
+/// passed, and one per regression — an empty second list means the gate is
+/// green (an empty first list too means nothing matched, which callers
+/// should treat as a mis-pointed baseline). Rows or tables absent from the
+/// baseline are skipped, so adding shapes to a bench does not require
+/// regenerating the baseline atomically.
+pub fn compare_to_baseline(
+    baseline: &BenchReport,
+    column: &str,
+    tolerance: f64,
+) -> (Vec<String>, Vec<String>) {
+    let mut checked = Vec::new();
+    let mut regressions = Vec::new();
+    TABLES.with(|t| {
+        for (ti, table) in t.borrow().iter().enumerate() {
+            let Some((base_header, base_rows)) = baseline.tables.get(ti) else {
+                continue;
+            };
+            for (ci, name) in table.header.iter().enumerate() {
+                if !name.contains(column) {
+                    continue;
+                }
+                let Some(base_ci) = base_header.iter().position(|h| h == name) else {
+                    continue;
+                };
+                for row in &table.rows {
+                    let key = row.first().cloned().unwrap_or_default();
+                    let Some(base_row) = base_rows.iter().find(|r| r.first() == row.first()) else {
+                        continue;
+                    };
+                    let (Some(cur), Some(base)) = (
+                        row.get(ci).and_then(|v| parse_ratio(v)),
+                        base_row.get(base_ci).and_then(|v| parse_ratio(v)),
+                    ) else {
+                        continue;
+                    };
+                    let floor = base * (1.0 - tolerance);
+                    if cur < floor {
+                        regressions.push(format!(
+                            "{key}: {name} regressed to {cur:.2} (baseline {base:.2}, \
+                             floor {floor:.2} at {:.0}% tolerance)",
+                            tolerance * 100.0
+                        ));
+                    } else {
+                        checked.push(format!("{key}: {name} {cur:.2} vs baseline {base:.2} ok"));
+                    }
+                }
+            }
+        }
+    });
+    (checked, regressions)
+}
+
+fn parse_ratio(cell: &str) -> Option<f64> {
+    cell.trim().trim_end_matches('x').parse().ok()
+}
+
+/// Just-enough JSON: objects, arrays, strings (with escapes), numbers,
+/// booleans and null — the workspace is offline, so no serde.
+mod json {
+    use std::collections::HashMap;
+
+    #[derive(Debug)]
+    pub enum Value {
+        Object(HashMap<String, Value>),
+        Array(Vec<Value>),
+        String(String),
+        Other,
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&HashMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn string_array(v: &Value) -> Result<Vec<String>, String> {
+        v.as_array()
+            .ok_or("expected an array of strings")?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "expected a string".to_string())
+            })
+            .collect()
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing input at {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser {
+        chars: Vec<char>,
+        pos: usize,
+    }
+
+    impl Parser {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Result<char, String> {
+            let c = self.peek().ok_or("unexpected end of input")?;
+            self.pos += 1;
+            Ok(c)
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, c: char) -> Result<(), String> {
+            self.skip_ws();
+            let got = self.bump()?;
+            if got != c {
+                return Err(format!("expected '{c}' at {}, got '{got}'", self.pos - 1));
+            }
+            Ok(())
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.peek().ok_or("unexpected end of input")? {
+                '{' => self.object(),
+                '[' => self.array(),
+                '"' => Ok(Value::String(self.string()?)),
+                c if c == '-' || c.is_ascii_digit() => {
+                    while matches!(self.peek(), Some('-' | '+' | '.' | 'e' | 'E' | '0'..='9')) {
+                        self.pos += 1;
+                    }
+                    Ok(Value::Other)
+                }
+                _ => {
+                    for lit in ["true", "false", "null"] {
+                        if self.chars[self.pos..].starts_with(&lit.chars().collect::<Vec<_>>()[..])
+                        {
+                            self.pos += lit.len();
+                            return Ok(Value::Other);
+                        }
+                    }
+                    Err(format!("unexpected character at {}", self.pos))
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect('{')?;
+            let mut map = HashMap::new();
+            self.skip_ws();
+            if self.peek() == Some('}') {
+                self.pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(':')?;
+                map.insert(key, self.value()?);
+                self.skip_ws();
+                match self.bump()? {
+                    ',' => continue,
+                    '}' => return Ok(Value::Object(map)),
+                    c => return Err(format!("expected ',' or '}}', got '{c}'")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect('[')?;
+            let mut out = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(']') {
+                self.pos += 1;
+                return Ok(Value::Array(out));
+            }
+            loop {
+                out.push(self.value()?);
+                self.skip_ws();
+                match self.bump()? {
+                    ',' => continue,
+                    ']' => return Ok(Value::Array(out)),
+                    c => return Err(format!("expected ',' or ']', got '{c}'")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect('"')?;
+            let mut out = String::new();
+            loop {
+                match self.bump()? {
+                    '"' => return Ok(out),
+                    '\\' => match self.bump()? {
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                code = code * 16
+                                    + self.bump()?.to_digit(16).ok_or("bad \\u escape")?;
+                            }
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        c => out.push(c),
+                    },
+                    c => out.push(c),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_roundtrip_and_baseline_compare() {
+        // Thread-local collection: isolate from parallel tests.
+        std::thread::spawn(|| {
+            header(&["shape", "speedup"]);
+            row(&["square".into(), "3.00x".into()]);
+            row(&["tall".into(), "1.50x".into()]);
+            let dir = std::env::temp_dir().join(format!("lx-bench-test-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let json_dir = std::env::current_dir().unwrap();
+            let path = emit_json("roundtrip_test").unwrap();
+            let report = load_bench_json(&path).unwrap();
+            assert_eq!(report.bench, "roundtrip_test");
+            assert_eq!(report.tables.len(), 1);
+            assert_eq!(report.tables[0].1[0], vec!["square", "3.00x"]);
+            // Same values: no regressions at any tolerance.
+            let (checked, regressions) = compare_to_baseline(&report, "speedup", 0.0);
+            assert_eq!(checked.len(), 2, "{checked:?}");
+            assert!(regressions.is_empty(), "{regressions:?}");
+            // A higher baseline triggers the gate.
+            let mut stale = report;
+            stale.tables[0].1[0][1] = "9.00x".into();
+            let (_, regressions) = compare_to_baseline(&stale, "speedup", 0.25);
+            assert_eq!(regressions.len(), 1, "{regressions:?}");
+            assert!(regressions[0].contains("square"), "{regressions:?}");
+            let _ = std::fs::remove_file(json_dir.join(path));
+            let _ = std::fs::remove_dir_all(dir);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn parser_handles_whitespace_and_escapes() {
+        let text = "{ \"bench\" : \"x\",\n \"tables\": [ { \"header\": [\"a \\\"q\\\"\"], \
+                    \"rows\": [ [\"1\"] ] } ] }";
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lx-bench-parse-{}.json", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        let report = load_bench_json(&path).unwrap();
+        assert_eq!(report.tables[0].0[0], "a \"q\"");
+        let _ = std::fs::remove_file(path);
+    }
 
     #[test]
     fn collects_and_serialises_tables() {

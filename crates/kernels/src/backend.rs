@@ -90,6 +90,53 @@ pub trait KernelBackend: Sync {
         ldc: usize,
         beta: f32,
     );
+
+    /// [`gemm`](Self::gemm) with **B stored as f16 bits** (`k×n` row-major).
+    ///
+    /// Mixed-precision contract: each B element is decoded to f32 (an exact
+    /// conversion) and every multiply and accumulation runs in f32, so the
+    /// result matches decoding B up front and calling the f32 variant.
+    /// Backends fuse the decode into their load/pack stage; this default
+    /// materialises an f32 copy of B and is meant only for backends without
+    /// a fused path.
+    fn gemm_f16(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        let mut bf = vec![0.0f32; b.len()];
+        crate::half::decode_slice(b, &mut bf);
+        self.gemm(m, k, n, a, lda, &bf, ldb, c, ldc, beta)
+    }
+
+    /// [`gemm_nt`](Self::gemm_nt) with **B stored as f16 bits** (`n×k`
+    /// row-major). Same mixed-precision contract as
+    /// [`gemm_f16`](Self::gemm_f16).
+    fn gemm_nt_f16(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        let mut bf = vec![0.0f32; b.len()];
+        crate::half::decode_slice(b, &mut bf);
+        self.gemm_nt(m, k, n, a, lda, &bf, ldb, c, ldc, beta)
+    }
 }
 
 /// Parallel `C *= beta` sweep (the whole op when `k == 0`; the up-front beta
@@ -264,6 +311,91 @@ impl KernelBackend for Reference {
                     }
                     let local = (i - rows.start) * ldc;
                     axpy_row(&mut chunk[local..local + n], av, b_row);
+                }
+            }
+        });
+    }
+
+    /// On-load decode: one B row is decoded to an f32 scratch per k-step and
+    /// streamed against every row of the chunk (k-outer loop order), so the
+    /// full f32 B is never materialised. Per-element accumulation order is
+    /// identical to the f32 [`gemm`](KernelBackend::gemm), so results match
+    /// the decode-up-front path bit for bit.
+    fn gemm_f16(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_f16: A");
+        check_view(b.len(), k, n, ldb, "gemm_f16: B");
+        check_view(c.len(), m, n, ldc, "gemm_f16: C");
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            return scale_only(c, m, n, ldc, beta);
+        }
+        par_rows(c, m, ldc, row_grain(k, n), |rows, chunk| {
+            for i in rows.clone() {
+                let local = (i - rows.start) * ldc;
+                scale_row(&mut chunk[local..local + n], beta);
+            }
+            let mut b_row = vec![0.0f32; n];
+            for l in 0..k {
+                crate::half::decode_slice(&b[l * ldb..l * ldb + n], &mut b_row);
+                for i in rows.clone() {
+                    let av = a[i * lda + l];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let local = (i - rows.start) * ldc;
+                    axpy_row(&mut chunk[local..local + n], av, &b_row);
+                }
+            }
+        });
+    }
+
+    /// On-load decode for the `nt` variant: one `k`-long B row is decoded per
+    /// output column and dotted against every A row of the chunk.
+    fn gemm_nt_f16(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nt_f16: A");
+        check_view(b.len(), n, k, ldb, "gemm_nt_f16: B");
+        check_view(c.len(), m, n, ldc, "gemm_nt_f16: C");
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            return scale_only(c, m, n, ldc, beta);
+        }
+        par_rows(c, m, ldc, row_grain(k, n), |rows, chunk| {
+            let mut b_row = vec![0.0f32; k];
+            for j in 0..n {
+                crate::half::decode_slice(&b[j * ldb..j * ldb + k], &mut b_row);
+                for i in rows.clone() {
+                    let a_row = &a[i * lda..i * lda + k];
+                    let dot = dot_unrolled(a_row, &b_row);
+                    let cv = &mut chunk[(i - rows.start) * ldc + j];
+                    *cv = if beta == 0.0 { dot } else { beta * *cv + dot };
                 }
             }
         });

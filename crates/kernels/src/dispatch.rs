@@ -94,6 +94,14 @@ pub(crate) fn tiles() -> TileConfig {
     }
 }
 
+/// Whether `LX_KERNEL_FORCE_SCALAR=1` is set: the packed backend then skips
+/// its SIMD microkernel and uses the fixed-shape scalar kernel everywhere.
+/// Read once — the CI fallback job sets it before the process starts.
+pub fn force_scalar() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| std::env::var("LX_KERNEL_FORCE_SCALAR").as_deref() == Ok("1"))
+}
+
 /// The three backend singletons.
 pub static REFERENCE: Reference = Reference;
 pub static PACKED: Packed = Packed;
@@ -163,6 +171,38 @@ impl KernelBackend for Auto {
         beta: f32,
     ) {
         pick(m, k, n).gemm_tn(m, k, n, a, lda, b, ldb, c, ldc, beta)
+    }
+
+    fn gemm_f16(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        pick(m, k, n).gemm_f16(m, k, n, a, lda, b, ldb, c, ldc, beta)
+    }
+
+    fn gemm_nt_f16(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        pick(m, k, n).gemm_nt_f16(m, k, n, a, lda, b, ldb, c, ldc, beta)
     }
 }
 

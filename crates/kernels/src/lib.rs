@@ -11,9 +11,10 @@
 //!   tiles, B-panel reuse across A row blocks, AVX2+FMA `std::arch` inner
 //!   loops behind runtime feature detection with a scalar fallback);
 //! * [`Auto`] — the size-aware dispatcher that picks between them per call
-//!   using the installed [`KernelPolicy`] (see [`dispatch`] for the policy
-//!   rationale, `lx_runtime::kernel_policy` for the cache-model-derived tile
-//!   shapes, and [`autotune`] for the one-time measured probe).
+//!   using the installed [`KernelPolicy`] (see the `dispatch` module source
+//!   for the policy rationale, `lx_runtime::kernel_policy` for the
+//!   cache-model-derived tile shapes, and [`autotune`] for the one-time
+//!   measured probe).
 //!
 //! Callers outside benchmarks should use the free functions below, which
 //! route through the process-wide backend (`LX_KERNEL_BACKEND` ∈
@@ -23,14 +24,15 @@
 
 mod backend;
 mod dispatch;
+pub mod half;
 mod packed;
 
 pub use backend::{KernelBackend, Reference};
 pub use dispatch::{
-    auto_choice, autotune, backend, backend_by_name, current_policy, install_policy, Auto,
-    KernelPolicy, TileConfig, AUTO, PACKED, REFERENCE,
+    auto_choice, autotune, backend, backend_by_name, current_policy, force_scalar, install_policy,
+    Auto, KernelPolicy, TileConfig, AUTO, PACKED, REFERENCE,
 };
-pub use packed::{Packed, MR, NR};
+pub use packed::{simd_active, Packed, MR, NR};
 
 /// `C[m,n] = A[m,k]·B[k,n] + beta·C`, contiguous rows.
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
@@ -45,6 +47,18 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
 /// `C[m,n] = A[k,m]ᵀ·B[k,n] + beta·C`, contiguous rows.
 pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
     backend().gemm_tn(m, k, n, a, m.max(1), b, n.max(1), c, n.max(1), beta)
+}
+
+/// `C[m,n] = A[m,k]·B[k,n] + beta·C` with B stored as f16 bits, contiguous
+/// rows. B is decoded to f32 on load/pack; all accumulation stays f32.
+pub fn gemm_f16(m: usize, k: usize, n: usize, a: &[f32], b: &[u16], c: &mut [f32], beta: f32) {
+    backend().gemm_f16(m, k, n, a, k.max(1), b, n.max(1), c, n.max(1), beta)
+}
+
+/// `C[m,n] = A[m,k]·B[n,k]ᵀ + beta·C` with B stored as f16 bits, contiguous
+/// rows. Same mixed-precision contract as [`gemm_f16`].
+pub fn gemm_nt_f16(m: usize, k: usize, n: usize, a: &[f32], b: &[u16], c: &mut [f32], beta: f32) {
+    backend().gemm_nt_f16(m, k, n, a, k.max(1), b, k.max(1), c, n.max(1), beta)
 }
 
 /// Strided [`gemm`] on the process-wide backend.

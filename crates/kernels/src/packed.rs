@@ -51,6 +51,29 @@ enum Layout {
     Transposed,
 }
 
+/// Element type a B operand may be stored in. Packing converts to f32, so
+/// the microkernel and all accumulation stay f32 regardless of storage —
+/// the BLIS-style mixed-precision scheme: lower-precision operands cost one
+/// conversion during the O(k·n) pack, not per O(m·k·n) FLOP.
+pub(crate) trait PackElem: Copy + Sync {
+    fn to_f32(self) -> f32;
+}
+
+impl PackElem for f32 {
+    #[inline(always)]
+    fn to_f32(self) -> f32 {
+        self
+    }
+}
+
+/// `u16` is interpreted as IEEE binary16 bits.
+impl PackElem for u16 {
+    #[inline(always)]
+    fn to_f32(self) -> f32 {
+        crate::half::f16_bits_to_f32(self)
+    }
+}
+
 thread_local! {
     static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
     static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
@@ -59,9 +82,9 @@ thread_local! {
 /// Pack `kc` k-steps × `nc` columns of B into NR-wide column panels:
 /// `out[panel][p·NR + j]` = B(pc+p, jc + panel·NR + j), zero-padded past `nc`.
 #[allow(clippy::too_many_arguments)]
-fn pack_b(
+fn pack_b<E: PackElem>(
     out: &mut Vec<f32>,
-    b: &[f32],
+    b: &[E],
     ldb: usize,
     layout: Layout,
     pc: usize,
@@ -81,7 +104,7 @@ fn pack_b(
                 for p in 0..kc {
                     let src = &b[(pc + p) * ldb + jc + j0..];
                     for j in 0..width {
-                        dst[p * NR + j] = src[j];
+                        dst[p * NR + j] = src[j].to_f32();
                     }
                 }
             }
@@ -89,7 +112,7 @@ fn pack_b(
                 for j in 0..width {
                     let src = &b[(jc + j0 + j) * ldb + pc..];
                     for p in 0..kc {
-                        dst[p * NR + j] = src[p];
+                        dst[p * NR + j] = src[p].to_f32();
                     }
                 }
             }
@@ -238,7 +261,7 @@ fn microkernel(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, mr:
     debug_assert!(mr <= MR && nr <= NR && mr > 0 && nr > 0);
     debug_assert!(c.len() >= (mr - 1) * ldc + nr);
     #[cfg(target_arch = "x86_64")]
-    if simd::available() {
+    if simd::available() && !crate::dispatch::force_scalar() {
         // SAFETY: feature presence checked above; the debug asserts document
         // the bounds the (checked) slice arguments guarantee.
         unsafe {
@@ -249,6 +272,21 @@ fn microkernel(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, mr:
     microkernel_scalar(kc, ap, bp, c, ldc, mr, nr);
 }
 
+/// Whether the SIMD microkernel will be used by the next packed call: the
+/// CPU supports it at runtime and it has not been force-disabled via
+/// `LX_KERNEL_FORCE_SCALAR=1` (the CI fallback matrix sets that to exercise
+/// the scalar microkernel on AVX2 machines).
+pub fn simd_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        simd::available() && !crate::dispatch::force_scalar()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// The packed/tiled backend. Tile sizes (MC/KC/NC) are read from the global
 /// [`KernelPolicy`](crate::KernelPolicy) at call time, so an installed policy
 /// or autotune result takes effect immediately.
@@ -256,7 +294,7 @@ pub struct Packed;
 
 impl Packed {
     #[allow(clippy::too_many_arguments)]
-    fn driver(
+    fn driver<E: PackElem>(
         &self,
         m: usize,
         k: usize,
@@ -264,7 +302,7 @@ impl Packed {
         a: &[f32],
         lda: usize,
         a_layout: Layout,
-        b: &[f32],
+        b: &[E],
         ldb: usize,
         b_layout: Layout,
         c: &mut [f32],
@@ -426,6 +464,73 @@ impl KernelBackend for Packed {
             b,
             ldb,
             Layout::Normal,
+            c,
+            ldc,
+            beta,
+        );
+    }
+
+    /// Fused pack-time decode: B's f16 bits are expanded to f32 while the
+    /// B̃ panels are packed, so the decode costs one pass over `k×n` elements
+    /// and the microkernel runs unchanged on f32 panels.
+    fn gemm_f16(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_f16: A");
+        check_view(b.len(), k, n, ldb, "gemm_f16: B");
+        check_view(c.len(), m, n, ldc, "gemm_f16: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            b,
+            ldb,
+            Layout::Normal,
+            c,
+            ldc,
+            beta,
+        );
+    }
+
+    fn gemm_nt_f16(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nt_f16: A");
+        check_view(b.len(), n, k, ldb, "gemm_nt_f16: B");
+        check_view(c.len(), m, n, ldc, "gemm_nt_f16: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            b,
+            ldb,
+            Layout::Transposed,
             c,
             ldc,
             beta,

@@ -64,27 +64,24 @@ impl Embedding {
         let p = self.prompt_len();
         let eff = seq + p;
         assert!(
-            eff <= self.positions.value.shape()[0],
+            eff <= self.positions.shape()[0],
             "sequence {eff} exceeds max positions"
         );
         let d = self.d_model;
         let mut out = Tensor::zeros(&[batch * eff, d]);
         for b in 0..batch {
             for s in 0..eff {
+                // Row lookups go through the dtype-dispatching Param
+                // helpers: frozen tables may be half-stored and decode on
+                // load; the trainable prompt is always f32.
                 let row = out.row_mut(b * eff + s);
                 if s < p {
-                    let prompt = self.prompt.as_ref().unwrap();
-                    let pr = &prompt.value.as_slice()[s * d..(s + 1) * d];
-                    row.copy_from_slice(pr);
+                    self.prompt.as_ref().unwrap().copy_row_into(s, row);
                 } else {
                     let tok = ids[b * seq + (s - p)] as usize;
-                    let te = &self.tokens.value.as_slice()[tok * d..(tok + 1) * d];
-                    row.copy_from_slice(te);
+                    self.tokens.copy_row_into(tok, row);
                 }
-                let pe = &self.positions.value.as_slice()[s * d..(s + 1) * d];
-                for (o, v) in row.iter_mut().zip(pe) {
-                    *o += v;
-                }
+                self.positions.add_row_into(s, row);
             }
         }
         self.cache = Some(EmbCache {

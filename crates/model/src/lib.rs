@@ -24,11 +24,13 @@ pub mod model;
 pub mod optim;
 pub mod param;
 pub mod plan;
+pub mod precision;
 
 pub use config::{Activation, ModelConfig};
 pub use model::{
     prompt_aware_targets, CaptureConfig, Captures, LayerCapture, LayerPlanner, TransformerModel,
 };
-pub use optim::{clip_grad_norm, Adam, AdamW, LrSchedule, Optimizer, Scheduled, Sgd};
+pub use optim::{clip_grad_norm, Adam, AdamW, LossScaler, LrSchedule, Optimizer, Scheduled, Sgd};
 pub use param::Param;
 pub use plan::{LayerPlan, SparsePlan};
+pub use precision::Precision;

@@ -75,11 +75,11 @@ impl Linear {
     }
 
     pub fn d_in(&self) -> usize {
-        self.weight.value.shape()[0]
+        self.weight.shape()[0]
     }
 
     pub fn d_out(&self) -> usize {
-        self.weight.value.shape()[1]
+        self.weight.shape()[1]
     }
 
     /// Attach a LoRA adapter (marks it trainable; backbone stays as-is).
@@ -96,7 +96,9 @@ impl Linear {
     }
 
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        let mut y = matmul(x, &self.weight.value);
+        // Dtype-dispatching: fused f16 decode when the backbone weight is
+        // half-stored, the plain f32 kernel otherwise.
+        let mut y = self.weight.matmul(x);
         if let Some(bias) = &self.bias {
             add_bias_rows(&mut y, bias.value.as_slice());
         }
@@ -116,7 +118,7 @@ impl Linear {
             .cache_x
             .take()
             .expect("Linear::backward without forward");
-        let mut dx = matmul_nt(dy, &self.weight.value); // dy · Wᵀ
+        let mut dx = self.weight.matmul_nt(dy); // dy · Wᵀ
         if self.weight.trainable {
             let dw = matmul_tn(&x, dy); // xᵀ · dy
             self.weight.accumulate_grad(&dw);

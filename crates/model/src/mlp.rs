@@ -60,8 +60,27 @@ struct MlpCache {
     /// Post-activation, same width as `z`.
     a: Tensor,
     set: Option<Arc<NeuronBlockSet>>,
+    /// Active-slab f32 decode of half-stored weights (sparse mode only);
+    /// kept across forward/backward so the decode happens once per step.
+    slabs: Option<SparseSlabs>,
     ax1: Option<Tensor>,
     ax2: Option<Tensor>,
+}
+
+/// f32 views of the *active* neuron slabs of half-stored FC weights, in the
+/// compact coordinate system of [`NeuronBlockSet::compacted`]. This is the
+/// paper's "only active blocks resident at full width" discipline: inactive
+/// slabs never leave their 2-byte storage.
+#[derive(Debug)]
+struct SparseSlabs {
+    /// Active FC1 column slabs, `[active_neurons, d_model]`.
+    w1: Tensor,
+    /// Active FC2 row slabs, `[active_neurons, d_model]`.
+    w2: Tensor,
+    /// FC1 bias entries gathered in active order.
+    b1: Vec<f32>,
+    /// Renumbered block set addressing the gathered buffers.
+    cset: Arc<NeuronBlockSet>,
 }
 
 impl MlpBlock {
@@ -150,10 +169,34 @@ impl MlpBlock {
         }
     }
 
+    /// Decode the active slabs of the half-stored FC weights to f32 and
+    /// gather the matching bias entries (see [`SparseSlabs`]).
+    fn decode_active_slabs(&self, set: &NeuronBlockSet) -> SparseSlabs {
+        let d = self.d_model;
+        let bsz = set.block_size;
+        let h1 = self.w1.half.as_ref().expect("w1 must be half-stored");
+        let h2 = self.w2.half.as_ref().expect("w2 must be half-stored");
+        let mut w1 = Tensor::zeros(&[set.active_neurons(), d]);
+        let mut w2 = Tensor::zeros(&[set.active_neurons(), d]);
+        let mut b1 = Vec::with_capacity(set.active_neurons());
+        for (ci, &blk) in set.active.iter().enumerate() {
+            let (n0, span) = (blk as usize * bsz, ci * bsz * d..(ci + 1) * bsz * d);
+            h1.decode_rows(n0, bsz, &mut w1.as_mut_slice()[span.clone()]);
+            h2.decode_rows(n0, bsz, &mut w2.as_mut_slice()[span]);
+            b1.extend_from_slice(&self.b1.value.as_slice()[n0..n0 + bsz]);
+        }
+        SparseSlabs {
+            w1,
+            w2,
+            b1,
+            cset: Arc::new(set.compacted()),
+        }
+    }
+
     fn forward_dense(&mut self, x: &Tensor) -> Tensor {
         let rows = x.rows();
         // z = x·W1ᵀ(stored) + b1  (+ LoRA1)
-        let mut z = matmul_nt(x, &self.w1.value);
+        let mut z = self.w1.matmul_nt(x);
         add_bias_rows(&mut z, self.b1.value.as_slice());
         let mut ax1 = None;
         if let Some(l) = &mut self.lora1 {
@@ -165,7 +208,7 @@ impl MlpBlock {
         }
         let a = self.activate(&z);
         // y = a·W2 + b2  (+ LoRA2)
-        let mut y = matmul(&a, &self.w2.value);
+        let mut y = self.w2.matmul(&a);
         add_bias_rows(&mut y, self.b2.value.as_slice());
         let mut ax2 = None;
         if let Some(l) = &mut self.lora2 {
@@ -181,6 +224,7 @@ impl MlpBlock {
             z,
             a,
             set: None,
+            slabs: None,
             ax1,
             ax2,
         });
@@ -200,14 +244,31 @@ impl MlpBlock {
         );
         let rows = x.rows();
         let width = set.active_neurons();
+        // Half-stored weights: decode only the active slabs to f32 and run
+        // the neuron kernels in the compact coordinate system; f32 weights
+        // use the full buffers with the global set, as before. Both layouts
+        // produce the identical compact `rows × active` buffers.
+        let slabs = self.w1.is_half().then(|| {
+            assert!(self.w2.is_half(), "FC1/FC2 must share a storage precision");
+            self.decode_active_slabs(&set)
+        });
+        let (w1s, b1s, w2s, kset): (&[f32], &[f32], &[f32], &NeuronBlockSet) = match &slabs {
+            Some(s) => (s.w1.as_slice(), &s.b1, s.w2.as_slice(), &s.cset),
+            None => (
+                self.w1.value.as_slice(),
+                self.b1.value.as_slice(),
+                self.w2.value.as_slice(),
+                &set,
+            ),
+        };
         let mut z = Tensor::zeros(&[rows, width]);
         fc1_forward(
             x.as_slice(),
             rows,
-            self.w1.value.as_slice(),
+            w1s,
             self.d_model,
-            Some(self.b1.value.as_slice()),
-            &set,
+            Some(b1s),
+            kset,
             z.as_mut_slice(),
         );
         let mut ax1 = None;
@@ -235,10 +296,10 @@ impl MlpBlock {
         fc2_forward(
             a.as_slice(),
             rows,
-            self.w2.value.as_slice(),
+            w2s,
             self.d_model,
             Some(self.b2.value.as_slice()),
-            &set,
+            kset,
             y.as_mut_slice(),
         );
         let mut ax2 = None;
@@ -273,6 +334,7 @@ impl MlpBlock {
             z,
             a,
             set: Some(set),
+            slabs,
             ax1,
             ax2,
         });
@@ -288,8 +350,9 @@ impl MlpBlock {
     }
 
     fn backward_dense(&mut self, dy: &Tensor, cache: &MlpCache) -> Tensor {
-        // FC2 (+ LoRA2).
-        let mut da = matmul(dy, &self.w2.value.transposed_2d());
+        // FC2 (+ LoRA2): da = dy·W2ᵀ with W2 stored `[d_ff, d]` row-major —
+        // the `nt` kernel shape, fused-decoding when half-stored.
+        let mut da = self.w2.matmul_nt(dy);
         if let Some(l) = &mut self.lora2 {
             let ax = cache.ax2.as_ref().expect("lora2 cache");
             let mut dax = matmul(dy, &l.b.value); // [rows, r]
@@ -322,7 +385,7 @@ impl MlpBlock {
             let dw1 = matmul_tn(&dz, &cache.x); // [d_ff, d]
             self.w1.accumulate_grad(&dw1);
         }
-        let mut dx = matmul(&dz, &self.w1.value); // dz · W1(stored [d_ff,d])
+        let mut dx = self.w1.matmul(&dz); // dz · W1(stored [d_ff,d])
         if let Some(l) = &mut self.lora1 {
             let ax = cache.ax1.as_ref().expect("lora1 cache");
             let mut dax = matmul(&dz, &l.b.value); // [rows, r]
@@ -350,14 +413,20 @@ impl MlpBlock {
         let rows = dy.rows();
         let width = set.active_neurons();
         let bsz = set.block_size;
+        // Same storage dispatch as forward: the decoded active slabs were
+        // cached there, so the backward kernels reuse them for free.
+        let (w1s, w2s, kset): (&[f32], &[f32], &NeuronBlockSet) = match &cache.slabs {
+            Some(s) => (s.w1.as_slice(), s.w2.as_slice(), &s.cset),
+            None => (self.w1.value.as_slice(), self.w2.value.as_slice(), &set),
+        };
         // FC2 backward to compact dA.
         let mut da = Tensor::zeros(&[rows, width]);
         fc2_backward_input(
             dy.as_slice(),
             rows,
-            self.w2.value.as_slice(),
+            w2s,
             self.d_model,
-            &set,
+            kset,
             da.as_mut_slice(),
         );
         if let Some(l) = &mut self.lora2 {
@@ -420,7 +489,20 @@ impl MlpBlock {
         }
         // Activation backward on the compact buffers.
         let dz = self.activate_backward(&da, &cache.z);
-        // FC1 grads — active blocks only (§II-D).
+        // dx first: it reads the (possibly slab-decoded) weight view, whose
+        // borrow must end before the grad blocks take `&mut` access below.
+        let mut dx = Tensor::zeros(&[rows, self.d_model]);
+        fc1_backward_input(
+            dz.as_slice(),
+            rows,
+            w1s,
+            self.d_model,
+            kset,
+            dx.as_mut_slice(),
+        );
+        // FC1 grads — active blocks only (§II-D). Weight grads address the
+        // full-size buffers, so they use the global set; frozen half-stored
+        // weights never take this path (trainability implies f32 storage).
         if self.b1.trainable {
             let g = self.b1.grad_mut();
             for row in 0..rows {
@@ -443,15 +525,6 @@ impl MlpBlock {
                 None,
             );
         }
-        let mut dx = Tensor::zeros(&[rows, self.d_model]);
-        fc1_backward_input(
-            dz.as_slice(),
-            rows,
-            self.w1.value.as_slice(),
-            self.d_model,
-            &set,
-            dx.as_mut_slice(),
-        );
         if let Some(l) = &mut self.lora1 {
             let ax = cache.ax1.as_ref().expect("lora1 cache");
             let r = l.b.value.shape()[1];

@@ -6,10 +6,11 @@ use crate::config::ModelConfig;
 use crate::embedding::Embedding;
 use crate::layernorm::LayerNorm;
 use crate::loss::{self, IGNORE_INDEX};
-use crate::optim::Optimizer;
+use crate::optim::{LossScaler, Optimizer};
 use crate::param::Param;
 use crate::plan::SparsePlan;
-use lx_tensor::gemm::{matmul, matmul_nt, matmul_tn};
+use crate::precision::Precision;
+use lx_tensor::gemm::matmul_tn;
 use lx_tensor::Tensor;
 
 /// What to record during a calibration forward pass.
@@ -54,6 +55,7 @@ pub struct TransformerModel {
     pub embedding: Embedding,
     pub blocks: Vec<TransformerBlock>,
     pub ln_f: LayerNorm,
+    precision: Precision,
     cache_h: Option<Tensor>,
     capture_cfg: Option<CaptureConfig>,
 }
@@ -70,9 +72,47 @@ impl TransformerModel {
             embedding,
             blocks,
             ln_f,
+            precision: Precision::F32,
             cache_h: None,
             capture_cfg: None,
         }
+    }
+
+    /// Current parameter-storage plan.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Switch the parameter-storage plan.
+    ///
+    /// [`Precision::F16Frozen`] demotes every frozen parameter with two or
+    /// more dimensions — attention projections, MLP weights, embedding
+    /// tables — to half storage (round-to-nearest-even); biases, LayerNorm
+    /// affine parameters and all trainable state stay f32.
+    /// [`Precision::F32`] promotes everything back (an exact decode; values
+    /// keep the f16 rounding they went through).
+    ///
+    /// Apply *after* any weight surgery that edits f32 buffers in place
+    /// (e.g. [`Self::induce_activation_sparsity`]) and before training.
+    pub fn set_precision(&mut self, precision: Precision) {
+        match precision {
+            Precision::F32 => self.for_each_param(&mut |p| p.to_f32()),
+            Precision::F16Frozen => self.for_each_param(&mut |p| {
+                if !p.trainable && p.shape().len() >= 2 {
+                    p.to_half();
+                }
+            }),
+        }
+        self.precision = precision;
+    }
+
+    /// Bytes of parameter value storage at the current precision (excludes
+    /// gradients and optimizer state) — what `fig8_memory` reports as the
+    /// measured backbone footprint.
+    pub fn param_storage_bytes(&mut self) -> usize {
+        let mut bytes = 0;
+        self.for_each_param(&mut |p| bytes += p.storage_bytes());
+        bytes
     }
 
     /// Effective sequence length including any prompt prefix.
@@ -98,7 +138,7 @@ impl TransformerModel {
             x = block.forward(&x, batch, eff, plan.and_then(|p| p.layer(i)));
         }
         let h = self.ln_f.forward(&x);
-        let logits = matmul_nt(&h, &self.embedding.tokens.value);
+        let logits = self.embedding.tokens.matmul_nt(&h);
         self.cache_h = Some(h);
         logits
     }
@@ -107,7 +147,7 @@ impl TransformerModel {
     pub fn backward(&mut self, dlogits: &Tensor) {
         let h = self.cache_h.take().expect("model backward without forward");
         // Tied head: dH = dLogits · E ; dE += dLogitsᵀ · H.
-        let dh = matmul(dlogits, &self.embedding.tokens.value);
+        let dh = self.embedding.tokens.matmul(dlogits);
         if self.embedding.tokens.trainable {
             let demb = matmul_tn(dlogits, &h);
             self.embedding.tokens.accumulate_grad(&demb);
@@ -138,7 +178,7 @@ impl TransformerModel {
             used.layers.push(lp);
         }
         let h = self.ln_f.forward(&x);
-        let logits = matmul_nt(&h, &self.embedding.tokens.value);
+        let logits = self.embedding.tokens.matmul_nt(&h);
         self.cache_h = Some(h);
         (logits, used)
     }
@@ -179,6 +219,38 @@ impl TransformerModel {
         loss
     }
 
+    /// [`Self::train_step`] with dynamic loss scaling — the mixed-precision
+    /// training loop. The loss gradient is multiplied by the scaler's factor
+    /// before backward; gradients are unscaled and overflow-checked before
+    /// the optimizer runs. Returns `None` when the step was skipped because
+    /// a gradient overflowed (the scaler has already backed off).
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_step_scaled(
+        &mut self,
+        ids: &[u32],
+        targets: &[i32],
+        batch: usize,
+        seq: usize,
+        plan: Option<&SparsePlan>,
+        opt: &mut dyn Optimizer,
+        scaler: &mut LossScaler,
+    ) -> Option<f32> {
+        self.zero_grads();
+        let logits = self.forward(ids, batch, seq, plan);
+        let (loss, mut dlogits) = loss::cross_entropy(&logits, targets);
+        dlogits.scale(scaler.scale());
+        self.backward(&dlogits);
+        let finite = scaler.unscale(&mut |f| self.for_each_param(f));
+        if !finite {
+            scaler.update(true);
+            return None;
+        }
+        opt.begin_step();
+        self.for_each_param(&mut |p| opt.update(p));
+        scaler.update(false);
+        Some(loss)
+    }
+
     /// Log-probability of `continuation` given `prompt` (Table IV scoring).
     pub fn score_continuation(&mut self, prompt: &[u32], continuation: &[u32]) -> f32 {
         assert!(!continuation.is_empty());
@@ -201,7 +273,7 @@ impl TransformerModel {
     ///
     /// Freshly initialised transformers fire ~50% of MLP neurons per token
     /// with no structure; trained OPT-class models fire ~5–10%, concentrated
-    /// on input-dependent subsets (paper §II-B and refs [28]–[30]). Real
+    /// on input-dependent subsets (paper §II-B and refs \[28\]–\[30\]). Real
     /// checkpoints are out of reach on this substrate, so this helper shifts
     /// FC1 biases so that neuron `i` fires with probability ≈ `1 − target_i`
     /// under LayerNormed inputs (pre-activations are ≈ N(b_i, ‖w_i‖²)), with
@@ -217,6 +289,11 @@ impl TransformerModel {
     ) {
         use rand::Rng;
         assert!((0.5..1.0).contains(&per_token_target), "target in [0.5, 1)");
+        assert_eq!(
+            self.precision,
+            Precision::F32,
+            "weight surgery edits f32 buffers in place; call before set_precision"
+        );
         let d = self.config.d_model;
         let mut rng = lx_tensor::rng::seeded(seed);
         // Hot groups also get larger activation magnitudes (compensated in
@@ -265,6 +342,11 @@ impl TransformerModel {
     /// which hides the per-head sparse structure §IV-A describes).
     pub fn sharpen_attention(&mut self, gain: f32) {
         assert!(gain > 0.0);
+        assert_eq!(
+            self.precision,
+            Precision::F32,
+            "weight surgery edits f32 buffers in place; call before set_precision"
+        );
         for block in &mut self.blocks {
             block.attn.wq.weight.value.scale(gain);
             if let Some(b) = &mut block.attn.wq.bias {
@@ -512,6 +594,85 @@ mod tests {
             good > bad,
             "trained continuation should score higher: {good} vs {bad}"
         );
+    }
+
+    #[test]
+    fn f16_frozen_halves_backbone_storage_and_stays_close() {
+        let mut a = tiny();
+        let mut b = tiny(); // same seed ⇒ identical weights
+        a.freeze_all();
+        b.freeze_all();
+        let f32_bytes = a.param_storage_bytes();
+        b.set_precision(crate::Precision::F16Frozen);
+        let f16_bytes = b.param_storage_bytes();
+        // Matrices dominate; biases/LN stay f32, so the ratio is just over ½.
+        let ratio = f16_bytes as f64 / f32_bytes as f64;
+        assert!(ratio < 0.55, "storage ratio {ratio}");
+        let ids = sample_batch(&a, 2, 8, 21);
+        let la = a.forward(&ids, 2, 8, None);
+        let lb = b.forward(&ids, 2, 8, None);
+        for (x, y) in lb.as_slice().iter().zip(la.as_slice()) {
+            assert!(
+                (x - y).abs() <= 3e-2 * (1.0 + y.abs()),
+                "f16-frozen logits drifted: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn precision_roundtrip_preserves_the_f16_function_exactly() {
+        let mut m = tiny();
+        m.freeze_all();
+        m.set_precision(crate::Precision::F16Frozen);
+        let ids = sample_batch(&m, 1, 8, 22);
+        let before = m.forward(&ids, 1, 8, None);
+        m.cache_h = None;
+        // F32 promotion is an exact decode: the function is unchanged.
+        m.set_precision(crate::Precision::F32);
+        assert_eq!(m.precision(), crate::Precision::F32);
+        let after = m.forward(&ids, 1, 8, None);
+        assert_eq!(before.as_slice(), after.as_slice());
+    }
+
+    #[test]
+    fn scaled_training_on_f16_backbone_reduces_loss() {
+        let mut m = tiny();
+        m.freeze_all();
+        m.set_precision(crate::Precision::F16Frozen);
+        for block in &mut m.blocks {
+            block.attn.wq.attach_lora(4, 8.0, 31);
+            block.attn.wv.attach_lora(4, 8.0, 32);
+            block.mlp.attach_lora_fc1(4, 8.0, 33);
+            block.mlp.attach_lora_fc2(4, 8.0, 34);
+        }
+        let mut opt = crate::optim::Adam::new(0.02);
+        let mut scaler = crate::optim::LossScaler::default();
+        let ids = sample_batch(&m, 2, 8, 23);
+        let targets = prompt_aware_targets(&ids, 2, 8, 0);
+        let first = m
+            .train_step_scaled(&ids, &targets, 2, 8, None, &mut opt, &mut scaler)
+            .expect("no overflow expected at 2^16 scale");
+        let mut last = first;
+        for _ in 0..30 {
+            if let Some(l) = m.train_step_scaled(&ids, &targets, 2, 8, None, &mut opt, &mut scaler)
+            {
+                last = l;
+            }
+        }
+        assert_eq!(scaler.overflows(), 0);
+        assert!(
+            last < first * 0.95,
+            "scaled LoRA training on f16 backbone must reduce loss: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before set_precision")]
+    fn weight_surgery_rejected_on_half_model() {
+        let mut m = tiny();
+        m.freeze_all();
+        m.set_precision(crate::Precision::F16Frozen);
+        m.sharpen_attention(2.0);
     }
 
     #[test]

@@ -286,6 +286,103 @@ impl<O: Optimizer> Optimizer for Scheduled<O> {
     }
 }
 
+/// Dynamic loss scaling for mixed-precision training (the standard AMP
+/// recipe the paper's FP16 runs rely on).
+///
+/// The loss gradient is multiplied by [`scale`](Self::scale) before the
+/// backward pass so small adapter gradients stay clear of underflow; before
+/// the optimizer runs, [`unscale`](Self::unscale) divides them back and
+/// checks for overflow. A non-finite gradient means the scale overshot:
+/// the step is skipped, the scale backs off, and after
+/// `growth_interval` clean steps it grows again.
+#[derive(Debug, Clone)]
+pub struct LossScaler {
+    scale: f32,
+    growth_factor: f32,
+    backoff_factor: f32,
+    growth_interval: u64,
+    clean_steps: u64,
+    overflows: u64,
+}
+
+impl Default for LossScaler {
+    /// The common AMP defaults: start at 2^16, double every 2000 clean
+    /// steps, halve on overflow.
+    fn default() -> Self {
+        LossScaler::new(65_536.0)
+    }
+}
+
+impl LossScaler {
+    pub fn new(initial_scale: f32) -> Self {
+        assert!(initial_scale > 0.0 && initial_scale.is_finite());
+        LossScaler {
+            scale: initial_scale,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 2000,
+            clean_steps: 0,
+            overflows: 0,
+        }
+    }
+
+    /// Current multiplier to apply to the loss gradient before backward.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Steps skipped so far because of overflowed gradients.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Divide every trainable gradient by the current scale, in place.
+    /// Returns `false` — leaving the gradients untouched — if any scaled
+    /// gradient is non-finite; the caller must then skip the optimizer step
+    /// and call [`update`](Self::update) with `found_overflow = true`.
+    #[allow(clippy::type_complexity)]
+    pub fn unscale(&self, params: &mut dyn FnMut(&mut dyn FnMut(&mut Param))) -> bool {
+        let mut finite = true;
+        params(&mut |p: &mut Param| {
+            if p.trainable {
+                if let Some(g) = &p.grad {
+                    if !g.as_slice().iter().all(|v| v.is_finite()) {
+                        finite = false;
+                    }
+                }
+            }
+        });
+        if !finite {
+            return false;
+        }
+        let inv = 1.0 / self.scale;
+        params(&mut |p: &mut Param| {
+            if p.trainable {
+                if let Some(g) = &mut p.grad {
+                    g.scale(inv);
+                }
+            }
+        });
+        true
+    }
+
+    /// Advance the schedule after a step: back off on overflow, grow after
+    /// a clean streak.
+    pub fn update(&mut self, found_overflow: bool) {
+        if found_overflow {
+            self.overflows += 1;
+            self.clean_steps = 0;
+            self.scale = (self.scale * self.backoff_factor).max(1.0);
+        } else {
+            self.clean_steps += 1;
+            if self.clean_steps >= self.growth_interval {
+                self.clean_steps = 0;
+                self.scale = (self.scale * self.growth_factor).min(1e9);
+            }
+        }
+    }
+}
+
 /// Global-norm gradient clipping over the trainable parameters.
 /// Returns the pre-clip norm. Call between `backward` and the optimizer.
 #[allow(clippy::type_complexity)]
@@ -446,6 +543,36 @@ mod tests {
         opt.begin_step();
         opt.update(&mut p);
         assert!((p.value.as_slice()[0] - 0.9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_scaler_unscales_then_backs_off_on_overflow() {
+        let mut p = Param::new("w", Tensor::zeros(&[2]), true);
+        p.grad = Some(Tensor::full(&[2], 10.0));
+        let mut scaler = LossScaler::new(10.0);
+        assert!(scaler.unscale(&mut |f| f(&mut p)));
+        assert_eq!(p.grad.as_ref().unwrap().as_slice(), &[1.0; 2]);
+        scaler.update(false);
+        assert_eq!(scaler.scale(), 10.0, "no growth before the interval");
+        // Overflow: grads untouched, step counted, scale halves.
+        p.grad = Some(Tensor::full(&[2], f32::INFINITY));
+        assert!(!scaler.unscale(&mut |f| f(&mut p)));
+        scaler.update(true);
+        assert_eq!(scaler.scale(), 5.0);
+        assert_eq!(scaler.overflows(), 1);
+        // Frozen params are ignored entirely.
+        let mut frozen = Param::frozen("f", Tensor::zeros(&[1]));
+        frozen.grad = Some(Tensor::full(&[1], f32::NAN));
+        assert!(scaler.unscale(&mut |f| f(&mut frozen)));
+    }
+
+    #[test]
+    fn loss_scaler_grows_after_clean_interval() {
+        let mut scaler = LossScaler::new(8.0);
+        for _ in 0..2000 {
+            scaler.update(false);
+        }
+        assert_eq!(scaler.scale(), 16.0);
     }
 
     #[test]

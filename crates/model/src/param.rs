@@ -1,14 +1,31 @@
 //! Trainable parameter: a tensor, its (lazily allocated) gradient, and a
 //! trainability flag. PEFT methods work by flipping these flags and adding
 //! small extra parameters — exactly the paper's Table I setting.
+//!
+//! Storage precision: a parameter normally holds its values in [`value`]
+//! (f32). Under [`Precision::F16Frozen`](crate::Precision) frozen backbone
+//! matrices are *demoted* to half storage ([`Param::to_half`]): the f16 bits
+//! live in [`half`], [`value`] becomes an empty placeholder, and the compute
+//! paths consume the bits through the fused f16-input GEMMs (or decode rows
+//! on load). Trainable parameters are never half-stored — gradients and
+//! optimizer state stay f32, as the paper's mixed-precision recipe requires.
+//!
+//! [`value`]: Param::value
+//! [`half`]: Param::half
 
-use lx_tensor::Tensor;
+use lx_tensor::f16::f16_bits_to_f32;
+use lx_tensor::gemm::{matmul, matmul_f16, matmul_nt, matmul_nt_f16};
+use lx_tensor::{Dtype, HalfTensor, Tensor};
 
 /// A named model parameter.
 #[derive(Debug)]
 pub struct Param {
     pub name: String,
+    /// f32 storage. Empty (`len() == 0`) while the parameter is half-stored.
     pub value: Tensor,
+    /// Half-precision storage; `Some` only for frozen parameters demoted by
+    /// [`Param::to_half`]. Holds the authoritative shape while present.
+    pub half: Option<HalfTensor>,
     /// Allocated on first accumulation; `None` for frozen params that never
     /// received a gradient (saving the optimizer-state memory PEFT avoids).
     pub grad: Option<Tensor>,
@@ -20,6 +37,7 @@ impl Param {
         Param {
             name: name.into(),
             value,
+            half: None,
             grad: None,
             trainable,
         }
@@ -31,7 +49,111 @@ impl Param {
     }
 
     pub fn numel(&self) -> usize {
-        self.value.len()
+        match &self.half {
+            Some(h) => h.len(),
+            None => self.value.len(),
+        }
+    }
+
+    /// Logical shape, whichever storage holds the values.
+    pub fn shape(&self) -> &[usize] {
+        match &self.half {
+            Some(h) => h.shape(),
+            None => self.value.shape(),
+        }
+    }
+
+    /// Storage precision of this parameter right now.
+    pub fn dtype(&self) -> Dtype {
+        if self.half.is_some() {
+            Dtype::F16
+        } else {
+            Dtype::F32
+        }
+    }
+
+    pub fn is_half(&self) -> bool {
+        self.half.is_some()
+    }
+
+    /// Bytes occupied by the value storage (excludes any gradient).
+    pub fn storage_bytes(&self) -> usize {
+        self.numel() * self.dtype().size_bytes()
+    }
+
+    /// Demote to half storage (round-to-nearest-even). No-op when already
+    /// half. Panics for trainable parameters: the optimizer updates `value`
+    /// in place, so trainable state must stay f32.
+    pub fn to_half(&mut self) {
+        if self.half.is_some() {
+            return;
+        }
+        assert!(
+            !self.trainable,
+            "{}: trainable parameters must stay f32 (demote only frozen backbone weights)",
+            self.name
+        );
+        let h = HalfTensor::from_tensor(&self.value);
+        self.value = Tensor::zeros(&[0]);
+        self.half = Some(h);
+    }
+
+    /// Promote back to f32 storage (exact decode). No-op when already f32.
+    pub fn to_f32(&mut self) {
+        if let Some(h) = self.half.take() {
+            self.value = h.to_tensor();
+        }
+    }
+
+    /// `x · W` on the trailing-2-D view of the value, fused-decoding when
+    /// half-stored. This is the forward hot path for frozen weights.
+    pub fn matmul(&self, x: &Tensor) -> Tensor {
+        match &self.half {
+            Some(h) => matmul_f16(x, h),
+            None => matmul(x, &self.value),
+        }
+    }
+
+    /// `x · Wᵀ`, fused-decoding when half-stored (the `dx` backward shape
+    /// and the `x·Aᵀ`-style forward shape).
+    pub fn matmul_nt(&self, x: &Tensor) -> Tensor {
+        match &self.half {
+            Some(h) => matmul_nt_f16(x, h),
+            None => matmul_nt(x, &self.value),
+        }
+    }
+
+    /// Copy row `r` of the 2-D view into `out`, decoding if half-stored
+    /// (embedding-table lookups).
+    pub fn copy_row_into(&self, r: usize, out: &mut [f32]) {
+        let c = *self.shape().last().unwrap_or(&0);
+        debug_assert_eq!(out.len(), c, "{}: row width", self.name);
+        match &self.half {
+            Some(h) => h.decode_rows(r, 1, out),
+            None => out.copy_from_slice(&self.value.as_slice()[r * c..(r + 1) * c]),
+        }
+    }
+
+    /// Add row `r` of the 2-D view into `out`, decoding if half-stored
+    /// (positional-embedding accumulation).
+    pub fn add_row_into(&self, r: usize, out: &mut [f32]) {
+        let c = *self.shape().last().unwrap_or(&0);
+        debug_assert_eq!(out.len(), c, "{}: row width", self.name);
+        match &self.half {
+            Some(h) => {
+                for (o, &b) in out.iter_mut().zip(h.row_bits(r)) {
+                    *o += f16_bits_to_f32(b);
+                }
+            }
+            None => {
+                for (o, v) in out
+                    .iter_mut()
+                    .zip(&self.value.as_slice()[r * c..(r + 1) * c])
+                {
+                    *o += v;
+                }
+            }
+        }
     }
 
     /// Accumulate a gradient tensor (allocates on first use).
@@ -45,7 +167,7 @@ impl Param {
     /// Mutable access to the gradient buffer, allocating zeros if absent.
     pub fn grad_mut(&mut self) -> &mut Tensor {
         if self.grad.is_none() {
-            self.grad = Some(Tensor::zeros(self.value.shape()));
+            self.grad = Some(Tensor::zeros(self.shape()));
         }
         self.grad.as_mut().unwrap()
     }
@@ -92,5 +214,78 @@ mod tests {
         let p = Param::frozen("emb", Tensor::zeros(&[4]));
         assert!(!p.trainable);
         assert_eq!(p.numel(), 4);
+        assert_eq!(p.dtype(), Dtype::F32);
+    }
+
+    #[test]
+    fn half_roundtrip_preserves_shape_and_counts() {
+        let mut p = Param::frozen("w", Tensor::randn(&[8, 6], 1.0, 3));
+        let before = p.value.clone();
+        assert_eq!(p.storage_bytes(), 8 * 6 * 4);
+        p.to_half();
+        assert!(p.is_half());
+        assert_eq!(p.numel(), 48);
+        assert_eq!(p.shape(), &[8, 6]);
+        assert_eq!(p.storage_bytes(), 8 * 6 * 2);
+        assert_eq!(p.value.len(), 0, "f32 buffer must be released");
+        p.to_f32();
+        assert!(!p.is_half());
+        // Values round-tripped through f16 rounding.
+        for (a, b) in p.value.as_slice().iter().zip(before.as_slice()) {
+            assert!((a - b).abs() <= b.abs() * 1e-3 + 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stay f32")]
+    fn trainable_params_cannot_be_demoted() {
+        let mut p = Param::new("w", Tensor::zeros(&[2, 2]), true);
+        p.to_half();
+    }
+
+    #[test]
+    fn matmul_helpers_agree_across_storage() {
+        let x = Tensor::randn(&[5, 8], 1.0, 11);
+        let mut p = Param::frozen("w", Tensor::randn(&[8, 7], 1.0, 12));
+        let y32 = p.matmul(&x);
+        p.to_half();
+        // Oracle: decode the half weights and run the f32 kernel.
+        let decoded = Param::frozen("w", p.half.as_ref().unwrap().to_tensor());
+        let oracle = decoded.matmul(&x);
+        let y16 = p.matmul(&x);
+        for (a, b) in y16.as_slice().iter().zip(oracle.as_slice()) {
+            assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        // And the rounded result stays near the full-precision one.
+        for (a, b) in y16.as_slice().iter().zip(y32.as_slice()) {
+            assert!((a - b).abs() <= 3e-2 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        // matmul_nt: y·Wᵀ shape check against the same oracle.
+        let g = Tensor::randn(&[5, 7], 1.0, 13);
+        let wt_oracle = decoded.matmul_nt(&g);
+        let wt = p.matmul_nt(&g);
+        for (a, b) in wt.as_slice().iter().zip(wt_oracle.as_slice()) {
+            assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn row_helpers_decode() {
+        let t = Tensor::randn(&[4, 6], 1.0, 9);
+        let mut p = Param::frozen("emb", t.clone());
+        let mut row32 = vec![0.0f32; 6];
+        p.copy_row_into(2, &mut row32);
+        assert_eq!(row32, t.row(2));
+        p.to_half();
+        let mut row16 = vec![0.0f32; 6];
+        p.copy_row_into(2, &mut row16);
+        for (a, b) in row16.iter().zip(t.row(2)) {
+            assert!((a - b).abs() <= b.abs() * 1e-3 + 1e-7);
+        }
+        let mut acc = row16.clone();
+        p.add_row_into(2, &mut acc);
+        for (a, b) in acc.iter().zip(&row16) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
     }
 }

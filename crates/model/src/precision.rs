@@ -1,0 +1,42 @@
+//! Parameter-storage precision plans.
+//!
+//! The paper fine-tunes with FP16 parameters and FP32 compute (§VII-A);
+//! [`Precision::F16Frozen`] reproduces the storage side of that recipe:
+//! frozen backbone *matrices* (attention projections, MLP weights, embedding
+//! tables) are demoted to half storage, while everything numerically
+//! sensitive — biases, LayerNorm affine parameters, trainable PEFT adapters,
+//! gradients and optimizer state — stays f32. Compute is f32 throughout;
+//! the f16 bits are decoded inside the GEMM pack routines (see
+//! `lx_kernels::KernelBackend::gemm_f16`), so storage is halved without a
+//! half-arithmetic path.
+//!
+//! Pair with [`LossScaler`](crate::optim::LossScaler) when training: the
+//! rounded backbone shifts activation magnitudes slightly, and scaling keeps
+//! small adapter gradients out of the f32 underflow range the same way the
+//! paper's FP16 runs do.
+
+/// Storage plan for a model's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Everything stored f32 (the seed behaviour).
+    #[default]
+    F32,
+    /// Frozen backbone matrices stored f16; trainable parameters, biases,
+    /// LayerNorm, gradients and optimizer state stay f32.
+    F16Frozen,
+}
+
+impl Precision {
+    pub const fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F16Frozen => "f16-frozen",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -98,6 +98,14 @@ impl PeftMethod {
     pub fn apply(&self, model: &mut TransformerModel, seed: u64) {
         match *self {
             PeftMethod::Full => {
+                // Trainable state must be f32: the optimizer updates value
+                // buffers in place and keeps f32 moments.
+                assert_eq!(
+                    model.precision(),
+                    lx_model::Precision::F32,
+                    "full fine-tuning requires f32 parameter storage; \
+                     call set_precision(Precision::F32) first"
+                );
                 model.for_each_param(&mut |p| p.trainable = true);
             }
             PeftMethod::Lora {

@@ -8,10 +8,16 @@ use lx_model::TransformerModel;
 
 /// Fold a Linear's LoRA pair into its weight; the adapter stays attached but
 /// contributes zero afterwards only if you also zero it — instead we detach.
+///
+/// A half-stored weight is promoted to f32 first: merging writes into the
+/// weight buffer, and folding a delta into rounded f16 storage would lose
+/// exactly the adaptation being merged. Re-apply a precision plan afterwards
+/// if the merged model should ship at f16.
 pub fn merge_linear(linear: &mut Linear) {
     let Some(lora) = linear.lora.take() else {
         return;
     };
+    linear.weight.to_f32();
     let (d_in, d_out) = (linear.d_in(), linear.d_out());
     let r = lora.rank();
     let a = lora.a.value.as_slice(); // [r, d_in]
@@ -42,9 +48,10 @@ pub fn merge_all(model: &mut TransformerModel) {
 
 fn merge_mlp(block: &mut lx_model::block::TransformerBlock) {
     let mlp = &mut block.mlp;
-    let d = mlp.w1.value.shape()[1];
+    let d = mlp.w1.shape()[1];
     let d_ff = mlp.d_ff();
     if let Some(l) = mlp.lora1.take() {
+        mlp.w1.to_f32();
         // w1 is [d_ff, d] neuron-major; ΔW1ᵀ_row(n) = scale · Σ_k B[n,k]·A[k,:].
         let r = l.b.value.shape()[1];
         let a = l.a.value.as_slice(); // [r, d]
@@ -61,6 +68,7 @@ fn merge_mlp(block: &mut lx_model::block::TransformerBlock) {
         }
     }
     if let Some(l) = mlp.lora2.take() {
+        mlp.w2.to_f32();
         // w2 is [d_ff, d] row-major; ΔW2_row(n) = scale · A2ᵀ_row(n) · Bᵀ.
         let r = l.b.value.shape()[1];
         let a = l.a.value.as_slice(); // [d_ff, r]

@@ -6,6 +6,7 @@
 //! insensitive to the absolute calibration.
 
 use lx_model::ModelConfig;
+use lx_tensor::Dtype;
 
 /// A GPU platform, using the specs printed in the paper (§VII-A).
 #[derive(Debug, Clone)]
@@ -130,13 +131,17 @@ fn forward_cost(cfg: &ModelConfig, w: &WorkloadParams) -> (f64, f64) {
     let mlp = 2.0 * 2.0 * tokens * d * ff * w.mlp_density;
     let head = 2.0 * tokens * d * v;
     let flops = l * (proj + attn + mlp) + head;
-    // Bytes: weights streamed once (f16), activations written/read (f32).
-    let weight_bytes = 2.0 * (l * (4.0 * d * d + 2.0 * d * ff * w.mlp_density) + v * d);
+    // Bytes: weights streamed once (f16 storage — the `F16Frozen` plan),
+    // activations written/read (f32). Element sizes come from the storage
+    // layer's dtype table so the model tracks real storage.
+    let f16 = Dtype::F16.size_bytes() as f64;
+    let f32b = Dtype::F32.size_bytes() as f64;
+    let weight_bytes = f16 * (l * (4.0 * d * d + 2.0 * d * ff * w.mlp_density) + v * d);
     // Attention score traffic: materialise scores, softmax (read+write),
     // read for P·V ≈ 4 passes over B·h·s² f32 per layer — the O(s²) memory
     // wall that block-sparse attention reduces to O(active blocks).
-    let attn_bytes = 4.0 * 4.0 * b * (cfg.n_heads as f64) * s * s * w.attn_density;
-    let act_bytes = 4.0 * (l * tokens * d * 6.0 + tokens * v) + l * attn_bytes;
+    let attn_bytes = 4.0 * f32b * b * (cfg.n_heads as f64) * s * s * w.attn_density;
+    let act_bytes = f32b * (l * tokens * d * 6.0 + tokens * v) + l * attn_bytes;
     (flops, weight_bytes + act_bytes)
 }
 
@@ -147,10 +152,11 @@ pub fn step_cost(dev: &DeviceSpec, cfg: &ModelConfig, w: &WorkloadParams) -> Ste
     // fraction (≈ forward weighted by that fraction).
     let b_flops = f_flops * (1.0 + w.trainable_fraction);
     let b_bytes = f_bytes * (1.0 + w.trainable_fraction);
-    // Optimizer: ~12 flops and 16 bytes per trainable parameter (Adam).
+    // Optimizer: ~12 flops and four f32 words of traffic per trainable
+    // parameter (Adam reads/writes m, v, the grad, and the value).
     let trainable = cfg.param_count() as f64 * w.trainable_fraction;
     let o_flops = 12.0 * trainable;
-    let o_bytes = 16.0 * trainable;
+    let o_bytes = 4.0 * Dtype::F32.size_bytes() as f64 * trainable;
     // Predictors (§V-C): O(s·d·r) per layer per component.
     let (p_flops, p_bytes) = if w.predictors {
         let (b_, s_) = (w.batch as f64, w.seq as f64);

@@ -9,6 +9,7 @@
 
 use crate::cost::DeviceSpec;
 use lx_model::ModelConfig;
+use lx_tensor::Dtype;
 
 /// Execution variant being accounted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,19 +66,25 @@ pub fn step_memory(
     let h = cfg.n_heads as f64;
     let v = cfg.vocab_size as f64;
     let n_params = cfg.param_count() as f64;
+    // Element sizes come from the storage layer's dtype table, not local
+    // constants, so this model cannot drift from what `HalfTensor`/`Tensor`
+    // actually occupy (and register with memtrack).
+    let f16 = Dtype::F16.size_bytes() as f64;
+    let f32b = Dtype::F32.size_bytes() as f64;
 
-    // Parameters at f16. In optimal mode, frozen MLP weights (the bulk)
-    // live on the host; only active blocks are resident.
+    // Parameters at f16 (the `Precision::F16Frozen` storage plan). In
+    // optimal mode, frozen MLP weights (the bulk) live on the host; only
+    // active blocks are resident.
     let mlp_weight_params = l * 2.0 * d * ff;
     let params = match mode {
         MemoryMode::LongExposureOptimal => {
-            2.0 * (n_params - mlp_weight_params) + 2.0 * mlp_weight_params * mlp_density
+            f16 * (n_params - mlp_weight_params) + f16 * mlp_weight_params * mlp_density
         }
-        _ => 2.0 * n_params,
+        _ => f16 * n_params,
     };
 
-    // Trainable fraction: f32 grads + Adam m,v (12 bytes/param).
-    let grads_and_optimizer = 12.0 * n_params * trainable_fraction;
+    // Trainable fraction: f32 grads + Adam m,v (three f32 words per param).
+    let grads_and_optimizer = 3.0 * f32b * n_params * trainable_fraction;
 
     // Activation checkpoints kept for backward: per layer ≈ 6 hidden-sized
     // tensors (f32) plus MLP activations; plus the logits buffer.
@@ -85,12 +92,12 @@ pub fn step_memory(
         MemoryMode::Dense => b * s * ff,
         _ => b * s * ff * mlp_density,
     };
-    let activations = 4.0 * (l * (6.0 * b * s * d + mlp_act) + b * s * v);
+    let activations = f32b * (l * (6.0 * b * s * d + mlp_act) + b * s * v);
 
-    // Attention probability buffers (the O(s²) vs O(s) term).
+    // Attention probability buffers (the O(s²) vs O(s) term), f32.
     let attention_buffers = match mode {
-        MemoryMode::Dense => 4.0 * l * b * h * s * s,
-        _ => 4.0 * l * b * h * s * s * attn_density,
+        MemoryMode::Dense => f32b * l * b * h * s * s,
+        _ => f32b * l * b * h * s * s * attn_density,
     };
 
     MemoryBreakdown {

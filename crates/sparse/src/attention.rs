@@ -12,7 +12,7 @@
 //! block-row are contiguous, so row-wise softmax touches a contiguous span.
 //!
 //! Every per-block product is issued through the `lx-kernels`
-//! [`KernelBackend`] as a strided GEMM, so block-sparse work and dense work
+//! [`KernelBackend`](lx_kernels::KernelBackend) as a strided GEMM, so block-sparse work and dense work
 //! hit the *same* microkernels and the dispatcher decides per block shape
 //! whether packing pays off. Task-level parallelism splits block-rows (or
 //! block-columns for the transposed kernels) with the safe

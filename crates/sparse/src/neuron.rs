@@ -14,7 +14,7 @@
 //! kernels never convert data formats at runtime — the property that makes
 //! them "dynamic-aware". Because each active slab is contiguous, every
 //! per-block product below is one strided GEMM on the `lx-kernels`
-//! [`KernelBackend`]: the compact activation matrix is addressed with
+//! [`KernelBackend`](lx_kernels::KernelBackend): the compact activation matrix is addressed with
 //! `lda = active_width` and the slab with its natural leading dimension, so
 //! sparse MLP work runs on the same packed microkernels as the dense path.
 
@@ -97,6 +97,19 @@ impl NeuronBlockSet {
 
     pub fn is_dense(&self) -> bool {
         self.active.len() == self.n_blocks_total
+    }
+
+    /// The same active blocks renumbered to `0..n_active` over a grid that
+    /// contains only them — the coordinate system of a weight buffer holding
+    /// just the active slabs (gathered in `active` order). Used by the
+    /// mixed-precision MLP path, which decodes only the active slabs of a
+    /// half-stored weight to f32.
+    pub fn compacted(&self) -> NeuronBlockSet {
+        NeuronBlockSet {
+            block_size: self.block_size,
+            n_blocks_total: self.n_active(),
+            active: (0..self.n_active() as u32).collect(),
+        }
     }
 
     /// Weight-buffer span of active block `ai` when each neuron owns `per`

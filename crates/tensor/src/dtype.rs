@@ -1,0 +1,53 @@
+//! Element dtypes and their storage sizes.
+//!
+//! The single source of truth for "how many bytes does one element occupy":
+//! the tensor types register these sizes with [`memtrack`](crate::memtrack),
+//! and `lx-runtime`'s memory/cost models read them from here instead of
+//! hard-coding byte counts — so the simulator cannot drift from what the
+//! runtime actually stores.
+
+/// Storage precision of a tensor buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// IEEE binary32 — all compute, activations, gradients, optimizer state.
+    F32,
+    /// IEEE binary16 — frozen-parameter storage ([`HalfTensor`]).
+    ///
+    /// [`HalfTensor`]: crate::f16::HalfTensor
+    F16,
+}
+
+impl Dtype {
+    /// Bytes per element.
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            Dtype::F32 => 4,
+            Dtype::F16 => 2,
+        }
+    }
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+            Dtype::F16 => "f16",
+        }
+    }
+}
+
+impl std::fmt::Display for Dtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_storage_types() {
+        assert_eq!(Dtype::F32.size_bytes(), std::mem::size_of::<f32>());
+        assert_eq!(Dtype::F16.size_bytes(), std::mem::size_of::<u16>());
+        assert_eq!(Dtype::F16.to_string(), "f16");
+    }
+}

@@ -9,6 +9,7 @@
 //! loops or the packed/tiled microkernels — is decided per call by the
 //! dispatcher (see `lx_kernels::dispatch`).
 
+use crate::f16::HalfTensor;
 use crate::Tensor;
 
 /// `C[m,n] = A[m,k] · B[k,n] + beta·C`.
@@ -67,6 +68,41 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     );
     let mut c = Tensor::zeros(&[m, n]);
     gemm_nt(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice(), 0.0);
+    c
+}
+
+/// Tensor-level wrapper: `A[m,k] · B[k,n]` with **B stored at half
+/// precision**. B's f16 bits are decoded to f32 inside the kernel (pack-time
+/// for the packed backend); all accumulation stays f32.
+pub fn matmul_f16(a: &Tensor, b: &HalfTensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_f16 inner dims: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    lx_kernels::gemm_f16(m, k, n, a.as_slice(), b.bits(), c.as_mut_slice(), 0.0);
+    c
+}
+
+/// Tensor-level wrapper: `A[m,k] · B[n,k]ᵀ` with **B stored at half
+/// precision**. Same mixed-precision contract as [`matmul_f16`].
+pub fn matmul_nt_f16(a: &Tensor, b: &HalfTensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_nt_f16 inner dims: {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    lx_kernels::gemm_nt_f16(m, k, n, a.as_slice(), b.bits(), c.as_mut_slice(), 0.0);
     c
 }
 

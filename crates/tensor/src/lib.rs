@@ -5,6 +5,7 @@
 //! [`lx_parallel`]'s global pool; allocations are tracked by [`memtrack`] so
 //! the memory-footprint experiments (paper Fig. 8) can report real peaks.
 
+mod dtype;
 pub mod f16;
 pub mod gemm;
 pub mod memtrack;
@@ -12,4 +13,6 @@ pub mod ops;
 pub mod rng;
 mod tensor;
 
+pub use dtype::Dtype;
+pub use f16::HalfTensor;
 pub use tensor::Tensor;

@@ -8,7 +8,7 @@
 //! ```
 
 use long_exposure::engine::{EngineConfig, StepMode};
-use lx_model::{ModelConfig, TransformerModel};
+use lx_model::{ModelConfig, Precision, TransformerModel};
 use lx_peft::PeftMethod;
 use lx_serve::{
     AdapterRegistry, DatasetSpec, FinetuneService, JobSpec, SchedPolicy, Scheduler, ServeConfig,
@@ -43,6 +43,9 @@ fn scheduler(registry: Arc<AdapterRegistry>) -> Scheduler {
             policy: SchedPolicy::RoundRobin,
             mode: StepMode::Sparse,
             prefetch: true,
+            // Half-stored shared backbone: the scaling axis for tenants per
+            // box. Each tenant's adapter and optimizer state stay f32.
+            precision: Precision::F16Frozen,
         },
         registry,
     )

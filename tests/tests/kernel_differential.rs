@@ -211,6 +211,137 @@ fn large_shape_stays_within_tolerance() {
     assert_close("large gemm", &c_packed, &c_ref);
 }
 
+/// Mixed-precision differential: the f16-B variants (fused pack-time decode
+/// in `Packed`, on-load decode in `Reference`) must match the oracle of
+/// "decode all of B to f32, then run the f32 kernel" within the usual
+/// backend tolerance — across the same shape grid as the f32 sweeps.
+#[test]
+fn f16_b_gemm_matches_decoded_oracle_on_shape_sweep() {
+    let sizes = interesting_sizes();
+    let mut seed = 100_000u64;
+    for &m in &sizes {
+        for &k in &sizes {
+            for &n in &sizes {
+                seed += 1;
+                let a = randn_vec(m * k, 1.0, seed);
+                let b32 = randn_vec(k * n, 1.0, seed + 1000);
+                let bits = lx_kernels::half::encode_slice(&b32);
+                // Oracle B: the exact f32 values the f16 storage holds.
+                let decoded: Vec<f32> = bits
+                    .iter()
+                    .map(|&x| lx_kernels::half::f16_bits_to_f32(x))
+                    .collect();
+                let mut want = randn_vec(m * n, 1.0, seed + 2000);
+                let mut got_ref = want.clone();
+                let mut got_packed = want.clone();
+                REFERENCE.gemm(
+                    m,
+                    k,
+                    n,
+                    &a,
+                    k.max(1),
+                    &decoded,
+                    n.max(1),
+                    &mut want,
+                    n.max(1),
+                    0.5,
+                );
+                REFERENCE.gemm_f16(
+                    m,
+                    k,
+                    n,
+                    &a,
+                    k.max(1),
+                    &bits,
+                    n.max(1),
+                    &mut got_ref,
+                    n.max(1),
+                    0.5,
+                );
+                PACKED.gemm_f16(
+                    m,
+                    k,
+                    n,
+                    &a,
+                    k.max(1),
+                    &bits,
+                    n.max(1),
+                    &mut got_packed,
+                    n.max(1),
+                    0.5,
+                );
+                assert_close(&format!("ref gemm_f16 {m}x{k}x{n}"), &got_ref, &want);
+                assert_close(&format!("packed gemm_f16 {m}x{k}x{n}"), &got_packed, &want);
+            }
+        }
+    }
+}
+
+#[test]
+fn f16_b_gemm_nt_matches_decoded_oracle_on_shape_sweep() {
+    let sizes = interesting_sizes();
+    let mut seed = 150_000u64;
+    for &m in &sizes {
+        for &k in &sizes {
+            for &n in &sizes {
+                seed += 1;
+                let a = randn_vec(m * k, 1.0, seed);
+                let b32 = randn_vec(n * k, 1.0, seed + 1000);
+                let bits = lx_kernels::half::encode_slice(&b32);
+                let decoded: Vec<f32> = bits
+                    .iter()
+                    .map(|&x| lx_kernels::half::f16_bits_to_f32(x))
+                    .collect();
+                let mut want = vec![0.0; m * n];
+                let mut got_ref = vec![0.0; m * n];
+                let mut got_packed = vec![0.0; m * n];
+                REFERENCE.gemm_nt(
+                    m,
+                    k,
+                    n,
+                    &a,
+                    k.max(1),
+                    &decoded,
+                    k.max(1),
+                    &mut want,
+                    n.max(1),
+                    0.0,
+                );
+                REFERENCE.gemm_nt_f16(
+                    m,
+                    k,
+                    n,
+                    &a,
+                    k.max(1),
+                    &bits,
+                    k.max(1),
+                    &mut got_ref,
+                    n.max(1),
+                    0.0,
+                );
+                PACKED.gemm_nt_f16(
+                    m,
+                    k,
+                    n,
+                    &a,
+                    k.max(1),
+                    &bits,
+                    k.max(1),
+                    &mut got_packed,
+                    n.max(1),
+                    0.0,
+                );
+                assert_close(&format!("ref gemm_nt_f16 {m}x{k}x{n}"), &got_ref, &want);
+                assert_close(
+                    &format!("packed gemm_nt_f16 {m}x{k}x{n}"),
+                    &got_packed,
+                    &want,
+                );
+            }
+        }
+    }
+}
+
 /// Force the packed backend under the block-sparse attention ops by running
 /// the per-block shapes they issue through both backends directly.
 #[test]
