@@ -15,6 +15,7 @@ use lx_tensor::Tensor;
 use std::time::Instant;
 
 fn main() {
+    let cli = lx_bench::BenchCli::parse("ablation_predictor");
     let (batch, seq) = (2, 256);
     let cfg = ModelConfig::opt_sim_small();
     let mut model = sim_model(cfg.clone(), 42);
@@ -70,15 +71,18 @@ fn main() {
     // ---- (b) training options quality ----
     println!("== Ablation (b): recall weighting + noise augmentation (§V-B) ==\n");
     let ids = batcher.next_batch(batch, seq);
-    let (_, caps) = model.forward_with_captures(
-        &ids,
-        batch,
-        seq,
-        CaptureConfig {
-            attn: true,
-            mlp: false,
-        },
-    );
+    let caps = model
+        .execute(lx_model::StepRequest::capture(
+            &ids,
+            batch,
+            seq,
+            CaptureConfig {
+                attn: true,
+                mlp: false,
+            },
+        ))
+        .captures
+        .expect("capture mode records captures");
     let exposer = Exposer::new(SIM_BLOCK, 8.0 / seq as f32, 0.3);
     // Build per-sample attention training sets from layer 0.
     let cap = &caps[0];
@@ -117,5 +121,5 @@ fn main() {
         ]);
     }
     println!("\nshape to check: recall weighting buys recall (the metric that protects accuracy) at some precision cost.");
-    lx_bench::maybe_emit_json("ablation_predictor");
+    cli.finish();
 }

@@ -22,16 +22,17 @@ const BINS: &[&str] = &[
 ];
 
 fn main() {
+    let cli = lx_bench::BenchCli::parse("all_experiments");
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
-    let forward: Vec<String> = std::env::args().skip(1).collect();
+    let forward = cli.forwarded();
     let mut failed = Vec::new();
     for bin in BINS {
         println!("\n######################################################");
         println!("### {bin}");
         println!("######################################################\n");
         let status = Command::new(dir.join(bin))
-            .args(&forward)
+            .args(forward)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         if !status.success() {

@@ -10,6 +10,7 @@ use lx_model::ModelConfig;
 use lx_peft::PeftMethod;
 
 fn main() {
+    let cli = lx_bench::BenchCli::parse("fig10_breakdown");
     let (batch, seq, steps) = (2, 256, 3);
     let cfg = ModelConfig::opt_sim_small();
     println!(
@@ -75,5 +76,5 @@ fn main() {
         ]);
     }
     println!("\nshape to check: +LongExposure cuts forward & backward; predict column stays ~1-3% of total.");
-    lx_bench::maybe_emit_json("fig10_breakdown");
+    cli.finish();
 }

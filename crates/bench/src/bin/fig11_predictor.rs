@@ -13,6 +13,7 @@ use lx_model::{prompt_aware_targets, CaptureConfig, ModelConfig};
 use lx_peft::PeftMethod;
 
 fn main() {
+    let cli = lx_bench::BenchCli::parse("fig11_predictor");
     let (batch, seq, steps) = (2, 128, 80);
     let cfg = ModelConfig::opt_sim_small();
     println!(
@@ -23,6 +24,7 @@ fn main() {
     let arms = [
         ("dense", StepMode::Dense),
         ("long-exposure", StepMode::Sparse),
+        ("oracle", StepMode::Oracle),
         ("random-attn", StepMode::RandomAttn),
         ("random-mlp", StepMode::RandomMlp),
     ];
@@ -48,6 +50,7 @@ fn main() {
         "step",
         "dense",
         "long-exposure",
+        "oracle",
         "random-attn",
         "random-mlp",
     ]);
@@ -66,13 +69,14 @@ fn main() {
             .unwrap()
     };
     println!(
-        "\nfinal losses: dense {:.3} | long-exposure {:.3} | random-attn {:.3} | random-mlp {:.3}",
+        "\nfinal losses: dense {:.3} | long-exposure {:.3} | oracle {:.3} | random-attn {:.3} | random-mlp {:.3}",
         final_of("dense"),
         final_of("long-exposure"),
+        final_of("oracle"),
         final_of("random-attn"),
         final_of("random-mlp"),
     );
-    println!("shape to check: long-exposure tracks dense; random arms converge worse.\n");
+    println!("shape to check: long-exposure tracks dense (and the oracle upper bound); random arms converge worse.\n");
 
     // ---- (b): predictor quality + visualisation ----
     println!("== Fig. 11b: predictor quality ==\n");
@@ -108,15 +112,19 @@ fn main() {
 
     // Visualise ground-truth vs predicted mask for layer 0, head 0.
     let ids = batcher.next_batch(batch, seq);
-    let (_, caps) = engine.model.forward_with_captures(
-        &ids,
-        batch,
-        seq,
-        CaptureConfig {
-            attn: true,
-            mlp: false,
-        },
-    );
+    let caps = engine
+        .model
+        .execute(lx_model::StepRequest::capture(
+            &ids,
+            batch,
+            seq,
+            CaptureConfig {
+                attn: true,
+                mlp: false,
+            },
+        ))
+        .captures
+        .expect("capture mode records captures");
     let exposer = Exposer::new(SIM_BLOCK, 8.0 / seq as f32, 0.3);
     let probs = caps[0].attn_probs.as_ref().unwrap();
     let target = &exposer.attention_head_masks(probs, batch, cfg.n_heads, seq)[0];
@@ -128,5 +136,5 @@ fn main() {
     for (lt, lp) in ta.lines().zip(pa.lines()) {
         println!("{lt}    {lp}");
     }
-    lx_bench::maybe_emit_json("fig11_predictor");
+    cli.finish();
 }

@@ -41,6 +41,7 @@ fn mask_with_density(n: usize, density: f64, seed: u64) -> BlockMask {
 }
 
 fn main() {
+    let cli = lx_bench::BenchCli::parse("fig12_operators");
     // Tuned kernel policy so sparse per-block GEMMs and the dense arm both
     // dispatch to the best backend for their shape.
     lx_runtime::kernel_policy::install_tuned();
@@ -126,5 +127,5 @@ fn main() {
         ]);
     }
     println!("\nshape to check: time ≈ linear in (1 − sparsity); 3–5x speedups at ≥0.8 sparsity.");
-    lx_bench::maybe_emit_json("fig12_operators");
+    cli.finish();
 }

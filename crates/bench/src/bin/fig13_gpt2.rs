@@ -11,6 +11,7 @@ use lx_peft::PeftMethod;
 use lx_runtime::cost::{step_cost, DeviceSpec, WorkloadParams};
 
 fn main() {
+    let cli = lx_bench::BenchCli::parse("fig13_gpt2");
     let steps = 3;
     println!("== Fig. 13 (measured): GPT-2-style sim model (GeLU: attention-only sparsity) ==\n");
     header(&[
@@ -108,5 +109,5 @@ fn main() {
     println!(
         "\nshape to check: smaller-than-OPT but consistent speedups; MLP stays dense for GeLU."
     );
-    lx_bench::maybe_emit_json("fig13_gpt2");
+    cli.finish();
 }

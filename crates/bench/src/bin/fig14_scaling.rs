@@ -15,6 +15,7 @@ use lx_runtime::cost::{scaled_step_cost, DeviceSpec, WorkloadParams};
 use lx_runtime::DataParallelTrainer;
 
 fn main() {
+    let cli = lx_bench::BenchCli::parse("fig14_scaling");
     println!("== Fig. 14 (measured): thread data-parallel trainer, fixed global batch ==\n");
     let cfg = ModelConfig::opt_sim_small();
     let (batch, seq, steps) = (4, 128, 3);
@@ -79,5 +80,5 @@ fn main() {
         ]);
     }
     println!("\nshape to check: near-linear scaling (paper: \"performance scales linearly\" — no extra communication).");
-    lx_bench::maybe_emit_json("fig14_scaling");
+    cli.finish();
 }

@@ -17,6 +17,7 @@ use lx_peft::PeftMethod;
 use lx_runtime::cost::{scaled_step_cost, step_cost, DeviceSpec, WorkloadParams};
 
 fn main() {
+    let cli = lx_bench::BenchCli::parse("fig7_speedup");
     let steps = 3;
     println!("== Fig. 7 (measured): sim models, dense vs Long Exposure ==\n");
     header(&[
@@ -141,5 +142,5 @@ fn main() {
         1,
     );
     println!("\nshape to check: speedup grows with seq (O(s²)→O(s) attention) and is platform-consistent.");
-    lx_bench::maybe_emit_json("fig7_speedup");
+    cli.finish();
 }

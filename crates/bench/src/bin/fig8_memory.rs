@@ -17,6 +17,7 @@ use lx_runtime::DeviceSpec;
 use lx_tensor::memtrack;
 
 fn main() {
+    let cli = lx_bench::BenchCli::parse("fig8_memory");
     println!("== Fig. 8 (modelled): paper dims, A100-80GB, batch 4, LoRA ==\n");
     header(&[
         "model",
@@ -139,5 +140,5 @@ fn main() {
         "\nacceptance: F16Frozen measured backbone ≤ 0.55x of the f32 run (matrices halve, \
          biases/LayerNorm stay f32)."
     );
-    lx_bench::maybe_emit_json("fig8_memory");
+    cli.finish();
 }

@@ -37,6 +37,7 @@ fn time_it(f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    let cli = lx_bench::BenchCli::parse("fig9_sparsity");
     lx_runtime::kernel_policy::install_tuned();
     let (batch, seq, block) = (2, 256, SIM_BLOCK);
     let cfg = ModelConfig::opt_sim_base();
@@ -91,15 +92,18 @@ fn main() {
 
     // ---- Right: per-layer kernel performance ----
     println!("\n== Fig. 9 (right): per-layer kernel time, dense vs shadowy vs Long Exposure ==\n");
-    let (_, caps) = model.forward_with_captures(
-        &ids,
-        batch,
-        seq,
-        CaptureConfig {
-            attn: true,
-            mlp: true,
-        },
-    );
+    let caps = model
+        .execute(lx_model::StepRequest::capture(
+            &ids,
+            batch,
+            seq,
+            CaptureConfig {
+                attn: true,
+                mlp: true,
+            },
+        ))
+        .captures
+        .expect("capture mode records captures");
     let exposer = Exposer::new(block, 8.0 / seq as f32, 0.3);
     let pool = PatternPool::default_pool(block, &[seq / block]);
     let dh = cfg.head_dim();
@@ -214,5 +218,5 @@ fn main() {
         ]);
     }
     println!("\npaper reference: attention LX 1.78x vs dense, 1.33x vs shadowy; MLP LX 4.22x vs dense, shadowy slower than dense.");
-    lx_bench::maybe_emit_json("fig9_sparsity");
+    cli.finish();
 }

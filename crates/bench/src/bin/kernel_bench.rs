@@ -20,7 +20,7 @@
 //!   (default 0.35: shared CI boxes are noisy; the gate is for "packed
 //!   stopped being faster", not ±5% jitter).
 
-use lx_bench::{header, load_bench_json, maybe_emit_json, row};
+use lx_bench::{header, load_bench_json, row, BenchCli};
 use lx_kernels::{KernelBackend, AUTO, PACKED, REFERENCE};
 use lx_tensor::rng::randn_vec;
 use std::time::Instant;
@@ -127,8 +127,8 @@ fn max_rel_diff(x: &[f32], y: &[f32]) -> f32 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let cli = BenchCli::parse("kernel_bench");
+    let smoke = cli.smoke;
     let policy = lx_runtime::kernel_policy::install_tuned();
     println!(
         "== kernel_bench: Reference vs Packed (policy: MC={} KC={} NC={}, packed ≥ {} flops, \
@@ -206,10 +206,11 @@ fn main() {
     println!(
         "\nbest packed speedup: {best_speedup:.2}x (acceptance bar: ≥2x on at least one shape)"
     );
-    maybe_emit_json("kernel_bench");
+    cli.finish();
     let mut gate_failed = false;
-    if let Some(path) = flag_value(&args, "--compare") {
-        let tolerance = flag_value(&args, "--tolerance")
+    if let Some(path) = cli.value("--compare") {
+        let tolerance = cli
+            .value("--tolerance")
             .map(|t| {
                 t.parse::<f64>()
                     .expect("--tolerance takes a fraction, e.g. 0.35")
@@ -255,11 +256,4 @@ fn main() {
     if gate_failed {
         std::process::exit(1);
     }
-}
-
-/// Value of `--flag value` in `args`, if present.
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
 }

@@ -7,9 +7,11 @@
 //! cargo run --release -p lx-bench --bin serve_throughput
 //! ```
 //!
-//! `--smoke` shrinks the workload (2 tenants × 4 steps, seq 32) and turns
-//! the run into a CI gate: every tenant must complete with finite losses on
-//! both arms and non-zero utilisation, else the exit code is non-zero.
+//! `--smoke` shrinks the workload (2 tenants × 4 steps of 2 accumulated
+//! micro-batches each, seq 32) and turns the run into a CI gate: every
+//! tenant must complete with finite losses on both arms, non-zero
+//! utilisation, and a per-step progress event stream that mirrors the final
+//! report, else the exit code is non-zero.
 //!
 //! `--precision f32|f16` picks the shared-backbone storage plan for both
 //! arms (default f16, the production configuration). Pass `f32` to keep the
@@ -17,10 +19,12 @@
 //! the storage plan's own serving cost.
 
 use long_exposure::engine::{EngineConfig, StepMode};
-use lx_bench::{fmt_ms, header, row, sim_model, SIM_BLOCK};
+use lx_bench::{fmt_ms, header, row, sim_model, BenchCli, SIM_BLOCK};
 use lx_model::{ModelConfig, Precision};
-use lx_serve::{AdapterRegistry, DatasetSpec, JobSpec, SchedPolicy, Scheduler, ServeConfig};
-use std::sync::Arc;
+use lx_serve::{
+    AdapterRegistry, DatasetSpec, JobSpec, SchedPolicy, Scheduler, ServeConfig, StepEvent,
+};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 struct Workload {
@@ -28,6 +32,8 @@ struct Workload {
     steps_per_tenant: u64,
     batch: usize,
     seq: usize,
+    /// Micro-batches accumulated per optimizer step.
+    micro_batches: usize,
 }
 
 const FULL: Workload = Workload {
@@ -35,13 +41,15 @@ const FULL: Workload = Workload {
     steps_per_tenant: 8,
     batch: 1,
     seq: 64,
+    micro_batches: 1,
 };
 
 const SMOKE: Workload = Workload {
     n_tenants: 2,
     steps_per_tenant: 4,
     batch: 1,
-    seq: 32, // still a multiple of SIM_BLOCK
+    seq: 32,          // still a multiple of SIM_BLOCK
+    micro_batches: 2, // exercise gradient accumulation in the CI gate
 };
 
 fn backbone(seed: u64) -> lx_model::TransformerModel {
@@ -68,6 +76,7 @@ fn tenant_specs(w: &Workload) -> Vec<JobSpec> {
                 salt: 1000 + i as u64,
             };
             spec.stream_len = 50_000;
+            spec.micro_batches = w.micro_batches;
             spec
         })
         .collect()
@@ -114,8 +123,17 @@ fn run(
             w.n_tenants,
         );
     }
+    // Every tenant streams per-step progress events; the smoke gate checks
+    // the stream mirrors the terminal report.
+    let events: Arc<Mutex<Vec<StepEvent>>> = Arc::new(Mutex::new(Vec::new()));
     for spec in tenant_specs(w) {
-        scheduler.submit(spec).expect("submit");
+        let sink_events = events.clone();
+        scheduler
+            .submit_with_progress(
+                spec,
+                Some(Box::new(move |e| sink_events.lock().unwrap().push(e))),
+            )
+            .expect("submit");
     }
     println!(
         "\n== {label}: {} tenants × {} steps (batch {}, seq {}) on one shared {precision} backbone ==",
@@ -188,28 +206,46 @@ fn run(
     if snap.utilisation() <= 0.0 {
         violations.push(format!("{label}: zero utilisation"));
     }
+    // Serve-progress checks: one event per step per tenant, mirroring the
+    // report's losses, with the configured accumulation factor.
+    let events = events.lock().unwrap();
+    for r in &reports {
+        let tenant_events: Vec<&StepEvent> =
+            events.iter().filter(|e| e.tenant == r.tenant).collect();
+        if tenant_events.len() != r.losses.len() {
+            violations.push(format!(
+                "{label}/{}: {} progress events for {} steps",
+                r.tenant,
+                tenant_events.len(),
+                r.losses.len()
+            ));
+            continue;
+        }
+        for (i, e) in tenant_events.iter().enumerate() {
+            if e.loss != r.losses[i] || !e.loss.is_finite() {
+                violations.push(format!(
+                    "{label}/{}: event {} loss {} != report {}",
+                    r.tenant, i, e.loss, r.losses[i]
+                ));
+            }
+            if e.micro_batches != w.micro_batches {
+                violations.push(format!(
+                    "{label}/{}: event {} accumulated {} micro-batches, expected {}",
+                    r.tenant, i, e.micro_batches, w.micro_batches
+                ));
+            }
+        }
+    }
     violations
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let cli = BenchCli::parse("serve_throughput");
+    let smoke = cli.smoke;
     let w = if smoke { &SMOKE } else { &FULL };
     // Default to the production storage plan (half-stored shared backbone);
     // `--precision f32` keeps the trajectory comparable with older runs.
-    let precision = match args
-        .iter()
-        .position(|a| a == "--precision")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-    {
-        None | Some("f16") => Precision::F16Frozen,
-        Some("f32") => Precision::F32,
-        Some(other) => {
-            eprintln!("serve_throughput: unknown --precision '{other}' (expected f32|f16)");
-            std::process::exit(2);
-        }
-    };
+    let precision = cli.precision();
     println!("== serve_throughput: multi-tenant PEFT serving benchmark ({precision} backbone) ==");
     let registry = Arc::new(AdapterRegistry::in_memory());
     let mut violations = run(
@@ -232,7 +268,7 @@ fn main() {
         registry.len(),
         registry.predictors().is_some(),
     );
-    lx_bench::maybe_emit_json("serve_throughput");
+    cli.finish();
     if smoke && !violations.is_empty() {
         for v in &violations {
             eprintln!("serve_throughput smoke gate: {v}");

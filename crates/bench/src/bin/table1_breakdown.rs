@@ -11,6 +11,7 @@ use lx_model::ModelConfig;
 use lx_peft::PeftMethod;
 
 fn main() {
+    let cli = lx_bench::BenchCli::parse("table1_breakdown");
     let (batch, seq, steps) = (2, 256, 3);
     let cfg = ModelConfig::opt_sim_small();
     println!(
@@ -61,5 +62,5 @@ fn main() {
     println!("\npaper reference (OPT-1.3B/A100, ms/batch):");
     println!("  Full 407.2 (27.7/54.9/17.3%) | LoRA 334.6 (40.4/58.7/0.6%) | Adapter 292.9 | Bitfit 290.3 | P-Tuning 342.6");
     println!("shape to check: PEFT optimizer-step % collapses to ~0 while fwd+bwd stay dominant.");
-    lx_bench::maybe_emit_json("table1_breakdown");
+    cli.finish();
 }

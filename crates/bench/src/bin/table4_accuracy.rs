@@ -11,7 +11,7 @@ use long_exposure::engine::StepMode;
 use lx_bench::{calibrated_engine, default_opt, header, row};
 use lx_data::tasks::{accuracy_stderr, evaluate_accuracy, Task, TaskKind};
 use lx_data::{instruct::InstructGenerator, Batcher, SyntheticWorld};
-use lx_model::{prompt_aware_targets, ModelConfig};
+use lx_model::{prompt_aware_targets, score_continuation, ModelConfig};
 use lx_peft::{LoraTargets, PeftMethod};
 
 fn finetuned(
@@ -42,6 +42,7 @@ fn finetuned(
 }
 
 fn main() {
+    let cli = lx_bench::BenchCli::parse("table4_accuracy");
     let steps = 60;
     let n_examples = 50;
     println!("== Table III: downstream task inventory ==\n");
@@ -70,8 +71,11 @@ fn main() {
         for kind in TaskKind::all() {
             let task = Task::new(kind, world.clone());
             let examples = task.examples(n_examples);
-            let acc_d = evaluate_accuracy(&examples, |p, c| dense.model.score_continuation(p, c));
-            let acc_s = evaluate_accuracy(&examples, |p, c| sparse.model.score_continuation(p, c));
+            let acc_d =
+                evaluate_accuracy(&examples, |p, c| score_continuation(&mut dense.model, p, c));
+            let acc_s = evaluate_accuracy(&examples, |p, c| {
+                score_continuation(&mut sparse.model, p, c)
+            });
             row(&[
                 kind.name().to_string(),
                 format!("{:.1}%", 100.0 * acc_d),
@@ -85,5 +89,5 @@ fn main() {
     }
     println!("paper reference (OPT-1.3B): PIQA 72.25→72.09, Winogrande 58.88→58.80, RTE 54.15→54.51, COPA 81→81, HellaSwag 42.08→42.11.");
     println!("shape to check: per-task deltas within ~±1 stderr — sparsity does not change what is learned.");
-    lx_bench::maybe_emit_json("table4_accuracy");
+    cli.finish();
 }

@@ -2,16 +2,18 @@
 //! and the Criterion benches. See DESIGN.md §3 for the experiment index and
 //! EXPERIMENTS.md for paper-vs-measured results.
 
+pub mod cli;
 pub mod report;
 
-pub use report::{
-    compare_to_baseline, emit_json, header, load_bench_json, maybe_emit_json, row, BenchReport,
-};
+pub use cli::BenchCli;
+pub use report::{compare_to_baseline, emit_json, header, load_bench_json, row, BenchReport};
 
-use long_exposure::engine::{EngineConfig, FinetuneEngine, StepMode, StepStats};
+use long_exposure::engine::{EngineConfig, FinetuneEngine, StepMode};
 use lx_data::e2e::E2eGenerator;
 use lx_data::{Batcher, SyntheticWorld};
-use lx_model::{prompt_aware_targets, AdamW, ModelConfig, Optimizer, TransformerModel};
+use lx_model::{
+    prompt_aware_targets, AdamW, ModelConfig, Optimizer, StepOutcome, TransformerModel,
+};
 use lx_peft::PeftMethod;
 use std::time::Duration;
 
@@ -56,7 +58,7 @@ pub fn calibrated_engine(
     (engine, batcher)
 }
 
-/// Run `n` timed steps (after one untimed warm-up) and average the stats.
+/// Run `n` timed steps (after one untimed warm-up) and average the outcomes.
 pub fn mean_step(
     engine: &mut FinetuneEngine,
     batcher: &mut Batcher,
@@ -65,7 +67,7 @@ pub fn mean_step(
     mode: StepMode,
     n: usize,
     opt: &mut dyn Optimizer,
-) -> StepStats {
+) -> StepOutcome {
     let prompt = engine.model.embedding.prompt_len();
     let run = |engine: &mut FinetuneEngine, batcher: &mut Batcher, opt: &mut dyn Optimizer| {
         let ids = batcher.next_batch(batch, seq);
@@ -73,8 +75,8 @@ pub fn mean_step(
         engine.train_step_mode(&ids, &targets, batch, seq, opt, mode)
     };
     let _ = run(engine, batcher, opt); // warm-up
-    let mut acc: Option<StepStats> = None;
-    for _ in 0..n {
+    let mut acc: Option<StepOutcome> = None;
+    for i in 0..n {
         let s = run(engine, batcher, opt);
         acc = Some(match acc {
             None => s,
@@ -84,8 +86,8 @@ pub fn mean_step(
                 a.forward += s.forward;
                 a.backward += s.backward;
                 a.optim += s.optim;
-                a.attn_density = merge_density(a.attn_density, s.attn_density);
-                a.mlp_density = merge_density(a.mlp_density, s.mlp_density);
+                a.attn_density = merge_density(a.attn_density, s.attn_density, i);
+                a.mlp_density = merge_density(a.mlp_density, s.mlp_density, i);
                 a
             }
         });
@@ -100,10 +102,11 @@ pub fn mean_step(
     a
 }
 
-fn merge_density(a: Option<f32>, b: Option<f32>) -> Option<f32> {
-    match (a, b) {
-        (Some(x), Some(y)) => Some((x + y) / 2.0),
-        (x, y) => x.or(y),
+/// Running mean: `acc` already averages `n_seen` samples; fold in one more.
+fn merge_density(acc: Option<f32>, next: Option<f32>, n_seen: usize) -> Option<f32> {
+    match (acc, next) {
+        (Some(a), Some(b)) => Some((a * n_seen as f32 + b) / (n_seen as f32 + 1.0)),
+        (a, b) => a.or(b),
     }
 }
 

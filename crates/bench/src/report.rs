@@ -2,10 +2,10 @@
 //!
 //! Every bin prints Markdown-ish tables through [`header`]/[`row`]; this
 //! module transparently collects what was printed and, when the bin was
-//! invoked with `--json`, serialises it to `BENCH_<name>.json` in the current
-//! directory via [`maybe_emit_json`]. That file is the unit of the perf
-//! trajectory: CI and developers commit/compare them across PRs instead of
-//! scraping stdout.
+//! invoked with `--json` (parsed by [`crate::BenchCli`], emitted by
+//! `BenchCli::finish`), serialises it to `BENCH_<name>.json` in the current
+//! directory. That file is the unit of the perf trajectory: CI and
+//! developers commit/compare them across PRs instead of scraping stdout.
 //!
 //! The JSON is written by hand (the workspace is offline — no serde):
 //!
@@ -114,17 +114,6 @@ pub fn emit_json(name: &str) -> std::io::Result<PathBuf> {
     let mut f = std::fs::File::create(&path)?;
     f.write_all(body.as_bytes())?;
     Ok(path)
-}
-
-/// `--json` flag handling for the experiment bins: call once at the end of
-/// `main`. Writes `BENCH_<name>.json` when the flag is present.
-pub fn maybe_emit_json(name: &str) {
-    if std::env::args().any(|a| a == "--json") {
-        match emit_json(name) {
-            Ok(path) => println!("\nwrote {}", path.display()),
-            Err(e) => eprintln!("failed to write BENCH_{name}.json: {e}"),
-        }
-    }
 }
 
 /// A parsed `BENCH_<name>.json` report (see the module docs for the format).

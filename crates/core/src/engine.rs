@@ -2,21 +2,26 @@
 //!
 //! Wires the three components together around any PEFT-configured model:
 //! offline **calibration** (dense capture passes → exposer targets →
-//! predictor training), then **sparse training steps** where an inline
-//! planner predicts each layer's pattern from the block input immediately
-//! before the layer runs, the pattern pool combines pooled layouts by offset
-//! arithmetic, and the dynamic-aware operators execute the block-sparse
-//! forward/backward. Every phase is timed so the paper's breakdown
-//! experiments (Table I, Fig. 10) fall out of [`StepStats`].
+//! predictor training), then **sparse training steps** composed as
+//! [`StepRequest`]s: the engine asks a [`SparsityPolicy`] for the step's
+//! plan source (inline prediction for Long Exposure, ground-truth capture
+//! for the oracle, pre-built plans for the random ablations) and hands the
+//! request to [`TransformerModel::execute`]. Every phase is timed so the
+//! paper's breakdown experiments (Table I, Fig. 10) fall out of the
+//! returned [`StepOutcome`]s. Multi-micro-batch requests accumulate
+//! gradients across shards and run the optimizer once — the
+//! large-effective-batch scenario that also amortises predictor calls.
 
 use crate::exposer::Exposer;
-use crate::predictor::{pool_blocks, AttnPredictor, AttnSample, MlpPredictor, MlpSample};
-use lx_model::loss::cross_entropy;
-use lx_model::plan::{LayerPlan, SparsePlan};
-use lx_model::{Activation, CaptureConfig, LayerPlanner, Optimizer, TransformerModel};
+use crate::policy::{
+    DensePolicy, OraclePolicy, PredictedPolicy, RandomPolicy, RandomTarget, SparsityPolicy,
+};
+use crate::predictor::{pool_blocks, AttnSample, MlpSample};
+use lx_model::{
+    Activation, CaptureConfig, MicroBatch, Optimizer, StepOutcome, StepRequest, TransformerModel,
+};
 use lx_sparse::{NeuronBlockSet, PatternPool, PatternSpec};
 use lx_tensor::Tensor;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine hyperparameters. Defaults follow the paper's setup scaled to the
@@ -65,24 +70,6 @@ impl Default for EngineConfig {
     }
 }
 
-/// Per-phase timing and sparsity stats for one training step.
-#[derive(Debug, Clone)]
-pub struct StepStats {
-    pub loss: f32,
-    pub predict: Duration,
-    pub forward: Duration,
-    pub backward: Duration,
-    pub optim: Duration,
-    pub attn_density: Option<f32>,
-    pub mlp_density: Option<f32>,
-}
-
-impl StepStats {
-    pub fn total(&self) -> Duration {
-        self.predict + self.forward + self.backward + self.optim
-    }
-}
-
 /// Predictor quality after calibration, per layer.
 #[derive(Debug, Clone, Default)]
 pub struct CalibrationReport {
@@ -110,13 +97,18 @@ fn mean(v: &[f32]) -> f32 {
     }
 }
 
-/// Execution mode for a training step (the Fig. 11a arms).
+/// Execution mode for a training step (the Fig. 11a arms). Each mode names
+/// one of the engine's built-in [`SparsityPolicy`] objects; external
+/// policies go through [`FinetuneEngine::train_step_policy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepMode {
     /// Dense baseline (HuggingFace-PEFT stand-in).
     Dense,
     /// Predicted sparsity (Long Exposure).
     Sparse,
+    /// Exposer ground truth: a dense capture pass plans each step exactly
+    /// (the predictor-quality upper bound; costs an extra dense forward).
+    Oracle,
     /// Random attention patterns, dense MLP (ablation arm).
     RandomAttn,
     /// Random MLP neuron blocks, dense attention (ablation arm).
@@ -143,54 +135,122 @@ pub struct LayerSparsityReport {
 pub struct FinetuneEngine {
     pub model: TransformerModel,
     pub config: EngineConfig,
-    pool: PatternPool,
-    attn_predictors: Vec<AttnPredictor>,
-    mlp_predictors: Vec<MlpPredictor>,
+    dense: DensePolicy,
+    predicted: PredictedPolicy,
+    oracle: OraclePolicy,
+    random_attn: RandomPolicy,
+    random_mlp: RandomPolicy,
     pub calibrated: bool,
-    step_counter: u64,
+}
+
+/// Resolve a [`StepMode`] to the engine's built-in policy object without
+/// borrowing the whole engine (the model is borrowed separately).
+macro_rules! policy_for_mode {
+    ($self:ident, $mode:expr, $policy:ident => $body:expr) => {{
+        match $mode {
+            StepMode::Dense => {
+                let $policy: &mut dyn SparsityPolicy = &mut $self.dense;
+                $body
+            }
+            StepMode::Sparse => {
+                assert!($self.calibrated, "calibrate() before sparse training");
+                let $policy: &mut dyn SparsityPolicy = &mut $self.predicted;
+                $body
+            }
+            StepMode::Oracle => {
+                let $policy: &mut dyn SparsityPolicy = &mut $self.oracle;
+                $body
+            }
+            StepMode::RandomAttn => {
+                let $policy: &mut dyn SparsityPolicy = &mut $self.random_attn;
+                $body
+            }
+            StepMode::RandomMlp => {
+                let $policy: &mut dyn SparsityPolicy = &mut $self.random_mlp;
+                $body
+            }
+        }
+    }};
+}
+
+/// One step through a policy: ask it for the plan source, compose the
+/// request (all `batches` as accumulated micro-batches), execute. `opt:
+/// None` runs an evaluation pass instead of a training step.
+///
+/// Plan granularity under accumulation: an inline planner
+/// (`PredictedPolicy`) re-plans per shard from each shard's block inputs; a
+/// stateless pre-built plan (`RandomPolicy`) is reused across shards — same
+/// compute budget either way. A policy that derives a *batch-specific*
+/// ground-truth plan from the batch contents (`OraclePolicy::metered`)
+/// cannot do either honestly, so accumulation with it is rejected.
+fn step_with(
+    model: &mut TransformerModel,
+    policy: &mut dyn SparsityPolicy,
+    batches: &[MicroBatch<'_>],
+    batch: usize,
+    seq: usize,
+    opt: Option<&mut dyn Optimizer>,
+) -> StepOutcome {
+    assert!(!batches.is_empty(), "at least one micro-batch");
+    let metered = policy.metered();
+    assert!(
+        batches.len() == 1 || !metered,
+        "{}: the plan is ground truth for one specific batch; micro-batch \
+         accumulation needs an inline or batch-agnostic plan source \
+         (Dense/Sparse/Random)",
+        policy.name()
+    );
+    let t0 = Instant::now();
+    let source = policy.source(model, batches[0].ids, batch, seq);
+    let setup = if metered {
+        t0.elapsed()
+    } else {
+        Duration::ZERO
+    };
+    let mut req = match opt {
+        Some(o) => StepRequest::train(batches[0].ids, batches[0].targets, batch, seq, o),
+        None => StepRequest::eval(batches[0].ids, batches[0].targets, batch, seq),
+    }
+    .plan_source(source);
+    for mb in &batches[1..] {
+        req = req.micro_batch(mb.ids, mb.targets);
+    }
+    let mut out = model.execute(req);
+    out.predict += setup;
+    out
 }
 
 impl FinetuneEngine {
     pub fn new(model: TransformerModel, config: EngineConfig) -> Self {
-        let cfg = &model.config;
-        let attn_predictors = (0..cfg.n_layers)
-            .map(|l| {
-                let mut p = AttnPredictor::new(
-                    cfg.d_model,
-                    cfg.n_heads,
-                    config.predictor_rank,
-                    config.seed + 11 * l as u64,
-                );
-                if cfg.alibi {
-                    // The model's static positional score component is known;
-                    // the predictor only learns the content residual (§V).
-                    p.set_distance_slopes(
-                        lx_model::mha::alibi_slopes(cfg.n_heads),
-                        config.block_size,
-                    );
-                }
-                p
-            })
-            .collect();
-        let mlp_predictors = (0..cfg.n_layers)
-            .map(|l| {
-                MlpPredictor::new(
-                    cfg.d_model,
-                    cfg.d_ff,
-                    config.block_size,
-                    config.seed + 13 * l as u64,
-                )
-            })
-            .collect();
-        let pool = PatternPool::default_pool(config.block_size, &[]);
+        let predicted = PredictedPolicy::new(
+            &model.config,
+            config.block_size,
+            config.predictor_rank,
+            config.attn_min_recall,
+            config.enable_attn,
+            config.enable_mlp,
+            config.seed,
+        );
+        let oracle = OraclePolicy::new(
+            config.block_size,
+            config.attn_prob_threshold,
+            config.mlp_threshold,
+            config.attn_min_recall,
+            config.enable_attn,
+            config.enable_mlp && model.config.activation == Activation::Relu,
+        );
+        let random_attn =
+            RandomPolicy::new(RandomTarget::Attention, config.block_size, config.seed);
+        let random_mlp = RandomPolicy::new(RandomTarget::Mlp, config.block_size, config.seed);
         FinetuneEngine {
             model,
             config,
-            pool,
-            attn_predictors,
-            mlp_predictors,
+            dense: DensePolicy,
+            predicted,
+            oracle,
+            random_attn,
+            random_mlp,
             calibrated: false,
-            step_counter: 0,
         }
     }
 
@@ -217,15 +277,19 @@ impl FinetuneEngine {
             let (batch, seq) = (*batch, *seq);
             let eff = self.model.effective_seq(seq);
             assert_eq!(eff % blk, 0, "effective seq {eff} must be block-aligned");
-            let (_, caps) = self.model.forward_with_captures(
-                ids,
-                batch,
-                seq,
-                CaptureConfig {
-                    attn: self.config.enable_attn,
-                    mlp: mlp_on,
-                },
-            );
+            let caps = self
+                .model
+                .execute(StepRequest::capture(
+                    ids,
+                    batch,
+                    seq,
+                    CaptureConfig {
+                        attn: self.config.enable_attn,
+                        mlp: mlp_on,
+                    },
+                ))
+                .captures
+                .expect("capture mode records captures");
             for (l, cap) in caps.iter().enumerate() {
                 let block_input = cap.block_input.as_ref().expect("capture input");
                 let pooled = pool_blocks(block_input, batch, eff, blk);
@@ -266,7 +330,7 @@ impl FinetuneEngine {
         for l in 0..n_layers {
             for e in 0..self.config.calib_epochs {
                 if !attn_samples[l].is_empty() {
-                    self.attn_predictors[l].train_epoch(
+                    self.predicted.attn[l].train_epoch(
                         &attn_samples[l],
                         self.config.predictor_lr,
                         self.config.noise_std,
@@ -275,7 +339,7 @@ impl FinetuneEngine {
                     );
                 }
                 if !mlp_samples[l].is_empty() {
-                    self.mlp_predictors[l].train_epoch(
+                    self.predicted.mlp[l].train_epoch(
                         &mlp_samples[l],
                         self.config.predictor_lr,
                         self.config.noise_std,
@@ -289,12 +353,12 @@ impl FinetuneEngine {
         let mut report = CalibrationReport::default();
         for l in 0..n_layers {
             if !attn_samples[l].is_empty() {
-                let (r, p) = self.attn_predictors[l].evaluate(&attn_samples[l]);
+                let (r, p) = self.predicted.attn[l].evaluate(&attn_samples[l]);
                 report.attn_recall.push(r);
                 report.attn_precision.push(p);
             }
             if !mlp_samples[l].is_empty() {
-                let (r, p) = self.mlp_predictors[l].evaluate(&mlp_samples[l]);
+                let (r, p) = self.predicted.mlp[l].evaluate(&mlp_samples[l]);
                 report.mlp_recall.push(r);
                 report.mlp_precision.push(p);
             }
@@ -312,69 +376,64 @@ impl FinetuneEngine {
         seq: usize,
         opt: &mut dyn Optimizer,
         mode: StepMode,
-    ) -> StepStats {
-        let eff = self.model.effective_seq(seq);
-        self.step_counter += 1;
-        self.model.zero_grads();
-        let (logits, predict_time, plan_stats) = match mode {
-            StepMode::Dense => {
-                let t = Instant::now();
-                let logits = self.model.forward(ids, batch, seq, None);
-                (logits, Duration::ZERO, (None, None, t))
-            }
-            StepMode::Sparse => {
-                assert!(self.calibrated, "calibrate() before sparse training");
-                assert_eq!(eff % self.config.block_size, 0, "seq must be block-aligned");
-                self.pool.add_grid(eff / self.config.block_size);
-                let t = Instant::now();
-                let mut planner = EnginePlanner {
-                    pool: &self.pool,
-                    attn: &self.attn_predictors,
-                    mlp: &self.mlp_predictors,
-                    config: &self.config,
-                    mlp_on: self.mlp_sparsity_applicable(),
-                    predict_time: Duration::ZERO,
-                };
-                let (logits, used) = self.model.forward_planned(ids, batch, seq, &mut planner);
-                let pt = planner.predict_time;
-                (
-                    logits,
-                    pt,
-                    (used.mean_attn_density(), used.mean_mlp_density(), t),
-                )
-            }
-            StepMode::RandomAttn | StepMode::RandomMlp => {
-                assert_eq!(eff % self.config.block_size, 0);
-                self.pool.add_grid(eff / self.config.block_size);
-                let plan = self.random_plan(eff, mode);
-                let t = Instant::now();
-                let logits = self.model.forward(ids, batch, seq, Some(&plan));
-                (
-                    logits,
-                    Duration::ZERO,
-                    (plan.mean_attn_density(), plan.mean_mlp_density(), t),
-                )
-            }
-        };
-        let (attn_density, mlp_density, t_fwd) = plan_stats;
-        let forward = t_fwd.elapsed().saturating_sub(predict_time);
-        let (loss, dlogits) = cross_entropy(&logits, targets);
-        let t_bwd = Instant::now();
-        self.model.backward(&dlogits);
-        let backward = t_bwd.elapsed();
-        let t_opt = Instant::now();
-        opt.begin_step();
-        self.model.for_each_param(&mut |p| opt.update(p));
-        let optim = t_opt.elapsed();
-        StepStats {
-            loss,
-            predict: predict_time,
-            forward,
-            backward,
-            optim,
-            attn_density,
-            mlp_density,
-        }
+    ) -> StepOutcome {
+        self.train_step_accum(&[MicroBatch { ids, targets }], batch, seq, opt, mode)
+    }
+
+    /// One timed training step accumulating gradients over `batches`
+    /// micro-batches (each `(batch, seq)`-shaped): every shard runs
+    /// forward/backward under the mode's plan source, the optimizer steps
+    /// once. With an inline planner (`Sparse`) this re-plans per shard — the
+    /// predictor cost is amortised over the larger effective batch; the
+    /// random ablations reuse one plan across shards. `Oracle` is rejected
+    /// for multi-shard steps (its plan is ground truth for one batch).
+    pub fn train_step_accum(
+        &mut self,
+        batches: &[MicroBatch<'_>],
+        batch: usize,
+        seq: usize,
+        opt: &mut dyn Optimizer,
+        mode: StepMode,
+    ) -> StepOutcome {
+        policy_for_mode!(self, mode, policy => {
+            step_with(&mut self.model, policy, batches, batch, seq, Some(opt))
+        })
+    }
+
+    /// One step through an *external* [`SparsityPolicy`] — the hook the
+    /// predictor ablations use to compare plan sources under identical
+    /// engine plumbing.
+    pub fn train_step_policy(
+        &mut self,
+        batches: &[MicroBatch<'_>],
+        batch: usize,
+        seq: usize,
+        opt: &mut dyn Optimizer,
+        policy: &mut dyn SparsityPolicy,
+    ) -> StepOutcome {
+        step_with(&mut self.model, policy, batches, batch, seq, Some(opt))
+    }
+
+    /// Evaluation-only pass in the given mode: forward and loss under the
+    /// mode's plan source, no gradients, no optimizer.
+    pub fn eval_step(
+        &mut self,
+        ids: &[u32],
+        targets: &[i32],
+        batch: usize,
+        seq: usize,
+        mode: StepMode,
+    ) -> StepOutcome {
+        policy_for_mode!(self, mode, policy => {
+            step_with(
+                &mut self.model,
+                policy,
+                &[MicroBatch { ids, targets }],
+                batch,
+                seq,
+                None,
+            )
+        })
     }
 
     /// Long Exposure step (predicted sparsity).
@@ -385,7 +444,7 @@ impl FinetuneEngine {
         batch: usize,
         seq: usize,
         opt: &mut dyn Optimizer,
-    ) -> StepStats {
+    ) -> StepOutcome {
         self.train_step_mode(ids, targets, batch, seq, opt, StepMode::Sparse)
     }
 
@@ -397,60 +456,8 @@ impl FinetuneEngine {
         batch: usize,
         seq: usize,
         opt: &mut dyn Optimizer,
-    ) -> StepStats {
+    ) -> StepOutcome {
         self.train_step_mode(ids, targets, batch, seq, opt, StepMode::Dense)
-    }
-
-    /// Random-pattern ablation plan (Fig. 11a baselines).
-    fn random_plan(&self, eff: usize, mode: StepMode) -> SparsePlan {
-        use rand::Rng;
-        let mut rng = lx_tensor::rng::seeded(self.config.seed ^ self.step_counter);
-        let n = eff / self.config.block_size;
-        let heads = self.model.config.n_heads;
-        let n_blk = self.model.config.d_ff / self.config.block_size;
-        let mut plan = SparsePlan::dense(self.model.config.n_layers);
-        for layer in plan.layers.iter_mut() {
-            match mode {
-                StepMode::RandomAttn => {
-                    // Truly random block placement with roughly the density
-                    // the predictors would pick — same compute budget, wrong
-                    // blocks (the paper's "random sparse pattern" arm).
-                    let layouts: Vec<Arc<lx_sparse::BlockCsr>> = (0..heads)
-                        .map(|_| {
-                            let mut mask = lx_sparse::BlockMask::square(n);
-                            for i in 0..n {
-                                mask.set(i, i, true);
-                                for j in 0..i {
-                                    if rng.gen::<f32>() < 0.25 {
-                                        mask.set(i, j, true);
-                                    }
-                                }
-                            }
-                            Arc::new(lx_sparse::BlockCsr::from_mask(
-                                &mask,
-                                self.config.block_size,
-                            ))
-                        })
-                        .collect();
-                    layer.attn = Some(Arc::new(lx_sparse::MultiHeadLayout::combine(layouts)));
-                }
-                StepMode::RandomMlp => {
-                    let keep = (n_blk / 2).max(1);
-                    let mut idx: Vec<u32> = (0..n_blk as u32).collect();
-                    for i in (1..idx.len()).rev() {
-                        idx.swap(i, rng.gen_range(0..=i));
-                    }
-                    idx.truncate(keep);
-                    layer.mlp = Some(Arc::new(NeuronBlockSet::from_indices(
-                        idx,
-                        n_blk,
-                        self.config.block_size,
-                    )));
-                }
-                _ => {}
-            }
-        }
-        plan
     }
 
     /// Serialise the calibrated predictors (see [`crate::checkpoint`]).
@@ -464,7 +471,7 @@ impl FinetuneEngine {
             mlp_blocks: cfg.d_ff / self.config.block_size,
             block_size: self.config.block_size,
         };
-        crate::checkpoint::save_predictors(&meta, &self.attn_predictors, &self.mlp_predictors)
+        crate::checkpoint::save_predictors(&meta, &self.predicted.attn, &self.predicted.mlp)
     }
 
     /// Restore predictors from a checkpoint; marks the engine calibrated.
@@ -479,8 +486,8 @@ impl FinetuneEngine {
         {
             return Err(format!("checkpoint shape mismatch: {meta:?}"));
         }
-        self.attn_predictors = attn;
-        self.mlp_predictors = mlp;
+        self.predicted.attn = attn;
+        self.predicted.mlp = mlp;
         self.calibrated = true;
         Ok(())
     }
@@ -494,12 +501,12 @@ impl FinetuneEngine {
         batch: usize,
         seq: usize,
     ) -> Vec<lx_sparse::BlockMask> {
-        self.attn_predictors[layer].predict_masks(x, batch, seq, self.config.block_size)
+        self.predicted.attn[layer].predict_masks(x, batch, seq, self.config.block_size)
     }
 
     /// Predicted MLP neuron-block set for a layer given its block input.
     pub fn predict_mlp_set(&self, layer: usize, x: &Tensor) -> NeuronBlockSet {
-        self.mlp_predictors[layer].predict(x)
+        self.predicted.mlp[layer].predict(x)
     }
 
     /// Fig. 9 per-layer sparsity analysis on one capture batch.
@@ -514,18 +521,22 @@ impl FinetuneEngine {
         let eff = self.model.effective_seq(seq);
         assert_eq!(eff % blk, 0);
         let n = eff / blk;
-        self.pool.add_grid(n);
+        let pool = PatternPool::default_pool(blk, &[n]);
         let heads = self.model.config.n_heads;
         let mlp_on = self.model.config.activation == Activation::Relu;
-        let (_, caps) = self.model.forward_with_captures(
-            ids,
-            batch,
-            seq,
-            CaptureConfig {
-                attn: true,
-                mlp: mlp_on,
-            },
-        );
+        let caps = self
+            .model
+            .execute(StepRequest::capture(
+                ids,
+                batch,
+                seq,
+                CaptureConfig {
+                    attn: true,
+                    mlp: mlp_on,
+                },
+            ))
+            .captures
+            .expect("capture mode records captures");
         let exposer = Exposer::new(
             blk,
             self.config.attn_prob_threshold,
@@ -553,7 +564,7 @@ impl FinetuneEngine {
                 let lx_attn = {
                     let mut total_cost = 0.0;
                     for m in &head_masks {
-                        let (spec, _) = self.pool.best_match(m, self.config.attn_min_recall);
+                        let (spec, _) = pool.best_match(m, self.config.attn_min_recall);
                         total_cost += spec.cost(n) as f32;
                     }
                     1.0 - total_cost / (causal_cost * heads as f32)
@@ -582,37 +593,6 @@ impl FinetuneEngine {
                 }
             })
             .collect()
-    }
-}
-
-struct EnginePlanner<'a> {
-    pool: &'a PatternPool,
-    attn: &'a [AttnPredictor],
-    mlp: &'a [MlpPredictor],
-    config: &'a EngineConfig,
-    mlp_on: bool,
-    predict_time: Duration,
-}
-
-impl LayerPlanner for EnginePlanner<'_> {
-    fn plan_layer(&mut self, layer: usize, x: &Tensor, batch: usize, seq: usize) -> LayerPlan {
-        let t0 = Instant::now();
-        let mut plan = LayerPlan::default();
-        if self.config.enable_attn {
-            let masks = self.attn[layer].predict_masks(x, batch, seq, self.config.block_size);
-            let specs: Vec<PatternSpec> = masks
-                .iter()
-                .map(|m| self.pool.best_match(m, self.config.attn_min_recall).0)
-                .collect();
-            plan.attn = Some(Arc::new(
-                self.pool.combine(seq / self.config.block_size, &specs),
-            ));
-        }
-        if self.mlp_on {
-            plan.mlp = Some(Arc::new(self.mlp[layer].predict(x)));
-        }
-        self.predict_time += t0.elapsed();
-        plan
     }
 }
 
@@ -785,6 +765,93 @@ mod tests {
             )
         };
         assert!(other.import_predictors(blob).is_err());
+    }
+
+    #[test]
+    fn oracle_mode_plans_without_calibration() {
+        // Ground truth needs no predictors; its capture pass is metered as
+        // prediction overhead.
+        let mut e = small_engine();
+        let (ids, b, s) = batch(12);
+        let targets = prompt_aware_targets(&ids, b, s, 0);
+        let mut opt = Sgd::new(0.01);
+        let stats = e.train_step_mode(&ids, &targets, b, s, &mut opt, StepMode::Oracle);
+        assert!(stats.attn_density.unwrap() <= 1.0);
+        assert!(stats.mlp_density.unwrap() <= 1.0);
+        assert!(stats.predict > Duration::ZERO, "oracle capture is metered");
+        assert!(stats.loss.is_finite());
+    }
+
+    #[test]
+    fn accumulated_step_steps_the_optimizer_once() {
+        let mut e = small_engine();
+        e.calibrate(&[batch(1)]);
+        let (ids_a, b, s) = batch(13);
+        let (ids_b, _, _) = batch(14);
+        let t_a = prompt_aware_targets(&ids_a, b, s, 0);
+        let t_b = prompt_aware_targets(&ids_b, b, s, 0);
+        let mut opt = lx_model::Adam::new(0.01);
+        let micros = [
+            lx_model::MicroBatch {
+                ids: &ids_a,
+                targets: &t_a,
+            },
+            lx_model::MicroBatch {
+                ids: &ids_b,
+                targets: &t_b,
+            },
+        ];
+        let stats = e.train_step_accum(&micros, b, s, &mut opt, StepMode::Sparse);
+        assert_eq!(stats.micro_batches, 2);
+        assert!(stats.loss.is_finite());
+        // Adam's step counter advances once per optimizer step, not per
+        // micro-batch: a second accumulated step lands at t == 2.
+        e.train_step_accum(&micros, b, s, &mut opt, StepMode::Sparse);
+        assert_eq!(opt.step_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground truth for one specific batch")]
+    fn oracle_rejects_micro_batch_accumulation() {
+        let mut e = small_engine();
+        let (ids, b, s) = batch(16);
+        let targets = prompt_aware_targets(&ids, b, s, 0);
+        let micros = [
+            lx_model::MicroBatch {
+                ids: &ids,
+                targets: &targets,
+            },
+            lx_model::MicroBatch {
+                ids: &ids,
+                targets: &targets,
+            },
+        ];
+        let mut opt = Sgd::new(0.01);
+        e.train_step_accum(&micros, b, s, &mut opt, StepMode::Oracle);
+    }
+
+    #[test]
+    fn eval_step_leaves_parameters_unchanged() {
+        let mut e = small_engine();
+        e.calibrate(&[batch(1)]);
+        let (ids, b, s) = batch(15);
+        let targets = prompt_aware_targets(&ids, b, s, 0);
+        let mut before = Vec::new();
+        e.model.for_each_param(&mut |p| {
+            if p.trainable {
+                before.push(p.value.as_slice().to_vec());
+            }
+        });
+        let stats = e.eval_step(&ids, &targets, b, s, StepMode::Sparse);
+        assert!(stats.loss.is_finite());
+        assert!(stats.mlp_density.is_some(), "sparse eval uses the plan");
+        let mut after = Vec::new();
+        e.model.for_each_param(&mut |p| {
+            if p.trainable {
+                after.push(p.value.as_slice().to_vec());
+            }
+        });
+        assert_eq!(before, after, "eval must not update parameters");
     }
 
     #[test]

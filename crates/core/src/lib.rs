@@ -15,8 +15,12 @@
 //!   *before* the block computes, trained offline on calibration captures
 //!   with noise augmentation and a recall-weighted loss.
 //! * [`engine`] — the fine-tuning engine that wires predictors and the
-//!   dynamic-aware operators (in `lx-sparse`, §VI) into every PEFT method,
-//!   with per-phase timing for the paper's breakdown experiments.
+//!   dynamic-aware operators (in `lx-sparse`, §VI) into every PEFT method:
+//!   every step is composed as an `lx_model::StepRequest` whose plan source
+//!   comes from a pluggable [`policy::SparsityPolicy`] (dense baseline,
+//!   exposer oracle, predicted, random ablations), with per-phase timing
+//!   for the paper's breakdown experiments in the returned
+//!   `lx_model::StepOutcome`.
 //!
 //! ```no_run
 //! use long_exposure::engine::{EngineConfig, FinetuneEngine};
@@ -31,16 +35,20 @@
 //! engine.calibrate(&[(ids.clone(), 2, 64)]);
 //! let targets = prompt_aware_targets(&ids, 2, 64, 0);
 //! let mut opt = AdamW::new(1e-3, 0.01);
-//! let stats = engine.train_step(&ids, &targets, 2, 64, &mut opt);
-//! println!("loss {:.3} predict {:?}", stats.loss, stats.predict);
+//! let outcome = engine.train_step(&ids, &targets, 2, 64, &mut opt);
+//! println!("loss {:.3} predict {:?}", outcome.loss, outcome.predict);
 //! ```
 
 pub mod checkpoint;
 pub mod engine;
 pub mod exposer;
+pub mod policy;
 pub mod predictor;
 
 pub use checkpoint::{load_predictors, save_predictors, CheckpointMeta};
-pub use engine::{CalibrationReport, EngineConfig, FinetuneEngine, StepStats};
+pub use engine::{CalibrationReport, EngineConfig, FinetuneEngine, StepMode};
 pub use exposer::Exposer;
+pub use policy::{
+    DensePolicy, OraclePolicy, PredictedPolicy, RandomPolicy, RandomTarget, SparsityPolicy,
+};
 pub use predictor::{AttnPredictor, MlpPredictor};

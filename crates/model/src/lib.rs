@@ -6,15 +6,18 @@
 //! so the sparse execution paths (block-sparse attention, neuron-sparse MLP)
 //! can skip precisely the computations the paper proves skippable.
 //!
-//! Execution modes: each forward takes an optional [`SparsePlan`]. `None`
-//! runs the dense baseline (the HuggingFace-PEFT stand-in); `Some(plan)` runs
-//! the Long Exposure path using the per-layer attention layouts and MLP
-//! neuron-block sets the predictors produced for this batch. Modules cache
-//! the layout they ran with, so `backward` needs no plan.
+//! Execution goes through one typed API (see [`exec`]): a [`StepRequest`]
+//! names the mode (train / grad-accumulate / eval / capture / score), the
+//! plan source ([`PlanSource`]: dense baseline, a pre-built [`SparsePlan`],
+//! or an inline [`LayerPlanner`] — the Long Exposure path), and optional
+//! micro-batches; [`TransformerModel::execute`] runs it and returns a
+//! [`StepOutcome`] with loss, timings and densities. Modules cache the
+//! layout they ran with, so the backward phase needs no plan.
 
 pub mod block;
 pub mod config;
 pub mod embedding;
+pub mod exec;
 pub mod layernorm;
 pub mod linear;
 pub mod loss;
@@ -27,6 +30,9 @@ pub mod plan;
 pub mod precision;
 
 pub use config::{Activation, ModelConfig};
+pub use exec::{
+    score_continuation, score_parts, MicroBatch, Mode, PlanSource, StepOutcome, StepRequest,
+};
 pub use model::{
     prompt_aware_targets, CaptureConfig, Captures, LayerCapture, LayerPlanner, TransformerModel,
 };

@@ -41,6 +41,32 @@ pub fn cross_entropy(logits: &Tensor, targets: &[i32]) -> (f32, Tensor) {
     ((loss / counted as f64) as f32, dlogits)
 }
 
+/// Mean cross-entropy over non-ignored positions *without* materialising the
+/// gradient — the evaluation-path variant of [`cross_entropy`] (no
+/// `[rows, vocab]` dlogits allocation for passes that never backprop).
+pub fn cross_entropy_loss(logits: &Tensor, targets: &[i32]) -> f32 {
+    let rows = logits.rows();
+    let vocab = logits.cols();
+    assert_eq!(targets.len(), rows, "one target per logit row");
+    let counted = targets.iter().filter(|&&t| t != IGNORE_INDEX).count();
+    if counted == 0 {
+        return 0.0;
+    }
+    let mut loss = 0.0f64;
+    #[allow(clippy::needless_range_loop)]
+    for r in 0..rows {
+        let t = targets[r];
+        if t == IGNORE_INDEX {
+            continue;
+        }
+        assert!((t as usize) < vocab, "target {t} out of vocab {vocab}");
+        let mut probs = logits.row(r).to_vec();
+        softmax_row(&mut probs);
+        loss -= (probs[t as usize].max(1e-12) as f64).ln();
+    }
+    (loss / counted as f64) as f32
+}
+
 /// Sum of log-probabilities of `targets` under `logits` at non-ignored rows
 /// (the lm-eval-style candidate-scoring primitive used by Table IV).
 pub fn sequence_logprob(logits: &Tensor, targets: &[i32]) -> f32 {
@@ -122,6 +148,16 @@ mod tests {
             let sum: f32 = grad.row(r).iter().sum();
             assert!(sum.abs() < 1e-5, "row {r} sums to {sum}");
         }
+    }
+
+    #[test]
+    fn gradient_free_loss_matches_cross_entropy_bitwise() {
+        let logits = Tensor::randn(&[5, 7], 1.0, 9);
+        let targets = vec![0, IGNORE_INDEX, 3, 6, 2];
+        let (with_grad, _) = cross_entropy(&logits, &targets);
+        let without = cross_entropy_loss(&logits, &targets);
+        assert_eq!(with_grad.to_bits(), without.to_bits());
+        assert_eq!(cross_entropy_loss(&logits, &[IGNORE_INDEX; 5]), 0.0);
     }
 
     #[test]

@@ -1,17 +1,22 @@
 //! The full decoder-only transformer: embeddings → blocks → final LN → tied
 //! LM head, with capture hooks for Long Exposure's calibration phase.
+//!
+//! All execution goes through the unified request API in [`crate::exec`]:
+//! build a [`crate::StepRequest`] and call [`TransformerModel::execute`]. The
+//! raw forward/backward loops here are crate-private building blocks.
 
 use crate::block::TransformerBlock;
 use crate::config::ModelConfig;
 use crate::embedding::Embedding;
+use crate::exec::PlanSource;
 use crate::layernorm::LayerNorm;
-use crate::loss::{self, IGNORE_INDEX};
-use crate::optim::{LossScaler, Optimizer};
+use crate::loss::IGNORE_INDEX;
 use crate::param::Param;
 use crate::plan::SparsePlan;
 use crate::precision::Precision;
 use lx_tensor::gemm::matmul_tn;
 use lx_tensor::Tensor;
+use std::time::{Duration, Instant};
 
 /// What to record during a calibration forward pass.
 #[derive(Debug, Clone, Copy, Default)]
@@ -57,7 +62,6 @@ pub struct TransformerModel {
     pub ln_f: LayerNorm,
     precision: Precision,
     cache_h: Option<Tensor>,
-    capture_cfg: Option<CaptureConfig>,
 }
 
 impl TransformerModel {
@@ -74,7 +78,6 @@ impl TransformerModel {
             ln_f,
             precision: Precision::F32,
             cache_h: None,
-            capture_cfg: None,
         }
     }
 
@@ -120,31 +123,50 @@ impl TransformerModel {
         self.embedding.effective_seq(seq)
     }
 
-    /// Forward to logits `[batch·eff_seq, vocab]` (tied LM head).
-    pub fn forward(
+    /// One pass from token ids to logits `[batch·eff_seq, vocab]` (tied LM
+    /// head), resolving the plan per layer from `plan`: `Provided` indexes
+    /// the pre-built plan, `Planner` is invoked with each block's input right
+    /// before that block runs (its time is metered into the returned
+    /// `Duration`), and the produced plan is collected for density stats.
+    pub(crate) fn forward_pass(
         &mut self,
         ids: &[u32],
         batch: usize,
         seq: usize,
-        plan: Option<&SparsePlan>,
-    ) -> Tensor {
+        plan: &mut PlanSource<'_>,
+        capture: Option<CaptureConfig>,
+    ) -> (Tensor, Option<SparsePlan>, Duration) {
         let eff = self.effective_seq(seq);
         let mut x = self.embedding.forward(ids, batch, seq);
-        let capture = self.capture_cfg;
+        let mut predict = Duration::ZERO;
+        let mut used = match plan {
+            PlanSource::Planner(_) => Some(SparsePlan::default()),
+            _ => None,
+        };
         for (i, block) in self.blocks.iter_mut().enumerate() {
             if let Some(cfg) = capture {
                 block.set_capture(cfg);
             }
-            x = block.forward(&x, batch, eff, plan.and_then(|p| p.layer(i)));
+            match plan {
+                PlanSource::Dense => x = block.forward(&x, batch, eff, None),
+                PlanSource::Provided(p) => x = block.forward(&x, batch, eff, p.layer(i)),
+                PlanSource::Planner(planner) => {
+                    let t0 = Instant::now();
+                    let lp = planner.plan_layer(i, &x, batch, eff);
+                    predict += t0.elapsed();
+                    x = block.forward(&x, batch, eff, Some(&lp));
+                    used.as_mut().expect("planner plan").layers.push(lp);
+                }
+            }
         }
         let h = self.ln_f.forward(&x);
         let logits = self.embedding.tokens.matmul_nt(&h);
         self.cache_h = Some(h);
-        logits
+        (logits, used, predict)
     }
 
     /// Backward from `dlogits`; accumulates grads into trainable params.
-    pub fn backward(&mut self, dlogits: &Tensor) {
+    pub(crate) fn backward(&mut self, dlogits: &Tensor) {
         let h = self.cache_h.take().expect("model backward without forward");
         // Tied head: dH = dLogits · E ; dE += dLogitsᵀ · H.
         let dh = self.embedding.tokens.matmul(dlogits);
@@ -159,114 +181,14 @@ impl TransformerModel {
         self.embedding.backward(&dx);
     }
 
-    /// Forward with inline per-layer planning: `planner.plan_layer` is
-    /// invoked with each block's input immediately before that block runs.
-    /// Returns the logits and the plan that was used (for stats).
-    pub fn forward_planned(
-        &mut self,
-        ids: &[u32],
-        batch: usize,
-        seq: usize,
-        planner: &mut dyn LayerPlanner,
-    ) -> (Tensor, SparsePlan) {
-        let eff = self.effective_seq(seq);
-        let mut x = self.embedding.forward(ids, batch, seq);
-        let mut used = SparsePlan::default();
-        for (i, block) in self.blocks.iter_mut().enumerate() {
-            let lp = planner.plan_layer(i, &x, batch, eff);
-            x = block.forward(&x, batch, eff, Some(&lp));
-            used.layers.push(lp);
-        }
-        let h = self.ln_f.forward(&x);
-        let logits = self.embedding.tokens.matmul_nt(&h);
-        self.cache_h = Some(h);
-        (logits, used)
+    /// Drop the forward cache after a pass that will never backprop.
+    pub(crate) fn clear_step_cache(&mut self) {
+        self.cache_h = None;
     }
 
-    /// Dense forward that records calibration captures per layer.
-    pub fn forward_with_captures(
-        &mut self,
-        ids: &[u32],
-        batch: usize,
-        seq: usize,
-        cfg: CaptureConfig,
-    ) -> (Tensor, Captures) {
-        self.capture_cfg = Some(cfg);
-        let logits = self.forward(ids, batch, seq, None);
-        self.capture_cfg = None;
-        let caps = self.blocks.iter_mut().map(|b| b.take_capture()).collect();
-        (logits, caps)
-    }
-
-    /// One training step: forward, loss, backward, optimizer. Returns loss.
-    /// `targets` length must be `batch·eff_seq` (use [`prompt_aware_targets`]
-    /// when a prompt prefix is attached).
-    pub fn train_step(
-        &mut self,
-        ids: &[u32],
-        targets: &[i32],
-        batch: usize,
-        seq: usize,
-        plan: Option<&SparsePlan>,
-        opt: &mut dyn Optimizer,
-    ) -> f32 {
-        self.zero_grads();
-        let logits = self.forward(ids, batch, seq, plan);
-        let (loss, dlogits) = loss::cross_entropy(&logits, targets);
-        self.backward(&dlogits);
-        opt.begin_step();
-        self.for_each_param(&mut |p| opt.update(p));
-        loss
-    }
-
-    /// [`Self::train_step`] with dynamic loss scaling — the mixed-precision
-    /// training loop. The loss gradient is multiplied by the scaler's factor
-    /// before backward; gradients are unscaled and overflow-checked before
-    /// the optimizer runs. Returns `None` when the step was skipped because
-    /// a gradient overflowed (the scaler has already backed off).
-    #[allow(clippy::too_many_arguments)]
-    pub fn train_step_scaled(
-        &mut self,
-        ids: &[u32],
-        targets: &[i32],
-        batch: usize,
-        seq: usize,
-        plan: Option<&SparsePlan>,
-        opt: &mut dyn Optimizer,
-        scaler: &mut LossScaler,
-    ) -> Option<f32> {
-        self.zero_grads();
-        let logits = self.forward(ids, batch, seq, plan);
-        let (loss, mut dlogits) = loss::cross_entropy(&logits, targets);
-        dlogits.scale(scaler.scale());
-        self.backward(&dlogits);
-        let finite = scaler.unscale(&mut |f| self.for_each_param(f));
-        if !finite {
-            scaler.update(true);
-            return None;
-        }
-        opt.begin_step();
-        self.for_each_param(&mut |p| opt.update(p));
-        scaler.update(false);
-        Some(loss)
-    }
-
-    /// Log-probability of `continuation` given `prompt` (Table IV scoring).
-    pub fn score_continuation(&mut self, prompt: &[u32], continuation: &[u32]) -> f32 {
-        assert!(!continuation.is_empty());
-        let ids: Vec<u32> = prompt.iter().chain(continuation).copied().collect();
-        let seq = ids.len();
-        let logits = self.forward(&ids, 1, seq, None);
-        self.cache_h = None; // scoring never backprops
-        let p = self.embedding.prompt_len();
-        let eff = seq + p;
-        // Row i predicts token i+1; score rows covering the continuation.
-        let mut targets = vec![IGNORE_INDEX; eff];
-        for (j, &tok) in continuation.iter().enumerate() {
-            let pos = p + prompt.len() + j; // position of this token
-            targets[pos - 1] = tok as i32; // predicted from the previous row
-        }
-        loss::sequence_logprob(&logits, &targets)
+    /// Collect (and clear) the captures armed by the last capture forward.
+    pub(crate) fn take_captures(&mut self) -> Captures {
+        self.blocks.iter_mut().map(|b| b.take_capture()).collect()
     }
 
     /// Emulate the activation concentration of a *pre-trained* ReLU LLM.
@@ -466,6 +388,7 @@ pub fn prompt_aware_targets(ids: &[u32], batch: usize, seq: usize, prompt_len: u
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::StepRequest;
     use crate::optim::Sgd;
 
     fn tiny() -> TransformerModel {
@@ -479,11 +402,17 @@ mod tests {
             .collect()
     }
 
+    fn logits_of(m: &mut TransformerModel, ids: &[u32], batch: usize, seq: usize) -> Tensor {
+        m.execute(StepRequest::infer(ids, batch, seq))
+            .logits
+            .expect("infer keeps logits")
+    }
+
     #[test]
     fn forward_shapes() {
         let mut m = tiny();
         let ids = sample_batch(&m, 2, 8, 1);
-        let logits = m.forward(&ids, 2, 8, None);
+        let logits = logits_of(&mut m, &ids, 2, 8);
         assert_eq!(logits.shape(), &[16, m.config.vocab_size]);
         assert!(logits.as_slice().iter().all(|v| v.is_finite()));
     }
@@ -495,10 +424,14 @@ mod tests {
         let mut opt = Sgd::new(0.05);
         let ids = sample_batch(&m, 2, 8, 2);
         let targets = prompt_aware_targets(&ids, 2, 8, 0);
-        let first = m.train_step(&ids, &targets, 2, 8, None, &mut opt);
+        let first = m
+            .execute(StepRequest::train(&ids, &targets, 2, 8, &mut opt))
+            .loss;
         let mut last = first;
         for _ in 0..10 {
-            last = m.train_step(&ids, &targets, 2, 8, None, &mut opt);
+            last = m
+                .execute(StepRequest::train(&ids, &targets, 2, 8, &mut opt))
+                .loss;
         }
         assert!(
             last < first * 0.9,
@@ -513,8 +446,12 @@ mod tests {
         let mut opt = Sgd::new(0.5);
         let ids = sample_batch(&m, 1, 8, 3);
         let targets = prompt_aware_targets(&ids, 1, 8, 0);
-        let l1 = m.train_step(&ids, &targets, 1, 8, None, &mut opt);
-        let l2 = m.train_step(&ids, &targets, 1, 8, None, &mut opt);
+        let l1 = m
+            .execute(StepRequest::train(&ids, &targets, 1, 8, &mut opt))
+            .loss;
+        let l2 = m
+            .execute(StepRequest::train(&ids, &targets, 1, 8, &mut opt))
+            .loss;
         assert!((l1 - l2).abs() < 1e-6, "all-frozen model must be static");
         assert_eq!(m.num_trainable(), 0);
     }
@@ -524,15 +461,18 @@ mod tests {
         let mut m = tiny();
         let (b, s) = (2, 8);
         let ids = sample_batch(&m, b, s, 4);
-        let (_, caps) = m.forward_with_captures(
-            &ids,
-            b,
-            s,
-            CaptureConfig {
-                attn: true,
-                mlp: true,
-            },
-        );
+        let caps = m
+            .execute(StepRequest::capture(
+                &ids,
+                b,
+                s,
+                CaptureConfig {
+                    attn: true,
+                    mlp: true,
+                },
+            ))
+            .captures
+            .expect("capture mode records captures");
         assert_eq!(caps.len(), m.config.n_layers);
         let d = m.config.d_model;
         let h = m.config.n_heads;
@@ -550,15 +490,18 @@ mod tests {
     fn relu_activations_are_sparse_in_captures() {
         let mut m = tiny();
         let ids = sample_batch(&m, 2, 8, 5);
-        let (_, caps) = m.forward_with_captures(
-            &ids,
-            2,
-            8,
-            CaptureConfig {
-                attn: false,
-                mlp: true,
-            },
-        );
+        let caps = m
+            .execute(StepRequest::capture(
+                &ids,
+                2,
+                8,
+                CaptureConfig {
+                    attn: false,
+                    mlp: true,
+                },
+            ))
+            .captures
+            .unwrap();
         let acts = caps[0].mlp_activations.as_ref().unwrap();
         let zero_frac = acts.zero_fraction();
         assert!(
@@ -586,10 +529,10 @@ mod tests {
         let ids: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 7, 8];
         let targets = prompt_aware_targets(&ids, 1, 8, 0);
         for _ in 0..30 {
-            m.train_step(&ids, &targets, 1, 8, None, &mut opt);
+            m.execute(StepRequest::train(&ids, &targets, 1, 8, &mut opt));
         }
-        let good = m.score_continuation(&[1, 2, 3, 4], &[5, 6]);
-        let bad = m.score_continuation(&[1, 2, 3, 4], &[9, 10]);
+        let good = crate::exec::score_continuation(&mut m, &[1, 2, 3, 4], &[5, 6]);
+        let bad = crate::exec::score_continuation(&mut m, &[1, 2, 3, 4], &[9, 10]);
         assert!(
             good > bad,
             "trained continuation should score higher: {good} vs {bad}"
@@ -609,8 +552,8 @@ mod tests {
         let ratio = f16_bytes as f64 / f32_bytes as f64;
         assert!(ratio < 0.55, "storage ratio {ratio}");
         let ids = sample_batch(&a, 2, 8, 21);
-        let la = a.forward(&ids, 2, 8, None);
-        let lb = b.forward(&ids, 2, 8, None);
+        let la = logits_of(&mut a, &ids, 2, 8);
+        let lb = logits_of(&mut b, &ids, 2, 8);
         for (x, y) in lb.as_slice().iter().zip(la.as_slice()) {
             assert!(
                 (x - y).abs() <= 3e-2 * (1.0 + y.abs()),
@@ -625,12 +568,11 @@ mod tests {
         m.freeze_all();
         m.set_precision(crate::Precision::F16Frozen);
         let ids = sample_batch(&m, 1, 8, 22);
-        let before = m.forward(&ids, 1, 8, None);
-        m.cache_h = None;
+        let before = logits_of(&mut m, &ids, 1, 8);
         // F32 promotion is an exact decode: the function is unchanged.
         m.set_precision(crate::Precision::F32);
         assert_eq!(m.precision(), crate::Precision::F32);
-        let after = m.forward(&ids, 1, 8, None);
+        let after = logits_of(&mut m, &ids, 1, 8);
         assert_eq!(before.as_slice(), after.as_slice());
     }
 
@@ -649,14 +591,17 @@ mod tests {
         let mut scaler = crate::optim::LossScaler::default();
         let ids = sample_batch(&m, 2, 8, 23);
         let targets = prompt_aware_targets(&ids, 2, 8, 0);
-        let first = m
-            .train_step_scaled(&ids, &targets, 2, 8, None, &mut opt, &mut scaler)
-            .expect("no overflow expected at 2^16 scale");
+        let first =
+            m.execute(StepRequest::train(&ids, &targets, 2, 8, &mut opt).loss_scale(&mut scaler));
+        assert!(!first.skipped, "no overflow expected at 2^16 scale");
+        let first = first.loss;
         let mut last = first;
         for _ in 0..30 {
-            if let Some(l) = m.train_step_scaled(&ids, &targets, 2, 8, None, &mut opt, &mut scaler)
-            {
-                last = l;
+            let out = m.execute(
+                StepRequest::train(&ids, &targets, 2, 8, &mut opt).loss_scale(&mut scaler),
+            );
+            if !out.skipped {
+                last = out.loss;
             }
         }
         assert_eq!(scaler.overflows(), 0);
@@ -698,35 +643,26 @@ mod tests {
         cfg.n_layers = 1;
         let mut m = TransformerModel::new(cfg, 3);
         let ids = sample_batch(&m, 2, 64, 9);
-        let (_, caps_before) = m.forward_with_captures(
-            &ids,
-            2,
-            64,
-            CaptureConfig {
-                attn: false,
-                mlp: true,
-            },
-        );
-        let before = caps_before[0]
-            .mlp_activations
-            .as_ref()
-            .unwrap()
-            .zero_fraction();
+        let mlp_zero_fraction = |m: &mut TransformerModel| {
+            m.execute(StepRequest::capture(
+                &ids,
+                2,
+                64,
+                CaptureConfig {
+                    attn: false,
+                    mlp: true,
+                },
+            ))
+            .captures
+            .unwrap()[0]
+                .mlp_activations
+                .as_ref()
+                .unwrap()
+                .zero_fraction()
+        };
+        let before = mlp_zero_fraction(&mut m);
         m.induce_activation_sparsity(0.92, 0.25, 16, 11);
-        let (_, caps_after) = m.forward_with_captures(
-            &ids,
-            2,
-            64,
-            CaptureConfig {
-                attn: false,
-                mlp: true,
-            },
-        );
-        let after = caps_after[0]
-            .mlp_activations
-            .as_ref()
-            .unwrap()
-            .zero_fraction();
+        let after = mlp_zero_fraction(&mut m);
         assert!(before < 0.7, "random init is not very sparse: {before}");
         assert!(
             (0.75..0.99).contains(&after),

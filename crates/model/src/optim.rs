@@ -97,6 +97,13 @@ impl Adam {
             state: HashMap::new(),
         }
     }
+
+    /// Optimizer steps taken so far (bias-correction time step). A gradient-
+    /// accumulation step advances this once, however many micro-batches it
+    /// spanned.
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
 }
 
 /// AdamW = Adam with decoupled weight decay (the fine-tuning default).

@@ -376,7 +376,7 @@ fn get_method(data: &mut Bytes) -> Result<PeftMethod, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lx_model::{prompt_aware_targets, ModelConfig, Sgd};
+    use lx_model::{prompt_aware_targets, ModelConfig, Sgd, StepRequest};
 
     fn backbone() -> TransformerModel {
         TransformerModel::new(ModelConfig::test_tiny(), 7)
@@ -389,7 +389,7 @@ mod tests {
         let targets = prompt_aware_targets(&ids, 2, seq, prompt);
         let mut opt = Sgd::new(0.05);
         for _ in 0..steps {
-            model.train_step(&ids, &targets, 2, seq, None, &mut opt);
+            model.execute(StepRequest::train(&ids, &targets, 2, seq, &mut opt));
         }
     }
 
@@ -428,12 +428,12 @@ mod tests {
             let adapter = TenantAdapter::extract_from(&mut m, method, 3);
             let prompt = m.embedding.prompt_len();
             let ids: Vec<u32> = (0..8u32).collect();
-            let logits_before = m.forward(&ids, 1, 8, None);
+            let logits_before = m.execute(StepRequest::infer(&ids, 1, 8)).logits.unwrap();
             detach(&mut m);
             assert_eq!(m.num_trainable(), 0, "{}", method.name());
             adapter.attach_to(&mut m);
             assert_eq!(m.embedding.prompt_len(), prompt);
-            let logits_after = m.forward(&ids, 1, 8, None);
+            let logits_after = m.execute(StepRequest::infer(&ids, 1, 8)).logits.unwrap();
             assert_eq!(
                 logits_before.as_slice(),
                 logits_after.as_slice(),

@@ -188,7 +188,7 @@ pub fn trainable_fraction(model: &mut TransformerModel) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lx_model::{prompt_aware_targets, ModelConfig, Sgd};
+    use lx_model::{prompt_aware_targets, ModelConfig, Sgd, StepRequest};
 
     fn model() -> TransformerModel {
         TransformerModel::new(ModelConfig::test_tiny(), 7)
@@ -200,10 +200,14 @@ mod tests {
         let prompt_len = m.embedding.prompt_len();
         let targets = prompt_aware_targets(&ids, 2, seq, prompt_len);
         let mut opt = Sgd::new(0.05);
-        let first = m.train_step(&ids, &targets, 2, seq, None, &mut opt);
+        let first = m
+            .execute(StepRequest::train(&ids, &targets, 2, seq, &mut opt))
+            .loss;
         let mut last = first;
         for _ in 0..steps {
-            last = m.train_step(&ids, &targets, 2, seq, None, &mut opt);
+            last = m
+                .execute(StepRequest::train(&ids, &targets, 2, seq, &mut opt))
+                .loss;
         }
         let _ = method;
         (first, last)

@@ -90,7 +90,7 @@ fn merge_mlp(block: &mut lx_model::block::TransformerBlock) {
 mod tests {
     use super::*;
     use crate::{LoraTargets, PeftMethod};
-    use lx_model::ModelConfig;
+    use lx_model::{ModelConfig, StepRequest};
     use lx_tensor::Tensor;
 
     #[test]
@@ -132,9 +132,9 @@ mod tests {
             }
         });
         let ids: Vec<u32> = (0..8u32).collect();
-        let before = m.forward(&ids, 1, 8, None);
+        let before = m.execute(StepRequest::infer(&ids, 1, 8)).logits.unwrap();
         merge_all(&mut m);
-        let after = m.forward(&ids, 1, 8, None);
+        let after = m.execute(StepRequest::infer(&ids, 1, 8)).logits.unwrap();
         for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }

@@ -8,8 +8,7 @@
 //! per-shard compute shrinking with worker count — exactly the paper's
 //! argument for linear scaling.
 
-use lx_model::loss::cross_entropy;
-use lx_model::{Optimizer, SparsePlan, TransformerModel};
+use lx_model::{Optimizer, SparsePlan, StepRequest, TransformerModel};
 use lx_tensor::Tensor;
 use std::time::{Duration, Instant};
 
@@ -59,11 +58,13 @@ impl DataParallelTrainer {
                 let ids_shard = &ids[w * shard * seq..(w + 1) * shard * seq];
                 let targets_shard = &targets[w * shard * eff..(w + 1) * shard * eff];
                 handles.push(scope.spawn(move || {
-                    replica.zero_grads();
-                    let logits = replica.forward(ids_shard, shard, seq, plan);
-                    let (loss, dlogits) = cross_entropy(&logits, targets_shard);
-                    replica.backward(&dlogits);
-                    loss
+                    // Grad mode: forward + backward, gradients stay in the
+                    // replica for the all-reduce below.
+                    let mut req = StepRequest::grad(ids_shard, targets_shard, shard, seq);
+                    if let Some(p) = plan {
+                        req = req.plan(p);
+                    }
+                    replica.execute(req).loss
                 }));
             }
             handles

@@ -51,6 +51,15 @@ pub struct JobSpec {
     pub adapter_seed: u64,
     /// Token stream length to materialise for the dataset.
     pub stream_len: usize,
+    /// Micro-batches accumulated per optimizer step (gradient accumulation):
+    /// each step draws this many `(batch, seq)` batches from the stream and
+    /// runs one update over their combined effective batch.
+    pub micro_batches: usize,
+    /// Evaluation-only job: every step is a forward/loss pass under the
+    /// service's execution mode — no gradients, no optimizer, the stored
+    /// adapter is left exactly as it was. Used to measure an existing
+    /// adapter's loss trajectory on a dataset.
+    pub eval_only: bool,
 }
 
 impl JobSpec {
@@ -73,12 +82,22 @@ impl JobSpec {
             lr: 1e-3,
             adapter_seed: salt ^ 0xada9,
             stream_len: 50_000,
+            micro_batches: 1,
+            eval_only: false,
         }
     }
 
     pub fn validate(&self) -> Result<(), String> {
         if self.tenant.is_empty() {
             return Err("tenant id must not be empty".into());
+        }
+        if self.micro_batches == 0 {
+            return Err("micro_batches must be at least 1".into());
+        }
+        if self.eval_only && self.micro_batches != 1 {
+            return Err(
+                "eval-only jobs take one batch per step (no gradients to accumulate)".into(),
+            );
         }
         if !self
             .tenant
@@ -110,6 +129,47 @@ pub enum JobState {
     Running,
     Completed(JobReport),
     Rejected(String),
+}
+
+/// One training (or evaluation) step as observed by a tenant: emitted by the
+/// scheduler after every step and streamed to clients through
+/// `JobTicket::progress()`, so tenants watch loss/density/throughput live
+/// instead of waiting for the terminal [`JobReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepEvent {
+    pub tenant: String,
+    /// 1-based step index within the job.
+    pub step: u64,
+    /// The job's total step budget.
+    pub total_steps: u64,
+    pub loss: f32,
+    /// Mean attention density of the executed plan (`None` when dense).
+    pub attn_density: Option<f32>,
+    /// Mean MLP neuron-block density of the executed plan.
+    pub mlp_density: Option<f32>,
+    /// Wall time of this step (all micro-batches plus the optimizer).
+    pub step_time: Duration,
+    /// Micro-batches accumulated into this step.
+    pub micro_batches: usize,
+    /// Whether this was an evaluation-only step.
+    pub eval: bool,
+}
+
+impl StepEvent {
+    /// Tokens processed by this step.
+    pub fn tokens(&self, batch: usize, seq: usize) -> u64 {
+        (batch * seq * self.micro_batches) as u64
+    }
+
+    /// Tokens per second of this step.
+    pub fn tokens_per_sec(&self, batch: usize, seq: usize) -> f64 {
+        let s = self.step_time.as_secs_f64();
+        if s > 0.0 {
+            self.tokens(batch, seq) as f64 / s
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Final accounting for one finished job.
@@ -147,6 +207,20 @@ mod tests {
     #[test]
     fn default_spec_validates() {
         assert!(JobSpec::lora("tenant-a", 10, 1, 16).validate().is_ok());
+    }
+
+    #[test]
+    fn accumulation_and_eval_settings_validate() {
+        let mut spec = JobSpec::lora("t", 4, 1, 16);
+        spec.micro_batches = 4;
+        assert!(spec.validate().is_ok());
+        spec.micro_batches = 0;
+        assert!(spec.validate().is_err());
+        spec.micro_batches = 2;
+        spec.eval_only = true;
+        assert!(spec.validate().is_err(), "eval cannot accumulate");
+        spec.micro_batches = 1;
+        assert!(spec.validate().is_ok());
     }
 
     #[test]

@@ -22,7 +22,12 @@
 //!   execution is **bit-identical** to sequential per-tenant training (the
 //!   integration suite proves it);
 //! * [`service`] — the asynchronous shell: submissions from any thread,
-//!   training on a dedicated scheduler thread, [`JobTicket`]s to wait on.
+//!   training on a dedicated scheduler thread, [`JobTicket`]s to wait on or
+//!   stream per-step [`StepEvent`]s from ([`JobTicket::progress`]).
+//!
+//! Jobs can also accumulate gradients over several micro-batches per
+//! optimizer step (`JobSpec::micro_batches` — the large-effective-batch
+//! scenario) or run evaluation-only passes (`JobSpec::eval_only`).
 //!
 //! ```no_run
 //! use lx_model::{ModelConfig, TransformerModel};
@@ -51,8 +56,8 @@ pub mod registry;
 pub mod scheduler;
 pub mod service;
 
-pub use job::{DatasetSpec, JobReport, JobSpec, JobState};
+pub use job::{DatasetSpec, JobReport, JobSpec, JobState, StepEvent};
 pub use metrics::{MetricsSnapshot, ServeMetrics, TenantMetrics};
 pub use registry::AdapterRegistry;
-pub use scheduler::{SchedPolicy, Scheduler, ServeConfig};
-pub use service::{FinetuneService, JobTicket};
+pub use scheduler::{ProgressSink, SchedPolicy, Scheduler, ServeConfig};
+pub use service::{FinetuneService, JobTicket, ProgressStream};

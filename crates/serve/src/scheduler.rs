@@ -14,16 +14,20 @@
 //! prefetched concurrently on the `lx-parallel` worker pool, so data
 //! generation never sits on the critical path.
 
-use crate::job::{JobReport, JobSpec};
+use crate::job::{JobReport, JobSpec, StepEvent};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::AdapterRegistry;
 use long_exposure::engine::{EngineConfig, FinetuneEngine, StepMode};
 use lx_data::Batcher;
-use lx_model::{prompt_aware_targets, AdamW, Precision, TransformerModel};
+use lx_model::{prompt_aware_targets, AdamW, MicroBatch, Precision, TransformerModel};
 use lx_peft::TenantAdapter;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Per-step observer for one job: called by the scheduler thread after every
+/// training/evaluation step with that step's [`StepEvent`].
+pub type ProgressSink = Box<dyn FnMut(StepEvent) + Send>;
 
 /// How the next tenant is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +78,7 @@ struct ActiveJob {
     steps_done: u64,
     losses: Vec<f32>,
     busy: Duration,
+    progress: Option<ProgressSink>,
 }
 
 impl ActiveJob {
@@ -81,9 +86,15 @@ impl ActiveJob {
         self.spec.steps - self.steps_done
     }
 
-    /// Fill the pending-batch queue up to `depth` batches.
+    /// Batches one step consumes (micro-batch accumulation draws several).
+    fn batches_per_step(&self) -> usize {
+        self.spec.micro_batches
+    }
+
+    /// Fill the pending-batch queue up to `depth` *steps* worth of batches.
     fn prefetch(&mut self, depth: usize) {
-        let want = depth.min(self.remaining() as usize);
+        let want = (depth * self.batches_per_step())
+            .min(self.remaining() as usize * self.batches_per_step());
         while self.pending.len() < want {
             let ids = self.batcher.next_batch(self.spec.batch, self.spec.seq);
             self.pending.push_back(ids);
@@ -176,6 +187,17 @@ impl Scheduler {
     /// (same method), the job resumes from it — warm restarts across process
     /// boundaries; otherwise a fresh adapter is initialised on the backbone.
     pub fn submit(&mut self, spec: JobSpec) -> Result<(), String> {
+        self.submit_with_progress(spec, None)
+    }
+
+    /// [`Self::submit`] with a per-step observer: `progress` is invoked on
+    /// the scheduler thread after every step of this job with a
+    /// [`StepEvent`] (losses, densities, step wall time).
+    pub fn submit_with_progress(
+        &mut self,
+        spec: JobSpec,
+        progress: Option<ProgressSink>,
+    ) -> Result<(), String> {
         spec.validate()?;
         if self.active.iter().any(|j| j.spec.tenant == spec.tenant) {
             return Err(format!("tenant {} already has an active job", spec.tenant));
@@ -231,6 +253,7 @@ impl Scheduler {
             steps_done: 0,
             losses: Vec::new(),
             busy: Duration::ZERO,
+            progress,
         });
         self.metrics.queue_depth = self.active.len();
         Ok(())
@@ -285,21 +308,50 @@ impl Scheduler {
         let mut slice_busy = Duration::ZERO;
         let mut last_loss = f32::NAN;
         for _ in 0..n_steps {
-            let ids = job.next_ids();
-            let targets = prompt_aware_targets(&ids, job.spec.batch, job.spec.seq, prompt_len);
+            let (batch, seq) = (job.spec.batch, job.spec.seq);
+            let micro_ids: Vec<Vec<u32>> = (0..job.batches_per_step())
+                .map(|_| job.next_ids())
+                .collect();
+            let micro_targets: Vec<Vec<i32>> = micro_ids
+                .iter()
+                .map(|ids| prompt_aware_targets(ids, batch, seq, prompt_len))
+                .collect();
+            let micros: Vec<MicroBatch<'_>> = micro_ids
+                .iter()
+                .zip(&micro_targets)
+                .map(|(ids, targets)| MicroBatch { ids, targets })
+                .collect();
             let t0 = Instant::now();
-            let stats = self.engine.train_step_mode(
-                &ids,
-                &targets,
-                job.spec.batch,
-                job.spec.seq,
-                &mut job.opt,
-                self.config.mode,
-            );
-            slice_busy += t0.elapsed();
-            last_loss = stats.loss;
-            job.losses.push(stats.loss);
+            let outcome = if job.spec.eval_only {
+                self.engine.eval_step(
+                    micros[0].ids,
+                    micros[0].targets,
+                    batch,
+                    seq,
+                    self.config.mode,
+                )
+            } else {
+                self.engine
+                    .train_step_accum(&micros, batch, seq, &mut job.opt, self.config.mode)
+            };
+            let step_time = t0.elapsed();
+            slice_busy += step_time;
+            last_loss = outcome.loss;
+            job.losses.push(outcome.loss);
             job.steps_done += 1;
+            if let Some(sink) = &mut job.progress {
+                sink(StepEvent {
+                    tenant: job.spec.tenant.clone(),
+                    step: job.steps_done,
+                    total_steps: job.spec.steps,
+                    loss: outcome.loss,
+                    attn_density: outcome.attn_density,
+                    mlp_density: outcome.mlp_density,
+                    step_time,
+                    micro_batches: outcome.micro_batches,
+                    eval: job.spec.eval_only,
+                });
+            }
         }
         let t_detach = Instant::now();
         job.adapter = TenantAdapter::extract_from(
@@ -310,7 +362,7 @@ impl Scheduler {
         lx_peft::detach(&mut self.engine.model);
         swap += t_detach.elapsed();
         job.busy += slice_busy;
-        let tokens = n_steps * (job.spec.batch * job.spec.seq) as u64;
+        let tokens = n_steps * (job.spec.batch * job.spec.seq * job.spec.micro_batches) as u64;
         self.metrics.record_slice(
             &job.spec.tenant,
             n_steps,
@@ -533,6 +585,86 @@ mod tests {
         let interleaved = run(2); // tenants alternate every 2 steps
         let sequential = run(6); // each tenant runs to completion in one slice
         assert_eq!(interleaved, sequential);
+    }
+
+    #[test]
+    fn progress_sink_observes_every_step() {
+        let mut s = sched(ServeConfig {
+            slice_steps: 3,
+            ..ServeConfig::default()
+        });
+        let events = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink_events = events.clone();
+        s.submit_with_progress(
+            spec("watched", 7),
+            Some(Box::new(move |e| sink_events.lock().unwrap().push(e))),
+        )
+        .unwrap();
+        let report = s.run_to_completion().remove(0);
+        let events = events.lock().unwrap();
+        assert_eq!(events.len(), 7, "one event per step");
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.tenant, "watched");
+            assert_eq!(e.step, i as u64 + 1);
+            assert_eq!(e.total_steps, 7);
+            assert_eq!(e.loss, report.losses[i], "event loss mirrors report");
+            assert!(!e.eval);
+            assert_eq!(e.micro_batches, 1);
+        }
+    }
+
+    #[test]
+    fn accumulated_job_matches_its_budget() {
+        let mut s = sched(ServeConfig::default());
+        let mut accum = spec("accum", 6);
+        accum.micro_batches = 3;
+        s.submit(accum).unwrap();
+        let report = s.run_to_completion().remove(0);
+        assert_eq!(
+            report.steps, 6,
+            "steps count optimizer updates, not batches"
+        );
+        assert!(report.losses.iter().all(|l| l.is_finite()));
+        // Tokens account for every micro-batch drawn.
+        let snap = s.metrics();
+        assert_eq!(snap.total_tokens, 6 * 3 * 16);
+    }
+
+    #[test]
+    fn eval_only_job_leaves_the_stored_adapter_untouched() {
+        let registry = Arc::new(AdapterRegistry::in_memory());
+        let mut s = Scheduler::new(
+            backbone(),
+            EngineConfig {
+                block_size: 4,
+                ..EngineConfig::default()
+            },
+            ServeConfig::default(),
+            registry.clone(),
+        );
+        s.submit(spec("t", 6)).unwrap();
+        s.run_to_completion();
+        let trained = registry.get("t").unwrap().unwrap();
+        // Evaluation pass over fresh data: losses come back, adapter
+        // bit-identical afterwards.
+        let mut eval = spec("t", 4);
+        eval.eval_only = true;
+        let events = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink_events = events.clone();
+        s.submit_with_progress(
+            eval,
+            Some(Box::new(move |e| sink_events.lock().unwrap().push(e))),
+        )
+        .unwrap();
+        let report = s.run_to_completion().remove(0);
+        assert_eq!(report.steps, 4);
+        assert!(report.losses.iter().all(|l| l.is_finite()));
+        assert_eq!(
+            registry.get("t").unwrap().unwrap(),
+            trained,
+            "eval-only must not move the adapter"
+        );
+        assert!(events.lock().unwrap().iter().all(|e| e.eval));
     }
 
     #[test]

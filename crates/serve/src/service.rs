@@ -3,26 +3,49 @@
 //!
 //! [`FinetuneService::spawn`] moves a [`Scheduler`] onto its own thread.
 //! Clients call [`FinetuneService::submit`] to enqueue a [`JobSpec`] and get
-//! back a [`JobTicket`] they can block on ([`JobTicket::wait`]) or poll
-//! ([`JobTicket::state`]). The scheduler thread interleaves slices across
-//! all admitted jobs; between slices it drains the submission queue, so new
+//! back a [`JobTicket`] they can block on ([`JobTicket::wait`]), poll
+//! ([`JobTicket::state`]), or *stream* ([`JobTicket::progress`]): the
+//! scheduler publishes a typed [`StepEvent`] after every training step, so
+//! tenants observe loss/density/throughput per step instead of only a
+//! terminal report. The scheduler thread interleaves slices across all
+//! admitted jobs; between slices it drains the submission queue, so new
 //! tenants join a busy service without stopping it.
 
-use crate::job::{JobReport, JobSpec, JobState};
+use crate::job::{JobReport, JobSpec, JobState, StepEvent};
 use crate::metrics::MetricsSnapshot;
 use crate::scheduler::Scheduler;
 use std::collections::HashMap;
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 
+struct TicketShared {
+    state: JobState,
+    events: Vec<StepEvent>,
+}
+
 struct TicketInner {
-    state: Mutex<JobState>,
+    shared: Mutex<TicketShared>,
     cv: Condvar,
 }
 
 impl TicketInner {
+    fn new() -> Self {
+        TicketInner {
+            shared: Mutex::new(TicketShared {
+                state: JobState::Queued,
+                events: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
     fn set(&self, state: JobState) {
-        *self.state.lock().expect("ticket lock") = state;
+        self.shared.lock().expect("ticket lock").state = state;
+        self.cv.notify_all();
+    }
+
+    fn push_event(&self, event: StepEvent) {
+        self.shared.lock().expect("ticket lock").events.push(event);
         self.cv.notify_all();
     }
 }
@@ -36,16 +59,53 @@ pub struct JobTicket {
 impl JobTicket {
     /// Current lifecycle state (non-blocking).
     pub fn state(&self) -> JobState {
-        self.inner.state.lock().expect("ticket lock").clone()
+        self.inner.shared.lock().expect("ticket lock").state.clone()
     }
 
     /// Block until the job completes or is rejected.
     pub fn wait(&self) -> Result<JobReport, String> {
-        let mut guard = self.inner.state.lock().expect("ticket lock");
+        let mut guard = self.inner.shared.lock().expect("ticket lock");
         loop {
-            match &*guard {
+            match &guard.state {
                 JobState::Completed(report) => return Ok(report.clone()),
                 JobState::Rejected(reason) => return Err(reason.clone()),
+                _ => guard = self.inner.cv.wait(guard).expect("ticket lock"),
+            }
+        }
+    }
+
+    /// Stream this job's per-step [`StepEvent`]s. The iterator replays every
+    /// event already recorded, blocks while the job is live, and ends when
+    /// the job reaches a terminal state and all events are drained. Each
+    /// stream starts from the first step, so late subscribers miss nothing.
+    pub fn progress(&self) -> ProgressStream {
+        ProgressStream {
+            inner: self.inner.clone(),
+            cursor: 0,
+        }
+    }
+}
+
+/// Blocking iterator over a job's per-step events (see
+/// [`JobTicket::progress`]).
+pub struct ProgressStream {
+    inner: Arc<TicketInner>,
+    cursor: usize,
+}
+
+impl Iterator for ProgressStream {
+    type Item = StepEvent;
+
+    fn next(&mut self) -> Option<StepEvent> {
+        let mut guard = self.inner.shared.lock().expect("ticket lock");
+        loop {
+            if self.cursor < guard.events.len() {
+                let event = guard.events[self.cursor].clone();
+                self.cursor += 1;
+                return Some(event);
+            }
+            match guard.state {
+                JobState::Completed(_) | JobState::Rejected(_) => return None,
                 _ => guard = self.inner.cv.wait(guard).expect("ticket lock"),
             }
         }
@@ -79,10 +139,7 @@ impl FinetuneService {
 
     /// Enqueue a job; returns immediately with a ticket.
     pub fn submit(&self, spec: JobSpec) -> JobTicket {
-        let inner = Arc::new(TicketInner {
-            state: Mutex::new(JobState::Queued),
-            cv: Condvar::new(),
-        });
+        let inner = Arc::new(TicketInner::new());
         let ticket = JobTicket {
             inner: inner.clone(),
         };
@@ -210,7 +267,11 @@ fn handle(
     match cmd {
         Command::Submit(spec, ticket) => {
             let tenant = spec.tenant.clone();
-            match scheduler.submit(spec) {
+            // Per-step events flow from the scheduler thread straight into
+            // the ticket, where `JobTicket::progress()` streams them out.
+            let sink_ticket = ticket.clone();
+            let sink = Box::new(move |event| sink_ticket.push_event(event));
+            match scheduler.submit_with_progress(spec, Some(sink)) {
                 Ok(()) => {
                     ticket.set(JobState::Running);
                     tickets.insert(tenant, ticket);
@@ -273,6 +334,24 @@ mod tests {
         let mut tenants = scheduler.registry().tenants();
         tenants.sort();
         assert_eq!(tenants, vec!["alpha".to_string(), "beta".to_string()]);
+    }
+
+    #[test]
+    fn progress_stream_delivers_every_step_then_ends() {
+        let svc = service();
+        let ticket = svc.submit(spec("streamer", 5));
+        // Consume the stream concurrently with training.
+        let events: Vec<_> = ticket.progress().collect();
+        let report = ticket.wait().expect("completes");
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.step, i as u64 + 1);
+            assert_eq!(e.loss, report.losses[i]);
+        }
+        // A late subscriber replays the full history.
+        let replay: Vec<_> = ticket.progress().collect();
+        assert_eq!(replay, events);
+        svc.shutdown();
     }
 
     #[test]

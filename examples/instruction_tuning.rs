@@ -10,7 +10,7 @@ use long_exposure::{EngineConfig, FinetuneEngine};
 use lx_data::instruct::InstructGenerator;
 use lx_data::tasks::{evaluate_accuracy, Task, TaskKind};
 use lx_data::{Batcher, SyntheticWorld};
-use lx_model::{prompt_aware_targets, AdamW, ModelConfig, TransformerModel};
+use lx_model::{prompt_aware_targets, score_continuation, AdamW, ModelConfig, TransformerModel};
 use lx_peft::PeftMethod;
 
 fn finetune(sparse: bool, steps: usize) -> FinetuneEngine {
@@ -73,8 +73,11 @@ fn main() {
     for kind in TaskKind::all() {
         let task = Task::new(kind, world.clone());
         let examples = task.examples(60);
-        let acc_dense = evaluate_accuracy(&examples, |p, c| dense.model.score_continuation(p, c));
-        let acc_sparse = evaluate_accuracy(&examples, |p, c| sparse.model.score_continuation(p, c));
+        let acc_dense =
+            evaluate_accuracy(&examples, |p, c| score_continuation(&mut dense.model, p, c));
+        let acc_sparse = evaluate_accuracy(&examples, |p, c| {
+            score_continuation(&mut sparse.model, p, c)
+        });
         println!(
             "{:<18} {:>7.1}% {:>7.1}%",
             kind.name(),

@@ -100,7 +100,8 @@ fn main() {
         dir.display(),
     );
 
-    // 2. Async service: submit three tenants, wait on tickets.
+    // 2. Async service: submit three tenants, stream the first tenant's
+    //    per-step progress live, wait on every ticket.
     let service = FinetuneService::spawn(sched);
     let tickets: Vec<_> = tenant_jobs()
         .into_iter()
@@ -109,6 +110,17 @@ fn main() {
             (job.tenant.clone(), service.submit(job))
         })
         .collect();
+    for event in tickets[0].1.progress() {
+        println!(
+            "  [{}] step {}/{}: loss {:.4}, mlp density {:.2}, {:.0} tok/s",
+            event.tenant,
+            event.step,
+            event.total_steps,
+            event.loss,
+            event.mlp_density.unwrap_or(1.0),
+            event.tokens_per_sec(BATCH, SEQ),
+        );
+    }
     for (tenant, ticket) in &tickets {
         let report = ticket.wait().expect("job failed");
         println!(

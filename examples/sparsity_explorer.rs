@@ -18,15 +18,18 @@ fn main() {
     let mut batcher = Batcher::new(E2eGenerator::new(world).stream(20_000, 0));
     let ids = batcher.next_batch(batch, seq);
 
-    let (_, caps) = model.forward_with_captures(
-        &ids,
-        batch,
-        seq,
-        CaptureConfig {
-            attn: true,
-            mlp: true,
-        },
-    );
+    let caps = model
+        .execute(lx_model::StepRequest::capture(
+            &ids,
+            batch,
+            seq,
+            CaptureConfig {
+                attn: true,
+                mlp: true,
+            },
+        ))
+        .captures
+        .expect("capture mode records captures");
     let exposer = Exposer::new(block, 0.05, 0.02);
 
     for (l, cap) in caps.iter().enumerate() {

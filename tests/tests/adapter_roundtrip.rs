@@ -2,7 +2,7 @@
 //! restore on a fresh identical backbone → **bit-identical** forward pass.
 
 use lx_integration::{batch_ids, tiny_cfg, tiny_model};
-use lx_model::{prompt_aware_targets, Sgd, TransformerModel};
+use lx_model::{prompt_aware_targets, Sgd, StepRequest, TransformerModel};
 use lx_peft::{detach, PeftMethod, TenantAdapter};
 use lx_serve::AdapterRegistry;
 use std::path::PathBuf;
@@ -14,7 +14,7 @@ fn train(model: &mut TransformerModel, steps: usize, seed: u64) {
     let targets = prompt_aware_targets(&ids, batch, seq, prompt);
     let mut opt = Sgd::new(0.05);
     for _ in 0..steps {
-        model.train_step(&ids, &targets, batch, seq, None, &mut opt);
+        model.execute(StepRequest::train(&ids, &targets, batch, seq, &mut opt));
     }
 }
 
@@ -41,7 +41,10 @@ fn adapter_roundtrip_through_registry_is_bit_identical() {
         method.apply(&mut donor, 17);
         train(&mut donor, 6, 23);
         let ids = batch_ids(1, 8, tiny_cfg().vocab_size, 31);
-        let reference = donor.forward(&ids, 1, 8, None);
+        let reference = donor
+            .execute(StepRequest::infer(&ids, 1, 8))
+            .logits
+            .unwrap();
         let adapter = TenantAdapter::extract_from(&mut donor, method, 17);
 
         // Persist through a durable registry, then reload from disk.
@@ -63,7 +66,10 @@ fn adapter_roundtrip_through_registry_is_bit_identical() {
         let mut fresh = tiny_model(5);
         fresh.freeze_all();
         restored.attach_to(&mut fresh);
-        let replayed = fresh.forward(&ids, 1, 8, None);
+        let replayed = fresh
+            .execute(StepRequest::infer(&ids, 1, 8))
+            .logits
+            .unwrap();
         assert_eq!(
             reference.as_slice(),
             replayed.as_slice(),
@@ -79,18 +85,27 @@ fn detach_restores_the_pristine_backbone_function() {
     let mut model = tiny_model(8);
     model.freeze_all();
     let ids = batch_ids(1, 8, tiny_cfg().vocab_size, 3);
-    let pristine = model.forward(&ids, 1, 8, None);
+    let pristine = model
+        .execute(StepRequest::infer(&ids, 1, 8))
+        .logits
+        .unwrap();
     // Attach, train (which changes the function), then detach.
     PeftMethod::lora_default().apply(&mut model, 2);
     train(&mut model, 5, 4);
-    let tuned = model.forward(&ids, 1, 8, None);
+    let tuned = model
+        .execute(StepRequest::infer(&ids, 1, 8))
+        .logits
+        .unwrap();
     assert_ne!(
         pristine.as_slice(),
         tuned.as_slice(),
         "training must change the function while attached"
     );
     detach(&mut model);
-    let back = model.forward(&ids, 1, 8, None);
+    let back = model
+        .execute(StepRequest::infer(&ids, 1, 8))
+        .logits
+        .unwrap();
     assert_eq!(
         pristine.as_slice(),
         back.as_slice(),
@@ -110,13 +125,19 @@ fn adapters_from_two_tenants_are_independent() {
 
     method.apply(&mut model, 100);
     train(&mut model, 5, 41);
-    let a_logits = model.forward(&ids, 1, 8, None);
+    let a_logits = model
+        .execute(StepRequest::infer(&ids, 1, 8))
+        .logits
+        .unwrap();
     let a = TenantAdapter::extract_from(&mut model, method, 100);
     detach(&mut model);
 
     method.apply(&mut model, 200);
     train(&mut model, 9, 43);
-    let b_logits = model.forward(&ids, 1, 8, None);
+    let b_logits = model
+        .execute(StepRequest::infer(&ids, 1, 8))
+        .logits
+        .unwrap();
     let b = TenantAdapter::extract_from(&mut model, method, 200);
     detach(&mut model);
 
@@ -124,13 +145,21 @@ fn adapters_from_two_tenants_are_independent() {
 
     a.attach_to(&mut model);
     assert_eq!(
-        model.forward(&ids, 1, 8, None).as_slice(),
+        model
+            .execute(StepRequest::infer(&ids, 1, 8))
+            .logits
+            .unwrap()
+            .as_slice(),
         a_logits.as_slice()
     );
     detach(&mut model);
     b.attach_to(&mut model);
     assert_eq!(
-        model.forward(&ids, 1, 8, None).as_slice(),
+        model
+            .execute(StepRequest::infer(&ids, 1, 8))
+            .logits
+            .unwrap()
+            .as_slice(),
         b_logits.as_slice()
     );
 }

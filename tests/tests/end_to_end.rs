@@ -6,7 +6,7 @@ use lx_data::instruct::InstructGenerator;
 use lx_data::tasks::{evaluate_accuracy, Task, TaskKind};
 use lx_data::{Batcher, SyntheticWorld};
 use lx_integration::{batch_ids, tiny_model};
-use lx_model::{prompt_aware_targets, Sgd};
+use lx_model::{prompt_aware_targets, score_continuation, Sgd};
 use lx_peft::PeftMethod;
 
 const BLOCK: usize = 4;
@@ -121,7 +121,9 @@ fn downstream_eval_pipeline_runs() {
     }
     let task = Task::new(TaskKind::Piqa, world);
     let examples = task.examples(10);
-    let acc = evaluate_accuracy(&examples, |p, c| engine.model.score_continuation(p, c));
+    let acc = evaluate_accuracy(&examples, |p, c| {
+        score_continuation(&mut engine.model, p, c)
+    });
     assert!((0.0..=1.0).contains(&acc));
 }
 

@@ -8,7 +8,8 @@ use lx_integration::tiny_model;
 use lx_model::TransformerModel;
 use lx_peft::PeftMethod;
 use lx_serve::{
-    AdapterRegistry, DatasetSpec, JobReport, JobSpec, SchedPolicy, Scheduler, ServeConfig,
+    AdapterRegistry, DatasetSpec, FinetuneService, JobReport, JobSpec, SchedPolicy, Scheduler,
+    ServeConfig,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -160,6 +161,61 @@ fn sparse_mode_shares_one_predictor_set_across_tenants() {
             "{tenant}: imported predictors must reproduce calibrated-run losses"
         );
     }
+}
+
+#[test]
+fn tenants_stream_per_step_progress_through_the_service() {
+    // Multiple tenants interleave on the shared backbone while each client
+    // consumes its own per-step StepEvent stream concurrently; the streams
+    // must be complete (one event per step, in order), carry the same losses
+    // as the terminal reports, and end when the job does.
+    let scheduler = Scheduler::new(
+        backbone(),
+        engine_cfg(),
+        ServeConfig {
+            slice_steps: 2,
+            ..ServeConfig::default()
+        },
+        Arc::new(AdapterRegistry::in_memory()),
+    );
+    let service = FinetuneService::spawn(scheduler);
+    let tickets: Vec<_> = specs()
+        .into_iter()
+        .map(|spec| (spec.tenant.clone(), spec.steps, service.submit(spec)))
+        .collect();
+    // Drain every stream on its own thread while training proceeds.
+    let collectors: Vec<_> = tickets
+        .iter()
+        .map(|(tenant, steps, ticket)| {
+            let (tenant, steps, stream) = (tenant.clone(), *steps, ticket.progress());
+            std::thread::spawn(move || {
+                let events: Vec<_> = stream.collect();
+                (tenant, steps, events)
+            })
+        })
+        .collect();
+    for handle in collectors {
+        let (tenant, steps, events) = handle.join().expect("collector thread");
+        assert_eq!(events.len(), steps as usize, "{tenant}: one event per step");
+        let report = tickets
+            .iter()
+            .find(|(t, _, _)| *t == tenant)
+            .unwrap()
+            .2
+            .wait()
+            .expect("job completes");
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.tenant, tenant);
+            assert_eq!(e.step, i as u64 + 1, "{tenant}: events arrive in order");
+            assert_eq!(e.total_steps, steps);
+            assert_eq!(
+                e.loss, report.losses[i],
+                "{tenant}: streamed loss mirrors the report"
+            );
+            assert!(e.step_time > std::time::Duration::ZERO);
+        }
+    }
+    service.shutdown();
 }
 
 #[test]

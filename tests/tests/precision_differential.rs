@@ -11,11 +11,11 @@
 //! the function once (≈2^-11 relative per weight); it does not compound,
 //! because the stored bits never change and all accumulation is f32.
 
-use lx_model::{prompt_aware_targets, Adam, ModelConfig, Precision, TransformerModel};
+use lx_model::{prompt_aware_targets, Adam, ModelConfig, Precision, StepRequest, TransformerModel};
 use lx_peft::{PeftMethod, TenantAdapter};
 use lx_sparse::NeuronBlockSet;
 use lx_tensor::f16::round_f16;
-use lx_tensor::{memtrack, Tensor};
+use lx_tensor::memtrack;
 use std::sync::Arc;
 
 fn batch(model: &TransformerModel, n: usize, seq: usize, seed: u64) -> Vec<u32> {
@@ -60,7 +60,11 @@ fn f16_storage_loss_curve_tracks_f32_within_documented_tolerance() {
             // Three fixed batches cycled, identical across both runs.
             let ids = batch(&model, 2, 8, 100 + (step % 3) as u64);
             let targets = prompt_aware_targets(&ids, 2, 8, 0);
-            losses.push(model.train_step(&ids, &targets, 2, 8, None, &mut opt));
+            losses.push(
+                model
+                    .execute(StepRequest::train(&ids, &targets, 2, 8, &mut opt))
+                    .loss,
+            );
         }
         losses
     };
@@ -115,19 +119,27 @@ fn sparse_path_on_f16_storage_matches_rounded_f32_model() {
         )));
     }
     let ids = batch(&half, 2, 8, 31);
-    let ya = half.forward(&ids, 2, 8, Some(&plan));
-    let yb = rounded.forward(&ids, 2, 8, Some(&plan));
+    // Grad mode runs forward + cross-entropy backward in one request, so
+    // both the decoded-slab forward and the §II-D sparse backward (which
+    // reads the same decoded slabs) are compared.
+    let targets = prompt_aware_targets(&ids, 2, 8, 0);
+    let out_a = half.execute(
+        StepRequest::grad(&ids, &targets, 2, 8)
+            .plan(&plan)
+            .keep_logits(),
+    );
+    let out_b = rounded.execute(
+        StepRequest::grad(&ids, &targets, 2, 8)
+            .plan(&plan)
+            .keep_logits(),
+    );
+    let (ya, yb) = (out_a.logits.unwrap(), out_b.logits.unwrap());
     for (a, b) in ya.as_slice().iter().zip(yb.as_slice()) {
         assert!(
             (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
             "sparse forward diverged: {a} vs {b}"
         );
     }
-    // Backward: LoRA gradients must agree too (the §II-D sparse backward
-    // reads the same decoded slabs).
-    let dlogits = Tensor::randn(ya.shape(), 0.1, 33);
-    half.backward(&dlogits);
-    rounded.backward(&dlogits);
     let mut grads_a = Vec::new();
     half.for_each_param(&mut |p| {
         if let Some(g) = &p.grad {
@@ -167,11 +179,11 @@ fn tenant_adapter_lifecycle_works_on_f16_backbone() {
     );
     adapter.attach_to(&mut m);
     let ids = batch(&m, 1, 8, 41);
-    let before = m.forward(&ids, 1, 8, None);
+    let before = m.execute(StepRequest::infer(&ids, 1, 8)).logits.unwrap();
     let extracted = TenantAdapter::extract_from(&mut m, PeftMethod::lora_default(), 3);
     lx_peft::detach(&mut m);
     extracted.attach_to(&mut m);
-    let after = m.forward(&ids, 1, 8, None);
+    let after = m.execute(StepRequest::infer(&ids, 1, 8)).logits.unwrap();
     assert_eq!(
         before.as_slice(),
         after.as_slice(),

@@ -5,9 +5,8 @@
 //! and trainable-parameter gradients, across PEFT methods.
 
 use lx_integration::{batch_ids, tiny_model};
-use lx_model::loss::cross_entropy;
 use lx_model::plan::{LayerPlan, SparsePlan};
-use lx_model::prompt_aware_targets;
+use lx_model::{prompt_aware_targets, StepRequest};
 use lx_peft::PeftMethod;
 use lx_sparse::{BlockCsr, MultiHeadLayout, NeuronBlockSet, PatternSpec};
 use std::sync::Arc;
@@ -60,16 +59,20 @@ fn check_method(method: PeftMethod) {
     }
     let targets = prompt_aware_targets(&ids, BATCH, SEQ, prompt);
 
-    let logits_d = dense.forward(&ids, BATCH, SEQ, None);
-    let logits_s = sparse.forward(&ids, BATCH, SEQ, Some(&plan));
+    // Grad mode: forward + loss + backward, gradients left in the params.
+    let out_d = dense.execute(StepRequest::grad(&ids, &targets, BATCH, SEQ).keep_logits());
+    let out_s = sparse.execute(
+        StepRequest::grad(&ids, &targets, BATCH, SEQ)
+            .plan(&plan)
+            .keep_logits(),
+    );
+    let logits_d = out_d.logits.expect("dense logits");
+    let logits_s = out_s.logits.expect("sparse logits");
     assert_close(logits_d.as_slice(), logits_s.as_slice(), 2e-3, "logits");
 
-    let (loss_d, grad_d) = cross_entropy(&logits_d, &targets);
-    let (loss_s, grad_s) = cross_entropy(&logits_s, &targets);
+    let (loss_d, loss_s) = (out_d.loss, out_s.loss);
     assert!((loss_d - loss_s).abs() < 1e-3, "loss {loss_d} vs {loss_s}");
 
-    dense.backward(&grad_d);
-    sparse.backward(&grad_s);
     // Compare every trainable gradient.
     let mut grads_d: Vec<(String, Vec<f32>)> = Vec::new();
     dense.for_each_param(&mut |p| {
@@ -151,8 +154,14 @@ fn partial_attention_pattern_changes_output() {
             mlp: None,
         });
     }
-    let a = dense.forward(&ids, BATCH, SEQ, None);
-    let b = sparse.forward(&ids, BATCH, SEQ, Some(&plan));
+    let a = dense
+        .execute(StepRequest::infer(&ids, BATCH, SEQ))
+        .logits
+        .unwrap();
+    let b = sparse
+        .execute(StepRequest::infer(&ids, BATCH, SEQ).plan(&plan))
+        .logits
+        .unwrap();
     let diff: f32 = a
         .as_slice()
         .iter()
