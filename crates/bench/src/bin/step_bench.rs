@@ -1,0 +1,289 @@
+//! Steady-state training-step benchmark for the cross-step reuse layer:
+//! per-step wall time, heap-tensor allocation counts (via the `memtrack`
+//! fresh-allocation counters), workspace hit rates, and the predict-time
+//! amortisation of plan reuse (`PlanRefreshConfig`).
+//!
+//! Tables:
+//! 1. **steady state** — dense and sparse steps after warmup: mean step
+//!    time, predict share, allocations per steady-state step (must be 0),
+//!    workspace hits/misses.
+//! 2. **plan reuse** — identical calibrated engines run 24 identical steps
+//!    with every-step prediction vs a reuse interval: total predict time,
+//!    f16 slab blocks decoded, the predict-time ratio (`reuse speedup`) and
+//!    the worst per-step loss deviation between the arms.
+//!
+//! Flags:
+//! * `--smoke` — tiny model; gates on **zero steady-state allocations**
+//!   (dense + sparse), reuse actually reducing predict time, and the reuse
+//!   arm's loss curve staying within 0.05 of every-step prediction. Exits
+//!   non-zero on violation (the CI gate).
+//! * `--json` — write `BENCH_step_bench.json`.
+//! * `--compare <baseline.json>` / `--tolerance <frac>` — gate the
+//!   `reuse speedup` column against a committed baseline
+//!   (see `ci/baselines/step_bench.json`).
+
+use long_exposure::engine::StepMode;
+use long_exposure::PlanRefreshConfig;
+use lx_bench::{calibrated_engine, default_opt, header, load_bench_json, row, BenchCli};
+use lx_model::{prompt_aware_targets, ModelConfig, Precision};
+use lx_peft::PeftMethod;
+use lx_tensor::memtrack;
+use std::time::{Duration, Instant};
+
+const WARMUP: usize = 2;
+const REUSE_STEPS: usize = 24;
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+struct SteadyState {
+    mode: &'static str,
+    step_ms: f64,
+    predict_share: f64,
+    allocs_per_step: f64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Run `WARMUP` untimed steps, then `measured` steps with the allocation
+/// counters marked, in one mode.
+fn steady_state(
+    cfg: ModelConfig,
+    precision: Precision,
+    batch: usize,
+    seq: usize,
+    mode: StepMode,
+    label: &'static str,
+    measured: usize,
+) -> SteadyState {
+    let (mut engine, mut batcher) =
+        calibrated_engine(cfg, PeftMethod::lora_default(), batch, seq, 42);
+    engine.model.set_precision(precision);
+    let mut opt = default_opt();
+    let prompt = engine.model.embedding.prompt_len();
+    let mut run = |engine: &mut long_exposure::FinetuneEngine, batcher: &mut lx_data::Batcher| {
+        let ids = batcher.next_batch(batch, seq);
+        let targets = prompt_aware_targets(&ids, batch, seq, prompt);
+        engine.train_step_mode(&ids, &targets, batch, seq, &mut opt, mode)
+    };
+    for _ in 0..WARMUP {
+        run(&mut engine, &mut batcher);
+    }
+    let mark = memtrack::alloc_stats();
+    let t0 = Instant::now();
+    let mut predict = Duration::ZERO;
+    for _ in 0..measured {
+        let out = run(&mut engine, &mut batcher);
+        predict += out.predict;
+    }
+    let wall = t0.elapsed();
+    let allocs = memtrack::alloc_stats().since(&mark);
+    let ws = engine.model.workspace_stats();
+    SteadyState {
+        mode: label,
+        step_ms: wall.as_secs_f64() * 1e3 / measured as f64,
+        predict_share: predict.as_secs_f64() / wall.as_secs_f64().max(1e-12),
+        allocs_per_step: allocs.count as f64 / measured as f64,
+        hits: ws.hits,
+        misses: ws.misses,
+    }
+}
+
+struct ReuseArm {
+    predict: Duration,
+    decoded: u64,
+    losses: Vec<f32>,
+    predicted_steps: u64,
+    reused_steps: u64,
+}
+
+/// 24 identical sparse steps with the given refresh interval, from an
+/// identically-seeded calibrated engine (so the arms see the same data).
+fn reuse_arm(
+    cfg: ModelConfig,
+    precision: Precision,
+    batch: usize,
+    seq: usize,
+    interval: usize,
+) -> ReuseArm {
+    let (mut engine, mut batcher) =
+        calibrated_engine(cfg, PeftMethod::lora_default(), batch, seq, 42);
+    engine.model.set_precision(precision);
+    engine.set_plan_refresh(PlanRefreshConfig {
+        interval,
+        min_overlap: 0.0,
+    });
+    let mut opt = default_opt();
+    let prompt = engine.model.embedding.prompt_len();
+    let mut predict = Duration::ZERO;
+    let mut losses = Vec::with_capacity(REUSE_STEPS);
+    for _ in 0..REUSE_STEPS {
+        let ids = batcher.next_batch(batch, seq);
+        let targets = prompt_aware_targets(&ids, batch, seq, prompt);
+        let out = engine.train_step_mode(&ids, &targets, batch, seq, &mut opt, StepMode::Sparse);
+        predict += out.predict;
+        losses.push(out.loss);
+    }
+    let (decoded, _) = engine.model.slab_cache_stats();
+    let stats = engine.plan_reuse_stats();
+    ReuseArm {
+        predict,
+        decoded,
+        losses,
+        predicted_steps: stats.predicted_steps,
+        reused_steps: stats.reused_steps,
+    }
+}
+
+fn main() {
+    let cli = BenchCli::parse("step_bench");
+    let smoke = cli.smoke;
+    lx_runtime::kernel_policy::install_tuned();
+    let precision = cli.precision();
+    let (cfg, batch, seq, measured) = if smoke {
+        (ModelConfig::test_tiny(), 2, 32, 8)
+    } else {
+        (ModelConfig::opt_sim_small(), 2, 256, 8)
+    };
+    println!(
+        "== step_bench: steady-state reuse ({}, batch {batch}, seq {seq}, warmup {WARMUP}{}) ==\n",
+        cfg.name,
+        if smoke { ", smoke" } else { "" }
+    );
+
+    header(&[
+        "mode",
+        "step ms",
+        "predict share",
+        "allocs/step",
+        "ws hits",
+        "ws misses",
+    ]);
+    let arms = [("dense", StepMode::Dense), ("sparse", StepMode::Sparse)];
+    let mut steady = Vec::new();
+    for (label, mode) in arms {
+        let s = steady_state(cfg.clone(), precision, batch, seq, mode, label, measured);
+        row(&[
+            s.mode.to_string(),
+            format!("{:.2}", s.step_ms),
+            format!("{:.1}%", s.predict_share * 100.0),
+            format!("{:.2}", s.allocs_per_step),
+            s.hits.to_string(),
+            s.misses.to_string(),
+        ]);
+        steady.push(s);
+    }
+
+    println!();
+    header(&[
+        "arm",
+        "predicted",
+        "reused",
+        "predict ms",
+        "slabs decoded",
+        "reuse speedup",
+        "max loss dev",
+    ]);
+    let every = reuse_arm(cfg.clone(), precision, batch, seq, 1);
+    let reused = reuse_arm(cfg.clone(), precision, batch, seq, 4);
+    let max_dev = every
+        .losses
+        .iter()
+        .zip(&reused.losses)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    let speedup = every.predict.as_secs_f64() / reused.predict.as_secs_f64().max(1e-12);
+    row(&[
+        "predict every step".into(),
+        every.predicted_steps.to_string(),
+        every.reused_steps.to_string(),
+        fmt_ms(every.predict),
+        every.decoded.to_string(),
+        "1.00x".into(),
+        "0.000".into(),
+    ]);
+    row(&[
+        "reuse interval 4".into(),
+        reused.predicted_steps.to_string(),
+        reused.reused_steps.to_string(),
+        fmt_ms(reused.predict),
+        reused.decoded.to_string(),
+        format!("{speedup:.2}x"),
+        format!("{max_dev:.3}"),
+    ]);
+    println!(
+        "\nshape to check: allocs/step is 0 after warmup in both modes; plan reuse cuts \
+         predict time and slab decodes while the loss curve stays within 0.05."
+    );
+    cli.finish();
+
+    let mut gate_failed = false;
+    if let Some(path) = cli.value("--compare") {
+        let tolerance = cli
+            .value("--tolerance")
+            .map(|t| {
+                t.parse::<f64>()
+                    .expect("--tolerance takes a fraction, e.g. 0.6")
+            })
+            .unwrap_or(0.6);
+        match load_bench_json(std::path::Path::new(&path)) {
+            Ok(baseline) => {
+                let (checked, regressions) =
+                    lx_bench::compare_to_baseline(&baseline, "reuse speedup", tolerance);
+                println!(
+                    "\nbench-regression gate vs {path}: {} comparisons at {:.0}% tolerance",
+                    checked.len(),
+                    tolerance * 100.0
+                );
+                for line in &checked {
+                    println!("  {line}");
+                }
+                for line in &regressions {
+                    eprintln!("  REGRESSION {line}");
+                }
+                if checked.is_empty() && regressions.is_empty() {
+                    eprintln!("step_bench: baseline matched no rows — wrong file?");
+                    gate_failed = true;
+                }
+                gate_failed |= !regressions.is_empty();
+            }
+            Err(e) => {
+                eprintln!("step_bench: cannot load baseline: {e}");
+                gate_failed = true;
+            }
+        }
+    }
+    if smoke {
+        for s in &steady {
+            if s.allocs_per_step > 0.0 {
+                eprintln!(
+                    "step_bench: {} steady state allocated {:.2} heap tensors/step (expected 0)",
+                    s.mode, s.allocs_per_step
+                );
+                gate_failed = true;
+            }
+        }
+        if reused.predict >= every.predict {
+            eprintln!(
+                "step_bench: plan reuse did not reduce predict time ({:?} vs {:?})",
+                reused.predict, every.predict
+            );
+            gate_failed = true;
+        }
+        if reused.decoded > every.decoded {
+            eprintln!(
+                "step_bench: plan reuse decoded more slabs ({} vs {})",
+                reused.decoded, every.decoded
+            );
+            gate_failed = true;
+        }
+        if max_dev > 0.05 {
+            eprintln!("step_bench: reuse loss curve deviated by {max_dev} (> 0.05)");
+            gate_failed = true;
+        }
+    }
+    if gate_failed {
+        std::process::exit(1);
+    }
+}

@@ -14,7 +14,8 @@
 
 use crate::exposer::Exposer;
 use crate::policy::{
-    DensePolicy, OraclePolicy, PredictedPolicy, RandomPolicy, RandomTarget, SparsityPolicy,
+    DensePolicy, OraclePolicy, PlanRefreshConfig, PlanReuseStats, PredictedPolicy, RandomPolicy,
+    RandomTarget, SparsityPolicy,
 };
 use crate::predictor::{pool_blocks, AttnSample, MlpSample};
 use lx_model::{
@@ -48,6 +49,10 @@ pub struct EngineConfig {
     pub noise_std: f32,
     /// Recall weighting of the predictor loss (false-negative cost).
     pub pos_weight: f32,
+    /// Cross-step plan reuse for the predicted policy (shadowy-sparsity
+    /// amortisation). Defaults to every-step prediction, overridable via
+    /// `LX_PLAN_REFRESH` / `LX_PLAN_MIN_OVERLAP`.
+    pub plan_refresh: PlanRefreshConfig,
     pub seed: u64,
 }
 
@@ -65,6 +70,7 @@ impl Default for EngineConfig {
             predictor_lr: 0.5,
             noise_std: 0.02,
             pos_weight: 4.0,
+            plan_refresh: PlanRefreshConfig::from_env(PlanRefreshConfig::default()),
             seed: 0x10e0,
         }
     }
@@ -194,7 +200,7 @@ fn step_with(
     assert!(!batches.is_empty(), "at least one micro-batch");
     let metered = policy.metered();
     assert!(
-        batches.len() == 1 || !metered,
+        batches.len() == 1 || !policy.batch_specific(),
         "{}: the plan is ground truth for one specific batch; micro-batch \
          accumulation needs an inline or batch-agnostic plan source \
          (Dense/Sparse/Random)",
@@ -222,7 +228,7 @@ fn step_with(
 
 impl FinetuneEngine {
     pub fn new(model: TransformerModel, config: EngineConfig) -> Self {
-        let predicted = PredictedPolicy::new(
+        let mut predicted = PredictedPolicy::new(
             &model.config,
             config.block_size,
             config.predictor_rank,
@@ -231,6 +237,7 @@ impl FinetuneEngine {
             config.enable_mlp,
             config.seed,
         );
+        predicted.set_refresh(config.plan_refresh);
         let oracle = OraclePolicy::new(
             config.block_size,
             config.attn_prob_threshold,
@@ -364,6 +371,9 @@ impl FinetuneEngine {
             }
         }
         self.calibrated = true;
+        // The predictors just changed under the policy; a cached plan from
+        // the pre-calibration predictors must not be replayed.
+        self.predicted.invalidate_plan_cache();
         report
     }
 
@@ -488,8 +498,30 @@ impl FinetuneEngine {
         }
         self.predicted.attn = attn;
         self.predicted.mlp = mlp;
+        self.predicted.invalidate_plan_cache();
         self.calibrated = true;
         Ok(())
+    }
+
+    /// Reconfigure the predicted policy's cross-step plan reuse (resets any
+    /// cached plan).
+    pub fn set_plan_refresh(&mut self, refresh: PlanRefreshConfig) {
+        self.config.plan_refresh = refresh;
+        self.predicted.set_refresh(refresh);
+    }
+
+    /// Plan-reuse counters of the predicted policy (predicted vs. replayed
+    /// steps, last inter-prediction overlap, drift state).
+    pub fn plan_reuse_stats(&self) -> PlanReuseStats {
+        self.predicted.plan_reuse_stats()
+    }
+
+    /// Drop the predicted policy's cached plan. Callers that change what the
+    /// model computes between steps (e.g. `lx-serve` attaching a different
+    /// tenant's adapter) must invalidate so a plan predicted in the old
+    /// context is never replayed into the new one.
+    pub fn invalidate_plan_cache(&mut self) {
+        self.predicted.invalidate_plan_cache();
     }
 
     /// Predicted per-head attention masks for a layer given its block input

@@ -49,6 +49,7 @@ pub use checkpoint::{load_predictors, save_predictors, CheckpointMeta};
 pub use engine::{CalibrationReport, EngineConfig, FinetuneEngine, StepMode};
 pub use exposer::Exposer;
 pub use policy::{
-    DensePolicy, OraclePolicy, PredictedPolicy, RandomPolicy, RandomTarget, SparsityPolicy,
+    DensePolicy, OraclePolicy, PlanRefreshConfig, PlanReuseStats, PredictedPolicy, RandomPolicy,
+    RandomTarget, SparsityPolicy,
 };
 pub use predictor::{AttnPredictor, MlpPredictor};

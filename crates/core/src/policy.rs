@@ -42,10 +42,86 @@ pub trait SparsityPolicy {
 
     /// Whether wall time spent inside [`Self::source`] counts as prediction
     /// overhead (the Fig. 10 "predict" phase). The oracle's capture pass
-    /// does; the trivial builders keep the legacy accounting of zero.
+    /// does, as does the predicted policy's plan-cache bookkeeping; the
+    /// trivial builders keep the legacy accounting of zero.
     fn metered(&self) -> bool {
         false
     }
+
+    /// Whether the produced plan is ground truth for *one specific batch*
+    /// (the oracle). Batch-specific plans cannot honestly serve micro-batch
+    /// accumulation, so the engine rejects multi-shard steps for them.
+    fn batch_specific(&self) -> bool {
+        false
+    }
+}
+
+/// Cross-step plan-reuse knobs for [`PredictedPolicy`] — the shadowy-
+/// sparsity amortisation: plans drift slowly, so re-running the predictors
+/// every step mostly recomputes the plan it already has.
+///
+/// `interval = 1` (the default) re-predicts every step — the legacy,
+/// paper-faithful behaviour. `interval = N > 1` predicts once and replays
+/// the cached plan for the next `N − 1` steps, with **drift detection**:
+/// every re-prediction is compared against the cached plan (mean Jaccard
+/// overlap of attention layouts and neuron-block sets), and while the
+/// overlap sits below `min_overlap` the policy keeps predicting every step
+/// instead of trusting a stale plan.
+///
+/// Environment overrides (applied by [`PlanRefreshConfig::from_env`], which
+/// the engine uses on its default config): `LX_PLAN_REFRESH=<interval>` and
+/// `LX_PLAN_MIN_OVERLAP=<0..1>`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanRefreshConfig {
+    /// Re-predict every `interval` steps (≥ 1; 1 = every step).
+    pub interval: usize,
+    /// Reuse is suspended while consecutive predictions overlap less than
+    /// this (the plan is drifting too fast to replay).
+    pub min_overlap: f32,
+}
+
+impl Default for PlanRefreshConfig {
+    fn default() -> Self {
+        PlanRefreshConfig {
+            interval: 1,
+            min_overlap: 0.5,
+        }
+    }
+}
+
+impl PlanRefreshConfig {
+    /// `base` with `LX_PLAN_REFRESH` / `LX_PLAN_MIN_OVERLAP` overrides
+    /// applied (unparsable values are ignored).
+    pub fn from_env(base: PlanRefreshConfig) -> Self {
+        let mut cfg = base;
+        if let Some(n) = std::env::var("LX_PLAN_REFRESH")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.interval = n.max(1);
+        }
+        if let Some(t) = std::env::var("LX_PLAN_MIN_OVERLAP")
+            .ok()
+            .and_then(|v| v.parse::<f32>().ok())
+        {
+            cfg.min_overlap = t.clamp(0.0, 1.0);
+        }
+        cfg
+    }
+}
+
+/// Counters describing [`PredictedPolicy`]'s cross-step plan reuse.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanReuseStats {
+    /// Steps that ran the per-layer predictors.
+    pub predicted_steps: u64,
+    /// Steps that replayed the cached plan.
+    pub reused_steps: u64,
+    /// Overlap between the two most recent predictions, once two exist.
+    pub last_overlap: Option<f32>,
+    /// Reuse is currently suspended because overlap fell below the
+    /// configured threshold.
+    pub drifting: bool,
 }
 
 /// Dense baseline: no plan at all.
@@ -80,6 +156,26 @@ pub struct PredictedPolicy {
     pub(crate) attn_min_recall: f32,
     pub(crate) enable_attn: bool,
     pub(crate) enable_mlp: bool,
+    refresh: PlanRefreshConfig,
+    /// The most recent complete prediction, replayable on reuse steps.
+    cached: Option<CachedPlan>,
+    /// Per-layer plans recorded while an inline prediction runs; finalised
+    /// into `cached` at the next [`SparsityPolicy::source`] call.
+    building: Vec<LayerPlan>,
+    /// `(batch, eff)` of the in-flight prediction.
+    pending_shape: Option<(usize, usize)>,
+    /// Reuse steps taken since the cached plan was predicted.
+    age: usize,
+    drifting: bool,
+    predicted_steps: u64,
+    reused_steps: u64,
+    last_overlap: Option<f32>,
+}
+
+struct CachedPlan {
+    plan: SparsePlan,
+    batch: usize,
+    eff: usize,
 }
 
 impl PredictedPolicy {
@@ -132,7 +228,103 @@ impl PredictedPolicy {
             attn_min_recall,
             enable_attn,
             enable_mlp: enable_mlp && model_cfg.activation == Activation::Relu,
+            refresh: PlanRefreshConfig::default(),
+            cached: None,
+            building: Vec::new(),
+            pending_shape: None,
+            age: 0,
+            drifting: false,
+            predicted_steps: 0,
+            reused_steps: 0,
+            last_overlap: None,
         }
+    }
+
+    /// Install cross-step plan-reuse knobs (see [`PlanRefreshConfig`]).
+    /// Drops any cached plan so the new schedule starts fresh.
+    pub fn set_refresh(&mut self, refresh: PlanRefreshConfig) {
+        self.refresh = PlanRefreshConfig {
+            interval: refresh.interval.max(1),
+            ..refresh
+        };
+        self.invalidate_plan_cache();
+    }
+
+    /// Drop the cached plan and drift state. Must be called whenever the
+    /// predictors change under the policy (recalibration, checkpoint import)
+    /// or the model they plan for changes (a different tenant's adapter
+    /// attaches) — a replayed plan from the old context would be silently
+    /// wrong and the drift detector only compares fresh predictions.
+    pub fn invalidate_plan_cache(&mut self) {
+        self.cached = None;
+        self.building.clear();
+        self.pending_shape = None;
+        self.age = 0;
+        self.drifting = false;
+    }
+
+    /// Current plan-reuse knobs.
+    pub fn refresh(&self) -> PlanRefreshConfig {
+        self.refresh
+    }
+
+    /// Cross-step plan-reuse counters.
+    pub fn plan_reuse_stats(&self) -> PlanReuseStats {
+        PlanReuseStats {
+            predicted_steps: self.predicted_steps,
+            reused_steps: self.reused_steps,
+            last_overlap: self.last_overlap,
+            drifting: self.drifting,
+        }
+    }
+
+    /// Mean overlap between two plans: per layer, the Jaccard overlap of the
+    /// attention layouts and of the neuron-block sets, averaged over every
+    /// component present in both. `None` when nothing is comparable.
+    fn plan_overlap(a: &SparsePlan, b: &SparsePlan) -> Option<f32> {
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for (la, lb) in a.layers.iter().zip(&b.layers) {
+            if let (Some(x), Some(y)) = (&la.attn, &lb.attn) {
+                sum += x.overlap(y) as f64;
+                n += 1;
+            }
+            if let (Some(x), Some(y)) = (&la.mlp, &lb.mlp) {
+                sum += x.overlap(y) as f64;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| (sum / n as f64) as f32)
+    }
+
+    /// Fold the per-layer plans recorded by the last inline prediction into
+    /// the replayable cache and update the drift detector.
+    fn finalize_building(&mut self) {
+        let n_layers = self.attn.len();
+        let Some((batch, eff)) = self.pending_shape.take() else {
+            self.building.clear();
+            return;
+        };
+        if self.building.len() < n_layers {
+            // The predicted step never ran (request dropped); discard.
+            self.building.clear();
+            return;
+        }
+        // Micro-batch accumulation re-plans per shard; the cache keeps the
+        // most recent shard's plan.
+        let start = self.building.len() - n_layers;
+        let layers: Vec<LayerPlan> = self.building.drain(..).skip(start).collect();
+        let plan = SparsePlan { layers };
+        if let Some(prev) = &self.cached {
+            if prev.batch == batch && prev.eff == eff {
+                if let Some(overlap) = Self::plan_overlap(&plan, &prev.plan) {
+                    self.last_overlap = Some(overlap);
+                    self.drifting = overlap < self.refresh.min_overlap;
+                }
+            }
+        }
+        self.cached = Some(CachedPlan { plan, batch, eff });
+        self.age = 0;
     }
 }
 
@@ -150,6 +342,8 @@ impl LayerPlanner for PredictedPolicy {
         if self.enable_mlp {
             plan.mlp = Some(Arc::new(self.mlp[layer].predict(x)));
         }
+        // Record for the cross-step plan cache (Arc clones — cheap).
+        self.building.push(plan.clone());
         plan
     }
 }
@@ -159,17 +353,40 @@ impl SparsityPolicy for PredictedPolicy {
         "predicted"
     }
 
+    fn metered(&self) -> bool {
+        // Plan-cache bookkeeping (finalise + overlap) is prediction-side
+        // work; metering it keeps the Fig. 10 predict column honest.
+        true
+    }
+
     fn source<'a>(
         &'a mut self,
         model: &mut TransformerModel,
         _ids: &[u32],
-        _batch: usize,
+        batch: usize,
         seq: usize,
     ) -> PlanSource<'a> {
         let eff = model.effective_seq(seq);
         assert_eq!(eff % self.block_size, 0, "seq must be block-aligned");
         self.pool.add_grid(eff / self.block_size);
-        PlanSource::Planner(self)
+        self.finalize_building();
+        let reusable = self.refresh.interval > 1
+            && !self.drifting
+            && self.age + 1 < self.refresh.interval
+            && self
+                .cached
+                .as_ref()
+                .is_some_and(|c| c.batch == batch && c.eff == eff);
+        if reusable {
+            self.age += 1;
+            self.reused_steps += 1;
+            let cached = self.cached.as_ref().expect("reusable implies cached");
+            PlanSource::Provided(&cached.plan)
+        } else {
+            self.predicted_steps += 1;
+            self.pending_shape = Some((batch, eff));
+            PlanSource::Planner(self)
+        }
     }
 }
 
@@ -214,6 +431,10 @@ impl SparsityPolicy for OraclePolicy {
 
     fn metered(&self) -> bool {
         true // the capture pass is real prediction overhead
+    }
+
+    fn batch_specific(&self) -> bool {
+        true // the plan is exact ground truth for this batch only
     }
 
     fn source<'a>(
@@ -425,6 +646,70 @@ mod tests {
         // the stashed plans' layouts instead.
         let _ = (a, b);
         assert_eq!(ra.counter, 2, "per-step counter advances");
+    }
+
+    #[test]
+    fn predicted_policy_reuses_cached_plans_on_interval() {
+        let mut m = tiny();
+        let mut cfg = ModelConfig::test_tiny();
+        cfg.d_ff = 32;
+        let mut p = PredictedPolicy::new(&cfg, 4, 4, 0.95, true, true, 7);
+        p.set_refresh(PlanRefreshConfig {
+            interval: 4,
+            min_overlap: 0.0, // never suspend reuse
+        });
+        for _ in 0..8 {
+            let out = step(&mut m, &mut p);
+            assert!(out.loss.is_finite());
+            assert!(
+                out.mlp_density.is_some(),
+                "reused plans still execute sparse"
+            );
+        }
+        let stats = p.plan_reuse_stats();
+        assert_eq!(stats.predicted_steps, 2, "{stats:?}");
+        assert_eq!(stats.reused_steps, 6, "{stats:?}");
+        assert!(
+            stats.last_overlap.is_some(),
+            "two predictions happened, so overlap is measured: {stats:?}"
+        );
+        assert!(!stats.drifting);
+    }
+
+    #[test]
+    fn drift_detection_suspends_reuse() {
+        let mut m = tiny();
+        let mut cfg = ModelConfig::test_tiny();
+        cfg.d_ff = 32;
+        let mut p = PredictedPolicy::new(&cfg, 4, 4, 0.95, true, true, 7);
+        // An unreachable overlap bar: every measured overlap counts as drift,
+        // so after the second prediction the policy re-predicts every step.
+        p.set_refresh(PlanRefreshConfig {
+            interval: 4,
+            min_overlap: 1.1,
+        });
+        for _ in 0..8 {
+            step(&mut m, &mut p);
+        }
+        let stats = p.plan_reuse_stats();
+        assert!(stats.drifting, "{stats:?}");
+        assert_eq!(stats.predicted_steps, 5, "{stats:?}"); // 1, 5, 6, 7, 8
+        assert_eq!(stats.reused_steps, 3, "{stats:?}"); // 2, 3, 4
+    }
+
+    #[test]
+    fn refresh_interval_one_predicts_every_step() {
+        let mut m = tiny();
+        let mut cfg = ModelConfig::test_tiny();
+        cfg.d_ff = 32;
+        let mut p = PredictedPolicy::new(&cfg, 4, 4, 0.95, true, true, 7);
+        assert_eq!(p.refresh(), PlanRefreshConfig::default());
+        for _ in 0..4 {
+            step(&mut m, &mut p);
+        }
+        let stats = p.plan_reuse_stats();
+        assert_eq!(stats.predicted_steps, 4);
+        assert_eq!(stats.reused_steps, 0);
     }
 
     #[test]

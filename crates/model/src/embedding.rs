@@ -17,10 +17,15 @@ pub struct Embedding {
     pub prompt: Option<Param>,
     d_model: usize,
     cache: Option<EmbCache>,
+    /// Retired ids buffer parked between steps so the per-step id copy
+    /// reuses one allocation instead of a fresh `to_vec` every forward.
+    spare_ids: Vec<u32>,
 }
 
 #[derive(Debug)]
 struct EmbCache {
+    /// The step's ids, copied into a buffer whose allocation is reused
+    /// across steps (see [`Embedding::forward`]).
     ids: Vec<u32>,
     batch: usize,
     seq: usize,
@@ -37,6 +42,7 @@ impl Embedding {
             prompt: None,
             d_model,
             cache: None,
+            spare_ids: Vec::new(),
         }
     }
 
@@ -84,8 +90,11 @@ impl Embedding {
                 self.positions.add_row_into(s, row);
             }
         }
+        let mut ids_buf = std::mem::take(&mut self.spare_ids);
+        ids_buf.clear();
+        ids_buf.extend_from_slice(ids);
         self.cache = Some(EmbCache {
-            ids: ids.to_vec(),
+            ids: ids_buf,
             batch,
             seq,
         });
@@ -146,6 +155,8 @@ impl Embedding {
                 }
             }
         }
+        // Park the ids buffer for the next forward.
+        self.spare_ids = cache.ids;
     }
 
     pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {

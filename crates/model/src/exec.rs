@@ -28,7 +28,7 @@ use crate::loss::{self, IGNORE_INDEX};
 use crate::model::{CaptureConfig, Captures, LayerPlanner, TransformerModel};
 use crate::optim::{LossScaler, Optimizer};
 use crate::plan::SparsePlan;
-use lx_tensor::Tensor;
+use lx_tensor::{Tensor, Workspace};
 use std::time::{Duration, Instant};
 
 /// One shard of a gradient-accumulation step: token ids plus loss targets,
@@ -83,6 +83,7 @@ pub struct StepRequest<'a> {
     pub(crate) mode: Mode<'a>,
     pub(crate) plan: PlanSource<'a>,
     pub(crate) keep_logits: bool,
+    pub(crate) workspace: Option<&'a mut Workspace>,
 }
 
 impl<'a> StepRequest<'a> {
@@ -94,6 +95,7 @@ impl<'a> StepRequest<'a> {
             mode,
             plan: PlanSource::Dense,
             keep_logits: false,
+            workspace: None,
         }
     }
 
@@ -179,6 +181,14 @@ impl<'a> StepRequest<'a> {
         self.keep_logits = true;
         self
     }
+
+    /// Execute inside `ws` instead of the model's own step workspace —
+    /// `lx-serve`-style callers keep one workspace per tenant so pooled
+    /// buffers stay warm across interleaved scheduler slices.
+    pub fn workspace(mut self, ws: &'a mut Workspace) -> Self {
+        self.workspace = Some(ws);
+        self
+    }
 }
 
 /// Everything one step produced: loss, optional logits/captures, the plan
@@ -226,7 +236,24 @@ fn merge_density(acc: Option<f32>, next: Option<f32>, n_seen: usize) -> Option<f
 impl TransformerModel {
     /// Execute one [`StepRequest`]. The single entry point for every pass
     /// through the model; see the [module docs](self) for the mode catalogue.
-    pub fn execute(&mut self, req: StepRequest<'_>) -> StepOutcome {
+    ///
+    /// The whole step — all micro-batches, forward, backward, optimizer —
+    /// runs inside a step-workspace scope (the request's override or the
+    /// model's own pool), so after warmup a steady-state step performs zero
+    /// heap tensor allocations; see [`lx_tensor::Workspace`].
+    pub fn execute(&mut self, mut req: StepRequest<'_>) -> StepOutcome {
+        match req.workspace.take() {
+            Some(ws) => ws.scope(|| self.execute_inner(req)),
+            None => {
+                let mut ws = std::mem::take(&mut self.workspace);
+                let out = ws.scope(|| self.execute_inner(req));
+                self.workspace = ws;
+                out
+            }
+        }
+    }
+
+    fn execute_inner(&mut self, req: StepRequest<'_>) -> StepOutcome {
         let StepRequest {
             batches,
             batch,
@@ -234,6 +261,7 @@ impl TransformerModel {
             mode,
             mut plan,
             keep_logits,
+            workspace: _,
         } = req;
         assert!(!batches.is_empty(), "StepRequest needs at least one batch");
         let eff = self.effective_seq(seq);

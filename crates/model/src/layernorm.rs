@@ -15,8 +15,10 @@ pub struct LayerNorm {
 #[derive(Debug)]
 struct LnCache {
     x: Tensor,
-    means: Vec<f32>,
-    rstds: Vec<f32>,
+    /// Per-row statistics, kept as tensors so the buffers recycle through
+    /// the step workspace instead of being reallocated every forward.
+    means: Tensor,
+    rstds: Tensor,
 }
 
 impl LayerNorm {
@@ -32,8 +34,8 @@ impl LayerNorm {
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         let rows = x.rows();
         let mut y = Tensor::zeros(x.shape());
-        let mut means = vec![0.0; rows];
-        let mut rstds = vec![0.0; rows];
+        let mut means = Tensor::zeros(&[rows]);
+        let mut rstds = Tensor::zeros(&[rows]);
         for r in 0..rows {
             let (m, s) = layernorm_row(
                 x.row(r),
@@ -42,8 +44,8 @@ impl LayerNorm {
                 self.eps,
                 y.row_mut(r),
             );
-            means[r] = m;
-            rstds[r] = s;
+            means.as_mut_slice()[r] = m;
+            rstds.as_mut_slice()[r] = s;
         }
         self.cache = Some(LnCache {
             x: x.clone(),
@@ -61,26 +63,25 @@ impl LayerNorm {
         let rows = dy.rows();
         let dim = dy.cols();
         let mut dx = Tensor::zeros(dy.shape());
-        let mut dgamma = vec![0.0f32; dim];
-        let mut dbeta = vec![0.0f32; dim];
+        let mut dgamma = Tensor::zeros(&[dim]);
+        let mut dbeta = Tensor::zeros(&[dim]);
         for r in 0..rows {
             layernorm_backward_row(
                 cache.x.row(r),
                 dy.row(r),
                 self.gamma.value.as_slice(),
-                cache.means[r],
-                cache.rstds[r],
+                cache.means.as_slice()[r],
+                cache.rstds.as_slice()[r],
                 dx.row_mut(r),
-                &mut dgamma,
-                &mut dbeta,
+                dgamma.as_mut_slice(),
+                dbeta.as_mut_slice(),
             );
         }
         if self.gamma.trainable {
-            self.gamma
-                .accumulate_grad(&Tensor::from_vec(dgamma, &[dim]));
+            self.gamma.accumulate_grad(&dgamma);
         }
         if self.beta.trainable {
-            self.beta.accumulate_grad(&Tensor::from_vec(dbeta, &[dim]));
+            self.beta.accumulate_grad(&dbeta);
         }
         dx
     }

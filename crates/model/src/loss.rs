@@ -22,6 +22,10 @@ pub fn cross_entropy(logits: &Tensor, targets: &[i32]) -> (f32, Tensor) {
     }
     let inv = 1.0 / counted as f32;
     let mut loss = 0.0f64;
+    // One workspace-pooled softmax scratch row, reused across positions
+    // (the old per-row `to_vec` was a vocab-sized heap allocation per token).
+    let mut scratch = Tensor::zeros(&[vocab]);
+    let probs = scratch.as_mut_slice();
     #[allow(clippy::needless_range_loop)]
     for r in 0..rows {
         let t = targets[r];
@@ -29,11 +33,11 @@ pub fn cross_entropy(logits: &Tensor, targets: &[i32]) -> (f32, Tensor) {
             continue; // dlogits row stays zero
         }
         assert!((t as usize) < vocab, "target {t} out of vocab {vocab}");
-        let mut probs = logits.row(r).to_vec();
-        softmax_row(&mut probs);
+        probs.copy_from_slice(logits.row(r));
+        softmax_row(probs);
         loss -= (probs[t as usize].max(1e-12) as f64).ln();
         let drow = dlogits.row_mut(r);
-        for (o, &p) in drow.iter_mut().zip(&probs) {
+        for (o, &p) in drow.iter_mut().zip(probs.iter()) {
             *o = p * inv;
         }
         drow[t as usize] -= inv;
@@ -53,6 +57,8 @@ pub fn cross_entropy_loss(logits: &Tensor, targets: &[i32]) -> f32 {
         return 0.0;
     }
     let mut loss = 0.0f64;
+    let mut scratch = Tensor::zeros(&[vocab]);
+    let probs = scratch.as_mut_slice();
     #[allow(clippy::needless_range_loop)]
     for r in 0..rows {
         let t = targets[r];
@@ -60,8 +66,8 @@ pub fn cross_entropy_loss(logits: &Tensor, targets: &[i32]) -> f32 {
             continue;
         }
         assert!((t as usize) < vocab, "target {t} out of vocab {vocab}");
-        let mut probs = logits.row(r).to_vec();
-        softmax_row(&mut probs);
+        probs.copy_from_slice(logits.row(r));
+        softmax_row(probs);
         loss -= (probs[t as usize].max(1e-12) as f64).ln();
     }
     (loss / counted as f64) as f32
@@ -73,14 +79,16 @@ pub fn sequence_logprob(logits: &Tensor, targets: &[i32]) -> f32 {
     let rows = logits.rows();
     assert_eq!(targets.len(), rows);
     let mut total = 0.0f64;
+    let mut scratch = Tensor::zeros(&[logits.cols()]);
+    let probs = scratch.as_mut_slice();
     #[allow(clippy::needless_range_loop)]
     for r in 0..rows {
         let t = targets[r];
         if t == IGNORE_INDEX {
             continue;
         }
-        let mut probs = logits.row(r).to_vec();
-        softmax_row(&mut probs);
+        probs.copy_from_slice(logits.row(r));
+        softmax_row(probs);
         total += (probs[t as usize].max(1e-12) as f64).ln();
     }
     total as f32

@@ -203,7 +203,11 @@ impl MultiHeadAttention {
         let mut dv = Tensor::zeros(&[batch * heads * seq, dh]);
         match &cache.mode {
             CacheMode::Dense { probs } => {
-                let mut dscores = vec![0.0f32; seq * seq];
+                // Workspace-pooled scratch: these buffers recycle across
+                // (batch, head) iterations and across steps.
+                let mut dscores_t = Tensor::zeros(&[seq, seq]);
+                let mut dp_t = Tensor::zeros(&[seq, seq]);
+                let dscores = dscores_t.as_mut_slice();
                 for b in 0..batch {
                     for h in 0..heads {
                         let off = (b * heads + h) * seq;
@@ -212,9 +216,9 @@ impl MultiHeadAttention {
                         let vs = rows(&cache.v, off, seq, dh);
                         let dc = rows(&dctx, off, seq, dh);
                         let p = &probs.as_slice()[off * seq..(off + seq) * seq];
-                        // dP = dC · Vᵀ
-                        let mut dp = vec![0.0f32; seq * seq];
-                        gemm_nt(seq, dh, seq, dc, vs, &mut dp, 0.0);
+                        // dP = dC · Vᵀ (beta 0 fully overwrites the scratch).
+                        let dp = dp_t.as_mut_slice();
+                        gemm_nt(seq, dh, seq, dc, vs, dp, 0.0);
                         // dS = softmax'(P, dP), then scale.
                         for r in 0..seq {
                             softmax_backward_row(
@@ -228,9 +232,9 @@ impl MultiHeadAttention {
                         }
                         // dQ = dS · K ; dK = dSᵀ · Q ; dV = Pᵀ · dC
                         let dqs = rows_mut(&mut dq, off, seq, dh);
-                        gemm(seq, seq, dh, &dscores, ks, dqs, 0.0);
+                        gemm(seq, seq, dh, dscores, ks, dqs, 0.0);
                         let dks = rows_mut(&mut dk, off, seq, dh);
-                        gemm_tn(seq, seq, dh, &dscores, qs, dks, 0.0);
+                        gemm_tn(seq, seq, dh, dscores, qs, dks, 0.0);
                         let dvs = rows_mut(&mut dv, off, seq, dh);
                         gemm_tn(seq, seq, dh, p, dc, dvs, 0.0);
                     }
@@ -248,16 +252,20 @@ impl MultiHeadAttention {
                         let dc = rows(&dctx, off, seq, dh);
                         let dr = layout.head_data_range(h);
                         let p = &probs.as_slice()[b * total..(b + 1) * total][dr];
-                        // dP on active blocks only (SDD with zero fill).
-                        let mut dp = vec![0.0f32; head_layout.data_len()];
-                        sdd_nt(dc, vs, seq, dh, 1.0, head_layout, CausalFill::Zero, &mut dp);
-                        let mut ds = vec![0.0f32; head_layout.data_len()];
-                        block_row_softmax_backward(p, &dp, head_layout, &mut ds);
+                        // dP on active blocks only (SDD with zero fill);
+                        // pooled scratch sized per head layout.
+                        let mut dp_t = Tensor::zeros(&[head_layout.data_len()]);
+                        let dp = dp_t.as_mut_slice();
+                        sdd_nt(dc, vs, seq, dh, 1.0, head_layout, CausalFill::Zero, dp);
+                        let mut ds_t = Tensor::zeros(&[head_layout.data_len()]);
+                        let ds = ds_t.as_mut_slice();
+                        block_row_softmax_backward(p, dp, head_layout, ds);
                         for v in ds.iter_mut() {
                             *v *= scale;
                         }
+                        let ds: &[f32] = ds;
                         dsd(
-                            &ds,
+                            ds,
                             ks,
                             seq,
                             dh,
@@ -265,7 +273,7 @@ impl MultiHeadAttention {
                             rows_mut(&mut dq, off, seq, dh),
                         );
                         dsd_tn(
-                            &ds,
+                            ds,
                             qs,
                             seq,
                             dh,

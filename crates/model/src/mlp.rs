@@ -50,6 +50,12 @@ pub struct MlpBlock {
     d_model: usize,
     d_ff: usize,
     cache: Option<MlpCache>,
+    /// Cross-step cache of decoded active slabs (half-stored sparse mode).
+    /// Keyed by the plan it was gathered for; refreshed incrementally — see
+    /// [`MlpBlock::refresh_slab_cache`].
+    slab_cache: Option<SparseSlabs>,
+    slabs_decoded: u64,
+    slabs_reused: u64,
 }
 
 #[derive(Debug)]
@@ -60,9 +66,8 @@ struct MlpCache {
     /// Post-activation, same width as `z`.
     a: Tensor,
     set: Option<Arc<NeuronBlockSet>>,
-    /// Active-slab f32 decode of half-stored weights (sparse mode only);
-    /// kept across forward/backward so the decode happens once per step.
-    slabs: Option<SparseSlabs>,
+    /// The step ran against the half-stored weights via the slab cache.
+    used_slabs: bool,
     ax1: Option<Tensor>,
     ax2: Option<Tensor>,
 }
@@ -71,14 +76,22 @@ struct MlpCache {
 /// compact coordinate system of [`NeuronBlockSet::compacted`]. This is the
 /// paper's "only active blocks resident at full width" discipline: inactive
 /// slabs never leave their 2-byte storage.
+///
+/// Under shadowy sparsity consecutive plans overlap heavily, so the gather is
+/// maintained *incrementally* across steps: blocks active in both the old and
+/// new plan are carried over with an f32 copy, only newly-activated blocks
+/// are decoded from the f16 bits, and deactivated blocks are evicted by not
+/// being carried. An unchanged plan reuses the whole gather untouched.
 #[derive(Debug)]
 struct SparseSlabs {
+    /// The (global) plan this gather was built for.
+    set: Arc<NeuronBlockSet>,
     /// Active FC1 column slabs, `[active_neurons, d_model]`.
     w1: Tensor,
     /// Active FC2 row slabs, `[active_neurons, d_model]`.
     w2: Tensor,
     /// FC1 bias entries gathered in active order.
-    b1: Vec<f32>,
+    b1: Tensor,
     /// Renumbered block set addressing the gathered buffers.
     cset: Arc<NeuronBlockSet>,
 }
@@ -103,6 +116,9 @@ impl MlpBlock {
             d_model,
             d_ff,
             cache: None,
+            slab_cache: None,
+            slabs_decoded: 0,
+            slabs_reused: 0,
         }
     }
 
@@ -169,28 +185,87 @@ impl MlpBlock {
         }
     }
 
-    /// Decode the active slabs of the half-stored FC weights to f32 and
-    /// gather the matching bias entries (see [`SparseSlabs`]).
-    fn decode_active_slabs(&self, set: &NeuronBlockSet) -> SparseSlabs {
-        let d = self.d_model;
+    /// Bring the cross-step slab cache up to date with `set` (see
+    /// [`SparseSlabs`]). An unchanged plan reuses the weight gather as-is
+    /// (re-gathering only the bias when it is trainable and may have moved);
+    /// a drifted plan copies carried-over slabs from the previous gather and
+    /// decodes only the newly-activated blocks ([`NeuronBlockSet::diff`])
+    /// from the f16 bits.
+    fn refresh_slab_cache(&mut self, set: &Arc<NeuronBlockSet>) {
         let bsz = set.block_size;
+        if let Some(c) = &mut self.slab_cache {
+            if *c.set == **set {
+                // The f16 weight bits are frozen, but a trainable bias
+                // (BitFit) moves every optimizer step: refresh the compact
+                // gather in place so the cache never serves stale values.
+                if self.b1.trainable {
+                    for (ci, &blk) in set.active.iter().enumerate() {
+                        let n0 = blk as usize * bsz;
+                        c.b1.as_mut_slice()[ci * bsz..(ci + 1) * bsz]
+                            .copy_from_slice(&self.b1.value.as_slice()[n0..n0 + bsz]);
+                    }
+                }
+                self.slabs_reused += set.n_active() as u64;
+                return;
+            }
+        }
+        let d = self.d_model;
         let h1 = self.w1.half.as_ref().expect("w1 must be half-stored");
         let h2 = self.w2.half.as_ref().expect("w2 must be half-stored");
+        let prev = self.slab_cache.take();
+        // Blocks newly activated relative to the previous gather must be
+        // decoded; everything else is carried over with an f32 copy.
+        let added = prev.as_ref().map(|p| set.diff(&p.set).added);
         let mut w1 = Tensor::zeros(&[set.active_neurons(), d]);
         let mut w2 = Tensor::zeros(&[set.active_neurons(), d]);
-        let mut b1 = Vec::with_capacity(set.active_neurons());
+        let mut b1 = Tensor::zeros(&[set.active_neurons()]);
+        // Monotone cursors: `set.active`, `added` and `prev.set.active` are
+        // all sorted, so one forward walk finds every carry position.
+        let (mut ai, mut pp) = (0usize, 0usize);
         for (ci, &blk) in set.active.iter().enumerate() {
             let (n0, span) = (blk as usize * bsz, ci * bsz * d..(ci + 1) * bsz * d);
-            h1.decode_rows(n0, bsz, &mut w1.as_mut_slice()[span.clone()]);
-            h2.decode_rows(n0, bsz, &mut w2.as_mut_slice()[span]);
-            b1.extend_from_slice(&self.b1.value.as_slice()[n0..n0 + bsz]);
+            let is_added = match &added {
+                Some(a) => a.get(ai) == Some(&blk),
+                None => true,
+            };
+            if is_added {
+                ai += 1;
+                h1.decode_rows(n0, bsz, &mut w1.as_mut_slice()[span.clone()]);
+                h2.decode_rows(n0, bsz, &mut w2.as_mut_slice()[span]);
+                self.slabs_decoded += 1;
+            } else {
+                let p = prev
+                    .as_ref()
+                    .expect("carried block implies a previous gather");
+                while p.set.active[pp] < blk {
+                    pp += 1;
+                }
+                let pspan = pp * bsz * d..(pp + 1) * bsz * d;
+                w1.as_mut_slice()[span.clone()].copy_from_slice(&p.w1.as_slice()[pspan.clone()]);
+                w2.as_mut_slice()[span].copy_from_slice(&p.w2.as_slice()[pspan]);
+                self.slabs_reused += 1;
+            }
+            b1.as_mut_slice()[ci * bsz..(ci + 1) * bsz]
+                .copy_from_slice(&self.b1.value.as_slice()[n0..n0 + bsz]);
         }
-        SparseSlabs {
+        self.slab_cache = Some(SparseSlabs {
+            set: set.clone(),
             w1,
             w2,
             b1,
             cset: Arc::new(set.compacted()),
-        }
+        });
+    }
+
+    /// `(decoded, carried-over)` slab-block counters since construction —
+    /// how much f16→f32 decode work the cross-step cache avoided.
+    pub fn slab_cache_stats(&self) -> (u64, u64) {
+        (self.slabs_decoded, self.slabs_reused)
+    }
+
+    /// Drop the cross-step slab cache (weight storage changed).
+    pub(crate) fn invalidate_slab_cache(&mut self) {
+        self.slab_cache = None;
     }
 
     fn forward_dense(&mut self, x: &Tensor) -> Tensor {
@@ -224,7 +299,7 @@ impl MlpBlock {
             z,
             a,
             set: None,
-            slabs: None,
+            used_slabs: false,
             ax1,
             ax2,
         });
@@ -244,16 +319,19 @@ impl MlpBlock {
         );
         let rows = x.rows();
         let width = set.active_neurons();
-        // Half-stored weights: decode only the active slabs to f32 and run
-        // the neuron kernels in the compact coordinate system; f32 weights
-        // use the full buffers with the global set, as before. Both layouts
-        // produce the identical compact `rows × active` buffers.
-        let slabs = self.w1.is_half().then(|| {
+        // Half-stored weights: run the neuron kernels in the compact
+        // coordinate system over the cross-step slab cache (only blocks that
+        // drifted in get decoded); f32 weights use the full buffers with the
+        // global set, as before. Both layouts produce the identical compact
+        // `rows × active` buffers.
+        let used_slabs = self.w1.is_half();
+        if used_slabs {
             assert!(self.w2.is_half(), "FC1/FC2 must share a storage precision");
-            self.decode_active_slabs(&set)
-        });
-        let (w1s, b1s, w2s, kset): (&[f32], &[f32], &[f32], &NeuronBlockSet) = match &slabs {
-            Some(s) => (s.w1.as_slice(), &s.b1, s.w2.as_slice(), &s.cset),
+            self.refresh_slab_cache(&set);
+        }
+        let slabs = used_slabs.then(|| self.slab_cache.as_ref().expect("slab cache refreshed"));
+        let (w1s, b1s, w2s, kset): (&[f32], &[f32], &[f32], &NeuronBlockSet) = match slabs {
+            Some(s) => (s.w1.as_slice(), s.b1.as_slice(), s.w2.as_slice(), &s.cset),
             None => (
                 self.w1.value.as_slice(),
                 self.b1.value.as_slice(),
@@ -334,7 +412,7 @@ impl MlpBlock {
             z,
             a,
             set: Some(set),
-            slabs,
+            used_slabs,
             ax1,
             ax2,
         });
@@ -413,9 +491,12 @@ impl MlpBlock {
         let rows = dy.rows();
         let width = set.active_neurons();
         let bsz = set.block_size;
-        // Same storage dispatch as forward: the decoded active slabs were
-        // cached there, so the backward kernels reuse them for free.
-        let (w1s, w2s, kset): (&[f32], &[f32], &NeuronBlockSet) = match &cache.slabs {
+        // Same storage dispatch as forward: the cross-step slab cache still
+        // holds this step's gather, so the backward kernels reuse it for free.
+        let slabs = cache
+            .used_slabs
+            .then(|| self.slab_cache.as_ref().expect("slab cache present"));
+        let (w1s, w2s, kset): (&[f32], &[f32], &NeuronBlockSet) = match slabs {
             Some(s) => (s.w1.as_slice(), s.w2.as_slice(), &s.cset),
             None => (self.w1.value.as_slice(), self.w2.value.as_slice(), &set),
         };
@@ -751,6 +832,96 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn incremental_slab_decode_equals_full_decode_under_drift() {
+        // Two identical half-stored blocks: one keeps its cross-step slab
+        // cache (incremental decode), the other is forced to re-gather from
+        // scratch every step. Outputs must stay bit-identical across a
+        // randomized plan-drift sequence including empty→full and
+        // full→empty transitions.
+        let mk = || {
+            let mut m = mlp();
+            m.w1.to_half();
+            m.w2.to_half();
+            m
+        };
+        let mut inc = mk();
+        let mut full = mk();
+        let x = Tensor::randn(&[ROWS, D], 1.0, 30);
+        let n_blk = (FF / BLK) as u32;
+        let mut plans: Vec<Vec<u32>> = vec![
+            vec![],               // start empty
+            (0..n_blk).collect(), // empty → full
+            vec![],               // full → empty
+            vec![0, 2],
+            vec![0, 3],           // one block drifts
+            (0..n_blk).collect(), // partial → full
+            vec![1],
+        ];
+        for step in 0..6u64 {
+            let picks = lx_tensor::rng::uniform_vec(3, 0.0, n_blk as f32, 40 + step);
+            plans.push(picks.into_iter().map(|v| v as u32).collect());
+        }
+        for idx in plans {
+            let set = Arc::new(NeuronBlockSet::from_indices(idx, n_blk as usize, BLK));
+            let yi = inc.forward(&x, Some(&set));
+            full.invalidate_slab_cache(); // the full-re-decode arm
+            let yf = full.forward(&x, Some(&set));
+            assert_eq!(yi.as_slice(), yf.as_slice(), "set {:?}", set.active);
+        }
+        let (dec_inc, reused) = inc.slab_cache_stats();
+        let (dec_full, _) = full.slab_cache_stats();
+        assert!(reused > 0, "drifting plans must carry blocks over");
+        assert!(
+            dec_inc < dec_full,
+            "incremental decode must do less work: {dec_inc} vs {dec_full}"
+        );
+    }
+
+    #[test]
+    fn unchanged_plan_reuses_the_slab_cache_wholesale() {
+        let mut m = mlp();
+        m.w1.to_half();
+        m.w2.to_half();
+        let x = Tensor::randn(&[ROWS, D], 1.0, 31);
+        let set = Arc::new(NeuronBlockSet::from_indices(vec![0, 2], FF / BLK, BLK));
+        let _ = m.forward(&x, Some(&set));
+        let (dec0, _) = m.slab_cache_stats();
+        assert_eq!(dec0, 2, "first step decodes every active block");
+        for _ in 0..3 {
+            let _ = m.forward(&x, Some(&set));
+        }
+        let (dec, reused) = m.slab_cache_stats();
+        assert_eq!(dec, dec0, "unchanged plan must decode nothing");
+        assert_eq!(reused, 3 * 2, "each reuse step counts its active blocks");
+    }
+
+    #[test]
+    fn cached_slabs_track_a_trainable_bias() {
+        // BitFit on the f16 sparse path: the weight bits are frozen, but b1
+        // is trainable and moves between steps. The unchanged-plan fast path
+        // must still serve the *current* bias, not the one gathered when the
+        // cache was built.
+        let mut m = mlp();
+        m.w1.to_half();
+        m.w2.to_half();
+        m.b1.trainable = true;
+        let x = Tensor::randn(&[ROWS, D], 1.0, 32);
+        let set = Arc::new(NeuronBlockSet::from_indices(vec![0, 2], FF / BLK, BLK));
+        let _ = m.forward(&x, Some(&set)); // builds the cache
+        for v in m.b1.value.as_mut_slice() {
+            *v += 0.5; // an optimizer step moved the bias
+        }
+        let y_cached = m.forward(&x, Some(&set)); // unchanged plan: fast path
+        m.invalidate_slab_cache();
+        let y_fresh = m.forward(&x, Some(&set)); // full re-gather
+        assert_eq!(
+            y_cached.as_slice(),
+            y_fresh.as_slice(),
+            "cached gather must serve the updated bias"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::param::Param;
 use crate::plan::SparsePlan;
 use crate::precision::Precision;
 use lx_tensor::gemm::matmul_tn;
-use lx_tensor::Tensor;
+use lx_tensor::{Tensor, Workspace, WorkspaceStats};
 use std::time::{Duration, Instant};
 
 /// What to record during a calibration forward pass.
@@ -62,6 +62,10 @@ pub struct TransformerModel {
     pub ln_f: LayerNorm,
     precision: Precision,
     cache_h: Option<Tensor>,
+    /// Step-persistent buffer pool: every [`TransformerModel::execute`] runs
+    /// inside this workspace's scope (unless the request overrides it), so
+    /// per-step tensor buffers recycle across steps and micro-batches.
+    pub(crate) workspace: Workspace,
 }
 
 impl TransformerModel {
@@ -71,6 +75,9 @@ impl TransformerModel {
             .map(|l| TransformerBlock::new(&config, l, seed + 1000 * (l as u64 + 1)))
             .collect();
         let ln_f = LayerNorm::new("ln_f", config.d_model, config.ln_eps);
+        // LX_WORKSPACE=0 turns the step workspace off globally (debugging
+        // escape hatch; steps then heap-allocate every intermediate).
+        let workspace = Workspace::from_env();
         TransformerModel {
             config,
             embedding,
@@ -78,7 +85,48 @@ impl TransformerModel {
             ln_f,
             precision: Precision::F32,
             cache_h: None,
+            workspace,
         }
+    }
+
+    /// Reuse counters and occupancy of the model's step workspace.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.workspace.stats()
+    }
+
+    /// Enable or disable the step workspace (disabled ⇒ every step
+    /// heap-allocates its intermediates — the differential-testing arm).
+    pub fn set_workspace_enabled(&mut self, enabled: bool) {
+        self.workspace.set_enabled(enabled);
+    }
+
+    /// Exchange the model's step workspace with `ws`. `lx-serve` keeps one
+    /// workspace per tenant and swaps it in with the tenant's adapter, so
+    /// pooled step buffers stay warm across scheduler slices.
+    pub fn swap_workspace(&mut self, ws: &mut Workspace) {
+        std::mem::swap(&mut self.workspace, ws);
+    }
+
+    /// Run `f` inside the model's step-workspace scope. [`Self::execute`]
+    /// scopes itself; this is for surgery *around* steps that should recycle
+    /// through the same pool — e.g. `lx-serve` attaches/extracts tenant
+    /// adapters inside the tenant's workspace so the adapter and gradient
+    /// buffers dropped at detach are parked for the tenant's next slice.
+    pub fn workspace_scope<R>(&mut self, f: impl FnOnce(&mut TransformerModel) -> R) -> R {
+        let mut ws = std::mem::take(&mut self.workspace);
+        let out = ws.scope(|| f(self));
+        self.workspace = ws;
+        out
+    }
+
+    /// Summed `(decoded, carried-over)` active-slab counters across every
+    /// layer's cross-step slab cache (half-stored sparse MLP path) — how
+    /// much f16→f32 decode work shadowy-sparsity reuse avoided.
+    pub fn slab_cache_stats(&self) -> (u64, u64) {
+        self.blocks
+            .iter()
+            .map(|b| b.mlp.slab_cache_stats())
+            .fold((0, 0), |(d, r), (bd, br)| (d + bd, r + br))
     }
 
     /// Current parameter-storage plan.
@@ -105,6 +153,11 @@ impl TransformerModel {
                     p.to_half();
                 }
             }),
+        }
+        // The cross-step slab caches gather from the (old) half storage;
+        // a storage change invalidates them.
+        for b in &mut self.blocks {
+            b.mlp.invalidate_slab_cache();
         }
         self.precision = precision;
     }

@@ -55,10 +55,13 @@ impl Optimizer for Sgd {
             param.value.axpy(-self.lr, grad);
             return;
         }
-        let v = self
-            .velocity
-            .entry(param.name.clone())
-            .or_insert_with(|| Tensor::zeros(grad.shape()));
+        // Steady-state lookups borrow the name; the clone happens only once,
+        // when a parameter's state is first created.
+        if !self.velocity.contains_key(&param.name) {
+            self.velocity
+                .insert(param.name.clone(), Tensor::zeros(grad.shape()));
+        }
+        let v = self.velocity.get_mut(&param.name).expect("just inserted");
         v.scale(self.momentum);
         v.add_assign(grad);
         param.value.axpy(-self.lr, v);
@@ -127,10 +130,14 @@ impl Optimizer for Adam {
             return;
         }
         let Some(grad) = &param.grad else { return };
-        let (m, v) = self
-            .state
-            .entry(param.name.clone())
-            .or_insert_with(|| (Tensor::zeros(grad.shape()), Tensor::zeros(grad.shape())));
+        // Borrow the name on the hot path; clone only on first insertion.
+        if !self.state.contains_key(&param.name) {
+            self.state.insert(
+                param.name.clone(),
+                (Tensor::zeros(grad.shape()), Tensor::zeros(grad.shape())),
+            );
+        }
+        let (m, v) = self.state.get_mut(&param.name).expect("just inserted");
         let b1 = self.beta1;
         let b2 = self.beta2;
         let bc1 = 1.0 - b1.powi(self.t as i32);

@@ -14,6 +14,23 @@ use std::time::{Duration, Instant};
 
 pub struct DataParallelTrainer {
     replicas: Vec<TransformerModel>,
+    /// Per-worker gradient snapshots for the all-reduce, reused across steps
+    /// (the buffers are overwritten in place instead of re-cloned per step).
+    gathered: Vec<Vec<Option<Tensor>>>,
+    /// Broadcast snapshot of the updated trainable parameters, ditto.
+    updated: Vec<Option<Tensor>>,
+}
+
+/// Overwrite `slot` with `src` — in place when a matching buffer is already
+/// there, cloning only on first use or shape change.
+fn snapshot_into(slot: &mut Option<Tensor>, src: Option<&Tensor>) {
+    match (slot.as_mut(), src) {
+        (Some(t), Some(s)) if t.shape() == s.shape() => {
+            t.as_mut_slice().copy_from_slice(s.as_slice());
+        }
+        (_, Some(s)) => *slot = Some(s.clone()),
+        (_, None) => *slot = None,
+    }
 }
 
 impl DataParallelTrainer {
@@ -22,6 +39,8 @@ impl DataParallelTrainer {
         assert!(n_workers >= 1);
         DataParallelTrainer {
             replicas: (0..n_workers).map(|_| build()).collect(),
+            gathered: (0..n_workers - 1).map(|_| Vec::new()).collect(),
+            updated: Vec::new(),
         }
     }
 
@@ -73,15 +92,20 @@ impl DataParallelTrainer {
                 .collect()
         });
         // All-reduce: sum gradients into replica 0 (averaged by worker count
-        // so the effective batch matches a single-device run).
+        // so the effective batch matches a single-device run). The snapshot
+        // buffers persist across steps and are overwritten in place.
         let scale = 1.0 / n as f32;
-        let mut gathered: Vec<Vec<Option<Tensor>>> = Vec::with_capacity(n - 1);
-        for replica in self.replicas[1..].iter_mut() {
-            let mut grads: Vec<Option<Tensor>> = Vec::new();
+        let mut gathered = std::mem::take(&mut self.gathered);
+        for (replica, grads) in self.replicas[1..].iter_mut().zip(&mut gathered) {
+            let mut idx = 0usize;
             replica.for_each_param(&mut |p| {
-                grads.push(if p.trainable { p.grad.clone() } else { None });
+                if grads.len() <= idx {
+                    grads.push(None);
+                }
+                let src = if p.trainable { p.grad.as_ref() } else { None };
+                snapshot_into(&mut grads[idx], src);
+                idx += 1;
             });
-            gathered.push(grads);
         }
         {
             let primary = &mut self.replicas[0];
@@ -101,11 +125,20 @@ impl DataParallelTrainer {
             opt.begin_step();
             primary.for_each_param(&mut |p| opt.update(p));
         }
-        // Broadcast updated trainable params to the other replicas.
-        let mut updated: Vec<Option<Tensor>> = Vec::new();
-        self.replicas[0].for_each_param(&mut |p| {
-            updated.push(p.trainable.then(|| p.value.clone()));
-        });
+        // Broadcast updated trainable params to the other replicas (same
+        // reused-snapshot discipline as the gradient gather).
+        let mut updated = std::mem::take(&mut self.updated);
+        {
+            let mut idx = 0usize;
+            self.replicas[0].for_each_param(&mut |p| {
+                if updated.len() <= idx {
+                    updated.push(None);
+                }
+                let src = if p.trainable { Some(&p.value) } else { None };
+                snapshot_into(&mut updated[idx], src);
+                idx += 1;
+            });
+        }
         for replica in self.replicas[1..].iter_mut() {
             let mut idx = 0usize;
             replica.for_each_param(&mut |p| {
@@ -115,6 +148,8 @@ impl DataParallelTrainer {
                 idx += 1;
             });
         }
+        self.gathered = gathered;
+        self.updated = updated;
         let elapsed = t0.elapsed();
         (losses.iter().sum::<f32>() / n as f32, elapsed)
     }

@@ -21,6 +21,7 @@ use long_exposure::engine::{EngineConfig, FinetuneEngine, StepMode};
 use lx_data::Batcher;
 use lx_model::{prompt_aware_targets, AdamW, MicroBatch, Precision, TransformerModel};
 use lx_peft::TenantAdapter;
+use lx_tensor::Workspace;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -79,6 +80,11 @@ struct ActiveJob {
     losses: Vec<f32>,
     busy: Duration,
     progress: Option<ProgressSink>,
+    /// Per-tenant step workspace: swapped into the shared backbone for the
+    /// tenant's slice (like the adapter) and retained across slices, so a
+    /// tenant's steady-state steps stay allocation-free even under
+    /// interleaving with differently-shaped tenants.
+    workspace: Workspace,
 }
 
 impl ActiveJob {
@@ -116,6 +122,10 @@ pub struct Scheduler {
     active: Vec<ActiveJob>,
     rr_cursor: usize,
     metrics: ServeMetrics,
+    /// Tenant that ran the previous slice: the predicted policy's cached
+    /// plan is invalidated whenever it changes (a plan predicted against one
+    /// tenant's adapter must not be replayed for another).
+    last_tenant: Option<String>,
 }
 
 impl Scheduler {
@@ -150,6 +160,7 @@ impl Scheduler {
             active: Vec::new(),
             rr_cursor: 0,
             metrics: ServeMetrics::default(),
+            last_tenant: None,
         }
     }
 
@@ -254,6 +265,7 @@ impl Scheduler {
             losses: Vec::new(),
             busy: Duration::ZERO,
             progress,
+            workspace: Workspace::from_env(),
         });
         self.metrics.queue_depth = self.active.len();
         Ok(())
@@ -300,8 +312,17 @@ impl Scheduler {
         }
         let idx = self.pick_job()?;
         let job = &mut self.active[idx];
+        if self.last_tenant.as_deref() != Some(job.spec.tenant.as_str()) {
+            self.engine.invalidate_plan_cache();
+            self.last_tenant = Some(job.spec.tenant.clone());
+        }
         let t_attach = Instant::now();
-        job.adapter.attach_to(&mut self.engine.model);
+        // The tenant's step workspace rides along with its adapter: pooled
+        // step buffers stay warm across this tenant's slices. Attaching
+        // inside the scope lets the adapter's buffers recycle too.
+        self.engine.model.swap_workspace(&mut job.workspace);
+        let adapter = &job.adapter;
+        self.engine.model.workspace_scope(|m| adapter.attach_to(m));
         let mut swap = t_attach.elapsed();
         let prompt_len = self.engine.model.embedding.prompt_len();
         let n_steps = self.config.slice_steps.min(job.remaining());
@@ -354,12 +375,16 @@ impl Scheduler {
             }
         }
         let t_detach = Instant::now();
-        job.adapter = TenantAdapter::extract_from(
-            &mut self.engine.model,
-            job.spec.method,
-            job.spec.adapter_seed,
-        );
-        lx_peft::detach(&mut self.engine.model);
+        // Extract and detach inside the tenant scope so the dropped adapter
+        // params and their gradient buffers park in the tenant's pool, then
+        // hand the workspace back to the job.
+        let (method, seed) = (job.spec.method, job.spec.adapter_seed);
+        job.adapter = self.engine.model.workspace_scope(|m| {
+            let adapter = TenantAdapter::extract_from(m, method, seed);
+            lx_peft::detach(m);
+            adapter
+        });
+        self.engine.model.swap_workspace(&mut job.workspace);
         swap += t_detach.elapsed();
         job.busy += slice_busy;
         let tokens = n_steps * (job.spec.batch * job.spec.seq * job.spec.micro_batches) as u64;
@@ -403,6 +428,16 @@ impl Scheduler {
             }
         }
         reports
+    }
+
+    /// Step-workspace reuse counters for an active tenant's job, if any.
+    /// Misses that stay flat across slices prove the per-tenant pool is
+    /// retained while the backbone serves other tenants.
+    pub fn tenant_workspace_stats(&self, tenant: &str) -> Option<lx_tensor::WorkspaceStats> {
+        self.active
+            .iter()
+            .find(|j| j.spec.tenant == tenant)
+            .map(|j| j.workspace.stats())
     }
 
     /// Tear down, returning the pristine backbone for reuse.
@@ -665,6 +700,36 @@ mod tests {
             "eval-only must not move the adapter"
         );
         assert!(events.lock().unwrap().iter().all(|e| e.eval));
+    }
+
+    #[test]
+    fn tenant_workspaces_are_retained_across_slices() {
+        // Two interleaved tenants with different shapes: after each tenant's
+        // first slice (warmup), its per-tenant workspace must serve every
+        // later slice from the pool — misses stay flat, hits keep growing —
+        // even though the other tenant runs in between.
+        let mut s = sched(ServeConfig {
+            slice_steps: 2,
+            ..ServeConfig::default()
+        });
+        let mut a = spec("a", 12);
+        a.batch = 2;
+        let b = spec("b", 12);
+        s.submit(a).unwrap();
+        s.submit(b).unwrap();
+        s.run_slice(); // a: warmup slice
+        s.run_slice(); // b: warmup slice
+        let a1 = s.tenant_workspace_stats("a").unwrap();
+        let b1 = s.tenant_workspace_stats("b").unwrap();
+        assert!(a1.recycled > 0, "{a1:?}");
+        for _ in 0..4 {
+            s.run_slice();
+        }
+        let a2 = s.tenant_workspace_stats("a").unwrap();
+        let b2 = s.tenant_workspace_stats("b").unwrap();
+        assert_eq!(a2.misses, a1.misses, "tenant a steady state: {a2:?}");
+        assert_eq!(b2.misses, b1.misses, "tenant b steady state: {b2:?}");
+        assert!(a2.hits > a1.hits && b2.hits > b1.hits);
     }
 
     #[test]

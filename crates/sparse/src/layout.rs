@@ -106,6 +106,42 @@ impl BlockCsr {
         self.col_ptr[bc] as usize..self.col_ptr[bc + 1] as usize
     }
 
+    /// Jaccard overlap of the active block sets of two layouts on the same
+    /// grid: `|A ∩ B| / |A ∪ B|` over `(block-row, block-col)` coordinates
+    /// (1.0 when both are empty). The shadowy-sparsity drift signal: plans
+    /// whose layouts overlap highly can be reused across steps.
+    pub fn overlap(&self, other: &BlockCsr) -> f32 {
+        assert_eq!(
+            (self.n_brows, self.n_bcols),
+            (other.n_brows, other.n_bcols),
+            "overlap needs matching grids"
+        );
+        let mut inter = 0usize;
+        for br in 0..self.n_brows {
+            let a = &self.col_idx[self.row_entries(br)];
+            let b = &other.col_idx[other.row_entries(br)];
+            // col_idx is sorted within a row: merge walk.
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        inter += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        let union = self.nnz_blocks() + other.nnz_blocks() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f32 / union as f32
+        }
+    }
+
     /// Reconstruct the mask (for tests / visualisation).
     pub fn to_mask(&self) -> BlockMask {
         let mut m = BlockMask::new(self.n_brows, self.n_bcols);
@@ -170,6 +206,30 @@ impl MultiHeadLayout {
         let start = self.data_offsets[h];
         start..start + self.heads[h].data_len()
     }
+
+    /// Block-weighted mean [`BlockCsr::overlap`] across heads (heads sharing
+    /// the same pooled layout `Arc` short-circuit to a perfect match). 1.0
+    /// when both layouts are empty.
+    pub fn overlap(&self, other: &MultiHeadLayout) -> f32 {
+        assert_eq!(self.n_heads(), other.n_heads(), "overlap needs equal heads");
+        let mut weighted = 0.0f64;
+        let mut weight = 0.0f64;
+        for (a, b) in self.heads.iter().zip(&other.heads) {
+            let w = (a.nnz_blocks() + b.nnz_blocks()).max(1) as f64;
+            let o = if Arc::ptr_eq(a, b) {
+                1.0
+            } else {
+                a.overlap(b) as f64
+            };
+            weighted += o * w;
+            weight += w;
+        }
+        if weight == 0.0 {
+            1.0
+        } else {
+            (weighted / weight) as f32
+        }
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +242,45 @@ mod tests {
             m.set(i, i, true);
         }
         m
+    }
+
+    #[test]
+    fn csr_overlap_is_jaccard_over_blocks() {
+        let mut a = diag_mask(4);
+        a.set(1, 0, true); // diag + one extra: 5 blocks
+        let mut b = diag_mask(4);
+        b.set(3, 0, true); // diag + a different extra: 5 blocks
+        let ca = BlockCsr::from_mask(&a, 8);
+        let cb = BlockCsr::from_mask(&b, 8);
+        // Intersection = 4 (the diagonal), union = 6.
+        assert!((ca.overlap(&cb) - 4.0 / 6.0).abs() < 1e-6);
+        assert_eq!(ca.overlap(&ca), 1.0);
+        let empty = BlockCsr::from_mask(&BlockMask::square(4), 8);
+        assert_eq!(empty.overlap(&empty), 1.0);
+        assert_eq!(ca.overlap(&empty), 0.0);
+    }
+
+    #[test]
+    fn multi_head_overlap_weights_by_blocks() {
+        let full = Arc::new(BlockCsr::from_mask(
+            &{
+                let mut m = BlockMask::square(4);
+                for r in 0..4 {
+                    for c in 0..=r {
+                        m.set(r, c, true);
+                    }
+                }
+                m
+            },
+            8,
+        ));
+        let diag = Arc::new(BlockCsr::from_mask(&diag_mask(4), 8));
+        let a = MultiHeadLayout::combine(vec![full.clone(), diag.clone()]);
+        let b = MultiHeadLayout::combine(vec![full.clone(), full.clone()]);
+        // Head 0 shares an Arc (overlap 1); head 1 is diag-vs-full (4/10).
+        let o = a.overlap(&b);
+        assert!(o > 0.4 && o < 1.0, "overlap {o}");
+        assert_eq!(a.overlap(&a), 1.0);
     }
 
     #[test]

@@ -118,6 +118,91 @@ impl NeuronBlockSet {
         let blk = self.active[ai] as usize * self.block_size;
         blk * per..(blk + self.block_size) * per
     }
+
+    /// Number of active blocks present in both sets (merge walk over the
+    /// sorted index lists).
+    pub fn intersection_count(&self, other: &NeuronBlockSet) -> usize {
+        let (a, b) = (&self.active, &other.active);
+        let (mut i, mut j, mut inter) = (0, 0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        inter
+    }
+
+    /// Jaccard similarity `|A ∩ B| / |A ∪ B|` of the active block sets
+    /// (1.0 when both are empty). The shadowy-sparsity drift signal: plans
+    /// drift slowly, so consecutive steps' sets overlap highly.
+    pub fn overlap(&self, other: &NeuronBlockSet) -> f32 {
+        assert_eq!(
+            self.n_blocks_total, other.n_blocks_total,
+            "overlap needs matching block grids"
+        );
+        let inter = self.intersection_count(other);
+        let union = self.active.len() + other.active.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f32 / union as f32
+        }
+    }
+
+    /// Blocks activated and deactivated going from `prev` to `self`:
+    /// `added` are active here but not in `prev` (must be decoded fresh),
+    /// `removed` were active in `prev` but not here (evicted). Blocks in
+    /// both can be carried over — the incremental-slab-decode contract.
+    pub fn diff(&self, prev: &NeuronBlockSet) -> BlockSetDiff {
+        assert_eq!(
+            self.n_blocks_total, prev.n_blocks_total,
+            "diff needs matching block grids"
+        );
+        let (a, b) = (&self.active, &prev.active);
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    added.push(x);
+                    i += 1;
+                }
+                (Some(_), Some(&y)) => {
+                    removed.push(y);
+                    j += 1;
+                }
+                (Some(&x), None) => {
+                    added.push(x);
+                    i += 1;
+                }
+                (None, Some(&y)) => {
+                    removed.push(y);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        BlockSetDiff { added, removed }
+    }
+}
+
+/// Result of [`NeuronBlockSet::diff`]: block indices newly activated and
+/// newly deactivated relative to a previous set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockSetDiff {
+    pub added: Vec<u32>,
+    pub removed: Vec<u32>,
 }
 
 /// FC1 weights stored column-major: `data[col · d_in + row]`, i.e. each
@@ -663,6 +748,33 @@ mod tests {
             let row_nonzero = dw2[n * D_OUT..(n + 1) * D_OUT].iter().any(|&v| v != 0.0);
             assert_eq!(row_nonzero, in_active, "w2 row {n}");
         }
+    }
+
+    #[test]
+    fn overlap_and_diff_track_drift() {
+        let a = NeuronBlockSet::from_indices(vec![0, 1, 2], 8, B);
+        let b = NeuronBlockSet::from_indices(vec![1, 2, 5], 8, B);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert!((a.overlap(&b) - 0.5).abs() < 1e-6); // 2 / 4
+        let d = b.diff(&a);
+        assert_eq!(d.added, vec![5]);
+        assert_eq!(d.removed, vec![0]);
+        // Identity and disjoint extremes.
+        assert_eq!(a.overlap(&a), 1.0);
+        assert!(a.diff(&a).added.is_empty() && a.diff(&a).removed.is_empty());
+        let c = NeuronBlockSet::from_indices(vec![6, 7], 8, B);
+        assert_eq!(a.overlap(&c), 0.0);
+        // Empty ↔ full transitions.
+        let empty = NeuronBlockSet::from_indices(vec![], 8, B);
+        let full = NeuronBlockSet::all(8, B);
+        assert_eq!(empty.overlap(&empty), 1.0);
+        assert_eq!(empty.overlap(&full), 0.0);
+        let up = full.diff(&empty);
+        assert_eq!(up.added.len(), 8);
+        assert!(up.removed.is_empty());
+        let down = empty.diff(&full);
+        assert!(down.added.is_empty());
+        assert_eq!(down.removed.len(), 8);
     }
 
     #[test]

@@ -12,7 +12,9 @@ pub mod memtrack;
 pub mod ops;
 pub mod rng;
 mod tensor;
+pub mod workspace;
 
 pub use dtype::Dtype;
 pub use f16::HalfTensor;
 pub use tensor::Tensor;
+pub use workspace::{Workspace, WorkspaceStats};

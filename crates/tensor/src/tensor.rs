@@ -1,7 +1,16 @@
 //! Row-major `f32` tensor with cooperative memory tracking.
+//!
+//! Inside an active [`crate::Workspace`] scope, `zeros`/`full`/`clone` draw
+//! their buffers from the scope's pool when a fit is parked there, and `Drop`
+//! parks the buffer back instead of freeing — the mechanism behind
+//! zero-allocation steady-state training steps. Pooled construction is
+//! bit-exact (recycled buffers are fully overwritten before they are
+//! visible), and [`crate::memtrack`] distinguishes fresh heap allocations
+//! from pool reuse.
 
 use crate::memtrack;
 use crate::rng;
+use crate::workspace;
 
 /// A dense row-major tensor of `f32`.
 ///
@@ -15,12 +24,26 @@ pub struct Tensor {
 }
 
 impl Tensor {
-    /// Allocate a zero-filled tensor.
+    /// A buffer of length `len`: recycled from the active workspace scope
+    /// when possible, freshly heap-allocated (and counted as such) otherwise.
+    /// Contents are unspecified — every caller fully overwrites.
+    fn raw_buffer(len: usize) -> Vec<f32> {
+        match workspace::pool_take(len) {
+            Some(buf) => buf,
+            None => {
+                memtrack::register(len * 4);
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Allocate a zero-filled tensor (pool-recycled inside a workspace scope).
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        memtrack::register(len * 4);
+        let mut data = Self::raw_buffer(len);
+        data.fill(0.0);
         Tensor {
-            data: vec![0.0; len],
+            data,
             shape: shape.to_vec(),
         }
     }
@@ -28,9 +51,10 @@ impl Tensor {
     /// Allocate with every element set to `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let len = shape.iter().product();
-        memtrack::register(len * 4);
+        let mut data = Self::raw_buffer(len);
+        data.fill(value);
         Tensor {
-            data: vec![value; len],
+            data,
             shape: shape.to_vec(),
         }
     }
@@ -207,9 +231,10 @@ impl Tensor {
 
 impl Clone for Tensor {
     fn clone(&self) -> Self {
-        memtrack::register(self.data.len() * 4);
+        let mut data = Self::raw_buffer(self.data.len());
+        data.copy_from_slice(&self.data);
         Tensor {
-            data: self.data.clone(),
+            data,
             shape: self.shape.clone(),
         }
     }
@@ -218,6 +243,10 @@ impl Clone for Tensor {
 impl Drop for Tensor {
     fn drop(&mut self) {
         memtrack::unregister(self.data.capacity() * 4);
+        let buf = std::mem::take(&mut self.data);
+        // Inside a workspace scope the buffer parks in the pool for the next
+        // step; outside, it drops here and frees normally.
+        let _ = workspace::pool_recycle(buf);
     }
 }
 

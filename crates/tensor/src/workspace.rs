@@ -1,0 +1,345 @@
+//! Step-persistent tensor workspaces: size-bucketed `Vec<f32>` reuse.
+//!
+//! The paper's training loop allocates the same set of intermediate tensors
+//! every step — projections, score buffers, compact activations, gradients of
+//! all of the above. A [`Workspace`] turns that churn into reuse: while a
+//! workspace [`scope`](Workspace::scope) is active on the current thread,
+//! every `Tensor` buffer dropped inside the scope is parked in a
+//! capacity-keyed free list instead of returned to the allocator, and every
+//! `Tensor::zeros`/`full`/`clone` first tries to take a parked buffer of
+//! sufficient capacity. After one or two warmup steps the pool holds every
+//! shape the step needs and a steady-state training step performs **zero**
+//! heap tensor allocations — assertable through
+//! [`alloc_stats`](crate::memtrack::alloc_stats), which recycled buffers do
+//! not advance.
+//!
+//! Reuse is bit-exact: a recycled `zeros` buffer is `fill(0.0)`-ed and a
+//! recycled `clone` target is overwritten by `copy_from_slice`, so pooled and
+//! fresh execution produce identical results (the differential suite proves
+//! this over multi-step training runs).
+//!
+//! The workspace itself is a plain owned value — `TransformerModel` keeps one
+//! per model, `lx-serve` keeps one per tenant and swaps it in with the
+//! adapter — so pooled buffers survive across steps, micro-batches and
+//! scheduler slices without any global state beyond the per-thread scope
+//! marker.
+
+use crate::memtrack;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Free buffers keyed by capacity (elements), newest-first per bucket.
+#[derive(Debug, Default)]
+struct Pool {
+    buckets: BTreeMap<usize, Vec<Vec<f32>>>,
+    held_elems: usize,
+    hits: u64,
+    misses: u64,
+    recycled: u64,
+}
+
+impl Pool {
+    /// Smallest parked buffer with capacity ≥ `len`, if it fits within the
+    /// over-allocation bound (25% + 64 elements of slack). The bound keeps
+    /// `memtrack`'s live-byte accounting honest — a step that borrowed a
+    /// grossly oversized buffer would register the full capacity and distort
+    /// the peak-memory experiments — while still letting near-miss shapes
+    /// share buffers. Steady-state steps request the exact sizes they parked,
+    /// so the bound never costs them a hit.
+    fn take(&mut self, len: usize) -> Option<Vec<f32>> {
+        let cap = *self.buckets.range(len.max(1)..).next()?.0;
+        if cap > len + len / 4 + 64 {
+            return None;
+        }
+        let bucket = self.buckets.get_mut(&cap).expect("bucket exists");
+        let buf = bucket.pop().expect("non-empty bucket");
+        if bucket.is_empty() {
+            self.buckets.remove(&cap);
+        }
+        self.held_elems -= buf.capacity();
+        Some(buf)
+    }
+
+    fn park(&mut self, buf: Vec<f32>) {
+        self.held_elems += buf.capacity();
+        self.recycled += 1;
+        self.buckets.entry(buf.capacity()).or_default().push(buf);
+    }
+}
+
+thread_local! {
+    /// The pool installed by the innermost active [`Workspace::scope`] on
+    /// this thread, if any.
+    static ACTIVE: RefCell<Option<Pool>> = const { RefCell::new(None) };
+}
+
+/// Counters describing a workspace's reuse behaviour (see [`Workspace::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Allocations served from the pool.
+    pub hits: u64,
+    /// Allocations that fell through to the heap (warmup, odd shapes).
+    pub misses: u64,
+    /// Buffers returned to the pool by `Tensor` drops inside a scope.
+    pub recycled: u64,
+    /// Buffers currently parked in the pool.
+    pub held_buffers: usize,
+    /// Bytes currently parked in the pool.
+    pub held_bytes: usize,
+}
+
+/// A step-persistent buffer pool. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Pool,
+    disabled: bool,
+}
+
+impl Workspace {
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// A workspace whose scopes install nothing: every allocation inside is
+    /// a fresh heap allocation and every drop frees. The fresh-allocation
+    /// arm of the differential suite.
+    pub fn disabled() -> Self {
+        Workspace {
+            pool: Pool::default(),
+            disabled: true,
+        }
+    }
+
+    /// A workspace honouring the global `LX_WORKSPACE` escape hatch:
+    /// [`Workspace::disabled`] when `LX_WORKSPACE=0`, [`Workspace::new`]
+    /// otherwise. Every owner of a long-lived workspace (models, per-tenant
+    /// serve jobs) should construct through this so "disable pooling
+    /// globally" means *globally*.
+    pub fn from_env() -> Self {
+        if std::env::var("LX_WORKSPACE").as_deref() == Ok("0") {
+            Workspace::disabled()
+        } else {
+            Workspace::new()
+        }
+    }
+
+    /// Whether scopes of this workspace pool buffers.
+    pub fn is_enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    /// Enable or disable pooling (an `LX_WORKSPACE=0`-style escape hatch;
+    /// disabling does not drop already-parked buffers — call
+    /// [`Self::clear`] for that).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.disabled = !enabled;
+    }
+
+    /// Run `f` with this workspace installed as the current thread's buffer
+    /// pool. Nested scopes stack: the innermost wins, and the outer pool is
+    /// restored afterwards (also on panic).
+    pub fn scope<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        if self.disabled {
+            return f();
+        }
+        struct Guard<'a> {
+            ws: &'a mut Workspace,
+            prev: Option<Pool>,
+        }
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                ACTIVE.with(|a| {
+                    let mut slot = a.borrow_mut();
+                    self.ws.pool = slot.take().expect("workspace scope pool present");
+                    *slot = self.prev.take();
+                });
+            }
+        }
+        let prev = ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            let prev = slot.take();
+            *slot = Some(std::mem::take(&mut self.pool));
+            prev
+        });
+        let _guard = Guard { ws: self, prev };
+        f()
+    }
+
+    /// Reuse counters and current pool occupancy.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            hits: self.pool.hits,
+            misses: self.pool.misses,
+            recycled: self.pool.recycled,
+            held_buffers: self.pool.buckets.values().map(Vec::len).sum(),
+            held_bytes: self.pool.held_elems * 4,
+        }
+    }
+
+    /// Drop every parked buffer (keeps the counters).
+    pub fn clear(&mut self) {
+        self.pool.buckets.clear();
+        self.pool.held_elems = 0;
+    }
+}
+
+/// Take a pooled buffer of capacity ≥ `len` from the current scope, if one
+/// is active and has a fit. The returned vec has unspecified contents and
+/// length `len`. Registers live bytes (reuse — not a fresh allocation).
+pub(crate) fn pool_take(len: usize) -> Option<Vec<f32>> {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        let pool = slot.as_mut()?;
+        match pool.take(len) {
+            Some(mut buf) => {
+                pool.hits += 1;
+                // Capacity is preserved; only the logical length changes.
+                // resize never reallocates here because capacity ≥ len.
+                if buf.len() < len {
+                    buf.resize(len, 0.0);
+                } else {
+                    buf.truncate(len);
+                }
+                memtrack::register_reuse(buf.capacity() * 4);
+                Some(buf)
+            }
+            None => {
+                pool.misses += 1;
+                None
+            }
+        }
+    })
+}
+
+/// Offer a dropped tensor's buffer to the current scope. Returns `true` when
+/// parked (the caller must not free it — it already moved), `false` when no
+/// scope is active (the caller lets the vec drop normally).
+pub(crate) fn pool_recycle(buf: Vec<f32>) -> bool {
+    if buf.capacity() == 0 {
+        return false;
+    }
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        match slot.as_mut() {
+            Some(pool) => {
+                pool.park(buf);
+                true
+            }
+            None => false,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memtrack::alloc_stats;
+    use crate::Tensor;
+
+    #[test]
+    fn steady_state_is_allocation_free() {
+        let mut ws = Workspace::new();
+        // Warmup: first pass allocates, buffers park on drop.
+        ws.scope(|| {
+            let a = Tensor::zeros(&[32, 8]);
+            let b = a.clone();
+            drop((a, b));
+        });
+        let mark = alloc_stats();
+        for _ in 0..4 {
+            ws.scope(|| {
+                let a = Tensor::zeros(&[32, 8]);
+                let b = a.clone();
+                drop((a, b));
+            });
+        }
+        let d = alloc_stats().since(&mark);
+        assert_eq!(d.count, 0, "steady state must be allocation-free: {d:?}");
+        let stats = ws.stats();
+        assert_eq!(stats.misses, 2, "only the warmup pass misses");
+        assert_eq!(stats.hits, 8);
+        assert_eq!(stats.held_buffers, 2);
+    }
+
+    #[test]
+    fn pooled_zeros_are_actually_zero() {
+        let mut ws = Workspace::new();
+        ws.scope(|| {
+            let mut t = Tensor::zeros(&[64]);
+            t.as_mut_slice().fill(7.5); // dirty the buffer, then park it
+            drop(t);
+            let u = Tensor::zeros(&[64]);
+            assert!(u.as_slice().iter().all(|&v| v == 0.0));
+        });
+    }
+
+    #[test]
+    fn pooled_full_and_clone_are_exact() {
+        let mut ws = Workspace::new();
+        ws.scope(|| {
+            drop(Tensor::zeros(&[10]));
+            let f = Tensor::full(&[10], 3.25);
+            assert!(f.as_slice().iter().all(|&v| v == 3.25));
+            drop(f);
+            let src = Tensor::randn(&[10], 1.0, 3);
+            let c = src.clone();
+            assert_eq!(c, src);
+        });
+    }
+
+    #[test]
+    fn smaller_requests_reuse_larger_buffers() {
+        let mut ws = Workspace::new();
+        ws.scope(|| drop(Tensor::zeros(&[100])));
+        let mark = alloc_stats();
+        ws.scope(|| drop(Tensor::zeros(&[40])));
+        assert_eq!(alloc_stats().since(&mark).count, 0);
+    }
+
+    #[test]
+    fn disabled_workspace_always_allocates() {
+        let mut ws = Workspace::disabled();
+        assert!(!ws.is_enabled());
+        ws.scope(|| drop(Tensor::zeros(&[16])));
+        let mark = alloc_stats();
+        ws.scope(|| drop(Tensor::zeros(&[16])));
+        assert_eq!(alloc_stats().since(&mark).count, 1);
+        assert_eq!(ws.stats().held_buffers, 0);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let mut outer = Workspace::new();
+        let mut inner = Workspace::new();
+        outer.scope(|| drop(Tensor::zeros(&[8])));
+        assert_eq!(outer.stats().held_buffers, 1);
+        outer.scope(|| {
+            // The inner scope shadows the outer pool...
+            inner.scope(|| drop(Tensor::zeros(&[8])));
+            // ...and the outer pool is live again here.
+            let t = Tensor::zeros(&[8]);
+            drop(t);
+        });
+        assert_eq!(inner.stats().held_buffers, 1);
+        assert_eq!(outer.stats().held_buffers, 1);
+        assert_eq!(outer.stats().hits, 1);
+    }
+
+    #[test]
+    fn buffers_outliving_the_scope_free_normally() {
+        let mut ws = Workspace::new();
+        let escaped = ws.scope(|| Tensor::zeros(&[12]));
+        drop(escaped); // no scope active: plain free, nothing parked
+        assert_eq!(ws.stats().held_buffers, 0);
+    }
+
+    #[test]
+    fn clear_empties_the_pool() {
+        let mut ws = Workspace::new();
+        ws.scope(|| drop(Tensor::zeros(&[8])));
+        assert!(ws.stats().held_bytes > 0);
+        ws.clear();
+        assert_eq!(ws.stats().held_bytes, 0);
+        assert_eq!(ws.stats().held_buffers, 0);
+    }
+}
