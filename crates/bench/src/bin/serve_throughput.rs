@@ -17,13 +17,19 @@
 //! arms (default f16, the production configuration). Pass `f32` to keep the
 //! JSON trajectory comparable with pre-precision-plan runs or to measure
 //! the storage plan's own serving cost.
+//!
+//! `--trace <path>` records both arms in an `lx-obs` trace session and
+//! writes a Chrome trace-event JSON: tenant slices, adapter swaps and step
+//! phases on one Perfetto timeline.
 
 use long_exposure::engine::{EngineConfig, StepMode};
 use lx_bench::{fmt_ms, header, row, sim_model, BenchCli, SIM_BLOCK};
 use lx_model::{ModelConfig, Precision};
+use lx_obs::{Histogram, TraceSession};
 use lx_serve::{
     AdapterRegistry, DatasetSpec, JobSpec, SchedPolicy, Scheduler, ServeConfig, StepEvent,
 };
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -209,6 +215,20 @@ fn run(
     // Serve-progress checks: one event per step per tenant, mirroring the
     // report's losses, with the configured accumulation factor.
     let events = events.lock().unwrap();
+    // Step-latency percentiles across all tenants of this arm — the tail
+    // matters under interleaving, and a mean hides it.
+    let lat = Histogram::new();
+    for e in events.iter() {
+        lat.record_duration(e.step_time);
+    }
+    println!();
+    header(&["arm", "steps", "step p50 ms", "step p99 ms"]);
+    row(&[
+        label.to_string(),
+        lat.count().to_string(),
+        format!("{:.2}", lat.p50() as f64 / 1e6),
+        format!("{:.2}", lat.p99() as f64 / 1e6),
+    ]);
     for r in &reports {
         let tenant_events: Vec<&StepEvent> =
             events.iter().filter(|e| e.tenant == r.tenant).collect();
@@ -247,6 +267,10 @@ fn main() {
     // `--precision f32` keeps the trajectory comparable with older runs.
     let precision = cli.precision();
     println!("== serve_throughput: multi-tenant PEFT serving benchmark ({precision} backbone) ==");
+    let trace_path = cli.value("--trace").map(PathBuf::from);
+    let trace_session = trace_path
+        .as_ref()
+        .map(|_| TraceSession::start().expect("serve_throughput --trace: session already active"));
     let registry = Arc::new(AdapterRegistry::in_memory());
     let mut violations = run(
         w,
@@ -268,6 +292,21 @@ fn main() {
         registry.len(),
         registry.predictors().is_some(),
     );
+    if let (Some(session), Some(path)) = (trace_session, trace_path.as_ref()) {
+        let trace = session.finish();
+        match trace.write_chrome(path) {
+            Ok(()) => println!(
+                "wrote Chrome trace to {} ({} spans, {} dropped) — load in Perfetto",
+                path.display(),
+                trace.records.len(),
+                trace.dropped
+            ),
+            Err(e) => eprintln!(
+                "serve_throughput: failed to write trace {}: {e}",
+                path.display()
+            ),
+        }
+    }
     cli.finish();
     if smoke && !violations.is_empty() {
         for v in &violations {

@@ -14,10 +14,13 @@
 //!
 //! Flags:
 //! * `--smoke` — tiny model; gates on **zero steady-state allocations**
-//!   (dense + sparse), reuse actually reducing predict time, and the reuse
-//!   arm's loss curve staying within 0.05 of every-step prediction. Exits
-//!   non-zero on violation (the CI gate).
+//!   (dense + sparse), reuse actually reducing predict time, the reuse
+//!   arm's loss curve staying within 0.05 of every-step prediction, and the
+//!   disabled-instrumentation overhead estimate staying under 1% of a step.
+//!   Exits non-zero on violation (the CI gate).
 //! * `--json` — write `BENCH_step_bench.json`.
+//! * `--trace <path>` — record the plan-reuse arms in an `lx-obs` trace
+//!   session and write a Chrome trace-event JSON (Perfetto-loadable).
 //! * `--compare <baseline.json>` / `--tolerance <frac>` — gate the
 //!   `reuse speedup` column against a committed baseline
 //!   (see `ci/baselines/step_bench.json`).
@@ -26,8 +29,10 @@ use long_exposure::engine::StepMode;
 use long_exposure::PlanRefreshConfig;
 use lx_bench::{calibrated_engine, default_opt, header, load_bench_json, row, BenchCli};
 use lx_model::{prompt_aware_targets, ModelConfig, Precision};
+use lx_obs::{inert_span_cost_ns, registry, Histogram, TraceSession};
 use lx_peft::PeftMethod;
 use lx_tensor::memtrack;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 const WARMUP: usize = 2;
@@ -40,6 +45,8 @@ fn fmt_ms(d: Duration) -> String {
 struct SteadyState {
     mode: &'static str,
     step_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
     predict_share: f64,
     allocs_per_step: f64,
     hits: u64,
@@ -73,8 +80,13 @@ fn steady_state(
     let mark = memtrack::alloc_stats();
     let t0 = Instant::now();
     let mut predict = Duration::ZERO;
+    // Per-step latencies feed a log-bucketed histogram so the --json report
+    // carries p50/p99, not just the mean (tail steps hide behind a mean).
+    let lat = Histogram::new();
     for _ in 0..measured {
+        let t_step = Instant::now();
         let out = run(&mut engine, &mut batcher);
+        lat.record_duration(t_step.elapsed());
         predict += out.predict;
     }
     let wall = t0.elapsed();
@@ -83,10 +95,61 @@ fn steady_state(
     SteadyState {
         mode: label,
         step_ms: wall.as_secs_f64() * 1e3 / measured as f64,
+        p50_ms: lat.p50() as f64 / 1e6,
+        p99_ms: lat.p99() as f64 / 1e6,
         predict_share: predict.as_secs_f64() / wall.as_secs_f64().max(1e-12),
         allocs_per_step: allocs.count as f64 / measured as f64,
         hits: ws.hits,
         misses: ws.misses,
+    }
+}
+
+/// Estimate the cost of the *disabled* instrumentation on one steady-state
+/// sparse step: count the span/counter operations a traced step performs,
+/// multiply by the measured inert-path cost of one operation, and express it
+/// as a fraction of the measured step time. Must run while no trace session
+/// is active (the whole point is the inert path).
+struct OverheadEstimate {
+    span_cost_ns: f64,
+    ops_per_step: u64,
+    fraction: f64,
+}
+
+fn overhead_estimate(
+    cfg: ModelConfig,
+    precision: Precision,
+    batch: usize,
+    seq: usize,
+    step_ms: f64,
+) -> OverheadEstimate {
+    let span_cost_ns = inert_span_cost_ns(200_000);
+    let (mut engine, mut batcher) =
+        calibrated_engine(cfg, PeftMethod::lora_default(), batch, seq, 42);
+    engine.model.set_precision(precision);
+    let mut opt = default_opt();
+    let prompt = engine.model.embedding.prompt_len();
+    let mut run = |engine: &mut long_exposure::FinetuneEngine, batcher: &mut lx_data::Batcher| {
+        let ids = batcher.next_batch(batch, seq);
+        let targets = prompt_aware_targets(&ids, batch, seq, prompt);
+        engine.train_step_mode(&ids, &targets, batch, seq, &mut opt, StepMode::Sparse);
+    };
+    for _ in 0..WARMUP {
+        run(&mut engine, &mut batcher);
+    }
+    let counter_total = || -> u64 { registry().counters().iter().map(|(_, v)| v).sum() };
+    let counters_before = counter_total();
+    let session = TraceSession::start().expect("overhead probe needs the trace ring");
+    run(&mut engine, &mut batcher);
+    let trace = session.finish();
+    let counter_ops = counter_total().saturating_sub(counters_before);
+    // Spans + counter bumps + the always-on step histogram record. A counter
+    // bump (one relaxed atomic add) costs no more than an inert span check,
+    // so pricing every operation at `span_cost_ns` is conservative.
+    let ops_per_step = trace.records.len() as u64 + counter_ops + 1;
+    OverheadEstimate {
+        span_cost_ns,
+        ops_per_step,
+        fraction: ops_per_step as f64 * span_cost_ns / (step_ms * 1e6).max(1.0),
     }
 }
 
@@ -155,6 +218,8 @@ fn main() {
     header(&[
         "mode",
         "step ms",
+        "p50 ms",
+        "p99 ms",
         "predict share",
         "allocs/step",
         "ws hits",
@@ -167,6 +232,8 @@ fn main() {
         row(&[
             s.mode.to_string(),
             format!("{:.2}", s.step_ms),
+            format!("{:.2}", s.p50_ms),
+            format!("{:.2}", s.p99_ms),
             format!("{:.1}%", s.predict_share * 100.0),
             format!("{:.2}", s.allocs_per_step),
             s.hits.to_string(),
@@ -174,6 +241,17 @@ fn main() {
         ]);
         steady.push(s);
     }
+
+    // The inert-path probe must run before any --trace session activates the
+    // ring (it measures the disabled path); its table is emitted after the
+    // reuse table so baseline table indices stay stable.
+    let overhead =
+        smoke.then(|| overhead_estimate(cfg.clone(), precision, batch, seq, steady[1].step_ms));
+
+    let trace_path = cli.value("--trace").map(PathBuf::from);
+    let trace_session = trace_path
+        .as_ref()
+        .map(|_| TraceSession::start().expect("step_bench --trace: session already active"));
 
     println!();
     header(&[
@@ -212,6 +290,33 @@ fn main() {
         format!("{speedup:.2}x"),
         format!("{max_dev:.3}"),
     ]);
+    if let Some(est) = &overhead {
+        println!();
+        header(&["instrumentation", "span cost ns", "ops/step", "overhead"]);
+        row(&[
+            "disabled-path estimate".into(),
+            format!("{:.1}", est.span_cost_ns),
+            est.ops_per_step.to_string(),
+            format!("{:.3}%", est.fraction * 100.0),
+        ]);
+    }
+    if let (Some(session), Some(path)) = (trace_session, trace_path.as_ref()) {
+        let trace = session.finish();
+        match trace.write_chrome(path) {
+            Ok(()) => println!(
+                "\nwrote Chrome trace to {} ({} spans, {} dropped) — load in Perfetto",
+                path.display(),
+                trace.records.len(),
+                trace.dropped
+            ),
+            Err(e) => eprintln!(
+                "\nstep_bench: failed to write trace {}: {e}",
+                path.display()
+            ),
+        }
+        println!("{}", trace.summary());
+    }
+
     println!(
         "\nshape to check: allocs/step is 0 after warmup in both modes; plan reuse cuts \
          predict time and slab decodes while the loss curve stays within 0.05."
@@ -281,6 +386,15 @@ fn main() {
         if max_dev > 0.05 {
             eprintln!("step_bench: reuse loss curve deviated by {max_dev} (> 0.05)");
             gate_failed = true;
+        }
+        if let Some(est) = &overhead {
+            if est.fraction >= 0.01 {
+                eprintln!(
+                    "step_bench: disabled instrumentation estimated at {:.3}% of a step (gate: <1%)",
+                    est.fraction * 100.0
+                );
+                gate_failed = true;
+            }
         }
     }
     if gate_failed {

@@ -1,0 +1,65 @@
+//! CI validator for Chrome trace-event files produced by `--trace`.
+//!
+//! ```sh
+//! cargo run --release -p lx-bench --bin trace_check -- lx_step_trace.json
+//! ```
+//!
+//! Parses the file with `lx-obs`'s schema validator (top-level object,
+//! `traceEvents` array of complete `ph:"X"` events with numeric `ts`/`dur`)
+//! and exits non-zero on any malformation, so a formatting regression in the
+//! exporter fails the pipeline rather than silently producing a file
+//! Perfetto cannot load. `--min-events N` additionally requires at least `N`
+//! events (defaults to 1 — an empty trace usually means the instrumented
+//! code never ran).
+
+use lx_obs::validate_chrome_trace_file;
+use std::path::Path;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut min_events: usize = 1;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--min-events" {
+            min_events = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--min-events takes an integer");
+        } else if !arg.starts_with("--") {
+            paths.push(arg);
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <trace.json>... [--min-events N]");
+        exit(2);
+    }
+    let mut failed = false;
+    for path in paths {
+        match validate_chrome_trace_file(Path::new(path)) {
+            Ok(stats) if stats.events < min_events => {
+                eprintln!(
+                    "trace_check: {path}: only {} events (expected >= {min_events})",
+                    stats.events
+                );
+                failed = true;
+            }
+            Ok(stats) => {
+                println!(
+                    "trace_check: {path}: OK — {} events, {} span names, {:.1} ms covered",
+                    stats.events,
+                    stats.names,
+                    stats.span_us / 1e3
+                );
+            }
+            Err(e) => {
+                eprintln!("trace_check: {path}: INVALID — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        exit(1);
+    }
+}

@@ -268,6 +268,7 @@ impl FinetuneEngine {
     /// Offline phase: dense capture passes on `batches` (each
     /// `(ids, batch, seq)`), exposer targets, predictor training.
     pub fn calibrate(&mut self, batches: &[(Vec<u32>, usize, usize)]) -> CalibrationReport {
+        let _span = lx_obs::Span::enter("engine.calibrate").cat("engine");
         let exposer = Exposer::new(
             self.config.block_size,
             self.config.attn_prob_threshold,

@@ -18,6 +18,7 @@
 //! probe — both without synchronisation on the hot path.
 
 use crate::backend::{KernelBackend, Reference};
+use crate::observe::Observed;
 use crate::packed::{Packed, NR};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -106,6 +107,13 @@ pub fn force_scalar() -> bool {
 pub static REFERENCE: Reference = Reference;
 pub static PACKED: Packed = Packed;
 pub static AUTO: Auto = Auto;
+
+// Instrumented wrappers around the singletons: [`backend`] hands these out so
+// every dispatched GEMM lands in the `kernel.gemm.*` metrics. Raw singletons
+// stay available for differential tests and benches that want zero overhead.
+static OBS_REFERENCE: Observed = Observed::new(&REFERENCE);
+static OBS_PACKED: Observed = Observed::new(&PACKED);
+static OBS_AUTO: Observed = Observed::new(&AUTO);
 
 /// Size-aware dispatcher: picks [`Packed`] or [`Reference`] per call.
 pub struct Auto;
@@ -217,15 +225,18 @@ pub fn backend() -> &'static dyn KernelBackend {
         if std::env::var("LX_KERNEL_AUTOTUNE").as_deref() == Ok("1") {
             autotune();
         }
-        match std::env::var("LX_KERNEL_BACKEND") {
-            Ok(name) => backend_by_name(&name).unwrap_or_else(|| {
+        let name = std::env::var("LX_KERNEL_BACKEND").unwrap_or_else(|_| "auto".into());
+        match name.as_str() {
+            "reference" => &OBS_REFERENCE,
+            "packed" => &OBS_PACKED,
+            "auto" => &OBS_AUTO,
+            other => {
                 eprintln!(
-                    "lx-kernels: unknown LX_KERNEL_BACKEND '{name}' \
+                    "lx-kernels: unknown LX_KERNEL_BACKEND '{other}' \
                      (expected reference|packed|auto); using auto"
                 );
-                &AUTO
-            }),
-            Err(_) => &AUTO,
+                &OBS_AUTO
+            }
         }
     })
 }

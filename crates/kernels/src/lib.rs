@@ -25,6 +25,7 @@
 mod backend;
 mod dispatch;
 pub mod half;
+mod observe;
 mod packed;
 
 pub use backend::{KernelBackend, Reference};
@@ -32,6 +33,7 @@ pub use dispatch::{
     auto_choice, autotune, backend, backend_by_name, current_policy, force_scalar, install_policy,
     Auto, KernelPolicy, TileConfig, AUTO, PACKED, REFERENCE,
 };
+pub use observe::{gemm_call_total, Observed};
 pub use packed::{simd_active, Packed, MR, NR};
 
 /// `C[m,n] = A[m,k]·B[k,n] + beta·C`, contiguous rows.

@@ -28,8 +28,20 @@ use crate::loss::{self, IGNORE_INDEX};
 use crate::model::{CaptureConfig, Captures, LayerPlanner, TransformerModel};
 use crate::optim::{LossScaler, Optimizer};
 use crate::plan::SparsePlan;
+use lx_obs::{registry, Histogram, Span, TimedSpan};
 use lx_tensor::{Tensor, Workspace};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Always-on `model.step.ns` latency histogram (one record per [`execute`]
+/// call — negligible next to a step, and it feeds the p50/p99 columns of
+/// `step_bench --json` and the serve exposition endpoint).
+///
+/// [`execute`]: TransformerModel::execute
+fn step_ns_histogram() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| registry().histogram("model.step.ns"))
+}
 
 /// One shard of a gradient-accumulation step: token ids plus loss targets,
 /// both for the request's shared `(batch, seq)` shape.
@@ -254,6 +266,8 @@ impl TransformerModel {
     }
 
     fn execute_inner(&mut self, req: StepRequest<'_>) -> StepOutcome {
+        let _step_span = Span::enter("model.step").cat("step");
+        let t_step = Instant::now();
         let StepRequest {
             batches,
             batch,
@@ -311,11 +325,19 @@ impl TransformerModel {
             _ => None,
         };
         for (i, mb) in batches.iter().enumerate() {
-            let t_fwd = Instant::now();
+            let _mb_span = Span::enter("model.micro_batch").cat("step").index(i as u64);
+            // The forward span covers the whole pass (planner included); the
+            // planner's own time is metered by the `model.predict` spans it
+            // emits, so `out.forward` is the span duration minus `pred_t` —
+            // both sides of the subtraction are exact span nanoseconds,
+            // keeping the outcome bit-identical to the trace.
+            let fwd_span = TimedSpan::enter("model.forward_pass")
+                .cat("step")
+                .index(i as u64);
             let (logits, used, pred_t) =
                 self.forward_pass(mb.ids, batch, seq, &mut plan, capture_cfg);
             out.predict += pred_t;
-            out.forward += t_fwd.elapsed().saturating_sub(pred_t);
+            out.forward += fwd_span.finish().saturating_sub(pred_t);
             let densities = match (&used, &plan) {
                 (Some(u), _) => Some((u.mean_attn_density(), u.mean_mlp_density())),
                 (None, PlanSource::Provided(p)) => {
@@ -344,9 +366,11 @@ impl TransformerModel {
                 if scale != 1.0 {
                     dlogits.scale(scale);
                 }
-                let t_bwd = Instant::now();
+                let bwd_span = TimedSpan::enter("model.backward")
+                    .cat("step")
+                    .index(i as u64);
                 self.backward(&dlogits);
-                out.backward += t_bwd.elapsed();
+                out.backward += bwd_span.finish();
                 loss_acc += loss as f64 * weight as f64;
             } else {
                 match mode {
@@ -379,7 +403,7 @@ impl TransformerModel {
             loss_scale,
         } = mode
         {
-            let t_opt = Instant::now();
+            let opt_span = TimedSpan::enter("model.optimizer").cat("step");
             match loss_scale {
                 Some(scaler) => {
                     let finite = scaler.unscale(&mut |f| self.for_each_param(f));
@@ -397,9 +421,10 @@ impl TransformerModel {
                     self.for_each_param(&mut |p| optimizer.update(p));
                 }
             }
-            out.optim = t_opt.elapsed();
+            out.optim = opt_span.finish();
         }
         out.loss = loss_acc as f32;
+        step_ns_histogram().record_duration(t_step.elapsed());
         out
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::config::Activation;
 use crate::param::Param;
+use lx_obs::{registry, Counter};
 use lx_sparse::neuron::{
     fc1_backward_input, fc1_forward, fc1_grad_weights, fc2_backward_input, fc2_forward,
     fc2_grad_weights,
@@ -22,7 +23,22 @@ use lx_tensor::ops::{
     add_bias_rows, bias_grad_rows, gelu_backward, gelu_inplace, relu_backward, relu_inplace,
 };
 use lx_tensor::Tensor;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide mirrors of the per-layer slab-cache counters (see
+/// [`MlpLayer::slab_cache_stats`] for the per-layer source of truth).
+struct SlabCounters {
+    decoded: Arc<Counter>,
+    carried: Arc<Counter>,
+}
+
+fn slab_counters() -> &'static SlabCounters {
+    static COUNTERS: OnceLock<SlabCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| SlabCounters {
+        decoded: registry().counter("mlp.slab.decoded"),
+        carried: registry().counter("mlp.slab.carried"),
+    })
+}
 
 /// LoRA pair for an MLP linear. Shape semantics depend on the attach site —
 /// see [`MlpBlock::attach_lora_fc1`] / [`MlpBlock::attach_lora_fc2`].
@@ -206,6 +222,7 @@ impl MlpBlock {
                     }
                 }
                 self.slabs_reused += set.n_active() as u64;
+                slab_counters().carried.add(set.n_active() as u64);
                 return;
             }
         }
@@ -233,6 +250,7 @@ impl MlpBlock {
                 h1.decode_rows(n0, bsz, &mut w1.as_mut_slice()[span.clone()]);
                 h2.decode_rows(n0, bsz, &mut w2.as_mut_slice()[span]);
                 self.slabs_decoded += 1;
+                slab_counters().decoded.inc();
             } else {
                 let p = prev
                     .as_ref()
@@ -244,6 +262,7 @@ impl MlpBlock {
                 w1.as_mut_slice()[span.clone()].copy_from_slice(&p.w1.as_slice()[pspan.clone()]);
                 w2.as_mut_slice()[span].copy_from_slice(&p.w2.as_slice()[pspan]);
                 self.slabs_reused += 1;
+                slab_counters().carried.inc();
             }
             b1.as_mut_slice()[ci * bsz..(ci + 1) * bsz]
                 .copy_from_slice(&self.b1.value.as_slice()[n0..n0 + bsz]);

@@ -14,9 +14,10 @@ use crate::loss::IGNORE_INDEX;
 use crate::param::Param;
 use crate::plan::SparsePlan;
 use crate::precision::Precision;
+use lx_obs::TimedSpan;
 use lx_tensor::gemm::matmul_tn;
 use lx_tensor::{Tensor, Workspace, WorkspaceStats};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What to record during a calibration forward pass.
 #[derive(Debug, Clone, Copy, Default)]
@@ -204,9 +205,14 @@ impl TransformerModel {
                 PlanSource::Dense => x = block.forward(&x, batch, eff, None),
                 PlanSource::Provided(p) => x = block.forward(&x, batch, eff, p.layer(i)),
                 PlanSource::Planner(planner) => {
-                    let t0 = Instant::now();
+                    // `out.predict` is defined as the exact sum of these
+                    // span durations — `finish` returns the same nanosecond
+                    // count it publishes to the trace.
+                    let sp = TimedSpan::enter("model.predict")
+                        .cat("step")
+                        .layer(i as u32);
                     let lp = planner.plan_layer(i, &x, batch, eff);
-                    predict += t0.elapsed();
+                    predict += sp.finish();
                     x = block.forward(&x, batch, eff, Some(&lp));
                     used.as_mut().expect("planner plan").layers.push(lp);
                 }

@@ -1,0 +1,537 @@
+//! Chrome trace-event export, text summaries, and a format validator.
+//!
+//! The export targets the [Trace Event Format] "JSON Object Format": a
+//! top-level object whose `traceEvents` array holds complete (`"ph":"X"`)
+//! events with microsecond `ts`/`dur`. Both `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) load it directly; nesting is derived
+//! by the viewer from interval containment per `tid`, which is exactly how
+//! our per-phase spans sit inside their step spans.
+//!
+//! The validator is a deliberately small hand-rolled JSON parser (this
+//! workspace is offline — no serde): enough to check structure, required
+//! fields and types, which is what the CI `trace_check` bin gates on.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::span::{SpanRecord, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn event_json(r: &SpanRecord) -> String {
+    let mut args = String::new();
+    if let Some(t) = &r.tenant {
+        let _ = write!(args, "\"tenant\":\"{}\"", escape(t));
+    }
+    if let Some(l) = r.layer {
+        if !args.is_empty() {
+            args.push(',');
+        }
+        let _ = write!(args, "\"layer\":{l}");
+    }
+    if let Some(i) = r.index {
+        if !args.is_empty() {
+            args.push(',');
+        }
+        let _ = write!(args, "\"index\":{i}");
+    }
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{{args}}}}}",
+        escape(r.name),
+        escape(r.cat),
+        r.start_ns as f64 / 1e3,
+        r.dur_ns as f64 / 1e3,
+        r.tid,
+    )
+}
+
+impl Trace {
+    /// Serialise to Chrome trace-event JSON (complete `"X"` events,
+    /// microsecond timestamps).
+    pub fn to_chrome_json(&self) -> String {
+        let events: Vec<String> = self.records.iter().map(event_json).collect();
+        format!(
+            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped\":{}}}}}",
+            events.join(","),
+            self.dropped
+        )
+    }
+
+    /// Write [`Self::to_chrome_json`] to `path`.
+    pub fn write_chrome(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+
+    /// Human text summary: per span name, the call count, total and mean
+    /// time, sorted by total descending. Ends with the dropped count when
+    /// the ring wrapped.
+    pub fn summary(&self) -> String {
+        struct Agg {
+            count: u64,
+            total_ns: u64,
+        }
+        let mut by_name: BTreeMap<&str, Agg> = BTreeMap::new();
+        for r in &self.records {
+            let agg = by_name.entry(r.name).or_insert(Agg {
+                count: 0,
+                total_ns: 0,
+            });
+            agg.count += 1;
+            agg.total_ns += r.dur_ns;
+        }
+        let mut rows: Vec<(&str, Agg)> = by_name.into_iter().collect();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>12} {:>12}",
+            "span", "count", "total ms", "mean us"
+        );
+        for (name, agg) in rows {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>12.3} {:>12.2}",
+                name,
+                agg.count,
+                agg.total_ns as f64 / 1e6,
+                agg.total_ns as f64 / 1e3 / agg.count.max(1) as f64,
+            );
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "({} records dropped by ring wraparound)", self.dropped);
+        }
+        out
+    }
+}
+
+/// What [`validate_chrome_trace`] learned about a well-formed trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    pub events: usize,
+    /// Distinct span names.
+    pub names: usize,
+    /// Latest event end (`ts + dur`), microseconds.
+    pub span_us: f64,
+}
+
+/// Check that `json` is a well-formed Chrome trace-event document: a
+/// top-level object with a `traceEvents` array whose every element is a
+/// complete event — string `name`/`cat`, `"ph":"X"`, numeric non-negative
+/// `ts`/`dur`, numeric `pid`/`tid`. Returns aggregate stats on success.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceStats, String> {
+    let value = parse_json(json)?;
+    let top = value.as_object().ok_or("top level is not an object")?;
+    let events = top
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    let mut names: Vec<&str> = Vec::new();
+    let mut span_us = 0.0f64;
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev
+            .as_object()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let field = |key: &str| -> Result<&Json, String> {
+            obj.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("event {i} missing {key}"))
+        };
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: name is not a string"))?;
+        field("cat")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: cat is not a string"))?;
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: ph is not a string"))?;
+        if ph != "X" {
+            return Err(format!("event {i}: ph {ph:?} is not a complete event"));
+        }
+        let ts = field("ts")?
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: ts is not a number"))?;
+        let dur = field("dur")?
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: dur is not a number"))?;
+        if ts < 0.0 || dur < 0.0 {
+            return Err(format!("event {i}: negative ts/dur"));
+        }
+        field("pid")?
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: pid is not a number"))?;
+        field("tid")?
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: tid is not a number"))?;
+        if !names.contains(&name) {
+            names.push(name);
+        }
+        span_us = span_us.max(ts + dur);
+    }
+    Ok(TraceStats {
+        events: events.len(),
+        names: names.len(),
+        span_us,
+    })
+}
+
+/// [`validate_chrome_trace`] on a file.
+pub fn validate_chrome_trace_file(path: &Path) -> Result<TraceStats, String> {
+    let json =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    validate_chrome_trace(&json)
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON (validation only; no serde in this
+// workspace).
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected byte {:?} at {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, got {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, got {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 passes through byte-wise; the source
+                    // was a &str so the bytes are valid.
+                    let start = self.pos;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &'static str, start_ns: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            cat: "test",
+            tenant: Some("t/0\"x".into()),
+            layer: Some(1),
+            index: Some(2),
+            start_ns,
+            dur_ns,
+            tid: 1,
+        }
+    }
+
+    #[test]
+    fn export_roundtrips_through_the_validator() {
+        let trace = Trace {
+            records: vec![record("outer", 0, 5_000), record("inner", 1_000, 2_000)],
+            dropped: 3,
+        };
+        let json = trace.to_chrome_json();
+        let stats = validate_chrome_trace(&json).expect("well-formed");
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.names, 2);
+        assert!((stats.span_us - 5.0).abs() < 1e-9, "{}", stats.span_us);
+        assert!(json.contains("\"dropped\":3"));
+    }
+
+    #[test]
+    fn containment_detects_nesting() {
+        let outer = record("outer", 0, 5_000);
+        let inner = record("inner", 1_000, 2_000);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+    }
+
+    #[test]
+    fn summary_aggregates_by_name() {
+        let trace = Trace {
+            records: vec![
+                record("model.step", 0, 10_000),
+                record("model.step", 20_000, 30_000),
+                record("model.predict", 1_000, 500),
+            ],
+            dropped: 0,
+        };
+        let text = trace.summary();
+        assert!(text.contains("model.step"));
+        assert!(text.contains("2")); // step count
+        assert!(text.contains("model.predict"));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("[]").is_err(), "array top level");
+        assert!(validate_chrome_trace("{}").is_err(), "missing traceEvents");
+        assert!(
+            validate_chrome_trace("{\"traceEvents\":[{\"name\":\"x\"}]}").is_err(),
+            "incomplete event"
+        );
+        assert!(
+            validate_chrome_trace(
+                "{\"traceEvents\":[{\"name\":\"x\",\"cat\":\"c\",\"ph\":\"B\",\"ts\":0,\"dur\":1,\"pid\":1,\"tid\":1}]}"
+            )
+            .is_err(),
+            "non-X phase"
+        );
+        assert!(validate_chrome_trace("{\"traceEvents\":[]} junk").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        let v = parse_json("{\"a\":[1.5,-2e3,\"q\\\"\\u0041\"],\"b\":null,\"c\":true}").unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = obj[0].1.as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.5));
+        assert_eq!(arr[1].as_f64(), Some(-2000.0));
+        assert_eq!(arr[2].as_str(), Some("q\"A"));
+    }
+}

@@ -1,0 +1,33 @@
+//! The process-wide trace epoch.
+//!
+//! Span records store their start as nanoseconds since a single lazily
+//! initialised `Instant`, so records from different threads share one
+//! timeline and Chrome-trace timestamps are small positive numbers.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The shared epoch (first use wins; [`crate::TraceSession::start`] touches
+/// it up front so session timestamps start near zero).
+pub(crate) fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the process-wide trace epoch. Monotonic.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

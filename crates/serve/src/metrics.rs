@@ -29,10 +29,12 @@ impl TenantMetrics {
 
 fn rate(count: u64, d: Duration) -> f64 {
     let s = d.as_secs_f64();
-    if s > 0.0 {
-        count as f64 / s
-    } else {
+    // Guard both legs of the division: an empty snapshot (no work, zero
+    // elapsed) must read 0.0 everywhere, never NaN from 0/0.
+    if count == 0 || !s.is_finite() || s <= 0.0 {
         0.0
+    } else {
+        count as f64 / s
     }
 }
 
@@ -120,14 +122,113 @@ impl MetricsSnapshot {
         rate(self.total_tokens, self.uptime)
     }
 
-    /// Fraction of wall time the backbone was doing tenant work.
+    /// Fraction of wall time the backbone was doing tenant work. Always in
+    /// `[0, 1]` — an empty snapshot (zero uptime, zero busy) reads 0.0.
     pub fn utilisation(&self) -> f64 {
         let up = self.uptime.as_secs_f64();
-        if up > 0.0 {
-            (self.total_busy.as_secs_f64() / up).min(1.0)
+        let busy = self.total_busy.as_secs_f64();
+        if up > 0.0 && busy.is_finite() {
+            (busy / up).clamp(0.0, 1.0)
         } else {
             0.0
         }
+    }
+
+    /// Render the snapshot in Prometheus text exposition format, followed by
+    /// every counter and histogram in the global [`lx_obs`] registry (GEMM
+    /// call counts, workspace pool behaviour, per-tenant slice histograms).
+    /// Serve this from a scrape endpoint or dump it on shutdown.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut series = |name: &str, kind: &str, help: &str, value: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        series(
+            "lx_serve_uptime_seconds",
+            "gauge",
+            "Wall time since the scheduler started.",
+            self.uptime.as_secs_f64(),
+        );
+        series(
+            "lx_serve_queue_depth",
+            "gauge",
+            "Jobs waiting or running in the scheduler.",
+            self.queue_depth as f64,
+        );
+        series(
+            "lx_serve_completed_jobs_total",
+            "counter",
+            "Fine-tune jobs run to completion.",
+            self.completed_jobs as f64,
+        );
+        series(
+            "lx_serve_steps_total",
+            "counter",
+            "Train steps executed across all tenants.",
+            self.total_steps as f64,
+        );
+        series(
+            "lx_serve_tokens_total",
+            "counter",
+            "Tokens processed across all tenants.",
+            self.total_tokens as f64,
+        );
+        series(
+            "lx_serve_busy_seconds_total",
+            "counter",
+            "Wall time spent inside tenant train steps.",
+            self.total_busy.as_secs_f64(),
+        );
+        series(
+            "lx_serve_utilisation",
+            "gauge",
+            "Fraction of uptime spent on tenant work.",
+            self.utilisation(),
+        );
+        series(
+            "lx_serve_steps_per_second",
+            "gauge",
+            "Aggregate steps/sec over service wall time.",
+            self.aggregate_steps_per_sec(),
+        );
+        for (tenant, m) in &self.per_tenant {
+            let t = tenant.replace('"', "'");
+            let _ = writeln!(
+                out,
+                "lx_serve_tenant_steps_total{{tenant=\"{t}\"}} {}",
+                m.steps
+            );
+            let _ = writeln!(
+                out,
+                "lx_serve_tenant_tokens_total{{tenant=\"{t}\"}} {}",
+                m.tokens
+            );
+            let _ = writeln!(
+                out,
+                "lx_serve_tenant_busy_seconds_total{{tenant=\"{t}\"}} {}",
+                m.busy.as_secs_f64()
+            );
+            let _ = writeln!(
+                out,
+                "lx_serve_tenant_swap_seconds_total{{tenant=\"{t}\"}} {}",
+                m.swap.as_secs_f64()
+            );
+            let _ = writeln!(
+                out,
+                "lx_serve_tenant_slices_total{{tenant=\"{t}\"}} {}",
+                m.slices
+            );
+            let _ = writeln!(
+                out,
+                "lx_serve_tenant_last_loss{{tenant=\"{t}\"}} {}",
+                m.last_loss
+            );
+        }
+        out.push_str(&lx_obs::registry().render_prometheus());
+        out
     }
 }
 
@@ -184,5 +285,57 @@ mod tests {
         let t = TenantMetrics::default();
         assert_eq!(t.steps_per_sec(), 0.0);
         assert_eq!(t.tokens_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot_yields_finite_zero_rates() {
+        // Regression: an all-zero snapshot (service just started, or a
+        // snapshot taken in the same instant as startup) must not produce
+        // NaN from 0/0 in any derived rate.
+        let snap = MetricsSnapshot {
+            uptime: Duration::ZERO,
+            queue_depth: 0,
+            completed_jobs: 0,
+            total_steps: 0,
+            total_tokens: 0,
+            total_busy: Duration::ZERO,
+            per_tenant: BTreeMap::new(),
+        };
+        for v in [
+            snap.aggregate_steps_per_sec(),
+            snap.aggregate_tokens_per_sec(),
+            snap.utilisation(),
+        ] {
+            assert!(v.is_finite());
+            assert_eq!(v, 0.0);
+        }
+        let text = format!("{snap}");
+        assert!(!text.contains("NaN"), "display must stay NaN-free: {text}");
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_service_and_registry_series() {
+        let mut m = ServeMetrics::default();
+        m.record_slice(
+            "acme",
+            4,
+            64,
+            Duration::from_millis(100),
+            Duration::ZERO,
+            2.0,
+        );
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE lx_serve_steps_total counter"));
+        assert!(text.contains("lx_serve_steps_total 4"));
+        assert!(text.contains("lx_serve_tenant_steps_total{tenant=\"acme\"} 4"));
+        assert!(text.contains("lx_serve_utilisation"));
+        // Every line is either a comment or `name[{labels}] value`.
+        for line in text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let (_, value) = line.rsplit_once(' ').expect("series line");
+            assert!(value.parse::<f64>().is_ok(), "bad series line: {line}");
+        }
     }
 }

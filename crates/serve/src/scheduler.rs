@@ -20,11 +20,20 @@ use crate::registry::AdapterRegistry;
 use long_exposure::engine::{EngineConfig, FinetuneEngine, StepMode};
 use lx_data::Batcher;
 use lx_model::{prompt_aware_targets, AdamW, MicroBatch, Precision, TransformerModel};
+use lx_obs::{registry, Histogram, Span};
 use lx_peft::TenantAdapter;
 use lx_tensor::Workspace;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Always-on `serve.step.ns` latency histogram across all tenants — one
+/// record per scheduled train/eval step, feeding the p50/p99 columns of
+/// `serve_throughput --json` and the Prometheus exposition.
+fn serve_step_histogram() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| registry().histogram("serve.step.ns"))
+}
 
 /// Per-step observer for one job: called by the scheduler thread after every
 /// training/evaluation step with that step's [`StepEvent`].
@@ -85,6 +94,13 @@ struct ActiveJob {
     /// tenant's steady-state steps stay allocation-free even under
     /// interleaving with differently-shaped tenants.
     workspace: Workspace,
+    /// When this job last became runnable (admission, or the end of its
+    /// previous slice) — the scheduler's queue-wait clock.
+    ready_since: Instant,
+    /// `serve.slice.wait_ns{tenant}`: time from runnable to scheduled.
+    wait_hist: Arc<Histogram>,
+    /// `serve.slice.run_ns{tenant}`: busy time per scheduled slice.
+    run_hist: Arc<Histogram>,
 }
 
 impl ActiveJob {
@@ -255,6 +271,9 @@ impl Scheduler {
         let vocab = self.engine.model.config.vocab_size as u32;
         let batcher = spec.dataset.build_batcher(vocab, spec.stream_len);
         let opt = AdamW::new(spec.lr, 0.01);
+        let labels = [("tenant", spec.tenant.as_str())];
+        let wait_hist = registry().histogram_labeled("serve.slice.wait_ns", &labels);
+        let run_hist = registry().histogram_labeled("serve.slice.run_ns", &labels);
         self.active.push(ActiveJob {
             spec,
             adapter,
@@ -266,6 +285,9 @@ impl Scheduler {
             busy: Duration::ZERO,
             progress,
             workspace: Workspace::from_env(),
+            ready_since: Instant::now(),
+            wait_hist,
+            run_hist,
         });
         self.metrics.queue_depth = self.active.len();
         Ok(())
@@ -312,10 +334,15 @@ impl Scheduler {
         }
         let idx = self.pick_job()?;
         let job = &mut self.active[idx];
+        let _slice_span = Span::enter("serve.slice")
+            .cat("serve")
+            .tenant(&job.spec.tenant);
+        job.wait_hist.record_duration(job.ready_since.elapsed());
         if self.last_tenant.as_deref() != Some(job.spec.tenant.as_str()) {
             self.engine.invalidate_plan_cache();
             self.last_tenant = Some(job.spec.tenant.clone());
         }
+        let attach_span = Span::enter("serve.attach").cat("serve");
         let t_attach = Instant::now();
         // The tenant's step workspace rides along with its adapter: pooled
         // step buffers stay warm across this tenant's slices. Attaching
@@ -324,6 +351,7 @@ impl Scheduler {
         let adapter = &job.adapter;
         self.engine.model.workspace_scope(|m| adapter.attach_to(m));
         let mut swap = t_attach.elapsed();
+        drop(attach_span);
         let prompt_len = self.engine.model.embedding.prompt_len();
         let n_steps = self.config.slice_steps.min(job.remaining());
         let mut slice_busy = Duration::ZERO;
@@ -356,6 +384,7 @@ impl Scheduler {
                     .train_step_accum(&micros, batch, seq, &mut job.opt, self.config.mode)
             };
             let step_time = t0.elapsed();
+            serve_step_histogram().record_duration(step_time);
             slice_busy += step_time;
             last_loss = outcome.loss;
             job.losses.push(outcome.loss);
@@ -374,6 +403,7 @@ impl Scheduler {
                 });
             }
         }
+        let detach_span = Span::enter("serve.detach").cat("serve");
         let t_detach = Instant::now();
         // Extract and detach inside the tenant scope so the dropped adapter
         // params and their gradient buffers park in the tenant's pool, then
@@ -386,7 +416,10 @@ impl Scheduler {
         });
         self.engine.model.swap_workspace(&mut job.workspace);
         swap += t_detach.elapsed();
+        drop(detach_span);
         job.busy += slice_busy;
+        job.run_hist.record_duration(slice_busy);
+        job.ready_since = Instant::now();
         let tokens = n_steps * (job.spec.batch * job.spec.seq * job.spec.micro_batches) as u64;
         self.metrics.record_slice(
             &job.spec.tenant,

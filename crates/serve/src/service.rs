@@ -14,7 +14,9 @@
 use crate::job::{JobReport, JobSpec, JobState, StepEvent};
 use crate::metrics::MetricsSnapshot;
 use crate::scheduler::Scheduler;
+use lx_obs::TraceSession;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -121,11 +123,37 @@ enum Command {
 pub struct FinetuneService {
     tx: Option<Sender<Command>>,
     thread: Option<std::thread::JoinHandle<Scheduler>>,
+    /// Live trace session + where to dump it on shutdown (see `LX_TRACE`).
+    trace: Option<(TraceSession, PathBuf)>,
 }
 
 impl FinetuneService {
-    /// Start the service on its own thread.
+    /// Start the service on its own thread. When the `LX_TRACE=path.json`
+    /// environment variable is set, the whole service run is recorded and a
+    /// Chrome trace-event file is written to that path on shutdown (or drop)
+    /// — load it in Perfetto / `chrome://tracing` to see per-tenant slices,
+    /// adapter swaps and step phases on a timeline.
     pub fn spawn(scheduler: Scheduler) -> Self {
+        match std::env::var("LX_TRACE") {
+            Ok(path) if !path.is_empty() => Self::spawn_traced(scheduler, PathBuf::from(path)),
+            _ => Self::spawn_inner(scheduler, None),
+        }
+    }
+
+    /// [`Self::spawn`] with tracing forced on, dumping the Chrome trace to
+    /// `path` at shutdown regardless of `LX_TRACE`.
+    pub fn spawn_traced(scheduler: Scheduler, path: PathBuf) -> Self {
+        let trace = match TraceSession::start() {
+            Ok(session) => Some((session, path)),
+            Err(reason) => {
+                eprintln!("lx-serve: trace disabled: {reason}");
+                None
+            }
+        };
+        Self::spawn_inner(scheduler, trace)
+    }
+
+    fn spawn_inner(scheduler: Scheduler, trace: Option<(TraceSession, PathBuf)>) -> Self {
         let (tx, rx) = mpsc::channel();
         let thread = std::thread::Builder::new()
             .name("lx-serve-scheduler".into())
@@ -134,6 +162,15 @@ impl FinetuneService {
         FinetuneService {
             tx: Some(tx),
             thread: Some(thread),
+            trace,
+        }
+    }
+
+    fn dump_trace(trace: Option<(TraceSession, PathBuf)>) {
+        if let Some((session, path)) = trace {
+            if let Err(e) = session.finish().write_chrome(&path) {
+                eprintln!("lx-serve: failed to write trace {}: {e}", path.display());
+            }
         }
     }
 
@@ -165,11 +202,14 @@ impl FinetuneService {
     /// scheduler (registry, metrics, backbone).
     pub fn shutdown(mut self) -> Scheduler {
         drop(self.tx.take());
-        self.thread
+        let scheduler = self
+            .thread
             .take()
             .expect("double shutdown")
             .join()
-            .expect("scheduler thread panicked")
+            .expect("scheduler thread panicked");
+        Self::dump_trace(self.trace.take());
+        scheduler
     }
 }
 
@@ -179,6 +219,7 @@ impl Drop for FinetuneService {
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
+        Self::dump_trace(self.trace.take());
     }
 }
 

@@ -25,8 +25,30 @@
 //! marker.
 
 use crate::memtrack;
+use lx_obs::{registry, Counter};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide mirrors of the per-workspace reuse counters, registered in
+/// the global [`lx_obs`] metrics registry. Per-workspace [`WorkspaceStats`]
+/// stay the source of truth for the differential suite; these aggregate
+/// across every workspace on every thread so `step_bench --trace` and the
+/// serve exposition endpoint can report pool behaviour without plumbing.
+struct PoolCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    recycled: Arc<Counter>,
+}
+
+fn pool_counters() -> &'static PoolCounters {
+    static COUNTERS: OnceLock<PoolCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| PoolCounters {
+        hits: registry().counter("workspace.hits"),
+        misses: registry().counter("workspace.misses"),
+        recycled: registry().counter("workspace.recycled"),
+    })
+}
 
 /// Free buffers keyed by capacity (elements), newest-first per bucket.
 #[derive(Debug, Default)]
@@ -193,6 +215,7 @@ pub(crate) fn pool_take(len: usize) -> Option<Vec<f32>> {
         match pool.take(len) {
             Some(mut buf) => {
                 pool.hits += 1;
+                pool_counters().hits.inc();
                 // Capacity is preserved; only the logical length changes.
                 // resize never reallocates here because capacity ≥ len.
                 if buf.len() < len {
@@ -205,6 +228,7 @@ pub(crate) fn pool_take(len: usize) -> Option<Vec<f32>> {
             }
             None => {
                 pool.misses += 1;
+                pool_counters().misses.inc();
                 None
             }
         }
@@ -223,6 +247,7 @@ pub(crate) fn pool_recycle(buf: Vec<f32>) -> bool {
         match slot.as_mut() {
             Some(pool) => {
                 pool.park(buf);
+                pool_counters().recycled.inc();
                 true
             }
             None => false,
