@@ -105,7 +105,7 @@ fn main() {
         "\nshape to check: attention-buffer term grows 4x per seq doubling when dense, ~2x sparse."
     );
 
-    println!("\n== Precision modes (measured): backbone storage, f32 vs F16Frozen ==\n");
+    println!("\n== Precision modes (measured): backbone storage f32/f16/int8/nf4 ==\n");
     header(&[
         "model",
         "precision",
@@ -116,9 +116,16 @@ fn main() {
     // The memtrack column is the live-tensor delta of actually building the
     // backbone at each precision — the real allocator-tracked footprint —
     // and the storage column is the dtype-accounted sum over parameters.
-    // The two agree because HalfTensor registers its true 2-byte elements.
+    // The two agree because HalfTensor registers its true 2-byte elements
+    // and QuantTensor its code bytes plus per-block scales.
     let mut f32_measured = 0usize;
-    for precision in [Precision::F32, Precision::F16Frozen] {
+    let mut ratios: Vec<(Precision, f64)> = Vec::new();
+    for precision in [
+        Precision::F32,
+        Precision::F16Frozen,
+        Precision::Int8Frozen,
+        Precision::Nf4Frozen,
+    ] {
         let before = memtrack::current_bytes();
         let mut model = lx_bench::sim_model(ModelConfig::opt_sim_small(), 42);
         model.freeze_all();
@@ -128,17 +135,44 @@ fn main() {
         if precision == Precision::F32 {
             f32_measured = measured;
         }
+        let ratio = measured as f64 / f32_measured as f64;
+        ratios.push((precision, ratio));
         row(&[
             model.config.name.clone(),
             precision.to_string(),
             format!("{:.2}", measured as f64 / 1e6),
             format!("{:.2}", storage as f64 / 1e6),
-            format!("{:.3}x", measured as f64 / f32_measured as f64),
+            format!("{:.3}x", ratio),
         ]);
     }
     println!(
-        "\nacceptance: F16Frozen measured backbone ≤ 0.55x of the f32 run (matrices halve, \
-         biases/LayerNorm stay f32)."
+        "\nacceptance (measured, vs the f32 run): f16 ≤ 0.55x, int8 ≤ 0.30x, nf4 ≤ 0.17x \
+         (matrices shrink; biases/LayerNorm stay f32)."
     );
+    if cli.smoke {
+        let gates = [
+            (Precision::F16Frozen, 0.55),
+            (Precision::Int8Frozen, 0.30),
+            (Precision::Nf4Frozen, 0.17),
+        ];
+        let mut failed = false;
+        for (precision, gate) in gates {
+            let ratio = ratios
+                .iter()
+                .find(|(p, _)| *p == precision)
+                .map(|(_, r)| *r)
+                .expect("precision measured above");
+            if ratio > gate {
+                eprintln!(
+                    "fig8_memory smoke gate: {precision} measured backbone is {ratio:.3}x of \
+                     f32, gate is {gate}x"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
     cli.finish();
 }

@@ -33,6 +33,11 @@ enum Variant {
     /// `Nn` with B stored as f16 bits: both backends run their fused
     /// f16-input path (mixed-precision storage, f32 accumulate).
     NnF16,
+    /// `Nn` with B stored as per-block-scaled int8 codes: the fused
+    /// dequant-in-pack path (`gemm_q8`).
+    NnQ8,
+    /// `Nn` with B stored as NF4 nibbles (`gemm_q4`).
+    NnQ4,
 }
 
 struct Shape {
@@ -60,6 +65,8 @@ fn shapes(smoke: bool) -> Vec<Shape> {
             shape("attn scores", Variant::Nt, 128, 64, 128),
             shape("mlp fc1", Variant::Nn, 128, 128, 256),
             shape("mlp fc1 f16-w", Variant::NnF16, 128, 128, 256),
+            shape("mlp fc1 int8-w", Variant::NnQ8, 128, 128, 256),
+            shape("mlp fc1 nf4-w", Variant::NnQ4, 128, 128, 256),
             shape("grad dW", Variant::Tn, 128, 128, 128),
         ]
     } else {
@@ -72,6 +79,8 @@ fn shapes(smoke: bool) -> Vec<Shape> {
             shape("attn context s=512", Variant::Nn, 512, 512, 64),
             shape("mlp fc1 512x256x1024", Variant::Nn, 512, 256, 1024),
             shape("mlp fc1 f16-w 512x256x1024", Variant::NnF16, 512, 256, 1024),
+            shape("mlp fc1 int8-w 512x256x1024", Variant::NnQ8, 512, 256, 1024),
+            shape("mlp fc1 nf4-w 512x256x1024", Variant::NnQ4, 512, 256, 1024),
             shape("mlp fc2 512x1024x256", Variant::Nn, 512, 1024, 256),
             shape("grad dW 256x512x1024", Variant::Tn, 256, 512, 1024),
         ]
@@ -83,6 +92,10 @@ struct Operands {
     b: Vec<f32>,
     /// f16 encoding of `b`, used by the `NnF16` variant.
     bits: Vec<u16>,
+    /// Int8 block encoding of `b` (codes, scales), used by `NnQ8`.
+    q8: (Vec<i8>, Vec<f32>),
+    /// NF4 block encoding of `b` (packed nibbles, scales), used by `NnQ4`.
+    q4: (Vec<u8>, Vec<f32>),
 }
 
 fn run(be: &dyn KernelBackend, s: &Shape, ops: &Operands, c: &mut [f32]) {
@@ -93,6 +106,14 @@ fn run(be: &dyn KernelBackend, s: &Shape, ops: &Operands, c: &mut [f32]) {
         Variant::Nt => be.gemm_nt(m, k, n, a, k, b, k, c, n, 0.0),
         Variant::Tn => be.gemm_tn(m, k, n, a, m, b, n, c, n, 0.0),
         Variant::NnF16 => be.gemm_f16(m, k, n, a, k, &ops.bits, n, c, n, 0.0),
+        Variant::NnQ8 => {
+            let view = lx_kernels::Q8View::new(&ops.q8.0, &ops.q8.1);
+            be.gemm_q8(m, k, n, a, k, view, n, c, n, 0.0)
+        }
+        Variant::NnQ4 => {
+            let view = lx_kernels::Q4View::new(&ops.q4.0, &ops.q4.1, s.k * s.n);
+            be.gemm_q4(m, k, n, a, k, view, n, c, n, 0.0)
+        }
     }
 }
 
@@ -157,7 +178,7 @@ fn main() {
     let mut best_speedup = 0.0f64;
     for s in shapes(smoke) {
         let (asz, bsz) = match s.variant {
-            Variant::Nn | Variant::NnF16 => (s.m * s.k, s.k * s.n),
+            Variant::Nn | Variant::NnF16 | Variant::NnQ8 | Variant::NnQ4 => (s.m * s.k, s.k * s.n),
             Variant::Nt => (s.m * s.k, s.n * s.k),
             Variant::Tn => (s.k * s.m, s.k * s.n),
         };
@@ -167,7 +188,15 @@ fn main() {
             Variant::NnF16 => lx_kernels::half::encode_slice(&b),
             _ => Vec::new(),
         };
-        let ops = Operands { a, b, bits };
+        let q8 = match s.variant {
+            Variant::NnQ8 => lx_quant::q8::quantize(&b),
+            _ => (Vec::new(), Vec::new()),
+        };
+        let q4 = match s.variant {
+            Variant::NnQ4 => lx_quant::nf4::quantize(&b),
+            _ => (Vec::new(), Vec::new()),
+        };
+        let ops = Operands { a, b, bits, q8, q4 };
         let mut c_ref = vec![0.0f32; s.m * s.n];
         let mut c_packed = vec![0.0f32; s.m * s.n];
         let flops = 2.0 * (s.m * s.k * s.n) as f64;

@@ -7,8 +7,8 @@
 //!   at the end of the run (see [`crate::report`]); emitted by
 //!   [`BenchCli::finish`].
 //! * `--smoke` — shrink the workload into a fast CI gate.
-//! * `--precision f32|f16` — parameter-storage plan for bins that build
-//!   models (default f16, the production configuration).
+//! * `--precision f32|f16|int8|nf4` — parameter-storage plan for bins that
+//!   build models (default f16, the production configuration).
 //! * `--<flag> <value>` — free-form valued flags via [`BenchCli::value`]
 //!   (e.g. `kernel_bench --compare <baseline> --tolerance <frac>`).
 //!
@@ -61,15 +61,17 @@ impl BenchCli {
             .map(String::as_str)
     }
 
-    /// The `--precision f32|f16` storage plan. Defaults to `f16` (the
-    /// production configuration); exits with status 2 on anything else.
+    /// The `--precision f32|f16|int8|nf4` storage plan. Defaults to `f16`
+    /// (the production configuration); exits with status 2 on anything else.
     pub fn precision(&self) -> Precision {
         match self.value("--precision") {
             None | Some("f16") => Precision::F16Frozen,
             Some("f32") => Precision::F32,
+            Some("int8") => Precision::Int8Frozen,
+            Some("nf4") => Precision::Nf4Frozen,
             Some(other) => {
                 eprintln!(
-                    "{}: unknown --precision '{other}' (expected f32|f16)",
+                    "{}: unknown --precision '{other}' (expected f32|f16|int8|nf4)",
                     self.name
                 );
                 std::process::exit(2);
@@ -128,6 +130,14 @@ mod tests {
             Precision::F16Frozen
         );
         assert_eq!(cli(&["--precision", "f32"]).precision(), Precision::F32);
+        assert_eq!(
+            cli(&["--precision", "int8"]).precision(),
+            Precision::Int8Frozen
+        );
+        assert_eq!(
+            cli(&["--precision", "nf4"]).precision(),
+            Precision::Nf4Frozen
+        );
     }
 
     #[test]

@@ -137,6 +137,104 @@ pub trait KernelBackend: Sync {
         crate::half::decode_slice(b, &mut bf);
         self.gemm_nt(m, k, n, a, lda, &bf, ldb, c, ldc, beta)
     }
+
+    /// [`gemm`](Self::gemm) with **B stored block-quantized int8** (`k×n`
+    /// row-major element space; the view carries codes and per-block
+    /// scales). Mixed-precision contract as [`gemm_f16`](Self::gemm_f16):
+    /// each element dequantizes to f32 (`code · scale`, exact) and all
+    /// arithmetic runs in f32, so the result matches dequantizing B up front
+    /// and calling the f32 variant. Backends fuse the dequant into their
+    /// load/pack stage; this default materialises f32 B.
+    fn gemm_q8(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        let bf = materialize_q8(b);
+        self.gemm(m, k, n, a, lda, &bf, ldb, c, ldc, beta)
+    }
+
+    /// [`gemm_nt`](Self::gemm_nt) with **B stored block-quantized int8**
+    /// (`n×k` row-major element space).
+    fn gemm_nt_q8(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        let bf = materialize_q8(b);
+        self.gemm_nt(m, k, n, a, lda, &bf, ldb, c, ldc, beta)
+    }
+
+    /// [`gemm`](Self::gemm) with **B stored NF4** (4-bit codebook codes,
+    /// `k×n` row-major element space). Same contract as
+    /// [`gemm_q8`](Self::gemm_q8) with dequant `codebook[code] · scale`.
+    fn gemm_q4(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        let bf = materialize_q4(b);
+        self.gemm(m, k, n, a, lda, &bf, ldb, c, ldc, beta)
+    }
+
+    /// [`gemm_nt`](Self::gemm_nt) with **B stored NF4** (`n×k` row-major
+    /// element space).
+    fn gemm_nt_q4(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        let bf = materialize_q4(b);
+        self.gemm_nt(m, k, n, a, lda, &bf, ldb, c, ldc, beta)
+    }
+}
+
+fn materialize_q8(b: lx_quant::Q8View<'_>) -> Vec<f32> {
+    let mut bf = vec![0.0f32; b.len()];
+    for (i, o) in bf.iter_mut().enumerate() {
+        *o = b.get(i);
+    }
+    bf
+}
+
+fn materialize_q4(b: lx_quant::Q4View<'_>) -> Vec<f32> {
+    let mut bf = vec![0.0f32; b.len()];
+    for (i, o) in bf.iter_mut().enumerate() {
+        *o = b.get(i);
+    }
+    bf
 }
 
 /// Parallel `C *= beta` sweep (the whole op when `k == 0`; the up-front beta
@@ -400,4 +498,180 @@ impl KernelBackend for Reference {
             }
         });
     }
+
+    /// On-load dequant (`gemm_decode_b`): one B row per k-step, same
+    /// accumulation order as the f32 [`gemm`](KernelBackend::gemm), so
+    /// results match the dequant-up-front path bit for bit.
+    fn gemm_q8(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_q8: A");
+        check_view(b.len(), k, n, ldb, "gemm_q8: B");
+        check_view(c.len(), m, n, ldc, "gemm_q8: C");
+        gemm_decode_b(m, k, n, a, lda, decode_row(b, ldb), c, ldc, beta);
+    }
+
+    fn gemm_nt_q8(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nt_q8: A");
+        check_view(b.len(), n, k, ldb, "gemm_nt_q8: B");
+        check_view(c.len(), m, n, ldc, "gemm_nt_q8: C");
+        gemm_nt_decode_b(m, k, n, a, lda, decode_row(b, ldb), c, ldc, beta);
+    }
+
+    fn gemm_q4(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_q4: A");
+        check_view(b.len(), k, n, ldb, "gemm_q4: B");
+        check_view(c.len(), m, n, ldc, "gemm_q4: C");
+        gemm_decode_b(m, k, n, a, lda, decode_row4(b, ldb), c, ldc, beta);
+    }
+
+    fn gemm_nt_q4(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nt_q4: A");
+        check_view(b.len(), n, k, ldb, "gemm_nt_q4: B");
+        check_view(c.len(), m, n, ldc, "gemm_nt_q4: C");
+        gemm_nt_decode_b(m, k, n, a, lda, decode_row4(b, ldb), c, ldc, beta);
+    }
+}
+
+/// Row decoder for an int8 view under `ldb` striding: fills `out` with the
+/// dequantized elements `row·ldb .. row·ldb + out.len()`.
+fn decode_row(b: lx_quant::Q8View<'_>, ldb: usize) -> impl Fn(usize, &mut [f32]) + Sync + '_ {
+    move |row, out| {
+        let base = row * ldb;
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = b.get(base + j);
+        }
+    }
+}
+
+/// NF4 twin of [`decode_row`].
+fn decode_row4(b: lx_quant::Q4View<'_>, ldb: usize) -> impl Fn(usize, &mut [f32]) + Sync + '_ {
+    move |row, out| {
+        let base = row * ldb;
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = b.get(base + j);
+        }
+    }
+}
+
+/// The k-outer on-load-decode loop shared by the quantized Reference paths:
+/// one `n`-long B row decoded to scratch per k-step and streamed against
+/// every A row of the chunk, never materialising the full f32 B. Per-element
+/// accumulation order is identical to the f32 `Reference::gemm`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_decode_b<D: Fn(usize, &mut [f32]) + Sync>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    decode: D,
+    c: &mut [f32],
+    ldc: usize,
+    beta: f32,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        return scale_only(c, m, n, ldc, beta);
+    }
+    par_rows(c, m, ldc, row_grain(k, n), |rows, chunk| {
+        for i in rows.clone() {
+            let local = (i - rows.start) * ldc;
+            scale_row(&mut chunk[local..local + n], beta);
+        }
+        let mut b_row = vec![0.0f32; n];
+        for l in 0..k {
+            decode(l, &mut b_row);
+            for i in rows.clone() {
+                let av = a[i * lda + l];
+                if av == 0.0 {
+                    continue;
+                }
+                let local = (i - rows.start) * ldc;
+                axpy_row(&mut chunk[local..local + n], av, &b_row);
+            }
+        }
+    });
+}
+
+/// The `nt` twin of [`gemm_decode_b`]: one `k`-long B row decoded per output
+/// column, dotted against every A row of the chunk.
+#[allow(clippy::too_many_arguments)]
+fn gemm_nt_decode_b<D: Fn(usize, &mut [f32]) + Sync>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    decode: D,
+    c: &mut [f32],
+    ldc: usize,
+    beta: f32,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        return scale_only(c, m, n, ldc, beta);
+    }
+    par_rows(c, m, ldc, row_grain(k, n), |rows, chunk| {
+        let mut b_row = vec![0.0f32; k];
+        for j in 0..n {
+            decode(j, &mut b_row);
+            for i in rows.clone() {
+                let a_row = &a[i * lda..i * lda + k];
+                let dot = dot_unrolled(a_row, &b_row);
+                let cv = &mut chunk[(i - rows.start) * ldc + j];
+                *cv = if beta == 0.0 { dot } else { beta * *cv + dot };
+            }
+        }
+    });
 }

@@ -212,6 +212,70 @@ impl KernelBackend for Auto {
     ) {
         pick(m, k, n).gemm_nt_f16(m, k, n, a, lda, b, ldb, c, ldc, beta)
     }
+
+    fn gemm_q8(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        pick(m, k, n).gemm_q8(m, k, n, a, lda, b, ldb, c, ldc, beta)
+    }
+
+    fn gemm_nt_q8(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        pick(m, k, n).gemm_nt_q8(m, k, n, a, lda, b, ldb, c, ldc, beta)
+    }
+
+    fn gemm_q4(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        pick(m, k, n).gemm_q4(m, k, n, a, lda, b, ldb, c, ldc, beta)
+    }
+
+    fn gemm_nt_q4(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        pick(m, k, n).gemm_nt_q4(m, k, n, a, lda, b, ldb, c, ldc, beta)
+    }
 }
 
 /// Resolve the process-wide backend once: `LX_KERNEL_BACKEND` ∈

@@ -35,6 +35,9 @@ pub use dispatch::{
 };
 pub use observe::{gemm_call_total, Observed};
 pub use packed::{simd_active, Packed, MR, NR};
+// Quantized-B operands are passed as lx-quant views; re-exported so kernel
+// callers need no direct lx-quant dependency.
+pub use lx_quant::{Q4View, Q8View};
 
 /// `C[m,n] = A[m,k]·B[k,n] + beta·C`, contiguous rows.
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
@@ -61,6 +64,46 @@ pub fn gemm_f16(m: usize, k: usize, n: usize, a: &[f32], b: &[u16], c: &mut [f32
 /// rows. Same mixed-precision contract as [`gemm_f16`].
 pub fn gemm_nt_f16(m: usize, k: usize, n: usize, a: &[f32], b: &[u16], c: &mut [f32], beta: f32) {
     backend().gemm_nt_f16(m, k, n, a, k.max(1), b, k.max(1), c, n.max(1), beta)
+}
+
+/// `C[m,n] = A[m,k]·B[k,n] + beta·C` with B stored block-quantized int8,
+/// contiguous rows. B dequantizes to f32 on load/pack; all accumulation
+/// stays f32.
+pub fn gemm_q8(m: usize, k: usize, n: usize, a: &[f32], b: Q8View<'_>, c: &mut [f32], beta: f32) {
+    backend().gemm_q8(m, k, n, a, k.max(1), b, n.max(1), c, n.max(1), beta)
+}
+
+/// `C[m,n] = A[m,k]·B[n,k]ᵀ + beta·C` with B stored block-quantized int8,
+/// contiguous rows.
+pub fn gemm_nt_q8(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: Q8View<'_>,
+    c: &mut [f32],
+    beta: f32,
+) {
+    backend().gemm_nt_q8(m, k, n, a, k.max(1), b, k.max(1), c, n.max(1), beta)
+}
+
+/// `C[m,n] = A[m,k]·B[k,n] + beta·C` with B stored NF4, contiguous rows.
+/// Same mixed-precision contract as [`gemm_q8`].
+pub fn gemm_q4(m: usize, k: usize, n: usize, a: &[f32], b: Q4View<'_>, c: &mut [f32], beta: f32) {
+    backend().gemm_q4(m, k, n, a, k.max(1), b, n.max(1), c, n.max(1), beta)
+}
+
+/// `C[m,n] = A[m,k]·B[n,k]ᵀ + beta·C` with B stored NF4, contiguous rows.
+pub fn gemm_nt_q4(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: Q4View<'_>,
+    c: &mut [f32],
+    beta: f32,
+) {
+    backend().gemm_nt_q4(m, k, n, a, k.max(1), b, k.max(1), c, n.max(1), beta)
 }
 
 /// Strided [`gemm`] on the process-wide backend.
@@ -256,5 +299,93 @@ mod tests {
     fn autotune_installs_policy() {
         let p = autotune();
         assert!(p.min_flops_packed > 0);
+    }
+
+    #[test]
+    fn q8_gemm_matches_dequant_up_front_on_every_backend() {
+        // Shapes straddling block boundaries (k·n % 64 != 0) and register
+        // tiles.
+        for &(m, k, n) in &[(5usize, 7usize, 15usize), (13, 65, 33), (32, 64, 48)] {
+            let a = pseudo(m * k, 20 + m as u32);
+            let bf = pseudo(k * n, 21 + n as u32);
+            let (codes, scales) = lx_quant::q8::quantize(&bf);
+            let view = Q8View::new(&codes, &scales);
+            // Oracle: dequantize B up front, run the f32 kernel.
+            let mut bdq = vec![0.0f32; k * n];
+            lx_quant::q8::dequantize(&codes, &scales, &mut bdq);
+            let expect = naive(m, k, n, &a, &bdq);
+            for be in [&REFERENCE as &dyn KernelBackend, &PACKED, &AUTO] {
+                let mut c = vec![0.0; m * n];
+                be.gemm_q8(m, k, n, &a, k, view, n, &mut c, n, 0.0);
+                assert_close(&c, &expect, 1e-4);
+            }
+            // Reference must match its own f32 path bit for bit (identical
+            // accumulation order — the slab-decode equivalence rests on it).
+            let mut c_ref = vec![0.0; m * n];
+            let mut c_f32 = vec![0.0; m * n];
+            REFERENCE.gemm_q8(m, k, n, &a, k, view, n, &mut c_ref, n, 0.0);
+            REFERENCE.gemm(m, k, n, &a, k, &bdq, n, &mut c_f32, n, 0.0);
+            for (x, y) in c_ref.iter().zip(&c_f32) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn q4_gemm_matches_dequant_up_front_on_every_backend() {
+        for &(m, k, n) in &[(5usize, 7usize, 15usize), (13, 65, 33), (32, 64, 48)] {
+            let a = pseudo(m * k, 22 + m as u32);
+            let bf = pseudo(k * n, 23 + n as u32);
+            let (codes, scales) = lx_quant::nf4::quantize(&bf);
+            let view = Q4View::new(&codes, &scales, k * n);
+            let mut bdq = vec![0.0f32; k * n];
+            lx_quant::nf4::dequantize(&codes, &scales, &mut bdq);
+            let expect = naive(m, k, n, &a, &bdq);
+            for be in [&REFERENCE as &dyn KernelBackend, &PACKED, &AUTO] {
+                let mut c = vec![0.0; m * n];
+                be.gemm_q4(m, k, n, &a, k, view, n, &mut c, n, 0.0);
+                assert_close(&c, &expect, 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn quant_nt_variants_match_dequant_up_front() {
+        let (m, k, n) = (9, 70, 11); // B is n×k = 770 elements: tail block
+        let a = pseudo(m * k, 24);
+        let bf = pseudo(n * k, 25);
+        let (c8, s8) = lx_quant::q8::quantize(&bf);
+        let (c4, s4) = lx_quant::nf4::quantize(&bf);
+        let mut bdq = vec![0.0f32; n * k];
+        lx_quant::q8::dequantize(&c8, &s8, &mut bdq);
+        let mut expect = vec![0.0; m * n];
+        REFERENCE.gemm_nt(m, k, n, &a, k, &bdq, k, &mut expect, n, 0.0);
+        for be in [&REFERENCE as &dyn KernelBackend, &PACKED, &AUTO] {
+            let mut c = vec![0.0; m * n];
+            be.gemm_nt_q8(m, k, n, &a, k, Q8View::new(&c8, &s8), k, &mut c, n, 0.0);
+            assert_close(&c, &expect, 1e-4);
+        }
+        lx_quant::nf4::dequantize(&c4, &s4, &mut bdq);
+        expect.fill(0.0);
+        REFERENCE.gemm_nt(m, k, n, &a, k, &bdq, k, &mut expect, n, 0.0);
+        for be in [&REFERENCE as &dyn KernelBackend, &PACKED, &AUTO] {
+            let mut c = vec![0.0; m * n];
+            let view = Q4View::new(&c4, &s4, n * k);
+            be.gemm_nt_q4(m, k, n, &a, k, view, k, &mut c, n, 0.0);
+            assert_close(&c, &expect, 1e-4);
+        }
+    }
+
+    #[test]
+    fn quant_free_functions_dispatch() {
+        let (m, k, n) = (64, 64, 64);
+        let a = pseudo(m * k, 26);
+        let bf = pseudo(k * n, 27);
+        let (codes, scales) = lx_quant::q8::quantize(&bf);
+        let mut bdq = vec![0.0f32; k * n];
+        lx_quant::q8::dequantize(&codes, &scales, &mut bdq);
+        let mut c = vec![0.0; m * n];
+        gemm_q8(m, k, n, &a, Q8View::new(&codes, &scales), &mut c, 0.0);
+        assert_close(&c, &naive(m, k, n, &a, &bdq), 1e-4);
     }
 }

@@ -2,10 +2,11 @@
 //!
 //! Every call through [`crate::dispatch::backend`] passes through an
 //! `Observed` wrapper that attributes the call to the backend that actually
-//! ran it (for [`crate::dispatch::Auto`], the routed choice) and to a FLOP
-//! shape class, then bumps `kernel.gemm.calls{backend,class}` in the global
-//! [`lx_obs`] registry. Call counting is one relaxed atomic add; per-call
-//! *latency* (`kernel.gemm.ns{backend,class}`) is only measured while
+//! ran it (for [`crate::dispatch::Auto`], the routed choice), to a FLOP
+//! shape class, and to the storage dtype of the B operand, then bumps
+//! `kernel.gemm.calls{backend,class,dtype}` in the global [`lx_obs`]
+//! registry. Call counting is one relaxed atomic add; per-call *latency*
+//! (`kernel.gemm.ns{backend,class,dtype}`) is only measured while
 //! [`lx_obs::timing_enabled`] — two `Instant` reads per GEMM are noise for
 //! Fig. 12 shapes but not for the thousands of tiny per-block sparse GEMMs,
 //! and the disabled path must stay under the 1% `step_bench` overhead gate.
@@ -18,6 +19,14 @@ use std::time::Instant;
 
 /// FLOP-count shape classes for GEMM attribution.
 const CLASSES: [&str; 4] = ["tiny", "small", "medium", "large"];
+
+/// Storage dtypes of the B operand (A and all accumulation are always f32).
+const DTYPES: [&str; 4] = ["f32", "f16", "i8-block", "nf4-block"];
+
+const DT_F32: usize = 0;
+const DT_F16: usize = 1;
+const DT_Q8: usize = 2;
+const DT_Q4: usize = 3;
 
 /// Class index by `2·m·k·n` FLOPs: tiny < 2^17 ≤ small < 2^21 ≤ medium
 /// < 2^25 ≤ large.
@@ -36,24 +45,27 @@ struct GemmStats {
     time_ns: Arc<Histogram>,
 }
 
-/// The `reference`/`packed` × class instrument table, registered once.
-fn stats(backend: &'static str, class: usize) -> &'static GemmStats {
+/// The `reference`/`packed` × class × dtype instrument table, registered
+/// once.
+fn stats(backend: &'static str, class: usize, dtype: usize) -> &'static GemmStats {
     static TABLE: OnceLock<Vec<GemmStats>> = OnceLock::new();
     let table = TABLE.get_or_init(|| {
-        let mut v = Vec::with_capacity(2 * CLASSES.len());
+        let mut v = Vec::with_capacity(2 * CLASSES.len() * DTYPES.len());
         for be in ["reference", "packed"] {
             for cls in CLASSES {
-                let labels = [("backend", be), ("class", cls)];
-                v.push(GemmStats {
-                    calls: registry().counter_labeled("kernel.gemm.calls", &labels),
-                    time_ns: registry().histogram_labeled("kernel.gemm.ns", &labels),
-                });
+                for dt in DTYPES {
+                    let labels = [("backend", be), ("class", cls), ("dtype", dt)];
+                    v.push(GemmStats {
+                        calls: registry().counter_labeled("kernel.gemm.calls", &labels),
+                        time_ns: registry().histogram_labeled("kernel.gemm.ns", &labels),
+                    });
+                }
             }
         }
         v
     });
     let be = usize::from(backend == "packed");
-    &table[be * CLASSES.len() + class]
+    &table[(be * CLASSES.len() + class) * DTYPES.len() + dtype]
 }
 
 /// A [`KernelBackend`] that delegates to `inner` and records call counts and
@@ -79,8 +91,15 @@ impl Observed {
     }
 
     #[inline]
-    fn observe(&self, m: usize, k: usize, n: usize, call: impl FnOnce(&'static dyn KernelBackend)) {
-        let s = stats(self.attribute(m, k, n), class(m, k, n));
+    fn observe(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        dtype: usize,
+        call: impl FnOnce(&'static dyn KernelBackend),
+    ) {
+        let s = stats(self.attribute(m, k, n), class(m, k, n), dtype);
         if timing_enabled() {
             let t0 = Instant::now();
             call(self.inner);
@@ -111,7 +130,9 @@ impl KernelBackend for Observed {
         ldc: usize,
         beta: f32,
     ) {
-        self.observe(m, k, n, |be| be.gemm(m, k, n, a, lda, b, ldb, c, ldc, beta));
+        self.observe(m, k, n, DT_F32, |be| {
+            be.gemm(m, k, n, a, lda, b, ldb, c, ldc, beta)
+        });
     }
 
     fn gemm_nt(
@@ -127,7 +148,7 @@ impl KernelBackend for Observed {
         ldc: usize,
         beta: f32,
     ) {
-        self.observe(m, k, n, |be| {
+        self.observe(m, k, n, DT_F32, |be| {
             be.gemm_nt(m, k, n, a, lda, b, ldb, c, ldc, beta)
         });
     }
@@ -145,7 +166,7 @@ impl KernelBackend for Observed {
         ldc: usize,
         beta: f32,
     ) {
-        self.observe(m, k, n, |be| {
+        self.observe(m, k, n, DT_F32, |be| {
             be.gemm_tn(m, k, n, a, lda, b, ldb, c, ldc, beta)
         });
     }
@@ -163,7 +184,7 @@ impl KernelBackend for Observed {
         ldc: usize,
         beta: f32,
     ) {
-        self.observe(m, k, n, |be| {
+        self.observe(m, k, n, DT_F16, |be| {
             be.gemm_f16(m, k, n, a, lda, b, ldb, c, ldc, beta)
         });
     }
@@ -181,19 +202,94 @@ impl KernelBackend for Observed {
         ldc: usize,
         beta: f32,
     ) {
-        self.observe(m, k, n, |be| {
+        self.observe(m, k, n, DT_F16, |be| {
             be.gemm_nt_f16(m, k, n, a, lda, b, ldb, c, ldc, beta)
+        });
+    }
+
+    fn gemm_q8(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        self.observe(m, k, n, DT_Q8, |be| {
+            be.gemm_q8(m, k, n, a, lda, b, ldb, c, ldc, beta)
+        });
+    }
+
+    fn gemm_nt_q8(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        self.observe(m, k, n, DT_Q8, |be| {
+            be.gemm_nt_q8(m, k, n, a, lda, b, ldb, c, ldc, beta)
+        });
+    }
+
+    fn gemm_q4(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        self.observe(m, k, n, DT_Q4, |be| {
+            be.gemm_q4(m, k, n, a, lda, b, ldb, c, ldc, beta)
+        });
+    }
+
+    fn gemm_nt_q4(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        self.observe(m, k, n, DT_Q4, |be| {
+            be.gemm_nt_q4(m, k, n, a, lda, b, ldb, c, ldc, beta)
         });
     }
 }
 
-/// Total observed GEMM calls across all backends and shape classes — a cheap
-/// "how many kernels did that step issue" probe for overhead accounting.
+/// Total observed GEMM calls across all backends, shape classes, and dtypes
+/// — a cheap "how many kernels did that step issue" probe for overhead
+/// accounting.
 pub fn gemm_call_total() -> u64 {
     let mut total = 0;
     for be in ["reference", "packed"] {
         for (i, _) in CLASSES.iter().enumerate() {
-            total += stats(be, i).calls.get();
+            for (d, _) in DTYPES.iter().enumerate() {
+                total += stats(be, i, d).calls.get();
+            }
         }
     }
     total
@@ -217,13 +313,32 @@ mod tests {
     fn observed_counts_calls_and_delegates() {
         let observed = Observed::new(&REFERENCE);
         assert_eq!(observed.name(), "reference");
-        let before = stats("reference", 0).calls.get();
+        let before = stats("reference", 0, DT_F32).calls.get();
         let a = [1.0f32, 2.0, 3.0, 4.0];
         let b = [5.0f32, 6.0, 7.0, 8.0];
         let mut c = [0.0f32; 4];
         observed.gemm(2, 2, 2, &a, 2, &b, 2, &mut c, 2, 0.0);
-        assert_eq!(stats("reference", 0).calls.get(), before + 1);
+        assert_eq!(stats("reference", 0, DT_F32).calls.get(), before + 1);
         // 2x2 result actually computed by the inner backend.
         assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn quantized_calls_land_in_their_dtype_bucket() {
+        let observed = Observed::new(&REFERENCE);
+        let vals: Vec<f32> = (0..4).map(|i| i as f32 - 1.5).collect();
+        let (codes, scales) = lx_quant::q8::quantize(&vals);
+        let view = lx_quant::Q8View::new(&codes, &scales);
+        let before_q8 = stats("reference", 0, DT_Q8).calls.get();
+        let before_f32 = stats("reference", 0, DT_F32).calls.get();
+        let a = [1.0f32, 0.0, 0.0, 1.0];
+        let mut c = [0.0f32; 4];
+        observed.gemm_q8(2, 2, 2, &a, 2, view, 2, &mut c, 2, 0.0);
+        assert_eq!(stats("reference", 0, DT_Q8).calls.get(), before_q8 + 1);
+        assert_eq!(
+            stats("reference", 0, DT_F32).calls.get(),
+            before_f32,
+            "the f32 bucket must not double-count a quantized call"
+        );
     }
 }

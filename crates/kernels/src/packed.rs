@@ -74,6 +74,39 @@ impl PackElem for u16 {
     }
 }
 
+/// A B operand the pack routines can read by **flat element index** — the
+/// generalisation [`PackElem`] needs once storage is no longer one element
+/// per slot. Block-quantized sources resolve their per-block scale from the
+/// same flat index (`scales[idx / BLOCK]`), which works under `ldb` striding
+/// because the index handed in is always buffer-relative, never
+/// panel-relative.
+pub(crate) trait PackSrc: Sync {
+    /// Dequantized/decoded f32 value of element `idx` of the row-major
+    /// buffer.
+    fn load(&self, idx: usize) -> f32;
+}
+
+impl<E: PackElem> PackSrc for [E] {
+    #[inline(always)]
+    fn load(&self, idx: usize) -> f32 {
+        self[idx].to_f32()
+    }
+}
+
+impl PackSrc for lx_quant::Q8View<'_> {
+    #[inline(always)]
+    fn load(&self, idx: usize) -> f32 {
+        self.get(idx)
+    }
+}
+
+impl PackSrc for lx_quant::Q4View<'_> {
+    #[inline(always)]
+    fn load(&self, idx: usize) -> f32 {
+        self.get(idx)
+    }
+}
+
 thread_local! {
     static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
     static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
@@ -82,9 +115,9 @@ thread_local! {
 /// Pack `kc` k-steps × `nc` columns of B into NR-wide column panels:
 /// `out[panel][p·NR + j]` = B(pc+p, jc + panel·NR + j), zero-padded past `nc`.
 #[allow(clippy::too_many_arguments)]
-fn pack_b<E: PackElem>(
+fn pack_b<S: PackSrc + ?Sized>(
     out: &mut Vec<f32>,
-    b: &[E],
+    b: &S,
     ldb: usize,
     layout: Layout,
     pc: usize,
@@ -102,17 +135,17 @@ fn pack_b<E: PackElem>(
         match layout {
             Layout::Normal => {
                 for p in 0..kc {
-                    let src = &b[(pc + p) * ldb + jc + j0..];
+                    let base = (pc + p) * ldb + jc + j0;
                     for j in 0..width {
-                        dst[p * NR + j] = src[j].to_f32();
+                        dst[p * NR + j] = b.load(base + j);
                     }
                 }
             }
             Layout::Transposed => {
                 for j in 0..width {
-                    let src = &b[(jc + j0 + j) * ldb + pc..];
+                    let base = (jc + j0 + j) * ldb + pc;
                     for p in 0..kc {
-                        dst[p * NR + j] = src[p].to_f32();
+                        dst[p * NR + j] = b.load(base + p);
                     }
                 }
             }
@@ -294,7 +327,7 @@ pub struct Packed;
 
 impl Packed {
     #[allow(clippy::too_many_arguments)]
-    fn driver<E: PackElem>(
+    fn driver<S: PackSrc + ?Sized>(
         &self,
         m: usize,
         k: usize,
@@ -302,7 +335,7 @@ impl Packed {
         a: &[f32],
         lda: usize,
         a_layout: Layout,
-        b: &[E],
+        b: &S,
         ldb: usize,
         b_layout: Layout,
         c: &mut [f32],
@@ -529,6 +562,137 @@ impl KernelBackend for Packed {
             lda,
             Layout::Normal,
             b,
+            ldb,
+            Layout::Transposed,
+            c,
+            ldc,
+            beta,
+        );
+    }
+
+    /// Fused pack-time dequant: each packed B element is `code · scale`,
+    /// resolved from the view's flat index space, so the int8 storage never
+    /// materialises as an f32 matrix and the microkernel runs unchanged.
+    fn gemm_q8(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_q8: A");
+        check_view(b.len(), k, n, ldb, "gemm_q8: B");
+        check_view(c.len(), m, n, ldc, "gemm_q8: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            &b,
+            ldb,
+            Layout::Normal,
+            c,
+            ldc,
+            beta,
+        );
+    }
+
+    fn gemm_nt_q8(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nt_q8: A");
+        check_view(b.len(), n, k, ldb, "gemm_nt_q8: B");
+        check_view(c.len(), m, n, ldc, "gemm_nt_q8: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            &b,
+            ldb,
+            Layout::Transposed,
+            c,
+            ldc,
+            beta,
+        );
+    }
+
+    fn gemm_q4(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_q4: A");
+        check_view(b.len(), k, n, ldb, "gemm_q4: B");
+        check_view(c.len(), m, n, ldc, "gemm_q4: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            &b,
+            ldb,
+            Layout::Normal,
+            c,
+            ldc,
+            beta,
+        );
+    }
+
+    fn gemm_nt_q4(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nt_q4: A");
+        check_view(b.len(), n, k, ldb, "gemm_nt_q4: B");
+        check_view(c.len(), m, n, ldc, "gemm_nt_q4: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            &b,
             ldb,
             Layout::Transposed,
             c,

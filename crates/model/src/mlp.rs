@@ -66,9 +66,9 @@ pub struct MlpBlock {
     d_model: usize,
     d_ff: usize,
     cache: Option<MlpCache>,
-    /// Cross-step cache of decoded active slabs (half-stored sparse mode).
-    /// Keyed by the plan it was gathered for; refreshed incrementally — see
-    /// [`MlpBlock::refresh_slab_cache`].
+    /// Cross-step cache of decoded active slabs (reduced-stored sparse
+    /// mode, f16 or block-quantized). Keyed by the plan it was gathered for;
+    /// refreshed incrementally — see [`MlpBlock::refresh_slab_cache`].
     slab_cache: Option<SparseSlabs>,
     slabs_decoded: u64,
     slabs_reused: u64,
@@ -82,22 +82,26 @@ struct MlpCache {
     /// Post-activation, same width as `z`.
     a: Tensor,
     set: Option<Arc<NeuronBlockSet>>,
-    /// The step ran against the half-stored weights via the slab cache.
+    /// The step ran against reduced-stored weights via the slab cache.
     used_slabs: bool,
     ax1: Option<Tensor>,
     ax2: Option<Tensor>,
 }
 
-/// f32 views of the *active* neuron slabs of half-stored FC weights, in the
-/// compact coordinate system of [`NeuronBlockSet::compacted`]. This is the
-/// paper's "only active blocks resident at full width" discipline: inactive
-/// slabs never leave their 2-byte storage.
+/// f32 views of the *active* neuron slabs of reduced-stored FC weights (f16
+/// or block-quantized), in the compact coordinate system of
+/// [`NeuronBlockSet::compacted`]. This is the paper's "only active blocks
+/// resident at full width" discipline: inactive slabs never leave their
+/// reduced storage (2 bytes/element for f16, ~1 for int8, ~0.5 for NF4).
 ///
 /// Under shadowy sparsity consecutive plans overlap heavily, so the gather is
 /// maintained *incrementally* across steps: blocks active in both the old and
 /// new plan are carried over with an f32 copy, only newly-activated blocks
-/// are decoded from the f16 bits, and deactivated blocks are evicted by not
-/// being carried. An unchanged plan reuses the whole gather untouched.
+/// are decoded from the stored bits, and deactivated blocks are evicted by
+/// not being carried. An unchanged plan reuses the whole gather untouched.
+/// The quantized decodes are elementwise over flat indices, so a slab window
+/// is bit-identical to the same rows of a full-buffer decode even when row
+/// boundaries land mid-quantization-block.
 #[derive(Debug)]
 struct SparseSlabs {
     /// The (global) plan this gather was built for.
@@ -206,7 +210,7 @@ impl MlpBlock {
     /// (re-gathering only the bias when it is trainable and may have moved);
     /// a drifted plan copies carried-over slabs from the previous gather and
     /// decodes only the newly-activated blocks ([`NeuronBlockSet::diff`])
-    /// from the f16 bits.
+    /// from the stored f16/int8/NF4 bits.
     fn refresh_slab_cache(&mut self, set: &Arc<NeuronBlockSet>) {
         let bsz = set.block_size;
         if let Some(c) = &mut self.slab_cache {
@@ -227,8 +231,10 @@ impl MlpBlock {
             }
         }
         let d = self.d_model;
-        let h1 = self.w1.half.as_ref().expect("w1 must be half-stored");
-        let h2 = self.w2.half.as_ref().expect("w2 must be half-stored");
+        assert!(
+            self.w1.is_reduced() && self.w2.is_reduced(),
+            "slab cache requires reduced-stored FC weights"
+        );
         let prev = self.slab_cache.take();
         // Blocks newly activated relative to the previous gather must be
         // decoded; everything else is carried over with an f32 copy.
@@ -247,8 +253,9 @@ impl MlpBlock {
             };
             if is_added {
                 ai += 1;
-                h1.decode_rows(n0, bsz, &mut w1.as_mut_slice()[span.clone()]);
-                h2.decode_rows(n0, bsz, &mut w2.as_mut_slice()[span]);
+                self.w1
+                    .decode_rows(n0, bsz, &mut w1.as_mut_slice()[span.clone()]);
+                self.w2.decode_rows(n0, bsz, &mut w2.as_mut_slice()[span]);
                 self.slabs_decoded += 1;
                 slab_counters().decoded.inc();
             } else {
@@ -277,7 +284,7 @@ impl MlpBlock {
     }
 
     /// `(decoded, carried-over)` slab-block counters since construction —
-    /// how much f16→f32 decode work the cross-step cache avoided.
+    /// how much reduced→f32 decode work the cross-step cache avoided.
     pub fn slab_cache_stats(&self) -> (u64, u64) {
         (self.slabs_decoded, self.slabs_reused)
     }
@@ -338,14 +345,17 @@ impl MlpBlock {
         );
         let rows = x.rows();
         let width = set.active_neurons();
-        // Half-stored weights: run the neuron kernels in the compact
-        // coordinate system over the cross-step slab cache (only blocks that
-        // drifted in get decoded); f32 weights use the full buffers with the
-        // global set, as before. Both layouts produce the identical compact
-        // `rows × active` buffers.
-        let used_slabs = self.w1.is_half();
+        // Reduced-stored weights (f16 or block-quantized): run the neuron
+        // kernels in the compact coordinate system over the cross-step slab
+        // cache (only blocks that drifted in get decoded); f32 weights use
+        // the full buffers with the global set, as before. Both layouts
+        // produce the identical compact `rows × active` buffers.
+        let used_slabs = self.w1.is_reduced();
         if used_slabs {
-            assert!(self.w2.is_half(), "FC1/FC2 must share a storage precision");
+            assert!(
+                self.w2.is_reduced(),
+                "FC1/FC2 must share a storage precision"
+            );
             self.refresh_slab_cache(&set);
         }
         let slabs = used_slabs.then(|| self.slab_cache.as_ref().expect("slab cache refreshed"));
@@ -601,8 +611,8 @@ impl MlpBlock {
             dx.as_mut_slice(),
         );
         // FC1 grads — active blocks only (§II-D). Weight grads address the
-        // full-size buffers, so they use the global set; frozen half-stored
-        // weights never take this path (trainability implies f32 storage).
+        // full-size buffers, so they use the global set; frozen reduced-
+        // stored weights never take this path (trainability implies f32).
         if self.b1.trainable {
             let g = self.b1.grad_mut();
             for row in 0..rows {
@@ -853,79 +863,124 @@ mod tests {
         }
     }
 
+    /// Demote both FC weights to each reduced storage in turn.
+    fn demotions() -> [fn(&mut MlpBlock); 3] {
+        use lx_tensor::Dtype;
+        [
+            |m: &mut MlpBlock| {
+                m.w1.to_half();
+                m.w2.to_half();
+            },
+            |m: &mut MlpBlock| {
+                m.w1.to_quant(Dtype::I8Block);
+                m.w2.to_quant(Dtype::I8Block);
+            },
+            |m: &mut MlpBlock| {
+                m.w1.to_quant(Dtype::Nf4Block);
+                m.w2.to_quant(Dtype::Nf4Block);
+            },
+        ]
+    }
+
     #[test]
     fn incremental_slab_decode_equals_full_decode_under_drift() {
-        // Two identical half-stored blocks: one keeps its cross-step slab
-        // cache (incremental decode), the other is forced to re-gather from
-        // scratch every step. Outputs must stay bit-identical across a
-        // randomized plan-drift sequence including empty→full and
-        // full→empty transitions.
-        let mk = || {
-            let mut m = mlp();
-            m.w1.to_half();
-            m.w2.to_half();
-            m
-        };
-        let mut inc = mk();
-        let mut full = mk();
-        let x = Tensor::randn(&[ROWS, D], 1.0, 30);
-        let n_blk = (FF / BLK) as u32;
-        let mut plans: Vec<Vec<u32>> = vec![
-            vec![],               // start empty
-            (0..n_blk).collect(), // empty → full
-            vec![],               // full → empty
-            vec![0, 2],
-            vec![0, 3],           // one block drifts
-            (0..n_blk).collect(), // partial → full
-            vec![1],
-        ];
-        for step in 0..6u64 {
-            let picks = lx_tensor::rng::uniform_vec(3, 0.0, n_blk as f32, 40 + step);
-            plans.push(picks.into_iter().map(|v| v as u32).collect());
+        // Two identical reduced-stored blocks (f16, int8, NF4 in turn): one
+        // keeps its cross-step slab cache (incremental decode), the other is
+        // forced to re-gather from scratch every step. Outputs must stay
+        // bit-identical across a randomized plan-drift sequence including
+        // empty→full and full→empty transitions.
+        for demote in demotions() {
+            let mk = || {
+                let mut m = mlp();
+                demote(&mut m);
+                m
+            };
+            let mut inc = mk();
+            let mut full = mk();
+            let x = Tensor::randn(&[ROWS, D], 1.0, 30);
+            let n_blk = (FF / BLK) as u32;
+            let mut plans: Vec<Vec<u32>> = vec![
+                vec![],               // start empty
+                (0..n_blk).collect(), // empty → full
+                vec![],               // full → empty
+                vec![0, 2],
+                vec![0, 3],           // one block drifts
+                (0..n_blk).collect(), // partial → full
+                vec![1],
+            ];
+            for step in 0..6u64 {
+                let picks = lx_tensor::rng::uniform_vec(3, 0.0, n_blk as f32, 40 + step);
+                plans.push(picks.into_iter().map(|v| v as u32).collect());
+            }
+            for idx in plans {
+                let set = Arc::new(NeuronBlockSet::from_indices(idx, n_blk as usize, BLK));
+                let yi = inc.forward(&x, Some(&set));
+                full.invalidate_slab_cache(); // the full-re-decode arm
+                let yf = full.forward(&x, Some(&set));
+                assert_eq!(yi.as_slice(), yf.as_slice(), "set {:?}", set.active);
+            }
+            let (dec_inc, reused) = inc.slab_cache_stats();
+            let (dec_full, _) = full.slab_cache_stats();
+            assert!(reused > 0, "drifting plans must carry blocks over");
+            assert!(
+                dec_inc < dec_full,
+                "incremental decode must do less work: {dec_inc} vs {dec_full}"
+            );
         }
-        for idx in plans {
-            let set = Arc::new(NeuronBlockSet::from_indices(idx, n_blk as usize, BLK));
-            let yi = inc.forward(&x, Some(&set));
-            full.invalidate_slab_cache(); // the full-re-decode arm
-            let yf = full.forward(&x, Some(&set));
-            assert_eq!(yi.as_slice(), yf.as_slice(), "set {:?}", set.active);
-        }
-        let (dec_inc, reused) = inc.slab_cache_stats();
-        let (dec_full, _) = full.slab_cache_stats();
-        assert!(reused > 0, "drifting plans must carry blocks over");
-        assert!(
-            dec_inc < dec_full,
-            "incremental decode must do less work: {dec_inc} vs {dec_full}"
-        );
     }
 
     #[test]
     fn unchanged_plan_reuses_the_slab_cache_wholesale() {
-        let mut m = mlp();
-        m.w1.to_half();
-        m.w2.to_half();
-        let x = Tensor::randn(&[ROWS, D], 1.0, 31);
-        let set = Arc::new(NeuronBlockSet::from_indices(vec![0, 2], FF / BLK, BLK));
-        let _ = m.forward(&x, Some(&set));
-        let (dec0, _) = m.slab_cache_stats();
-        assert_eq!(dec0, 2, "first step decodes every active block");
-        for _ in 0..3 {
+        for demote in demotions() {
+            let mut m = mlp();
+            demote(&mut m);
+            let x = Tensor::randn(&[ROWS, D], 1.0, 31);
+            let set = Arc::new(NeuronBlockSet::from_indices(vec![0, 2], FF / BLK, BLK));
             let _ = m.forward(&x, Some(&set));
+            let (dec0, _) = m.slab_cache_stats();
+            assert_eq!(dec0, 2, "first step decodes every active block");
+            for _ in 0..3 {
+                let _ = m.forward(&x, Some(&set));
+            }
+            let (dec, reused) = m.slab_cache_stats();
+            assert_eq!(dec, dec0, "unchanged plan must decode nothing");
+            assert_eq!(reused, 3 * 2, "each reuse step counts its active blocks");
         }
-        let (dec, reused) = m.slab_cache_stats();
-        assert_eq!(dec, dec0, "unchanged plan must decode nothing");
-        assert_eq!(reused, 3 * 2, "each reuse step counts its active blocks");
+    }
+
+    #[test]
+    fn quant_slab_sparse_path_matches_prerounded_dense() {
+        // The exactness contract behind the quantized sparse path: running
+        // the neuron kernels over slab-decoded quantized weights must equal
+        // running them over a *pre-rounded* f32 model (quantize → dequantize
+        // up front) bit-for-bit, because the slab decode is elementwise.
+        use lx_tensor::Dtype;
+        for dtype in [Dtype::I8Block, Dtype::Nf4Block] {
+            let mut q = mlp();
+            q.w1.to_quant(dtype);
+            q.w2.to_quant(dtype);
+            let mut pre = mlp();
+            for w in [&mut pre.w1, &mut pre.w2] {
+                w.to_quant(dtype);
+                w.to_f32(); // pre-rounded dense f32
+            }
+            let x = Tensor::randn(&[ROWS, D], 1.0, 35);
+            let set = Arc::new(NeuronBlockSet::from_indices(vec![0, 2, 3], FF / BLK, BLK));
+            let yq = q.forward(&x, Some(&set));
+            let yp = pre.forward(&x, Some(&set));
+            assert_eq!(yq.as_slice(), yp.as_slice(), "{dtype}");
+        }
     }
 
     #[test]
     fn cached_slabs_track_a_trainable_bias() {
-        // BitFit on the f16 sparse path: the weight bits are frozen, but b1
-        // is trainable and moves between steps. The unchanged-plan fast path
-        // must still serve the *current* bias, not the one gathered when the
-        // cache was built.
+        // BitFit on the reduced-precision sparse path: the weight bits are
+        // frozen, but b1 is trainable and moves between steps. The
+        // unchanged-plan fast path must still serve the *current* bias, not
+        // the one gathered when the cache was built.
         let mut m = mlp();
-        m.w1.to_half();
-        m.w2.to_half();
+        m.w1.to_quant(lx_tensor::Dtype::Nf4Block);
+        m.w2.to_quant(lx_tensor::Dtype::Nf4Block);
         m.b1.trainable = true;
         let x = Tensor::randn(&[ROWS, D], 1.0, 32);
         let set = Arc::new(NeuronBlockSet::from_indices(vec![0, 2], FF / BLK, BLK));

@@ -16,7 +16,7 @@ use crate::plan::SparsePlan;
 use crate::precision::Precision;
 use lx_obs::TimedSpan;
 use lx_tensor::gemm::matmul_tn;
-use lx_tensor::{Tensor, Workspace, WorkspaceStats};
+use lx_tensor::{Dtype, Tensor, Workspace, WorkspaceStats};
 use std::time::Duration;
 
 /// What to record during a calibration forward pass.
@@ -121,8 +121,8 @@ impl TransformerModel {
     }
 
     /// Summed `(decoded, carried-over)` active-slab counters across every
-    /// layer's cross-step slab cache (half-stored sparse MLP path) — how
-    /// much f16→f32 decode work shadowy-sparsity reuse avoided.
+    /// layer's cross-step slab cache (reduced-stored sparse MLP path) — how
+    /// much f16/int8/NF4→f32 decode work shadowy-sparsity reuse avoided.
     pub fn slab_cache_stats(&self) -> (u64, u64) {
         self.blocks
             .iter()
@@ -141,22 +141,35 @@ impl TransformerModel {
     /// more dimensions — attention projections, MLP weights, embedding
     /// tables — to half storage (round-to-nearest-even); biases, LayerNorm
     /// affine parameters and all trainable state stay f32.
+    /// [`Precision::Int8Frozen`] and [`Precision::Nf4Frozen`] demote the
+    /// same parameter set to block-quantized storage (symmetric int8 /
+    /// NF4 codes plus per-block absmax scales) under the same rule.
     /// [`Precision::F32`] promotes everything back (an exact decode; values
-    /// keep the f16 rounding they went through).
+    /// keep whatever rounding the previous storage applied).
     ///
     /// Apply *after* any weight surgery that edits f32 buffers in place
     /// (e.g. [`Self::induce_activation_sparsity`]) and before training.
     pub fn set_precision(&mut self, precision: Precision) {
-        match precision {
-            Precision::F32 => self.for_each_param(&mut |p| p.to_f32()),
-            Precision::F16Frozen => self.for_each_param(&mut |p| {
+        let demote: Option<&mut dyn FnMut(&mut Param)> = match precision {
+            Precision::F32 => None,
+            Precision::F16Frozen => Some(&mut |p: &mut Param| p.to_half()),
+            Precision::Int8Frozen => Some(&mut |p: &mut Param| p.to_quant(Dtype::I8Block)),
+            Precision::Nf4Frozen => Some(&mut |p: &mut Param| p.to_quant(Dtype::Nf4Block)),
+        };
+        match demote {
+            None => self.for_each_param(&mut |p| p.to_f32()),
+            Some(demote) => self.for_each_param(&mut |p| {
                 if !p.trainable && p.shape().len() >= 2 {
-                    p.to_half();
+                    demote(p);
+                } else {
+                    // A precision *switch* (e.g. f16 → int8) must not leave
+                    // sub-matrix parameters in the previous reduced storage.
+                    p.to_f32();
                 }
             }),
         }
-        // The cross-step slab caches gather from the (old) half storage;
-        // a storage change invalidates them.
+        // The cross-step slab caches gather from the (old) storage; a
+        // storage change invalidates them.
         for b in &mut self.blocks {
             b.mlp.invalidate_slab_cache();
         }
@@ -667,6 +680,101 @@ mod tests {
         assert!(
             last < first * 0.95,
             "scaled LoRA training on f16 backbone must reduce loss: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn quantized_frozen_shrinks_backbone_storage() {
+        let mut m = tiny();
+        m.freeze_all();
+        let f32_bytes = m.param_storage_bytes();
+        m.set_precision(crate::Precision::Int8Frozen);
+        let i8_bytes = m.param_storage_bytes();
+        m.set_precision(crate::Precision::Nf4Frozen);
+        let nf4_bytes = m.param_storage_bytes();
+        // Matrices land at ~0.266x (int8) / ~0.141x (NF4); biases and
+        // LayerNorm stay f32, nudging the model-level ratio up slightly.
+        let r8 = i8_bytes as f64 / f32_bytes as f64;
+        let r4 = nf4_bytes as f64 / f32_bytes as f64;
+        assert!(r8 < 0.32, "int8 storage ratio {r8}");
+        assert!(r4 < 0.20, "nf4 storage ratio {r4}");
+        assert!(r4 < r8, "nf4 must be smaller than int8");
+        // Promotion back to f32 restores the full footprint.
+        m.set_precision(crate::Precision::F32);
+        assert_eq!(m.param_storage_bytes(), f32_bytes);
+    }
+
+    #[test]
+    fn quantized_frozen_logits_stay_finite_and_close() {
+        let mut a = tiny();
+        a.freeze_all();
+        let ids = sample_batch(&a, 2, 8, 24);
+        let la = logits_of(&mut a, &ids, 2, 8);
+        for precision in [crate::Precision::Int8Frozen, crate::Precision::Nf4Frozen] {
+            let mut b = tiny(); // same seed ⇒ identical weights
+            b.freeze_all();
+            b.set_precision(precision);
+            let lb = logits_of(&mut b, &ids, 2, 8);
+            for (x, y) in lb.as_slice().iter().zip(la.as_slice()) {
+                assert!(x.is_finite(), "{precision}: non-finite logit");
+                // Coarse closeness bound — quantization perturbs more than
+                // f16; the per-step loss envelope lives in the integration
+                // differential tests.
+                assert!(
+                    (x - y).abs() <= 0.5 * (1.0 + y.abs()),
+                    "{precision} logits drifted: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn precision_roundtrip_preserves_the_quantized_function_exactly() {
+        for precision in [crate::Precision::Int8Frozen, crate::Precision::Nf4Frozen] {
+            let mut m = tiny();
+            m.freeze_all();
+            m.set_precision(precision);
+            let ids = sample_batch(&m, 1, 8, 25);
+            let before = logits_of(&mut m, &ids, 1, 8);
+            // F32 promotion is an exact decode: the function is unchanged.
+            m.set_precision(crate::Precision::F32);
+            let after = logits_of(&mut m, &ids, 1, 8);
+            assert_eq!(before.as_slice(), after.as_slice(), "{precision}");
+        }
+    }
+
+    #[test]
+    fn scaled_training_on_nf4_backbone_reduces_loss() {
+        let mut m = tiny();
+        m.freeze_all();
+        m.set_precision(crate::Precision::Nf4Frozen);
+        for block in &mut m.blocks {
+            block.attn.wq.attach_lora(4, 8.0, 41);
+            block.attn.wv.attach_lora(4, 8.0, 42);
+            block.mlp.attach_lora_fc1(4, 8.0, 43);
+            block.mlp.attach_lora_fc2(4, 8.0, 44);
+        }
+        let mut opt = crate::optim::Adam::new(0.02);
+        let mut scaler = crate::optim::LossScaler::default();
+        let ids = sample_batch(&m, 2, 8, 26);
+        let targets = prompt_aware_targets(&ids, 2, 8, 0);
+        let first =
+            m.execute(StepRequest::train(&ids, &targets, 2, 8, &mut opt).loss_scale(&mut scaler));
+        assert!(!first.skipped, "no overflow expected at 2^16 scale");
+        let first = first.loss;
+        let mut last = first;
+        for _ in 0..30 {
+            let out = m.execute(
+                StepRequest::train(&ids, &targets, 2, 8, &mut opt).loss_scale(&mut scaler),
+            );
+            if !out.skipped {
+                last = out.loss;
+            }
+        }
+        assert_eq!(scaler.overflows(), 0);
+        assert!(
+            last < first * 0.95,
+            "scaled LoRA training on NF4 backbone must reduce loss: {first} -> {last}"
         );
     }
 

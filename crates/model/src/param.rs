@@ -7,25 +7,36 @@
 //! matrices are *demoted* to half storage ([`Param::to_half`]): the f16 bits
 //! live in [`half`], [`value`] becomes an empty placeholder, and the compute
 //! paths consume the bits through the fused f16-input GEMMs (or decode rows
-//! on load). Trainable parameters are never half-stored — gradients and
-//! optimizer state stay f32, as the paper's mixed-precision recipe requires.
+//! on load). The block-quantized plans (`Int8Frozen`/`Nf4Frozen`) follow the
+//! same pattern through [`quant`] and [`Param::to_quant`], with the fused
+//! quantized-B GEMMs dequantizing inside their pack stage. Trainable
+//! parameters are never reduced-stored — gradients and optimizer state stay
+//! f32, as the paper's mixed-precision recipe requires.
 //!
 //! [`value`]: Param::value
 //! [`half`]: Param::half
+//! [`quant`]: Param::quant
 
 use lx_tensor::f16::f16_bits_to_f32;
-use lx_tensor::gemm::{matmul, matmul_f16, matmul_nt, matmul_nt_f16};
-use lx_tensor::{Dtype, HalfTensor, Tensor};
+use lx_tensor::gemm::{
+    matmul, matmul_f16, matmul_nt, matmul_nt_f16, matmul_nt_quant, matmul_quant,
+};
+use lx_tensor::{Dtype, HalfTensor, QuantTensor, Tensor};
 
 /// A named model parameter.
 #[derive(Debug)]
 pub struct Param {
     pub name: String,
-    /// f32 storage. Empty (`len() == 0`) while the parameter is half-stored.
+    /// f32 storage. Empty (`len() == 0`) while the parameter is
+    /// reduced-stored.
     pub value: Tensor,
     /// Half-precision storage; `Some` only for frozen parameters demoted by
     /// [`Param::to_half`]. Holds the authoritative shape while present.
     pub half: Option<HalfTensor>,
+    /// Block-quantized storage (int8 or NF4); `Some` only for frozen
+    /// parameters demoted by [`Param::to_quant`]. Mutually exclusive with
+    /// [`half`](Param::half).
+    pub quant: Option<QuantTensor>,
     /// Allocated on first accumulation; `None` for frozen params that never
     /// received a gradient (saving the optimizer-state memory PEFT avoids).
     pub grad: Option<Tensor>,
@@ -38,6 +49,7 @@ impl Param {
             name: name.into(),
             value,
             half: None,
+            quant: None,
             grad: None,
             trainable,
         }
@@ -49,26 +61,28 @@ impl Param {
     }
 
     pub fn numel(&self) -> usize {
-        match &self.half {
-            Some(h) => h.len(),
-            None => self.value.len(),
+        match (&self.half, &self.quant) {
+            (Some(h), _) => h.len(),
+            (_, Some(q)) => q.len(),
+            _ => self.value.len(),
         }
     }
 
     /// Logical shape, whichever storage holds the values.
     pub fn shape(&self) -> &[usize] {
-        match &self.half {
-            Some(h) => h.shape(),
-            None => self.value.shape(),
+        match (&self.half, &self.quant) {
+            (Some(h), _) => h.shape(),
+            (_, Some(q)) => q.shape(),
+            _ => self.value.shape(),
         }
     }
 
     /// Storage precision of this parameter right now.
     pub fn dtype(&self) -> Dtype {
-        if self.half.is_some() {
-            Dtype::F16
-        } else {
-            Dtype::F32
+        match (&self.half, &self.quant) {
+            (Some(_), _) => Dtype::F16,
+            (_, Some(q)) => q.dtype(),
+            _ => Dtype::F32,
         }
     }
 
@@ -76,14 +90,31 @@ impl Param {
         self.half.is_some()
     }
 
-    /// Bytes occupied by the value storage (excludes any gradient).
+    pub fn is_quant(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Whether the values live in any reduced-precision storage (f16 or
+    /// block-quantized) rather than f32.
+    pub fn is_reduced(&self) -> bool {
+        self.half.is_some() || self.quant.is_some()
+    }
+
+    /// Bytes occupied by the value storage (excludes any gradient). Reports
+    /// the actual storage's footprint — for the block-quantized dtypes that
+    /// includes the per-block scales, matching [`Dtype::bytes_for`].
     pub fn storage_bytes(&self) -> usize {
-        self.numel() * self.dtype().size_bytes()
+        match (&self.half, &self.quant) {
+            (Some(h), _) => h.bytes(),
+            (_, Some(q)) => q.bytes(),
+            _ => self.value.len() * Dtype::F32.size_bytes(),
+        }
     }
 
     /// Demote to half storage (round-to-nearest-even). No-op when already
-    /// half. Panics for trainable parameters: the optimizer updates `value`
-    /// in place, so trainable state must stay f32.
+    /// half; a quantized parameter is decoded first. Panics for trainable
+    /// parameters: the optimizer updates `value` in place, so trainable
+    /// state must stay f32.
     pub fn to_half(&mut self) {
         if self.half.is_some() {
             return;
@@ -93,59 +124,109 @@ impl Param {
             "{}: trainable parameters must stay f32 (demote only frozen backbone weights)",
             self.name
         );
+        self.to_f32();
         let h = HalfTensor::from_tensor(&self.value);
         self.value = Tensor::zeros(&[0]);
         self.half = Some(h);
     }
 
-    /// Promote back to f32 storage (exact decode). No-op when already f32.
+    /// Demote to block-quantized storage (`dtype` ∈
+    /// {[`Dtype::I8Block`], [`Dtype::Nf4Block`]}). No-op when already stored
+    /// at that dtype; any other reduced storage is decoded first. Panics for
+    /// trainable parameters, like [`to_half`](Self::to_half).
+    pub fn to_quant(&mut self, dtype: Dtype) {
+        if self.quant.as_ref().map(|q| q.dtype()) == Some(dtype) {
+            return;
+        }
+        assert!(
+            !self.trainable,
+            "{}: trainable parameters must stay f32 (demote only frozen backbone weights)",
+            self.name
+        );
+        self.to_f32();
+        let q = QuantTensor::from_tensor(&self.value, dtype);
+        self.value = Tensor::zeros(&[0]);
+        self.quant = Some(q);
+    }
+
+    /// Promote back to f32 storage (exact decode of whatever reduced storage
+    /// is present). No-op when already f32.
     pub fn to_f32(&mut self) {
         if let Some(h) = self.half.take() {
             self.value = h.to_tensor();
         }
+        if let Some(q) = self.quant.take() {
+            self.value = q.to_tensor();
+        }
     }
 
     /// `x · W` on the trailing-2-D view of the value, fused-decoding when
-    /// half-stored. This is the forward hot path for frozen weights.
+    /// reduced-stored. This is the forward hot path for frozen weights.
     pub fn matmul(&self, x: &Tensor) -> Tensor {
-        match &self.half {
-            Some(h) => matmul_f16(x, h),
-            None => matmul(x, &self.value),
+        match (&self.half, &self.quant) {
+            (Some(h), _) => matmul_f16(x, h),
+            (_, Some(q)) => matmul_quant(x, q),
+            _ => matmul(x, &self.value),
         }
     }
 
-    /// `x · Wᵀ`, fused-decoding when half-stored (the `dx` backward shape
+    /// `x · Wᵀ`, fused-decoding when reduced-stored (the `dx` backward shape
     /// and the `x·Aᵀ`-style forward shape).
     pub fn matmul_nt(&self, x: &Tensor) -> Tensor {
-        match &self.half {
-            Some(h) => matmul_nt_f16(x, h),
-            None => matmul_nt(x, &self.value),
+        match (&self.half, &self.quant) {
+            (Some(h), _) => matmul_nt_f16(x, h),
+            (_, Some(q)) => matmul_nt_quant(x, q),
+            _ => matmul_nt(x, &self.value),
         }
     }
 
-    /// Copy row `r` of the 2-D view into `out`, decoding if half-stored
+    /// Decode rows `[r0, r0 + n_rows)` of the 2-D view into `out`
+    /// (`n_rows × cols`, contiguous), whatever the storage. This is the
+    /// active-neuron-slab gather: for the quantized dtypes the decode is
+    /// elementwise, so a slab window is bit-identical to the same rows of a
+    /// full decode.
+    pub fn decode_rows(&self, r0: usize, n_rows: usize, out: &mut [f32]) {
+        match (&self.half, &self.quant) {
+            (Some(h), _) => h.decode_rows(r0, n_rows, out),
+            (_, Some(q)) => q.decode_rows(r0, n_rows, out),
+            _ => {
+                let c = *self.shape().last().unwrap_or(&0);
+                out.copy_from_slice(&self.value.as_slice()[r0 * c..(r0 + n_rows) * c]);
+            }
+        }
+    }
+
+    /// Copy row `r` of the 2-D view into `out`, decoding if reduced-stored
     /// (embedding-table lookups).
     pub fn copy_row_into(&self, r: usize, out: &mut [f32]) {
         let c = *self.shape().last().unwrap_or(&0);
         debug_assert_eq!(out.len(), c, "{}: row width", self.name);
-        match &self.half {
-            Some(h) => h.decode_rows(r, 1, out),
-            None => out.copy_from_slice(&self.value.as_slice()[r * c..(r + 1) * c]),
+        match (&self.half, &self.quant) {
+            (Some(h), _) => h.decode_rows(r, 1, out),
+            (_, Some(q)) => q.decode_rows(r, 1, out),
+            _ => out.copy_from_slice(&self.value.as_slice()[r * c..(r + 1) * c]),
         }
     }
 
-    /// Add row `r` of the 2-D view into `out`, decoding if half-stored
+    /// Add row `r` of the 2-D view into `out`, decoding if reduced-stored
     /// (positional-embedding accumulation).
     pub fn add_row_into(&self, r: usize, out: &mut [f32]) {
         let c = *self.shape().last().unwrap_or(&0);
         debug_assert_eq!(out.len(), c, "{}: row width", self.name);
-        match &self.half {
-            Some(h) => {
+        match (&self.half, &self.quant) {
+            (Some(h), _) => {
                 for (o, &b) in out.iter_mut().zip(h.row_bits(r)) {
                     *o += f16_bits_to_f32(b);
                 }
             }
-            None => {
+            (_, Some(q)) => {
+                let view = q.view();
+                let base = r * c;
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o += view.get(base + j);
+                }
+            }
+            _ => {
                 for (o, v) in out
                     .iter_mut()
                     .zip(&self.value.as_slice()[r * c..(r + 1) * c])
@@ -224,6 +305,7 @@ mod tests {
         assert_eq!(p.storage_bytes(), 8 * 6 * 4);
         p.to_half();
         assert!(p.is_half());
+        assert!(p.is_reduced());
         assert_eq!(p.numel(), 48);
         assert_eq!(p.shape(), &[8, 6]);
         assert_eq!(p.storage_bytes(), 8 * 6 * 2);
@@ -237,10 +319,54 @@ mod tests {
     }
 
     #[test]
+    fn quant_roundtrip_preserves_shape_and_counts() {
+        for dtype in [Dtype::I8Block, Dtype::Nf4Block] {
+            let mut p = Param::frozen("w", Tensor::randn(&[8, 6], 1.0, 4));
+            let before = p.value.clone();
+            p.to_quant(dtype);
+            assert!(p.is_quant());
+            assert!(p.is_reduced());
+            assert!(!p.is_half());
+            assert_eq!(p.dtype(), dtype);
+            assert_eq!(p.numel(), 48);
+            assert_eq!(p.shape(), &[8, 6]);
+            assert_eq!(p.storage_bytes(), dtype.bytes_for(48));
+            assert_eq!(p.value.len(), 0, "f32 buffer must be released");
+            // Idempotent at the same dtype.
+            p.to_quant(dtype);
+            assert_eq!(p.dtype(), dtype);
+            p.to_f32();
+            assert!(!p.is_reduced());
+            // Values round-tripped through the codec (coarse bound; exact
+            // bounds live in lx-quant).
+            for (a, b) in p.value.as_slice().iter().zip(before.as_slice()) {
+                assert!((a - b).abs() < 1.0, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quant_redemotion_switches_codec() {
+        let mut p = Param::frozen("w", Tensor::randn(&[4, 4], 1.0, 5));
+        p.to_quant(Dtype::I8Block);
+        p.to_quant(Dtype::Nf4Block);
+        assert_eq!(p.dtype(), Dtype::Nf4Block);
+        p.to_half();
+        assert!(p.is_half() && !p.is_quant());
+    }
+
+    #[test]
     #[should_panic(expected = "stay f32")]
     fn trainable_params_cannot_be_demoted() {
         let mut p = Param::new("w", Tensor::zeros(&[2, 2]), true);
         p.to_half();
+    }
+
+    #[test]
+    #[should_panic(expected = "stay f32")]
+    fn trainable_params_cannot_be_quantized() {
+        let mut p = Param::new("w", Tensor::zeros(&[2, 2]), true);
+        p.to_quant(Dtype::I8Block);
     }
 
     #[test]
@@ -270,6 +396,33 @@ mod tests {
     }
 
     #[test]
+    fn quant_matmuls_match_dequantized_oracle() {
+        let x = Tensor::randn(&[5, 8], 1.0, 21);
+        let g = Tensor::randn(&[5, 7], 1.0, 22);
+        for dtype in [Dtype::I8Block, Dtype::Nf4Block] {
+            let mut p = Param::frozen("w", Tensor::randn(&[8, 7], 1.0, 23));
+            p.to_quant(dtype);
+            let decoded = Param::frozen("w", p.quant.as_ref().unwrap().to_tensor());
+            let y = p.matmul(&x);
+            let oracle = decoded.matmul(&x);
+            for (a, b) in y.as_slice().iter().zip(oracle.as_slice()) {
+                assert!(
+                    (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
+                    "{dtype}: {a} vs {b}"
+                );
+            }
+            let wt = p.matmul_nt(&g);
+            let wt_oracle = decoded.matmul_nt(&g);
+            for (a, b) in wt.as_slice().iter().zip(wt_oracle.as_slice()) {
+                assert!(
+                    (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
+                    "{dtype}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn row_helpers_decode() {
         let t = Tensor::randn(&[4, 6], 1.0, 9);
         let mut p = Param::frozen("emb", t.clone());
@@ -286,6 +439,33 @@ mod tests {
         p.add_row_into(2, &mut acc);
         for (a, b) in acc.iter().zip(&row16) {
             assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn row_helpers_decode_quant_bit_identically() {
+        // 6-wide rows: every row boundary is mid-block, so this exercises
+        // the flat-index scale resolution.
+        let t = Tensor::randn(&[4, 6], 1.0, 10);
+        for dtype in [Dtype::I8Block, Dtype::Nf4Block] {
+            let mut p = Param::frozen("emb", t.clone());
+            p.to_quant(dtype);
+            let full = p.quant.as_ref().unwrap().to_f32_vec();
+            let mut row = vec![0.0f32; 6];
+            p.copy_row_into(2, &mut row);
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(v.to_bits(), full[2 * 6 + j].to_bits(), "{dtype}");
+            }
+            let mut acc = row.clone();
+            p.add_row_into(2, &mut acc);
+            for (a, b) in acc.iter().zip(&row) {
+                assert!((a - 2.0 * b).abs() < 1e-6);
+            }
+            let mut slab = vec![0.0f32; 2 * 6];
+            p.decode_rows(1, 2, &mut slab);
+            for (j, v) in slab.iter().enumerate() {
+                assert_eq!(v.to_bits(), full[6 + j].to_bits(), "{dtype}");
+            }
         }
     }
 }

@@ -10,10 +10,21 @@
 //! `lx_kernels::KernelBackend::gemm_f16`), so storage is halved without a
 //! half-arithmetic path.
 //!
+//! [`Precision::Int8Frozen`] and [`Precision::Nf4Frozen`] push the same
+//! recipe past f16 with the `lx-quant` block codecs (QLoRA lineage): frozen
+//! matrices store int8 or NF4 codes plus one f32 absmax scale per 64-element
+//! block, ~0.27x and ~0.14x of the f32 bytes respectively. The demotion
+//! rule, the fused dequant-in-pack GEMMs, and the sparse-path slab decode
+//! all mirror the f16 plan — one `Precision` dispatch covers the whole
+//! storage family.
+//!
 //! Pair with [`LossScaler`](crate::optim::LossScaler) when training: the
 //! rounded backbone shifts activation magnitudes slightly, and scaling keeps
 //! small adapter gradients out of the f32 underflow range the same way the
-//! paper's FP16 runs do.
+//! paper's FP16 runs do. The quantized plans perturb the backbone more than
+//! f16 does (see the precision-differential loss envelopes in
+//! `tests/tests/precision_differential.rs`), but the adapters still train
+//! because they — and all gradients — stay f32.
 
 /// Storage plan for a model's parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,6 +35,13 @@ pub enum Precision {
     /// Frozen backbone matrices stored f16; trainable parameters, biases,
     /// LayerNorm, gradients and optimizer state stay f32.
     F16Frozen,
+    /// Frozen backbone matrices stored as per-block-scaled symmetric int8
+    /// (one f32 absmax scale per 64 elements); everything else stays f32.
+    Int8Frozen,
+    /// Frozen backbone matrices stored as NF4 4-bit normal-float codes (two
+    /// per byte, one f32 absmax scale per 64 elements); everything else
+    /// stays f32.
+    Nf4Frozen,
 }
 
 impl Precision {
@@ -31,6 +49,8 @@ impl Precision {
         match self {
             Precision::F32 => "f32",
             Precision::F16Frozen => "f16-frozen",
+            Precision::Int8Frozen => "int8-frozen",
+            Precision::Nf4Frozen => "nf4-frozen",
         }
     }
 }

@@ -9,10 +9,10 @@ use lx_model::TransformerModel;
 /// Fold a Linear's LoRA pair into its weight; the adapter stays attached but
 /// contributes zero afterwards only if you also zero it — instead we detach.
 ///
-/// A half-stored weight is promoted to f32 first: merging writes into the
-/// weight buffer, and folding a delta into rounded f16 storage would lose
-/// exactly the adaptation being merged. Re-apply a precision plan afterwards
-/// if the merged model should ship at f16.
+/// A reduced-stored weight (f16 or block-quantized) is promoted to f32
+/// first: merging writes into the weight buffer, and folding a delta into
+/// rounded storage would lose exactly the adaptation being merged. Re-apply
+/// a precision plan afterwards if the merged model should ship reduced.
 pub fn merge_linear(linear: &mut Linear) {
     let Some(lora) = linear.lora.take() else {
         return;
@@ -146,6 +146,45 @@ mod tests {
             }
         });
         assert_eq!(lora_left, 0);
+    }
+
+    #[test]
+    fn merge_on_quantized_backbone_promotes_and_preserves_function() {
+        // QLoRA-style lifecycle: quantized frozen backbone + f32 adapters,
+        // then merge. The merge must promote the touched weights to f32 (the
+        // delta cannot be folded into 4-bit codes) and keep the function.
+        for precision in [
+            lx_model::Precision::Int8Frozen,
+            lx_model::Precision::Nf4Frozen,
+        ] {
+            let mut m = TransformerModel::new(ModelConfig::test_tiny(), 12);
+            PeftMethod::Lora {
+                rank: 2,
+                alpha: 4.0,
+                targets: LoraTargets::all(),
+            }
+            .apply(&mut m, 13);
+            m.set_precision(precision);
+            m.for_each_param(&mut |p| {
+                if p.name.contains("lora_b") {
+                    let v = lx_tensor::rng::randn_vec(p.value.len(), 0.3, 14);
+                    p.value.as_mut_slice().copy_from_slice(&v);
+                }
+            });
+            let ids: Vec<u32> = (0..8u32).collect();
+            let before = m.execute(StepRequest::infer(&ids, 1, 8)).logits.unwrap();
+            merge_all(&mut m);
+            let after = m.execute(StepRequest::infer(&ids, 1, 8)).logits.unwrap();
+            for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+                assert!((a - b).abs() < 1e-3, "{precision}: {a} vs {b}");
+            }
+            // Merged weights are f32 again; untouched ones (embedding) keep
+            // their quantized storage.
+            for block in &m.blocks {
+                assert!(!block.attn.wq.weight.is_reduced(), "{precision}");
+                assert!(!block.mlp.w1.is_reduced(), "{precision}");
+            }
+        }
     }
 
     #[test]

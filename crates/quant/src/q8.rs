@@ -1,0 +1,170 @@
+//! Per-block-scaled symmetric int8: `scale = absmax / 127` per
+//! [`BLOCK`]-element block, `code = round(v / scale)` in
+//! `[-127, 127]`, dequant `code · scale`.
+//!
+//! Symmetric (no zero-point): weight distributions are zero-centred, and a
+//! zero-point would make the fused GEMM dequant an affine transform instead
+//! of a single multiply. `-128` is never produced, so negation is always
+//! exact.
+//!
+//! Round-trip error is bounded by half a step: `|v − dq(q(v))| ≤ scale/2 =
+//! absmax/254` per block (for finite inputs; non-finite inputs follow the
+//! crate-level clamp policy).
+
+use crate::{finite_absmax, n_blocks, sanitize, Q8View, BLOCK};
+
+/// Quantize to `(codes, per-block scales)`. `codes.len() == values.len()`,
+/// `scales.len() == n_blocks(values.len())`.
+pub fn quantize(values: &[f32]) -> (Vec<i8>, Vec<f32>) {
+    let mut codes = Vec::with_capacity(values.len());
+    let mut scales = Vec::with_capacity(n_blocks(values.len()));
+    for block in values.chunks(BLOCK) {
+        let absmax = finite_absmax(block);
+        let scale = absmax / 127.0;
+        scales.push(scale);
+        if scale == 0.0 {
+            codes.extend(std::iter::repeat_n(0i8, block.len()));
+            continue;
+        }
+        for &v in block {
+            let v = sanitize(v, absmax);
+            codes.push((v / scale).round().clamp(-127.0, 127.0) as i8);
+        }
+    }
+    (codes, scales)
+}
+
+/// Dequantize the whole buffer into `out` (`out.len() == codes.len()`).
+pub fn dequantize(codes: &[i8], scales: &[f32], out: &mut [f32]) {
+    assert_eq!(out.len(), codes.len(), "q8 dequantize: output length");
+    let view = Q8View::new(codes, scales);
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = view.get(i);
+    }
+}
+
+/// Round every value through the codec in place (`dequantize(quantize(v))`)
+/// — what a differential test applies to an f32 model so it computes the
+/// exact function its int8-stored twin does.
+pub fn round_slice(values: &mut [f32]) {
+    let (codes, scales) = quantize(values);
+    dequantize(&codes, &scales, values);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::pseudo;
+
+    #[test]
+    fn roundtrip_error_is_bounded_by_half_a_step() {
+        for (len, seed) in [(64usize, 1u32), (1000, 2), (63, 3), (129, 4)] {
+            let vals = pseudo(len, 2.0, seed);
+            let (codes, scales) = quantize(&vals);
+            assert_eq!(codes.len(), len);
+            assert_eq!(scales.len(), n_blocks(len));
+            let mut out = vec![0.0f32; len];
+            dequantize(&codes, &scales, &mut out);
+            for (i, (&v, &dq)) in vals.iter().zip(&out).enumerate() {
+                let bound = scales[i / BLOCK] / 2.0 + 1e-7;
+                assert!((v - dq).abs() <= bound, "idx {i}: {v} -> {dq}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_absmax_is_exactly_representable() {
+        // The absmax of every block maps to code ±127 and decodes exactly.
+        let mut vals = pseudo(130, 1.0, 5);
+        vals[3] = 4.0; // block 0 absmax
+        vals[70] = -8.0; // block 1 absmax
+        let (codes, scales) = quantize(&vals);
+        let v = Q8View::new(&codes, &scales);
+        assert_eq!(codes[3], 127);
+        assert_eq!(v.get(3), 4.0);
+        assert_eq!(codes[70], -127);
+        assert_eq!(v.get(70), -8.0);
+    }
+
+    #[test]
+    fn all_zero_blocks_store_zero_scale_without_nan() {
+        let vals = vec![0.0f32; 100];
+        let (codes, scales) = quantize(&vals);
+        assert!(codes.iter().all(|&c| c == 0));
+        assert!(scales.iter().all(|&s| s == 0.0));
+        let mut out = vec![1.0f32; 100];
+        dequantize(&codes, &scales, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0 && !v.is_nan()));
+    }
+
+    #[test]
+    fn tail_blocks_cover_every_length() {
+        for len in [1usize, 63, 64, 65, 127, 128, 129, 191] {
+            let vals = pseudo(len, 1.0, 100 + len as u32);
+            let (codes, scales) = quantize(&vals);
+            assert_eq!(codes.len(), len);
+            assert_eq!(scales.len(), len.div_ceil(BLOCK));
+            let mut out = vec![0.0f32; len];
+            dequantize(&codes, &scales, &mut out);
+            // The tail block's own absmax governs its error bound.
+            for (i, (&v, &dq)) in vals.iter().zip(&out).enumerate() {
+                assert!((v - dq).abs() <= scales[i / BLOCK] / 2.0 + 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_clamp_deterministically() {
+        let mut vals = pseudo(64, 1.0, 6);
+        vals[0] = f32::NAN;
+        vals[1] = f32::INFINITY;
+        vals[2] = f32::NEG_INFINITY;
+        vals[3] = 0.5; // a finite value setting the absmax floor
+        let absmax = finite_absmax(&vals);
+        let (codes, scales) = quantize(&vals);
+        let v = Q8View::new(&codes, &scales);
+        assert_eq!(codes[0], 0, "NaN must encode to 0");
+        assert_eq!(v.get(1), absmax, "+inf clamps to +absmax");
+        assert_eq!(v.get(2), -absmax, "-inf clamps to -absmax");
+        // Encoding the same buffer twice is identical (determinism).
+        let (codes2, scales2) = quantize(&vals);
+        assert_eq!(codes, codes2);
+        assert_eq!(scales, scales2);
+    }
+
+    #[test]
+    fn all_non_finite_block_decodes_to_zeros() {
+        let vals = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        let (codes, scales) = quantize(&vals);
+        assert_eq!(scales, vec![0.0]);
+        let mut out = vec![9.0f32; 3];
+        dequantize(&codes, &scales, &mut out);
+        assert_eq!(out, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn round_slice_is_idempotent() {
+        let mut vals = pseudo(200, 3.0, 7);
+        round_slice(&mut vals);
+        let once = vals.clone();
+        round_slice(&mut vals);
+        assert_eq!(vals, once, "rounding an already-rounded buffer is exact");
+    }
+
+    #[test]
+    fn windowed_decode_is_bit_identical_to_full_decode() {
+        // The slab-decode contract: any element window decodes to the same
+        // bits as the full-buffer decode, including windows that straddle
+        // block boundaries.
+        let vals = pseudo(320, 1.5, 8);
+        let (codes, scales) = quantize(&vals);
+        let mut full = vec![0.0f32; vals.len()];
+        dequantize(&codes, &scales, &mut full);
+        let view = Q8View::new(&codes, &scales);
+        for (start, n) in [(0usize, 64usize), (50, 30), (63, 2), (100, 220)] {
+            for (i, f) in full.iter().enumerate().skip(start).take(n) {
+                assert_eq!(view.get(i).to_bits(), f.to_bits(), "idx {i}");
+            }
+        }
+    }
+}

@@ -46,7 +46,7 @@ impl MemoryBreakdown {
     }
 }
 
-/// Account one training step.
+/// Account one training step with the paper's `F16Frozen` parameter plan.
 ///
 /// `attn_density` / `mlp_density` are the Long Exposure block densities
 /// (ignored in `Dense` mode); `trainable_fraction` drives grads + optimizer.
@@ -59,6 +59,38 @@ pub fn step_memory(
     mlp_density: f64,
     trainable_fraction: f64,
 ) -> MemoryBreakdown {
+    step_memory_at(
+        cfg,
+        batch,
+        seq,
+        mode,
+        attn_density,
+        mlp_density,
+        trainable_fraction,
+        Dtype::F16,
+    )
+}
+
+/// Bytes the backbone occupies when `count` parameters are stored at
+/// `dtype` — [`Dtype::bytes_for`], so the block-quantized dtypes include
+/// their per-block scales exactly as `QuantTensor` registers them.
+fn param_bytes(count: f64, dtype: Dtype) -> f64 {
+    dtype.bytes_for(count as usize) as f64
+}
+
+/// [`step_memory`] with an explicit backbone-storage dtype (f16 for the
+/// paper's plan, `I8Block`/`Nf4Block` for the lx-quant plans).
+#[allow(clippy::too_many_arguments)]
+pub fn step_memory_at(
+    cfg: &ModelConfig,
+    batch: usize,
+    seq: usize,
+    mode: MemoryMode,
+    attn_density: f64,
+    mlp_density: f64,
+    trainable_fraction: f64,
+    param_dtype: Dtype,
+) -> MemoryBreakdown {
     let (b, s) = (batch as f64, seq as f64);
     let d = cfg.d_model as f64;
     let ff = cfg.d_ff as f64;
@@ -67,20 +99,19 @@ pub fn step_memory(
     let v = cfg.vocab_size as f64;
     let n_params = cfg.param_count() as f64;
     // Element sizes come from the storage layer's dtype table, not local
-    // constants, so this model cannot drift from what `HalfTensor`/`Tensor`
-    // actually occupy (and register with memtrack).
-    let f16 = Dtype::F16.size_bytes() as f64;
+    // constants, so this model cannot drift from what `HalfTensor`/
+    // `QuantTensor`/`Tensor` actually occupy (and register with memtrack).
     let f32b = Dtype::F32.size_bytes() as f64;
 
-    // Parameters at f16 (the `Precision::F16Frozen` storage plan). In
-    // optimal mode, frozen MLP weights (the bulk) live on the host; only
-    // active blocks are resident.
+    // Parameters at the frozen-storage dtype. In optimal mode, frozen MLP
+    // weights (the bulk) live on the host; only active blocks are resident.
     let mlp_weight_params = l * 2.0 * d * ff;
     let params = match mode {
         MemoryMode::LongExposureOptimal => {
-            f16 * (n_params - mlp_weight_params) + f16 * mlp_weight_params * mlp_density
+            param_bytes(n_params - mlp_weight_params, param_dtype)
+                + param_bytes(mlp_weight_params, param_dtype) * mlp_density
         }
-        _ => f16 * n_params,
+        _ => param_bytes(n_params, param_dtype),
     };
 
     // Trainable fraction: f32 grads + Adam m,v (three f32 words per param).
@@ -189,6 +220,24 @@ mod tests {
         assert!(opt.params < lx.params);
         assert_eq!(opt.activations, lx.activations);
         assert_eq!(opt.attention_buffers, lx.attention_buffers);
+    }
+
+    #[test]
+    fn quantized_backbone_shrinks_params_only() {
+        let cfg = ModelConfig::opt_1_3b();
+        let at =
+            |dtype| step_memory_at(&cfg, 4, 1024, MemoryMode::Dense, 1.0, 1.0, LORA_FRAC, dtype);
+        let f16 = at(Dtype::F16);
+        let i8 = at(Dtype::I8Block);
+        let nf4 = at(Dtype::Nf4Block);
+        // Codes + per-block scales: int8 ≈ (1 + 4/64)/2 of f16, NF4 ≈ half
+        // of int8 again.
+        assert!((i8.params / f16.params - 0.53125).abs() < 0.01);
+        assert!((nf4.params / f16.params - 0.28125).abs() < 0.01);
+        // Everything that is not parameter storage is dtype-independent.
+        assert_eq!(i8.activations, f16.activations);
+        assert_eq!(i8.attention_buffers, f16.attention_buffers);
+        assert_eq!(i8.grads_and_optimizer, f16.grads_and_optimizer);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! dispatcher (see `lx_kernels::dispatch`).
 
 use crate::f16::HalfTensor;
+use crate::quant::{QuantTensor, QuantView};
 use crate::Tensor;
 
 /// `C[m,n] = A[m,k] · B[k,n] + beta·C`.
@@ -103,6 +104,50 @@ pub fn matmul_nt_f16(a: &Tensor, b: &HalfTensor) -> Tensor {
     );
     let mut c = Tensor::zeros(&[m, n]);
     lx_kernels::gemm_nt_f16(m, k, n, a.as_slice(), b.bits(), c.as_mut_slice(), 0.0);
+    c
+}
+
+/// Tensor-level wrapper: `A[m,k] · B[k,n]` with **B stored block-quantized**
+/// (int8 or NF4). B dequantizes to f32 inside the kernel (pack-time for the
+/// packed backend); all accumulation stays f32, so the result matches
+/// dequantizing B up front and calling [`matmul`].
+pub fn matmul_quant(a: &Tensor, b: &QuantTensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_quant inner dims: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    match b.view() {
+        QuantView::I8(v) => lx_kernels::gemm_q8(m, k, n, a.as_slice(), v, c.as_mut_slice(), 0.0),
+        QuantView::Nf4(v) => lx_kernels::gemm_q4(m, k, n, a.as_slice(), v, c.as_mut_slice(), 0.0),
+    }
+    c
+}
+
+/// Tensor-level wrapper: `A[m,k] · B[n,k]ᵀ` with **B stored
+/// block-quantized**. Same mixed-precision contract as [`matmul_quant`].
+pub fn matmul_nt_quant(a: &Tensor, b: &QuantTensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_nt_quant inner dims: {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    match b.view() {
+        QuantView::I8(v) => lx_kernels::gemm_nt_q8(m, k, n, a.as_slice(), v, c.as_mut_slice(), 0.0),
+        QuantView::Nf4(v) => {
+            lx_kernels::gemm_nt_q4(m, k, n, a.as_slice(), v, c.as_mut_slice(), 0.0)
+        }
+    }
     c
 }
 
@@ -228,6 +273,23 @@ mod tests {
         let at = a.transposed_2d();
         let c3 = matmul_tn(&at, &b);
         assert_close(c.as_slice(), c3.as_slice(), 1e-4);
+    }
+
+    #[test]
+    fn quant_matmuls_match_dequant_up_front() {
+        use crate::Dtype;
+        let a = Tensor::randn(&[7, 33], 1.0, 15);
+        let b = Tensor::randn(&[33, 9], 1.0, 16);
+        for dtype in [Dtype::I8Block, Dtype::Nf4Block] {
+            let q = QuantTensor::from_tensor(&b, dtype);
+            let oracle = matmul(&a, &q.to_tensor());
+            let c = matmul_quant(&a, &q);
+            assert_close(c.as_slice(), oracle.as_slice(), 1e-4);
+            let qt = QuantTensor::from_tensor(&b.transposed_2d(), dtype);
+            let oracle_nt = matmul_nt(&a, &qt.to_tensor());
+            let c_nt = matmul_nt_quant(&a, &qt);
+            assert_close(c_nt.as_slice(), oracle_nt.as_slice(), 1e-4);
+        }
     }
 
     #[test]

@@ -10,11 +10,13 @@ pub mod f16;
 pub mod gemm;
 pub mod memtrack;
 pub mod ops;
+pub mod quant;
 pub mod rng;
 mod tensor;
 pub mod workspace;
 
 pub use dtype::Dtype;
 pub use f16::HalfTensor;
+pub use quant::{QuantTensor, QuantView};
 pub use tensor::Tensor;
 pub use workspace::{Workspace, WorkspaceStats};

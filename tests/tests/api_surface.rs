@@ -17,6 +17,7 @@ use std::path::{Path, PathBuf};
 /// Crates whose public surface is under snapshot control.
 const CRATES: &[(&str, &str)] = &[
     ("lx-obs", "crates/obs/src"),
+    ("lx-quant", "crates/quant/src"),
     ("lx-model", "crates/model/src"),
     ("lx-core", "crates/core/src"),
     ("lx-serve", "crates/serve/src"),
