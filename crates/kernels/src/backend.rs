@@ -11,6 +11,7 @@
 //! most `r·ld` (so views carved out of a larger buffer, whose final row stops
 //! at the logical width, are accepted).
 
+use crate::epilogue::{apply_epilogue, Epilogue};
 use lx_parallel::par_rows;
 
 /// Don't fan a GEMM out across the pool unless a task has at least this many
@@ -219,6 +220,170 @@ pub trait KernelBackend: Sync {
         let bf = materialize_q4(b);
         self.gemm_nt(m, k, n, a, lda, &bf, ldb, c, ldc, beta)
     }
+
+    // ---- Epilogue-fused entry points -----------------------------------
+    //
+    // Every forward-shape GEMM variant has an `*_ep` twin taking an
+    // [`Epilogue`] that is applied after the complete accumulation. The
+    // defaults below run the plain GEMM followed by a standalone epilogue
+    // pass — the correctness baseline; backends with a fused write-back
+    // (Packed applies the epilogue to each hot register tile, Reference to
+    // each finished row) override them. `gemm_tn` has no `_ep` twin: it is
+    // the gradient-of-weights shape (`dW = Xᵀ·dY`), which never takes a bias
+    // or activation.
+
+    /// [`gemm`](Self::gemm) followed by `ep` applied to every element of the
+    /// `m×n` output (bit-identical to the unfused two-pass composition).
+    fn gemm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.gemm(m, k, n, a, lda, b, ldb, c, ldc, beta);
+        apply_epilogue(c, m, n, ldc, ep);
+    }
+
+    /// [`gemm_nt`](Self::gemm_nt) with a fused epilogue.
+    fn gemm_nt_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.gemm_nt(m, k, n, a, lda, b, ldb, c, ldc, beta);
+        apply_epilogue(c, m, n, ldc, ep);
+    }
+
+    /// [`gemm_f16`](Self::gemm_f16) with a fused epilogue.
+    fn gemm_f16_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.gemm_f16(m, k, n, a, lda, b, ldb, c, ldc, beta);
+        apply_epilogue(c, m, n, ldc, ep);
+    }
+
+    /// [`gemm_nt_f16`](Self::gemm_nt_f16) with a fused epilogue.
+    fn gemm_nt_f16_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.gemm_nt_f16(m, k, n, a, lda, b, ldb, c, ldc, beta);
+        apply_epilogue(c, m, n, ldc, ep);
+    }
+
+    /// [`gemm_q8`](Self::gemm_q8) with a fused epilogue.
+    fn gemm_q8_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.gemm_q8(m, k, n, a, lda, b, ldb, c, ldc, beta);
+        apply_epilogue(c, m, n, ldc, ep);
+    }
+
+    /// [`gemm_nt_q8`](Self::gemm_nt_q8) with a fused epilogue.
+    fn gemm_nt_q8_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.gemm_nt_q8(m, k, n, a, lda, b, ldb, c, ldc, beta);
+        apply_epilogue(c, m, n, ldc, ep);
+    }
+
+    /// [`gemm_q4`](Self::gemm_q4) with a fused epilogue.
+    fn gemm_q4_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.gemm_q4(m, k, n, a, lda, b, ldb, c, ldc, beta);
+        apply_epilogue(c, m, n, ldc, ep);
+    }
+
+    /// [`gemm_nt_q4`](Self::gemm_nt_q4) with a fused epilogue.
+    fn gemm_nt_q4_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.gemm_nt_q4(m, k, n, a, lda, b, ldb, c, ldc, beta);
+        apply_epilogue(c, m, n, ldc, ep);
+    }
 }
 
 fn materialize_q8(b: lx_quant::Q8View<'_>) -> Vec<f32> {
@@ -237,9 +402,16 @@ fn materialize_q4(b: lx_quant::Q4View<'_>) -> Vec<f32> {
     bf
 }
 
-/// Parallel `C *= beta` sweep (the whole op when `k == 0`; the up-front beta
-/// pass of the packed driver otherwise).
+/// `C *= beta` sweep (the whole op when `k == 0`; the up-front beta pass of
+/// the packed driver otherwise). Parallel across row chunks unless the
+/// caller is already inside a pool worker or forced sequential.
 pub(crate) fn scale_only(c: &mut [f32], m: usize, n: usize, ldc: usize, beta: f32) {
+    if crate::sequential_mode() {
+        for i in 0..m {
+            scale_row(&mut c[i * ldc..i * ldc + n], beta);
+        }
+        return;
+    }
     par_rows(c, m, ldc, (1 << 14) / n.max(1), |rows, chunk| {
         for i in rows.clone() {
             let local = (i - rows.start) * ldc;
@@ -311,30 +483,7 @@ impl KernelBackend for Reference {
         ldc: usize,
         beta: f32,
     ) {
-        check_view(a.len(), m, k, lda, "gemm: A");
-        check_view(b.len(), k, n, ldb, "gemm: B");
-        check_view(c.len(), m, n, ldc, "gemm: C");
-        if m == 0 || n == 0 {
-            return;
-        }
-        if k == 0 {
-            return scale_only(c, m, n, ldc, beta);
-        }
-        par_rows(c, m, ldc, row_grain(k, n), |rows, chunk| {
-            for i in rows.clone() {
-                let local = (i - rows.start) * ldc;
-                let c_row = &mut chunk[local..local + n];
-                scale_row(c_row, beta);
-                let a_row = &a[i * lda..i * lda + k];
-                for (l, &av) in a_row.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[l * ldb..l * ldb + n];
-                    axpy_row(c_row, av, b_row);
-                }
-            }
-        });
+        self.gemm_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
     }
 
     fn gemm_nt(
@@ -350,14 +499,80 @@ impl KernelBackend for Reference {
         ldc: usize,
         beta: f32,
     ) {
+        self.gemm_nt_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
+    }
+
+    /// Fused epilogue: applied to each C row right after the row's full k
+    /// accumulation, inside the same worker task — same element order as the
+    /// unfused pass, so results are bit-identical.
+    fn gemm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm: A");
+        check_view(b.len(), k, n, ldb, "gemm: B");
+        check_view(c.len(), m, n, ldc, "gemm: C");
+        if m == 0 || n == 0 {
+            return;
+        }
+        ep.check(n);
+        if k == 0 {
+            scale_only(c, m, n, ldc, beta);
+            return apply_epilogue(c, m, n, ldc, ep);
+        }
+        par_rows(c, m, ldc, row_grain(k, n), |rows, chunk| {
+            for i in rows.clone() {
+                let local = (i - rows.start) * ldc;
+                let c_row = &mut chunk[local..local + n];
+                scale_row(c_row, beta);
+                let a_row = &a[i * lda..i * lda + k];
+                for (l, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[l * ldb..l * ldb + n];
+                    axpy_row(c_row, av, b_row);
+                }
+                ep.apply_tile(c_row, n, 1, n, 0);
+            }
+        });
+    }
+
+    /// Fused epilogue for the `nt` variant; see [`gemm_ep`](Self::gemm_ep).
+    fn gemm_nt_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
         check_view(a.len(), m, k, lda, "gemm_nt: A");
         check_view(b.len(), n, k, ldb, "gemm_nt: B");
         check_view(c.len(), m, n, ldc, "gemm_nt: C");
         if m == 0 || n == 0 {
             return;
         }
+        ep.check(n);
         if k == 0 {
-            return scale_only(c, m, n, ldc, beta);
+            scale_only(c, m, n, ldc, beta);
+            return apply_epilogue(c, m, n, ldc, ep);
         }
         par_rows(c, m, ldc, row_grain(k, n), |rows, chunk| {
             for i in rows.clone() {
@@ -369,6 +584,7 @@ impl KernelBackend for Reference {
                     let dot = dot_unrolled(a_row, b_row);
                     *cv = if beta == 0.0 { dot } else { beta * *cv + dot };
                 }
+                ep.apply_tile(c_row, n, 1, n, 0);
             }
         });
     }

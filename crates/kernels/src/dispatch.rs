@@ -18,6 +18,8 @@
 //! probe — both without synchronisation on the hot path.
 
 use crate::backend::{KernelBackend, Reference};
+use crate::epilogue::Epilogue;
+use crate::isa::Isa;
 use crate::observe::Observed;
 use crate::packed::{Packed, NR};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -46,12 +48,17 @@ impl Default for TileConfig {
     }
 }
 
-/// Dispatch policy: tile shape plus the packed-vs-reference crossover.
+/// Dispatch policy: tile shape plus the packed-vs-reference crossover, plus
+/// an optional microkernel ISA pin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelPolicy {
     pub tiles: TileConfig,
     /// Minimum `2·m·k·n` FLOPs for a call to take the packed path.
     pub min_flops_packed: u64,
+    /// Pin the microkernel to a specific [`Isa`] arm (`None` = widest
+    /// detected). `LX_KERNEL_FORCE_SCALAR` and `LX_KERNEL_ISA` still take
+    /// precedence over the pin — see [`crate::active_isa`].
+    pub isa: Option<Isa>,
 }
 
 impl Default for KernelPolicy {
@@ -60,6 +67,7 @@ impl Default for KernelPolicy {
             tiles: TileConfig::default(),
             // ~2·64³: below this the packing passes rival the math itself.
             min_flops_packed: 1 << 19,
+            isa: None,
         }
     }
 }
@@ -68,6 +76,7 @@ static MC: AtomicUsize = AtomicUsize::new(96);
 static KC: AtomicUsize = AtomicUsize::new(256);
 static NC: AtomicUsize = AtomicUsize::new(2048);
 static MIN_FLOPS: AtomicU64 = AtomicU64::new(1 << 19);
+static ISA_PIN: AtomicUsize = AtomicUsize::new(0); // Isa wire code; 0 = none
 
 /// Install a dispatch policy process-wide. Takes effect on the next kernel
 /// call; safe to call at any time (benches install a tuned policy up front,
@@ -77,6 +86,7 @@ pub fn install_policy(p: KernelPolicy) {
     KC.store(p.tiles.kc.max(1), Ordering::Relaxed);
     NC.store(p.tiles.nc.max(NR), Ordering::Relaxed);
     MIN_FLOPS.store(p.min_flops_packed, Ordering::Relaxed);
+    ISA_PIN.store(p.isa.map_or(0, |i| i.code()), Ordering::Relaxed);
 }
 
 /// The currently installed policy.
@@ -84,7 +94,13 @@ pub fn current_policy() -> KernelPolicy {
     KernelPolicy {
         tiles: tiles(),
         min_flops_packed: MIN_FLOPS.load(Ordering::Relaxed),
+        isa: policy_isa(),
     }
+}
+
+/// The ISA pin of the installed policy, if any.
+pub(crate) fn policy_isa() -> Option<Isa> {
+    Isa::from_code(ISA_PIN.load(Ordering::Relaxed))
 }
 
 pub(crate) fn tiles() -> TileConfig {
@@ -276,6 +292,142 @@ impl KernelBackend for Auto {
     ) {
         pick(m, k, n).gemm_nt_q4(m, k, n, a, lda, b, ldb, c, ldc, beta)
     }
+
+    fn gemm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        pick(m, k, n).gemm_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+    }
+
+    fn gemm_nt_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        pick(m, k, n).gemm_nt_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+    }
+
+    fn gemm_f16_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        pick(m, k, n).gemm_f16_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+    }
+
+    fn gemm_nt_f16_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        pick(m, k, n).gemm_nt_f16_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+    }
+
+    fn gemm_q8_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        pick(m, k, n).gemm_q8_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+    }
+
+    fn gemm_nt_q8_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        pick(m, k, n).gemm_nt_q8_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+    }
+
+    fn gemm_q4_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        pick(m, k, n).gemm_q4_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+    }
+
+    fn gemm_nt_q4_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        pick(m, k, n).gemm_nt_q4_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+    }
 }
 
 /// Resolve the process-wide backend once: `LX_KERNEL_BACKEND` ∈
@@ -321,14 +473,59 @@ pub fn backend_by_name(name: &str) -> Option<&'static dyn KernelBackend> {
     }
 }
 
-/// One-time measured probe: find the square-GEMM size where the packed
-/// backend overtakes the reference loops and install that crossover as
-/// [`KernelPolicy::min_flops_packed`]. Costs a few milliseconds; benches call
-/// it explicitly, library users opt in by setting `LX_KERNEL_AUTOTUNE=1`
-/// (checked in [`backend`]). Returns the installed policy.
+/// One-time measured probe: find the GEMM size where the packed backend
+/// overtakes the reference loops and install that crossover as
+/// [`KernelPolicy::min_flops_packed`].
+///
+/// The probe walks a size ladder spanning the tiny→medium shape classes and
+/// measures **both** forward variants (`nn` and `nt`), taking the more
+/// conservative of the two crossovers. It runs under the live configuration —
+/// the [`active_isa`](crate::active_isa) microkernel arm and the current
+/// `LX_THREADS` pool width — which is exactly why the persisted policy
+/// (below) is keyed by `(isa, threads)`.
+///
+/// Persistence: when `LX_KERNEL_POLICY=<path>` is set, a policy previously
+/// saved there is loaded instead of re-probing **iff** its `(isa, threads)`
+/// key matches the running process (serve restarts skip the probe); after a
+/// fresh probe the result is written back to that path. Costs a few
+/// milliseconds when it does probe; benches call it explicitly, library
+/// users opt in via `LX_KERNEL_AUTOTUNE=1` (checked in [`backend`]).
+/// Returns the installed policy.
 pub fn autotune() -> KernelPolicy {
     static RESULT: OnceLock<KernelPolicy> = OnceLock::new();
     *RESULT.get_or_init(|| {
+        let isa = crate::isa::active_isa();
+        let threads = lx_parallel::pool().threads();
+        let persist = std::env::var("LX_KERNEL_POLICY")
+            .ok()
+            .map(std::path::PathBuf::from);
+        if let Some(path) = &persist {
+            match load_policy_json(path) {
+                Some(p) if p.isa == isa && p.threads == threads => {
+                    install_policy(p.policy);
+                    eprintln!(
+                        "lx-kernels: loaded kernel policy from {} (tuned for {}, {} threads); \
+                         skipping the autotune probe",
+                        path.display(),
+                        isa.name(),
+                        threads
+                    );
+                    return p.policy;
+                }
+                Some(p) => {
+                    eprintln!(
+                        "lx-kernels: persisted policy {} was tuned for ({}, {} threads) but \
+                         this process runs ({}, {} threads); re-probing",
+                        path.display(),
+                        p.isa.name(),
+                        p.threads,
+                        isa.name(),
+                        threads
+                    );
+                }
+                None => {}
+            }
+        }
         let mut policy = current_policy();
         let mut crossover: Option<usize> = None;
         for s in [32usize, 48, 64, 96, 128, 192] {
@@ -337,17 +534,27 @@ pub fn autotune() -> KernelPolicy {
             let a: Vec<f32> = (0..s * s).map(|i| (i % 7) as f32 * 0.25 - 0.875).collect();
             let b = a.clone();
             let mut c = vec![0.0f32; s * s];
-            let time = |backend: &dyn KernelBackend, c: &mut [f32]| {
-                backend.gemm(s, s, s, &a, s, &b, s, c, s, 0.0); // warm
+            let time = |backend: &dyn KernelBackend, c: &mut [f32], nt: bool| {
+                let run = |c: &mut [f32]| {
+                    if nt {
+                        backend.gemm_nt(s, s, s, &a, s, &b, s, c, s, 0.0);
+                    } else {
+                        backend.gemm(s, s, s, &a, s, &b, s, c, s, 0.0);
+                    }
+                };
+                run(c); // warm
                 let t0 = std::time::Instant::now();
                 for _ in 0..3 {
-                    backend.gemm(s, s, s, &a, s, &b, s, c, s, 0.0);
+                    run(c);
                 }
                 t0.elapsed()
             };
-            let t_ref = time(&REFERENCE, &mut c);
-            let t_packed = time(&PACKED, &mut c);
-            if t_packed <= t_ref {
+            // Packed must win both forward shapes at this size: the nn and
+            // nt crossovers differ (the nt reference is a dot-product loop
+            // with no packing to amortise), and dispatch has one threshold.
+            let wins_nn = time(&PACKED, &mut c, false) <= time(&REFERENCE, &mut c, false);
+            let wins_nt = time(&PACKED, &mut c, true) <= time(&REFERENCE, &mut c, true);
+            if wins_nn && wins_nt {
                 crossover = Some(s);
                 break;
             }
@@ -356,8 +563,101 @@ pub fn autotune() -> KernelPolicy {
             policy.min_flops_packed = 2 * (s as u64).pow(3);
         }
         install_policy(policy);
+        if let Some(path) = &persist {
+            match save_policy_json(path, policy, isa, threads) {
+                Ok(()) => eprintln!(
+                    "lx-kernels: saved autotuned kernel policy to {} ({}, {} threads)",
+                    path.display(),
+                    isa.name(),
+                    threads
+                ),
+                Err(e) => eprintln!(
+                    "lx-kernels: could not save kernel policy to {}: {e}",
+                    path.display()
+                ),
+            }
+        }
         policy
     })
+}
+
+/// A policy loaded from disk, together with the `(isa, threads)` key it was
+/// tuned under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistedPolicy {
+    pub policy: KernelPolicy,
+    pub isa: Isa,
+    pub threads: usize,
+}
+
+/// Write `policy` (plus its tuning key) to `path` as a small JSON document.
+/// Hand-rolled writer — the workspace deliberately has no serde dependency.
+pub fn save_policy_json(
+    path: &std::path::Path,
+    policy: KernelPolicy,
+    isa: Isa,
+    threads: usize,
+) -> std::io::Result<()> {
+    let json = format!(
+        "{{\n  \"version\": 1,\n  \"isa\": \"{}\",\n  \"threads\": {},\n  \"mc\": {},\n  \
+         \"kc\": {},\n  \"nc\": {},\n  \"min_flops_packed\": {}\n}}\n",
+        isa.name(),
+        threads,
+        policy.tiles.mc,
+        policy.tiles.kc,
+        policy.tiles.nc,
+        policy.min_flops_packed
+    );
+    std::fs::write(path, json)
+}
+
+/// Read a policy previously written by [`save_policy_json`]. Returns `None`
+/// (never errors) on a missing file, malformed JSON, or an unknown version,
+/// so a stale or corrupt file degrades to a re-probe.
+pub fn load_policy_json(path: &std::path::Path) -> Option<PersistedPolicy> {
+    let text = std::fs::read_to_string(path).ok()?;
+    if json_u64(&text, "version")? != 1 {
+        return None;
+    }
+    let isa = Isa::parse(&json_str(&text, "isa")?)?;
+    let threads = json_u64(&text, "threads")? as usize;
+    let policy = KernelPolicy {
+        tiles: TileConfig {
+            mc: json_u64(&text, "mc")? as usize,
+            kc: json_u64(&text, "kc")? as usize,
+            nc: json_u64(&text, "nc")? as usize,
+        },
+        min_flops_packed: json_u64(&text, "min_flops_packed")?,
+        isa: None,
+    };
+    if policy.tiles.mc == 0 || policy.tiles.kc == 0 || policy.tiles.nc == 0 || threads == 0 {
+        return None;
+    }
+    Some(PersistedPolicy {
+        policy,
+        isa,
+        threads,
+    })
+}
+
+/// Raw value token following `"key":` in a flat JSON object.
+fn json_raw<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let after = &text[text.find(&needle)? + needle.len()..];
+    let after = after.trim_start();
+    let after = after.strip_prefix(':')?.trim_start();
+    let end = after.find([',', '}', '\n']).unwrap_or(after.len());
+    Some(after[..end].trim())
+}
+
+fn json_u64(text: &str, key: &str) -> Option<u64> {
+    json_raw(text, key)?.parse().ok()
+}
+
+fn json_str(text: &str, key: &str) -> Option<String> {
+    let raw = json_raw(text, key)?;
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.to_string())
 }
 
 #[cfg(test)]
@@ -386,10 +686,33 @@ mod tests {
                 nc: 512,
             },
             min_flops_packed: 1234,
+            isa: Some(Isa::Scalar),
         };
         install_policy(p);
         assert_eq!(current_policy(), p);
         install_policy(before);
+    }
+
+    #[test]
+    fn policy_json_roundtrip() {
+        let path = std::env::temp_dir().join(format!("lx_policy_test_{}.json", std::process::id()));
+        let p = KernelPolicy {
+            tiles: TileConfig {
+                mc: 72,
+                kc: 192,
+                nc: 1024,
+            },
+            min_flops_packed: 2 * 96u64.pow(3),
+            isa: None,
+        };
+        save_policy_json(&path, p, Isa::Avx2, 4).unwrap();
+        let loaded = load_policy_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.policy, p);
+        assert_eq!(loaded.isa, Isa::Avx2);
+        assert_eq!(loaded.threads, 4);
+        // Corrupt / missing files degrade to None, never panic.
+        assert!(load_policy_json(std::path::Path::new("/nonexistent/p.json")).is_none());
     }
 
     #[test]

@@ -8,13 +8,21 @@
 //! * [`Reference`] — the original scalar `i-k-j` loops, kept as the
 //!   correctness oracle and the zero-setup-cost arm for small shapes;
 //! * [`Packed`] — cache-blocked, panel-packed microkernels (`MR×NR` register
-//!   tiles, B-panel reuse across A row blocks, AVX2+FMA `std::arch` inner
-//!   loops behind runtime feature detection with a scalar fallback);
+//!   tiles, B-panel reuse across A row blocks, runtime-selected
+//!   scalar/AVX2/AVX-512/NEON `std::arch` inner loops — see [`Isa`] and
+//!   [`active_isa`]) with the macro-kernel parallelised over the
+//!   `lx-parallel` pool (worker-disjoint C row panels, shared packed B);
 //! * [`Auto`] — the size-aware dispatcher that picks between them per call
 //!   using the installed [`KernelPolicy`] (see the `dispatch` module source
 //!   for the policy rationale, `lx_runtime::kernel_policy` for the
 //!   cache-model-derived tile shapes, and [`autotune`] for the one-time
-//!   measured probe).
+//!   measured probe, persisted across restarts via `LX_KERNEL_POLICY`).
+//!
+//! GEMM entry points come in plain and `_ep` (epilogue-fused) forms: the
+//! `_ep` twins take an [`Epilogue`] (bias add, optionally followed by GELU)
+//! that is applied inside the write-back while output tiles are cache-hot,
+//! eliminating the separate bias/activation passes — bit-identically to the
+//! unfused sequence (see the `epilogue` module).
 //!
 //! Callers outside benchmarks should use the free functions below, which
 //! route through the process-wide backend (`LX_KERNEL_BACKEND` ∈
@@ -24,24 +32,85 @@
 
 mod backend;
 mod dispatch;
+mod epilogue;
 pub mod half;
+mod isa;
 mod observe;
 mod packed;
 
 pub use backend::{KernelBackend, Reference};
 pub use dispatch::{
     auto_choice, autotune, backend, backend_by_name, current_policy, force_scalar, install_policy,
-    Auto, KernelPolicy, TileConfig, AUTO, PACKED, REFERENCE,
+    load_policy_json, save_policy_json, Auto, KernelPolicy, PersistedPolicy, TileConfig, AUTO,
+    PACKED, REFERENCE,
 };
+pub use epilogue::{apply_epilogue, gelu, Epilogue, GELU_C};
+pub use isa::{active_isa, detected_isa, Isa};
 pub use observe::{gemm_call_total, Observed};
 pub use packed::{simd_active, Packed, MR, NR};
 // Quantized-B operands are passed as lx-quant views; re-exported so kernel
 // callers need no direct lx-quant dependency.
 pub use lx_quant::{Q4View, Q8View};
 
+std::thread_local! {
+    static FORCE_SEQ: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether GEMMs issued from the current thread must run without spawning
+/// onto the pool: either the caller asked for it via [`with_sequential`], or
+/// this thread *is* a pool worker (a nested GEMM dispatching back onto the
+/// pool it is running on would oversubscribe or deadlock — this is how
+/// `Auto`-routed GEMMs inside `par_rows` tasks stay safe).
+pub fn sequential_mode() -> bool {
+    FORCE_SEQ.with(|f| f.get()) || lx_parallel::in_worker()
+}
+
+/// Run `f` with every GEMM on this thread pinned to the single-threaded
+/// path (packing and macro-kernel both stay on the calling thread). Used by
+/// benches to measure the 1-thread leg of the parallel scaling gate without
+/// re-exec'ing under a different `LX_THREADS`.
+pub fn with_sequential<R>(f: impl FnOnce() -> R) -> R {
+    FORCE_SEQ.with(|flag| {
+        let prev = flag.replace(true);
+        let out = f();
+        flag.set(prev);
+        out
+    })
+}
+
 /// `C[m,n] = A[m,k]·B[k,n] + beta·C`, contiguous rows.
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
     backend().gemm(m, k, n, a, k.max(1), b, n.max(1), c, n.max(1), beta)
+}
+
+/// [`gemm`] with a fused [`Epilogue`], contiguous rows.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_ep(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    beta: f32,
+    ep: Epilogue<'_>,
+) {
+    backend().gemm_ep(m, k, n, a, k.max(1), b, n.max(1), c, n.max(1), beta, ep)
+}
+
+/// [`gemm_nt`] with a fused [`Epilogue`], contiguous rows.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_ep(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    beta: f32,
+    ep: Epilogue<'_>,
+) {
+    backend().gemm_nt_ep(m, k, n, a, k.max(1), b, k.max(1), c, n.max(1), beta, ep)
 }
 
 /// `C[m,n] = A[m,k]·B[n,k]ᵀ + beta·C`, contiguous rows.

@@ -4,15 +4,19 @@
 //! `Observed` wrapper that attributes the call to the backend that actually
 //! ran it (for [`crate::dispatch::Auto`], the routed choice), to a FLOP
 //! shape class, and to the storage dtype of the B operand, then bumps
-//! `kernel.gemm.calls{backend,class,dtype}` in the global [`lx_obs`]
-//! registry. Call counting is one relaxed atomic add; per-call *latency*
-//! (`kernel.gemm.ns{backend,class,dtype}`) is only measured while
+//! `kernel.gemm.calls{backend,class,dtype,isa,threads}` in the global
+//! [`lx_obs`] registry. The `isa` and `threads` labels are process-wide
+//! constants (the active microkernel arm and the pool width), captured once
+//! at table init so CI matrix arms can tell their metric streams apart.
+//! Call counting is one relaxed atomic add; per-call *latency*
+//! (`kernel.gemm.ns{…}`) is only measured while
 //! [`lx_obs::timing_enabled`] — two `Instant` reads per GEMM are noise for
 //! Fig. 12 shapes but not for the thousands of tiny per-block sparse GEMMs,
 //! and the disabled path must stay under the 1% `step_bench` overhead gate.
 
 use crate::backend::KernelBackend;
 use crate::dispatch::auto_choice;
+use crate::epilogue::Epilogue;
 use lx_obs::{registry, timing_enabled, Counter, Histogram};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -50,11 +54,22 @@ struct GemmStats {
 fn stats(backend: &'static str, class: usize, dtype: usize) -> &'static GemmStats {
     static TABLE: OnceLock<Vec<GemmStats>> = OnceLock::new();
     let table = TABLE.get_or_init(|| {
+        // Process-wide constant labels: the microkernel arm and pool width
+        // never change after startup, so they cost no extra table entries.
+        let isa = crate::isa::active_isa().name();
+        let threads: &'static str =
+            Box::leak(lx_parallel::pool().threads().to_string().into_boxed_str());
         let mut v = Vec::with_capacity(2 * CLASSES.len() * DTYPES.len());
         for be in ["reference", "packed"] {
             for cls in CLASSES {
                 for dt in DTYPES {
-                    let labels = [("backend", be), ("class", cls), ("dtype", dt)];
+                    let labels = [
+                        ("backend", be),
+                        ("class", cls),
+                        ("dtype", dt),
+                        ("isa", isa),
+                        ("threads", threads),
+                    ];
                     v.push(GemmStats {
                         calls: registry().counter_labeled("kernel.gemm.calls", &labels),
                         time_ns: registry().histogram_labeled("kernel.gemm.ns", &labels),
@@ -276,6 +291,162 @@ impl KernelBackend for Observed {
     ) {
         self.observe(m, k, n, DT_Q4, |be| {
             be.gemm_nt_q4(m, k, n, a, lda, b, ldb, c, ldc, beta)
+        });
+    }
+
+    // Epilogue-fused entry points must forward to the inner backend's fused
+    // implementations — falling back to the trait defaults here would both
+    // skip the metrics and silently unfuse every routed call.
+
+    fn gemm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.observe(m, k, n, DT_F32, |be| {
+            be.gemm_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+        });
+    }
+
+    fn gemm_nt_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.observe(m, k, n, DT_F32, |be| {
+            be.gemm_nt_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+        });
+    }
+
+    fn gemm_f16_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.observe(m, k, n, DT_F16, |be| {
+            be.gemm_f16_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+        });
+    }
+
+    fn gemm_nt_f16_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.observe(m, k, n, DT_F16, |be| {
+            be.gemm_nt_f16_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+        });
+    }
+
+    fn gemm_q8_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.observe(m, k, n, DT_Q8, |be| {
+            be.gemm_q8_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+        });
+    }
+
+    fn gemm_nt_q8_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.observe(m, k, n, DT_Q8, |be| {
+            be.gemm_nt_q8_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+        });
+    }
+
+    fn gemm_q4_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.observe(m, k, n, DT_Q4, |be| {
+            be.gemm_q4_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+        });
+    }
+
+    fn gemm_nt_q4_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.observe(m, k, n, DT_Q4, |be| {
+            be.gemm_nt_q4_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
         });
     }
 }

@@ -7,41 +7,60 @@
 //!   for jc in steps of NC over n:            // C column block   (≈ L3)
 //!     for pc in steps of KC over k:          // K block
 //!       pack B[pc.., jc..] → B̃  (KC×NC, NR-wide column panels)   (≈ L2→L1)
-//!       parallel over row chunks of C:
+//!       parallel over worker-disjoint row chunks of C:
 //!         for ic in steps of MC over rows:   // A row block      (≈ L2)
 //!           pack A[ic.., pc..] → Ã (MC×KC, MR-tall row panels)
 //!           for jr, ir over NR/MR panels:
 //!             microkernel: C[MR×NR] += Ã-panel · B̃-panel
+//!             (last k-block: apply the fused epilogue to the hot tile)
 //! ```
 //!
 //! * The microkernel keeps an `MR×NR` register tile of C accumulators and
 //!   streams one `MR` column of Ã against one `NR` row of B̃ per k-step —
-//!   explicit FMA-friendly inner loops.
+//!   explicit FMA-friendly inner loops. The register-tile shape follows the
+//!   active [`Isa`] arm (6×16 scalar/AVX2/NEON, 14×32 AVX-512), and packing
+//!   geometry follows the arm so each kernel sees panels of its own width.
 //! * Packing absorbs the `_nt`/`_tn` transposes: all three variants feed the
 //!   *same* microkernel, only the pack routines index differently. Edge tiles
 //!   are zero-padded in the packed buffers, so the microkernel never branches
 //!   on shape; write-back clamps to the valid region.
-//! * B̃ is packed once per `(jc, pc)` block on the submitting thread and
-//!   shared read-only across all row tasks — the "B-panel reuse across A
-//!   rows" that makes the kernel bandwidth-friendly.
-//! * On x86-64 with AVX2+FMA (checked once at runtime) the microkernel uses
-//!   `std::arch` intrinsics; everywhere else a fixed-shape scalar kernel that
-//!   LLVM auto-vectorises. Both produce identical results up to f32
-//!   summation order, which differs from [`Reference`](crate::Reference) only
-//!   within the usual 1e-4 relative tolerance.
+//! * B̃ is packed once per `(jc, pc)` block — in parallel across panel chunks
+//!   when the pool is available — and shared read-only across all row tasks:
+//!   the "B-panel reuse across A rows" that makes the kernel
+//!   bandwidth-friendly. C row chunks are worker-disjoint (`par_rows`
+//!   split_at_mut carving), so one big GEMM saturates all `LX_THREADS`
+//!   workers.
+//! * Nested calls (a GEMM issued from inside a pool worker, e.g. the
+//!   per-block GEMMs of the sparse slab kernels) detect
+//!   [`lx_parallel::in_worker`] via [`crate::sequential_mode`] and run the
+//!   whole macro-kernel on the calling thread instead of oversubscribing the
+//!   pool.
+//! * A fused [`Epilogue`] is applied to each register tile immediately after
+//!   its **final** k-block is accumulated — i.e. after the complete
+//!   `beta·C + ΣA·B` sum, in the same element order as an unfused bias or
+//!   GELU pass — so fused results are bit-identical to unfused ones while
+//!   the separate read-modify-write passes over C disappear.
 //!
 //! Pack buffers are thread-local and reused across calls, so steady-state
 //! GEMMs allocate nothing.
 
 use crate::backend::{check_view, row_grain, scale_only, KernelBackend};
 use crate::dispatch::tiles;
+use crate::epilogue::{apply_epilogue, Epilogue};
+use crate::isa::{active_isa, Isa};
 use lx_parallel::par_rows;
 use std::cell::RefCell;
+use std::ops::Range;
 
-/// Register tile height (rows of C per microkernel call).
+/// Register tile height of the 6×16 arms (scalar/AVX2/NEON); also the unit
+/// the cache-model rounds MC to. The AVX-512 arm uses its own 14×32 tile.
 pub const MR: usize = 6;
-/// Register tile width (cols of C per microkernel call).
+/// Register tile width of the 6×16 arms; see [`MR`].
 pub const NR: usize = 16;
+
+/// Largest register tile any arm uses — sizes fixed spill buffers.
+const MR_MAX: usize = 14;
+const NR_MAX: usize = 32;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Layout {
@@ -112,8 +131,10 @@ thread_local! {
     static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Pack `kc` k-steps × `nc` columns of B into NR-wide column panels:
-/// `out[panel][p·NR + j]` = B(pc+p, jc + panel·NR + j), zero-padded past `nc`.
+/// Pack `kc` k-steps × `nc` columns of B into `nr`-wide column panels:
+/// `out[panel][p·nr + j]` = B(pc+p, jc + panel·nr + j), zero-padded past
+/// `nc`. Panels are disjoint slices of `out`, so when `parallel` is set the
+/// fill is carved across the pool (one "row" per panel).
 #[allow(clippy::too_many_arguments)]
 fn pack_b<S: PackSrc + ?Sized>(
     out: &mut Vec<f32>,
@@ -124,37 +145,51 @@ fn pack_b<S: PackSrc + ?Sized>(
     kc: usize,
     jc: usize,
     nc: usize,
+    nr: usize,
+    parallel: bool,
 ) {
-    let panels = nc.div_ceil(NR);
+    let panels = nc.div_ceil(nr);
+    let panel_len = kc * nr;
     out.clear();
-    out.resize(panels * kc * NR, 0.0);
-    for panel in 0..panels {
-        let j0 = panel * NR;
-        let width = NR.min(nc - j0);
-        let dst = &mut out[panel * kc * NR..(panel + 1) * kc * NR];
-        match layout {
-            Layout::Normal => {
-                for p in 0..kc {
-                    let base = (pc + p) * ldb + jc + j0;
-                    for j in 0..width {
-                        dst[p * NR + j] = b.load(base + j);
+    out.resize(panels * panel_len, 0.0);
+    let fill = |prange: Range<usize>, dst_all: &mut [f32]| {
+        for (pi, panel) in prange.enumerate() {
+            let j0 = panel * nr;
+            let width = nr.min(nc - j0);
+            let dst = &mut dst_all[pi * panel_len..(pi + 1) * panel_len];
+            match layout {
+                Layout::Normal => {
+                    for p in 0..kc {
+                        let base = (pc + p) * ldb + jc + j0;
+                        for j in 0..width {
+                            dst[p * nr + j] = b.load(base + j);
+                        }
                     }
                 }
-            }
-            Layout::Transposed => {
-                for j in 0..width {
-                    let base = (jc + j0 + j) * ldb + pc;
-                    for p in 0..kc {
-                        dst[p * NR + j] = b.load(base + p);
+                Layout::Transposed => {
+                    for j in 0..width {
+                        let base = (jc + j0 + j) * ldb + pc;
+                        for p in 0..kc {
+                            dst[p * nr + j] = b.load(base + p);
+                        }
                     }
                 }
             }
         }
+    };
+    // Each task should pack a cache-friendly stretch of panels; packing is
+    // bandwidth-bound, so only fan out when there is real work to split.
+    let grain = ((1 << 15) / panel_len.max(1)).max(1);
+    if parallel && panels > grain {
+        par_rows(out, panels, panel_len, grain, fill);
+    } else {
+        fill(0..panels, out);
     }
 }
 
-/// Pack `mc` rows × `kc` k-steps of A into MR-tall row panels:
-/// `out[panel][p·MR + i]` = A(ic + panel·MR + i, pc+p), zero-padded past `mc`.
+/// Pack `mc` rows × `kc` k-steps of A into `mr`-tall row panels:
+/// `out[panel][p·mr + i]` = A(ic + panel·mr + i, pc+p), zero-padded past
+/// `mc`.
 #[allow(clippy::too_many_arguments)]
 fn pack_a(
     out: &mut Vec<f32>,
@@ -165,20 +200,21 @@ fn pack_a(
     mc: usize,
     pc: usize,
     kc: usize,
+    mr: usize,
 ) {
-    let panels = mc.div_ceil(MR);
+    let panels = mc.div_ceil(mr);
     out.clear();
-    out.resize(panels * kc * MR, 0.0);
+    out.resize(panels * kc * mr, 0.0);
     for panel in 0..panels {
-        let i0 = panel * MR;
-        let height = MR.min(mc - i0);
-        let dst = &mut out[panel * kc * MR..(panel + 1) * kc * MR];
+        let i0 = panel * mr;
+        let height = mr.min(mc - i0);
+        let dst = &mut out[panel * kc * mr..(panel + 1) * kc * mr];
         match layout {
             Layout::Normal => {
                 for i in 0..height {
                     let src = &a[(ic + i0 + i) * lda + pc..];
                     for p in 0..kc {
-                        dst[p * MR + i] = src[p];
+                        dst[p * mr + i] = src[p];
                     }
                 }
             }
@@ -186,7 +222,7 @@ fn pack_a(
                 for p in 0..kc {
                     let src = &a[(pc + p) * lda + ic + i0..];
                     for i in 0..height {
-                        dst[p * MR + i] = src[i];
+                        dst[p * mr + i] = src[i];
                     }
                 }
             }
@@ -196,6 +232,7 @@ fn pack_a(
 
 /// Scalar microkernel: `C[mr×nr] += Ã-panel · B̃-panel` over `kc` k-steps.
 /// Fixed-shape accumulator array so LLVM unrolls and vectorises the j loop.
+/// Only used by the 6×16 packing geometry.
 fn microkernel_scalar(
     kc: usize,
     ap: &[f32],
@@ -224,24 +261,17 @@ fn microkernel_scalar(
 }
 
 #[cfg(target_arch = "x86_64")]
-mod simd {
-    //! AVX2+FMA microkernel. `unsafe` here is confined to intrinsics plus
-    //! the raw C-tile pointer arithmetic the caller has already
-    //! bounds-checked; it is only reachable after a runtime
-    //! `is_x86_feature_detected!` probe.
+mod avx2 {
+    //! AVX2+FMA 6×16 microkernel. `unsafe` here is confined to intrinsics
+    //! plus the raw C-tile pointer arithmetic the caller has already
+    //! bounds-checked; it is only reachable when [`Isa::Avx2`] passed its
+    //! runtime support probe.
     use super::{MR, NR};
 
-    pub fn available() -> bool {
-        use std::sync::OnceLock;
-        static AVAILABLE: OnceLock<bool> = OnceLock::new();
-        *AVAILABLE
-            .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
-    }
-
     /// # Safety
-    /// Requires AVX2+FMA (call [`available`] first). `c` must be valid for
-    /// reads/writes of `mr` rows × `nr` cols at stride `ldc`; `ap`/`bp` must
-    /// hold `kc` packed MR/NR panels.
+    /// Requires AVX2+FMA. `c` must be valid for reads/writes of `mr` rows ×
+    /// `nr` cols at stride `ldc`; `ap`/`bp` must hold `kc` packed MR/NR
+    /// panels.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn microkernel(
         kc: usize,
@@ -288,41 +318,178 @@ mod simd {
     }
 }
 
-#[inline]
-fn microkernel(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, mr: usize, nr: usize) {
-    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
-    debug_assert!(mr <= MR && nr <= NR && mr > 0 && nr > 0);
-    debug_assert!(c.len() >= (mr - 1) * ldc + nr);
-    #[cfg(target_arch = "x86_64")]
-    if simd::available() && !crate::dispatch::force_scalar() {
-        // SAFETY: feature presence checked above; the debug asserts document
-        // the bounds the (checked) slice arguments guarantee.
-        unsafe {
-            simd::microkernel(kc, ap.as_ptr(), bp.as_ptr(), c.as_mut_ptr(), ldc, mr, nr);
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    //! AVX-512F 14×32 microkernel: 14 rows × two zmm halves = 28 of the 32
+    //! zmm registers hold C, leaving the two B loads and the A broadcast.
+    //! Only reachable when [`Isa::Avx512`] passed its runtime support probe.
+
+    pub const MR: usize = 14;
+    pub const NR: usize = 32;
+
+    /// # Safety
+    /// Requires AVX-512F. `c` must be valid for reads/writes of `mr` rows ×
+    /// `nr` cols at stride `ldc`; `ap`/`bp` must hold `kc` packed 14/32
+    /// panels.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn microkernel(
+        kc: usize,
+        ap: *const f32,
+        bp: *const f32,
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let mut acc = [[_mm512_setzero_ps(); 2]; MR];
+        for p in 0..kc {
+            let b0 = _mm512_loadu_ps(bp.add(p * NR));
+            let b1 = _mm512_loadu_ps(bp.add(p * NR + 16));
+            for (i, lanes) in acc.iter_mut().enumerate() {
+                let av = _mm512_set1_ps(*ap.add(p * MR + i));
+                lanes[0] = _mm512_fmadd_ps(av, b0, lanes[0]);
+                lanes[1] = _mm512_fmadd_ps(av, b1, lanes[1]);
+            }
         }
-        return;
+        if mr == MR && nr == NR {
+            for (i, lanes) in acc.iter().enumerate() {
+                let cp = c.add(i * ldc);
+                _mm512_storeu_ps(cp, _mm512_add_ps(_mm512_loadu_ps(cp), lanes[0]));
+                let cp16 = cp.add(16);
+                _mm512_storeu_ps(cp16, _mm512_add_ps(_mm512_loadu_ps(cp16), lanes[1]));
+            }
+        } else {
+            // Edge tile: spill the register tile and clamp the write-back.
+            let mut tmp = [0.0f32; MR * NR];
+            for (i, lanes) in acc.iter().enumerate() {
+                _mm512_storeu_ps(tmp.as_mut_ptr().add(i * NR), lanes[0]);
+                _mm512_storeu_ps(tmp.as_mut_ptr().add(i * NR + 16), lanes[1]);
+            }
+            for i in 0..mr {
+                for j in 0..nr {
+                    *c.add(i * ldc + j) += tmp[i * NR + j];
+                }
+            }
+        }
     }
-    microkernel_scalar(kc, ap, bp, c, ldc, mr, nr);
 }
 
-/// Whether the SIMD microkernel will be used by the next packed call: the
-/// CPU supports it at runtime and it has not been force-disabled via
-/// `LX_KERNEL_FORCE_SCALAR=1` (the CI fallback matrix sets that to exercise
-/// the scalar microkernel on AVX2 machines).
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! NEON 6×16 microkernel: 6 rows × four 4-lane q-registers = 24
+    //! accumulators, leaving the four B loads and the A broadcast. Only
+    //! reachable when [`Isa::Neon`] passed its runtime support probe.
+    use super::{MR, NR};
+
+    /// # Safety
+    /// Requires NEON. `c` must be valid for reads/writes of `mr` rows ×
+    /// `nr` cols at stride `ldc`; `ap`/`bp` must hold `kc` packed MR/NR
+    /// panels.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn microkernel(
+        kc: usize,
+        ap: *const f32,
+        bp: *const f32,
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        use std::arch::aarch64::*;
+        let mut acc = [[vdupq_n_f32(0.0); 4]; MR];
+        for p in 0..kc {
+            let bq = [
+                vld1q_f32(bp.add(p * NR)),
+                vld1q_f32(bp.add(p * NR + 4)),
+                vld1q_f32(bp.add(p * NR + 8)),
+                vld1q_f32(bp.add(p * NR + 12)),
+            ];
+            for (i, lanes) in acc.iter_mut().enumerate() {
+                let av = vdupq_n_f32(*ap.add(p * MR + i));
+                for (l, &bv) in lanes.iter_mut().zip(bq.iter()) {
+                    *l = vfmaq_f32(*l, av, bv);
+                }
+            }
+        }
+        if mr == MR && nr == NR {
+            for (i, lanes) in acc.iter().enumerate() {
+                let cp = c.add(i * ldc);
+                for (q, l) in lanes.iter().enumerate() {
+                    let p = cp.add(q * 4);
+                    vst1q_f32(p, vaddq_f32(vld1q_f32(p), *l));
+                }
+            }
+        } else {
+            // Edge tile: spill the register tile and clamp the write-back.
+            let mut tmp = [0.0f32; MR * NR];
+            for (i, lanes) in acc.iter().enumerate() {
+                for (q, l) in lanes.iter().enumerate() {
+                    vst1q_f32(tmp.as_mut_ptr().add(i * NR + q * 4), *l);
+                }
+            }
+            for i in 0..mr {
+                for j in 0..nr {
+                    *c.add(i * ldc + j) += tmp[i * NR + j];
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch one register tile to the active arm's microkernel. `isa` has
+/// already passed its runtime support probe in [`active_isa`], and the
+/// packing geometry matches `isa.tile()`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn microkernel(
+    isa: Isa,
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let (tmr, tnr) = isa.tile();
+    debug_assert!(ap.len() >= kc * tmr && bp.len() >= kc * tnr);
+    debug_assert!(mr <= tmr && nr <= tnr && mr > 0 && nr > 0);
+    debug_assert!(c.len() >= (mr - 1) * ldc + nr);
+    debug_assert!(tmr <= MR_MAX && tnr <= NR_MAX);
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: feature presence was checked at runtime by `active_isa`;
+        // the debug asserts document the bounds the (checked) slice
+        // arguments guarantee.
+        Isa::Avx2 => unsafe {
+            avx2::microkernel(kc, ap.as_ptr(), bp.as_ptr(), c.as_mut_ptr(), ldc, mr, nr);
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, for AVX-512F.
+        Isa::Avx512 => unsafe {
+            avx512::microkernel(kc, ap.as_ptr(), bp.as_ptr(), c.as_mut_ptr(), ldc, mr, nr);
+        },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: as above, for NEON.
+        Isa::Neon => unsafe {
+            neon::microkernel(kc, ap.as_ptr(), bp.as_ptr(), c.as_mut_ptr(), ldc, mr, nr);
+        },
+        _ => microkernel_scalar(kc, ap, bp, c, ldc, mr, nr),
+    }
+}
+
+/// Whether the next packed call will run a SIMD microkernel — i.e. the
+/// active ISA arm (after `LX_KERNEL_FORCE_SCALAR` / `LX_KERNEL_ISA` / policy
+/// pins) is not the scalar fallback.
 pub fn simd_active() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        simd::available() && !crate::dispatch::force_scalar()
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
-    }
+    active_isa() != Isa::Scalar
 }
 
 /// The packed/tiled backend. Tile sizes (MC/KC/NC) are read from the global
 /// [`KernelPolicy`](crate::KernelPolicy) at call time, so an installed policy
-/// or autotune result takes effect immediately.
+/// or autotune result takes effect immediately; the microkernel arm follows
+/// [`active_isa`].
 pub struct Packed;
 
 impl Packed {
@@ -341,10 +508,15 @@ impl Packed {
         c: &mut [f32],
         ldc: usize,
         beta: f32,
+        ep: Epilogue<'_>,
     ) {
         if m == 0 || n == 0 {
             return;
         }
+        ep.check(n);
+        // Nested call (inside a pool worker) or explicit
+        // `with_sequential`: run the whole macro-kernel on this thread.
+        let seq = crate::sequential_mode();
         // One beta pass up front; every k-block then accumulates. The extra
         // sweep over C costs O(m·n) against the O(m·n·k) product and only
         // runs for shapes the dispatcher already deemed compute-bound —
@@ -353,10 +525,15 @@ impl Packed {
             scale_only(c, m, n, ldc, beta);
         }
         if k == 0 {
+            // Degenerate product: the "sum" is just the beta pre-scale, so
+            // the epilogue becomes a standalone pass.
+            apply_epilogue(c, m, n, ldc, ep);
             return;
         }
+        let isa = active_isa();
+        let (tmr, tnr) = isa.tile();
         let t = tiles();
-        let (mc, kc_max, nc_max) = (t.mc.max(MR), t.kc.max(1), t.nc.max(NR));
+        let (mc, kc_max, nc_max) = (t.mc.max(tmr), t.kc.max(1), t.nc.max(tnr));
         // Reuse this thread's B̃ buffer across calls. Taken out of the
         // thread-local (not borrowed across the parallel section): the
         // submitting thread helps drain the pool queue while waiting, and a
@@ -370,30 +547,49 @@ impl Packed {
             let mut pc = 0;
             while pc < k {
                 let kc = kc_max.min(k - pc);
-                pack_b(&mut bpack, b, ldb, b_layout, pc, kc, jc, nc);
+                // The epilogue folds into the write-back of the *final*
+                // k-block only, i.e. after the complete accumulated sum.
+                let ep_blk = if pc + kc == k { ep } else { Epilogue::None };
+                pack_b(&mut bpack, b, ldb, b_layout, pc, kc, jc, nc, tnr, !seq);
                 let bpack_ref = &bpack;
-                let grain = row_grain(kc, nc).max(MR);
-                par_rows(c, m, ldc, grain, |rows, chunk| {
+                let grain = row_grain(kc, nc).max(tmr);
+                let macro_rows = |rows: Range<usize>, chunk: &mut [f32]| {
                     PACK_A.with(|apack| {
                         let apack = &mut *apack.borrow_mut();
                         let mut ic = rows.start;
                         while ic < rows.end {
                             let mcb = mc.min(rows.end - ic);
-                            pack_a(apack, a, lda, a_layout, ic, mcb, pc, kc);
-                            for jr in (0..nc).step_by(NR) {
-                                let nr = NR.min(nc - jr);
-                                let bp = &bpack_ref[(jr / NR) * kc * NR..];
-                                for ir in (0..mcb).step_by(MR) {
-                                    let mr = MR.min(mcb - ir);
-                                    let ap = &apack[(ir / MR) * kc * MR..];
+                            pack_a(apack, a, lda, a_layout, ic, mcb, pc, kc, tmr);
+                            for jr in (0..nc).step_by(tnr) {
+                                let nr = tnr.min(nc - jr);
+                                let bp = &bpack_ref[(jr / tnr) * kc * tnr..];
+                                for ir in (0..mcb).step_by(tmr) {
+                                    let mr = tmr.min(mcb - ir);
+                                    let ap = &apack[(ir / tmr) * kc * tmr..];
                                     let coff = (ic - rows.start + ir) * ldc + jc + jr;
-                                    microkernel(kc, ap, bp, &mut chunk[coff..], ldc, mr, nr);
+                                    microkernel(isa, kc, ap, bp, &mut chunk[coff..], ldc, mr, nr);
+                                }
+                            }
+                            // Epilogue over the finished mc×nc block, full
+                            // rows at a time: the block is still cache-warm,
+                            // the work stays on the worker that computed it,
+                            // and the long contiguous rows amortise loop
+                            // setup the way a 32-wide register tile cannot.
+                            if !ep_blk.is_none() {
+                                for r in 0..mcb {
+                                    let off = (ic - rows.start + r) * ldc + jc;
+                                    ep_blk.apply_tile(&mut chunk[off..], ldc, 1, nc, jc);
                                 }
                             }
                             ic += mcb;
                         }
                     });
-                });
+                };
+                if seq {
+                    macro_rows(0..m, &mut *c);
+                } else {
+                    par_rows(c, m, ldc, grain, macro_rows);
+                }
                 pc += kc;
             }
             jc += nc;
@@ -420,23 +616,7 @@ impl KernelBackend for Packed {
         ldc: usize,
         beta: f32,
     ) {
-        check_view(a.len(), m, k, lda, "gemm: A");
-        check_view(b.len(), k, n, ldb, "gemm: B");
-        check_view(c.len(), m, n, ldc, "gemm: C");
-        self.driver(
-            m,
-            k,
-            n,
-            a,
-            lda,
-            Layout::Normal,
-            b,
-            ldb,
-            Layout::Normal,
-            c,
-            ldc,
-            beta,
-        );
+        self.gemm_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
     }
 
     fn gemm_nt(
@@ -452,23 +632,7 @@ impl KernelBackend for Packed {
         ldc: usize,
         beta: f32,
     ) {
-        check_view(a.len(), m, k, lda, "gemm_nt: A");
-        check_view(b.len(), n, k, ldb, "gemm_nt: B");
-        check_view(c.len(), m, n, ldc, "gemm_nt: C");
-        self.driver(
-            m,
-            k,
-            n,
-            a,
-            lda,
-            Layout::Normal,
-            b,
-            ldb,
-            Layout::Transposed,
-            c,
-            ldc,
-            beta,
-        );
+        self.gemm_nt_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
     }
 
     fn gemm_tn(
@@ -500,6 +664,7 @@ impl KernelBackend for Packed {
             c,
             ldc,
             beta,
+            Epilogue::None,
         );
     }
 
@@ -519,23 +684,7 @@ impl KernelBackend for Packed {
         ldc: usize,
         beta: f32,
     ) {
-        check_view(a.len(), m, k, lda, "gemm_f16: A");
-        check_view(b.len(), k, n, ldb, "gemm_f16: B");
-        check_view(c.len(), m, n, ldc, "gemm_f16: C");
-        self.driver(
-            m,
-            k,
-            n,
-            a,
-            lda,
-            Layout::Normal,
-            b,
-            ldb,
-            Layout::Normal,
-            c,
-            ldc,
-            beta,
-        );
+        self.gemm_f16_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
     }
 
     fn gemm_nt_f16(
@@ -551,23 +700,7 @@ impl KernelBackend for Packed {
         ldc: usize,
         beta: f32,
     ) {
-        check_view(a.len(), m, k, lda, "gemm_nt_f16: A");
-        check_view(b.len(), n, k, ldb, "gemm_nt_f16: B");
-        check_view(c.len(), m, n, ldc, "gemm_nt_f16: C");
-        self.driver(
-            m,
-            k,
-            n,
-            a,
-            lda,
-            Layout::Normal,
-            b,
-            ldb,
-            Layout::Transposed,
-            c,
-            ldc,
-            beta,
-        );
+        self.gemm_nt_f16_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
     }
 
     /// Fused pack-time dequant: each packed B element is `code · scale`,
@@ -586,6 +719,207 @@ impl KernelBackend for Packed {
         ldc: usize,
         beta: f32,
     ) {
+        self.gemm_q8_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
+    }
+
+    fn gemm_nt_q8(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        self.gemm_nt_q8_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
+    }
+
+    fn gemm_q4(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        self.gemm_q4_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
+    }
+
+    fn gemm_nt_q4(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q4View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        self.gemm_nt_q4_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
+    }
+
+    fn gemm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm: A");
+        check_view(b.len(), k, n, ldb, "gemm: B");
+        check_view(c.len(), m, n, ldc, "gemm: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            b,
+            ldb,
+            Layout::Normal,
+            c,
+            ldc,
+            beta,
+            ep,
+        );
+    }
+
+    fn gemm_nt_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nt: A");
+        check_view(b.len(), n, k, ldb, "gemm_nt: B");
+        check_view(c.len(), m, n, ldc, "gemm_nt: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            b,
+            ldb,
+            Layout::Transposed,
+            c,
+            ldc,
+            beta,
+            ep,
+        );
+    }
+
+    fn gemm_f16_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_f16: A");
+        check_view(b.len(), k, n, ldb, "gemm_f16: B");
+        check_view(c.len(), m, n, ldc, "gemm_f16: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            b,
+            ldb,
+            Layout::Normal,
+            c,
+            ldc,
+            beta,
+            ep,
+        );
+    }
+
+    fn gemm_nt_f16_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[u16],
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nt_f16: A");
+        check_view(b.len(), n, k, ldb, "gemm_nt_f16: B");
+        check_view(c.len(), m, n, ldc, "gemm_nt_f16: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            b,
+            ldb,
+            Layout::Transposed,
+            c,
+            ldc,
+            beta,
+            ep,
+        );
+    }
+
+    fn gemm_q8_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::Q8View<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
         check_view(a.len(), m, k, lda, "gemm_q8: A");
         check_view(b.len(), k, n, ldb, "gemm_q8: B");
         check_view(c.len(), m, n, ldc, "gemm_q8: C");
@@ -602,10 +936,11 @@ impl KernelBackend for Packed {
             c,
             ldc,
             beta,
+            ep,
         );
     }
 
-    fn gemm_nt_q8(
+    fn gemm_nt_q8_ep(
         &self,
         m: usize,
         k: usize,
@@ -617,6 +952,7 @@ impl KernelBackend for Packed {
         c: &mut [f32],
         ldc: usize,
         beta: f32,
+        ep: Epilogue<'_>,
     ) {
         check_view(a.len(), m, k, lda, "gemm_nt_q8: A");
         check_view(b.len(), n, k, ldb, "gemm_nt_q8: B");
@@ -634,10 +970,11 @@ impl KernelBackend for Packed {
             c,
             ldc,
             beta,
+            ep,
         );
     }
 
-    fn gemm_q4(
+    fn gemm_q4_ep(
         &self,
         m: usize,
         k: usize,
@@ -649,6 +986,7 @@ impl KernelBackend for Packed {
         c: &mut [f32],
         ldc: usize,
         beta: f32,
+        ep: Epilogue<'_>,
     ) {
         check_view(a.len(), m, k, lda, "gemm_q4: A");
         check_view(b.len(), k, n, ldb, "gemm_q4: B");
@@ -666,10 +1004,11 @@ impl KernelBackend for Packed {
             c,
             ldc,
             beta,
+            ep,
         );
     }
 
-    fn gemm_nt_q4(
+    fn gemm_nt_q4_ep(
         &self,
         m: usize,
         k: usize,
@@ -681,6 +1020,7 @@ impl KernelBackend for Packed {
         c: &mut [f32],
         ldc: usize,
         beta: f32,
+        ep: Epilogue<'_>,
     ) {
         check_view(a.len(), m, k, lda, "gemm_nt_q4: A");
         check_view(b.len(), n, k, ldb, "gemm_nt_q4: B");
@@ -698,6 +1038,7 @@ impl KernelBackend for Packed {
             c,
             ldc,
             beta,
+            ep,
         );
     }
 }

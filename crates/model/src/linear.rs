@@ -6,8 +6,8 @@
 //! gradient that the frozen path propagates to earlier layers.
 
 use crate::param::Param;
-use lx_tensor::gemm::{matmul, matmul_nt, matmul_tn};
-use lx_tensor::ops::{add_bias_rows, bias_grad_rows};
+use lx_tensor::gemm::{matmul, matmul_nt, matmul_tn, Epilogue};
+use lx_tensor::ops::bias_grad_rows;
 use lx_tensor::Tensor;
 
 /// LoRA low-rank pair: `ΔW = (α/r)·BᵀA` with `A ∈ r×d_in`, `B ∈ d_out×r`.
@@ -96,12 +96,14 @@ impl Linear {
     }
 
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        // Dtype-dispatching: fused f16 decode when the backbone weight is
-        // half-stored, the plain f32 kernel otherwise.
-        let mut y = self.weight.matmul(x);
-        if let Some(bias) = &self.bias {
-            add_bias_rows(&mut y, bias.value.as_slice());
-        }
+        // Dtype-dispatching (fused f16/quant decode when the backbone weight
+        // is reduced-stored), with the bias add fused into the GEMM
+        // write-back instead of a second pass over y.
+        let ep = match &self.bias {
+            Some(bias) => Epilogue::Bias(bias.value.as_slice()),
+            None => Epilogue::None,
+        };
+        let mut y = self.weight.matmul_ep(x, ep);
         if let Some(lora) = &mut self.lora {
             let ax = matmul_nt(x, &lora.a.value); // [rows, r]
             let delta = matmul_nt(&ax, &lora.b.value); // [rows, d_out]

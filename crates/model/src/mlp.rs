@@ -18,10 +18,8 @@ use lx_sparse::neuron::{
     fc2_grad_weights,
 };
 use lx_sparse::NeuronBlockSet;
-use lx_tensor::gemm::{matmul, matmul_nt, matmul_tn};
-use lx_tensor::ops::{
-    add_bias_rows, bias_grad_rows, gelu_backward, gelu_inplace, relu_backward, relu_inplace,
-};
+use lx_tensor::gemm::{matmul, matmul_nt, matmul_tn, Epilogue};
+use lx_tensor::ops::{bias_grad_rows, gelu_backward, gelu_inplace, relu_backward, relu_inplace};
 use lx_tensor::Tensor;
 use std::sync::{Arc, OnceLock};
 
@@ -296,9 +294,12 @@ impl MlpBlock {
 
     fn forward_dense(&mut self, x: &Tensor) -> Tensor {
         let rows = x.rows();
-        // z = x·W1ᵀ(stored) + b1  (+ LoRA1)
-        let mut z = self.w1.matmul_nt(x);
-        add_bias_rows(&mut z, self.b1.value.as_slice());
+        // z = x·W1ᵀ(stored) + b1  (+ LoRA1). The bias rides the GEMM
+        // write-back as a fused epilogue; the activation stays unfused
+        // because backward needs the pre-activation z.
+        let mut z = self
+            .w1
+            .matmul_nt_ep(x, Epilogue::Bias(self.b1.value.as_slice()));
         let mut ax1 = None;
         if let Some(l) = &mut self.lora1 {
             let ax = matmul_nt(x, &l.a.value); // [rows, r]
@@ -308,9 +309,10 @@ impl MlpBlock {
             l.cache_ax = Some(ax);
         }
         let a = self.activate(&z);
-        // y = a·W2 + b2  (+ LoRA2)
-        let mut y = self.w2.matmul(&a);
-        add_bias_rows(&mut y, self.b2.value.as_slice());
+        // y = a·W2 + b2  (+ LoRA2), bias again fused into the write-back.
+        let mut y = self
+            .w2
+            .matmul_ep(&a, Epilogue::Bias(self.b2.value.as_slice()));
         let mut ax2 = None;
         if let Some(l) = &mut self.lora2 {
             let ax = matmul(&a, &l.a.value); // [rows, r]

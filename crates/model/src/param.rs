@@ -19,7 +19,8 @@
 
 use lx_tensor::f16::f16_bits_to_f32;
 use lx_tensor::gemm::{
-    matmul, matmul_f16, matmul_nt, matmul_nt_f16, matmul_nt_quant, matmul_quant,
+    matmul, matmul_ep, matmul_f16, matmul_f16_ep, matmul_nt, matmul_nt_ep, matmul_nt_f16,
+    matmul_nt_f16_ep, matmul_nt_quant, matmul_nt_quant_ep, matmul_quant, matmul_quant_ep, Epilogue,
 };
 use lx_tensor::{Dtype, HalfTensor, QuantTensor, Tensor};
 
@@ -177,6 +178,26 @@ impl Param {
             (Some(h), _) => matmul_nt_f16(x, h),
             (_, Some(q)) => matmul_nt_quant(x, q),
             _ => matmul_nt(x, &self.value),
+        }
+    }
+
+    /// [`matmul`](Self::matmul) with a fused [`Epilogue`] applied at kernel
+    /// write-back, whatever the storage dtype. Bit-identical to the unfused
+    /// matmul followed by the equivalent bias/activation passes.
+    pub fn matmul_ep(&self, x: &Tensor, ep: Epilogue<'_>) -> Tensor {
+        match (&self.half, &self.quant) {
+            (Some(h), _) => matmul_f16_ep(x, h, ep),
+            (_, Some(q)) => matmul_quant_ep(x, q, ep),
+            _ => matmul_ep(x, &self.value, ep),
+        }
+    }
+
+    /// [`matmul_nt`](Self::matmul_nt) with a fused [`Epilogue`].
+    pub fn matmul_nt_ep(&self, x: &Tensor, ep: Epilogue<'_>) -> Tensor {
+        match (&self.half, &self.quant) {
+            (Some(h), _) => matmul_nt_f16_ep(x, h, ep),
+            (_, Some(q)) => matmul_nt_quant_ep(x, q, ep),
+            _ => matmul_nt_ep(x, &self.value, ep),
         }
     }
 

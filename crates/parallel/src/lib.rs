@@ -21,7 +21,7 @@ mod pool;
 mod rows;
 
 pub use latch::Latch;
-pub use pool::{pool, set_global_threads, ThreadPool};
+pub use pool::{in_worker, pool, set_global_threads, ThreadPool};
 pub use rows::{par_disjoint, par_rows};
 
 use std::ops::Range;
@@ -156,6 +156,27 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn in_worker_flag_tracks_task_execution() {
+        assert!(
+            !crate::in_worker(),
+            "submitting thread outside a task must not report in_worker"
+        );
+        let saw_worker = AtomicUsize::new(0);
+        // Force enough chunks that at least one task runs through the pool
+        // (worker thread or help-drain), where the flag must be set.
+        parallel_for(0..64, 1, |_r| {
+            if crate::in_worker() {
+                saw_worker.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(
+            saw_worker.load(Ordering::Relaxed) > 0,
+            "pool tasks must observe in_worker() == true"
+        );
+        assert!(!crate::in_worker(), "flag must be restored after the scope");
     }
 
     #[test]

@@ -11,6 +11,28 @@ use std::time::Duration;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+std::thread_local! {
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True while the current thread is executing a pool task — either on a
+/// worker thread or on a submitting thread that is helping drain the queue.
+/// Kernels use this to fall back to sequential execution instead of
+/// oversubscribing the pool with nested parallel sections.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Run `task` with the in-worker flag set, restoring the previous value
+/// afterwards (nested scopes keep the flag set).
+fn run_marked(task: Task) {
+    IN_WORKER.with(|f| {
+        let prev = f.replace(true);
+        task();
+        f.set(prev);
+    });
+}
+
 struct Shared {
     queue: Mutex<VecDeque<Task>>,
     work_available: Condvar,
@@ -96,7 +118,7 @@ impl ThreadPool {
         // Help execute queued tasks while waiting: required for nested scopes.
         while !latch.is_done() {
             if let Some(task) = self.shared.try_pop() {
-                task();
+                run_marked(task);
             } else {
                 latch.wait_timeout(Duration::from_micros(200));
             }
@@ -212,7 +234,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match task {
-            Some(task) => task(),
+            Some(task) => run_marked(task),
             None => return,
         }
     }

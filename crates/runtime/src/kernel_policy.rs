@@ -65,12 +65,18 @@ pub fn policy_for(spec: &CpuSpec) -> KernelPolicy {
     KernelPolicy {
         tiles: tiles_for(spec),
         min_flops_packed: 2 * 64u64.pow(3),
+        isa: None,
     }
 }
 
 /// Derive a policy from [`CpuSpec::generic`], refine the crossover with the
 /// one-time `lx_kernels` autotune probe, and install it process-wide.
 /// Benches call this once before measuring; returns the installed policy.
+///
+/// With `LX_KERNEL_POLICY=<path>` set, the autotune step loads a previously
+/// persisted crossover instead of re-probing when the file's `(isa, threads)`
+/// key matches this process (and writes the probe result there otherwise),
+/// so serve restarts skip the probe entirely.
 pub fn install_tuned() -> KernelPolicy {
     lx_kernels::install_policy(policy_for(&CpuSpec::generic()));
     // `autotune` is memoized and may have run earlier in the process with
@@ -80,6 +86,7 @@ pub fn install_tuned() -> KernelPolicy {
     let policy = KernelPolicy {
         tiles: tiles_for(&CpuSpec::generic()),
         min_flops_packed: tuned.min_flops_packed,
+        isa: tuned.isa,
     };
     lx_kernels::install_policy(policy);
     policy

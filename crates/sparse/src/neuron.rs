@@ -303,7 +303,16 @@ pub fn fc1_forward(
         let x_win = &x[rr.start * d_in..rr.end * d_in];
         for (a, &blk) in set.active.iter().enumerate() {
             let w_blk = &w1t[blk as usize * b * d_in..(blk as usize + 1) * b * d_in];
-            be.gemm_nt(
+            // Each block writes its own b-column window once, so the bias
+            // rides the GEMM write-back as a fused epilogue (per-block bias
+            // slab) instead of a second pass over the whole compact z.
+            let ep = match bias {
+                Some(bias) => {
+                    lx_kernels::Epilogue::Bias(&bias[blk as usize * b..(blk as usize + 1) * b])
+                }
+                None => lx_kernels::Epilogue::None,
+            };
+            be.gemm_nt_ep(
                 m,
                 d_in,
                 b,
@@ -314,18 +323,8 @@ pub fn fc1_forward(
                 &mut chunk[a * b..],
                 width,
                 0.0,
+                ep,
             );
-        }
-        if let Some(bias) = bias {
-            for local in 0..m {
-                let z_row = &mut chunk[local * width..local * width + width];
-                for (a, &blk) in set.active.iter().enumerate() {
-                    let neuron0 = blk as usize * b;
-                    for t in 0..b {
-                        z_row[a * b + t] += bias[neuron0 + t];
-                    }
-                }
-            }
         }
     });
 }

@@ -12,6 +12,9 @@
 use crate::f16::HalfTensor;
 use crate::quant::{QuantTensor, QuantView};
 use crate::Tensor;
+// Fused post-GEMM epilogue (bias / bias+GELU at write-back); re-exported so
+// model-layer callers can request fusion without a direct lx-kernels dep.
+pub use lx_kernels::Epilogue;
 
 /// `C[m,n] = A[m,k] · B[k,n] + beta·C`.
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], beta: f32) {
@@ -72,6 +75,58 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     c
 }
 
+/// [`matmul`] with a fused [`Epilogue`] applied at kernel write-back —
+/// bit-identical to `matmul` followed by the equivalent bias/activation
+/// passes, minus those passes' memory traffic.
+pub fn matmul_ep(a: &Tensor, b: &Tensor, ep: Epilogue<'_>) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_ep inner dims: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    lx_kernels::gemm_ep(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        c.as_mut_slice(),
+        0.0,
+        ep,
+    );
+    c
+}
+
+/// [`matmul_nt`] with a fused [`Epilogue`]. Same contract as [`matmul_ep`].
+pub fn matmul_nt_ep(a: &Tensor, b: &Tensor, ep: Epilogue<'_>) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_nt_ep inner dims: {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    lx_kernels::gemm_nt_ep(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        c.as_mut_slice(),
+        0.0,
+        ep,
+    );
+    c
+}
+
 /// Tensor-level wrapper: `A[m,k] · B[k,n]` with **B stored at half
 /// precision**. B's f16 bits are decoded to f32 inside the kernel (pack-time
 /// for the packed backend); all accumulation stays f32.
@@ -104,6 +159,64 @@ pub fn matmul_nt_f16(a: &Tensor, b: &HalfTensor) -> Tensor {
     );
     let mut c = Tensor::zeros(&[m, n]);
     lx_kernels::gemm_nt_f16(m, k, n, a.as_slice(), b.bits(), c.as_mut_slice(), 0.0);
+    c
+}
+
+/// [`matmul_f16`] with a fused [`Epilogue`]. Same contract as [`matmul_ep`].
+pub fn matmul_f16_ep(a: &Tensor, b: &HalfTensor, ep: Epilogue<'_>) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_f16_ep inner dims: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    let ld = n.max(1);
+    lx_kernels::backend().gemm_f16_ep(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        k.max(1),
+        b.bits(),
+        ld,
+        c.as_mut_slice(),
+        ld,
+        0.0,
+        ep,
+    );
+    c
+}
+
+/// [`matmul_nt_f16`] with a fused [`Epilogue`]. Same contract as
+/// [`matmul_ep`].
+pub fn matmul_nt_f16_ep(a: &Tensor, b: &HalfTensor, ep: Epilogue<'_>) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_nt_f16_ep inner dims: {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    lx_kernels::backend().gemm_nt_f16_ep(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        k.max(1),
+        b.bits(),
+        k.max(1),
+        c.as_mut_slice(),
+        n.max(1),
+        0.0,
+        ep,
+    );
     c
 }
 
@@ -147,6 +260,78 @@ pub fn matmul_nt_quant(a: &Tensor, b: &QuantTensor) -> Tensor {
         QuantView::Nf4(v) => {
             lx_kernels::gemm_nt_q4(m, k, n, a.as_slice(), v, c.as_mut_slice(), 0.0)
         }
+    }
+    c
+}
+
+/// [`matmul_quant`] with a fused [`Epilogue`]. Same contract as
+/// [`matmul_ep`].
+pub fn matmul_quant_ep(a: &Tensor, b: &QuantTensor, ep: Epilogue<'_>) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_quant_ep inner dims: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    let (lda, ld) = (k.max(1), n.max(1));
+    let cs = c.as_mut_slice();
+    match b.view() {
+        QuantView::I8(v) => {
+            lx_kernels::backend().gemm_q8_ep(m, k, n, a.as_slice(), lda, v, ld, cs, ld, 0.0, ep)
+        }
+        QuantView::Nf4(v) => {
+            lx_kernels::backend().gemm_q4_ep(m, k, n, a.as_slice(), lda, v, ld, cs, ld, 0.0, ep)
+        }
+    }
+    c
+}
+
+/// [`matmul_nt_quant`] with a fused [`Epilogue`]. Same contract as
+/// [`matmul_ep`].
+pub fn matmul_nt_quant_ep(a: &Tensor, b: &QuantTensor, ep: Epilogue<'_>) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_nt_quant_ep inner dims: {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    let (lda, ldc) = (k.max(1), n.max(1));
+    let cs = c.as_mut_slice();
+    match b.view() {
+        QuantView::I8(v) => lx_kernels::backend().gemm_nt_q8_ep(
+            m,
+            k,
+            n,
+            a.as_slice(),
+            lda,
+            v,
+            lda,
+            cs,
+            ldc,
+            0.0,
+            ep,
+        ),
+        QuantView::Nf4(v) => lx_kernels::backend().gemm_nt_q4_ep(
+            m,
+            k,
+            n,
+            a.as_slice(),
+            lda,
+            v,
+            lda,
+            cs,
+            ldc,
+            0.0,
+            ep,
+        ),
     }
     c
 }
@@ -289,6 +474,35 @@ mod tests {
             let oracle_nt = matmul_nt(&a, &qt.to_tensor());
             let c_nt = matmul_nt_quant(&a, &qt);
             assert_close(c_nt.as_slice(), oracle_nt.as_slice(), 1e-4);
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_matches_unfused_composition_bitwise() {
+        use crate::ops::{add_bias_rows, gelu_inplace};
+        let a = Tensor::randn(&[9, 33], 1.0, 17);
+        let b = Tensor::randn(&[33, 12], 1.0, 18);
+        let bias = crate::rng::randn_vec(12, 1.0, 19);
+        // Bias-only fusion.
+        let fused = matmul_ep(&a, &b, Epilogue::Bias(&bias));
+        let mut unfused = matmul(&a, &b);
+        add_bias_rows(&mut unfused, &bias);
+        for (f, u) in fused.as_slice().iter().zip(unfused.as_slice()) {
+            assert_eq!(f.to_bits(), u.to_bits());
+        }
+        // Bias+GELU fusion.
+        let fused = matmul_ep(&a, &b, Epilogue::BiasGelu(&bias));
+        gelu_inplace(unfused.as_mut_slice());
+        for (f, u) in fused.as_slice().iter().zip(unfused.as_slice()) {
+            assert_eq!(f.to_bits(), u.to_bits());
+        }
+        // nt form against its own unfused twin.
+        let bt = b.transposed_2d();
+        let fused_nt = matmul_nt_ep(&a, &bt, Epilogue::Bias(&bias));
+        let mut unfused_nt = matmul_nt(&a, &bt);
+        add_bias_rows(&mut unfused_nt, &bias);
+        for (f, u) in fused_nt.as_slice().iter().zip(unfused_nt.as_slice()) {
+            assert_eq!(f.to_bits(), u.to_bits());
         }
     }
 

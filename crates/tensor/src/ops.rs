@@ -25,13 +25,9 @@ pub fn relu_backward(da: &[f32], z: &[f32], dz: &mut [f32]) {
     }
 }
 
-const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
-
-/// Tanh-approximation GeLU (as used by GPT-2).
-#[inline]
-pub fn gelu(x: f32) -> f32 {
-    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
-}
+// The scalar GELU lives in lx-kernels so the fused GEMM epilogue and this
+// unfused pass share one definition and can never drift apart numerically.
+pub use lx_kernels::{gelu, GELU_C};
 
 /// Derivative of the tanh-approximation GeLU.
 #[inline]

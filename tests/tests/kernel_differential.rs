@@ -7,7 +7,7 @@
 //! Shape axes are seeded sweeps, not proptest: the workspace is offline, and
 //! deterministic sweeps reproduce exactly in CI.
 
-use lx_kernels::{KernelBackend, MR, NR, PACKED, REFERENCE};
+use lx_kernels::{Epilogue, KernelBackend, MR, NR, PACKED, REFERENCE};
 use lx_sparse::attention::{block_data_to_dense, dsd, dsd_tn, sdd_nt, CausalFill};
 use lx_sparse::neuron::{fc1_forward, fc2_forward, ColMajorWeights, NeuronBlockSet};
 use lx_sparse::patterns::PatternSpec;
@@ -339,6 +339,384 @@ fn f16_b_gemm_nt_matches_decoded_oracle_on_shape_sweep() {
                 );
             }
         }
+    }
+}
+
+fn assert_bits(what: &str, got: &[f32], want: &[f32]) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (x, y)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: idx {i}: {x} vs {y} (bitwise)"
+        );
+    }
+}
+
+/// Apply `ep` to `c` the way the pre-fusion model code did: a full bias pass,
+/// then a full activation pass. The fused write-back must reproduce this
+/// bit-for-bit — per element the same scalar ops in the same order.
+fn manual_epilogue(c: &mut [f32], n: usize, ep: Epilogue<'_>) {
+    match ep {
+        Epilogue::None => {}
+        Epilogue::Bias(bias) => {
+            for (i, v) in c.iter_mut().enumerate() {
+                *v += bias[i % n.max(1)];
+            }
+        }
+        Epilogue::BiasGelu(bias) => {
+            for (i, v) in c.iter_mut().enumerate() {
+                *v += bias[i % n.max(1)];
+            }
+            for v in c.iter_mut() {
+                *v = lx_kernels::gelu(*v);
+            }
+        }
+    }
+}
+
+/// Fused epilogue oracle sweep over the f32 entry points: for every backend,
+/// shape, and epilogue kind, `gemm_ep` must equal "same backend's plain gemm,
+/// then the unfused bias/GELU passes" — bitwise, nn and nt forms.
+#[test]
+fn fused_epilogues_match_unfused_composition_bitwise() {
+    let sizes = interesting_sizes();
+    let backends: [&dyn KernelBackend; 2] = [&REFERENCE, &PACKED];
+    let mut seed = 200_000u64;
+    for &m in &sizes {
+        for &k in &sizes {
+            for &n in &sizes {
+                seed += 1;
+                let a = randn_vec(m * k, 1.0, seed);
+                let b = randn_vec(k * n, 1.0, seed + 1000);
+                let b_t = randn_vec(n * k, 1.0, seed + 2000);
+                let bias = randn_vec(n, 1.0, seed + 3000);
+                let c0 = randn_vec(m * n, 1.0, seed + 4000);
+                for be in backends {
+                    for fused_ep in [Epilogue::Bias(&bias), Epilogue::BiasGelu(&bias)] {
+                        // beta = 0.5: the epilogue must apply after the
+                        // pre-scale *and* the accumulation, never between.
+                        let mut want = c0.clone();
+                        be.gemm(
+                            m,
+                            k,
+                            n,
+                            &a,
+                            k.max(1),
+                            &b,
+                            n.max(1),
+                            &mut want,
+                            n.max(1),
+                            0.5,
+                        );
+                        manual_epilogue(&mut want, n, fused_ep);
+                        let mut got = c0.clone();
+                        be.gemm_ep(
+                            m,
+                            k,
+                            n,
+                            &a,
+                            k.max(1),
+                            &b,
+                            n.max(1),
+                            &mut got,
+                            n.max(1),
+                            0.5,
+                            fused_ep,
+                        );
+                        assert_bits(
+                            &format!("{} gemm_ep {m}x{k}x{n} {fused_ep:?}", be.name()),
+                            &got,
+                            &want,
+                        );
+
+                        let mut want_nt = c0.clone();
+                        be.gemm_nt(
+                            m,
+                            k,
+                            n,
+                            &a,
+                            k.max(1),
+                            &b_t,
+                            k.max(1),
+                            &mut want_nt,
+                            n.max(1),
+                            0.0,
+                        );
+                        manual_epilogue(&mut want_nt, n, fused_ep);
+                        let mut got_nt = c0.clone();
+                        be.gemm_nt_ep(
+                            m,
+                            k,
+                            n,
+                            &a,
+                            k.max(1),
+                            &b_t,
+                            k.max(1),
+                            &mut got_nt,
+                            n.max(1),
+                            0.0,
+                            fused_ep,
+                        );
+                        assert_bits(
+                            &format!("{} gemm_nt_ep {m}x{k}x{n} {fused_ep:?}", be.name()),
+                            &got_nt,
+                            &want_nt,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The same fused-vs-unfused oracle for the mixed-precision entry points
+/// (f16, int8-block, NF4-block B), on a reduced grid: each dtype's `_ep`
+/// variant must equal its own plain variant plus the manual passes, bitwise,
+/// on both backends (`Reference` exercises the defaulted trait methods).
+#[test]
+fn fused_epilogues_match_on_quantized_dtypes() {
+    let sizes = [0usize, 1, MR, NR + 1, 40];
+    let backends: [&dyn KernelBackend; 2] = [&REFERENCE, &PACKED];
+    let mut seed = 300_000u64;
+    for &m in &sizes {
+        for &k in &sizes {
+            for &n in &sizes {
+                seed += 1;
+                let a = randn_vec(m * k, 1.0, seed);
+                let b = randn_vec(k * n, 1.0, seed + 1000);
+                let bias = randn_vec(n, 1.0, seed + 2000);
+                let bits = lx_kernels::half::encode_slice(&b);
+                let (q8c, q8s) = lx_quant::q8::quantize(&b);
+                let (q4c, q4s) = lx_quant::nf4::quantize(&b);
+                for be in backends {
+                    for fused_ep in [Epilogue::Bias(&bias), Epilogue::BiasGelu(&bias)] {
+                        let mut want = vec![0.0; m * n];
+                        be.gemm_f16(
+                            m,
+                            k,
+                            n,
+                            &a,
+                            k.max(1),
+                            &bits,
+                            n.max(1),
+                            &mut want,
+                            n.max(1),
+                            0.0,
+                        );
+                        manual_epilogue(&mut want, n, fused_ep);
+                        let mut got = vec![0.0; m * n];
+                        be.gemm_f16_ep(
+                            m,
+                            k,
+                            n,
+                            &a,
+                            k.max(1),
+                            &bits,
+                            n.max(1),
+                            &mut got,
+                            n.max(1),
+                            0.0,
+                            fused_ep,
+                        );
+                        assert_bits(
+                            &format!("{} gemm_f16_ep {m}x{k}x{n}", be.name()),
+                            &got,
+                            &want,
+                        );
+
+                        let q8 = lx_kernels::Q8View::new(&q8c, &q8s);
+                        let mut want = vec![0.0; m * n];
+                        be.gemm_q8(
+                            m,
+                            k,
+                            n,
+                            &a,
+                            k.max(1),
+                            q8,
+                            n.max(1),
+                            &mut want,
+                            n.max(1),
+                            0.0,
+                        );
+                        manual_epilogue(&mut want, n, fused_ep);
+                        let mut got = vec![0.0; m * n];
+                        be.gemm_q8_ep(
+                            m,
+                            k,
+                            n,
+                            &a,
+                            k.max(1),
+                            q8,
+                            n.max(1),
+                            &mut got,
+                            n.max(1),
+                            0.0,
+                            fused_ep,
+                        );
+                        assert_bits(
+                            &format!("{} gemm_q8_ep {m}x{k}x{n}", be.name()),
+                            &got,
+                            &want,
+                        );
+
+                        let q4 = lx_kernels::Q4View::new(&q4c, &q4s, k * n);
+                        let mut want = vec![0.0; m * n];
+                        be.gemm_q4(
+                            m,
+                            k,
+                            n,
+                            &a,
+                            k.max(1),
+                            q4,
+                            n.max(1),
+                            &mut want,
+                            n.max(1),
+                            0.0,
+                        );
+                        manual_epilogue(&mut want, n, fused_ep);
+                        let mut got = vec![0.0; m * n];
+                        be.gemm_q4_ep(
+                            m,
+                            k,
+                            n,
+                            &a,
+                            k.max(1),
+                            q4,
+                            n.max(1),
+                            &mut got,
+                            n.max(1),
+                            0.0,
+                            fused_ep,
+                        );
+                        assert_bits(
+                            &format!("{} gemm_q4_ep {m}x{k}x{n}", be.name()),
+                            &got,
+                            &want,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fused epilogue on a strided C window (one block column of a wide slab,
+/// the layout the sparse FC1 writes): the epilogue must touch only the
+/// window and index the bias by the GEMM's own columns, not the slab's.
+#[test]
+fn fused_epilogue_respects_strided_c_views() {
+    let (rows, width, b, d) = (13, 3 * NR, NR, 24);
+    let act = randn_vec(rows * d, 1.0, 61);
+    let wt = randn_vec(b * d, 1.0, 62);
+    let bias = randn_vec(b, 1.0, 63);
+    for be in [&REFERENCE as &dyn KernelBackend, &PACKED] {
+        for block in 0..width / b {
+            let mut want = vec![1.0f32; rows * width];
+            be.gemm_nt(
+                rows,
+                d,
+                b,
+                &act,
+                d,
+                &wt,
+                d,
+                &mut want[block * b..],
+                width,
+                0.0,
+            );
+            for r in 0..rows {
+                for j in 0..b {
+                    let v = &mut want[r * width + block * b + j];
+                    *v = lx_kernels::gelu(*v + bias[j]);
+                }
+            }
+            let mut got = vec![1.0f32; rows * width];
+            be.gemm_nt_ep(
+                rows,
+                d,
+                b,
+                &act,
+                d,
+                &wt,
+                d,
+                &mut got[block * b..],
+                width,
+                0.0,
+                Epilogue::BiasGelu(&bias),
+            );
+            assert_bits(
+                &format!("{} strided ep block {block}", be.name()),
+                &got,
+                &want,
+            );
+        }
+    }
+}
+
+/// The parallel macro-kernel must be bit-identical to the single-threaded
+/// driver: workers own disjoint row panels of C and each panel's summation
+/// order is unchanged, so this is exact equality, not a tolerance. The grid
+/// includes shapes smaller than one worker panel (a single register tile of
+/// rows) and a shape big enough to actually split.
+#[test]
+fn parallel_packed_is_bit_identical_to_sequential() {
+    let mut m_sizes = interesting_sizes();
+    m_sizes.push(97); // several MR panels: splits across workers when pooled
+    let k_sizes = [1usize, 7, NR, 40];
+    let n_sizes = [1usize, NR - 1, 40, 97];
+    let mut seed = 400_000u64;
+    for &m in &m_sizes {
+        for &k in &k_sizes {
+            for &n in &n_sizes {
+                seed += 1;
+                let a = randn_vec(m * k, 1.0, seed);
+                let b = randn_vec(k * n, 1.0, seed + 1000);
+                let bias = randn_vec(n, 1.0, seed + 2000);
+                for ep in [Epilogue::None, Epilogue::BiasGelu(&bias)] {
+                    let mut c_seq = vec![0.25f32; m * n];
+                    lx_kernels::with_sequential(|| {
+                        PACKED.gemm_ep(m, k, n, &a, k, &b, n, &mut c_seq, n, 0.5, ep);
+                    });
+                    let mut c_par = vec![0.25f32; m * n];
+                    PACKED.gemm_ep(m, k, n, &a, k, &b, n, &mut c_par, n, 0.5, ep);
+                    assert_bits(&format!("par vs seq {m}x{k}x{n} {ep:?}"), &c_par, &c_seq);
+                }
+            }
+        }
+    }
+}
+
+/// Regression: a GEMM issued from inside every pool worker simultaneously
+/// (the sparse FC1 does exactly this) must fall back to the sequential
+/// driver instead of re-entering the pool — no deadlock, no oversubscribed
+/// nested parallelism, and the same bits as the top-level sequential run.
+#[test]
+fn gemm_inside_every_worker_takes_the_sequential_path() {
+    let tasks = (lx_parallel::pool().threads() * 2).max(4);
+    let (m, k, n) = (MR + 3, 33, NR + 5);
+    // grain 1 → one chunk per task index, so every worker gets GEMM work.
+    let results = lx_parallel::parallel_map(0..tasks, 1, |chunk| {
+        chunk
+            .map(|i| {
+                let seed = 500_000 + i as u64;
+                let a = randn_vec(m * k, 1.0, seed);
+                let b = randn_vec(k * n, 1.0, seed + 1);
+                let mut c = vec![0.0f32; m * n];
+                PACKED.gemm(m, k, n, &a, k, &b, n, &mut c, n, 0.0);
+                c
+            })
+            .collect::<Vec<_>>()
+    });
+    for (i, got) in results.into_iter().flatten().enumerate() {
+        let seed = 500_000 + i as u64;
+        let a = randn_vec(m * k, 1.0, seed);
+        let b = randn_vec(k * n, 1.0, seed + 1);
+        let mut want = vec![0.0f32; m * n];
+        lx_kernels::with_sequential(|| {
+            PACKED.gemm(m, k, n, &a, k, &b, n, &mut want, n, 0.0);
+        });
+        assert_bits(&format!("worker gemm {i}"), &got, &want);
     }
 }
 
