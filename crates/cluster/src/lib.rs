@@ -1,0 +1,71 @@
+//! `lx-cluster` — replicated-backbone scale-out serving.
+//!
+//! `lx-serve` multiplexes many tenants over *one* shared frozen backbone;
+//! this crate replicates that backbone N times and schedules the same
+//! [`TenantTask`]s across the replicas. Three properties make the lift
+//! safe and cheap:
+//!
+//! * **Replica-placement invariance** — a task carries every mutable byte of
+//!   its job (adapter, optimizer moments, data cursor, warm workspace), and
+//!   the backbones are frozen and identical, so a tenant's loss stream is
+//!   bit-identical no matter which replicas serve which slices. Scale-out
+//!   needs no numerical argument beyond the single-backbone one.
+//! * **Cross-tenant batch fusion** — compatible queued eval jobs (same
+//!   shape, no soft prompt, single micro-batch) coalesce into one fused
+//!   `StepRequest` on a replica via `lx_serve::run_fused_eval_slice`; the
+//!   de-fused per-tenant losses are bit-identical to unfused execution.
+//! * **Fault containment** — a panicking replica worker is quarantined; its
+//!   in-flight and queued jobs requeue to survivors, and the drive still
+//!   completes (jobs fail visibly only when *no* replica is left).
+//!
+//! The moving parts:
+//!
+//! * [`qos`] — [`QosClass`] service levels, per-class admission quotas and
+//!   the [`Submit`] backpressure contract (`Rejected { retry_after }`);
+//! * [`dispatch`] — the work-stealing [`DispatchQueue`]: per-replica,
+//!   per-class deques; owners pop the front, idle replicas steal the back;
+//! * [`scheduler`] — [`ClusterScheduler`]: admission + affinity placement,
+//!   scoped worker threads (one per replica), fusion-peer harvesting,
+//!   quarantine, and aggregated [`ServeMetrics`](lx_serve::ServeMetrics).
+//!
+//! Observability: replica-level counters `serve.replica.steals` /
+//! `serve.replica.quarantined` and the `serve.cluster.wait_ns` queue-wait
+//! histogram land in the global `lx-obs` registry, alongside the
+//! `serve.fusion.*` counters recorded by the fused slice itself.
+//!
+//! ```no_run
+//! use lx_cluster::{ClusterConfig, ClusterScheduler, QosClass};
+//! use lx_model::{ModelConfig, TransformerModel};
+//! use lx_serve::{AdapterRegistry, JobSpec};
+//! use long_exposure::engine::EngineConfig;
+//! use std::sync::Arc;
+//!
+//! let mut cluster = ClusterScheduler::new(
+//!     |_replica| {
+//!         let mut m = TransformerModel::new(ModelConfig::opt_sim_small(), 42);
+//!         m.freeze_all();
+//!         m
+//!     },
+//!     EngineConfig::default(),
+//!     ClusterConfig { replicas: 4, ..ClusterConfig::default() },
+//!     Arc::new(AdapterRegistry::open("adapters.d").unwrap()),
+//! );
+//! let outcome = cluster.submit(JobSpec::lora("tenant-a", 100, 2, 64), QosClass::Batch);
+//! assert!(outcome.is_admitted());
+//! let report = cluster.run_to_completion();
+//! println!("{} jobs over {} replicas", report.reports.len(), report.replicas);
+//! ```
+//!
+//! [`TenantTask`]: lx_serve::TenantTask
+//! [`QosClass`]: qos::QosClass
+//! [`Submit`]: qos::Submit
+//! [`DispatchQueue`]: dispatch::DispatchQueue
+//! [`ClusterScheduler`]: scheduler::ClusterScheduler
+
+pub mod dispatch;
+pub mod qos;
+pub mod scheduler;
+
+pub use dispatch::DispatchQueue;
+pub use qos::{JobFailure, QosClass, QosQuotas, Submit};
+pub use scheduler::{ClusterConfig, ClusterReport, ClusterScheduler};

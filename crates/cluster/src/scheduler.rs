@@ -1,0 +1,746 @@
+//! The replicated-backbone cluster scheduler.
+//!
+//! N independent backbone replicas (each its own [`FinetuneEngine`]: model
+//! copy, kernel policy, plan cache, workspace arena) drain one work-stealing
+//! [`DispatchQueue`] of [`TenantTask`]s. Because a task carries *all* of its
+//! job's mutable state, a tenant can run its next slice on any replica
+//! without changing its numerics — the single-backbone scheduler-equivalence
+//! property lifts directly to the cluster, and the integration suite proves
+//! per-tenant losses identical to `lx_serve::Scheduler` at any replica
+//! count.
+
+use crate::dispatch::DispatchQueue;
+use crate::qos::{JobFailure, QosClass, QosQuotas, Submit};
+use long_exposure::engine::{EngineConfig, FinetuneEngine, StepMode};
+use long_exposure::CalibrationReport;
+use lx_model::{Precision, TransformerModel};
+use lx_obs::registry as obs_registry;
+use lx_serve::{
+    run_fused_eval_slice, AdapterRegistry, JobReport, JobSpec, MetricsSnapshot, ProgressSink,
+    ServeMetrics, SliceOutcome, TenantTask,
+};
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A replica's in-flight work group, parked outside the `catch_unwind` so a
+/// panicking slice can still hand its jobs to the quarantine path.
+type InFlightSlot = Mutex<Option<Vec<(QosClass, TenantTask)>>>;
+
+/// Cluster shape and policy.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Backbone replicas (worker threads). 1 is the degenerate single-
+    /// backbone case and behaves like `lx_serve::Scheduler`.
+    pub replicas: usize,
+    /// Steps per scheduled slice before a task yields its replica.
+    pub slice_steps: u64,
+    /// Execution mode for tenant steps (`Sparse` needs
+    /// [`ClusterScheduler::calibrate_shared`] first).
+    pub mode: StepMode,
+    /// Storage precision of every replica's backbone.
+    pub precision: Precision,
+    /// Per-QoS-class admission quotas.
+    pub quotas: QosQuotas,
+    /// Coalesce compatible queued eval jobs into fused slices.
+    pub fusion: bool,
+    /// Max tenants per fused slice.
+    pub max_fused: usize,
+    /// Force sequential GEMMs inside replica workers. With one worker thread
+    /// per replica, replicas *are* the parallelism — letting each slice also
+    /// fan out onto the shared `lx-parallel` pool would oversubscribe cores
+    /// and serialise replicas on the pool lock. Numerics are unaffected
+    /// (parallel == sequential GEMM bit-identity is proven by the kernel
+    /// suite).
+    pub sequential_gemm: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            replicas: 2,
+            slice_steps: 4,
+            mode: StepMode::Dense,
+            precision: Precision::F32,
+            quotas: QosQuotas::default(),
+            fusion: true,
+            max_fused: 8,
+            sequential_gemm: true,
+        }
+    }
+}
+
+/// What a completed [`ClusterScheduler::run_to_completion`] drive did.
+#[derive(Debug)]
+pub struct ClusterReport {
+    pub replicas: usize,
+    /// Completion reports, sorted by tenant for determinism (thread
+    /// completion order is not deterministic).
+    pub reports: Vec<JobReport>,
+    /// Jobs lost to quarantine with no healthy replica left to requeue onto.
+    pub failures: Vec<JobFailure>,
+    /// Replicas quarantined during the drive (panicking worker).
+    pub quarantined: Vec<usize>,
+    /// Jobs taken by an idle replica from a sibling's queue.
+    pub steals: u64,
+    /// Fused eval steps executed (each covers several tenants at once).
+    pub fused_steps: u64,
+    /// Tenant-steps served through fusion (`Σ` group size per fused step).
+    pub fused_jobs: u64,
+}
+
+impl ClusterReport {
+    pub fn report_for(&self, tenant: &str) -> Option<&JobReport> {
+        self.reports.iter().find(|r| r.tenant == tenant)
+    }
+}
+
+/// Replicated-backbone scheduler: admission (QoS quotas + validation),
+/// placement (tenant→replica affinity), and a scoped-thread drive with
+/// work-stealing, cross-tenant eval fusion and panic quarantine.
+pub struct ClusterScheduler {
+    engines: Vec<FinetuneEngine>,
+    registry: Arc<AdapterRegistry>,
+    config: ClusterConfig,
+    queue: DispatchQueue<TenantTask>,
+    /// Tenant → replica that last served it. New submissions land there so
+    /// a returning tenant re-joins the replica most likely to have served it
+    /// before; within a drive, a completed slice requeues onto the worker's
+    /// own deque (stealable by idle siblings).
+    affinity: Mutex<HashMap<String, usize>>,
+    /// Tenants admitted and not yet drained (duplicate policing).
+    active: HashSet<String>,
+    /// Queued jobs per QoS class (quota accounting).
+    in_class: [usize; 3],
+    metrics: Mutex<ServeMetrics>,
+    rr_place: usize,
+    /// Fault injection: tenants whose next slice panics its replica worker
+    /// (deterministic quarantine testing).
+    panic_tenants: Mutex<HashSet<String>>,
+}
+
+impl ClusterScheduler {
+    /// Build a cluster of `config.replicas` backbones. `build` is called once
+    /// per replica and must return *identical* pristine (fully frozen,
+    /// nothing attached) models — same config, same seed — or the replica-
+    /// placement-invariance property is forfeit. Panics on a non-pristine
+    /// backbone, like `lx_serve::Scheduler`.
+    pub fn new(
+        mut build: impl FnMut(usize) -> TransformerModel,
+        engine_config: EngineConfig,
+        config: ClusterConfig,
+        registry: Arc<AdapterRegistry>,
+    ) -> Self {
+        assert!(config.replicas >= 1, "a cluster needs at least one replica");
+        assert!(config.max_fused >= 2, "fused slices need at least two jobs");
+        let engines: Vec<FinetuneEngine> = (0..config.replicas)
+            .map(|r| {
+                let mut model = build(r);
+                assert_eq!(
+                    model.num_trainable(),
+                    0,
+                    "replica {r} backbone must be pristine: freeze/detach before clustering"
+                );
+                model.set_precision(config.precision);
+                let mut engine = FinetuneEngine::new(model, engine_config.clone());
+                if let Some(blob) = registry.predictors() {
+                    engine
+                        .import_predictors(blob)
+                        .expect("registry predictors incompatible with this backbone");
+                }
+                engine
+            })
+            .collect();
+        let queue = DispatchQueue::new(config.replicas);
+        ClusterScheduler {
+            engines,
+            registry,
+            config,
+            queue,
+            affinity: Mutex::new(HashMap::new()),
+            active: HashSet::new(),
+            in_class: [0; 3],
+            metrics: Mutex::new(ServeMetrics::default()),
+            rr_place: 0,
+            panic_tenants: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Calibrate shared sparsity predictors once on replica 0, broadcast the
+    /// exported blob to every other replica, and persist it to the registry.
+    /// All replicas end up with byte-identical predictors, so a sparse
+    /// tenant's plan is the same wherever it is scheduled.
+    pub fn calibrate_shared(&mut self, batches: &[(Vec<u32>, usize, usize)]) -> CalibrationReport {
+        let report = self.engines[0].calibrate(batches);
+        let blob = self.engines[0].export_predictors();
+        for engine in &mut self.engines[1..] {
+            engine
+                .import_predictors(blob.clone())
+                .expect("replica rejected predictors exported by replica 0");
+        }
+        self.registry
+            .set_predictors(blob)
+            .expect("failed to persist shared predictors");
+        report
+    }
+
+    pub fn calibrated(&self) -> bool {
+        self.engines[0].calibrated
+    }
+
+    pub fn registry(&self) -> &Arc<AdapterRegistry> {
+        &self.registry
+    }
+
+    pub fn metrics(&self) -> MetricsSnapshot {
+        lock(&self.metrics).snapshot()
+    }
+
+    /// Jobs admitted and waiting for the next drive.
+    pub fn pending_jobs(&self) -> usize {
+        self.queue.total_pending()
+    }
+
+    /// Mark `tenant` so its next scheduled slice panics its replica worker —
+    /// the deterministic fault-injection hook behind the quarantine tests
+    /// (and nothing else: production code never sets it).
+    pub fn inject_slice_panic(&self, tenant: &str) {
+        lock(&self.panic_tenants).insert(tenant.to_string());
+    }
+
+    pub fn submit(&mut self, spec: JobSpec, class: QosClass) -> Submit {
+        self.submit_with_progress(spec, class, None)
+    }
+
+    /// Admit a job under `class`. Rejections carry the backpressure
+    /// contract: `retry_after == None` for permanent errors (invalid spec,
+    /// duplicate tenant, method mismatch, no healthy replica), `Some(d)` for
+    /// quota rejections — `d` is the class base retry scaled by how
+    /// oversubscribed the class is, deterministic for a given queue state.
+    pub fn submit_with_progress(
+        &mut self,
+        spec: JobSpec,
+        class: QosClass,
+        progress: Option<ProgressSink>,
+    ) -> Submit {
+        if self.active.contains(&spec.tenant) {
+            return Submit::Rejected {
+                reason: format!("tenant {} already has an active job", spec.tenant),
+                retry_after: None,
+            };
+        }
+        let limit = self.config.quotas.limit(class);
+        let queued = self.in_class[class.index()];
+        if queued >= limit {
+            let factor = (queued / limit).max(1) as u32;
+            return Submit::Rejected {
+                reason: format!(
+                    "{} quota exhausted: {queued}/{limit} jobs queued",
+                    class.name()
+                ),
+                retry_after: Some(class.base_retry() * factor),
+            };
+        }
+        let replica = {
+            let preferred = lock(&self.affinity).get(&spec.tenant).copied();
+            match preferred {
+                Some(r) if !self.queue.is_quarantined(r) => r,
+                _ => {
+                    let healthy = self.queue.healthy();
+                    if healthy.is_empty() {
+                        return Submit::Rejected {
+                            reason: "no healthy replicas".into(),
+                            retry_after: None,
+                        };
+                    }
+                    let r = healthy[self.rr_place % healthy.len()];
+                    self.rr_place += 1;
+                    r
+                }
+            }
+        };
+        let task = match TenantTask::admit(
+            spec,
+            progress,
+            &mut self.engines[replica],
+            self.config.mode,
+            &self.registry,
+        ) {
+            Ok(task) => task,
+            Err(reason) => {
+                return Submit::Rejected {
+                    reason,
+                    retry_after: None,
+                }
+            }
+        };
+        let tenant = task.spec.tenant.clone();
+        if let Err(_task) = self.queue.push(replica, class, task) {
+            return Submit::Rejected {
+                reason: format!("replica {replica} was quarantined during admission"),
+                retry_after: None,
+            };
+        }
+        lock(&self.affinity).insert(tenant.clone(), replica);
+        self.active.insert(tenant);
+        self.in_class[class.index()] += 1;
+        lock(&self.metrics).queue_depth = self.queue.total_pending();
+        Submit::Admitted
+    }
+
+    /// Drive every queued job to completion: one scoped worker thread per
+    /// healthy replica, each popping its own deque (priority order), fusing
+    /// compatible queued eval jobs, stealing when idle, and quarantining
+    /// itself on panic (in-flight + queued jobs requeue to survivors; with
+    /// no survivors left they surface as [`ClusterReport::failures`]).
+    pub fn run_to_completion(&mut self) -> ClusterReport {
+        let n = self.config.replicas;
+        let queue = &self.queue;
+        let config = &self.config;
+        let adapter_registry = &self.registry;
+        let metrics = &self.metrics;
+        let affinity = &self.affinity;
+        let panics = &self.panic_tenants;
+        let remaining = AtomicUsize::new(queue.total_pending());
+        let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::new());
+        let failures: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
+        let quarantined: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let steals = AtomicU64::new(0);
+        let fused_steps = AtomicU64::new(0);
+        let fused_jobs = AtomicU64::new(0);
+        // Per-replica in-flight parking slot: the group a worker is running
+        // lives here (not inside the catch_unwind closure) so a panicking
+        // slice can still hand its jobs to the quarantine path.
+        let slots: Vec<InFlightSlot> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots = &slots;
+
+        std::thread::scope(|scope| {
+            for (r, engine) in self.engines.iter_mut().enumerate() {
+                if queue.is_quarantined(r) {
+                    continue;
+                }
+                let remaining = &remaining;
+                let reports = &reports;
+                let failures = &failures;
+                let quarantined = &quarantined;
+                let steals = &steals;
+                let fused_steps = &fused_steps;
+                let fused_jobs = &fused_jobs;
+                scope.spawn(move || {
+                    let wait_hist = obs_registry().histogram("serve.cluster.wait_ns");
+                    let mut last_tenant: Option<String> = None;
+                    loop {
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        let group: Vec<(QosClass, TenantTask)> =
+                            if let Some((class, task)) = queue.pop_own(r) {
+                                let mut group = vec![(class, task)];
+                                if config.fusion {
+                                    if let Some(key) = group[0].1.fusion_key() {
+                                        group.extend(queue.drain_matching(
+                                            r,
+                                            config.max_fused - 1,
+                                            |t| t.fusion_key() == Some(key),
+                                        ));
+                                    }
+                                }
+                                group
+                            } else if let Some(stolen) = queue.steal_for(r) {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                obs_registry().counter("serve.replica.steals").inc();
+                                vec![stolen]
+                            } else {
+                                // Siblings may still be mid-slice; their jobs
+                                // requeue (or complete) shortly.
+                                std::thread::sleep(Duration::from_micros(200));
+                                continue;
+                            };
+                        let group_len = group.len();
+                        for (_, t) in &group {
+                            wait_hist.record_duration(t.ready_since.elapsed());
+                        }
+                        *lock(&slots[r]) = Some(group);
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            let mut guard = lock(&slots[r]);
+                            let group = guard.as_mut().expect("in-flight slot was just filled");
+                            for (_, t) in group.iter() {
+                                if lock(panics).remove(&t.spec.tenant) {
+                                    panic!(
+                                        "injected fault while replica {r} served tenant {}",
+                                        t.spec.tenant
+                                    );
+                                }
+                            }
+                            run_group(engine, group, &mut last_tenant, config)
+                        }));
+                        match run {
+                            Ok(outcomes) => {
+                                let group = lock(&slots[r])
+                                    .take()
+                                    .expect("in-flight slot survives a clean slice");
+                                if group_len >= 2 {
+                                    let steps = outcomes[0].steps;
+                                    fused_steps.fetch_add(steps, Ordering::Relaxed);
+                                    fused_jobs
+                                        .fetch_add(steps * group_len as u64, Ordering::Relaxed);
+                                }
+                                for ((class, task), out) in group.into_iter().zip(outcomes) {
+                                    let tenant = task.spec.tenant.clone();
+                                    {
+                                        let mut m = lock(metrics);
+                                        m.record_slice(
+                                            &tenant,
+                                            out.steps,
+                                            out.tokens,
+                                            out.busy,
+                                            out.swap,
+                                            out.last_loss,
+                                        );
+                                        if task.remaining() == 0 {
+                                            m.completed_jobs += 1;
+                                        }
+                                    }
+                                    lock(affinity).insert(tenant.clone(), r);
+                                    if task.remaining() == 0 {
+                                        adapter_registry
+                                            .put(&tenant, task.adapter())
+                                            .expect("failed to persist finished adapter");
+                                        lock(reports).push(task.into_report());
+                                        remaining.fetch_sub(1, Ordering::Release);
+                                    } else {
+                                        requeue_or_fail(queue, r, class, task, failures, remaining);
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                // Quarantine: this replica is out (its engine
+                                // may hold a half-attached adapter). Hand the
+                                // in-flight group plus everything queued here
+                                // to the survivors. The interrupted slice's
+                                // adapter updates are discarded — tasks
+                                // resume from their last completed slice.
+                                obs_registry().counter("serve.replica.quarantined").inc();
+                                lock(quarantined).push(r);
+                                let mut stranded = lock(&slots[r]).take().unwrap_or_default();
+                                stranded.extend(queue.quarantine(r));
+                                for (class, task) in stranded {
+                                    requeue_or_fail(queue, r, class, task, failures, remaining);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Belt-and-braces: a push that raced a concurrent quarantine can
+        // strand a job on a dead replica's deque; surface it as a failure
+        // rather than dropping it silently.
+        for r in 0..n {
+            for (_, task) in self.queue.drain_replica(r) {
+                lock(&failures).push(JobFailure {
+                    tenant: task.spec.tenant.clone(),
+                    error: format!("stranded on quarantined replica {r}"),
+                });
+            }
+        }
+
+        self.active.clear();
+        self.in_class = [0; 3];
+        lock(&self.metrics).queue_depth = 0;
+        let mut reports = reports.into_inner().unwrap_or_else(|e| e.into_inner());
+        reports.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        let mut failures = failures.into_inner().unwrap_or_else(|e| e.into_inner());
+        failures.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        let mut quarantined = quarantined.into_inner().unwrap_or_else(|e| e.into_inner());
+        quarantined.sort_unstable();
+        ClusterReport {
+            replicas: n,
+            reports,
+            failures,
+            quarantined,
+            steals: steals.into_inner(),
+            fused_steps: fused_steps.into_inner(),
+            fused_jobs: fused_jobs.into_inner(),
+        }
+    }
+}
+
+/// Requeue a live task near `origin` (its own replica first for affinity,
+/// else the first healthy survivor); if no healthy replica remains, record a
+/// failure and retire the job.
+fn requeue_or_fail(
+    queue: &DispatchQueue<TenantTask>,
+    origin: usize,
+    class: QosClass,
+    task: TenantTask,
+    failures: &Mutex<Vec<JobFailure>>,
+    remaining: &AtomicUsize,
+) {
+    let mut target = origin;
+    let mut task = task;
+    loop {
+        match queue.push(target, class, task) {
+            Ok(()) => return,
+            Err(rejected) => {
+                task = rejected;
+                match queue.healthy().first() {
+                    Some(&h) => target = h,
+                    None => {
+                        lock(failures).push(JobFailure {
+                            tenant: task.spec.tenant.clone(),
+                            error: "replica panicked with no healthy replica left".into(),
+                        });
+                        remaining.fetch_sub(1, Ordering::Release);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run one scheduled group on a replica: a fused eval slice when the group
+/// has ≥2 (fusion-key-matched) jobs, a plain slice otherwise — optionally
+/// pinned to sequential GEMMs (see [`ClusterConfig::sequential_gemm`]).
+fn run_group(
+    engine: &mut FinetuneEngine,
+    group: &mut [(QosClass, TenantTask)],
+    last_tenant: &mut Option<String>,
+    config: &ClusterConfig,
+) -> Vec<SliceOutcome> {
+    let (mode, slice_steps) = (config.mode, config.slice_steps);
+    let body = move |engine: &mut FinetuneEngine,
+                     group: &mut [(QosClass, TenantTask)],
+                     last_tenant: &mut Option<String>| {
+        if group.len() >= 2 {
+            let mut refs: Vec<&mut TenantTask> = group.iter_mut().map(|(_, t)| t).collect();
+            let outs = run_fused_eval_slice(engine, mode, &mut refs, slice_steps);
+            // The fused slice invalidates per shard and leaves the plan cache
+            // in the last shard's context; force a fresh plan next slice.
+            *last_tenant = None;
+            outs
+        } else {
+            let (_, task) = &mut group[0];
+            if last_tenant.as_deref() != Some(task.spec.tenant.as_str()) {
+                engine.invalidate_plan_cache();
+                *last_tenant = Some(task.spec.tenant.clone());
+            }
+            vec![task.run_slice(engine, mode, slice_steps)]
+        }
+    };
+    if config.sequential_gemm {
+        lx_kernels::with_sequential(|| body(engine, group, last_tenant))
+    } else {
+        body(engine, group, last_tenant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lx_model::ModelConfig;
+    use lx_serve::DatasetSpec;
+
+    fn backbone() -> TransformerModel {
+        let mut m = TransformerModel::new(ModelConfig::test_tiny(), 11);
+        m.freeze_all();
+        m
+    }
+
+    fn cluster(config: ClusterConfig) -> ClusterScheduler {
+        ClusterScheduler::new(
+            |_| backbone(),
+            EngineConfig {
+                block_size: 4,
+                ..EngineConfig::default()
+            },
+            config,
+            Arc::new(AdapterRegistry::in_memory()),
+        )
+    }
+
+    fn spec(tenant: &str, steps: u64) -> JobSpec {
+        JobSpec {
+            stream_len: 2_000,
+            ..JobSpec::lora(tenant, steps, 1, 16)
+        }
+    }
+
+    #[test]
+    fn two_replicas_drain_a_mixed_queue() {
+        let mut c = cluster(ClusterConfig {
+            replicas: 2,
+            ..ClusterConfig::default()
+        });
+        for (i, class) in [
+            QosClass::Interactive,
+            QosClass::Batch,
+            QosClass::Batch,
+            QosClass::BestEffort,
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert!(c.submit(spec(&format!("t{i}"), 6), *class).is_admitted());
+        }
+        assert_eq!(c.pending_jobs(), 4);
+        let report = c.run_to_completion();
+        assert_eq!(report.reports.len(), 4);
+        assert!(report.failures.is_empty());
+        assert!(report.quarantined.is_empty());
+        for r in &report.reports {
+            assert_eq!(r.steps, 6);
+            assert!(r.losses.iter().all(|l| l.is_finite()), "{:?}", r.losses);
+        }
+        let snap = c.metrics();
+        assert_eq!(snap.completed_jobs, 4);
+        assert_eq!(snap.total_steps, 24);
+        assert_eq!(snap.queue_depth, 0);
+        // Finished adapters all landed in the registry.
+        assert_eq!(c.registry().tenants().len(), 4);
+    }
+
+    #[test]
+    fn quota_rejections_carry_deterministic_retry_hints() {
+        let mut c = cluster(ClusterConfig {
+            replicas: 2,
+            quotas: QosQuotas {
+                interactive: 2,
+                ..QosQuotas::default()
+            },
+            ..ClusterConfig::default()
+        });
+        assert!(c.submit(spec("a", 2), QosClass::Interactive).is_admitted());
+        assert!(c.submit(spec("b", 2), QosClass::Interactive).is_admitted());
+        match c.submit(spec("c", 2), QosClass::Interactive) {
+            Submit::Rejected {
+                retry_after,
+                reason,
+            } => {
+                assert_eq!(
+                    retry_after,
+                    Some(QosClass::Interactive.base_retry()),
+                    "quota rejection must carry the class retry hint"
+                );
+                assert!(reason.contains("2/2"), "{reason}");
+            }
+            Submit::Admitted => panic!("third interactive job must bounce"),
+        }
+        // Other classes are unaffected by the interactive quota.
+        assert!(c.submit(spec("c", 2), QosClass::Batch).is_admitted());
+        // Duplicate tenants are permanent rejections: no retry hint.
+        match c.submit(spec("a", 2), QosClass::Batch) {
+            Submit::Rejected { retry_after, .. } => assert_eq!(retry_after, None),
+            Submit::Admitted => panic!("duplicate tenant must bounce"),
+        }
+        // After the drive the quota frees up.
+        c.run_to_completion();
+        assert!(c.submit(spec("d", 2), QosClass::Interactive).is_admitted());
+    }
+
+    #[test]
+    fn single_replica_is_the_degenerate_case() {
+        let mut c = cluster(ClusterConfig {
+            replicas: 1,
+            ..ClusterConfig::default()
+        });
+        assert!(c.submit(spec("solo", 10), QosClass::Batch).is_admitted());
+        let report = c.run_to_completion();
+        assert_eq!(report.replicas, 1);
+        assert_eq!(report.steals, 0, "nothing to steal from");
+        let r = report.report_for("solo").unwrap();
+        assert_eq!(r.steps, 10);
+        assert!(
+            r.losses.last().unwrap() < r.losses.first().unwrap(),
+            "training must reduce loss: {:?}",
+            r.losses
+        );
+    }
+
+    #[test]
+    fn queued_eval_jobs_fuse_on_one_replica() {
+        let mut c = cluster(ClusterConfig {
+            replicas: 1,
+            slice_steps: 4,
+            ..ClusterConfig::default()
+        });
+        for t in ["e0", "e1", "e2"] {
+            let mut j = spec(t, 4);
+            j.eval_only = true;
+            j.dataset = DatasetSpec::Instruct {
+                world_seed: 5,
+                salt: 1,
+            };
+            assert!(c.submit(j, QosClass::Interactive).is_admitted());
+        }
+        let report = c.run_to_completion();
+        assert_eq!(report.reports.len(), 3);
+        assert_eq!(
+            report.fused_steps, 4,
+            "three co-queued eval tenants fuse into 4 fused steps"
+        );
+        assert_eq!(report.fused_jobs, 12, "3 tenants x 4 steps through fusion");
+        for r in &report.reports {
+            assert!(r.losses.iter().all(|l| l.is_finite()));
+        }
+    }
+
+    #[test]
+    fn injected_panic_quarantines_the_replica_and_the_run_completes() {
+        let mut c = cluster(ClusterConfig {
+            replicas: 2,
+            ..ClusterConfig::default()
+        });
+        for t in ["a", "b", "c", "d"] {
+            assert!(c.submit(spec(t, 6), QosClass::Batch).is_admitted());
+        }
+        c.inject_slice_panic("b");
+        let report = c.run_to_completion();
+        assert_eq!(report.quarantined.len(), 1, "exactly one replica lost");
+        assert!(report.failures.is_empty(), "survivor absorbs the work");
+        assert_eq!(report.reports.len(), 4);
+        for r in &report.reports {
+            assert_eq!(
+                r.steps, 6,
+                "{}: requeued job still meets its budget",
+                r.tenant
+            );
+        }
+    }
+
+    #[test]
+    fn panic_on_the_last_replica_fails_jobs_instead_of_hanging() {
+        let mut c = cluster(ClusterConfig {
+            replicas: 1,
+            slice_steps: 2,
+            ..ClusterConfig::default()
+        });
+        assert!(c.submit(spec("doomed", 6), QosClass::Batch).is_admitted());
+        assert!(c
+            .submit(spec("bystander", 6), QosClass::Batch)
+            .is_admitted());
+        c.inject_slice_panic("doomed");
+        let report = c.run_to_completion();
+        assert_eq!(report.quarantined, vec![0]);
+        assert_eq!(
+            report.failures.len() + report.reports.len(),
+            2,
+            "every job is accounted for: {:?}",
+            report.failures
+        );
+        assert!(
+            report.failures.iter().any(|f| f.tenant == "doomed"),
+            "{:?}",
+            report.failures
+        );
+    }
+}

@@ -19,7 +19,8 @@ use crate::policy::{
 };
 use crate::predictor::{pool_blocks, AttnSample, MlpSample};
 use lx_model::{
-    Activation, CaptureConfig, MicroBatch, Optimizer, StepOutcome, StepRequest, TransformerModel,
+    Activation, CaptureConfig, MicroBatch, Optimizer, PrepareHook, StepOutcome, StepRequest,
+    TransformerModel,
 };
 use lx_sparse::{NeuronBlockSet, PatternPool, PatternSpec};
 use lx_tensor::Tensor;
@@ -196,6 +197,7 @@ fn step_with(
     batch: usize,
     seq: usize,
     opt: Option<&mut dyn Optimizer>,
+    prepare: Option<PrepareHook<'_>>,
 ) -> StepOutcome {
     assert!(!batches.is_empty(), "at least one micro-batch");
     let metered = policy.metered();
@@ -220,6 +222,9 @@ fn step_with(
     .plan_source(source);
     for mb in &batches[1..] {
         req = req.micro_batch(mb.ids, mb.targets);
+    }
+    if let Some(hook) = prepare {
+        req = req.on_micro_batch(hook);
     }
     let mut out = model.execute(req);
     out.predict += setup;
@@ -407,7 +412,7 @@ impl FinetuneEngine {
         mode: StepMode,
     ) -> StepOutcome {
         policy_for_mode!(self, mode, policy => {
-            step_with(&mut self.model, policy, batches, batch, seq, Some(opt))
+            step_with(&mut self.model, policy, batches, batch, seq, Some(opt), None)
         })
     }
 
@@ -422,7 +427,15 @@ impl FinetuneEngine {
         opt: &mut dyn Optimizer,
         policy: &mut dyn SparsityPolicy,
     ) -> StepOutcome {
-        step_with(&mut self.model, policy, batches, batch, seq, Some(opt))
+        step_with(
+            &mut self.model,
+            policy,
+            batches,
+            batch,
+            seq,
+            Some(opt),
+            None,
+        )
     }
 
     /// Evaluation-only pass in the given mode: forward and loss under the
@@ -443,7 +456,29 @@ impl FinetuneEngine {
                 batch,
                 seq,
                 None,
+                None,
             )
+        })
+    }
+
+    /// Fused evaluation pass over several independent micro-batches
+    /// (cross-tenant batch fusion): every shard runs a stateless Eval
+    /// forward under the mode's plan source, `prepare` is invoked with the
+    /// model and shard index before each shard (the caller swaps tenant
+    /// adapters there), and [`StepOutcome::micro_losses`] carries each
+    /// shard's raw loss — bit-identical to running the shards as separate
+    /// [`Self::eval_step`] calls. Batch-specific policies (`Oracle`) are
+    /// rejected, same as accumulation.
+    pub fn eval_step_fused(
+        &mut self,
+        batches: &[MicroBatch<'_>],
+        batch: usize,
+        seq: usize,
+        mode: StepMode,
+        prepare: Option<PrepareHook<'_>>,
+    ) -> StepOutcome {
+        policy_for_mode!(self, mode, policy => {
+            step_with(&mut self.model, policy, batches, batch, seq, None, prepare)
         })
     }
 
@@ -861,6 +896,34 @@ mod tests {
         ];
         let mut opt = Sgd::new(0.01);
         e.train_step_accum(&micros, b, s, &mut opt, StepMode::Oracle);
+    }
+
+    #[test]
+    fn fused_eval_matches_separate_eval_steps_bit_identically() {
+        let mut e = small_engine();
+        let (ids_a, b, s) = batch(20);
+        let (ids_b, _, _) = batch(21);
+        let t_a = prompt_aware_targets(&ids_a, b, s, 0);
+        let t_b = prompt_aware_targets(&ids_b, b, s, 0);
+        let micros = [
+            lx_model::MicroBatch {
+                ids: &ids_a,
+                targets: &t_a,
+            },
+            lx_model::MicroBatch {
+                ids: &ids_b,
+                targets: &t_b,
+            },
+        ];
+        let calls = std::cell::RefCell::new(Vec::new());
+        let mut hook = |_: &mut TransformerModel, i: usize| calls.borrow_mut().push(i);
+        let fused = e.eval_step_fused(&micros, b, s, StepMode::Dense, Some(&mut hook));
+        assert_eq!(*calls.borrow(), vec![0, 1], "hook fires once per shard");
+        assert_eq!(fused.micro_batches, 2);
+        let solo_a = e.eval_step(&ids_a, &t_a, b, s, StepMode::Dense);
+        let solo_b = e.eval_step(&ids_b, &t_b, b, s, StepMode::Dense);
+        assert_eq!(fused.micro_losses[0].to_bits(), solo_a.loss.to_bits());
+        assert_eq!(fused.micro_losses[1].to_bits(), solo_b.loss.to_bits());
     }
 
     #[test]

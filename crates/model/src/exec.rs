@@ -85,6 +85,10 @@ pub enum Mode<'a> {
     Score,
 }
 
+/// Per-micro-batch preparation hook: `(model, shard index)` immediately
+/// before that shard's forward pass (see [`StepRequest::on_micro_batch`]).
+pub type PrepareHook<'a> = &'a mut dyn FnMut(&mut TransformerModel, usize);
+
 /// A typed description of one execution step. Build with the mode
 /// constructors, then chain [`Self::plan`]/[`Self::plan_source`],
 /// [`Self::micro_batch`], [`Self::loss_scale`] and [`Self::keep_logits`].
@@ -96,6 +100,7 @@ pub struct StepRequest<'a> {
     pub(crate) plan: PlanSource<'a>,
     pub(crate) keep_logits: bool,
     pub(crate) workspace: Option<&'a mut Workspace>,
+    pub(crate) prepare: Option<PrepareHook<'a>>,
 }
 
 impl<'a> StepRequest<'a> {
@@ -108,6 +113,7 @@ impl<'a> StepRequest<'a> {
             plan: PlanSource::Dense,
             keep_logits: false,
             workspace: None,
+            prepare: None,
         }
     }
 
@@ -170,12 +176,26 @@ impl<'a> StepRequest<'a> {
         self
     }
 
-    /// Append a micro-batch for gradient accumulation (Train/Grad modes):
-    /// gradients accumulate across all micro-batches and the optimizer runs
-    /// once, weighting each shard by its share of counted targets so the
-    /// update matches one fused batch.
+    /// Append a micro-batch. In Train/Grad modes this is gradient
+    /// accumulation: gradients accumulate across all micro-batches and the
+    /// optimizer runs once, weighting each shard by its share of counted
+    /// targets so the update matches one fused batch. In Eval/Score modes it
+    /// is batch *fusion*: every shard runs an independent stateless pass and
+    /// its raw loss is recorded in [`StepOutcome::micro_losses`],
+    /// bit-identical to running each shard as its own request.
     pub fn micro_batch(mut self, ids: &'a [u32], targets: &'a [i32]) -> Self {
         self.batches.push(MicroBatch { ids, targets });
+        self
+    }
+
+    /// Install a per-micro-batch preparation hook (stateless Eval/Score
+    /// modes only): called with the model and the micro-batch index
+    /// immediately before that shard's forward pass. This is the
+    /// cross-tenant fusion vehicle — `lx-cluster` swaps tenant adapters
+    /// between the fused shards of one request, so jobs from different
+    /// tenants share a single execution step.
+    pub fn on_micro_batch(mut self, hook: PrepareHook<'a>) -> Self {
+        self.prepare = Some(hook);
         self
     }
 
@@ -230,6 +250,14 @@ pub struct StepOutcome {
     pub skipped: bool,
     /// Number of micro-batches this step accumulated over.
     pub micro_batches: usize,
+    /// Per-micro-batch raw loss, one entry per shard in request order: the
+    /// unweighted shard cross-entropy (Train/Grad/Eval), the shard's summed
+    /// log-probability (Score), or 0 (Capture / target-less Eval). For fused
+    /// Eval/Score requests each entry is bit-identical to running that shard
+    /// as its own single-batch request — the de-fusion contract `lx-cluster`
+    /// relies on to hand every tenant exactly the loss it would have seen
+    /// unfused.
+    pub micro_losses: Vec<f32>,
 }
 
 impl StepOutcome {
@@ -276,13 +304,20 @@ impl TransformerModel {
             mut plan,
             keep_logits,
             workspace: _,
+            mut prepare,
         } = req;
         assert!(!batches.is_empty(), "StepRequest needs at least one batch");
         let eff = self.effective_seq(seq);
         let grad_mode = matches!(mode, Mode::Train { .. } | Mode::Grad);
+        let stateless_mode = matches!(mode, Mode::Eval | Mode::Score);
         assert!(
-            batches.len() == 1 || grad_mode,
-            "micro-batch accumulation requires a gradient mode (Train/Grad)"
+            batches.len() == 1 || grad_mode || stateless_mode,
+            "multi-batch requests need a gradient mode (Train/Grad accumulation) \
+             or a stateless mode (Eval/Score fusion); Capture takes one batch"
+        );
+        assert!(
+            prepare.is_none() || stateless_mode,
+            "on_micro_batch hooks apply to stateless Eval/Score fusion only"
         );
         if matches!(mode, Mode::Capture(_)) {
             assert!(
@@ -326,6 +361,11 @@ impl TransformerModel {
         };
         for (i, mb) in batches.iter().enumerate() {
             let _mb_span = Span::enter("model.micro_batch").cat("step").index(i as u64);
+            // Cross-tenant fusion point: let the caller reconfigure the model
+            // (swap the attached adapter) before this shard's forward pass.
+            if let Some(hook) = prepare.as_mut() {
+                hook(self, i);
+            }
             // The forward span covers the whole pass (planner included); the
             // planner's own time is metered by the `model.predict` spans it
             // emits, so `out.forward` is the span duration minus `pred_t` —
@@ -372,20 +412,39 @@ impl TransformerModel {
                 self.backward(&dlogits);
                 out.backward += bwd_span.finish();
                 loss_acc += loss as f64 * weight as f64;
+                out.micro_losses.push(loss);
             } else {
                 match mode {
                     Mode::Eval => {
+                        let shard = if mb.targets.is_empty() {
+                            0.0
+                        } else {
+                            loss::cross_entropy_loss(&logits, mb.targets)
+                        };
+                        out.micro_losses.push(shard);
                         if !mb.targets.is_empty() {
-                            loss_acc += loss::cross_entropy_loss(&logits, mb.targets) as f64;
+                            // Single-batch requests keep the raw shard loss
+                            // (bit-identical to the pre-fusion behaviour);
+                            // fused requests aggregate by counted-target share
+                            // like gradient accumulation does.
+                            if n_micro == 1 {
+                                loss_acc += shard as f64;
+                            } else if total_counted > 0 {
+                                loss_acc +=
+                                    shard as f64 * (counted[i] as f64 / total_counted as f64);
+                            }
                         }
                         self.clear_step_cache();
                     }
                     Mode::Score => {
-                        loss_acc += loss::sequence_logprob(&logits, mb.targets) as f64;
+                        let shard = loss::sequence_logprob(&logits, mb.targets);
+                        out.micro_losses.push(shard);
+                        loss_acc += shard as f64;
                         self.clear_step_cache();
                     }
                     Mode::Capture(_) => {
                         out.captures = Some(self.take_captures());
+                        out.micro_losses.push(0.0);
                         self.clear_step_cache();
                     }
                     Mode::Train { .. } | Mode::Grad => unreachable!(),
@@ -755,10 +814,85 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "gradient mode")]
-    fn accumulation_rejected_outside_gradient_modes() {
+    #[should_panic(expected = "Capture takes one batch")]
+    fn accumulation_rejected_in_capture_mode() {
         let mut m = tiny();
-        let (ids, targets) = sample(600);
-        m.execute(StepRequest::eval(&ids, &targets, BATCH, SEQ).micro_batch(&ids, &targets));
+        let (ids, _) = sample(600);
+        m.execute(
+            StepRequest::capture(&ids, BATCH, SEQ, CaptureConfig::default()).micro_batch(&ids, &[]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stateless Eval/Score fusion only")]
+    fn prepare_hook_rejected_in_gradient_modes() {
+        let mut m = tiny();
+        let (ids, targets) = sample(601);
+        let mut hook = |_: &mut TransformerModel, _: usize| {};
+        m.execute(StepRequest::grad(&ids, &targets, BATCH, SEQ).on_micro_batch(&mut hook));
+    }
+
+    #[test]
+    fn fused_eval_micro_losses_are_bit_identical_to_separate_requests() {
+        // The de-fusion contract: each shard of a fused Eval request must
+        // report exactly the loss it would have produced as its own request.
+        let shards: Vec<(Vec<u32>, Vec<i32>)> = (0..3).map(|k| sample(700 + k)).collect();
+        let mut fused_model = tiny();
+        let out = fused_model.execute(
+            StepRequest::eval(&shards[0].0, &shards[0].1, BATCH, SEQ)
+                .micro_batch(&shards[1].0, &shards[1].1)
+                .micro_batch(&shards[2].0, &shards[2].1),
+        );
+        assert_eq!(out.micro_batches, 3);
+        assert_eq!(out.micro_losses.len(), 3);
+        for (k, (ids, targets)) in shards.iter().enumerate() {
+            let mut solo = tiny();
+            let alone = solo.execute(StepRequest::eval(ids, targets, BATCH, SEQ));
+            assert_eq!(
+                out.micro_losses[k].to_bits(),
+                alone.loss.to_bits(),
+                "shard {k} fused loss must match its standalone request"
+            );
+            assert_eq!(alone.micro_losses, vec![alone.loss]);
+        }
+        assert!(out.loss.is_finite());
+    }
+
+    #[test]
+    fn fused_score_micro_losses_are_bit_identical_to_separate_requests() {
+        let shards: Vec<(Vec<u32>, Vec<i32>)> = (0..2).map(|k| sample(710 + k)).collect();
+        let mut fused_model = tiny();
+        let out = fused_model.execute(
+            StepRequest::score(&shards[0].0, &shards[0].1, BATCH, SEQ)
+                .micro_batch(&shards[1].0, &shards[1].1),
+        );
+        assert_eq!(out.micro_losses.len(), 2);
+        let mut sum = 0.0f64;
+        for (k, (ids, targets)) in shards.iter().enumerate() {
+            let mut solo = tiny();
+            let alone = solo.execute(StepRequest::score(ids, targets, BATCH, SEQ));
+            assert_eq!(
+                out.micro_losses[k].to_bits(),
+                alone.loss.to_bits(),
+                "shard {k}"
+            );
+            sum += alone.loss as f64;
+        }
+        assert_eq!(out.loss.to_bits(), (sum as f32).to_bits());
+    }
+
+    #[test]
+    fn prepare_hook_runs_once_per_shard_in_request_order() {
+        let (ids, targets) = sample(720);
+        let seen = std::cell::RefCell::new(Vec::new());
+        let mut hook = |_: &mut TransformerModel, i: usize| seen.borrow_mut().push(i);
+        let mut m = tiny();
+        m.execute(
+            StepRequest::eval(&ids, &targets, BATCH, SEQ)
+                .micro_batch(&ids, &targets)
+                .micro_batch(&ids, &targets)
+                .on_micro_batch(&mut hook),
+        );
+        assert_eq!(*seen.borrow(), vec![0, 1, 2]);
     }
 }

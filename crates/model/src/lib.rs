@@ -31,7 +31,8 @@ pub mod precision;
 
 pub use config::{Activation, ModelConfig};
 pub use exec::{
-    score_continuation, score_parts, MicroBatch, Mode, PlanSource, StepOutcome, StepRequest,
+    score_continuation, score_parts, MicroBatch, Mode, PlanSource, PrepareHook, StepOutcome,
+    StepRequest,
 };
 pub use model::{
     prompt_aware_targets, CaptureConfig, Captures, LayerCapture, LayerPlanner, TransformerModel,

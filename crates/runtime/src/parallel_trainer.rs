@@ -9,7 +9,7 @@
 //! argument for linear scaling.
 
 use lx_model::{Optimizer, SparsePlan, StepRequest, TransformerModel};
-use lx_tensor::Tensor;
+use lx_tensor::{Tensor, Workspace, WorkspaceStats};
 use std::time::{Duration, Instant};
 
 pub struct DataParallelTrainer {
@@ -19,6 +19,12 @@ pub struct DataParallelTrainer {
     gathered: Vec<Vec<Option<Tensor>>>,
     /// Broadcast snapshot of the updated trainable parameters, ditto.
     updated: Vec<Option<Tensor>>,
+    /// Pool backing the grad-exchange region (gather, reduce, optimizer
+    /// update, broadcast): snapshot clones triggered by shape changes and any
+    /// optimizer-state tensors draw from and park into this workspace, so the
+    /// exchange stays allocation-free in steady state alongside the replicas'
+    /// own step workspaces.
+    exchange_ws: Workspace,
 }
 
 /// Overwrite `slot` with `src` — in place when a matching buffer is already
@@ -41,6 +47,7 @@ impl DataParallelTrainer {
             replicas: (0..n_workers).map(|_| build()).collect(),
             gathered: (0..n_workers - 1).map(|_| Vec::new()).collect(),
             updated: Vec::new(),
+            exchange_ws: Workspace::from_env(),
         }
     }
 
@@ -51,6 +58,12 @@ impl DataParallelTrainer {
     /// Access the canonical replica (index 0) for evaluation.
     pub fn primary(&mut self) -> &mut TransformerModel {
         &mut self.replicas[0]
+    }
+
+    /// Reuse counters of the grad-exchange workspace: steady-state steps hit
+    /// the pool (or copy in place) instead of allocating.
+    pub fn exchange_workspace_stats(&self) -> WorkspaceStats {
+        self.exchange_ws.stats()
     }
 
     /// One synchronous data-parallel step over a global batch whose size
@@ -64,16 +77,22 @@ impl DataParallelTrainer {
         plan: Option<&SparsePlan>,
         opt: &mut dyn Optimizer,
     ) -> (f32, Duration) {
-        let n = self.replicas.len();
+        let Self {
+            replicas,
+            gathered,
+            updated,
+            exchange_ws,
+        } = self;
+        let n = replicas.len();
         assert_eq!(batch % n, 0, "global batch must divide by workers");
         let shard = batch / n;
-        let eff = self.replicas[0].effective_seq(seq);
+        let eff = replicas[0].effective_seq(seq);
         assert_eq!(ids.len(), batch * seq);
         assert_eq!(targets.len(), batch * eff);
         let t0 = Instant::now();
         let losses: Vec<f32> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (w, replica) in self.replicas.iter_mut().enumerate() {
+            for (w, replica) in replicas.iter_mut().enumerate() {
                 let ids_shard = &ids[w * shard * seq..(w + 1) * shard * seq];
                 let targets_shard = &targets[w * shard * eff..(w + 1) * shard * eff];
                 handles.push(scope.spawn(move || {
@@ -93,63 +112,63 @@ impl DataParallelTrainer {
         });
         // All-reduce: sum gradients into replica 0 (averaged by worker count
         // so the effective batch matches a single-device run). The snapshot
-        // buffers persist across steps and are overwritten in place.
+        // buffers persist across steps and are overwritten in place; any
+        // clone the exchange does need (first step, shape change) draws from
+        // and parks into the trainer's exchange workspace.
         let scale = 1.0 / n as f32;
-        let mut gathered = std::mem::take(&mut self.gathered);
-        for (replica, grads) in self.replicas[1..].iter_mut().zip(&mut gathered) {
-            let mut idx = 0usize;
-            replica.for_each_param(&mut |p| {
-                if grads.len() <= idx {
-                    grads.push(None);
-                }
-                let src = if p.trainable { p.grad.as_ref() } else { None };
-                snapshot_into(&mut grads[idx], src);
-                idx += 1;
-            });
-        }
-        {
-            let primary = &mut self.replicas[0];
-            let mut idx = 0usize;
-            primary.for_each_param(&mut |p| {
-                if p.trainable {
-                    let g = p.grad_mut();
-                    g.scale(scale);
-                    for other in &gathered {
-                        if let Some(og) = &other[idx] {
-                            g.axpy(scale, og);
+        exchange_ws.scope(|| {
+            for (replica, grads) in replicas[1..].iter_mut().zip(gathered.iter_mut()) {
+                let mut idx = 0usize;
+                replica.for_each_param(&mut |p| {
+                    if grads.len() <= idx {
+                        grads.push(None);
+                    }
+                    let src = if p.trainable { p.grad.as_ref() } else { None };
+                    snapshot_into(&mut grads[idx], src);
+                    idx += 1;
+                });
+            }
+            {
+                let primary = &mut replicas[0];
+                let mut idx = 0usize;
+                primary.for_each_param(&mut |p| {
+                    if p.trainable {
+                        let g = p.grad_mut();
+                        g.scale(scale);
+                        for other in gathered.iter() {
+                            if let Some(og) = &other[idx] {
+                                g.axpy(scale, og);
+                            }
                         }
                     }
-                }
-                idx += 1;
-            });
-            opt.begin_step();
-            primary.for_each_param(&mut |p| opt.update(p));
-        }
-        // Broadcast updated trainable params to the other replicas (same
-        // reused-snapshot discipline as the gradient gather).
-        let mut updated = std::mem::take(&mut self.updated);
-        {
-            let mut idx = 0usize;
-            self.replicas[0].for_each_param(&mut |p| {
-                if updated.len() <= idx {
-                    updated.push(None);
-                }
-                let src = if p.trainable { Some(&p.value) } else { None };
-                snapshot_into(&mut updated[idx], src);
-                idx += 1;
-            });
-        }
-        for replica in self.replicas[1..].iter_mut() {
-            let mut idx = 0usize;
-            replica.for_each_param(&mut |p| {
-                if let Some(v) = &updated[idx] {
-                    p.value.as_mut_slice().copy_from_slice(v.as_slice());
-                }
-                idx += 1;
-            });
-        }
-        self.gathered = gathered;
-        self.updated = updated;
+                    idx += 1;
+                });
+                opt.begin_step();
+                primary.for_each_param(&mut |p| opt.update(p));
+            }
+            // Broadcast updated trainable params to the other replicas (same
+            // reused-snapshot discipline as the gradient gather).
+            {
+                let mut idx = 0usize;
+                replicas[0].for_each_param(&mut |p| {
+                    if updated.len() <= idx {
+                        updated.push(None);
+                    }
+                    let src = if p.trainable { Some(&p.value) } else { None };
+                    snapshot_into(&mut updated[idx], src);
+                    idx += 1;
+                });
+            }
+            for replica in replicas[1..].iter_mut() {
+                let mut idx = 0usize;
+                replica.for_each_param(&mut |p| {
+                    if let Some(v) = &updated[idx] {
+                        p.value.as_mut_slice().copy_from_slice(v.as_slice());
+                    }
+                    idx += 1;
+                });
+            }
+        });
         let elapsed = t0.elapsed();
         (losses.iter().sum::<f32>() / n as f32, elapsed)
     }

@@ -15,6 +15,11 @@
 //!   [`lx_peft::TenantAdapter`] blobs plus the *shared* calibrated
 //!   predictor checkpoint (`long_exposure::checkpoint` format), so both
 //!   adapters and the one-time calibration survive restarts;
+//! * [`tenant`] — the per-tenant execution unit ([`TenantTask`]): all of a
+//!   job's mutable state (adapter, optimizer, data cursor, warm workspace)
+//!   plus the slice-execution logic, reusable by both the single-backbone
+//!   scheduler below and `lx-cluster`'s replicated dispatcher — including
+//!   cross-tenant fused eval slices ([`run_fused_eval_slice`]);
 //! * [`scheduler`] — the deterministic core: round-robin / fair-share
 //!   time-slices that attach a tenant's adapter to the shared frozen
 //!   backbone, train with the tenant's own optimizer, and detach. Because
@@ -55,9 +60,11 @@ pub mod metrics;
 pub mod registry;
 pub mod scheduler;
 pub mod service;
+pub mod tenant;
 
 pub use job::{DatasetSpec, JobReport, JobSpec, JobState, StepEvent};
 pub use metrics::{MetricsSnapshot, ServeMetrics, TenantMetrics};
 pub use registry::AdapterRegistry;
-pub use scheduler::{ProgressSink, SchedPolicy, Scheduler, ServeConfig};
+pub use scheduler::{SchedPolicy, Scheduler, ServeConfig};
 pub use service::{FinetuneService, JobTicket, ProgressStream};
+pub use tenant::{run_fused_eval_slice, ProgressSink, SliceOutcome, TenantTask};

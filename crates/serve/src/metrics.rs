@@ -38,6 +38,11 @@ fn rate(count: u64, d: Duration) -> f64 {
     }
 }
 
+/// Default cap on per-tenant Prometheus series: the top
+/// [`DEFAULT_TENANT_SERIES_CAP`] tenants by traffic get their own labeled
+/// series, everything else rolls up into `tenant="other"`.
+pub const DEFAULT_TENANT_SERIES_CAP: usize = 32;
+
 /// Live metrics owned by the scheduler; snapshot with [`ServeMetrics::snapshot`].
 #[derive(Debug)]
 pub struct ServeMetrics {
@@ -48,6 +53,12 @@ pub struct ServeMetrics {
     pub total_tokens: u64,
     pub total_busy: Duration,
     pub per_tenant: BTreeMap<String, TenantMetrics>,
+    /// Label-cardinality guard for [`MetricsSnapshot::render_prometheus`]:
+    /// only the top-K tenants by tokens processed are exposed as individual
+    /// `tenant="…"` series; the rest aggregate into `tenant="other"`. A
+    /// 1000-tenant fleet must not bloat the exposition (or the scrape
+    /// database) with 6000 series.
+    pub tenant_series_cap: usize,
 }
 
 impl Default for ServeMetrics {
@@ -60,6 +71,7 @@ impl Default for ServeMetrics {
             total_tokens: 0,
             total_busy: Duration::ZERO,
             per_tenant: BTreeMap::new(),
+            tenant_series_cap: DEFAULT_TENANT_SERIES_CAP,
         }
     }
 }
@@ -95,6 +107,26 @@ impl ServeMetrics {
             total_tokens: self.total_tokens,
             total_busy: self.total_busy,
             per_tenant: self.per_tenant.clone(),
+            tenant_series_cap: self.tenant_series_cap,
+        }
+    }
+
+    /// Fold another scheduler's metrics into this one (cluster aggregation:
+    /// every replica worker records into one shared `ServeMetrics`, or
+    /// per-replica metrics merge at report time).
+    pub fn merge(&mut self, other: &ServeMetrics) {
+        self.completed_jobs += other.completed_jobs;
+        self.total_steps += other.total_steps;
+        self.total_tokens += other.total_tokens;
+        self.total_busy += other.total_busy;
+        for (tenant, m) in &other.per_tenant {
+            let t = self.per_tenant.entry(tenant.clone()).or_default();
+            t.steps += m.steps;
+            t.tokens += m.tokens;
+            t.busy += m.busy;
+            t.swap += m.swap;
+            t.slices += m.slices;
+            t.last_loss = m.last_loss;
         }
     }
 }
@@ -109,6 +141,8 @@ pub struct MetricsSnapshot {
     pub total_tokens: u64,
     pub total_busy: Duration,
     pub per_tenant: BTreeMap<String, TenantMetrics>,
+    /// See [`ServeMetrics::tenant_series_cap`].
+    pub tenant_series_cap: usize,
 }
 
 impl MetricsSnapshot {
@@ -194,8 +228,16 @@ impl MetricsSnapshot {
             "Aggregate steps/sec over service wall time.",
             self.aggregate_steps_per_sec(),
         );
-        for (tenant, m) in &self.per_tenant {
-            let t = tenant.replace('"', "'");
+        // Cardinality guard: individual series only for the top-K tenants by
+        // traffic (tokens processed, ties broken by name for a deterministic
+        // exposition); everything past the cap aggregates into one
+        // `tenant="other"` rollup, so a 1000-tenant run emits a bounded
+        // number of lines.
+        let mut ranked: Vec<(&String, &TenantMetrics)> = self.per_tenant.iter().collect();
+        ranked.sort_by(|a, b| b.1.tokens.cmp(&a.1.tokens).then_with(|| a.0.cmp(b.0)));
+        let cap = self.tenant_series_cap.max(1).min(ranked.len());
+        let mut tenant_series = |label: &str, m: &TenantMetrics, with_loss: bool| {
+            let t = label.replace('"', "'");
             let _ = writeln!(
                 out,
                 "lx_serve_tenant_steps_total{{tenant=\"{t}\"}} {}",
@@ -221,11 +263,29 @@ impl MetricsSnapshot {
                 "lx_serve_tenant_slices_total{{tenant=\"{t}\"}} {}",
                 m.slices
             );
-            let _ = writeln!(
-                out,
-                "lx_serve_tenant_last_loss{{tenant=\"{t}\"}} {}",
-                m.last_loss
-            );
+            if with_loss {
+                let _ = writeln!(
+                    out,
+                    "lx_serve_tenant_last_loss{{tenant=\"{t}\"}} {}",
+                    m.last_loss
+                );
+            }
+        };
+        for (tenant, m) in &ranked[..cap] {
+            tenant_series(tenant, m, true);
+        }
+        if ranked.len() > cap {
+            let mut rollup = TenantMetrics::default();
+            for (_, m) in &ranked[cap..] {
+                rollup.steps += m.steps;
+                rollup.tokens += m.tokens;
+                rollup.busy += m.busy;
+                rollup.swap += m.swap;
+                rollup.slices += m.slices;
+            }
+            // No last_loss for the rollup: a loss averaged across tenants is
+            // not a meaningful series.
+            tenant_series("other", &rollup, false);
         }
         out.push_str(&lx_obs::registry().render_prometheus());
         out
@@ -300,6 +360,7 @@ mod tests {
             total_tokens: 0,
             total_busy: Duration::ZERO,
             per_tenant: BTreeMap::new(),
+            tenant_series_cap: DEFAULT_TENANT_SERIES_CAP,
         };
         for v in [
             snap.aggregate_steps_per_sec(),
@@ -337,5 +398,67 @@ mod tests {
             let (_, value) = line.rsplit_once(' ').expect("series line");
             assert!(value.parse::<f64>().is_ok(), "bad series line: {line}");
         }
+    }
+
+    #[test]
+    fn tenant_series_are_capped_with_an_other_rollup() {
+        // 1000 tenants, distinct traffic: the exposition must stay bounded
+        // at cap tenants' series plus one `other` rollup, and the rollup
+        // must conserve the totals the capped tenants no longer carry.
+        let mut m = ServeMetrics {
+            tenant_series_cap: 8,
+            ..ServeMetrics::default()
+        };
+        for i in 0..1000u64 {
+            m.record_slice(
+                &format!("tenant-{i:04}"),
+                2,
+                // tenant-0999 has the most traffic, tenant-0000 the least.
+                16 * (i + 1),
+                Duration::from_millis(10),
+                Duration::ZERO,
+                1.0,
+            );
+        }
+        let snap = m.snapshot();
+        let text = snap.render_prometheus();
+        let tenant_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("lx_serve_tenant_"))
+            .collect();
+        // 8 tenants x 6 series + 1 rollup x 5 series (no last_loss).
+        assert_eq!(tenant_lines.len(), 8 * 6 + 5, "bounded exposition");
+        // Top-by-traffic survives; the long tail does not.
+        assert!(text.contains("tenant=\"tenant-0999\""));
+        assert!(!text.contains("tenant=\"tenant-0000\""));
+        assert!(!text.contains("lx_serve_tenant_last_loss{tenant=\"other\"}"));
+        // The rollup conserves steps: 1000 tenants x 2 steps each.
+        let rollup_steps: u64 = text
+            .lines()
+            .find(|l| l.starts_with("lx_serve_tenant_steps_total{tenant=\"other\"}"))
+            .and_then(|l| l.rsplit_once(' '))
+            .map(|(_, v)| v.parse().unwrap())
+            .expect("other rollup present");
+        assert_eq!(rollup_steps, (1000 - 8) * 2);
+        // Aggregate service totals are untouched by the cap.
+        assert!(text.contains(&format!("lx_serve_steps_total {}", 1000 * 2)));
+    }
+
+    #[test]
+    fn merge_folds_per_tenant_and_totals() {
+        let mut a = ServeMetrics::default();
+        a.record_slice("x", 4, 64, Duration::from_millis(100), Duration::ZERO, 2.0);
+        let mut b = ServeMetrics::default();
+        b.record_slice("x", 2, 32, Duration::from_millis(50), Duration::ZERO, 1.0);
+        b.record_slice("y", 1, 16, Duration::from_millis(25), Duration::ZERO, 3.0);
+        b.completed_jobs = 2;
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.total_steps, 7);
+        assert_eq!(snap.total_tokens, 112);
+        assert_eq!(snap.completed_jobs, 2);
+        assert_eq!(snap.per_tenant["x"].steps, 6);
+        assert_eq!(snap.per_tenant["x"].slices, 2);
+        assert_eq!(snap.per_tenant["y"].steps, 1);
     }
 }

@@ -14,30 +14,16 @@
 //! prefetched concurrently on the `lx-parallel` worker pool, so data
 //! generation never sits on the critical path.
 
-use crate::job::{JobReport, JobSpec, StepEvent};
+use crate::job::{JobReport, JobSpec};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::AdapterRegistry;
+use crate::tenant::TenantTask;
 use long_exposure::engine::{EngineConfig, FinetuneEngine, StepMode};
-use lx_data::Batcher;
-use lx_model::{prompt_aware_targets, AdamW, MicroBatch, Precision, TransformerModel};
-use lx_obs::{registry, Histogram, Span};
-use lx_peft::TenantAdapter;
-use lx_tensor::Workspace;
-use std::collections::VecDeque;
-use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use lx_model::{Precision, TransformerModel};
+use lx_obs::{registry, Histogram};
+use std::sync::Arc;
 
-/// Always-on `serve.step.ns` latency histogram across all tenants — one
-/// record per scheduled train/eval step, feeding the p50/p99 columns of
-/// `serve_throughput --json` and the Prometheus exposition.
-fn serve_step_histogram() -> &'static Arc<Histogram> {
-    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
-    H.get_or_init(|| registry().histogram("serve.step.ns"))
-}
-
-/// Per-step observer for one job: called by the scheduler thread after every
-/// training/evaluation step with that step's [`StepEvent`].
-pub type ProgressSink = Box<dyn FnMut(StepEvent) + Send>;
+pub use crate::tenant::ProgressSink;
 
 /// How the next tenant is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,55 +67,15 @@ impl Default for ServeConfig {
     }
 }
 
+/// A [`TenantTask`] plus the scheduler-side per-tenant instrumentation the
+/// task itself does not carry (labeled histograms are a scheduler concern —
+/// `lx-cluster` aggregates at replica granularity instead).
 struct ActiveJob {
-    spec: JobSpec,
-    adapter: TenantAdapter,
-    opt: AdamW,
-    batcher: Batcher,
-    pending: VecDeque<Vec<u32>>,
-    steps_done: u64,
-    losses: Vec<f32>,
-    busy: Duration,
-    progress: Option<ProgressSink>,
-    /// Per-tenant step workspace: swapped into the shared backbone for the
-    /// tenant's slice (like the adapter) and retained across slices, so a
-    /// tenant's steady-state steps stay allocation-free even under
-    /// interleaving with differently-shaped tenants.
-    workspace: Workspace,
-    /// When this job last became runnable (admission, or the end of its
-    /// previous slice) — the scheduler's queue-wait clock.
-    ready_since: Instant,
+    task: TenantTask,
     /// `serve.slice.wait_ns{tenant}`: time from runnable to scheduled.
     wait_hist: Arc<Histogram>,
     /// `serve.slice.run_ns{tenant}`: busy time per scheduled slice.
     run_hist: Arc<Histogram>,
-}
-
-impl ActiveJob {
-    fn remaining(&self) -> u64 {
-        self.spec.steps - self.steps_done
-    }
-
-    /// Batches one step consumes (micro-batch accumulation draws several).
-    fn batches_per_step(&self) -> usize {
-        self.spec.micro_batches
-    }
-
-    /// Fill the pending-batch queue up to `depth` *steps* worth of batches.
-    fn prefetch(&mut self, depth: usize) {
-        let want = (depth * self.batches_per_step())
-            .min(self.remaining() as usize * self.batches_per_step());
-        while self.pending.len() < want {
-            let ids = self.batcher.next_batch(self.spec.batch, self.spec.seq);
-            self.pending.push_back(ids);
-        }
-    }
-
-    fn next_ids(&mut self) -> Vec<u32> {
-        self.pending
-            .pop_front()
-            .unwrap_or_else(|| self.batcher.next_batch(self.spec.batch, self.spec.seq))
-    }
 }
 
 /// Multi-tenant fine-tuning scheduler over one shared backbone.
@@ -221,73 +167,31 @@ impl Scheduler {
 
     /// [`Self::submit`] with a per-step observer: `progress` is invoked on
     /// the scheduler thread after every step of this job with a
-    /// [`StepEvent`] (losses, densities, step wall time).
+    /// [`StepEvent`](crate::StepEvent) (losses, densities, step wall time).
     pub fn submit_with_progress(
         &mut self,
         spec: JobSpec,
         progress: Option<ProgressSink>,
     ) -> Result<(), String> {
-        spec.validate()?;
-        if self.active.iter().any(|j| j.spec.tenant == spec.tenant) {
+        if self
+            .active
+            .iter()
+            .any(|j| j.task.spec.tenant == spec.tenant)
+        {
             return Err(format!("tenant {} already has an active job", spec.tenant));
         }
-        if self.config.mode == StepMode::Sparse {
-            if !self.engine.calibrated {
-                return Err(
-                    "sparse serving requires shared predictors: call calibrate_shared() first"
-                        .into(),
-                );
-            }
-            // Reject misaligned jobs here rather than panicking mid-slice:
-            // the effective sequence (seq + any prompt prefix) must tile
-            // into score blocks.
-            let prompt_len = match spec.method {
-                lx_peft::PeftMethod::PromptTuning { prompt_len } => prompt_len,
-                _ => 0,
-            };
-            let eff = spec.seq + prompt_len;
-            let block = self.engine.config.block_size;
-            if !eff.is_multiple_of(block) {
-                return Err(format!(
-                    "sparse serving needs block-aligned sequences: seq {} + prompt {} = {} is not a multiple of block size {}",
-                    spec.seq, prompt_len, eff, block
-                ));
-            }
-        }
-        let adapter = match self.registry.get(&spec.tenant)? {
-            Some(existing) => {
-                if existing.method != spec.method {
-                    return Err(format!(
-                        "tenant {} has a stored {} adapter but the job requests {}",
-                        spec.tenant,
-                        existing.method.name(),
-                        spec.method.name()
-                    ));
-                }
-                existing
-            }
-            None => {
-                TenantAdapter::initialise(&mut self.engine.model, spec.method, spec.adapter_seed)
-            }
-        };
-        let vocab = self.engine.model.config.vocab_size as u32;
-        let batcher = spec.dataset.build_batcher(vocab, spec.stream_len);
-        let opt = AdamW::new(spec.lr, 0.01);
-        let labels = [("tenant", spec.tenant.as_str())];
+        let task = TenantTask::admit(
+            spec,
+            progress,
+            &mut self.engine,
+            self.config.mode,
+            &self.registry,
+        )?;
+        let labels = [("tenant", task.spec.tenant.as_str())];
         let wait_hist = registry().histogram_labeled("serve.slice.wait_ns", &labels);
         let run_hist = registry().histogram_labeled("serve.slice.run_ns", &labels);
         self.active.push(ActiveJob {
-            spec,
-            adapter,
-            opt,
-            batcher,
-            pending: VecDeque::new(),
-            steps_done: 0,
-            losses: Vec::new(),
-            busy: Duration::ZERO,
-            progress,
-            workspace: Workspace::from_env(),
-            ready_since: Instant::now(),
+            task,
             wait_hist,
             run_hist,
         });
@@ -309,7 +213,7 @@ impl Scheduler {
                 .active
                 .iter()
                 .enumerate()
-                .min_by_key(|(i, j)| (j.steps_done, *i))
+                .min_by_key(|(i, j)| (j.task.steps_done, *i))
                 .map(|(i, _)| i),
         }
     }
@@ -321,8 +225,8 @@ impl Scheduler {
         let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
             .active
             .iter_mut()
-            .filter(|j| j.pending.len() < depth.min(j.remaining() as usize))
-            .map(|job| Box::new(move || job.prefetch(depth)) as Box<dyn FnOnce() + Send + '_>)
+            .filter(|j| j.task.wants_prefetch(depth))
+            .map(|job| Box::new(move || job.task.prefetch(depth)) as Box<dyn FnOnce() + Send + '_>)
             .collect();
         pool.run_scoped(tasks);
     }
@@ -336,102 +240,25 @@ impl Scheduler {
         }
         let idx = self.pick_job()?;
         let job = &mut self.active[idx];
-        let _slice_span = Span::enter("serve.slice")
-            .cat("serve")
-            .tenant(&job.spec.tenant);
-        job.wait_hist.record_duration(job.ready_since.elapsed());
-        if self.last_tenant.as_deref() != Some(job.spec.tenant.as_str()) {
+        job.wait_hist
+            .record_duration(job.task.ready_since.elapsed());
+        if self.last_tenant.as_deref() != Some(job.task.spec.tenant.as_str()) {
             self.engine.invalidate_plan_cache();
-            self.last_tenant = Some(job.spec.tenant.clone());
+            self.last_tenant = Some(job.task.spec.tenant.clone());
         }
-        let attach_span = Span::enter("serve.attach").cat("serve");
-        let t_attach = Instant::now();
-        // The tenant's step workspace rides along with its adapter: pooled
-        // step buffers stay warm across this tenant's slices. Attaching
-        // inside the scope lets the adapter's buffers recycle too.
-        self.engine.model.swap_workspace(&mut job.workspace);
-        let adapter = &job.adapter;
-        self.engine.model.workspace_scope(|m| adapter.attach_to(m));
-        let mut swap = t_attach.elapsed();
-        drop(attach_span);
-        let prompt_len = self.engine.model.embedding.prompt_len();
-        let n_steps = self.config.slice_steps.min(job.remaining());
-        let mut slice_busy = Duration::ZERO;
-        let mut last_loss = f32::NAN;
-        for _ in 0..n_steps {
-            let (batch, seq) = (job.spec.batch, job.spec.seq);
-            let micro_ids: Vec<Vec<u32>> = (0..job.batches_per_step())
-                .map(|_| job.next_ids())
-                .collect();
-            let micro_targets: Vec<Vec<i32>> = micro_ids
-                .iter()
-                .map(|ids| prompt_aware_targets(ids, batch, seq, prompt_len))
-                .collect();
-            let micros: Vec<MicroBatch<'_>> = micro_ids
-                .iter()
-                .zip(&micro_targets)
-                .map(|(ids, targets)| MicroBatch { ids, targets })
-                .collect();
-            let t0 = Instant::now();
-            let outcome = if job.spec.eval_only {
-                self.engine.eval_step(
-                    micros[0].ids,
-                    micros[0].targets,
-                    batch,
-                    seq,
-                    self.config.mode,
-                )
-            } else {
-                self.engine
-                    .train_step_accum(&micros, batch, seq, &mut job.opt, self.config.mode)
-            };
-            let step_time = t0.elapsed();
-            serve_step_histogram().record_duration(step_time);
-            slice_busy += step_time;
-            last_loss = outcome.loss;
-            job.losses.push(outcome.loss);
-            job.steps_done += 1;
-            if let Some(sink) = &mut job.progress {
-                sink(StepEvent {
-                    tenant: job.spec.tenant.clone(),
-                    step: job.steps_done,
-                    total_steps: job.spec.steps,
-                    loss: outcome.loss,
-                    attn_density: outcome.attn_density,
-                    mlp_density: outcome.mlp_density,
-                    step_time,
-                    micro_batches: outcome.micro_batches,
-                    eval: job.spec.eval_only,
-                });
-            }
-        }
-        let detach_span = Span::enter("serve.detach").cat("serve");
-        let t_detach = Instant::now();
-        // Extract and detach inside the tenant scope so the dropped adapter
-        // params and their gradient buffers park in the tenant's pool, then
-        // hand the workspace back to the job.
-        let (method, seed) = (job.spec.method, job.spec.adapter_seed);
-        job.adapter = self.engine.model.workspace_scope(|m| {
-            let adapter = TenantAdapter::extract_from(m, method, seed);
-            lx_peft::detach(m);
-            adapter
-        });
-        self.engine.model.swap_workspace(&mut job.workspace);
-        swap += t_detach.elapsed();
-        drop(detach_span);
-        job.busy += slice_busy;
-        job.run_hist.record_duration(slice_busy);
-        job.ready_since = Instant::now();
-        let tokens = n_steps * (job.spec.batch * job.spec.seq * job.spec.micro_batches) as u64;
+        let out = job
+            .task
+            .run_slice(&mut self.engine, self.config.mode, self.config.slice_steps);
+        job.run_hist.record_duration(out.busy);
         self.metrics.record_slice(
-            &job.spec.tenant,
-            n_steps,
-            tokens,
-            slice_busy,
-            swap,
-            last_loss,
+            &job.task.spec.tenant,
+            out.steps,
+            out.tokens,
+            out.busy,
+            out.swap,
+            out.last_loss,
         );
-        if job.remaining() == 0 {
+        if job.task.remaining() == 0 {
             let job = self.active.remove(idx);
             // Removal shifts the completed job's successor into `idx`; point
             // the round-robin cursor there so the successor goes next. (The
@@ -439,17 +266,11 @@ impl Scheduler {
             // tenant once it has wrapped past the list length.)
             self.rr_cursor = idx;
             self.registry
-                .put(&job.spec.tenant, &job.adapter)
+                .put(&job.task.spec.tenant, job.task.adapter())
                 .expect("failed to persist finished adapter");
             self.metrics.completed_jobs += 1;
             self.metrics.queue_depth = self.active.len();
-            return Some(JobReport {
-                tenant: job.spec.tenant,
-                steps: job.steps_done,
-                losses: job.losses,
-                busy: job.busy,
-                adapter_params: job.adapter.num_params(),
-            });
+            return Some(job.task.into_report());
         }
         None
     }
@@ -471,8 +292,8 @@ impl Scheduler {
     pub fn tenant_workspace_stats(&self, tenant: &str) -> Option<lx_tensor::WorkspaceStats> {
         self.active
             .iter()
-            .find(|j| j.spec.tenant == tenant)
-            .map(|j| j.workspace.stats())
+            .find(|j| j.task.spec.tenant == tenant)
+            .map(|j| j.task.workspace_stats())
     }
 
     /// Tear down, returning the pristine backbone for reuse.

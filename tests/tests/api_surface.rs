@@ -21,6 +21,7 @@ const CRATES: &[(&str, &str)] = &[
     ("lx-model", "crates/model/src"),
     ("lx-core", "crates/core/src"),
     ("lx-serve", "crates/serve/src"),
+    ("lx-cluster", "crates/cluster/src"),
 ];
 
 const BASELINE: &str = "api/public_api.txt";
