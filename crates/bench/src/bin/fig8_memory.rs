@@ -105,7 +105,7 @@ fn main() {
         "\nshape to check: attention-buffer term grows 4x per seq doubling when dense, ~2x sparse."
     );
 
-    println!("\n== Precision modes (measured): backbone storage f32/f16/int8/nf4 ==\n");
+    println!("\n== Precision modes (measured): backbone storage f32/f16/int8/nf4/nm24 ==\n");
     header(&[
         "model",
         "precision",
@@ -125,6 +125,7 @@ fn main() {
         Precision::F16Frozen,
         Precision::Int8Frozen,
         Precision::Nf4Frozen,
+        Precision::Nm24Frozen,
     ] {
         let before = memtrack::current_bytes();
         let mut model = lx_bench::sim_model(ModelConfig::opt_sim_small(), 42);
@@ -146,14 +147,16 @@ fn main() {
         ]);
     }
     println!(
-        "\nacceptance (measured, vs the f32 run): f16 ≤ 0.55x, int8 ≤ 0.30x, nf4 ≤ 0.17x \
-         (matrices shrink; biases/LayerNorm stay f32)."
+        "\nacceptance (measured, vs the f32 run): f16 ≤ 0.55x, int8 ≤ 0.30x, nf4 ≤ 0.17x, \
+         nm24 ≤ 0.60x (matrices shrink; biases/LayerNorm stay f32; 2:4 matrices are \
+         0.5625x — half the values plus one mask byte per group of four)."
     );
     if cli.smoke {
         let gates = [
             (Precision::F16Frozen, 0.55),
             (Precision::Int8Frozen, 0.30),
             (Precision::Nf4Frozen, 0.17),
+            (Precision::Nm24Frozen, 0.60),
         ];
         let mut failed = false;
         for (precision, gate) in gates {

@@ -35,7 +35,10 @@ use lx_tensor::memtrack;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-const WARMUP: usize = 2;
+// Three, not two: the workspace pool needs to see every slab-gather width
+// the drifting plan produces before allocations reach zero, and the 2:4
+// backbone's plans take one drift longer to cover their widths than f16's.
+const WARMUP: usize = 3;
 const REUSE_STEPS: usize = 24;
 
 fn fmt_ms(d: Duration) -> String {
@@ -225,9 +228,16 @@ fn main() {
         "ws hits",
         "ws misses",
     ]);
-    let arms = [("dense", StepMode::Dense), ("sparse", StepMode::Sparse)];
+    // The nm24 row is the compound-speedup probe: activation sparsity (the
+    // sparse plan) stacked on weight sparsity (the 2:4 backbone, packed
+    // straight from compacted storage) in one training step.
+    let arms = [
+        ("dense", StepMode::Dense, precision),
+        ("sparse", StepMode::Sparse, precision),
+        ("sparse nm24", StepMode::Sparse, Precision::Nm24Frozen),
+    ];
     let mut steady = Vec::new();
-    for (label, mode) in arms {
+    for (label, mode, precision) in arms {
         let s = steady_state(cfg.clone(), precision, batch, seq, mode, label, measured);
         row(&[
             s.mode.to_string(),
@@ -263,33 +273,40 @@ fn main() {
         "reuse speedup",
         "max loss dev",
     ]);
-    let every = reuse_arm(cfg.clone(), precision, batch, seq, 1);
-    let reused = reuse_arm(cfg.clone(), precision, batch, seq, 4);
-    let max_dev = every
-        .losses
-        .iter()
-        .zip(&reused.losses)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
-    let speedup = every.predict.as_secs_f64() / reused.predict.as_secs_f64().max(1e-12);
-    row(&[
-        "predict every step".into(),
-        every.predicted_steps.to_string(),
-        every.reused_steps.to_string(),
-        fmt_ms(every.predict),
-        every.decoded.to_string(),
-        "1.00x".into(),
-        "0.000".into(),
-    ]);
-    row(&[
-        "reuse interval 4".into(),
-        reused.predicted_steps.to_string(),
-        reused.reused_steps.to_string(),
-        fmt_ms(reused.predict),
-        reused.decoded.to_string(),
-        format!("{speedup:.2}x"),
-        format!("{max_dev:.3}"),
-    ]);
+    // One arm pair per backbone storage plan: the CLI precision and the 2:4
+    // backbone (whose slab decodes come from compacted nm storage). Both
+    // speedup rows regression-gate via `--compare`.
+    let mut reuse_pairs = Vec::new();
+    for (suffix, arm_precision) in [("", precision), (" nm24", Precision::Nm24Frozen)] {
+        let every = reuse_arm(cfg.clone(), arm_precision, batch, seq, 1);
+        let reused = reuse_arm(cfg.clone(), arm_precision, batch, seq, 4);
+        let max_dev = every
+            .losses
+            .iter()
+            .zip(&reused.losses)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        let speedup = every.predict.as_secs_f64() / reused.predict.as_secs_f64().max(1e-12);
+        row(&[
+            format!("predict every step{suffix}"),
+            every.predicted_steps.to_string(),
+            every.reused_steps.to_string(),
+            fmt_ms(every.predict),
+            every.decoded.to_string(),
+            "1.00x".into(),
+            "0.000".into(),
+        ]);
+        row(&[
+            format!("reuse interval 4{suffix}"),
+            reused.predicted_steps.to_string(),
+            reused.reused_steps.to_string(),
+            fmt_ms(reused.predict),
+            reused.decoded.to_string(),
+            format!("{speedup:.2}x"),
+            format!("{max_dev:.3}"),
+        ]);
+        reuse_pairs.push((suffix, every, reused, max_dev));
+    }
     if let Some(est) = &overhead {
         println!();
         header(&["instrumentation", "span cost ns", "ops/step", "overhead"]);
@@ -369,23 +386,25 @@ fn main() {
                 gate_failed = true;
             }
         }
-        if reused.predict >= every.predict {
-            eprintln!(
-                "step_bench: plan reuse did not reduce predict time ({:?} vs {:?})",
-                reused.predict, every.predict
-            );
-            gate_failed = true;
-        }
-        if reused.decoded > every.decoded {
-            eprintln!(
-                "step_bench: plan reuse decoded more slabs ({} vs {})",
-                reused.decoded, every.decoded
-            );
-            gate_failed = true;
-        }
-        if max_dev > 0.05 {
-            eprintln!("step_bench: reuse loss curve deviated by {max_dev} (> 0.05)");
-            gate_failed = true;
+        for (suffix, every, reused, max_dev) in &reuse_pairs {
+            if reused.predict >= every.predict {
+                eprintln!(
+                    "step_bench: plan reuse{suffix} did not reduce predict time ({:?} vs {:?})",
+                    reused.predict, every.predict
+                );
+                gate_failed = true;
+            }
+            if reused.decoded > every.decoded {
+                eprintln!(
+                    "step_bench: plan reuse{suffix} decoded more slabs ({} vs {})",
+                    reused.decoded, every.decoded
+                );
+                gate_failed = true;
+            }
+            if *max_dev > 0.05 {
+                eprintln!("step_bench: reuse{suffix} loss curve deviated by {max_dev} (> 0.05)");
+                gate_failed = true;
+            }
         }
         if let Some(est) = &overhead {
             if est.fraction >= 0.01 {

@@ -7,8 +7,8 @@
 //!   at the end of the run (see [`crate::report`]); emitted by
 //!   [`BenchCli::finish`].
 //! * `--smoke` — shrink the workload into a fast CI gate.
-//! * `--precision f32|f16|int8|nf4` — parameter-storage plan for bins that
-//!   build models (default f16, the production configuration).
+//! * `--precision f32|f16|int8|nf4|nm24` — parameter-storage plan for bins
+//!   that build models (default f16, the production configuration).
 //! * `--<flag> <value>` — free-form valued flags via [`BenchCli::value`]
 //!   (e.g. `kernel_bench --compare <baseline> --tolerance <frac>`).
 //!
@@ -61,17 +61,19 @@ impl BenchCli {
             .map(String::as_str)
     }
 
-    /// The `--precision f32|f16|int8|nf4` storage plan. Defaults to `f16`
-    /// (the production configuration); exits with status 2 on anything else.
+    /// The `--precision f32|f16|int8|nf4|nm24` storage plan. Defaults to
+    /// `f16` (the production configuration); exits with status 2 on anything
+    /// else.
     pub fn precision(&self) -> Precision {
         match self.value("--precision") {
             None | Some("f16") => Precision::F16Frozen,
             Some("f32") => Precision::F32,
             Some("int8") => Precision::Int8Frozen,
             Some("nf4") => Precision::Nf4Frozen,
+            Some("nm24") => Precision::Nm24Frozen,
             Some(other) => {
                 eprintln!(
-                    "{}: unknown --precision '{other}' (expected f32|f16|int8|nf4)",
+                    "{}: unknown --precision '{other}' (expected f32|f16|int8|nf4|nm24)",
                     self.name
                 );
                 std::process::exit(2);
@@ -137,6 +139,10 @@ mod tests {
         assert_eq!(
             cli(&["--precision", "nf4"]).precision(),
             Precision::Nf4Frozen
+        );
+        assert_eq!(
+            cli(&["--precision", "nm24"]).precision(),
+            Precision::Nm24Frozen
         );
     }
 

@@ -221,6 +221,51 @@ pub trait KernelBackend: Sync {
         self.gemm_nt(m, k, n, a, lda, &bf, ldb, c, ldc, beta)
     }
 
+    /// [`gemm`](Self::gemm) with **B stored N:M structured-sparse** (`k×n`
+    /// row-major element space; the view carries compacted values plus group
+    /// bitmasks). Kept values decode bit-exactly and pruned positions decode
+    /// to exact `0.0`, so — unlike the quantized arms — the decode is
+    /// *lossless*: the result must be bit-identical to decoding B up front
+    /// and calling the f32 variant with the same backend. Backends fuse the
+    /// group expansion into their load/pack stage (and may skip all-zero
+    /// groups entirely); this default materialises f32 B.
+    fn gemm_nm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        let bf = materialize_nm(b);
+        self.gemm(m, k, n, a, lda, &bf, ldb, c, ldc, beta)
+    }
+
+    /// [`gemm_nt`](Self::gemm_nt) with **B stored N:M structured-sparse**
+    /// (`n×k` row-major element space) — the frozen-backbone forward shape:
+    /// each output neuron's weight row is N:M sparse along `k`.
+    fn gemm_nt_nm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        let bf = materialize_nm(b);
+        self.gemm_nt(m, k, n, a, lda, &bf, ldb, c, ldc, beta)
+    }
+
     // ---- Epilogue-fused entry points -----------------------------------
     //
     // Every forward-shape GEMM variant has an `*_ep` twin taking an
@@ -384,6 +429,44 @@ pub trait KernelBackend: Sync {
         self.gemm_nt_q4(m, k, n, a, lda, b, ldb, c, ldc, beta);
         apply_epilogue(c, m, n, ldc, ep);
     }
+
+    /// [`gemm_nm`](Self::gemm_nm) with a fused epilogue.
+    fn gemm_nm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.gemm_nm(m, k, n, a, lda, b, ldb, c, ldc, beta);
+        apply_epilogue(c, m, n, ldc, ep);
+    }
+
+    /// [`gemm_nt_nm`](Self::gemm_nt_nm) with a fused epilogue.
+    fn gemm_nt_nm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.gemm_nt_nm(m, k, n, a, lda, b, ldb, c, ldc, beta);
+        apply_epilogue(c, m, n, ldc, ep);
+    }
 }
 
 fn materialize_q8(b: lx_quant::Q8View<'_>) -> Vec<f32> {
@@ -398,6 +481,15 @@ fn materialize_q4(b: lx_quant::Q4View<'_>) -> Vec<f32> {
     let mut bf = vec![0.0f32; b.len()];
     for (i, o) in bf.iter_mut().enumerate() {
         *o = b.get(i);
+    }
+    bf
+}
+
+fn materialize_nm(b: lx_quant::NmView<'_>) -> Vec<f32> {
+    let mut bf = vec![0.0f32; b.len()];
+    let cols = b.cols();
+    for (r, row) in bf.chunks_mut(cols.max(1)).enumerate() {
+        b.decode_row_into(r, row);
     }
     bf
 }
@@ -793,6 +885,48 @@ impl KernelBackend for Reference {
         check_view(c.len(), m, n, ldc, "gemm_nt_q4: C");
         gemm_nt_decode_b(m, k, n, a, lda, decode_row4(b, ldb), c, ldc, beta);
     }
+
+    /// On-load N:M expansion: one B row decoded to scratch per k-step, same
+    /// accumulation order as the f32 [`gemm`](KernelBackend::gemm), so
+    /// results match the decode-up-front path bit for bit — the differential
+    /// oracle the packed zero-group-skipping arm is checked against.
+    fn gemm_nm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nm: A");
+        check_view(b.len(), k, n, ldb, "gemm_nm: B");
+        check_view(c.len(), m, n, ldc, "gemm_nm: C");
+        gemm_decode_b(m, k, n, a, lda, decode_row_nm(b, ldb), c, ldc, beta);
+    }
+
+    fn gemm_nt_nm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nt_nm: A");
+        check_view(b.len(), n, k, ldb, "gemm_nt_nm: B");
+        check_view(c.len(), m, n, ldc, "gemm_nt_nm: C");
+        gemm_nt_decode_b(m, k, n, a, lda, decode_row_nm(b, ldb), c, ldc, beta);
+    }
 }
 
 /// Row decoder for an int8 view under `ldb` striding: fills `out` with the
@@ -812,6 +946,24 @@ fn decode_row4(b: lx_quant::Q4View<'_>, ldb: usize) -> impl Fn(usize, &mut [f32]
         let base = row * ldb;
         for (j, o) in out.iter_mut().enumerate() {
             *o = b.get(base + j);
+        }
+    }
+}
+
+/// N:M twin of [`decode_row`]. When the row window spans the view's full
+/// storage rows (`ldb == cols` and the window starts at column 0), the
+/// group-walking row decode is used; any other striding falls back to the
+/// elementwise flat-index path. Both are bit-identical by the codec's
+/// windowed-decode contract.
+fn decode_row_nm(b: lx_quant::NmView<'_>, ldb: usize) -> impl Fn(usize, &mut [f32]) + Sync + '_ {
+    move |row, out| {
+        if ldb == b.cols() && out.len() == b.cols() {
+            b.decode_row_into(row, out);
+        } else {
+            let base = row * ldb;
+            for (j, o) in out.iter_mut().enumerate() {
+                *o = b.get(base + j);
+            }
         }
     }
 }

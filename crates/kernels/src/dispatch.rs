@@ -293,6 +293,38 @@ impl KernelBackend for Auto {
         pick(m, k, n).gemm_nt_q4(m, k, n, a, lda, b, ldb, c, ldc, beta)
     }
 
+    fn gemm_nm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        pick(m, k, n).gemm_nm(m, k, n, a, lda, b, ldb, c, ldc, beta)
+    }
+
+    fn gemm_nt_nm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        pick(m, k, n).gemm_nt_nm(m, k, n, a, lda, b, ldb, c, ldc, beta)
+    }
+
     fn gemm_ep(
         &self,
         m: usize,
@@ -428,6 +460,40 @@ impl KernelBackend for Auto {
     ) {
         pick(m, k, n).gemm_nt_q4_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
     }
+
+    fn gemm_nm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        pick(m, k, n).gemm_nm_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+    }
+
+    fn gemm_nt_nm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        pick(m, k, n).gemm_nt_nm_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+    }
 }
 
 /// Resolve the process-wide backend once: `LX_KERNEL_BACKEND` ∈
@@ -533,14 +599,18 @@ pub fn autotune() -> KernelPolicy {
             // which would bias the measured crossover against Packed.
             let a: Vec<f32> = (0..s * s).map(|i| (i % 7) as f32 * 0.25 - 0.875).collect();
             let b = a.clone();
+            // The 2:4 structured-sparse arm of the same B, probed alongside
+            // the dense shapes: its packed path has a different cost profile
+            // (group-walking pack that skips zero groups) so the crossover
+            // must hold for it too before the threshold is lowered.
+            let (nm_vals, nm_masks) = lx_quant::nm::encode(&b, s, s, 2, 4);
+            let nm = lx_quant::NmView::new(&nm_vals, &nm_masks, s, s, 2, 4);
             let mut c = vec![0.0f32; s * s];
-            let time = |backend: &dyn KernelBackend, c: &mut [f32], nt: bool| {
-                let run = |c: &mut [f32]| {
-                    if nt {
-                        backend.gemm_nt(s, s, s, &a, s, &b, s, c, s, 0.0);
-                    } else {
-                        backend.gemm(s, s, s, &a, s, &b, s, c, s, 0.0);
-                    }
+            let time = |backend: &dyn KernelBackend, c: &mut [f32], variant: u8| {
+                let run = |c: &mut [f32]| match variant {
+                    0 => backend.gemm(s, s, s, &a, s, &b, s, c, s, 0.0),
+                    1 => backend.gemm_nt(s, s, s, &a, s, &b, s, c, s, 0.0),
+                    _ => backend.gemm_nt_nm(s, s, s, &a, s, nm, s, c, s, 0.0),
                 };
                 run(c); // warm
                 let t0 = std::time::Instant::now();
@@ -549,12 +619,14 @@ pub fn autotune() -> KernelPolicy {
                 }
                 t0.elapsed()
             };
-            // Packed must win both forward shapes at this size: the nn and
-            // nt crossovers differ (the nt reference is a dot-product loop
-            // with no packing to amortise), and dispatch has one threshold.
-            let wins_nn = time(&PACKED, &mut c, false) <= time(&REFERENCE, &mut c, false);
-            let wins_nt = time(&PACKED, &mut c, true) <= time(&REFERENCE, &mut c, true);
-            if wins_nn && wins_nt {
+            // Packed must win every probed forward shape at this size: the
+            // nn, nt, and nt-nm crossovers differ (the nt reference is a
+            // dot-product loop with no packing to amortise; the nm reference
+            // decodes rows on load), and dispatch has one threshold.
+            let wins_nn = time(&PACKED, &mut c, 0) <= time(&REFERENCE, &mut c, 0);
+            let wins_nt = time(&PACKED, &mut c, 1) <= time(&REFERENCE, &mut c, 1);
+            let wins_nm = time(&PACKED, &mut c, 2) <= time(&REFERENCE, &mut c, 2);
+            if wins_nn && wins_nt && wins_nm {
                 crossover = Some(s);
                 break;
             }
@@ -581,13 +653,64 @@ pub fn autotune() -> KernelPolicy {
     })
 }
 
+/// The B-operand storage dtypes the autotune probe covered when a policy was
+/// saved. Stored in the persisted JSON so a policy tuned before a new
+/// storage arm existed (e.g. a version-1 file predating `nm-2:4`) is
+/// recognisably stale: [`invalidate_stale_policy`] deletes it and the next
+/// [`autotune`] re-probes with the full arm set.
+pub const POLICY_DTYPES: [&str; 5] = ["f32", "f16", "i8-block", "nf4-block", "nm-2:4"];
+
 /// A policy loaded from disk, together with the `(isa, threads)` key it was
-/// tuned under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// tuned under and the dtype arms its probe covered.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PersistedPolicy {
     pub policy: KernelPolicy,
     pub isa: Isa,
     pub threads: usize,
+    /// Dtype names (see [`POLICY_DTYPES`]) the probe covered.
+    pub dtypes: Vec<String>,
+}
+
+impl PersistedPolicy {
+    /// Whether the persisted probe covered B operands of storage `dtype`.
+    pub fn covers_dtype(&self, dtype: &str) -> bool {
+        self.dtypes.iter().any(|d| d == dtype)
+    }
+}
+
+/// Delete a persisted autotune policy (at `LX_KERNEL_POLICY`) whose probe
+/// did not cover `dtype` — called when a model re-demotes its frozen storage
+/// to a dtype the saved crossover was never measured for. A file that fails
+/// to parse (old version, corrupt) is also removed: it would be skipped by
+/// [`load_policy_json`] anyway, and deleting it makes the re-probe explicit.
+/// Returns `true` when a stale file was removed.
+pub fn invalidate_stale_policy(dtype: &str) -> bool {
+    let Ok(path) = std::env::var("LX_KERNEL_POLICY") else {
+        return false;
+    };
+    let path = std::path::PathBuf::from(path);
+    if !path.exists() {
+        return false;
+    }
+    let stale = match load_policy_json(&path) {
+        Some(p) => !p.covers_dtype(dtype),
+        None => true,
+    };
+    if stale {
+        if let Err(e) = std::fs::remove_file(&path) {
+            eprintln!(
+                "lx-kernels: could not remove stale kernel policy {}: {e}",
+                path.display()
+            );
+            return false;
+        }
+        eprintln!(
+            "lx-kernels: removed persisted kernel policy {} (not tuned for dtype {dtype}); \
+             the next autotune will re-probe",
+            path.display()
+        );
+    }
+    stale
 }
 
 /// Write `policy` (plus its tuning key) to `path` as a small JSON document.
@@ -599,10 +722,13 @@ pub fn save_policy_json(
     threads: usize,
 ) -> std::io::Result<()> {
     let json = format!(
-        "{{\n  \"version\": 1,\n  \"isa\": \"{}\",\n  \"threads\": {},\n  \"mc\": {},\n  \
-         \"kc\": {},\n  \"nc\": {},\n  \"min_flops_packed\": {}\n}}\n",
+        "{{\n  \"version\": 2,\n  \"isa\": \"{}\",\n  \"threads\": {},\n  \"dtypes\": \"{}\",\n  \
+         \"mc\": {},\n  \"kc\": {},\n  \"nc\": {},\n  \"min_flops_packed\": {}\n}}\n",
         isa.name(),
         threads,
+        // Space-separated: the hand-rolled json_raw scanner treats ',' as a
+        // value terminator, so commas inside the string would truncate it.
+        POLICY_DTYPES.join(" "),
         policy.tiles.mc,
         policy.tiles.kc,
         policy.tiles.nc,
@@ -612,15 +738,20 @@ pub fn save_policy_json(
 }
 
 /// Read a policy previously written by [`save_policy_json`]. Returns `None`
-/// (never errors) on a missing file, malformed JSON, or an unknown version,
-/// so a stale or corrupt file degrades to a re-probe.
+/// (never errors) on a missing file, malformed JSON, or an unknown version —
+/// including version-1 files from before the probe covered the `nm-2:4` arm
+/// — so a stale or corrupt file degrades to a re-probe.
 pub fn load_policy_json(path: &std::path::Path) -> Option<PersistedPolicy> {
     let text = std::fs::read_to_string(path).ok()?;
-    if json_u64(&text, "version")? != 1 {
+    if json_u64(&text, "version")? != 2 {
         return None;
     }
     let isa = Isa::parse(&json_str(&text, "isa")?)?;
     let threads = json_u64(&text, "threads")? as usize;
+    let dtypes: Vec<String> = json_str(&text, "dtypes")?
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
     let policy = KernelPolicy {
         tiles: TileConfig {
             mc: json_u64(&text, "mc")? as usize,
@@ -637,6 +768,7 @@ pub fn load_policy_json(path: &std::path::Path) -> Option<PersistedPolicy> {
         policy,
         isa,
         threads,
+        dtypes,
     })
 }
 
@@ -707,12 +839,33 @@ mod tests {
         };
         save_policy_json(&path, p, Isa::Avx2, 4).unwrap();
         let loaded = load_policy_json(&path).unwrap();
-        std::fs::remove_file(&path).ok();
         assert_eq!(loaded.policy, p);
         assert_eq!(loaded.isa, Isa::Avx2);
         assert_eq!(loaded.threads, 4);
+        // A freshly saved policy covers every probed dtype arm.
+        for dt in POLICY_DTYPES {
+            assert!(loaded.covers_dtype(dt), "missing dtype coverage: {dt}");
+        }
+        assert!(!loaded.covers_dtype("fp64"));
+        std::fs::remove_file(&path).ok();
         // Corrupt / missing files degrade to None, never panic.
         assert!(load_policy_json(std::path::Path::new("/nonexistent/p.json")).is_none());
+    }
+
+    #[test]
+    fn policy_v1_files_are_rejected() {
+        // A version-1 policy predates the nm-2:4 probe arm; loading must
+        // degrade to None so the caller re-probes with the full arm set.
+        let path =
+            std::env::temp_dir().join(format!("lx_policy_v1_test_{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\n  \"version\": 1,\n  \"isa\": \"avx2\",\n  \"threads\": 4,\n  \"mc\": 96,\n  \
+             \"kc\": 256,\n  \"nc\": 2048,\n  \"min_flops_packed\": 1000000\n}\n",
+        )
+        .unwrap();
+        assert!(load_policy_json(&path).is_none());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

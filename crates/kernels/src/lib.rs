@@ -41,8 +41,8 @@ mod packed;
 pub use backend::{KernelBackend, Reference};
 pub use dispatch::{
     auto_choice, autotune, backend, backend_by_name, current_policy, force_scalar, install_policy,
-    load_policy_json, save_policy_json, Auto, KernelPolicy, PersistedPolicy, TileConfig, AUTO,
-    PACKED, REFERENCE,
+    invalidate_stale_policy, load_policy_json, save_policy_json, Auto, KernelPolicy,
+    PersistedPolicy, TileConfig, AUTO, PACKED, POLICY_DTYPES, REFERENCE,
 };
 pub use epilogue::{apply_epilogue, gelu, Epilogue, GELU_C};
 pub use isa::{active_isa, detected_isa, Isa};
@@ -50,7 +50,7 @@ pub use observe::{gemm_call_total, Observed};
 pub use packed::{simd_active, Packed, MR, NR};
 // Quantized-B operands are passed as lx-quant views; re-exported so kernel
 // callers need no direct lx-quant dependency.
-pub use lx_quant::{Q4View, Q8View};
+pub use lx_quant::{NmView, Q4View, Q8View};
 
 std::thread_local! {
     static FORCE_SEQ: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
@@ -173,6 +173,46 @@ pub fn gemm_nt_q4(
     beta: f32,
 ) {
     backend().gemm_nt_q4(m, k, n, a, k.max(1), b, k.max(1), c, n.max(1), beta)
+}
+
+/// `C[m,n] = A[m,k]·B[k,n] + beta·C` with B stored N:M structured-sparse
+/// (2:4), contiguous rows. The codec is lossless (kept values are exact f32),
+/// so every backend must agree bit for bit with decoding B up front and
+/// running its own f32 path; the packed backend exploits the structure by
+/// skipping all-zero groups at pack time.
+pub fn gemm_nm(m: usize, k: usize, n: usize, a: &[f32], b: NmView<'_>, c: &mut [f32], beta: f32) {
+    backend().gemm_nm(m, k, n, a, k.max(1), b, n.max(1), c, n.max(1), beta)
+}
+
+/// `C[m,n] = A[m,k]·B[n,k]ᵀ + beta·C` with B stored N:M structured-sparse
+/// (2:4), contiguous rows. This is the frozen-backbone forward shape: B's
+/// sparse axis is the reduction axis, so zero-group skipping removes whole
+/// K-group strips from the pack.
+pub fn gemm_nt_nm(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: NmView<'_>,
+    c: &mut [f32],
+    beta: f32,
+) {
+    backend().gemm_nt_nm(m, k, n, a, k.max(1), b, k.max(1), c, n.max(1), beta)
+}
+
+/// [`gemm_nt_nm`] with a fused [`Epilogue`], contiguous rows.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_nm_ep(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: NmView<'_>,
+    c: &mut [f32],
+    beta: f32,
+    ep: Epilogue<'_>,
+) {
+    backend().gemm_nt_nm_ep(m, k, n, a, k.max(1), b, k.max(1), c, n.max(1), beta, ep)
 }
 
 /// Strided [`gemm`] on the process-wide backend.
@@ -443,6 +483,99 @@ mod tests {
             be.gemm_nt_q4(m, k, n, &a, k, view, k, &mut c, n, 0.0);
             assert_close(&c, &expect, 1e-4);
         }
+    }
+
+    /// Magnitude-prune `v` to 2:4 in place and return it (dense but
+    /// N:M-conformant: what the lossless codec round-trips bit-exactly).
+    fn round24(mut v: Vec<f32>, rows: usize, cols: usize) -> Vec<f32> {
+        lx_quant::nm::round_slice(&mut v, rows, cols, 2, 4);
+        v
+    }
+
+    #[test]
+    fn nm_gemm_matches_decode_up_front_on_every_backend() {
+        // Shapes straddling the 4-wide groups, register tiles, and KC: the
+        // tail group cases (n % 4 != 0, k % 4 != 0) are load-bearing.
+        for &(m, k, n) in &[(5usize, 7usize, 15usize), (13, 65, 33), (32, 64, 48)] {
+            let a = pseudo(m * k, 30 + m as u32);
+            let bf = round24(pseudo(k * n, 31 + n as u32), k, n);
+            let (vals, masks) = lx_quant::nm::encode(&bf, k, n, 2, 4);
+            let view = NmView::new(&vals, &masks, k, n, 2, 4);
+            // The codec is lossless on a 2:4-conformant matrix: the decoded
+            // oracle B is the original bit for bit.
+            let mut bdq = vec![0.0f32; k * n];
+            lx_quant::nm::decode(&vals, &masks, k, n, 2, 4, &mut bdq);
+            assert_eq!(bdq, bf);
+            for be in [&REFERENCE as &dyn KernelBackend, &PACKED, &AUTO] {
+                let mut c = vec![0.0; m * n];
+                be.gemm_nm(m, k, n, &a, k, view, n, &mut c, n, 0.0);
+                assert_close(&c, &naive(m, k, n, &a, &bdq), 1e-4);
+            }
+            // Unlike q8/nf4 there is no quantization error, so each backend
+            // must match ITS OWN f32 path bit for bit — Reference because the
+            // decode-on-load loops share the f32 accumulation order, Packed
+            // because the group-skipping pack fills panels identically to the
+            // dense pack of the decoded matrix.
+            for be in [&REFERENCE as &dyn KernelBackend, &PACKED] {
+                let mut c_nm = vec![0.0; m * n];
+                let mut c_f32 = vec![0.0; m * n];
+                be.gemm_nm(m, k, n, &a, k, view, n, &mut c_nm, n, 0.0);
+                be.gemm(m, k, n, &a, k, &bdq, n, &mut c_f32, n, 0.0);
+                for (x, y) in c_nm.iter().zip(&c_f32) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{}", be.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nm_nt_gemm_matches_decode_up_front_on_every_backend() {
+        // B is n×k: the sparse axis is the reduction axis (the frozen
+        // backbone forward shape, where pack-time group skipping pays).
+        for &(m, k, n) in &[(5usize, 15usize, 7usize), (13, 33, 65), (8, 1024, 16)] {
+            let a = pseudo(m * k, 32 + k as u32);
+            let bf = round24(pseudo(n * k, 33 + k as u32), n, k);
+            let (vals, masks) = lx_quant::nm::encode(&bf, n, k, 2, 4);
+            let view = NmView::new(&vals, &masks, n, k, 2, 4);
+            let mut bdq = vec![0.0f32; n * k];
+            lx_quant::nm::decode(&vals, &masks, n, k, 2, 4, &mut bdq);
+            assert_eq!(bdq, bf);
+            let mut expect = vec![0.0; m * n];
+            REFERENCE.gemm_nt(m, k, n, &a, k, &bdq, k, &mut expect, n, 0.0);
+            for be in [&REFERENCE as &dyn KernelBackend, &PACKED, &AUTO] {
+                let mut c = vec![0.0; m * n];
+                be.gemm_nt_nm(m, k, n, &a, k, view, k, &mut c, n, 0.0);
+                assert_close(&c, &expect, 1e-4);
+            }
+            for be in [&REFERENCE as &dyn KernelBackend, &PACKED] {
+                let mut c_nm = vec![0.0; m * n];
+                let mut c_f32 = vec![0.0; m * n];
+                be.gemm_nt_nm(m, k, n, &a, k, view, k, &mut c_nm, n, 0.0);
+                be.gemm_nt(m, k, n, &a, k, &bdq, k, &mut c_f32, n, 0.0);
+                for (x, y) in c_nm.iter().zip(&c_f32) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{}", be.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nm_free_functions_dispatch() {
+        let (m, k, n) = (16, 64, 64);
+        let a = pseudo(m * k, 34);
+        let bf = round24(pseudo(n * k, 35), n, k);
+        let (vals, masks) = lx_quant::nm::encode(&bf, n, k, 2, 4);
+        let view = NmView::new(&vals, &masks, n, k, 2, 4);
+        let mut expect = vec![0.0; m * n];
+        REFERENCE.gemm_nt(m, k, n, &a, k, &bf, k, &mut expect, n, 0.0);
+        let mut c = vec![0.0; m * n];
+        gemm_nt_nm(m, k, n, &a, view, &mut c, 0.0);
+        assert_close(&c, &expect, 1e-4);
+        let bn = round24(pseudo(k * n, 36), k, n);
+        let (vn, mn) = lx_quant::nm::encode(&bn, k, n, 2, 4);
+        c.fill(0.0);
+        gemm_nm(m, k, n, &a, NmView::new(&vn, &mn, k, n, 2, 4), &mut c, 0.0);
+        assert_close(&c, &naive(m, k, n, &a, &bn), 1e-4);
     }
 
     #[test]

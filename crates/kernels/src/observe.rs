@@ -25,12 +25,13 @@ use std::time::Instant;
 const CLASSES: [&str; 4] = ["tiny", "small", "medium", "large"];
 
 /// Storage dtypes of the B operand (A and all accumulation are always f32).
-const DTYPES: [&str; 4] = ["f32", "f16", "i8-block", "nf4-block"];
+const DTYPES: [&str; 5] = ["f32", "f16", "i8-block", "nf4-block", "nm-2:4"];
 
 const DT_F32: usize = 0;
 const DT_F16: usize = 1;
 const DT_Q8: usize = 2;
 const DT_Q4: usize = 3;
+const DT_NM: usize = 4;
 
 /// Class index by `2·m·k·n` FLOPs: tiny < 2^17 ≤ small < 2^21 ≤ medium
 /// < 2^25 ≤ large.
@@ -294,6 +295,42 @@ impl KernelBackend for Observed {
         });
     }
 
+    fn gemm_nm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        self.observe(m, k, n, DT_NM, |be| {
+            be.gemm_nm(m, k, n, a, lda, b, ldb, c, ldc, beta)
+        });
+    }
+
+    fn gemm_nt_nm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        self.observe(m, k, n, DT_NM, |be| {
+            be.gemm_nt_nm(m, k, n, a, lda, b, ldb, c, ldc, beta)
+        });
+    }
+
     // Epilogue-fused entry points must forward to the inner backend's fused
     // implementations — falling back to the trait defaults here would both
     // skip the metrics and silently unfuse every routed call.
@@ -447,6 +484,44 @@ impl KernelBackend for Observed {
     ) {
         self.observe(m, k, n, DT_Q4, |be| {
             be.gemm_nt_q4_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+        });
+    }
+
+    fn gemm_nm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.observe(m, k, n, DT_NM, |be| {
+            be.gemm_nm_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
+        });
+    }
+
+    fn gemm_nt_nm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        self.observe(m, k, n, DT_NM, |be| {
+            be.gemm_nt_nm_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, ep)
         });
     }
 }

@@ -99,10 +99,90 @@ impl PackElem for u16 {
 /// same flat index (`scales[idx / BLOCK]`), which works under `ldb` striding
 /// because the index handed in is always buffer-relative, never
 /// panel-relative.
+///
+/// The per-panel fill hooks have elementwise defaults that reproduce the
+/// classic pack loops bit-for-bit; a source with occupancy structure (the
+/// N:M view) overrides them to skip work. The destination panel is always
+/// pre-zeroed by [`pack_b`], so an override may legitimately skip stores of
+/// `+0.0` elements.
 pub(crate) trait PackSrc: Sync {
     /// Dequantized/decoded f32 value of element `idx` of the row-major
     /// buffer.
     fn load(&self, idx: usize) -> f32;
+
+    /// Fill one pre-zeroed `nr`-wide B̃ panel from a **Normal**-layout
+    /// operand: `dst[p·nr + j] = element(pc+p, col0+j)` for `p < kc`,
+    /// `j < width`.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_panel_normal(
+        &self,
+        dst: &mut [f32],
+        ldb: usize,
+        pc: usize,
+        kc: usize,
+        col0: usize,
+        width: usize,
+        nr: usize,
+    ) {
+        fill_normal_elementwise(self, dst, ldb, pc, kc, col0, width, nr);
+    }
+
+    /// Fill one pre-zeroed `nr`-wide B̃ panel from a **Transposed**-layout
+    /// operand: `dst[p·nr + j] = element(col0+j, pc+p)`.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_panel_transposed(
+        &self,
+        dst: &mut [f32],
+        ldb: usize,
+        pc: usize,
+        kc: usize,
+        col0: usize,
+        width: usize,
+        nr: usize,
+    ) {
+        fill_transposed_elementwise(self, dst, ldb, pc, kc, col0, width, nr);
+    }
+}
+
+/// The classic elementwise Normal-layout panel fill (also the fallback the
+/// N:M override uses when its fast-path preconditions don't hold).
+#[allow(clippy::too_many_arguments)]
+fn fill_normal_elementwise<S: PackSrc + ?Sized>(
+    b: &S,
+    dst: &mut [f32],
+    ldb: usize,
+    pc: usize,
+    kc: usize,
+    col0: usize,
+    width: usize,
+    nr: usize,
+) {
+    for p in 0..kc {
+        let base = (pc + p) * ldb + col0;
+        for j in 0..width {
+            dst[p * nr + j] = b.load(base + j);
+        }
+    }
+}
+
+/// Transposed-layout twin of [`fill_normal_elementwise`].
+#[allow(clippy::too_many_arguments)]
+fn fill_transposed_elementwise<S: PackSrc + ?Sized>(
+    b: &S,
+    dst: &mut [f32],
+    ldb: usize,
+    pc: usize,
+    kc: usize,
+    col0: usize,
+    width: usize,
+    nr: usize,
+) {
+    for j in 0..width {
+        let base = (col0 + j) * ldb + pc;
+        for p in 0..kc {
+            dst[p * nr + j] = b.load(base + p);
+        }
+    }
 }
 
 impl<E: PackElem> PackSrc for [E] {
@@ -123,6 +203,117 @@ impl PackSrc for lx_quant::Q4View<'_> {
     #[inline(always)]
     fn load(&self, idx: usize) -> f32 {
         self.get(idx)
+    }
+}
+
+/// The zero-group-skipping pack arm: instead of decoding every element, walk
+/// the row's occupancy groups, skip any group whose mask byte is 0 (a fully
+/// pruned K-group — the structured case external masks produce), and scatter
+/// only the kept slots into the pre-zeroed panel. Pack cost thus scales with
+/// nnz rather than the dense element count. Writes are bit-identical to
+/// packing the decoded dense matrix: pruned positions decode to `+0.0` (the
+/// pre-zeroed panel), kept values land verbatim — a kept `+0.0` overwrites
+/// panel zero with the same bits, and a kept `-0.0` is stored explicitly.
+///
+/// The group walk needs the flat index space to decompose by the view's own
+/// row length, i.e. `ldb == cols`; any other striding falls back to the
+/// elementwise fill, which is always correct.
+impl PackSrc for lx_quant::NmView<'_> {
+    #[inline(always)]
+    fn load(&self, idx: usize) -> f32 {
+        self.get(idx)
+    }
+
+    /// Normal layout: panel rows are k-steps (storage rows), so each storage
+    /// row contributes `width` consecutive columns — the groups overlapping
+    /// `[col0, col0 + width)`.
+    fn fill_panel_normal(
+        &self,
+        dst: &mut [f32],
+        ldb: usize,
+        pc: usize,
+        kc: usize,
+        col0: usize,
+        width: usize,
+        nr: usize,
+    ) {
+        if ldb != self.cols() || width == 0 {
+            return fill_normal_elementwise(self, dst, ldb, pc, kc, col0, width, nr);
+        }
+        let (m, n_slots) = (self.m(), self.n());
+        let (g0, g1) = (col0 / m, (col0 + width - 1) / m);
+        for p in 0..kc {
+            let (row_masks, row_slots) = self.row(pc + p);
+            let dst_row = &mut dst[p * nr..p * nr + width];
+            for (g, &gmask) in row_masks.iter().enumerate().take(g1 + 1).skip(g0) {
+                let mut mask = gmask;
+                if mask == 0 {
+                    continue;
+                }
+                let sbase = g * n_slots;
+                let slots = &row_slots[sbase..row_slots.len().min(sbase + n_slots)];
+                let gbase = g * m;
+                // Writing a kept `+0.0` over the pre-zeroed panel is a
+                // bit-level no-op, so kept values store unconditionally;
+                // only the straddling edge groups need the column check.
+                let interior = gbase >= col0 && gbase + m <= col0 + width;
+                let mut rank = 0usize;
+                while mask != 0 {
+                    let j = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let v = slots[rank];
+                    rank += 1;
+                    let c = gbase + j;
+                    if interior || (c >= col0 && c < col0 + width) {
+                        dst_row[c - col0] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transposed layout: panel columns are storage rows and the k-steps run
+    /// along each row's groups — the frozen-backbone `gemm_nt_nm` shape,
+    /// where every output neuron's weight row is N:M sparse along k.
+    fn fill_panel_transposed(
+        &self,
+        dst: &mut [f32],
+        ldb: usize,
+        pc: usize,
+        kc: usize,
+        col0: usize,
+        width: usize,
+        nr: usize,
+    ) {
+        if ldb != self.cols() || kc == 0 {
+            return fill_transposed_elementwise(self, dst, ldb, pc, kc, col0, width, nr);
+        }
+        let (m, n_slots) = (self.m(), self.n());
+        let (g0, g1) = (pc / m, (pc + kc - 1) / m);
+        for j in 0..width {
+            let (row_masks, row_slots) = self.row(col0 + j);
+            for (g, &gmask) in row_masks.iter().enumerate().take(g1 + 1).skip(g0) {
+                let mut mask = gmask;
+                if mask == 0 {
+                    continue;
+                }
+                let sbase = g * n_slots;
+                let slots = &row_slots[sbase..row_slots.len().min(sbase + n_slots)];
+                let gbase = g * m;
+                let interior = gbase >= pc && gbase + m <= pc + kc;
+                let mut rank = 0usize;
+                while mask != 0 {
+                    let jj = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let v = slots[rank];
+                    rank += 1;
+                    let c = gbase + jj;
+                    if interior || (c >= pc && c < pc + kc) {
+                        dst[(c - pc) * nr + j] = v;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -157,23 +348,12 @@ fn pack_b<S: PackSrc + ?Sized>(
             let j0 = panel * nr;
             let width = nr.min(nc - j0);
             let dst = &mut dst_all[pi * panel_len..(pi + 1) * panel_len];
+            // The panel buffer is freshly zeroed above, so the source's fill
+            // hook (elementwise default, or a sparsity-aware override that
+            // skips zero groups) only needs to store nonzero elements.
             match layout {
-                Layout::Normal => {
-                    for p in 0..kc {
-                        let base = (pc + p) * ldb + jc + j0;
-                        for j in 0..width {
-                            dst[p * nr + j] = b.load(base + j);
-                        }
-                    }
-                }
-                Layout::Transposed => {
-                    for j in 0..width {
-                        let base = (jc + j0 + j) * ldb + pc;
-                        for p in 0..kc {
-                            dst[p * nr + j] = b.load(base + p);
-                        }
-                    }
-                }
+                Layout::Normal => b.fill_panel_normal(dst, ldb, pc, kc, jc + j0, width, nr),
+                Layout::Transposed => b.fill_panel_transposed(dst, ldb, pc, kc, jc + j0, width, nr),
             }
         }
     };
@@ -770,6 +950,43 @@ impl KernelBackend for Packed {
         self.gemm_nt_q4_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
     }
 
+    /// Fused pack-time expansion with zero-group skipping: compacted N:M
+    /// groups scatter their kept nonzeros straight into the pre-zeroed B̃
+    /// panels (see the [`PackSrc`] impl on the view), so the dense f32 B is
+    /// never materialised, pack traffic scales with nnz, and the microkernel
+    /// runs unchanged.
+    fn gemm_nm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        self.gemm_nm_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
+    }
+
+    fn gemm_nt_nm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+    ) {
+        self.gemm_nt_nm_ep(m, k, n, a, lda, b, ldb, c, ldc, beta, Epilogue::None);
+    }
+
     fn gemm_ep(
         &self,
         m: usize,
@@ -1025,6 +1242,74 @@ impl KernelBackend for Packed {
         check_view(a.len(), m, k, lda, "gemm_nt_q4: A");
         check_view(b.len(), n, k, ldb, "gemm_nt_q4: B");
         check_view(c.len(), m, n, ldc, "gemm_nt_q4: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            &b,
+            ldb,
+            Layout::Transposed,
+            c,
+            ldc,
+            beta,
+            ep,
+        );
+    }
+
+    fn gemm_nm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nm: A");
+        check_view(b.len(), k, n, ldb, "gemm_nm: B");
+        check_view(c.len(), m, n, ldc, "gemm_nm: C");
+        self.driver(
+            m,
+            k,
+            n,
+            a,
+            lda,
+            Layout::Normal,
+            &b,
+            ldb,
+            Layout::Normal,
+            c,
+            ldc,
+            beta,
+            ep,
+        );
+    }
+
+    fn gemm_nt_nm_ep(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        b: lx_quant::NmView<'_>,
+        ldb: usize,
+        c: &mut [f32],
+        ldc: usize,
+        beta: f32,
+        ep: Epilogue<'_>,
+    ) {
+        check_view(a.len(), m, k, lda, "gemm_nt_nm: A");
+        check_view(b.len(), n, k, ldb, "gemm_nt_nm: B");
+        check_view(c.len(), m, n, ldc, "gemm_nt_nm: C");
         self.driver(
             m,
             k,

@@ -726,6 +726,40 @@ mod tests {
     }
 
     #[test]
+    fn redemotion_across_precisions_does_not_serve_stale_slabs() {
+        // Regression: switching the storage plan between sparse steps (here
+        // f16 → 2:4 structured-sparse) must invalidate the cross-step MLP
+        // slab caches, or the post-switch step would serve slabs decoded
+        // from the *previous* storage. Oracle: a twin that takes the same
+        // precision path but never built a cache under the old storage.
+        let (ids, _) = sample(400);
+        let cfg = ModelConfig::test_tiny();
+        let mut provided = SparsePlan::default();
+        for _ in 0..cfg.n_layers {
+            provided
+                .layers
+                .push(FixedPlanner::layer_plan(SEQ, cfg.d_ff));
+        }
+        let mut m = tiny();
+        m.freeze_all();
+        m.set_precision(crate::Precision::F16Frozen);
+        // Builds the f16 slab caches.
+        let _ = m.execute(StepRequest::infer(&ids, BATCH, SEQ).plan(&provided));
+        m.set_precision(crate::Precision::Nm24Frozen);
+        let redemoted = m.execute(StepRequest::infer(&ids, BATCH, SEQ).plan(&provided));
+        let mut fresh = tiny();
+        fresh.freeze_all();
+        fresh.set_precision(crate::Precision::F16Frozen);
+        fresh.set_precision(crate::Precision::Nm24Frozen);
+        let oracle = fresh.execute(StepRequest::infer(&ids, BATCH, SEQ).plan(&provided));
+        assert_eq!(
+            redemoted.logits.unwrap().as_slice(),
+            oracle.logits.unwrap().as_slice(),
+            "post-switch sparse step must not reuse slabs from the old storage"
+        );
+    }
+
+    #[test]
     fn score_request_reproduces_legacy_score_continuation() {
         // The removed method built ids/targets by hand and called
         // `sequence_logprob` on a dense forward; `score_parts` + Mode::Score

@@ -68,6 +68,11 @@ pub struct MlpBlock {
     /// mode, f16 or block-quantized). Keyed by the plan it was gathered for;
     /// refreshed incrementally — see [`MlpBlock::refresh_slab_cache`].
     slab_cache: Option<SparseSlabs>,
+    /// The retired gather's buffers, recycled as the next drifted plan's
+    /// destination so steady-state drift stays allocation-free (the step
+    /// bench gates on zero heap tensors per steady step). Contents are
+    /// garbage between drifts — every span is overwritten before use.
+    slab_spare: Option<(Tensor, Tensor, Tensor)>,
     slabs_decoded: u64,
     slabs_reused: u64,
 }
@@ -135,6 +140,7 @@ impl MlpBlock {
             d_ff,
             cache: None,
             slab_cache: None,
+            slab_spare: None,
             slabs_decoded: 0,
             slabs_reused: 0,
         }
@@ -237,9 +243,18 @@ impl MlpBlock {
         // Blocks newly activated relative to the previous gather must be
         // decoded; everything else is carried over with an f32 copy.
         let added = prev.as_ref().map(|p| set.diff(&p.set).added);
-        let mut w1 = Tensor::zeros(&[set.active_neurons(), d]);
-        let mut w2 = Tensor::zeros(&[set.active_neurons(), d]);
-        let mut b1 = Tensor::zeros(&[set.active_neurons()]);
+        // Recycle the buffers retired two drifts ago when the active width
+        // is unchanged (the common steady-state case — the plan picks a
+        // fixed number of blocks, only *which* blocks drifts). Every active
+        // span is decoded or carried below, so stale contents never leak.
+        let (mut w1, mut w2, mut b1) = match self.slab_spare.take() {
+            Some((w1, w2, b1)) if w1.shape() == [set.active_neurons(), d] => (w1, w2, b1),
+            _ => (
+                Tensor::zeros(&[set.active_neurons(), d]),
+                Tensor::zeros(&[set.active_neurons(), d]),
+                Tensor::zeros(&[set.active_neurons()]),
+            ),
+        };
         // Monotone cursors: `set.active`, `added` and `prev.set.active` are
         // all sorted, so one forward walk finds every carry position.
         let (mut ai, mut pp) = (0usize, 0usize);
@@ -272,6 +287,7 @@ impl MlpBlock {
             b1.as_mut_slice()[ci * bsz..(ci + 1) * bsz]
                 .copy_from_slice(&self.b1.value.as_slice()[n0..n0 + bsz]);
         }
+        self.slab_spare = prev.map(|p| (p.w1, p.w2, p.b1));
         self.slab_cache = Some(SparseSlabs {
             set: set.clone(),
             w1,
@@ -866,7 +882,7 @@ mod tests {
     }
 
     /// Demote both FC weights to each reduced storage in turn.
-    fn demotions() -> [fn(&mut MlpBlock); 3] {
+    fn demotions() -> [fn(&mut MlpBlock); 4] {
         use lx_tensor::Dtype;
         [
             |m: &mut MlpBlock| {
@@ -880,6 +896,10 @@ mod tests {
             |m: &mut MlpBlock| {
                 m.w1.to_quant(Dtype::Nf4Block);
                 m.w2.to_quant(Dtype::Nf4Block);
+            },
+            |m: &mut MlpBlock| {
+                m.w1.to_nm();
+                m.w2.to_nm();
             },
         ]
     }
@@ -972,6 +992,26 @@ mod tests {
             let yp = pre.forward(&x, Some(&set));
             assert_eq!(yq.as_slice(), yp.as_slice(), "{dtype}");
         }
+    }
+
+    #[test]
+    fn nm_slab_sparse_path_matches_prepruned_dense() {
+        // Same exactness contract for the 2:4 structured-sparse storage:
+        // slab-decoding the pruned weights must equal running the neuron
+        // kernels over a pre-pruned dense f32 model bit-for-bit.
+        let mut q = mlp();
+        q.w1.to_nm();
+        q.w2.to_nm();
+        let mut pre = mlp();
+        for w in [&mut pre.w1, &mut pre.w2] {
+            w.to_nm();
+            w.to_f32(); // pre-pruned dense f32
+        }
+        let x = Tensor::randn(&[ROWS, D], 1.0, 36);
+        let set = Arc::new(NeuronBlockSet::from_indices(vec![0, 2, 3], FF / BLK, BLK));
+        let yq = q.forward(&x, Some(&set));
+        let yp = pre.forward(&x, Some(&set));
+        assert_eq!(yq.as_slice(), yp.as_slice());
     }
 
     #[test]

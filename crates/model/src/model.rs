@@ -143,7 +143,10 @@ impl TransformerModel {
     /// affine parameters and all trainable state stay f32.
     /// [`Precision::Int8Frozen`] and [`Precision::Nf4Frozen`] demote the
     /// same parameter set to block-quantized storage (symmetric int8 /
-    /// NF4 codes plus per-block absmax scales) under the same rule.
+    /// NF4 codes plus per-block absmax scales) under the same rule, and
+    /// [`Precision::Nm24Frozen`] magnitude-prunes it to 2:4 structured
+    /// sparsity (compacted bit-exact survivors; **the pruned positions do
+    /// not come back** on a later promotion).
     /// [`Precision::F32`] promotes everything back (an exact decode; values
     /// keep whatever rounding the previous storage applied).
     ///
@@ -155,6 +158,7 @@ impl TransformerModel {
             Precision::F16Frozen => Some(&mut |p: &mut Param| p.to_half()),
             Precision::Int8Frozen => Some(&mut |p: &mut Param| p.to_quant(Dtype::I8Block)),
             Precision::Nf4Frozen => Some(&mut |p: &mut Param| p.to_quant(Dtype::Nf4Block)),
+            Precision::Nm24Frozen => Some(&mut |p: &mut Param| p.to_nm()),
         };
         match demote {
             None => self.for_each_param(&mut |p| p.to_f32()),
@@ -172,6 +176,20 @@ impl TransformerModel {
         // storage change invalidates them.
         for b in &mut self.blocks {
             b.mlp.invalidate_slab_cache();
+        }
+        // A persisted autotune policy probed under the old storage family is
+        // stale when re-demoting to a dtype it never measured (a pre-nm
+        // version-1 file, say): drop it so the next autotune re-probes.
+        if precision != self.precision {
+            if let Some(dtype) = match precision {
+                Precision::F32 => None,
+                Precision::F16Frozen => Some(Dtype::F16),
+                Precision::Int8Frozen => Some(Dtype::I8Block),
+                Precision::Nf4Frozen => Some(Dtype::Nf4Block),
+                Precision::Nm24Frozen => Some(Dtype::Nm24),
+            } {
+                lx_kernels::invalidate_stale_policy(dtype.name());
+            }
         }
         self.precision = precision;
     }
@@ -741,6 +759,109 @@ mod tests {
             let after = logits_of(&mut m, &ids, 1, 8);
             assert_eq!(before.as_slice(), after.as_slice(), "{precision}");
         }
+    }
+
+    #[test]
+    fn nm24_frozen_shrinks_backbone_storage() {
+        let mut m = tiny();
+        m.freeze_all();
+        let f32_bytes = m.param_storage_bytes();
+        m.set_precision(crate::Precision::Nm24Frozen);
+        assert_eq!(m.precision(), crate::Precision::Nm24Frozen);
+        let nm_bytes = m.param_storage_bytes();
+        // Matrices land at exactly 0.5625x (9 bytes per 16); biases and
+        // LayerNorm stay f32, nudging the model-level ratio up slightly.
+        let ratio = nm_bytes as f64 / f32_bytes as f64;
+        assert!(ratio < 0.60, "nm24 storage ratio {ratio}");
+        assert!(ratio > 0.5625, "matrices alone would be exactly 0.5625x");
+        // Promotion back to f32 restores the full footprint (the pruned
+        // zeros are stored dense again).
+        m.set_precision(crate::Precision::F32);
+        assert_eq!(m.param_storage_bytes(), f32_bytes);
+    }
+
+    #[test]
+    fn precision_roundtrip_preserves_the_nm_function_exactly() {
+        // Stronger than the quantized twin: the nm storage computes the
+        // *same bits* as its dense decode, so the nm-stored forward must
+        // already equal the promoted-f32 forward (not just survive the
+        // round-trip).
+        let mut m = tiny();
+        m.freeze_all();
+        m.set_precision(crate::Precision::Nm24Frozen);
+        let ids = sample_batch(&m, 1, 8, 27);
+        let before = logits_of(&mut m, &ids, 1, 8);
+        m.set_precision(crate::Precision::F32);
+        let after = logits_of(&mut m, &ids, 1, 8);
+        assert_eq!(before.as_slice(), after.as_slice());
+        // And all logits stay finite despite half the backbone being pruned.
+        assert!(before.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn scaled_training_on_nm24_backbone_reduces_loss() {
+        let mut m = tiny();
+        m.freeze_all();
+        m.set_precision(crate::Precision::Nm24Frozen);
+        for block in &mut m.blocks {
+            block.attn.wq.attach_lora(4, 8.0, 51);
+            block.attn.wv.attach_lora(4, 8.0, 52);
+            block.mlp.attach_lora_fc1(4, 8.0, 53);
+            block.mlp.attach_lora_fc2(4, 8.0, 54);
+        }
+        let mut opt = crate::optim::Adam::new(0.02);
+        let mut scaler = crate::optim::LossScaler::default();
+        let ids = sample_batch(&m, 2, 8, 28);
+        let targets = prompt_aware_targets(&ids, 2, 8, 0);
+        let first =
+            m.execute(StepRequest::train(&ids, &targets, 2, 8, &mut opt).loss_scale(&mut scaler));
+        assert!(!first.skipped, "no overflow expected at 2^16 scale");
+        let first = first.loss;
+        let mut last = first;
+        for _ in 0..30 {
+            let out = m.execute(
+                StepRequest::train(&ids, &targets, 2, 8, &mut opt).loss_scale(&mut scaler),
+            );
+            if !out.skipped {
+                last = out.loss;
+            }
+        }
+        assert_eq!(scaler.overflows(), 0);
+        assert!(
+            last < first * 0.95,
+            "scaled LoRA training on a 2:4-pruned backbone must reduce loss: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn redemotion_to_uncovered_dtype_drops_stale_kernel_policy() {
+        // A persisted autotune policy that predates the nm probe arm
+        // (version 1, or any file not covering nm-2:4) must be deleted when
+        // the model re-demotes to Nm24Frozen, so the next autotune re-probes.
+        let path =
+            std::env::temp_dir().join(format!("lx_model_stale_policy_{}.json", std::process::id()));
+        // A valid version-2 policy whose probe covered the pre-nm dtypes
+        // only.
+        std::fs::write(
+            &path,
+            "{\n  \"version\": 2,\n  \"isa\": \"scalar\",\n  \"threads\": 1,\n  \
+             \"dtypes\": \"f32 f16 i8-block nf4-block\",\n  \"mc\": 96,\n  \"kc\": 256,\n  \
+             \"nc\": 2048,\n  \"min_flops_packed\": 1000000\n}\n",
+        )
+        .unwrap();
+        std::env::set_var("LX_KERNEL_POLICY", &path);
+        let mut m = tiny();
+        m.freeze_all();
+        // f16 is covered by the persisted probe: the file must survive.
+        m.set_precision(crate::Precision::F16Frozen);
+        let survived_f16 = path.exists();
+        // nm-2:4 is not: the re-demotion must drop the policy.
+        m.set_precision(crate::Precision::Nm24Frozen);
+        let gone = !path.exists();
+        std::env::remove_var("LX_KERNEL_POLICY");
+        std::fs::remove_file(&path).ok();
+        assert!(survived_f16, "covered-dtype demotion must keep the policy");
+        assert!(gone, "uncovered-dtype re-demotion must drop the policy");
     }
 
     #[test]

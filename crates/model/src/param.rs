@@ -9,20 +9,24 @@
 //! paths consume the bits through the fused f16-input GEMMs (or decode rows
 //! on load). The block-quantized plans (`Int8Frozen`/`Nf4Frozen`) follow the
 //! same pattern through [`quant`] and [`Param::to_quant`], with the fused
-//! quantized-B GEMMs dequantizing inside their pack stage. Trainable
-//! parameters are never reduced-stored — gradients and optimizer state stay
-//! f32, as the paper's mixed-precision recipe requires.
+//! quantized-B GEMMs dequantizing inside their pack stage, and the N:M
+//! structured-sparse plan (`Nm24Frozen`) through [`nm`] and [`Param::to_nm`],
+//! whose fused GEMMs additionally skip all-zero weight groups at pack time.
+//! Trainable parameters are never reduced-stored — gradients and optimizer
+//! state stay f32, as the paper's mixed-precision recipe requires.
 //!
 //! [`value`]: Param::value
 //! [`half`]: Param::half
 //! [`quant`]: Param::quant
+//! [`nm`]: Param::nm
 
 use lx_tensor::f16::f16_bits_to_f32;
 use lx_tensor::gemm::{
-    matmul, matmul_ep, matmul_f16, matmul_f16_ep, matmul_nt, matmul_nt_ep, matmul_nt_f16,
-    matmul_nt_f16_ep, matmul_nt_quant, matmul_nt_quant_ep, matmul_quant, matmul_quant_ep, Epilogue,
+    matmul, matmul_ep, matmul_f16, matmul_f16_ep, matmul_nm, matmul_nm_ep, matmul_nt, matmul_nt_ep,
+    matmul_nt_f16, matmul_nt_f16_ep, matmul_nt_nm, matmul_nt_nm_ep, matmul_nt_quant,
+    matmul_nt_quant_ep, matmul_quant, matmul_quant_ep, Epilogue,
 };
-use lx_tensor::{Dtype, HalfTensor, QuantTensor, Tensor};
+use lx_tensor::{Dtype, HalfTensor, NmTensor, QuantTensor, Tensor};
 
 /// A named model parameter.
 #[derive(Debug)]
@@ -38,6 +42,13 @@ pub struct Param {
     /// parameters demoted by [`Param::to_quant`]. Mutually exclusive with
     /// [`half`](Param::half).
     pub quant: Option<QuantTensor>,
+    /// N:M structured-sparse storage (2:4); `Some` only for frozen
+    /// parameters demoted by [`Param::to_nm`]. Unlike [`half`](Param::half)
+    /// and [`quant`](Param::quant) the codec is lossless on the surviving
+    /// values — demotion prunes (irreversibly zeroes the smaller half of
+    /// each 4-group), but every later decode is bit-exact. Mutually
+    /// exclusive with the other reduced storages.
+    pub nm: Option<NmTensor>,
     /// Allocated on first accumulation; `None` for frozen params that never
     /// received a gradient (saving the optimizer-state memory PEFT avoids).
     pub grad: Option<Tensor>,
@@ -51,6 +62,7 @@ impl Param {
             value,
             half: None,
             quant: None,
+            nm: None,
             grad: None,
             trainable,
         }
@@ -62,27 +74,30 @@ impl Param {
     }
 
     pub fn numel(&self) -> usize {
-        match (&self.half, &self.quant) {
-            (Some(h), _) => h.len(),
-            (_, Some(q)) => q.len(),
+        match (&self.half, &self.quant, &self.nm) {
+            (Some(h), _, _) => h.len(),
+            (_, Some(q), _) => q.len(),
+            (_, _, Some(s)) => s.len(),
             _ => self.value.len(),
         }
     }
 
     /// Logical shape, whichever storage holds the values.
     pub fn shape(&self) -> &[usize] {
-        match (&self.half, &self.quant) {
-            (Some(h), _) => h.shape(),
-            (_, Some(q)) => q.shape(),
+        match (&self.half, &self.quant, &self.nm) {
+            (Some(h), _, _) => h.shape(),
+            (_, Some(q), _) => q.shape(),
+            (_, _, Some(s)) => s.shape(),
             _ => self.value.shape(),
         }
     }
 
     /// Storage precision of this parameter right now.
     pub fn dtype(&self) -> Dtype {
-        match (&self.half, &self.quant) {
-            (Some(_), _) => Dtype::F16,
-            (_, Some(q)) => q.dtype(),
+        match (&self.half, &self.quant, &self.nm) {
+            (Some(_), _, _) => Dtype::F16,
+            (_, Some(q), _) => q.dtype(),
+            (_, _, Some(s)) => s.dtype(),
             _ => Dtype::F32,
         }
     }
@@ -95,19 +110,24 @@ impl Param {
         self.quant.is_some()
     }
 
-    /// Whether the values live in any reduced-precision storage (f16 or
-    /// block-quantized) rather than f32.
+    pub fn is_nm(&self) -> bool {
+        self.nm.is_some()
+    }
+
+    /// Whether the values live in any reduced storage (f16, block-quantized,
+    /// or N:M structured-sparse) rather than f32.
     pub fn is_reduced(&self) -> bool {
-        self.half.is_some() || self.quant.is_some()
+        self.half.is_some() || self.quant.is_some() || self.nm.is_some()
     }
 
     /// Bytes occupied by the value storage (excludes any gradient). Reports
     /// the actual storage's footprint — for the block-quantized dtypes that
     /// includes the per-block scales, matching [`Dtype::bytes_for`].
     pub fn storage_bytes(&self) -> usize {
-        match (&self.half, &self.quant) {
-            (Some(h), _) => h.bytes(),
-            (_, Some(q)) => q.bytes(),
+        match (&self.half, &self.quant, &self.nm) {
+            (Some(h), _, _) => h.bytes(),
+            (_, Some(q), _) => q.bytes(),
+            (_, _, Some(s)) => s.bytes(),
             _ => self.value.len() * Dtype::F32.size_bytes(),
         }
     }
@@ -150,6 +170,44 @@ impl Param {
         self.quant = Some(q);
     }
 
+    /// Demote to N:M structured-sparse storage ([`Dtype::Nm24`]): magnitude-
+    /// prune each 4-group to its 2 largest values, then store the survivors
+    /// compacted. No-op when already N:M-stored; any other reduced storage
+    /// is decoded first. Panics for trainable parameters, like
+    /// [`to_half`](Self::to_half). Unlike the other demotions this one is
+    /// *lossy at demotion time only*: the pruned positions are gone, but the
+    /// surviving values — and thus every later decode or GEMM — are bit-exact.
+    pub fn to_nm(&mut self) {
+        if self.nm.is_some() {
+            return;
+        }
+        assert!(
+            !self.trainable,
+            "{}: trainable parameters must stay f32 (demote only frozen backbone weights)",
+            self.name
+        );
+        self.to_f32();
+        let s = NmTensor::from_tensor(&self.value, Dtype::Nm24);
+        self.value = Tensor::zeros(&[0]);
+        self.nm = Some(s);
+    }
+
+    /// [`to_nm`](Self::to_nm) with an externally supplied group mask
+    /// (`lx_quant::nm` layout) instead of magnitude pruning — how a
+    /// calibration-derived or merge-preserved sparsity pattern is installed.
+    pub fn to_nm_with_mask(&mut self, masks: &[u8]) {
+        assert!(
+            !self.trainable,
+            "{}: trainable parameters must stay f32 (demote only frozen backbone weights)",
+            self.name
+        );
+        self.to_f32();
+        let shape = self.value.shape().to_vec();
+        let s = NmTensor::from_f32_with_mask(self.value.as_slice(), &shape, masks);
+        self.value = Tensor::zeros(&[0]);
+        self.nm = Some(s);
+    }
+
     /// Promote back to f32 storage (exact decode of whatever reduced storage
     /// is present). No-op when already f32.
     pub fn to_f32(&mut self) {
@@ -159,14 +217,18 @@ impl Param {
         if let Some(q) = self.quant.take() {
             self.value = q.to_tensor();
         }
+        if let Some(s) = self.nm.take() {
+            self.value = s.to_tensor();
+        }
     }
 
     /// `x · W` on the trailing-2-D view of the value, fused-decoding when
     /// reduced-stored. This is the forward hot path for frozen weights.
     pub fn matmul(&self, x: &Tensor) -> Tensor {
-        match (&self.half, &self.quant) {
-            (Some(h), _) => matmul_f16(x, h),
-            (_, Some(q)) => matmul_quant(x, q),
+        match (&self.half, &self.quant, &self.nm) {
+            (Some(h), _, _) => matmul_f16(x, h),
+            (_, Some(q), _) => matmul_quant(x, q),
+            (_, _, Some(s)) => matmul_nm(x, s),
             _ => matmul(x, &self.value),
         }
     }
@@ -174,9 +236,10 @@ impl Param {
     /// `x · Wᵀ`, fused-decoding when reduced-stored (the `dx` backward shape
     /// and the `x·Aᵀ`-style forward shape).
     pub fn matmul_nt(&self, x: &Tensor) -> Tensor {
-        match (&self.half, &self.quant) {
-            (Some(h), _) => matmul_nt_f16(x, h),
-            (_, Some(q)) => matmul_nt_quant(x, q),
+        match (&self.half, &self.quant, &self.nm) {
+            (Some(h), _, _) => matmul_nt_f16(x, h),
+            (_, Some(q), _) => matmul_nt_quant(x, q),
+            (_, _, Some(s)) => matmul_nt_nm(x, s),
             _ => matmul_nt(x, &self.value),
         }
     }
@@ -185,18 +248,20 @@ impl Param {
     /// write-back, whatever the storage dtype. Bit-identical to the unfused
     /// matmul followed by the equivalent bias/activation passes.
     pub fn matmul_ep(&self, x: &Tensor, ep: Epilogue<'_>) -> Tensor {
-        match (&self.half, &self.quant) {
-            (Some(h), _) => matmul_f16_ep(x, h, ep),
-            (_, Some(q)) => matmul_quant_ep(x, q, ep),
+        match (&self.half, &self.quant, &self.nm) {
+            (Some(h), _, _) => matmul_f16_ep(x, h, ep),
+            (_, Some(q), _) => matmul_quant_ep(x, q, ep),
+            (_, _, Some(s)) => matmul_nm_ep(x, s, ep),
             _ => matmul_ep(x, &self.value, ep),
         }
     }
 
     /// [`matmul_nt`](Self::matmul_nt) with a fused [`Epilogue`].
     pub fn matmul_nt_ep(&self, x: &Tensor, ep: Epilogue<'_>) -> Tensor {
-        match (&self.half, &self.quant) {
-            (Some(h), _) => matmul_nt_f16_ep(x, h, ep),
-            (_, Some(q)) => matmul_nt_quant_ep(x, q, ep),
+        match (&self.half, &self.quant, &self.nm) {
+            (Some(h), _, _) => matmul_nt_f16_ep(x, h, ep),
+            (_, Some(q), _) => matmul_nt_quant_ep(x, q, ep),
+            (_, _, Some(s)) => matmul_nt_nm_ep(x, s, ep),
             _ => matmul_nt_ep(x, &self.value, ep),
         }
     }
@@ -207,9 +272,10 @@ impl Param {
     /// elementwise, so a slab window is bit-identical to the same rows of a
     /// full decode.
     pub fn decode_rows(&self, r0: usize, n_rows: usize, out: &mut [f32]) {
-        match (&self.half, &self.quant) {
-            (Some(h), _) => h.decode_rows(r0, n_rows, out),
-            (_, Some(q)) => q.decode_rows(r0, n_rows, out),
+        match (&self.half, &self.quant, &self.nm) {
+            (Some(h), _, _) => h.decode_rows(r0, n_rows, out),
+            (_, Some(q), _) => q.decode_rows(r0, n_rows, out),
+            (_, _, Some(s)) => s.decode_rows(r0, n_rows, out),
             _ => {
                 let c = *self.shape().last().unwrap_or(&0);
                 out.copy_from_slice(&self.value.as_slice()[r0 * c..(r0 + n_rows) * c]);
@@ -222,9 +288,10 @@ impl Param {
     pub fn copy_row_into(&self, r: usize, out: &mut [f32]) {
         let c = *self.shape().last().unwrap_or(&0);
         debug_assert_eq!(out.len(), c, "{}: row width", self.name);
-        match (&self.half, &self.quant) {
-            (Some(h), _) => h.decode_rows(r, 1, out),
-            (_, Some(q)) => q.decode_rows(r, 1, out),
+        match (&self.half, &self.quant, &self.nm) {
+            (Some(h), _, _) => h.decode_rows(r, 1, out),
+            (_, Some(q), _) => q.decode_rows(r, 1, out),
+            (_, _, Some(s)) => s.decode_rows(r, 1, out),
             _ => out.copy_from_slice(&self.value.as_slice()[r * c..(r + 1) * c]),
         }
     }
@@ -234,14 +301,21 @@ impl Param {
     pub fn add_row_into(&self, r: usize, out: &mut [f32]) {
         let c = *self.shape().last().unwrap_or(&0);
         debug_assert_eq!(out.len(), c, "{}: row width", self.name);
-        match (&self.half, &self.quant) {
-            (Some(h), _) => {
+        match (&self.half, &self.quant, &self.nm) {
+            (Some(h), _, _) => {
                 for (o, &b) in out.iter_mut().zip(h.row_bits(r)) {
                     *o += f16_bits_to_f32(b);
                 }
             }
-            (_, Some(q)) => {
+            (_, Some(q), _) => {
                 let view = q.view();
+                let base = r * c;
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o += view.get(base + j);
+                }
+            }
+            (_, _, Some(s)) => {
+                let view = s.view();
                 let base = r * c;
                 for (j, o) in out.iter_mut().enumerate() {
                     *o += view.get(base + j);
@@ -374,6 +448,108 @@ mod tests {
         assert_eq!(p.dtype(), Dtype::Nf4Block);
         p.to_half();
         assert!(p.is_half() && !p.is_quant());
+    }
+
+    #[test]
+    fn nm_demotion_prunes_then_roundtrips_bit_exactly() {
+        let mut p = Param::frozen("w", Tensor::randn(&[8, 8], 1.0, 6));
+        // Oracle: the same pruning applied to a dense copy.
+        let mut pruned = p.value.as_slice().to_vec();
+        lx_tensor::nm::round_slice(&mut pruned, 8, 8, 2, 4);
+        p.to_nm();
+        assert!(p.is_nm() && p.is_reduced() && !p.is_half() && !p.is_quant());
+        assert_eq!(p.dtype(), Dtype::Nm24);
+        assert_eq!(p.shape(), &[8, 8]);
+        assert_eq!(p.numel(), 64);
+        assert_eq!(p.storage_bytes(), Dtype::Nm24.bytes_for(64));
+        assert_eq!(p.value.len(), 0, "f32 buffer must be released");
+        // Idempotent.
+        p.to_nm();
+        assert!(p.is_nm());
+        p.to_f32();
+        assert!(!p.is_reduced());
+        for (a, b) in p.value.as_slice().iter().zip(&pruned) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn nm_redemotion_crosses_storage_families() {
+        let mut p = Param::frozen("w", Tensor::randn(&[4, 8], 1.0, 7));
+        p.to_half();
+        p.to_nm();
+        assert!(p.is_nm() && !p.is_half());
+        p.to_quant(Dtype::I8Block);
+        assert!(p.is_quant() && !p.is_nm());
+        p.to_nm();
+        assert!(p.is_nm() && !p.is_quant());
+    }
+
+    #[test]
+    #[should_panic(expected = "stay f32")]
+    fn trainable_params_cannot_be_nm_pruned() {
+        let mut p = Param::new("w", Tensor::zeros(&[2, 4]), true);
+        p.to_nm();
+    }
+
+    #[test]
+    fn nm_matmuls_are_bit_identical_to_decoded_oracle() {
+        let x = Tensor::randn(&[5, 8], 1.0, 31);
+        let g = Tensor::randn(&[5, 7], 1.0, 32);
+        let mut p = Param::frozen("w", Tensor::randn(&[8, 7], 1.0, 33));
+        p.to_nm();
+        // The codec is lossless on survivors, so unlike f16/quant the fused
+        // path must match the decoded oracle bit for bit.
+        let decoded = Param::frozen("w", p.nm.as_ref().unwrap().to_tensor());
+        for (a, b) in p
+            .matmul(&x)
+            .as_slice()
+            .iter()
+            .zip(decoded.matmul(&x).as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in p
+            .matmul_nt(&g)
+            .as_slice()
+            .iter()
+            .zip(decoded.matmul_nt(&g).as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn nm_row_helpers_decode_bit_identically() {
+        let t = Tensor::randn(&[4, 6], 1.0, 34);
+        let mut p = Param::frozen("emb", t.clone());
+        p.to_nm();
+        let full = p.nm.as_ref().unwrap().to_f32_vec();
+        let mut row = vec![0.0f32; 6];
+        p.copy_row_into(2, &mut row);
+        for (j, v) in row.iter().enumerate() {
+            assert_eq!(v.to_bits(), full[2 * 6 + j].to_bits());
+        }
+        let mut acc = row.clone();
+        p.add_row_into(2, &mut acc);
+        for (a, b) in acc.iter().zip(&row) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+        let mut slab = vec![0.0f32; 2 * 6];
+        p.decode_rows(1, 2, &mut slab);
+        for (j, v) in slab.iter().enumerate() {
+            assert_eq!(v.to_bits(), full[6 + j].to_bits());
+        }
+    }
+
+    #[test]
+    fn nm_external_mask_is_respected() {
+        let t = Tensor::full(&[2, 4], 1.0);
+        let mut p = Param::frozen("w", t);
+        // Keep positions {0,1} in row 0's group and {2,3} in row 1's.
+        p.to_nm_with_mask(&[0b0011, 0b1100]);
+        let dec = p.nm.as_ref().unwrap().to_f32_vec();
+        assert_eq!(dec, vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
     }
 
     #[test]

@@ -42,6 +42,15 @@ pub enum Precision {
     /// per byte, one f32 absmax scale per 64 elements); everything else
     /// stays f32.
     Nf4Frozen,
+    /// Frozen backbone matrices magnitude-pruned to 2:4 structured sparsity
+    /// and stored compacted (kept values bit-exact f32 + one index-mask byte
+    /// per group, 0.5625x of the f32 bytes); everything else stays f32.
+    /// Unlike the quantized plans the demotion changes the *function* (half
+    /// the weights become exact zeros, SLoPe/SPP lineage) but the stored
+    /// survivors are exact, so compute on the pruned weights is bit-identical
+    /// to dense compute on their decoded form — and the fused GEMMs skip
+    /// all-zero weight groups at pack time.
+    Nm24Frozen,
 }
 
 impl Precision {
@@ -51,6 +60,7 @@ impl Precision {
             Precision::F16Frozen => "f16-frozen",
             Precision::Int8Frozen => "int8-frozen",
             Precision::Nf4Frozen => "nf4-frozen",
+            Precision::Nm24Frozen => "nm24-frozen",
         }
     }
 }

@@ -1,13 +1,16 @@
 //! # lx-quant — block-quantized storage codecs
 //!
 //! Frozen backbone weights dominate the per-tenant memory bill; this crate
-//! holds the two codecs that shrink them past the f16 plan:
+//! holds the codecs that shrink them past the f16 plan:
 //!
 //! * [`q8`] — symmetric int8 with one f32 absmax scale per 64-element block
 //!   (`code = round(v / (absmax/127))`, dequant `code · scale`);
 //! * [`nf4`] — an NF4-style 4-bit codec (QLoRA lineage): a 16-entry
 //!   normal-float codebook on `[-1, 1]` plus one f32 absmax per block, two
-//!   codes packed per byte.
+//!   codes packed per byte;
+//! * [`nm`] — N:M structured sparsity (2:4 by default): per row-group of M
+//!   elements keep N, stored as compacted f32s plus one index-bitmask byte
+//!   per group — lossless on survivors, exact zero elsewhere.
 //!
 //! Blocking is **flat**: blocks of [`BLOCK`] consecutive elements of the
 //! row-major buffer, with a short tail block when `len % BLOCK != 0`. Blocks
@@ -28,7 +31,10 @@
 //! owns the allocation/accounting side (`QuantTensor`).
 
 pub mod nf4;
+pub mod nm;
 pub mod q8;
+
+pub use nm::NmView;
 
 /// Elements per quantization block (one f32 scale per block).
 pub const BLOCK: usize = 64;

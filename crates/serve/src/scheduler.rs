@@ -51,7 +51,9 @@ pub struct ServeConfig {
     /// the tenants-per-GB headroom while adapters and optimizer state stay
     /// f32 per tenant. `F16Frozen` halves the footprint; `Int8Frozen` and
     /// `Nf4Frozen` cut it to ~0.27x and ~0.14x with the lx-quant block
-    /// codecs (QLoRA-style serving).
+    /// codecs (QLoRA-style serving); `Nm24Frozen` 2:4-prunes the backbone
+    /// to ~0.56x with bit-exact compute on the surviving weights, so the
+    /// pack-time zero-group skip speeds up every tenant's GEMMs.
     pub precision: Precision,
 }
 

@@ -336,6 +336,91 @@ pub fn matmul_nt_quant_ep(a: &Tensor, b: &QuantTensor, ep: Epilogue<'_>) -> Tens
     c
 }
 
+/// Tensor-level wrapper: `A[m,k] · B[k,n]` with **B stored N:M
+/// structured-sparse** (2:4). The codec keeps surviving values bit-exactly,
+/// so — unlike the quantized forms — the result is bit-identical to decoding
+/// B up front and calling [`matmul`]; the packed backend additionally skips
+/// all-zero groups at pack time.
+pub fn matmul_nm(a: &Tensor, b: &crate::NmTensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_nm inner dims: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    lx_kernels::gemm_nm(m, k, n, a.as_slice(), b.view(), c.as_mut_slice(), 0.0);
+    c
+}
+
+/// Tensor-level wrapper: `A[m,k] · B[n,k]ᵀ` with **B stored N:M
+/// structured-sparse** (2:4) — the pruned-backbone forward shape, where the
+/// sparse axis is the reduction axis. Same bit-exactness contract as
+/// [`matmul_nm`].
+pub fn matmul_nt_nm(a: &Tensor, b: &crate::NmTensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_nt_nm inner dims: {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    lx_kernels::gemm_nt_nm(m, k, n, a.as_slice(), b.view(), c.as_mut_slice(), 0.0);
+    c
+}
+
+/// [`matmul_nm`] with a fused [`Epilogue`]. Same contract as [`matmul_ep`].
+pub fn matmul_nm_ep(a: &Tensor, b: &crate::NmTensor, ep: Epilogue<'_>) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_nm_ep inner dims: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    let ld = n.max(1);
+    lx_kernels::backend().gemm_nm_ep(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        k.max(1),
+        b.view(),
+        ld,
+        c.as_mut_slice(),
+        ld,
+        0.0,
+        ep,
+    );
+    c
+}
+
+/// [`matmul_nt_nm`] with a fused [`Epilogue`]. Same contract as
+/// [`matmul_ep`].
+pub fn matmul_nt_nm_ep(a: &Tensor, b: &crate::NmTensor, ep: Epilogue<'_>) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_nt_nm_ep inner dims: {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    lx_kernels::gemm_nt_nm_ep(m, k, n, a.as_slice(), b.view(), c.as_mut_slice(), 0.0, ep);
+    c
+}
+
 /// Tensor-level wrapper: `A[k,m]ᵀ · B[k,n]`.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.rows(), a.cols());
@@ -474,6 +559,33 @@ mod tests {
             let oracle_nt = matmul_nt(&a, &qt.to_tensor());
             let c_nt = matmul_nt_quant(&a, &qt);
             assert_close(c_nt.as_slice(), oracle_nt.as_slice(), 1e-4);
+        }
+    }
+
+    #[test]
+    fn nm_matmuls_are_bit_identical_to_decode_up_front() {
+        use crate::{Dtype, NmTensor};
+        let a = Tensor::randn(&[7, 36], 1.0, 40);
+        let b = Tensor::randn(&[36, 9], 1.0, 41);
+        let nm = NmTensor::from_tensor(&b, Dtype::Nm24);
+        let oracle = matmul(&a, &nm.to_tensor());
+        let c = matmul_nm(&a, &nm);
+        for (x, y) in c.as_slice().iter().zip(oracle.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let nmt = NmTensor::from_tensor(&b.transposed_2d(), Dtype::Nm24);
+        let oracle_nt = matmul_nt(&a, &nmt.to_tensor());
+        let c_nt = matmul_nt_nm(&a, &nmt);
+        for (x, y) in c_nt.as_slice().iter().zip(oracle_nt.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Fused epilogue form against its own unfused twin.
+        let bias = crate::rng::randn_vec(9, 1.0, 42);
+        let fused = matmul_nt_nm_ep(&a, &nmt, Epilogue::Bias(&bias));
+        let mut unfused = matmul_nt_nm(&a, &nmt);
+        crate::ops::add_bias_rows(&mut unfused, &bias);
+        for (f, u) in fused.as_slice().iter().zip(unfused.as_slice()) {
+            assert_eq!(f.to_bits(), u.to_bits());
         }
     }
 

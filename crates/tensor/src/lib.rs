@@ -9,6 +9,7 @@ mod dtype;
 pub mod f16;
 pub mod gemm;
 pub mod memtrack;
+pub mod nm;
 pub mod ops;
 pub mod quant;
 pub mod rng;
@@ -17,6 +18,7 @@ pub mod workspace;
 
 pub use dtype::Dtype;
 pub use f16::HalfTensor;
+pub use nm::NmTensor;
 pub use quant::{QuantTensor, QuantView};
 pub use tensor::Tensor;
 pub use workspace::{Workspace, WorkspaceStats};

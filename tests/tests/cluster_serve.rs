@@ -97,6 +97,71 @@ fn replicated_drive_matches_single_backbone_scheduler_bitwise() {
     }
 }
 
+/// `precision = Nm24Frozen` flows through every cluster replica exactly like
+/// the other frozen-storage modes: each replica's backbone is 2:4-pruned at
+/// construction, `calibrate_shared` still broadcasts one predictor blob to
+/// all replicas, and an interleaved multi-replica sparse drive stays
+/// bit-identical to the single-backbone scheduler draining the same jobs
+/// sequentially on an identically pruned backbone.
+#[test]
+fn pruned_backbone_cluster_matches_sequential_single_backbone_bitwise() {
+    let specs: Vec<JobSpec> = (0..3).map(|i| spec(&format!("p{i}"), 6)).collect();
+    let calib: Vec<(Vec<u32>, usize, usize)> = {
+        let spec = DatasetSpec::E2e {
+            world_seed: 5,
+            salt: 1,
+        };
+        let mut batcher = spec.build_batcher(64, 2_000);
+        (0..2).map(|_| (batcher.next_batch(1, 16), 1, 16)).collect()
+    };
+
+    // Reference: single backbone, pruned, one tenant at a time.
+    let mut reference = Scheduler::new(
+        backbone(),
+        engine_cfg(),
+        ServeConfig {
+            slice_steps: 64,
+            policy: SchedPolicy::RoundRobin,
+            mode: StepMode::Sparse,
+            prefetch: false,
+            precision: Precision::Nm24Frozen,
+        },
+        Arc::new(AdapterRegistry::in_memory()),
+    );
+    reference.calibrate_shared(&calib);
+    let mut reference_reports = Vec::new();
+    for s in &specs {
+        reference.submit(s.clone()).expect("submit");
+        reference_reports.extend(reference.run_to_completion());
+    }
+
+    // Candidate: two pruned replicas, small slices, maximal interleaving.
+    let mut c = cluster(ClusterConfig {
+        replicas: 2,
+        slice_steps: 2,
+        mode: StepMode::Sparse,
+        precision: Precision::Nm24Frozen,
+        ..ClusterConfig::default()
+    });
+    c.calibrate_shared(&calib);
+    assert!(c.calibrated(), "broadcast reaches every replica");
+    for s in &specs {
+        assert!(c.submit(s.clone(), QosClass::Batch).is_admitted());
+    }
+    let report = c.run_to_completion();
+    assert!(report.failures.is_empty());
+    assert!(report.quarantined.is_empty());
+
+    for r in &reference_reports {
+        let clustered = report.report_for(&r.tenant).expect("tenant completed");
+        assert_eq!(
+            clustered.losses, r.losses,
+            "{}: 2:4 pruning must not break the scale-out equivalence",
+            r.tenant
+        );
+    }
+}
+
 /// Fused multi-tenant eval slices produce exactly the losses of unfused
 /// per-tenant slices: fusion is a batching optimisation, not an
 /// approximation.

@@ -471,9 +471,10 @@ fn fused_epilogues_match_unfused_composition_bitwise() {
 }
 
 /// The same fused-vs-unfused oracle for the mixed-precision entry points
-/// (f16, int8-block, NF4-block B), on a reduced grid: each dtype's `_ep`
-/// variant must equal its own plain variant plus the manual passes, bitwise,
-/// on both backends (`Reference` exercises the defaulted trait methods).
+/// (f16, int8-block, NF4-block, N:M-sparse B), on a reduced grid: each
+/// dtype's `_ep` variant must equal its own plain variant plus the manual
+/// passes, bitwise, on both backends (`Reference` exercises the defaulted
+/// trait methods).
 #[test]
 fn fused_epilogues_match_on_quantized_dtypes() {
     let sizes = [0usize, 1, MR, NR + 1, 40];
@@ -489,6 +490,7 @@ fn fused_epilogues_match_on_quantized_dtypes() {
                 let bits = lx_kernels::half::encode_slice(&b);
                 let (q8c, q8s) = lx_quant::q8::quantize(&b);
                 let (q4c, q4s) = lx_quant::nf4::quantize(&b);
+                let (nmv, nmm) = lx_quant::nm::encode(&b, k, n, 2, 4);
                 for be in backends {
                     for fused_ep in [Epilogue::Bias(&bias), Epilogue::BiasGelu(&bias)] {
                         let mut want = vec![0.0; m * n];
@@ -594,8 +596,289 @@ fn fused_epilogues_match_on_quantized_dtypes() {
                             &got,
                             &want,
                         );
+
+                        let nm = lx_kernels::NmView::new(&nmv, &nmm, k, n, 2, 4);
+                        let mut want = vec![0.0; m * n];
+                        be.gemm_nm(
+                            m,
+                            k,
+                            n,
+                            &a,
+                            k.max(1),
+                            nm,
+                            n.max(1),
+                            &mut want,
+                            n.max(1),
+                            0.0,
+                        );
+                        manual_epilogue(&mut want, n, fused_ep);
+                        let mut got = vec![0.0; m * n];
+                        be.gemm_nm_ep(
+                            m,
+                            k,
+                            n,
+                            &a,
+                            k.max(1),
+                            nm,
+                            n.max(1),
+                            &mut got,
+                            n.max(1),
+                            0.0,
+                            fused_ep,
+                        );
+                        assert_bits(
+                            &format!("{} gemm_nm_ep {m}x{k}x{n}", be.name()),
+                            &got,
+                            &want,
+                        );
                     }
                 }
+            }
+        }
+    }
+}
+
+/// N:M codec round-trip at integration level: every tail length (`cols % 4`
+/// covering 0..=3 plus sub-group rows), an all-zero group (kept zeros), and
+/// an absent group (external mask byte 0) must decode bit-identically to the
+/// nm-rounded dense matrix, through both the bulk decode and the flat `get`.
+#[test]
+fn nm_codec_round_trip_covers_tail_zero_and_absent_groups() {
+    for (rows, cols) in [
+        (1usize, 4usize),
+        (5, 8),
+        (3, 9),
+        (3, 10),
+        (3, 11),
+        (2, 3),
+        (4, 40),
+    ] {
+        let seed = (rows * 100 + cols) as u64;
+        let dense = randn_vec(rows * cols, 1.0, seed);
+        let mut want = dense.clone();
+        lx_quant::nm::round_slice(&mut want, rows, cols, 2, 4);
+        let (vals, masks) = lx_quant::nm::encode(&dense, rows, cols, 2, 4);
+        let mut got = vec![f32::NAN; rows * cols];
+        lx_quant::nm::decode(&vals, &masks, rows, cols, 2, 4, &mut got);
+        assert_bits(&format!("nm round-trip {rows}x{cols}"), &got, &want);
+        let view = lx_kernels::NmView::new(&vals, &masks, rows, cols, 2, 4);
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(
+                view.get(i).to_bits(),
+                w.to_bits(),
+                "nm get {rows}x{cols} idx {i}"
+            );
+        }
+    }
+
+    // A group of stored zeros still owns mask bits and slots; a group with an
+    // external mask byte of 0 is *absent* (zero-padded slots). Both decode to
+    // exact zeros, matching `apply_mask` on the dense original.
+    let mut dense = randn_vec(12, 1.0, 77);
+    for v in dense[4..8].iter_mut() {
+        *v = 0.0;
+    }
+    let mut masks = lx_quant::nm::prune_mask(&dense, 1, 12, 2, 4);
+    masks[2] = 0; // third group absent entirely
+    let vals = lx_quant::nm::encode_with_mask(&dense, 1, 12, 2, 4, &masks);
+    let mut got = vec![f32::NAN; 12];
+    lx_quant::nm::decode(&vals, &masks, 1, 12, 2, 4, &mut got);
+    let mut want = dense.clone();
+    // Group 0 prunes 2 of its 4 nonzeros, group 1 was already zero, the
+    // absent group prunes all 4 → 6 violations against the raw dense buffer.
+    assert_eq!(lx_quant::nm::apply_mask(&mut want, &masks, 1, 12, 4), 6);
+    assert_bits("nm zero/absent groups", &got, &want);
+}
+
+/// N:M B variants against the decode-up-front oracle. Unlike the quantized
+/// dtypes this codec is lossless (kept bits verbatim, pruned positions exact
+/// zero), so each backend's `gemm_nm`/`gemm_nt_nm` must be **bit-identical**
+/// to decoding B and running that same backend's f32 kernel — `Reference`
+/// via its on-load row decode, `Packed` via the pack-time group expansion
+/// with the all-zero-group skip.
+#[test]
+fn nm_gemm_matches_decoded_oracle_bitwise_on_shape_sweep() {
+    let sizes = interesting_sizes();
+    let backends: [&dyn KernelBackend; 2] = [&REFERENCE, &PACKED];
+    let mut seed = 600_000u64;
+    for &m in &sizes {
+        for &k in &sizes {
+            for &n in &sizes {
+                seed += 1;
+                let a = randn_vec(m * k, 1.0, seed);
+                let b_nn = randn_vec(k * n, 1.0, seed + 1000);
+                let b_nt = randn_vec(n * k, 1.0, seed + 2000);
+                let (vals_nn, masks_nn) = lx_quant::nm::encode(&b_nn, k, n, 2, 4);
+                let (vals_nt, masks_nt) = lx_quant::nm::encode(&b_nt, n, k, 2, 4);
+                let mut dec_nn = vec![0.0; k * n];
+                let mut dec_nt = vec![0.0; n * k];
+                lx_quant::nm::decode(&vals_nn, &masks_nn, k, n, 2, 4, &mut dec_nn);
+                lx_quant::nm::decode(&vals_nt, &masks_nt, n, k, 2, 4, &mut dec_nt);
+                let c0 = randn_vec(m * n, 1.0, seed + 3000);
+                for be in backends {
+                    // beta = 0.5 checks the product and the C pre-scaling.
+                    let view = lx_kernels::NmView::new(&vals_nn, &masks_nn, k, n, 2, 4);
+                    let mut want = c0.clone();
+                    be.gemm(
+                        m,
+                        k,
+                        n,
+                        &a,
+                        k.max(1),
+                        &dec_nn,
+                        n.max(1),
+                        &mut want,
+                        n.max(1),
+                        0.5,
+                    );
+                    let mut got = c0.clone();
+                    be.gemm_nm(
+                        m,
+                        k,
+                        n,
+                        &a,
+                        k.max(1),
+                        view,
+                        n.max(1),
+                        &mut got,
+                        n.max(1),
+                        0.5,
+                    );
+                    assert_bits(&format!("{} gemm_nm {m}x{k}x{n}", be.name()), &got, &want);
+
+                    let view = lx_kernels::NmView::new(&vals_nt, &masks_nt, n, k, 2, 4);
+                    let mut want = vec![0.0; m * n];
+                    be.gemm_nt(
+                        m,
+                        k,
+                        n,
+                        &a,
+                        k.max(1),
+                        &dec_nt,
+                        k.max(1),
+                        &mut want,
+                        n.max(1),
+                        0.0,
+                    );
+                    let mut got = vec![0.0; m * n];
+                    be.gemm_nt_nm(
+                        m,
+                        k,
+                        n,
+                        &a,
+                        k.max(1),
+                        view,
+                        k.max(1),
+                        &mut got,
+                        n.max(1),
+                        0.0,
+                    );
+                    assert_bits(
+                        &format!("{} gemm_nt_nm {m}x{k}x{n}", be.name()),
+                        &got,
+                        &want,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// N:M GEMM into a strided C window (one block column of a wide slab, the
+/// layout the sparse FC1 writes): the write must stay inside the window and
+/// match the decoded-dense run bit for bit on both backends, through both
+/// the parallel and the forced-sequential driver.
+#[test]
+fn nm_gemm_respects_strided_c_views_bitwise_on_both_paths() {
+    let (rows, width, b, d) = (13, 3 * NR, NR, 24);
+    let act = randn_vec(rows * d, 1.0, 71);
+    let w = randn_vec(b * d, 1.0, 72);
+    let (vals, masks) = lx_quant::nm::encode(&w, b, d, 2, 4);
+    let mut dec = vec![0.0; b * d];
+    lx_quant::nm::decode(&vals, &masks, b, d, 2, 4, &mut dec);
+    for be in [&REFERENCE as &dyn KernelBackend, &PACKED] {
+        for block in 0..width / b {
+            let mut want = vec![1.0f32; rows * width];
+            be.gemm_nt(
+                rows,
+                d,
+                b,
+                &act,
+                d,
+                &dec,
+                d,
+                &mut want[block * b..],
+                width,
+                0.0,
+            );
+            let view = lx_kernels::NmView::new(&vals, &masks, b, d, 2, 4);
+            let mut got_seq = vec![1.0f32; rows * width];
+            lx_kernels::with_sequential(|| {
+                be.gemm_nt_nm(
+                    rows,
+                    d,
+                    b,
+                    &act,
+                    d,
+                    view,
+                    d,
+                    &mut got_seq[block * b..],
+                    width,
+                    0.0,
+                );
+            });
+            assert_bits(
+                &format!("{} nm strided seq block {block}", be.name()),
+                &got_seq,
+                &want,
+            );
+            let mut got_par = vec![1.0f32; rows * width];
+            be.gemm_nt_nm(
+                rows,
+                d,
+                b,
+                &act,
+                d,
+                view,
+                d,
+                &mut got_par[block * b..],
+                width,
+                0.0,
+            );
+            assert_bits(
+                &format!("{} nm strided par block {block}", be.name()),
+                &got_par,
+                &want,
+            );
+        }
+    }
+}
+
+/// The parallel N:M macro-kernel must be bit-identical to the sequential
+/// driver, same as the f32 path: workers own disjoint row panels of C and
+/// per-panel summation order is unchanged. The grid includes shapes small
+/// enough to stay on one worker and big enough to actually split.
+#[test]
+fn parallel_nm_is_bit_identical_to_sequential() {
+    let m_sizes = [1usize, MR, 40, 97];
+    let k_sizes = [7usize, 40, 96];
+    let n_sizes = [NR - 1, 40, 97];
+    let mut seed = 700_000u64;
+    for &m in &m_sizes {
+        for &k in &k_sizes {
+            for &n in &n_sizes {
+                seed += 1;
+                let a = randn_vec(m * k, 1.0, seed);
+                let b = randn_vec(n * k, 1.0, seed + 1000);
+                let (vals, masks) = lx_quant::nm::encode(&b, n, k, 2, 4);
+                let view = lx_kernels::NmView::new(&vals, &masks, n, k, 2, 4);
+                let mut c_seq = vec![0.25f32; m * n];
+                lx_kernels::with_sequential(|| {
+                    PACKED.gemm_nt_nm(m, k, n, &a, k, view, k, &mut c_seq, n, 0.5);
+                });
+                let mut c_par = vec![0.25f32; m * n];
+                PACKED.gemm_nt_nm(m, k, n, &a, k, view, k, &mut c_par, n, 0.5);
+                assert_bits(&format!("nm par vs seq {m}x{k}x{n}"), &c_par, &c_seq);
             }
         }
     }
